@@ -1,0 +1,86 @@
+// Experiment C1 (Section 1 / Section 4): "natural rewriting candidates...
+// can be constructed in linear time".
+//
+// Measures MakeNaturalCandidates over patterns of growing size (both deep
+// chains and wide branchy patterns) and reports the asymptotic fit; the
+// expected shape is O(N).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "pattern/properties.h"
+#include "rewrite/candidates.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+void BM_CandidatesDeepChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Pattern p = benchutil::ChainQuery(depth, /*branches=*/depth / 2, true);
+  const int k = depth / 2;
+  for (auto _ : state) {
+    NaturalCandidates c = MakeNaturalCandidates(p, k);
+    benchmark::DoNotOptimize(c.sub.size());
+  }
+  state.SetComplexityN(p.size());
+}
+BENCHMARK(BM_CandidatesDeepChain)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_CandidatesWideBranches(benchmark::State& state) {
+  const int branches = static_cast<int>(state.range(0));
+  // Fixed shallow spine, growing branch count at the k-node.
+  Pattern p(L("a"));
+  NodeId mid = p.AddChild(p.root(), LabelStore::kWildcard,
+                          EdgeType::kDescendant);
+  NodeId out = p.AddChild(mid, L("b"), EdgeType::kChild);
+  p.set_output(out);
+  for (int i = 0; i < branches; ++i) {
+    NodeId br = p.AddChild(mid, L("e"), EdgeType::kChild);
+    p.AddChild(br, L("f"), EdgeType::kDescendant);
+  }
+  for (auto _ : state) {
+    NaturalCandidates c = MakeNaturalCandidates(p, 1);
+    benchmark::DoNotOptimize(c.relaxed.size());
+  }
+  state.SetComplexityN(p.size());
+}
+BENCHMARK(BM_CandidatesWideBranches)
+    ->RangeMultiplier(2)
+    ->Range(4, 512)
+    ->Complexity(benchmark::oN);
+
+void BM_CandidatesRandomPatterns(benchmark::State& state) {
+  Rng rng(1234);
+  PatternGenOptions options;
+  options.min_depth = 3;
+  options.max_depth = 8;
+  options.max_branches = static_cast<int>(state.range(0));
+  options.max_branch_size = 4;
+  std::vector<Pattern> patterns;
+  for (int i = 0; i < 64; ++i) patterns.push_back(RandomPattern(rng, options));
+  size_t i = 0;
+  for (auto _ : state) {
+    const Pattern& p = patterns[i++ % patterns.size()];
+    NaturalCandidates c = MakeNaturalCandidates(p, 2);
+    benchmark::DoNotOptimize(c.sub.size());
+  }
+}
+BENCHMARK(BM_CandidatesRandomPatterns)->Arg(2)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C1", "linear-time candidate construction (Sections 1 & 4)",
+      "Claim: both natural candidates are built in time linear in |P| "
+      "(look for an O(N) complexity fit below).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment C2 (Section 2.2, after [14]): containment complexity.
+//
+// The paper rests on containment being coNP-complete for XP^{//,[],*} and
+// PTIME (homomorphism) on the sub-fragments. This bench shows the shape:
+//   * the homomorphism test scales polynomially with pattern size;
+//   * the canonical-model test grows exponentially with the number of
+//     descendant edges (the model count is bound^(#desc edges));
+//   * the expansion bound grows with the star-chain length of the RHS.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "containment/containment.h"
+#include "containment/homomorphism.h"
+#include "pattern/properties.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+/// A no-wildcard branchy pattern (homomorphism fragment) of given size.
+Pattern HomPattern(int branches) {
+  Pattern p(L("a"));
+  NodeId spine = p.AddChild(p.root(), L("b"), EdgeType::kDescendant);
+  for (int i = 0; i < branches; ++i) {
+    NodeId br = p.AddChild(spine, L("c"), EdgeType::kChild);
+    p.AddChild(br, L("d"), EdgeType::kDescendant);
+  }
+  NodeId out = p.AddChild(spine, L("z"), EdgeType::kChild);
+  p.set_output(out);
+  return p;
+}
+
+void BM_HomomorphismTest(benchmark::State& state) {
+  Pattern p1 = HomPattern(static_cast<int>(state.range(0)));
+  Pattern p2 = HomPattern(static_cast<int>(state.range(0)) / 2);
+  for (auto _ : state) {
+    bool hom = ExistsPatternHomomorphism(p2, p1);
+    benchmark::DoNotOptimize(hom);
+  }
+  state.SetComplexityN(p1.size());
+}
+BENCHMARK(BM_HomomorphismTest)
+    ->RangeMultiplier(2)
+    ->Range(2, 128)
+    ->Complexity();
+
+/// Canonical-model containment where the fast path cannot fire: cost is
+/// exponential in the number of descendant edges of the LHS.
+void BM_CanonicalModelTest_DescEdges(benchmark::State& state) {
+  const int desc_edges = static_cast<int>(state.range(0));
+  // P1 = a//*[q]//*[q]...//b with `desc_edges` descendant hops; P2 is the
+  // all-wildcard variant, so containment holds but rarely via homomorphism.
+  std::string p1 = "a";
+  std::string p2 = "a";
+  for (int i = 0; i < desc_edges - 1; ++i) {
+    p1 += "//*[q]";
+    p2 += "//*";
+  }
+  p1 += "//b";
+  p2 += "//*";
+  ContainmentOptions no_hom;
+  no_hom.use_homomorphism_fast_path = false;
+  Pattern lhs = MustParseXPath(p1);
+  Pattern rhs = MustParseXPath(p2);
+  uint64_t models = 0;
+  for (auto _ : state) {
+    ContainmentStats stats;
+    bool contained = Contained(lhs, rhs, nullptr, &stats, no_hom);
+    benchmark::DoNotOptimize(contained);
+    models = stats.models_checked;
+  }
+  state.counters["desc_edges"] = desc_edges;
+  state.counters["models"] = static_cast<double>(models);
+}
+BENCHMARK(BM_CanonicalModelTest_DescEdges)->DenseRange(1, 6);
+
+/// Cost vs star-chain length of the RHS (drives the expansion bound).
+void BM_CanonicalModelTest_StarChain(benchmark::State& state) {
+  const int stars = static_cast<int>(state.range(0));
+  std::string rhs_expr = "a//*";
+  for (int i = 1; i < stars; ++i) rhs_expr += "/*";
+  rhs_expr += "/b";
+  std::string lhs_expr = "a/*";
+  for (int i = 1; i < stars; ++i) lhs_expr += "/*";
+  lhs_expr += "//b";
+  Pattern lhs = MustParseXPath(lhs_expr);
+  Pattern rhs = MustParseXPath(rhs_expr);
+  ContainmentOptions no_hom;
+  no_hom.use_homomorphism_fast_path = false;
+  for (auto _ : state) {
+    bool contained = Contained(lhs, rhs, nullptr, nullptr, no_hom);
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["star_chain"] = stars;
+  state.counters["bound"] = ExpansionBound(rhs);
+}
+BENCHMARK(BM_CanonicalModelTest_StarChain)->DenseRange(1, 6);
+
+/// The fast path in action: equivalent no-wildcard patterns decided by
+/// homomorphism vs forced canonical enumeration.
+void BM_FastPathComparison(benchmark::State& state) {
+  Pattern p1 = MustParseXPath("a//b[c][c/d]//e");
+  Pattern p2 = MustParseXPath("a//b[c/d]//e");
+  const bool use_hom = state.range(0) != 0;
+  ContainmentOptions options;
+  options.use_homomorphism_fast_path = use_hom;
+  for (auto _ : state) {
+    bool eq = Contained(p1, p2, nullptr, nullptr, options) &&
+              Contained(p2, p1, nullptr, nullptr, options);
+    benchmark::DoNotOptimize(eq);
+  }
+  state.SetLabel(use_hom ? "hom-fast-path" : "canonical-only");
+}
+BENCHMARK(BM_FastPathComparison)->Arg(1)->Arg(0);
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C2", "containment complexity (Section 2.2, [14])",
+      "Claims: homomorphism test is polynomial; the canonical-model test "
+      "is exponential in #descendant-edges with base = star-chain bound.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Experiment C10 (substrate validation): the evaluation engine that powers
+// every containment test and the view cache runs in O(|P| * |t|).
+//
+// Measures Eval(P, t) while scaling the document with the pattern fixed,
+// the pattern with the document fixed, and both together; reports BigO
+// fits. Also measures weak evaluation (identical asymptotics).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+/// Builds a tree with exactly `n` nodes: breadth-first fanout-3 shape with
+/// labels cycling over a0..a3 (deterministic, so sizes actually scale).
+Tree ExactSizeDoc(int n) {
+  Tree t(L("a0"));
+  std::vector<NodeId> frontier = {t.root()};
+  size_t next = 0;
+  int label = 1;
+  while (t.size() < n) {
+    NodeId parent = frontier[next];
+    std::string name = "a";
+    name.append(std::to_string(label));
+    NodeId c = t.AddChild(parent, L(name));
+    label = (label + 1) % 4;
+    frontier.push_back(c);
+    if (t.children(parent).size() >= 3) ++next;
+  }
+  return t;
+}
+
+void BM_EvalScalingDocument(benchmark::State& state) {
+  Tree t = ExactSizeDoc(static_cast<int>(state.range(0)));
+  Pattern p = MustParseXPath("a0//a1[a2]/*//a3");
+  for (auto _ : state) {
+    std::vector<NodeId> out = Eval(p, t);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_EvalScalingDocument)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_EvalScalingPattern(benchmark::State& state) {
+  Tree t = ExactSizeDoc(4096);
+  Pattern p = benchutil::ChainQuery(static_cast<int>(state.range(0)),
+                                    static_cast<int>(state.range(0)) / 2,
+                                    true);
+  for (auto _ : state) {
+    std::vector<NodeId> out = Eval(p, t);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetComplexityN(p.size());
+}
+BENCHMARK(BM_EvalScalingPattern)
+    ->RangeMultiplier(2)
+    ->Range(2, 64)
+    ->Complexity(benchmark::oN);
+
+void BM_WeakEval(benchmark::State& state) {
+  Tree t = ExactSizeDoc(static_cast<int>(state.range(0)));
+  Pattern p = MustParseXPath("a1[a2]//a3");
+  for (auto _ : state) {
+    std::vector<NodeId> out = EvalWeak(p, t);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetComplexityN(t.size());
+}
+BENCHMARK(BM_WeakEval)
+    ->RangeMultiplier(4)
+    ->Range(256, 65536)
+    ->Complexity(benchmark::oN);
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C10", "evaluation-engine scaling (substrate)",
+      "The embedding DP behind every containment test and view answer is "
+      "O(|P| * |t|): both single-factor sweeps should fit O(N).");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

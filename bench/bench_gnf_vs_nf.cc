@@ -1,0 +1,121 @@
+// Experiment C8 (ablation, Section 6): "the generalized normal form
+// presented in Section 5.1 covers a much larger class of queries than the
+// corresponding normal forms presented in [10] because it is based only on
+// properties of the selection path (rather than the whole query)".
+//
+// Measures the membership rates of NF/* vs GNF/* on random pattern
+// populations of varying shapes, verifies the inclusion NF/* ⊆ GNF/*, and
+// times both predicates.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_util.h"
+#include "rewrite/gnf.h"
+#include "rewrite/nf.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+struct Rates {
+  int nf = 0;
+  int gnf = 0;
+  int total = 0;
+};
+
+Rates MeasureRates(double wildcard_prob, double descendant_prob,
+                   int branches, int count, uint64_t seed) {
+  Rng rng(seed);
+  PatternGenOptions options;
+  options.min_depth = 2;
+  options.max_depth = 5;
+  options.max_branches = branches;
+  options.wildcard_prob = wildcard_prob;
+  options.descendant_prob = descendant_prob;
+  Rates rates;
+  for (int i = 0; i < count; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    bool nf = IsInNormalFormNfStar(p);
+    bool gnf = IsInGeneralizedNormalForm(p);
+    if (nf && !gnf) {
+      std::printf("C8 INCLUSION VIOLATION (NF but not GNF)!\n");
+      std::abort();
+    }
+    rates.nf += nf ? 1 : 0;
+    rates.gnf += gnf ? 1 : 0;
+    ++rates.total;
+  }
+  return rates;
+}
+
+void PrintCoverageTable() {
+  std::printf("%-44s %8s %8s %8s\n", "pattern population (600 samples each)",
+              "NF/*", "GNF/*", "gap");
+  struct Row {
+    const char* name;
+    double wildcard, descendant;
+    int branches;
+  } rows[] = {
+      {"mild (*=0.2, //=0.2, <=2 branches)", 0.2, 0.2, 2},
+      {"wildcard-heavy (*=0.6, //=0.3, <=2 branches)", 0.6, 0.3, 2},
+      {"descendant-heavy (*=0.3, //=0.6, <=2 branches)", 0.3, 0.6, 2},
+      {"branchy (*=0.4, //=0.4, <=4 branches)", 0.4, 0.4, 4},
+      {"adversarial (*=0.7, //=0.7, <=4 branches)", 0.7, 0.7, 4},
+  };
+  for (const Row& row : rows) {
+    Rates r = MeasureRates(row.wildcard, row.descendant, row.branches, 600,
+                           42);
+    std::printf("%-44s %7.1f%% %7.1f%% %+7.1f%%\n", row.name,
+                100.0 * r.nf / r.total, 100.0 * r.gnf / r.total,
+                100.0 * (r.gnf - r.nf) / r.total);
+  }
+  std::printf("\n");
+}
+
+void BM_NfMembership(benchmark::State& state) {
+  Rng rng(7);
+  PatternGenOptions options;
+  options.max_depth = 6;
+  options.max_branches = 4;
+  std::vector<Pattern> pool;
+  for (int i = 0; i < 128; ++i) pool.push_back(RandomPattern(rng, options));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(IsInNormalFormNfStar(pool[i++ % pool.size()]));
+  }
+}
+BENCHMARK(BM_NfMembership);
+
+void BM_GnfMembership(benchmark::State& state) {
+  Rng rng(7);
+  PatternGenOptions options;
+  options.max_depth = 6;
+  options.max_branches = 4;
+  std::vector<Pattern> pool;
+  for (int i = 0; i < 128; ++i) pool.push_back(RandomPattern(rng, options));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        IsInGeneralizedNormalForm(pool[i++ % pool.size()]));
+  }
+}
+BENCHMARK(BM_GnfMembership);
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C8", "GNF/* vs NF/* coverage ablation (Section 6)",
+      "Claim: GNF/* strictly generalizes NF/* and covers many more "
+      "patterns, because it constrains only the selection path.");
+  xpv::PrintCoverageTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

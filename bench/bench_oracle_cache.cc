@@ -1,0 +1,85 @@
+// Experiment C9 (ablation): memoizing the containment oracle.
+//
+// The paper's algorithm spends all of its super-polynomial time inside
+// containment tests (Section 4: "the only inefficient step"). Cache-style
+// deployments ask many containment questions about overlapping patterns;
+// this ablation quantifies how much a canonical-encoding-keyed memo saves
+// on a repeated-workload mix, and what the hit rate looks like.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "containment/containment.h"
+#include "containment/oracle.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+std::vector<std::pair<Pattern, Pattern>> RepeatedWorkload(int distinct,
+                                                          int repeats,
+                                                          uint64_t seed) {
+  Rng rng(seed);
+  PatternGenOptions options;
+  options.max_depth = 3;
+  options.max_branches = 2;
+  options.alphabet_size = 3;
+  std::vector<std::pair<Pattern, Pattern>> base;
+  for (int i = 0; i < distinct; ++i) {
+    base.emplace_back(RandomPattern(rng, options),
+                      RandomPattern(rng, options));
+  }
+  std::vector<std::pair<Pattern, Pattern>> workload;
+  for (int r = 0; r < repeats; ++r) {
+    for (const auto& pair : base) workload.push_back(pair);
+  }
+  return workload;
+}
+
+void BM_WithoutOracle(benchmark::State& state) {
+  auto workload = RepeatedWorkload(16, static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    int contained = 0;
+    for (const auto& [p1, p2] : workload) {
+      contained += Contained(p1, p2) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(contained);
+  }
+  state.counters["queries"] = static_cast<double>(workload.size());
+}
+BENCHMARK(BM_WithoutOracle)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_WithOracle(benchmark::State& state) {
+  auto workload = RepeatedWorkload(16, static_cast<int>(state.range(0)), 5);
+  double hit_rate = 0.0;
+  for (auto _ : state) {
+    ContainmentOracle oracle;
+    int contained = 0;
+    for (const auto& [p1, p2] : workload) {
+      contained += oracle.Contained(p1, p2) ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(contained);
+    hit_rate = static_cast<double>(oracle.hits()) /
+               static_cast<double>(oracle.hits() + oracle.misses());
+  }
+  state.counters["queries"] = static_cast<double>(workload.size());
+  state.counters["hit_rate"] = hit_rate;
+}
+BENCHMARK(BM_WithOracle)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C9", "containment-oracle memoization (ablation)",
+      "The coNP containment tests dominate the engine's cost; memoization "
+      "amortizes them across repeated cache workloads.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,62 @@
+#ifndef XPV_BENCH_BENCH_UTIL_H_
+#define XPV_BENCH_BENCH_UTIL_H_
+
+// Shared helpers for the benchmark binaries. Each bench binary corresponds
+// to one experiment id of DESIGN.md / EXPERIMENTS.md and starts by printing
+// a header naming the experiment and the paper artifact it regenerates.
+
+#include <cstdio>
+#include <string>
+
+#include "pattern/pattern.h"
+#include "pattern/xpath_parser.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "xml/tree.h"
+
+namespace xpv::benchutil {
+
+inline void PrintHeader(const char* experiment_id, const char* artifact,
+                        const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("Experiment %s — %s\n", experiment_id, artifact);
+  std::printf("%s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// A chain query a/*/*/.../b of the given depth with `branches` predicate
+/// branches attached along the spine — the scalable family used by several
+/// benches.
+inline Pattern ChainQuery(int depth, int branches, bool descendant_first) {
+  Pattern p(L("a"));
+  NodeId spine = p.root();
+  for (int i = 1; i <= depth; ++i) {
+    EdgeType et = (i == 1 && descendant_first) ? EdgeType::kDescendant
+                                               : EdgeType::kChild;
+    LabelId label =
+        (i == depth) ? L("b") : LabelStore::kWildcard;
+    spine = p.AddChild(spine, label, et);
+  }
+  p.set_output(spine);
+  for (int b = 0; b < branches; ++b) {
+    NodeId attach = static_cast<NodeId>(b % p.size());
+    p.AddChild(attach, L("e"), EdgeType::kChild);
+  }
+  return p;
+}
+
+/// A balanced document with `fanout`^`depth`-ish nodes over a small
+/// alphabet, for evaluation-heavy benches.
+inline Tree BalancedDoc(int depth, int fanout, uint64_t seed) {
+  Rng rng(seed);
+  TreeGenOptions options;
+  options.max_depth = depth;
+  options.max_fanout = fanout;
+  options.max_nodes = 1 << 16;
+  options.alphabet_size = 4;
+  return RandomTree(rng, options);
+}
+
+}  // namespace xpv::benchutil
+
+#endif  // XPV_BENCH_BENCH_UTIL_H_

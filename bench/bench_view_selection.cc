@@ -1,0 +1,100 @@
+// Experiment C11 (open problem 4, Section 6): "given a set of queries that
+// are frequently asked, what is an optimal set of views that should be
+// maintained so that the queries could be evaluated as quickly as
+// possible?"
+//
+// Exercises the greedy prefix-view selection: coverage achieved per view
+// budget on synthetic workloads, and the cost of the selection itself
+// (each candidate scoring runs the full rewrite engine per query).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "pattern/serializer.h"
+#include "util/rng.h"
+#include "views/view_selection.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+std::vector<WorkloadQuery> SyntheticWorkload(int queries, uint64_t seed) {
+  Rng rng(seed);
+  PatternGenOptions options;
+  options.min_depth = 2;
+  options.max_depth = 4;
+  options.max_branches = 2;
+  options.alphabet_size = 3;  // Small alphabet => shared prefixes.
+  std::vector<WorkloadQuery> workload;
+  for (int i = 0; i < queries; ++i) {
+    workload.push_back(
+        {RandomPattern(rng, options), 1.0 + static_cast<double>(i % 5)});
+  }
+  return workload;
+}
+
+void PrintCoverageCurve() {
+  std::vector<WorkloadQuery> workload = SyntheticWorkload(40, 4242);
+  std::printf("%-12s %14s %14s\n", "view budget", "covered wt.", "coverage");
+  for (int budget = 1; budget <= 6; ++budget) {
+    ViewSelectionOptions options;
+    options.max_views = budget;
+    ViewSelectionResult result = SelectViews(workload, options);
+    std::printf("%-12d %14.1f %13.1f%%\n", budget, result.covered_weight,
+                100.0 * result.covered_weight / result.total_weight);
+  }
+  ViewSelectionOptions options;
+  options.max_views = 3;
+  ViewSelectionResult result = SelectViews(workload, options);
+  std::printf("\nchosen views at budget 3:\n");
+  for (const CandidateView& view : result.chosen) {
+    std::printf("  %-28s answers %zu queries, weight %.1f\n",
+                ToXPath(view.pattern).c_str(), view.answers.size(),
+                view.covered_weight);
+  }
+  std::printf("\n");
+}
+
+void BM_CandidateEnumeration(benchmark::State& state) {
+  std::vector<WorkloadQuery> workload =
+      SyntheticWorkload(static_cast<int>(state.range(0)), 99);
+  for (auto _ : state) {
+    std::vector<CandidateView> candidates =
+        EnumerateCandidateViews(workload);
+    benchmark::DoNotOptimize(candidates.size());
+  }
+  state.counters["queries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CandidateEnumeration)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedySelection(benchmark::State& state) {
+  std::vector<WorkloadQuery> workload =
+      SyntheticWorkload(static_cast<int>(state.range(0)), 99);
+  ViewSelectionOptions options;
+  options.max_views = 4;
+  for (auto _ : state) {
+    ViewSelectionResult result = SelectViews(workload, options);
+    benchmark::DoNotOptimize(result.covered_weight);
+  }
+  state.counters["queries"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_GreedySelection)->Arg(8)->Arg(16)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C11", "view selection for a query workload (open problem 4)",
+      "Greedy prefix-view selection: coverage per view budget and the "
+      "cost of scoring candidates with the rewrite engine.");
+  xpv::PrintCoverageCurve();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

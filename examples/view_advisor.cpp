@@ -1,0 +1,95 @@
+// View advisor: given a weighted query workload, recommend which views to
+// materialize (the paper's fourth open problem), then prove the
+// recommendation out by running the workload through a ViewCache over a
+// sample document.
+
+#include <cstdio>
+#include <vector>
+
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "eval/evaluator.h"
+#include "views/view_cache.h"
+#include "views/view_selection.h"
+#include "xml/tree.h"
+
+namespace {
+
+xpv::Tree BuildShop() {
+  using namespace xpv;
+  Tree doc(L("shop"));
+  for (int d = 0; d < 4; ++d) {
+    NodeId dept = doc.AddChild(doc.root(), L("dept"));
+    for (int i = 0; i < 10; ++i) {
+      NodeId item = doc.AddChild(dept, L("item"));
+      NodeId price = doc.AddChild(item, L("price"));
+      doc.AddChild(price, L("amount"));
+      doc.AddChild(item, L("name"));
+      if (i % 2 == 0) {
+        NodeId review = doc.AddChild(item, L("review"));
+        doc.AddChild(review, L("stars"));
+      }
+    }
+  }
+  NodeId staff = doc.AddChild(doc.root(), L("staff"));
+  doc.AddChild(staff, L("roster"));
+  return doc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace xpv;
+
+  // The workload: queries with observed frequencies.
+  std::vector<WorkloadQuery> workload = {
+      {MustParseXPath("shop/dept/item/price/amount"), 40.0},
+      {MustParseXPath("shop/dept/item/name"), 25.0},
+      {MustParseXPath("shop/dept/item[review]/price"), 10.0},
+      {MustParseXPath("shop/dept/item/review/stars"), 8.0},
+      {MustParseXPath("shop/staff/roster"), 2.0},
+  };
+
+  std::printf("Workload (%zu queries):\n", workload.size());
+  for (const WorkloadQuery& q : workload) {
+    std::printf("  %-38s weight %.0f\n", ToXPath(q.pattern).c_str(),
+                q.weight);
+  }
+
+  // Recommend views.
+  ViewSelectionOptions options;
+  options.max_views = 2;
+  ViewSelectionResult selection = SelectViews(workload, options);
+  std::printf("\nRecommended views (budget %d):\n", options.max_views);
+  for (const CandidateView& view : selection.chosen) {
+    std::printf("  %-28s covers %zu queries (weight %.0f)\n",
+                ToXPath(view.pattern).c_str(), view.answers.size(),
+                view.covered_weight);
+  }
+  std::printf("Coverage: %.0f / %.0f workload weight (%.0f%%)\n",
+              selection.covered_weight, selection.total_weight,
+              100.0 * selection.covered_weight / selection.total_weight);
+
+  // Prove it out: run the workload through a cache with the chosen views.
+  Tree doc = BuildShop();
+  ViewCache cache(doc);
+  for (size_t i = 0; i < selection.chosen.size(); ++i) {
+    cache.AddView({"view" + std::to_string(i), selection.chosen[i].pattern});
+  }
+  std::printf("\nReplaying the workload against a %d-node document:\n",
+              doc.size());
+  int mismatches = 0;
+  for (const WorkloadQuery& q : workload) {
+    CacheAnswer answer = cache.Answer(q.pattern);
+    std::vector<NodeId> direct = Eval(q.pattern, doc);
+    if (answer.outputs != direct) ++mismatches;
+    std::printf("  %-38s %s (%zu results)\n", ToXPath(q.pattern).c_str(),
+                answer.hit ? "HIT " : "miss", answer.outputs.size());
+  }
+  const CacheStats& stats = cache.stats();
+  std::printf("\nHit rate: %llu/%llu; all answers correct: %s\n",
+              static_cast<unsigned long long>(stats.hits),
+              static_cast<unsigned long long>(stats.queries),
+              mismatches == 0 ? "yes" : "NO");
+  return mismatches == 0 ? 0 : 1;
+}

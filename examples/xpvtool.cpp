@@ -1,0 +1,196 @@
+// xpvtool: command-line front end to the library.
+//
+//   xpvtool rewrite  <query> <view>         decide rewriting existence
+//   xpvtool contained <p1> <p2>             decide P1 ⊑ P2 (with witness)
+//   xpvtool equivalent <p1> <p2>            decide P1 ≡ P2
+//   xpvtool eval <query> <file.xml>         run a query over a document
+//   xpvtool answer <query> <view> <file.xml>  answer via the view
+//   xpvtool minimize <pattern>              remove redundant branches
+//   xpvtool dot <pattern>                   Graphviz DOT of a pattern
+//
+// Exit code: 0 on "yes"/found/success, 1 on "no"/not-found, 2 on usage or
+// input errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "eval/evaluator.h"
+#include "pattern/dot.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/engine.h"
+#include "views/view_cache.h"
+#include "xml/xml_parser.h"
+
+namespace {
+
+using namespace xpv;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: xpvtool rewrite <query> <view>\n"
+               "       xpvtool contained <p1> <p2>\n"
+               "       xpvtool equivalent <p1> <p2>\n"
+               "       xpvtool eval <query> <file.xml>\n"
+               "       xpvtool answer <query> <view> <file.xml>\n"
+               "       xpvtool minimize <pattern>\n"
+               "       xpvtool dot <pattern>\n");
+  return 2;
+}
+
+bool ParseOrComplain(const char* what, const char* expr, Pattern* out) {
+  Result<Pattern> parsed = ParseXPath(expr);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, parsed.error().c_str());
+    return false;
+  }
+  *out = parsed.take();
+  return true;
+}
+
+bool LoadXml(const char* path, Tree* out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Result<Tree> parsed = ParseXml(buffer.str());
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path, parsed.error().c_str());
+    return false;
+  }
+  *out = parsed.take();
+  return true;
+}
+
+int CmdRewrite(const char* qexpr, const char* vexpr) {
+  Pattern p = Pattern::Empty(), v = Pattern::Empty();
+  if (!ParseOrComplain("query", qexpr, &p) ||
+      !ParseOrComplain("view", vexpr, &v)) {
+    return 2;
+  }
+  RewriteOptions options;
+  options.enable_brute_force = true;
+  options.brute_force_max_nodes = 5;
+  options.brute_force_budget = 5000;
+  RewriteResult result = DecideRewrite(p, v, options);
+  std::printf("%s\n", result.explanation.c_str());
+  if (result.status == RewriteStatus::kFound) {
+    std::printf("rewriting: %s\n", ToXPath(result.rewriting).c_str());
+    return 0;
+  }
+  return 1;
+}
+
+int CmdContained(const char* e1, const char* e2, bool both_ways) {
+  Pattern p1 = Pattern::Empty(), p2 = Pattern::Empty();
+  if (!ParseOrComplain("p1", e1, &p1) || !ParseOrComplain("p2", e2, &p2)) {
+    return 2;
+  }
+  if (both_ways) {
+    bool eq = Equivalent(p1, p2);
+    std::printf("%s\n", eq ? "equivalent" : "not equivalent");
+    return eq ? 0 : 1;
+  }
+  ContainmentWitness witness{Tree(LabelStore::kBottom), kNoNode};
+  if (Contained(p1, p2, &witness)) {
+    std::printf("contained\n");
+    return 0;
+  }
+  std::printf("not contained; counterexample tree:\n%s",
+              witness.tree.ToAscii().c_str());
+  std::printf("(output at depth %d is selected by P1 but not by P2)\n",
+              witness.tree.Depth(witness.output));
+  return 1;
+}
+
+int CmdEval(const char* qexpr, const char* path) {
+  Pattern p = Pattern::Empty();
+  Tree doc(LabelStore::kBottom);
+  if (!ParseOrComplain("query", qexpr, &p) || !LoadXml(path, &doc)) {
+    return 2;
+  }
+  std::vector<NodeId> outputs = Eval(p, doc);
+  std::printf("%zu result(s)\n", outputs.size());
+  for (NodeId o : outputs) {
+    std::printf("-- node %d (depth %d):\n%s", o, doc.Depth(o),
+                doc.ExtractSubtree(o).ToAscii().c_str());
+  }
+  return outputs.empty() ? 1 : 0;
+}
+
+int CmdAnswer(const char* qexpr, const char* vexpr, const char* path) {
+  Pattern p = Pattern::Empty(), v = Pattern::Empty();
+  Tree doc(LabelStore::kBottom);
+  if (!ParseOrComplain("query", qexpr, &p) ||
+      !ParseOrComplain("view", vexpr, &v) || !LoadXml(path, &doc)) {
+    return 2;
+  }
+  RewriteResult rewrite = DecideRewrite(p, v);
+  if (rewrite.status != RewriteStatus::kFound) {
+    std::printf("no equivalent rewriting: %s\n",
+                rewrite.explanation.c_str());
+    return 1;
+  }
+  MaterializedView view({"view", v}, doc);
+  std::vector<NodeId> answers = view.Apply(rewrite.rewriting);
+  std::printf("rewriting %s over %zu materialized subtree(s): %zu "
+              "result(s)\n",
+              ToXPath(rewrite.rewriting).c_str(), view.outputs().size(),
+              answers.size());
+  bool consistent = answers == Eval(p, doc);
+  std::printf("cross-check vs direct evaluation: %s\n",
+              consistent ? "identical" : "MISMATCH (bug)");
+  return consistent ? 0 : 2;
+}
+
+int CmdMinimize(const char* expr) {
+  Pattern p = Pattern::Empty();
+  if (!ParseOrComplain("pattern", expr, &p)) return 2;
+  Pattern minimized = RemoveRedundantBranches(p);
+  std::printf("%s\n", ToXPath(minimized).c_str());
+  return 0;
+}
+
+int CmdDot(const char* expr) {
+  Pattern p = Pattern::Empty();
+  if (!ParseOrComplain("pattern", expr, &p)) return 2;
+  std::printf("%s", PatternToDot(p, expr).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const char* cmd = argv[1];
+  if (std::strcmp(cmd, "rewrite") == 0 && argc == 4) {
+    return CmdRewrite(argv[2], argv[3]);
+  }
+  if (std::strcmp(cmd, "contained") == 0 && argc == 4) {
+    return CmdContained(argv[2], argv[3], /*both_ways=*/false);
+  }
+  if (std::strcmp(cmd, "equivalent") == 0 && argc == 4) {
+    return CmdContained(argv[2], argv[3], /*both_ways=*/true);
+  }
+  if (std::strcmp(cmd, "eval") == 0 && argc == 4) {
+    return CmdEval(argv[2], argv[3]);
+  }
+  if (std::strcmp(cmd, "answer") == 0 && argc == 5) {
+    return CmdAnswer(argv[2], argv[3], argv[4]);
+  }
+  if (std::strcmp(cmd, "minimize") == 0 && argc == 3) {
+    return CmdMinimize(argv[2]);
+  }
+  if (std::strcmp(cmd, "dot") == 0 && argc == 3) {
+    return CmdDot(argv[2]);
+  }
+  return Usage();
+}

@@ -1,0 +1,92 @@
+#include "containment/containment.h"
+
+#include "containment/homomorphism.h"
+#include "eval/evaluator.h"
+#include "pattern/canonical.h"
+#include "pattern/properties.h"
+
+namespace xpv {
+namespace {
+
+/// Shared core of the strong and weak tests: checks that for every bounded
+/// canonical model of p1, the canonical output is (weakly) produced by p2.
+bool CanonicalModelsPass(const Pattern& p1, const Pattern& p2, bool weak,
+                         ContainmentWitness* witness,
+                         ContainmentStats* stats) {
+  const int bound = ExpansionBound(p2);
+  CanonicalModelEnumerator en(p1, bound);
+  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
+  while (en.Next(&model)) {
+    if (stats != nullptr) ++stats->models_checked;
+    const bool produced =
+        weak ? WeaklyProducesOutput(p2, model.tree, model.output)
+             : ProducesOutput(p2, model.tree, model.output);
+    if (!produced) {
+      if (witness != nullptr) {
+        *witness = ContainmentWitness{model.tree, model.output};
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int ExpansionBound(const Pattern& p2) { return StarChainLength(p2) + 2; }
+
+bool Contained(const Pattern& p1, const Pattern& p2,
+               ContainmentWitness* witness, ContainmentStats* stats,
+               const ContainmentOptions& options) {
+  // Υ ⊑ anything; P ⊑ Υ only for P = Υ.
+  if (p1.IsEmpty()) return true;
+  if (p2.IsEmpty()) {
+    if (witness != nullptr) {
+      CanonicalModel tau = Tau(p1);
+      *witness = ContainmentWitness{tau.tree, tau.output};
+    }
+    return false;
+  }
+  if (options.use_homomorphism_fast_path &&
+      ExistsPatternHomomorphism(p2, p1)) {
+    if (stats != nullptr) stats->homomorphism_hit = true;
+    return true;
+  }
+  return CanonicalModelsPass(p1, p2, /*weak=*/false, witness, stats);
+}
+
+bool Equivalent(const Pattern& p1, const Pattern& p2, ContainmentStats* stats,
+                const ContainmentOptions& options) {
+  return Contained(p1, p2, nullptr, stats, options) &&
+         Contained(p2, p1, nullptr, stats, options);
+}
+
+bool WeaklyContained(const Pattern& p1, const Pattern& p2,
+                     ContainmentWitness* witness, ContainmentStats* stats) {
+  if (p1.IsEmpty()) return true;
+  if (p2.IsEmpty()) {
+    if (witness != nullptr) {
+      CanonicalModel tau = Tau(p1);
+      *witness = ContainmentWitness{tau.tree, tau.output};
+    }
+    return false;
+  }
+  // Containment implies weak containment only pointwise per embedding; the
+  // homomorphism fast path remains sound here: a homomorphism h : P2 -> P1
+  // turns any weak embedding e of P1 into the weak embedding e∘h of P2 with
+  // the same output (h preserves the root and output, and weak embeddings
+  // compose with homomorphisms).
+  if (ExistsPatternHomomorphism(p2, p1)) {
+    if (stats != nullptr) stats->homomorphism_hit = true;
+    return true;
+  }
+  return CanonicalModelsPass(p1, p2, /*weak=*/true, witness, stats);
+}
+
+bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                      ContainmentStats* stats) {
+  return WeaklyContained(p1, p2, nullptr, stats) &&
+         WeaklyContained(p2, p1, nullptr, stats);
+}
+
+}  // namespace xpv

@@ -1,0 +1,69 @@
+#ifndef XPV_CONTAINMENT_CONTAINMENT_H_
+#define XPV_CONTAINMENT_CONTAINMENT_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// A witness refuting containment P1 ⊑ P2: a tree and an output node with
+/// output ∈ P1(tree) but output ∉ P2(tree) (weak semantics for the weak
+/// variants). Witness trees are canonical models of P1, so they use the
+/// internal ⊥ label for wildcards and expansion paths.
+struct ContainmentWitness {
+  Tree tree;
+  NodeId output;
+};
+
+/// Counters describing how a containment call was decided; useful for the
+/// benchmark harness.
+struct ContainmentStats {
+  /// True if the PTIME homomorphism fast path proved containment.
+  bool homomorphism_hit = false;
+  /// Canonical models generated and checked.
+  uint64_t models_checked = 0;
+};
+
+/// Knobs for the containment tests.
+struct ContainmentOptions {
+  /// Try the (sound) homomorphism test first and return early on success.
+  bool use_homomorphism_fast_path = true;
+};
+
+/// The expansion bound used by the canonical-model test when the
+/// right-hand side is `p2`: (longest chain of consecutive *-nodes linked by
+/// child edges in p2) + 2. By Miklau & Suciu [14], checking canonical
+/// models whose descendant-edge expansions have length up to this bound is
+/// complete for containment.
+int ExpansionBound(const Pattern& p2);
+
+/// Decides P1 ⊑ P2 (Definition 2.2) for arbitrary patterns of
+/// XP^{//,[],*}. coNP-complete in general [14]; implemented as the
+/// canonical-model test with the homomorphism fast path. If `witness` is
+/// non-null and the answer is false, a counterexample is stored.
+bool Contained(const Pattern& p1, const Pattern& p2,
+               ContainmentWitness* witness = nullptr,
+               ContainmentStats* stats = nullptr,
+               const ContainmentOptions& options = {});
+
+/// Decides P1 ≡ P2 (containment in both directions).
+bool Equivalent(const Pattern& p1, const Pattern& p2,
+                ContainmentStats* stats = nullptr,
+                const ContainmentOptions& options = {});
+
+/// Decides weak containment P1 ⊑w P2 (Definition 2.3): P1^w(t) ⊆ P2^w(t)
+/// for all trees. Same canonical-model technique with weak-output checks.
+bool WeaklyContained(const Pattern& p1, const Pattern& p2,
+                     ContainmentWitness* witness = nullptr,
+                     ContainmentStats* stats = nullptr);
+
+/// Decides weak equivalence P1 ≡w P2.
+bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                      ContainmentStats* stats = nullptr);
+
+}  // namespace xpv
+
+#endif  // XPV_CONTAINMENT_CONTAINMENT_H_

@@ -1,0 +1,74 @@
+#include "containment/homomorphism.h"
+
+#include <vector>
+
+namespace xpv {
+
+bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to) {
+  if (from.IsEmpty() || to.IsEmpty()) return false;
+  const size_t nf = static_cast<size_t>(from.size());
+  const size_t nt = static_cast<size_t>(to.size());
+
+  // down[q * nt + p]: the subtree of `from` rooted at q maps with q -> p,
+  // respecting the output constraint. sub aggregates down over the subtree
+  // of p (for descendant-edge witnesses).
+  std::vector<char> down(nf * nt, 0);
+  std::vector<char> sub(nf * nt, 0);
+
+  for (NodeId q = from.size() - 1; q >= 0; --q) {
+    const LabelId qlabel = from.label(q);
+    char* down_row = &down[static_cast<size_t>(q) * nt];
+    char* sub_row = &sub[static_cast<size_t>(q) * nt];
+    for (NodeId p = to.size() - 1; p >= 0; --p) {
+      bool ok = qlabel == LabelStore::kWildcard || qlabel == to.label(p);
+      // Output preservation: out(from) may only map to out(to).
+      if (ok && q == from.output() && p != to.output()) ok = false;
+      if (ok) {
+        for (NodeId c : from.children(q)) {
+          const char* c_down = &down[static_cast<size_t>(c) * nt];
+          const char* c_sub = &sub[static_cast<size_t>(c) * nt];
+          bool found = false;
+          if (from.edge(c) == EdgeType::kChild) {
+            // Child edges must map to child edges.
+            for (NodeId w : to.children(p)) {
+              if (from.edge(c) == EdgeType::kChild &&
+                  to.edge(w) == EdgeType::kChild &&
+                  c_down[static_cast<size_t>(w)] != 0) {
+                found = true;
+                break;
+              }
+            }
+          } else {
+            // Descendant edges map to any downward path of >= 1 edges.
+            for (NodeId w : to.children(p)) {
+              if (c_sub[static_cast<size_t>(w)] != 0) {
+                found = true;
+                break;
+              }
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      down_row[static_cast<size_t>(p)] = ok ? 1 : 0;
+      char agg = down_row[static_cast<size_t>(p)];
+      if (agg == 0) {
+        for (NodeId w : to.children(p)) {
+          if (sub_row[static_cast<size_t>(w)] != 0) {
+            agg = 1;
+            break;
+          }
+        }
+      }
+      sub_row[static_cast<size_t>(p)] = agg;
+    }
+  }
+
+  return down[static_cast<size_t>(from.root()) * nt +
+              static_cast<size_t>(to.root())] != 0;
+}
+
+}  // namespace xpv

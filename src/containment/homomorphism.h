@@ -1,0 +1,27 @@
+#ifndef XPV_CONTAINMENT_HOMOMORPHISM_H_
+#define XPV_CONTAINMENT_HOMOMORPHISM_H_
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Decides the existence of a *pattern homomorphism* h : `from` -> `to`:
+///   * h(root(from)) = root(to) and h(out(from)) = out(to);
+///   * label-preserving: every node of `from` labeled l in Σ maps to a node
+///     labeled l (wildcard nodes map anywhere);
+///   * child edges map to child edges;
+///   * descendant edges map to paths of one or more edges (of any types).
+///
+/// Existence of a homomorphism from P2 to P1 implies P1 ⊑ P2 (sound), and
+/// by [14] it is also complete — i.e. P1 ⊑ P2 iff such a homomorphism
+/// exists — when both patterns lie in XP^{//,[]} (no wildcards) or both in
+/// XP^{/,[],*} (no descendant edges). It is NOT complete on the linear
+/// fragment XP^{//,*}: a/*//b ≡ a//*/b holds with no homomorphism either
+/// way (that fragment's PTIME containment uses a different algorithm).
+///
+/// Runs in O(|from| * |to| * max-degree) time (polynomial).
+bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to);
+
+}  // namespace xpv
+
+#endif  // XPV_CONTAINMENT_HOMOMORPHISM_H_

@@ -1,0 +1,53 @@
+#include "containment/minimize.h"
+
+#include <cassert>
+#include <vector>
+
+#include "containment/containment.h"
+#include "pattern/algebra.h"
+
+namespace xpv {
+
+Pattern RemoveSubtree(const Pattern& p, NodeId n) {
+  assert(n != p.root());
+  std::vector<NodeId> map(static_cast<size_t>(p.size()), kNoNode);
+  Pattern result(p.label(p.root()));
+  map[static_cast<size_t>(p.root())] = result.root();
+  for (NodeId v = 1; v < p.size(); ++v) {
+    if (v == n) continue;
+    NodeId parent_img = map[static_cast<size_t>(p.parent(v))];
+    if (parent_img == kNoNode) continue;  // Inside the removed subtree.
+    map[static_cast<size_t>(v)] =
+        result.AddChild(parent_img, p.label(v), p.edge(v));
+  }
+  assert(map[static_cast<size_t>(p.output())] != kNoNode);
+  result.set_output(map[static_cast<size_t>(p.output())]);
+  return result;
+}
+
+Pattern RemoveRedundantBranches(const Pattern& p) {
+  if (p.IsEmpty()) return p;
+  Pattern current = p;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Nodes whose subtree contains the output cannot be removed.
+    std::vector<char> holds_output(static_cast<size_t>(current.size()), 0);
+    for (NodeId cur = current.output(); cur != kNoNode;
+         cur = current.parent(cur)) {
+      holds_output[static_cast<size_t>(cur)] = 1;
+    }
+    for (NodeId n = 1; n < current.size(); ++n) {
+      if (holds_output[static_cast<size_t>(n)] != 0) continue;
+      Pattern candidate = RemoveSubtree(current, n);
+      if (Contained(candidate, current)) {
+        current = std::move(candidate);
+        changed = true;
+        break;  // Node ids shifted; restart the scan.
+      }
+    }
+  }
+  return current;
+}
+
+}  // namespace xpv

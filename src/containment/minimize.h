@@ -1,0 +1,27 @@
+#ifndef XPV_CONTAINMENT_MINIMIZE_H_
+#define XPV_CONTAINMENT_MINIMIZE_H_
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Returns `p` with the subtree rooted at `n` removed (n must not be the
+/// root and the subtree must not contain the output node).
+Pattern RemoveSubtree(const Pattern& p, NodeId n);
+
+/// Removes redundant branches until the pattern is non-redundant in the
+/// sense of [10]: no subtree hanging off the pattern can be deleted while
+/// preserving equivalence. Each candidate deletion is validated with a full
+/// containment test (deleting a branch relaxes the pattern, so P ⊑ P'
+/// always holds; the branch is redundant iff P' ⊑ P).
+///
+/// Exponential in the worst case (it performs coNP containment tests), but
+/// patterns are query-sized. Note [10] shows non-redundancy does not
+/// necessarily coincide with minimality in XP^{//,[],*}; this function
+/// implements non-redundancy only.
+Pattern RemoveRedundantBranches(const Pattern& p);
+
+}  // namespace xpv
+
+#endif  // XPV_CONTAINMENT_MINIMIZE_H_

@@ -1,0 +1,30 @@
+#include "containment/oracle.h"
+
+namespace xpv {
+
+bool ContainmentOracle::Contained(const Pattern& p1, const Pattern& p2) {
+  std::string key = p1.CanonicalEncoding();
+  key += '\x1f';
+  key += p2.CanonicalEncoding();
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  bool result = xpv::Contained(p1, p2);
+  cache_.emplace(std::move(key), result);
+  return result;
+}
+
+bool ContainmentOracle::Equivalent(const Pattern& p1, const Pattern& p2) {
+  return Contained(p1, p2) && Contained(p2, p1);
+}
+
+void ContainmentOracle::Clear() {
+  cache_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace xpv

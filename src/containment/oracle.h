@@ -1,0 +1,49 @@
+#ifndef XPV_CONTAINMENT_ORACLE_H_
+#define XPV_CONTAINMENT_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "containment/containment.h"
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// A memoizing wrapper around the containment test.
+///
+/// The engine's equivalence tests are the only non-polynomial step of the
+/// rewriting algorithm (Section 4), and cache-style applications
+/// (`ViewCache`, the rule-coverage workloads) ask many containment
+/// questions about overlapping patterns. Keys are pairs of canonical
+/// encodings, so structurally isomorphic patterns share entries. Not
+/// thread-safe; use one oracle per thread.
+class ContainmentOracle {
+ public:
+  ContainmentOracle() = default;
+
+  ContainmentOracle(const ContainmentOracle&) = delete;
+  ContainmentOracle& operator=(const ContainmentOracle&) = delete;
+
+  /// Memoized Contained(p1, p2).
+  bool Contained(const Pattern& p1, const Pattern& p2);
+
+  /// Memoized equivalence (two containment lookups).
+  bool Equivalent(const Pattern& p1, const Pattern& p2);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const { return cache_.size(); }
+
+  /// Drops all cached entries.
+  void Clear();
+
+ private:
+  std::unordered_map<std::string, bool> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_CONTAINMENT_ORACLE_H_

@@ -1,0 +1,160 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pattern/properties.h"
+
+namespace xpv {
+
+Evaluator::Evaluator(const Pattern& p, const Tree& t)
+    : pattern_(p), tree_(t) {
+  assert(!p.IsEmpty());
+  SelectionInfo info(p);
+  selection_path_ = info.path();
+
+  const size_t np = static_cast<size_t>(p.size());
+  const size_t nt = static_cast<size_t>(t.size());
+  down_.assign(np * nt, 0);
+  sub_.assign(np * nt, 0);
+
+  // Pattern ids are topologically sorted; reverse order visits children
+  // before parents. Same for tree ids within the sub() aggregation.
+  for (NodeId pn = p.size() - 1; pn >= 0; --pn) {
+    const LabelId plabel = p.label(pn);
+    char* down_row = &down_[static_cast<size_t>(pn) * nt];
+    char* sub_row = &sub_[static_cast<size_t>(pn) * nt];
+    for (NodeId v = t.size() - 1; v >= 0; --v) {
+      bool ok = plabel == LabelStore::kWildcard || plabel == t.label(v);
+      if (ok) {
+        for (NodeId c : p.children(pn)) {
+          const char* c_down = &down_[static_cast<size_t>(c) * nt];
+          const char* c_sub = &sub_[static_cast<size_t>(c) * nt];
+          bool found = false;
+          if (p.edge(c) == EdgeType::kChild) {
+            for (NodeId w : t.children(v)) {
+              if (c_down[static_cast<size_t>(w)] != 0) {
+                found = true;
+                break;
+              }
+            }
+          } else {
+            for (NodeId w : t.children(v)) {
+              if (c_sub[static_cast<size_t>(w)] != 0) {
+                found = true;
+                break;
+              }
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      down_row[static_cast<size_t>(v)] = ok ? 1 : 0;
+      // sub(p,v) = down(p,v) OR sub(p, child of v); children have larger
+      // ids, already computed in this reverse sweep.
+      char agg = down_row[static_cast<size_t>(v)];
+      if (agg == 0) {
+        for (NodeId w : t.children(v)) {
+          if (sub_row[static_cast<size_t>(w)] != 0) {
+            agg = 1;
+            break;
+          }
+        }
+      }
+      sub_row[static_cast<size_t>(v)] = agg;
+    }
+  }
+}
+
+bool Evaluator::CanEmbedAt(NodeId pattern_node, NodeId tree_node) const {
+  return down_[static_cast<size_t>(pattern_node) *
+                   static_cast<size_t>(tree_.size()) +
+               static_cast<size_t>(tree_node)] != 0;
+}
+
+std::vector<NodeId> Evaluator::RunSelectionSweep(
+    std::vector<char> current) const {
+  const size_t nt = static_cast<size_t>(tree_.size());
+  for (size_t k = 1; k < selection_path_.size(); ++k) {
+    NodeId sk = selection_path_[k];
+    const char* down_row = &down_[static_cast<size_t>(sk) * nt];
+    std::vector<char> next(nt, 0);
+    if (pattern_.edge(sk) == EdgeType::kChild) {
+      for (NodeId v = 1; v < tree_.size(); ++v) {
+        if (down_row[static_cast<size_t>(v)] != 0 &&
+            current[static_cast<size_t>(tree_.parent(v))] != 0) {
+          next[static_cast<size_t>(v)] = 1;
+        }
+      }
+    } else {
+      // reach[v] = some proper ancestor of v is in `current`.
+      std::vector<char> reach(nt, 0);
+      for (NodeId v = 1; v < tree_.size(); ++v) {
+        NodeId par = tree_.parent(v);
+        reach[static_cast<size_t>(v)] =
+            (current[static_cast<size_t>(par)] != 0 ||
+             reach[static_cast<size_t>(par)] != 0)
+                ? 1
+                : 0;
+        if (reach[static_cast<size_t>(v)] != 0 &&
+            down_row[static_cast<size_t>(v)] != 0) {
+          next[static_cast<size_t>(v)] = 1;
+        }
+      }
+    }
+    current.swap(next);
+  }
+  std::vector<NodeId> outputs;
+  for (NodeId v = 0; v < tree_.size(); ++v) {
+    if (current[static_cast<size_t>(v)] != 0) outputs.push_back(v);
+  }
+  return outputs;
+}
+
+std::vector<NodeId> Evaluator::OutputsAnchoredAt(NodeId anchor) const {
+  std::vector<char> initial(static_cast<size_t>(tree_.size()), 0);
+  if (CanEmbedAt(selection_path_[0], anchor)) {
+    initial[static_cast<size_t>(anchor)] = 1;
+  }
+  return RunSelectionSweep(std::move(initial));
+}
+
+std::vector<NodeId> Evaluator::WeakOutputs() const {
+  const size_t nt = static_cast<size_t>(tree_.size());
+  NodeId s0 = selection_path_[0];
+  const char* down_row = &down_[static_cast<size_t>(s0) * nt];
+  std::vector<char> initial(down_row, down_row + nt);
+  return RunSelectionSweep(std::move(initial));
+}
+
+std::vector<NodeId> Eval(const Pattern& p, const Tree& t) {
+  if (p.IsEmpty()) return {};
+  return Evaluator(p, t).Outputs();
+}
+
+std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t) {
+  if (p.IsEmpty()) return {};
+  return Evaluator(p, t).WeakOutputs();
+}
+
+bool IsModel(const Pattern& p, const Tree& t) {
+  if (p.IsEmpty()) return false;
+  return !Eval(p, t).empty();
+}
+
+bool ProducesOutput(const Pattern& p, const Tree& t, NodeId o) {
+  if (p.IsEmpty()) return false;
+  std::vector<NodeId> outs = Eval(p, t);
+  return std::binary_search(outs.begin(), outs.end(), o);
+}
+
+bool WeaklyProducesOutput(const Pattern& p, const Tree& t, NodeId o) {
+  if (p.IsEmpty()) return false;
+  std::vector<NodeId> outs = EvalWeak(p, t);
+  return std::binary_search(outs.begin(), outs.end(), o);
+}
+
+}  // namespace xpv

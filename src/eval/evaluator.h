@@ -1,0 +1,78 @@
+#ifndef XPV_EVAL_EVALUATOR_H_
+#define XPV_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Decides embedding questions for one (pattern, tree) pair
+/// (Definition 2.1) and computes the query results P(t) and P^w(t).
+///
+/// A subtree of t is identified by its root node, so P(t) is returned as a
+/// sorted vector of tree node ids o such that some embedding maps out(P)
+/// to o.
+///
+/// Algorithm: two-pass dynamic programming.
+///   1. Bottom-up over (pattern node p, tree node v): down(p,v) = "the
+///      pattern subtree rooted at p embeds into t with p ↦ v". Branches of
+///      p are independent, so down(p,v) holds iff the label matches and
+///      every pattern child c has a witness below v (a child of v for
+///      child edges, a proper descendant for descendant edges; the latter
+///      is answered by the auxiliary table sub(p,v) = "down(p,w) for some
+///      w in the subtree of v").
+///   2. A placement sweep along the selection path: U_0 = anchors, and
+///      U_k = nodes v with down(s_k, v) whose parent (resp. some proper
+///      ancestor) lies in U_{k-1}. The output set is U_d. Independence of
+///      branches makes this exact.
+/// Total cost O(|P| * |t|).
+class Evaluator {
+ public:
+  /// Builds the DP tables. `p` must be nonempty; both must outlive this.
+  Evaluator(const Pattern& p, const Tree& t);
+
+  /// down(p,v): can the pattern subtree rooted at `pattern_node` embed with
+  /// pattern_node ↦ tree_node?
+  bool CanEmbedAt(NodeId pattern_node, NodeId tree_node) const;
+
+  /// P(t^anchor): outputs of embeddings that map root(P) to `anchor`
+  /// (i.e. the pattern applied to the subtree of t rooted at `anchor`).
+  std::vector<NodeId> OutputsAnchoredAt(NodeId anchor) const;
+
+  /// P(t): outputs of (root-preserving) embeddings.
+  std::vector<NodeId> Outputs() const { return OutputsAnchoredAt(tree_.root()); }
+
+  /// P^w(t): outputs of weak embeddings (root mapped anywhere).
+  std::vector<NodeId> WeakOutputs() const;
+
+ private:
+  std::vector<NodeId> RunSelectionSweep(std::vector<char> current) const;
+
+  const Pattern& pattern_;
+  const Tree& tree_;
+  std::vector<NodeId> selection_path_;
+  // down_[p * |t| + v]; sub_ likewise.
+  std::vector<char> down_;
+  std::vector<char> sub_;
+};
+
+/// P(t) for a (possibly empty) pattern.
+std::vector<NodeId> Eval(const Pattern& p, const Tree& t);
+
+/// P^w(t) for a (possibly empty) pattern.
+std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t);
+
+/// True if `t` is a model of `p` (some embedding of p in t exists).
+bool IsModel(const Pattern& p, const Tree& t);
+
+/// True if o ∈ P(t).
+bool ProducesOutput(const Pattern& p, const Tree& t, NodeId o);
+
+/// True if o ∈ P^w(t).
+bool WeaklyProducesOutput(const Pattern& p, const Tree& t, NodeId o);
+
+}  // namespace xpv
+
+#endif  // XPV_EVAL_EVALUATOR_H_

@@ -1,0 +1,157 @@
+#include "pattern/algebra.h"
+
+#include <cassert>
+#include <vector>
+
+#include "pattern/properties.h"
+
+namespace xpv {
+
+NodeId CopySubtreeInto(Pattern* dst, NodeId dst_parent, EdgeType edge,
+                       const Pattern& src, NodeId src_node,
+                       std::vector<NodeId>* map) {
+  NodeId copied = dst->AddChild(dst_parent, src.label(src_node), edge);
+  if (map != nullptr) (*map)[static_cast<size_t>(src_node)] = copied;
+  for (NodeId c : src.children(src_node)) {
+    CopySubtreeInto(dst, copied, src.edge(c), src, c, map);
+  }
+  return copied;
+}
+
+namespace {
+
+/// Copies all of `src` into a fresh pattern rooted at src's root. `map`
+/// receives the node correspondence (always fully populated).
+Pattern CopyWhole(const Pattern& src, std::vector<NodeId>* map) {
+  map->assign(static_cast<size_t>(src.size()), kNoNode);
+  Pattern dst(src.label(src.root()));
+  (*map)[static_cast<size_t>(src.root())] = dst.root();
+  for (NodeId c : src.children(src.root())) {
+    CopySubtreeInto(&dst, dst.root(), src.edge(c), src, c, map);
+  }
+  dst.set_output((*map)[static_cast<size_t>(src.output())]);
+  return dst;
+}
+
+}  // namespace
+
+Pattern Compose(const Pattern& r, const Pattern& v) {
+  if (r.IsEmpty() || v.IsEmpty()) return Pattern::Empty();
+  LabelId merged_label;
+  if (!LabelGlb(r.label(r.root()), v.label(v.output()), &merged_label)) {
+    return Pattern::Empty();
+  }
+  std::vector<NodeId> v_map;
+  Pattern result = CopyWhole(v, &v_map);
+  NodeId merged = v_map[static_cast<size_t>(v.output())];
+  result.set_label(merged, merged_label);
+
+  std::vector<NodeId> r_map(static_cast<size_t>(r.size()), kNoNode);
+  r_map[static_cast<size_t>(r.root())] = merged;
+  for (NodeId c : r.children(r.root())) {
+    CopySubtreeInto(&result, merged, r.edge(c), r, c, &r_map);
+  }
+  result.set_output(r_map[static_cast<size_t>(r.output())]);
+  return result;
+}
+
+Pattern SubPattern(const Pattern& p, int k) {
+  assert(!p.IsEmpty());
+  SelectionInfo info(p);
+  assert(k >= 0 && k <= info.depth());
+  NodeId knode = info.KNode(k);
+  std::vector<NodeId> map(static_cast<size_t>(p.size()), kNoNode);
+  Pattern result(p.label(knode));
+  map[static_cast<size_t>(knode)] = result.root();
+  for (NodeId c : p.children(knode)) {
+    CopySubtreeInto(&result, result.root(), p.edge(c), p, c, &map);
+  }
+  result.set_output(map[static_cast<size_t>(p.output())]);
+  return result;
+}
+
+Pattern UpperPattern(const Pattern& p, int k) {
+  assert(!p.IsEmpty());
+  SelectionInfo info(p);
+  assert(k >= 0 && k <= info.depth());
+  NodeId cut = k < info.depth() ? info.KNode(k + 1) : kNoNode;
+
+  std::vector<NodeId> map(static_cast<size_t>(p.size()), kNoNode);
+  Pattern result(p.label(p.root()));
+  map[static_cast<size_t>(p.root())] = result.root();
+  // Preorder copy of every node except the pruned subtree. Node ids are
+  // topologically sorted, so parents are mapped before children.
+  for (NodeId n = 1; n < p.size(); ++n) {
+    if (n == cut) continue;
+    NodeId parent_img = map[static_cast<size_t>(p.parent(n))];
+    if (parent_img == kNoNode) continue;  // Inside the pruned subtree.
+    map[static_cast<size_t>(n)] =
+        result.AddChild(parent_img, p.label(n), p.edge(n));
+  }
+  result.set_output(map[static_cast<size_t>(info.KNode(k))]);
+  return result;
+}
+
+Pattern Combine(const Pattern& p1, int k, const Pattern& p2) {
+  assert(!p1.IsEmpty() && !p2.IsEmpty());
+  SelectionInfo info(p1);
+  assert(k >= 0 && k <= info.depth());
+  std::vector<NodeId> map1;
+  Pattern result = CopyWhole(p1, &map1);
+  NodeId attach = map1[static_cast<size_t>(info.KNode(k))];
+  std::vector<NodeId> map2(static_cast<size_t>(p2.size()), kNoNode);
+  CopySubtreeInto(&result, attach, EdgeType::kDescendant, p2, p2.root(),
+                  &map2);
+  result.set_output(map2[static_cast<size_t>(p2.output())]);
+  return result;
+}
+
+Pattern RelaxRootEdges(const Pattern& q) {
+  assert(!q.IsEmpty());
+  std::vector<NodeId> map;
+  Pattern result = CopyWhole(q, &map);
+  for (NodeId c : result.children(result.root())) {
+    result.set_edge(c, EdgeType::kDescendant);
+  }
+  return result;
+}
+
+Pattern Extend(const Pattern& q, LabelId l) {
+  assert(!q.IsEmpty());
+  std::vector<NodeId> map;
+  Pattern result = CopyWhole(q, &map);
+  // Collect q's leaves before mutating the copy.
+  std::vector<NodeId> leaves;
+  for (NodeId n = 0; n < q.size(); ++n) {
+    if (q.children(n).empty()) leaves.push_back(n);
+  }
+  for (NodeId leaf : leaves) {
+    if (leaf == q.output()) continue;  // out(Q) gets the l-child only.
+    result.AddChild(map[static_cast<size_t>(leaf)], LabelStore::kWildcard,
+                    EdgeType::kChild);
+  }
+  result.AddChild(map[static_cast<size_t>(q.output())], l, EdgeType::kChild);
+  return result;
+}
+
+Pattern LiftOutput(const Pattern& q, int j) {
+  assert(!q.IsEmpty());
+  SelectionInfo info(q);
+  assert(j >= 0 && j <= info.depth());
+  std::vector<NodeId> map;
+  Pattern result = CopyWhole(q, &map);
+  result.set_output(map[static_cast<size_t>(info.KNode(j))]);
+  return result;
+}
+
+Pattern DescendantPrefix(LabelId l, const Pattern& q) {
+  assert(!q.IsEmpty());
+  Pattern result(l);
+  std::vector<NodeId> map(static_cast<size_t>(q.size()), kNoNode);
+  CopySubtreeInto(&result, result.root(), EdgeType::kDescendant, q, q.root(),
+                  &map);
+  result.set_output(map[static_cast<size_t>(q.output())]);
+  return result;
+}
+
+}  // namespace xpv

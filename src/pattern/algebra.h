@@ -1,0 +1,58 @@
+#ifndef XPV_PATTERN_ALGEBRA_H_
+#define XPV_PATTERN_ALGEBRA_H_
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Composition R ∘ V (Section 2.3): merges the output node of `v` with the
+/// root of `r`, labeling the merged node glb(label(root(r)), label(out(v))).
+/// The result has the root of `v` and the output of `r` (the merged node if
+/// root(r) == out(r)). If the glb does not exist, or either input is empty,
+/// the result is the empty pattern Υ.
+Pattern Compose(const Pattern& r, const Pattern& v);
+
+/// The k-sub-pattern P≥k (Section 3.1): the subtree of `p` rooted at the
+/// k-node, with p's output node. Requires 0 <= k <= depth(p).
+Pattern SubPattern(const Pattern& p, int k);
+
+/// The k-upper-pattern P≤k (Section 3.1): `p` with the subtree rooted at
+/// the (k+1)-node pruned; the output is the k-node. Requires
+/// 0 <= k <= depth(p) (for k == depth this is just `p`).
+Pattern UpperPattern(const Pattern& p, int k);
+
+/// The combination P1 k⇒ P2 (Section 3.1): a descendant edge from the
+/// k-node of `p1` to the root of `p2`; the result has p1's root and p2's
+/// output. Requires 0 <= k <= depth(p1).
+Pattern Combine(const Pattern& p1, int k, const Pattern& p2);
+
+/// Root relaxation Q_r// (Section 4): every edge emanating from the root
+/// becomes a descendant edge. Note Q ⊑ Q_r//.
+Pattern RelaxRootEdges(const Pattern& q);
+
+/// The l-extension Q^{+l} (Section 5.3): adds a child labeled `l` to
+/// out(Q) and a child labeled '*' to every other leaf. (If out(Q) is a
+/// leaf it receives only the l-child.) All added edges are child edges;
+/// the output node is unchanged.
+Pattern Extend(const Pattern& q, LabelId l);
+
+/// Output lifting Q^{j→} (Section 5.3): same pattern, but the output node
+/// becomes the j-node of Q's selection path. Requires 0 <= j <= depth(q).
+Pattern LiftOutput(const Pattern& q, int j);
+
+/// The pattern l//Q (Section 5.2): a new root labeled `l` connected to the
+/// root of `q` by a descendant edge; the output is q's output.
+Pattern DescendantPrefix(LabelId l, const Pattern& q);
+
+/// Deep-copies the subtree of `src` rooted at `src_node` as a new child of
+/// `dst_parent` in `*dst`, entered by an edge of type `edge`. If `map` is
+/// non-null it receives, for every node s of the copied subtree,
+/// (*map)[s] = corresponding node of dst ((*map) must be pre-sized to
+/// src.size(), other entries are untouched). Returns the copied root's id.
+NodeId CopySubtreeInto(Pattern* dst, NodeId dst_parent, EdgeType edge,
+                       const Pattern& src, NodeId src_node,
+                       std::vector<NodeId>* map);
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_ALGEBRA_H_

@@ -1,0 +1,88 @@
+#include "pattern/canonical.h"
+
+#include <cassert>
+
+namespace xpv {
+
+CanonicalModel Tau(const Pattern& p) {
+  assert(!p.IsEmpty());
+  CanonicalModelEnumerator en(p, /*max_len=*/1);
+  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
+  bool ok = en.Next(&model);
+  (void)ok;
+  assert(ok);
+  return model;
+}
+
+CanonicalModelEnumerator::CanonicalModelEnumerator(const Pattern& p,
+                                                   int max_len,
+                                                   LabelId interior_label)
+    : pattern_(p), max_len_(max_len), interior_label_(interior_label) {
+  assert(!p.IsEmpty());
+  assert(max_len >= 1);
+  for (NodeId n = 1; n < p.size(); ++n) {
+    if (p.edge(n) == EdgeType::kDescendant) desc_targets_.push_back(n);
+  }
+  odometer_.assign(desc_targets_.size(), 1);
+}
+
+uint64_t CanonicalModelEnumerator::TotalCount() const {
+  uint64_t count = 1;
+  for (size_t i = 0; i < desc_targets_.size(); ++i) {
+    count *= static_cast<uint64_t>(max_len_);
+  }
+  return count;
+}
+
+CanonicalModel CanonicalModelEnumerator::Build(
+    const std::vector<int>& lengths) const {
+  assert(lengths.size() == desc_targets_.size());
+  // Per-node expansion length (1 for child edges).
+  std::vector<int> len(static_cast<size_t>(pattern_.size()), 1);
+  for (size_t i = 0; i < desc_targets_.size(); ++i) {
+    assert(lengths[i] >= 1);
+    len[static_cast<size_t>(desc_targets_[i])] = lengths[i];
+  }
+
+  auto tree_label = [&](NodeId n) {
+    LabelId l = pattern_.label(n);
+    return l == LabelStore::kWildcard ? LabelStore::kBottom : l;
+  };
+
+  CanonicalModel model{Tree(tree_label(pattern_.root())), kNoNode,
+                       std::vector<NodeId>(
+                           static_cast<size_t>(pattern_.size()), kNoNode)};
+  model.pattern_to_tree[static_cast<size_t>(pattern_.root())] =
+      model.tree.root();
+  // Pattern ids are topologically sorted: parents map before children.
+  for (NodeId n = 1; n < pattern_.size(); ++n) {
+    NodeId attach =
+        model.pattern_to_tree[static_cast<size_t>(pattern_.parent(n))];
+    for (int i = 1; i < len[static_cast<size_t>(n)]; ++i) {
+      attach = model.tree.AddChild(attach, interior_label_);
+    }
+    model.pattern_to_tree[static_cast<size_t>(n)] =
+        model.tree.AddChild(attach, tree_label(n));
+  }
+  model.output =
+      model.pattern_to_tree[static_cast<size_t>(pattern_.output())];
+  return model;
+}
+
+bool CanonicalModelEnumerator::Next(CanonicalModel* out) {
+  if (exhausted_) return false;
+  *out = Build(odometer_);
+  // Advance the odometer.
+  size_t i = 0;
+  for (; i < odometer_.size(); ++i) {
+    if (odometer_[i] < max_len_) {
+      ++odometer_[i];
+      break;
+    }
+    odometer_[i] = 1;
+  }
+  if (i == odometer_.size()) exhausted_ = true;
+  return true;
+}
+
+}  // namespace xpv

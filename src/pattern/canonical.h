@@ -1,0 +1,69 @@
+#ifndef XPV_PATTERN_CANONICAL_H_
+#define XPV_PATTERN_CANONICAL_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// A canonical model of a pattern P (Section 2.1, after [14]): the tree
+/// obtained by (1) replacing every `*` with the special label ⊥ and
+/// (2) replacing every descendant edge with a path of one or more edges
+/// whose internal nodes are labeled ⊥. `output` is the tree node
+/// corresponding to out(P), and `pattern_to_tree` maps every pattern node to
+/// its corresponding tree node.
+struct CanonicalModel {
+  Tree tree;
+  NodeId output;
+  std::vector<NodeId> pattern_to_tree;
+};
+
+/// The τ-transformation (Section 3.1): the minimal canonical model, in which
+/// every descendant edge becomes a single edge. Equivalent to the first
+/// model produced by `CanonicalModelEnumerator` with all lengths 1.
+CanonicalModel Tau(const Pattern& p);
+
+/// Enumerates the canonical models of a pattern in which each descendant
+/// edge is expanded into a path of length 1..max_len. There are
+/// max_len^(#descendant edges) such models; by Miklau & Suciu [14] a bounded
+/// family of this kind suffices for containment testing (the bound is chosen
+/// by the caller, see `containment/containment.h`).
+///
+/// Internal path nodes are labeled ⊥ by default; `interior_label` can
+/// override this (Lemma 4.11-style constructions need fresh labels).
+class CanonicalModelEnumerator {
+ public:
+  /// `p` must be nonempty and must outlive the enumerator.
+  CanonicalModelEnumerator(const Pattern& p, int max_len,
+                           LabelId interior_label = LabelStore::kBottom);
+
+  /// Produces the next canonical model. Returns false when exhausted.
+  bool Next(CanonicalModel* out);
+
+  /// Total number of models this enumerator yields.
+  uint64_t TotalCount() const;
+
+  /// Builds the single canonical model with the given per-descendant-edge
+  /// path lengths (in the order of `DescendantEdgeTargets()`).
+  CanonicalModel Build(const std::vector<int>& lengths) const;
+
+  /// The pattern nodes entered by a descendant edge, in id order; this is
+  /// the edge order used by `Build` and the internal odometer.
+  const std::vector<NodeId>& DescendantEdgeTargets() const {
+    return desc_targets_;
+  }
+
+ private:
+  const Pattern& pattern_;
+  int max_len_;
+  LabelId interior_label_;
+  std::vector<NodeId> desc_targets_;
+  std::vector<int> odometer_;
+  bool exhausted_ = false;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_CANONICAL_H_

@@ -1,0 +1,61 @@
+#include "pattern/dot.h"
+
+namespace xpv {
+namespace {
+
+/// Escapes a label for inclusion in a double-quoted DOT string.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string PatternToDot(const Pattern& p, const std::string& name) {
+  std::string out = "digraph \"" + Escape(name) + "\" {\n";
+  out += "  node [shape=circle, fontsize=11];\n";
+  if (p.IsEmpty()) {
+    out += "  empty [label=\"Y (empty)\", shape=plaintext];\n}\n";
+    return out;
+  }
+  for (NodeId n = 0; n < p.size(); ++n) {
+    out += "  n" + std::to_string(n) + " [label=\"" +
+           Escape(LabelName(p.label(n))) + "\"";
+    if (n == p.output()) out += ", shape=doublecircle";
+    out += "];\n";
+  }
+  for (NodeId n = 1; n < p.size(); ++n) {
+    out += "  n" + std::to_string(p.parent(n)) + " -> n" +
+           std::to_string(n);
+    if (p.edge(n) == EdgeType::kDescendant) {
+      out += " [style=dashed, label=\"//\"]";
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string TreeToDot(const Tree& t, const std::string& name,
+                      NodeId highlight) {
+  std::string out = "digraph \"" + Escape(name) + "\" {\n";
+  out += "  node [shape=circle, fontsize=11];\n";
+  for (NodeId n = 0; n < t.size(); ++n) {
+    out += "  n" + std::to_string(n) + " [label=\"" +
+           Escape(LabelName(t.label(n))) + "\"";
+    if (n == highlight) out += ", style=filled, fillcolor=lightgray";
+    out += "];\n";
+  }
+  for (NodeId n = 1; n < t.size(); ++n) {
+    out += "  n" + std::to_string(t.parent(n)) + " -> n" +
+           std::to_string(n) + ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace xpv

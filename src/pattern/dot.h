@@ -1,0 +1,24 @@
+#ifndef XPV_PATTERN_DOT_H_
+#define XPV_PATTERN_DOT_H_
+
+#include <string>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Graphviz DOT rendering of a pattern: child edges solid, descendant
+/// edges dashed with a "//" label, the output node double-circled —
+/// matching the visual conventions of the paper's figures.
+std::string PatternToDot(const Pattern& p, const std::string& name = "P");
+
+/// Graphviz DOT rendering of a document tree. If `highlight` is a valid
+/// node id, that node is filled (used to mark query outputs and
+/// counterexample witnesses).
+std::string TreeToDot(const Tree& t, const std::string& name = "t",
+                      NodeId highlight = kNoNode);
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_DOT_H_

@@ -1,0 +1,95 @@
+#include "pattern/pattern.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace xpv {
+
+Pattern::Pattern(LabelId root_label) {
+  labels_.push_back(root_label);
+  parents_.push_back(kNoNode);
+  edges_.push_back(EdgeType::kChild);  // Unused for the root.
+  children_.emplace_back();
+}
+
+NodeId Pattern::AddChild(NodeId parent, LabelId label, EdgeType edge) {
+  assert(parent >= 0 && parent < size());
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  edges_.push_back(edge);
+  children_.emplace_back();
+  children_[static_cast<size_t>(parent)].push_back(id);
+  return id;
+}
+
+std::vector<NodeId> Pattern::SubtreeNodes(NodeId n) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {n};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = children(cur);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+int Pattern::SubtreeHeight(NodeId n) const {
+  int best = 0;
+  for (NodeId c : children(n)) best = std::max(best, 1 + SubtreeHeight(c));
+  return best;
+}
+
+std::string Pattern::EncodeSubtree(NodeId n) const {
+  std::vector<std::string> kids;
+  kids.reserve(children(n).size());
+  for (NodeId c : children(n)) kids.push_back(EncodeSubtree(c));
+  std::sort(kids.begin(), kids.end());
+  std::string out = "(";
+  if (n != root()) out += edge(n) == EdgeType::kDescendant ? "D" : "C";
+  out += std::to_string(label(n));
+  if (n == output()) out += "!";
+  for (const std::string& k : kids) out += k;
+  out += ")";
+  return out;
+}
+
+std::string Pattern::CanonicalEncoding() const {
+  if (IsEmpty()) return "<empty>";
+  return EncodeSubtree(root());
+}
+
+std::string Pattern::ToAscii() const {
+  if (IsEmpty()) return "<empty pattern>\n";
+  std::string out;
+  std::function<void(NodeId, std::string, bool)> render =
+      [&](NodeId n, std::string prefix, bool last) {
+        out += prefix;
+        if (n != root()) {
+          out += last ? "`-" : "|-";
+          out += edge(n) == EdgeType::kDescendant ? "//" : "-";
+        }
+        out += LabelName(label(n));
+        if (n == output()) out += "  <-- output";
+        out += "\n";
+        std::string child_prefix =
+            prefix + (n == root() ? "" : (last ? "  " : "| "));
+        const auto& kids = children(n);
+        for (size_t i = 0; i < kids.size(); ++i) {
+          render(kids[i], child_prefix, i + 1 == kids.size());
+        }
+      };
+  render(root(), "", true);
+  return out;
+}
+
+bool Isomorphic(const Pattern& a, const Pattern& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return a.IsEmpty() == b.IsEmpty();
+  if (a.size() != b.size()) return false;
+  return a.CanonicalEncoding() == b.CanonicalEncoding();
+}
+
+}  // namespace xpv

@@ -1,0 +1,104 @@
+#ifndef XPV_PATTERN_PATTERN_H_
+#define XPV_PATTERN_PATTERN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/label.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Edge kinds of a tree pattern: `/` (child) and `//` (descendant).
+enum class EdgeType : uint8_t { kChild, kDescendant };
+
+/// A tree pattern of the XPath fragment XP^{//,[],*} (Section 2.1):
+/// a rooted unordered tree whose labels come from Σ ∪ {*}, whose edges are
+/// either child or descendant edges, and which has a designated output node.
+///
+/// The *empty pattern* Υ — which arises only as the result of composing
+/// patterns with incompatible labels (Section 2.3) — is represented by a
+/// `Pattern` with zero nodes; see `IsEmpty()`. All other constructors and
+/// operations require/produce nonempty patterns.
+///
+/// Like `Tree`, nodes live in a flat arena addressed by `NodeId`, the root is
+/// node 0, and ids are topologically sorted (parents before children).
+class Pattern {
+ public:
+  /// Creates the empty pattern Υ.
+  static Pattern Empty() { return Pattern(); }
+
+  /// Creates a single-node pattern; the node is both root and output.
+  explicit Pattern(LabelId root_label);
+
+  /// Adds a node labeled `label` under `parent`, connected by an edge of
+  /// type `edge`, and returns its id. Does not change the output node.
+  NodeId AddChild(NodeId parent, LabelId label, EdgeType edge);
+
+  bool IsEmpty() const { return labels_.empty(); }
+  int size() const { return static_cast<int>(labels_.size()); }
+
+  NodeId root() const { return 0; }
+  NodeId output() const { return output_; }
+
+  /// Designates `n` as the output node.
+  void set_output(NodeId n) { output_ = n; }
+
+  LabelId label(NodeId n) const { return labels_[static_cast<size_t>(n)]; }
+  NodeId parent(NodeId n) const { return parents_[static_cast<size_t>(n)]; }
+
+  /// The type of the edge entering `n` from its parent. Requires n != root.
+  EdgeType edge(NodeId n) const { return edges_[static_cast<size_t>(n)]; }
+
+  const std::vector<NodeId>& children(NodeId n) const {
+    return children_[static_cast<size_t>(n)];
+  }
+
+  void set_label(NodeId n, LabelId label) {
+    labels_[static_cast<size_t>(n)] = label;
+  }
+  void set_edge(NodeId n, EdgeType edge) {
+    edges_[static_cast<size_t>(n)] = edge;
+  }
+
+  /// Ids of all nodes in the subtree rooted at `n`, in preorder.
+  std::vector<NodeId> SubtreeNodes(NodeId n) const;
+
+  /// Height of the subtree rooted at `n` (edges to the deepest leaf).
+  int SubtreeHeight(NodeId n) const;
+
+  /// Height of the whole pattern.
+  int Height() const { return IsEmpty() ? 0 : SubtreeHeight(root()); }
+
+  /// Canonical textual encoding of the pattern, invariant under sibling
+  /// reordering and including the output designation. Two patterns are
+  /// isomorphic (in the sense of [10]: label-, edge- and output-preserving
+  /// bijection) iff their encodings are equal.
+  std::string CanonicalEncoding() const;
+
+  /// Multi-line ASCII rendering (output node marked with '>'), for
+  /// debugging and the example binaries. Descendant edges are drawn '//'.
+  std::string ToAscii() const;
+
+ private:
+  Pattern() = default;
+
+  std::string EncodeSubtree(NodeId n) const;
+
+  std::vector<LabelId> labels_;
+  std::vector<NodeId> parents_;
+  std::vector<EdgeType> edges_;  // edges_[n] = edge entering n; root unused.
+  std::vector<std::vector<NodeId>> children_;
+  NodeId output_ = 0;
+};
+
+/// True iff `a` and `b` are isomorphic patterns (structure, labels, edge
+/// types and output node all correspond). This is syntactic identity up to
+/// sibling order — NOT query equivalence; for the latter see
+/// `containment/containment.h`.
+bool Isomorphic(const Pattern& a, const Pattern& b);
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_PATTERN_H_

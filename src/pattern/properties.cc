@@ -1,0 +1,127 @@
+#include "pattern/properties.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xpv {
+
+SelectionInfo::SelectionInfo(const Pattern& pattern) : pattern_(pattern) {
+  assert(!pattern.IsEmpty());
+  // Build the root -> output path.
+  std::vector<NodeId> reversed;
+  for (NodeId cur = pattern.output(); cur != kNoNode;
+       cur = pattern.parent(cur)) {
+    reversed.push_back(cur);
+  }
+  path_.assign(reversed.rbegin(), reversed.rend());
+
+  // node_depth_[v] = depth of deepest selection ancestor of v. Nodes are
+  // topologically ordered, so a single forward pass suffices.
+  node_depth_.assign(static_cast<size_t>(pattern.size()), 0);
+  std::vector<int> on_path_depth(static_cast<size_t>(pattern.size()), -1);
+  for (size_t k = 0; k < path_.size(); ++k) {
+    on_path_depth[static_cast<size_t>(path_[k])] = static_cast<int>(k);
+  }
+  for (NodeId n = 0; n < pattern.size(); ++n) {
+    if (on_path_depth[static_cast<size_t>(n)] >= 0) {
+      node_depth_[static_cast<size_t>(n)] =
+          on_path_depth[static_cast<size_t>(n)];
+    } else {
+      node_depth_[static_cast<size_t>(n)] =
+          node_depth_[static_cast<size_t>(pattern.parent(n))];
+    }
+  }
+}
+
+bool SelectionInfo::OnPath(NodeId n) const {
+  return std::find(path_.begin(), path_.end(), n) != path_.end();
+}
+
+EdgeType SelectionInfo::SelectionEdge(int k) const {
+  assert(k >= 1 && k <= depth());
+  return pattern_.edge(path_[static_cast<size_t>(k)]);
+}
+
+int SelectionInfo::DeepestDescendantSelectionEdge() const {
+  for (int k = depth(); k >= 1; --k) {
+    if (SelectionEdge(k) == EdgeType::kDescendant) return k;
+  }
+  return 0;
+}
+
+bool SelectionInfo::ChildOnlyRange(int from, int to) const {
+  for (int k = from + 1; k <= to; ++k) {
+    if (SelectionEdge(k) == EdgeType::kDescendant) return false;
+  }
+  return true;
+}
+
+std::set<LabelId> SigmaLabelsInSubtree(const Pattern& p, NodeId n) {
+  std::set<LabelId> out;
+  for (NodeId v : p.SubtreeNodes(n)) {
+    if (p.label(v) != LabelStore::kWildcard) out.insert(p.label(v));
+  }
+  return out;
+}
+
+std::set<LabelId> SigmaLabels(const Pattern& p) {
+  if (p.IsEmpty()) return {};
+  return SigmaLabelsInSubtree(p, p.root());
+}
+
+bool IsLinearSubtree(const Pattern& p, NodeId n) {
+  for (NodeId v : p.SubtreeNodes(n)) {
+    if (p.children(v).size() > 1) return false;
+  }
+  return true;
+}
+
+bool IsLinear(const Pattern& p) {
+  return p.IsEmpty() || IsLinearSubtree(p, p.root());
+}
+
+int StarChainLength(const Pattern& p) {
+  if (p.IsEmpty()) return 0;
+  // chain[n] = length (in nodes) of the longest chain of *-labeled nodes
+  // connected by child edges that *ends* at n.
+  std::vector<int> chain(static_cast<size_t>(p.size()), 0);
+  int best = 0;
+  for (NodeId n = 0; n < p.size(); ++n) {
+    if (p.label(n) != LabelStore::kWildcard) continue;
+    int above = 0;
+    NodeId par = p.parent(n);
+    if (par != kNoNode && p.edge(n) == EdgeType::kChild) {
+      above = chain[static_cast<size_t>(par)];
+    }
+    chain[static_cast<size_t>(n)] = above + 1;
+    best = std::max(best, chain[static_cast<size_t>(n)]);
+  }
+  return best;
+}
+
+int CountDescendantEdges(const Pattern& p) {
+  int count = 0;
+  for (NodeId n = 1; n < p.size(); ++n) {
+    if (p.edge(n) == EdgeType::kDescendant) ++count;
+  }
+  return count;
+}
+
+bool HasNoWildcard(const Pattern& p) {
+  for (NodeId n = 0; n < p.size(); ++n) {
+    if (p.label(n) == LabelStore::kWildcard) return false;
+  }
+  return true;
+}
+
+bool HasNoDescendantEdge(const Pattern& p) {
+  return CountDescendantEdges(p) == 0;
+}
+
+bool HasNoBranch(const Pattern& p) { return IsLinear(p); }
+
+bool InHomomorphismFragment(const Pattern& p) {
+  return HasNoWildcard(p) || HasNoDescendantEdge(p);
+}
+
+}  // namespace xpv

@@ -1,0 +1,101 @@
+#ifndef XPV_PATTERN_PROPERTIES_H_
+#define XPV_PATTERN_PROPERTIES_H_
+
+#include <set>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Structural facts about a pattern's selection path and node depths
+/// (Section 3.1 of the paper).
+///
+/// The *selection path* of a nonempty pattern is the path from the root to
+/// the output node; its nodes are the selection nodes, and the *depth* of the
+/// pattern, d, is the number of selection edges. The *k-node* is the
+/// selection node at depth k. The depth of an arbitrary node v is the depth
+/// of its deepest ancestor on the selection path.
+class SelectionInfo {
+ public:
+  /// Computes the selection info of a nonempty pattern. `pattern` must
+  /// outlive this object.
+  explicit SelectionInfo(const Pattern& pattern);
+
+  /// Depth d of the pattern = number of selection edges.
+  int depth() const { return static_cast<int>(path_.size()) - 1; }
+
+  /// The selection node at depth `k` (0 <= k <= depth()).
+  NodeId KNode(int k) const { return path_[static_cast<size_t>(k)]; }
+
+  /// The selection nodes, root first.
+  const std::vector<NodeId>& path() const { return path_; }
+
+  /// True if node `n` lies on the selection path.
+  bool OnPath(NodeId n) const;
+
+  /// The type of the selection edge entering the k-node (1 <= k <= depth()).
+  EdgeType SelectionEdge(int k) const;
+
+  /// Depth of an arbitrary node: the depth of its deepest selection-path
+  /// ancestor (Section 3.1).
+  int NodeDepth(NodeId n) const { return node_depth_[static_cast<size_t>(n)]; }
+
+  /// Depth of the deepest descendant edge on the selection path, i.e. the
+  /// largest k with SelectionEdge(k) == kDescendant; 0 if every selection
+  /// edge is a child edge (or depth() == 0).
+  int DeepestDescendantSelectionEdge() const;
+
+  /// True if all selection edges in depths [from+1, to] are child edges.
+  bool ChildOnlyRange(int from, int to) const;
+
+ private:
+  const Pattern& pattern_;
+  std::vector<NodeId> path_;
+  std::vector<int> node_depth_;
+};
+
+/// The set of Σ-labels occurring in the subtree of `p` rooted at `n`
+/// (wildcards excluded).
+std::set<LabelId> SigmaLabelsInSubtree(const Pattern& p, NodeId n);
+
+/// The set of Σ-labels occurring anywhere in `p`.
+std::set<LabelId> SigmaLabels(const Pattern& p);
+
+/// True if the subtree of `p` rooted at `n` is linear (forms a path: every
+/// node has at most one child). Used by the GNF/* normal form (Def 5.3).
+bool IsLinearSubtree(const Pattern& p, NodeId n);
+
+/// True if the whole pattern is linear.
+bool IsLinear(const Pattern& p);
+
+/// The "star length" of the pattern: the maximal number of consecutive
+/// *-labeled nodes connected by child edges along any downward path. This
+/// drives the expansion bound of the canonical-model containment test
+/// (Miklau & Suciu [14]).
+int StarChainLength(const Pattern& p);
+
+/// Number of descendant edges in the whole pattern.
+int CountDescendantEdges(const Pattern& p);
+
+/// True if `p` uses no wildcard labels (fragment XP^{//,[]}).
+bool HasNoWildcard(const Pattern& p);
+/// True if `p` uses no descendant edges (fragment XP^{/,[],*}).
+bool HasNoDescendantEdge(const Pattern& p);
+/// True if `p` has no branching (fragment XP^{//,*}; same as IsLinear).
+bool HasNoBranch(const Pattern& p);
+
+/// True if `p` lies in one of the sub-fragments of XP^{//,[],*} for which
+/// containment is characterized by homomorphism existence: XP^{//,[]} (no
+/// wildcards) or XP^{/,[],*} (no descendant edges), per [14].
+///
+/// Note: the third PTIME sub-fragment of the paper's Section 1, XP^{//,*}
+/// (no branches), has PTIME containment but it is NOT characterized by
+/// homomorphisms — the classic equivalent pair a/*//b ≡ a//*/b is linear
+/// and admits no homomorphism in either direction — so linear patterns are
+/// deliberately excluded here.
+bool InHomomorphismFragment(const Pattern& p);
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_PROPERTIES_H_

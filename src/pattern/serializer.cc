@@ -1,0 +1,60 @@
+#include "pattern/serializer.h"
+
+#include "pattern/properties.h"
+
+namespace xpv {
+namespace {
+
+/// Emits the subtree rooted at `n` as a relative path starting with `n`
+/// itself: "label[preds]/..." — used inside predicates, where the path may
+/// continue only if the subtree is a chain; general subtrees nest as
+/// predicates.
+void EmitNodeAndBranches(const Pattern& p, NodeId n, std::string* out);
+
+void EmitPredicate(const Pattern& p, NodeId child, std::string* out) {
+  out->push_back('[');
+  if (p.edge(child) == EdgeType::kDescendant) *out += "//";
+  EmitNodeAndBranches(p, child, out);
+  out->push_back(']');
+}
+
+void EmitNodeAndBranches(const Pattern& p, NodeId n, std::string* out) {
+  *out += LabelName(p.label(n));
+  const auto& kids = p.children(n);
+  if (kids.size() == 1 && p.edge(kids[0]) == EdgeType::kChild) {
+    // Single child by child edge: continue the path inline for readability.
+    // (Descendant single children also could be inlined, but `[//x]` at the
+    // start of a predicate is only valid in first position, so inlining `//`
+    // is always safe too; do it.)
+  }
+  if (kids.size() == 1) {
+    NodeId c = kids[0];
+    *out += p.edge(c) == EdgeType::kDescendant ? "//" : "/";
+    EmitNodeAndBranches(p, c, out);
+    return;
+  }
+  for (NodeId c : kids) EmitPredicate(p, c, out);
+}
+
+}  // namespace
+
+std::string ToXPath(const Pattern& p) {
+  if (p.IsEmpty()) return "<empty>";
+  SelectionInfo info(p);
+  std::string out;
+  for (int k = 0; k <= info.depth(); ++k) {
+    NodeId n = info.KNode(k);
+    if (k > 0) {
+      out += info.SelectionEdge(k) == EdgeType::kDescendant ? "//" : "/";
+    }
+    out += LabelName(p.label(n));
+    NodeId next = k < info.depth() ? info.KNode(k + 1) : kNoNode;
+    for (NodeId c : p.children(n)) {
+      if (c == next) continue;  // The selection path continues there.
+      EmitPredicate(p, c, &out);
+    }
+  }
+  return out;
+}
+
+}  // namespace xpv

@@ -1,0 +1,23 @@
+#ifndef XPV_PATTERN_SERIALIZER_H_
+#define XPV_PATTERN_SERIALIZER_H_
+
+#include <string>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Serializes `p` back to XPath syntax accepted by `ParseXPath`.
+///
+/// The main path of the produced expression is the selection path (root to
+/// output); every off-path subtree is emitted as a `[...]` predicate on the
+/// selection node it hangs from. Descendant edges are rendered as `//`,
+/// including the predicate-leading `[//...]` form. Round trip:
+/// `ParseXPath(ToXPath(p))` is isomorphic to `p`.
+///
+/// The empty pattern serializes to the non-parseable marker "<empty>".
+std::string ToXPath(const Pattern& p);
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_SERIALIZER_H_

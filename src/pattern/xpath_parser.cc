@@ -1,0 +1,194 @@
+#include "pattern/xpath_parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace xpv {
+namespace {
+
+/// Recursive-descent parser over the grammar in the header.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  Result<Pattern> Parse() {
+    SkipSpace();
+    if (AtEnd()) return Err("empty expression");
+
+    // Leading axis.
+    bool leading_descendant = false;
+    if (PeekIs("//")) {
+      leading_descendant = true;
+      pos_ += 2;
+    } else if (Peek() == '/') {
+      ++pos_;
+    }
+
+    Pattern p = leading_descendant ? Pattern(LabelStore::kWildcard)
+                                   : Pattern(kNoLabelYet());
+    // For the non-descendant case we create the root from the first step's
+    // label; we used a placeholder above, so parse the first step now.
+    NodeId current;
+    if (leading_descendant) {
+      Result<NodeId> first =
+          ParseStep(&p, p.root(), EdgeType::kDescendant);
+      if (!first.ok()) return Result<Pattern>::Error(first.error());
+      current = first.value();
+    } else {
+      Result<LabelId> label = ParseStepLabel();
+      if (!label.ok()) return Result<Pattern>::Error(label.error());
+      p.set_label(p.root(), label.value());
+      current = p.root();
+      if (auto err = ParsePredicates(&p, current); !err.empty()) {
+        return Result<Pattern>::Error(err);
+      }
+    }
+
+    // Remaining steps.
+    while (true) {
+      SkipSpace();
+      if (AtEnd()) break;
+      EdgeType edge;
+      if (PeekIs("//")) {
+        edge = EdgeType::kDescendant;
+        pos_ += 2;
+      } else if (Peek() == '/') {
+        edge = EdgeType::kChild;
+        ++pos_;
+      } else {
+        return Err(std::string("unexpected character '") + Peek() + "'");
+      }
+      Result<NodeId> next = ParseStep(&p, current, edge);
+      if (!next.ok()) return Result<Pattern>::Error(next.error());
+      current = next.value();
+    }
+
+    p.set_output(current);
+    return p;
+  }
+
+ private:
+  static LabelId kNoLabelYet() { return LabelStore::kWildcard; }
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool PeekIs(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+  void SkipSpace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+      ++pos_;
+    }
+  }
+
+  Result<Pattern> Err(const std::string& message) const {
+    return Result<Pattern>::Error("XPath parse error (offset " +
+                                  std::to_string(pos_) + "): " + message);
+  }
+
+  Result<LabelId> ParseStepLabel() {
+    SkipSpace();
+    if (AtEnd()) return Result<LabelId>::Error("expected a step");
+    if (Peek() == '*') {
+      ++pos_;
+      return LabelStore::kWildcard;
+    }
+    char first = Peek();
+    if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+      return Result<LabelId>::Error(
+          std::string("XPath parse error: expected name or '*', got '") +
+          first + "'");
+    }
+    std::string name;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '.' || c == '-') {
+        name.push_back(c);
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return L(name);
+  }
+
+  /// Parses `step` and attaches it under `parent` with edge `edge`.
+  /// Returns the new node's id.
+  Result<NodeId> ParseStep(Pattern* p, NodeId parent, EdgeType edge) {
+    Result<LabelId> label = ParseStepLabel();
+    if (!label.ok()) return Result<NodeId>::Error(label.error());
+    NodeId node = p->AddChild(parent, label.value(), edge);
+    if (std::string err = ParsePredicates(p, node); !err.empty()) {
+      return Result<NodeId>::Error(err);
+    }
+    return node;
+  }
+
+  /// Parses zero or more `[rel]` predicates attached to `node`. Returns an
+  /// error message, or empty string on success.
+  std::string ParsePredicates(Pattern* p, NodeId node) {
+    while (true) {
+      SkipSpace();
+      if (AtEnd() || Peek() != '[') return "";
+      ++pos_;  // '['
+      SkipSpace();
+      EdgeType first_edge = EdgeType::kChild;
+      if (PeekIs("//")) {
+        first_edge = EdgeType::kDescendant;
+        pos_ += 2;
+      }
+      Result<NodeId> first = ParseStep(p, node, first_edge);
+      if (!first.ok()) return first.error();
+      NodeId current = first.value();
+      while (true) {
+        SkipSpace();
+        if (AtEnd()) return "XPath parse error: unterminated predicate";
+        if (Peek() == ']') {
+          ++pos_;
+          break;
+        }
+        EdgeType edge;
+        if (PeekIs("//")) {
+          edge = EdgeType::kDescendant;
+          pos_ += 2;
+        } else if (Peek() == '/') {
+          edge = EdgeType::kChild;
+          ++pos_;
+        } else {
+          return std::string(
+                     "XPath parse error: unexpected character in predicate "
+                     "'") +
+                 Peek() + "'";
+        }
+        Result<NodeId> next = ParseStep(p, current, edge);
+        if (!next.ok()) return next.error();
+        current = next.value();
+      }
+    }
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Pattern> ParseXPath(std::string_view input) {
+  return Parser(input).Parse();
+}
+
+Pattern MustParseXPath(std::string_view input) {
+  Result<Pattern> result = ParseXPath(input);
+  if (!result.ok()) {
+    std::fprintf(stderr, "MustParseXPath(\"%.*s\"): %s\n",
+                 static_cast<int>(input.size()), input.data(),
+                 result.error().c_str());
+    std::abort();
+  }
+  return result.take();
+}
+
+}  // namespace xpv

@@ -1,0 +1,41 @@
+#ifndef XPV_PATTERN_XPATH_PARSER_H_
+#define XPV_PATTERN_XPATH_PARSER_H_
+
+#include <string_view>
+
+#include "pattern/pattern.h"
+#include "util/result.h"
+
+namespace xpv {
+
+/// Parses an expression of the XPath fragment XP^{//,[],*} into a `Pattern`.
+///
+/// Grammar (the paper's `q ::= q/q | q//q | q[q] | l | *`, concretely):
+///
+///   pattern   ::= ['/' | '//'] step ( ('/' | '//') step )*
+///   step      ::= (NAME | '*') predicate*
+///   predicate ::= '[' rel ']'
+///   rel       ::= ['//'] step ( ('/' | '//') step )*
+///
+/// Semantics:
+///   * The first step of the top-level path is the pattern's *root node*
+///     (patterns are anchored at the document root; a leading '/' is
+///     accepted and ignored).
+///   * A leading '//' creates an implicit root labeled '*' with a
+///     descendant edge to the first explicit step, i.e. `//a` is `*//a`
+///     anchored at the document root.
+///   * Inside a predicate, the first step attaches to the current node by a
+///     child edge, or by a descendant edge if the predicate starts with
+///     '//' (e.g. `a[//b]` has a descendant edge from `a` to `b`).
+///   * The output node is the last step of the top-level path.
+///
+/// NAME tokens are [A-Za-z_][A-Za-z0-9_.-]*; names starting with '#' are
+/// rejected (reserved for internal labels).
+Result<Pattern> ParseXPath(std::string_view input);
+
+/// Convenience for tests and examples: parses `input` and aborts on error.
+Pattern MustParseXPath(std::string_view input);
+
+}  // namespace xpv
+
+#endif  // XPV_PATTERN_XPATH_PARSER_H_

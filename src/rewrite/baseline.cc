@@ -1,0 +1,64 @@
+#include "rewrite/baseline.h"
+
+#include <cassert>
+
+#include "containment/homomorphism.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "rewrite/candidates.h"
+#include "rewrite/rules.h"
+
+namespace xpv {
+
+bool HomEquivalent(const Pattern& a, const Pattern& b) {
+  if (a.IsEmpty() || b.IsEmpty()) return a.IsEmpty() == b.IsEmpty();
+  return ExistsPatternHomomorphism(a, b) && ExistsPatternHomomorphism(b, a);
+}
+
+BaselineResult HomomorphismBaselineRewrite(const Pattern& p,
+                                           const Pattern& v) {
+  assert(!p.IsEmpty() && !v.IsEmpty());
+  BaselineResult result;
+
+  const bool no_wildcard = HasNoWildcard(p) && HasNoWildcard(v);
+  const bool no_descendant = HasNoDescendantEdge(p) && HasNoDescendantEdge(v);
+  if (!no_wildcard && !no_descendant) {
+    result.note = "inputs are not jointly in a homomorphism sub-fragment";
+    return result;
+  }
+  result.applicable = true;
+
+  if (ViolatesBasicNecessaryConditions(p, v).has_value()) {
+    result.found = false;
+    result.note = "necessary conditions violated";
+    return result;
+  }
+
+  SelectionInfo vi(v);
+  NaturalCandidates candidates = MakeNaturalCandidates(p, vi.depth());
+
+  if (HomEquivalent(Compose(candidates.sub, v), p)) {
+    result.found = true;
+    result.rewriting = candidates.sub;
+    result.note = "P>=k is a rewriting";
+    return result;
+  }
+  // P>=k alone is potential in both fragments (Thm 4.3 resp. Thm 4.4), so
+  // its failure is decisive; testing the relaxed candidate anyway is sound
+  // (an equivalence hit is a genuine rewriting) and costs one more PTIME
+  // check.
+  if (!candidates.coincide &&
+      HomEquivalent(Compose(candidates.relaxed, v), p)) {
+    result.found = true;
+    result.rewriting = candidates.relaxed;
+    result.note = "P>=k_r// is a rewriting";
+    return result;
+  }
+
+  result.found = false;
+  result.note = "no natural candidate rewrites; none exists in this "
+                "sub-fragment";
+  return result;
+}
+
+}  // namespace xpv

@@ -1,0 +1,52 @@
+#ifndef XPV_REWRITE_BASELINE_H_
+#define XPV_REWRITE_BASELINE_H_
+
+#include <optional>
+#include <string>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Result of the PTIME baseline.
+struct BaselineResult {
+  /// False if (P, V) is outside the scope where the baseline is complete;
+  /// `status_valid == false` means the other fields are meaningless.
+  bool applicable = false;
+  bool found = false;
+  Pattern rewriting = Pattern::Empty();
+  std::string note;
+};
+
+/// Homomorphism-based rewriting in the spirit of Xu & Özsoyoglu (VLDB'05),
+/// the algorithm the paper cites as solving the three sub-fragments in
+/// PTIME (Section 1): when containment is characterized by homomorphisms,
+/// it suffices to test natural candidates with homomorphism equivalence.
+///
+/// Applicability (where the answer is sound *and* complete):
+///   * XP^{//,[]}: neither P nor V uses wildcards. Then the k-node of P is
+///     labeled in Σ, so P≥k is stable (Prop 4.1) and is a potential
+///     rewriting (Thm 4.3); one homomorphism-equivalence test decides.
+///   * XP^{/,[],*}: neither P nor V uses descendant edges. Then Thm 4.4
+///     applies (child-only selection prefix) and P≥k is potential; the
+///     composition also stays descendant-free, keeping the homomorphism
+///     test complete.
+///
+/// The paper's third PTIME sub-fragment, XP^{//,*} (linear patterns), is
+/// NOT handled here: its containment is PTIME but not characterized by
+/// homomorphisms (a/*//b ≡ a//*/b is a linear pair with no homomorphism),
+/// so a homomorphism-equivalence baseline would be unsound as a decision
+/// procedure there.
+///
+/// Outside these cases `applicable` is false and the caller should use
+/// `DecideRewrite`. Runs in polynomial time.
+BaselineResult HomomorphismBaselineRewrite(const Pattern& p, const Pattern& v);
+
+/// Homomorphism-based equivalence (both-direction homomorphism existence).
+/// Complete only on the sub-fragments above; used by the baseline and by
+/// the C4 bench.
+bool HomEquivalent(const Pattern& a, const Pattern& b);
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_BASELINE_H_

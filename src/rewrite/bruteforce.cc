@@ -1,0 +1,101 @@
+#include "rewrite/bruteforce.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "containment/containment.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+
+namespace xpv {
+
+BruteForceOutcome BruteForceRewrite(const Pattern& p, const Pattern& v,
+                                    const BruteForceOptions& options) {
+  assert(!p.IsEmpty() && !v.IsEmpty());
+  BruteForceOutcome outcome;
+
+  SelectionInfo pi(p);
+  SelectionInfo vi(v);
+  const int d = pi.depth();
+  const int k = vi.depth();
+  if (k > d) {
+    outcome.exhausted_max_nodes = true;
+    return outcome;
+  }
+  const int target_depth = d - k;
+
+  const Pattern sub = SubPattern(p, k);
+  const int max_height = sub.Height();
+  std::set<LabelId> sigma = SigmaLabels(sub);
+  std::vector<LabelId> alphabet(sigma.begin(), sigma.end());
+  alphabet.push_back(LabelStore::kWildcard);
+
+  // Root labels that can produce the k-node label of P by glb with out(V).
+  const LabelId out_v = v.label(v.output());
+  const LabelId k_label = p.label(pi.KNode(k));
+  auto root_ok = [&](LabelId l) {
+    LabelId glb;
+    if (!LabelGlb(l, out_v, &glb)) return false;
+    return glb == k_label;
+  };
+
+  // BFS over node additions, deduplicated by canonical encoding (ignoring
+  // the output designation, which is chosen per structure below).
+  std::deque<Pattern> queue;
+  std::set<std::string> seen;
+  for (LabelId l : alphabet) {
+    if (!root_ok(l)) continue;
+    Pattern seed(l);
+    if (seen.insert(seed.CanonicalEncoding()).second) queue.push_back(seed);
+  }
+
+  auto test_structure = [&](const Pattern& structure) -> bool {
+    // Try every node at the required output depth.
+    Pattern candidate = structure;
+    for (NodeId n = 0; n < structure.size(); ++n) {
+      candidate.set_output(n);
+      {
+        SelectionInfo ci(candidate);
+        if (ci.depth() != target_depth) continue;
+      }
+      if (outcome.candidates_tested >= options.budget) return true;
+      ++outcome.candidates_tested;
+      if (Equivalent(Compose(candidate, v), p)) {
+        outcome.found = candidate;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  while (!queue.empty()) {
+    Pattern current = std::move(queue.front());
+    queue.pop_front();
+    if (test_structure(current)) return outcome;
+    if (outcome.candidates_tested >= options.budget) return outcome;
+
+    if (current.size() >= options.max_nodes) continue;
+    // Extend by one node in every position / label / edge type, pruning by
+    // the height bound.
+    for (NodeId parent = 0; parent < current.size(); ++parent) {
+      for (LabelId l : alphabet) {
+        for (EdgeType et : {EdgeType::kChild, EdgeType::kDescendant}) {
+          Pattern extended = current;
+          extended.AddChild(parent, l, et);
+          if (extended.Height() > max_height) continue;
+          if (seen.insert(extended.CanonicalEncoding()).second) {
+            queue.push_back(std::move(extended));
+          }
+        }
+      }
+    }
+  }
+
+  outcome.exhausted_max_nodes = true;
+  return outcome;
+}
+
+}  // namespace xpv

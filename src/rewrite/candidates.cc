@@ -1,0 +1,20 @@
+#include "rewrite/candidates.h"
+
+#include "pattern/algebra.h"
+
+namespace xpv {
+
+NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth) {
+  Pattern sub = SubPattern(p, view_depth);
+  Pattern relaxed = RelaxRootEdges(sub);
+  bool coincide = true;
+  for (NodeId c : sub.children(sub.root())) {
+    if (sub.edge(c) != EdgeType::kDescendant) {
+      coincide = false;
+      break;
+    }
+  }
+  return NaturalCandidates{std::move(sub), std::move(relaxed), coincide};
+}
+
+}  // namespace xpv

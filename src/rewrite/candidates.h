@@ -1,0 +1,29 @@
+#ifndef XPV_REWRITE_CANDIDATES_H_
+#define XPV_REWRITE_CANDIDATES_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// The two natural rewriting candidates w.r.t. a query P and a view V of
+/// depths d >= k (Section 4): P≥k itself, and P≥k with the edges emanating
+/// from its root relaxed to descendant edges (P≥k_r//).
+struct NaturalCandidates {
+  Pattern sub;      ///< P≥k.
+  Pattern relaxed;  ///< P≥k_r//.
+
+  /// True if the two candidates coincide (every root-emanating edge of P≥k
+  /// is already a descendant edge), in which case one test suffices.
+  bool coincide;
+};
+
+/// Builds the natural candidates. Runs in O(|P|) — this is the linear-time
+/// construction claimed in Section 1 and benchmarked by
+/// `bench_candidates_linear`. Requires 0 <= view_depth <= depth(p).
+NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth);
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_CANDIDATES_H_

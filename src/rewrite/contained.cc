@@ -1,0 +1,133 @@
+#include "rewrite/contained.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "rewrite/candidates.h"
+#include "rewrite/rules.h"
+
+namespace xpv {
+namespace {
+
+/// Nodes of `p` whose removal is legal (off the root and not holding the
+/// output), i.e. deletable branch roots.
+std::vector<NodeId> DeletableBranchRoots(const Pattern& p) {
+  std::vector<char> holds_output(static_cast<size_t>(p.size()), 0);
+  for (NodeId cur = p.output(); cur != kNoNode; cur = p.parent(cur)) {
+    holds_output[static_cast<size_t>(cur)] = 1;
+  }
+  std::vector<NodeId> out;
+  for (NodeId n = 1; n < p.size(); ++n) {
+    if (holds_output[static_cast<size_t>(n)] == 0) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace
+
+ContainedRewriteResult FindContainedRewriting(
+    const Pattern& p, const Pattern& v,
+    const ContainedRewriteOptions& options) {
+  assert(!p.IsEmpty() && !v.IsEmpty());
+  ContainedRewriteResult result;
+
+  SelectionInfo pi(p);
+  SelectionInfo vi(v);
+  if (vi.depth() > pi.depth()) {
+    result.note = "depth(V) > depth(P): no rewriting of any kind";
+    return result;
+  }
+
+  // Generate the candidate pool: natural candidates, branch-deletion
+  // variants (BFS, bounded), and single-selection-edge relaxations.
+  NaturalCandidates natural = MakeNaturalCandidates(p, vi.depth());
+  std::vector<Pattern> pool;
+  std::set<std::string> seen;
+  auto push = [&](Pattern candidate) {
+    std::string key = candidate.CanonicalEncoding();
+    if (seen.insert(std::move(key)).second) {
+      pool.push_back(std::move(candidate));
+    }
+  };
+  push(natural.sub);
+  push(natural.relaxed);
+
+  // Branch deletions (each deletion can only grow the composition, moving
+  // toward maximality as long as containment in P survives).
+  std::deque<std::pair<Pattern, int>> queue;
+  queue.emplace_back(natural.sub, 0);
+  while (!queue.empty() &&
+         pool.size() < static_cast<size_t>(options.budget)) {
+    auto [current, deletions] = std::move(queue.front());
+    queue.pop_front();
+    if (deletions >= options.max_branch_deletions) continue;
+    for (NodeId n : DeletableBranchRoots(current)) {
+      Pattern variant = RemoveSubtree(current, n);
+      Pattern relaxed_variant = RelaxRootEdges(variant);
+      push(variant);
+      push(relaxed_variant);
+      queue.emplace_back(std::move(variant), deletions + 1);
+    }
+  }
+
+  // Single selection-edge relaxations of P>=k.
+  if (options.relax_edges) {
+    SelectionInfo si(natural.sub);
+    for (int j = 1; j <= si.depth(); ++j) {
+      if (natural.sub.edge(si.KNode(j)) == EdgeType::kDescendant) continue;
+      Pattern variant = natural.sub;
+      variant.set_edge(si.KNode(j), EdgeType::kDescendant);
+      push(std::move(variant));
+    }
+  }
+
+  // Evaluate the pool: keep candidates with R ∘ V ⊑ P.
+  struct Scored {
+    Pattern rewriting;
+    Pattern composition;
+  };
+  std::vector<Scored> contained;
+  for (const Pattern& candidate : pool) {
+    if (result.candidates_examined >=
+        static_cast<int>(options.budget)) {
+      break;
+    }
+    ++result.candidates_examined;
+    Pattern composition = Compose(candidate, v);
+    if (composition.IsEmpty()) continue;
+    if (Contained(composition, p)) {
+      contained.push_back({candidate, std::move(composition)});
+    }
+  }
+  result.candidates_contained = static_cast<int>(contained.size());
+  if (contained.empty()) {
+    result.note = "no examined candidate composes into P";
+    return result;
+  }
+
+  // Pick a maximal one: no other contained candidate's composition
+  // strictly contains it.
+  int best = 0;
+  for (int i = 1; i < static_cast<int>(contained.size()); ++i) {
+    const Pattern& bc = contained[static_cast<size_t>(best)].composition;
+    const Pattern& ic = contained[static_cast<size_t>(i)].composition;
+    // ic strictly contains bc => i is a better (larger) rewriting.
+    if (Contained(bc, ic) && !Contained(ic, bc)) best = i;
+  }
+  Scored& winner = contained[static_cast<size_t>(best)];
+  result.found = true;
+  result.rewriting = winner.rewriting;
+  result.is_equivalent = Contained(p, winner.composition);
+  result.note = result.is_equivalent
+                    ? "maximal candidate is an equivalent rewriting"
+                    : "maximal contained (non-equivalent) rewriting";
+  return result;
+}
+
+}  // namespace xpv

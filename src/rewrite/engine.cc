@@ -1,0 +1,120 @@
+#include "rewrite/engine.h"
+
+#include <cassert>
+
+#include "containment/containment.h"
+#include "containment/oracle.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "rewrite/bruteforce.h"
+#include "rewrite/candidates.h"
+
+namespace xpv {
+namespace {
+
+std::string ChainToString(const CompletenessFinding& finding) {
+  std::string out;
+  for (size_t i = 0; i < finding.chain.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += RuleName(finding.chain[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
+                            const RewriteOptions& options) {
+  assert(!p.IsEmpty() && !v.IsEmpty());
+  RewriteResult result;
+
+  // Step 1: necessary conditions.
+  if (auto violation = ViolatesBasicNecessaryConditions(p, v)) {
+    result.status = RewriteStatus::kNotExists;
+    result.violation = violation;
+    result.explanation =
+        "no rewriting: " + RuleName(violation->rule) + " — " +
+        violation->detail;
+    return result;
+  }
+
+  SelectionInfo vi(v);
+  const int k = vi.depth();
+
+  // Step 2: construct and test the natural candidates.
+  auto equivalent = [&options](const Pattern& a, const Pattern& b) {
+    return options.oracle != nullptr ? options.oracle->Equivalent(a, b)
+                                     : Equivalent(a, b);
+  };
+  NaturalCandidates candidates = MakeNaturalCandidates(p, k);
+  {
+    ++result.stats.equivalence_tests;
+    if (equivalent(Compose(candidates.sub, v), p)) {
+      result.status = RewriteStatus::kFound;
+      result.rewriting = candidates.sub;
+      result.explanation = "found: the natural candidate P>=k (" +
+                           ToXPath(candidates.sub) + ") is a rewriting";
+      return result;
+    }
+  }
+  if (!candidates.coincide) {
+    ++result.stats.equivalence_tests;
+    if (equivalent(Compose(candidates.relaxed, v), p)) {
+      result.status = RewriteStatus::kFound;
+      result.rewriting = candidates.relaxed;
+      result.explanation = "found: the natural candidate P>=k_r// (" +
+                           ToXPath(candidates.relaxed) + ") is a rewriting";
+      return result;
+    }
+  }
+
+  // Step 3: completeness conditions.
+  ConditionsReport report = EvaluateConditions(p, v);
+  if (report.violation.has_value()) {
+    result.status = RewriteStatus::kNotExists;
+    result.violation = report.violation;
+    result.explanation = "no rewriting: " + RuleName(report.violation->rule) +
+                         " — " + report.violation->detail;
+    return result;
+  }
+  if (report.completeness.has_value()) {
+    result.status = RewriteStatus::kNotExists;
+    result.completeness = report.completeness;
+    result.explanation =
+        "no rewriting: both natural candidates failed and a completeness "
+        "condition holds [" +
+        ChainToString(*report.completeness) + "]: " +
+        report.completeness->detail;
+    return result;
+  }
+
+  // Step 4: optional brute force (Prop 3.4).
+  if (options.enable_brute_force) {
+    result.stats.used_brute_force = true;
+    BruteForceOptions bf;
+    bf.max_nodes = options.brute_force_max_nodes;
+    bf.budget = options.brute_force_budget;
+    BruteForceOutcome outcome = BruteForceRewrite(p, v, bf);
+    result.stats.bruteforce_candidates = outcome.candidates_tested;
+    if (outcome.found.has_value()) {
+      result.status = RewriteStatus::kFound;
+      result.rewriting = *outcome.found;
+      result.explanation =
+          "found by bounded enumeration (Prop 3.4): " +
+          ToXPath(result.rewriting);
+      return result;
+    }
+  }
+
+  result.status = RewriteStatus::kUnknown;
+  result.explanation =
+      "unknown: both natural candidates failed, no completeness condition "
+      "of Sections 4-5 applies" +
+      std::string(options.enable_brute_force
+                       ? ", and the budgeted enumeration found nothing"
+                       : " (brute force disabled)");
+  return result;
+}
+
+}  // namespace xpv

@@ -1,0 +1,76 @@
+#ifndef XPV_REWRITE_ENGINE_H_
+#define XPV_REWRITE_ENGINE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "pattern/pattern.h"
+#include "rewrite/rules.h"
+
+namespace xpv {
+
+class ContainmentOracle;
+
+/// Outcome of a rewriting-existence decision.
+enum class RewriteStatus {
+  kFound,      ///< `rewriting` satisfies rewriting ∘ V ≡ P.
+  kNotExists,  ///< Certified: no equivalent rewriting of P using V exists.
+  kUnknown,    ///< Candidates failed, no completeness condition applies and
+               ///< the (optional, budgeted) brute force found nothing.
+};
+
+/// Counters for the decision process (used by the benchmark harness).
+struct RewriteStats {
+  int equivalence_tests = 0;          ///< Candidate equivalence tests run.
+  uint64_t bruteforce_candidates = 0; ///< Patterns tried by brute force.
+  bool used_brute_force = false;
+};
+
+/// The full answer: status, the rewriting if found, which paper results
+/// certified the decision, and a human-readable explanation.
+struct RewriteResult {
+  RewriteStatus status = RewriteStatus::kUnknown;
+  Pattern rewriting = Pattern::Empty();
+  /// For kNotExists: the necessary violation or completeness chain used.
+  std::optional<NecessaryViolation> violation;
+  std::optional<CompletenessFinding> completeness;
+  RewriteStats stats;
+  std::string explanation;
+};
+
+/// Configuration of the decision engine.
+struct RewriteOptions {
+  /// Run the Proposition 3.4 enumeration when the conditions are
+  /// inconclusive (it can upgrade kUnknown to kFound, never to kNotExists).
+  bool enable_brute_force = false;
+  /// Brute-force budget: maximum number of node additions explored and
+  /// maximum pattern size, see bruteforce.h.
+  int brute_force_max_nodes = 6;
+  uint64_t brute_force_budget = 50000;
+  /// Optional memoizing containment oracle. When set, the candidate
+  /// equivalence tests go through it, amortizing the coNP work across
+  /// repeated decisions (cache workloads ask about overlapping patterns).
+  /// Not owned; must outlive the call. May be null.
+  ContainmentOracle* oracle = nullptr;
+};
+
+/// Decides the rewriting-existence problem for a query `p` and view `v`
+/// (both nonempty), implementing the paper's practical algorithm:
+///
+///   1. necessary conditions (Prop 3.1): k <= d and selection-label
+///      compatibility — violations certify kNotExists;
+///   2. construct the natural candidates P≥k and P≥k_r// (linear time) and
+///      test each with one equivalence test (coNP, [14]) — success yields
+///      kFound with that candidate;
+///   3. otherwise evaluate the completeness conditions of Sections 4–5
+///      (directly and through the Section-5 transformations); if any holds,
+///      the failed candidates certify kNotExists;
+///   4. otherwise optional brute force (Prop 3.4) within a budget; a hit
+///      yields kFound, exhaustion yields kUnknown.
+RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
+                            const RewriteOptions& options = {});
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_ENGINE_H_

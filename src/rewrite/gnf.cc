@@ -1,0 +1,21 @@
+#include "rewrite/gnf.h"
+
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "rewrite/stability.h"
+
+namespace xpv {
+
+bool IsInGeneralizedNormalForm(const Pattern& q) {
+  if (q.IsEmpty()) return false;
+  SelectionInfo info(q);
+  for (int i = 1; i <= info.depth(); ++i) {
+    if (info.SelectionEdge(i) == EdgeType::kChild) continue;       // (1)
+    if (IsLinearSubtree(q, info.KNode(i))) continue;               // (3)
+    if (IsStableSufficient(SubPattern(q, i))) continue;            // (2)
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xpv

@@ -1,0 +1,21 @@
+#ifndef XPV_REWRITE_GNF_H_
+#define XPV_REWRITE_GNF_H_
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Membership test for the generalized normal form GNF/* (Definition 5.3):
+/// for every 1 <= i <= depth(Q), at least one of
+///   1. a child edge enters the i-node,
+///   2. Q≥i is stable (checked via the sufficient conditions of Prop 4.1),
+///   3. Q≥i is linear.
+///
+/// Because stability is approximated by sufficient conditions, this test is
+/// itself sufficient: `true` guarantees membership, `false` is inconclusive
+/// (conservative in the safe direction for Theorem 5.4).
+bool IsInGeneralizedNormalForm(const Pattern& q);
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_GNF_H_

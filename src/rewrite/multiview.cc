@@ -1,0 +1,69 @@
+#include "rewrite/multiview.h"
+
+#include <cassert>
+
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+
+namespace xpv {
+
+MultiViewRewriteResult DecideRewriteMultiView(
+    const Pattern& p, const std::vector<Pattern>& views,
+    const MultiViewOptions& options) {
+  assert(!p.IsEmpty());
+  MultiViewRewriteResult result;
+  SelectionInfo pi(p);
+
+  // Phase 1: single views.
+  for (int i = 0; i < static_cast<int>(views.size()); ++i) {
+    const Pattern& v = views[static_cast<size_t>(i)];
+    if (v.IsEmpty()) continue;
+    RewriteResult single = DecideRewrite(p, v, options.engine);
+    if (single.status == RewriteStatus::kFound) {
+      result.found = true;
+      result.view_chain = {i};
+      result.rewriting = single.rewriting;
+      result.explanation =
+          "single view #" + std::to_string(i) + ": " + single.explanation;
+      return result;
+    }
+  }
+  if (!options.try_chains) {
+    result.explanation = "no single view admits an equivalent rewriting";
+    return result;
+  }
+
+  // Phase 2: ordered chains of two views.
+  for (int i = 0; i < static_cast<int>(views.size()); ++i) {
+    const Pattern& vi = views[static_cast<size_t>(i)];
+    if (vi.IsEmpty()) continue;
+    for (int j = 0; j < static_cast<int>(views.size()); ++j) {
+      if (j == i) continue;
+      const Pattern& vj = views[static_cast<size_t>(j)];
+      if (vj.IsEmpty()) continue;
+      SelectionInfo ii(vi);
+      SelectionInfo ji(vj);
+      if (ii.depth() + ji.depth() > pi.depth()) continue;
+      Pattern chained = Compose(vj, vi);
+      if (chained.IsEmpty()) continue;
+      RewriteResult over_chain = DecideRewrite(p, chained, options.engine);
+      if (over_chain.status == RewriteStatus::kFound) {
+        result.found = true;
+        result.view_chain = {i, j};
+        result.rewriting = over_chain.rewriting;
+        result.explanation = "chained views #" + std::to_string(i) +
+                             " then #" + std::to_string(j) + " (W = " +
+                             ToXPath(chained) + "): " +
+                             over_chain.explanation;
+        return result;
+      }
+    }
+  }
+
+  result.explanation =
+      "no single view or two-view chain admits an equivalent rewriting";
+  return result;
+}
+
+}  // namespace xpv

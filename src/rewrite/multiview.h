@@ -1,0 +1,58 @@
+#ifndef XPV_REWRITE_MULTIVIEW_H_
+#define XPV_REWRITE_MULTIVIEW_H_
+
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "rewrite/engine.h"
+
+namespace xpv {
+
+/// Result of rewriting against a set of views.
+struct MultiViewRewriteResult {
+  bool found = false;
+  /// Indices (into the input vector) of the views used, in application
+  /// order: the first view is applied to the document, each further view
+  /// to the previous result. Length 1 = ordinary single-view rewriting.
+  std::vector<int> view_chain;
+  /// The final rewriting R: with W the composition of the chained views,
+  /// R ∘ W ≡ P.
+  Pattern rewriting = Pattern::Empty();
+  std::string explanation;
+};
+
+/// Options for the multi-view search.
+struct MultiViewOptions {
+  /// Also try chains of two views W = V_j ∘ V_i. Because
+  /// (V_j ∘ V_i)(t) = V_j(V_i(t)) (Prop 2.4), a chained rewriting is still
+  /// answerable purely from the materialized result of V_i — V_j and R are
+  /// evaluated on cached subtrees only.
+  bool try_chains = true;
+  RewriteOptions engine;
+};
+
+/// Rewriting using multiple views — the paper's fifth open problem
+/// ("formulating and solving the problem of rewriting a query using
+/// multiple views", Section 6) in its sequential-composition form:
+///
+///   1. For each view V_i, ask the single-view engine for R with
+///      R ∘ V_i ≡ P.
+///   2. If none succeeds and chains are enabled, for each ordered pair
+///      (V_i, V_j) with depth(V_i) + depth(V_j) <= depth(P) and
+///      V_j ∘ V_i nonempty, ask for R with R ∘ (V_j ∘ V_i) ≡ P.
+///
+/// Soundness is inherited from the single-view engine (every answer
+/// passed an equivalence test). The search is complete relative to the
+/// engine for chains of length <= 2; longer chains add nothing here
+/// because W ranges over compositions that are themselves patterns, so
+/// any chain is equivalent to some single "virtual view" — the value of
+/// chaining is that each W is available from already-materialized
+/// results.
+MultiViewRewriteResult DecideRewriteMultiView(
+    const Pattern& p, const std::vector<Pattern>& views,
+    const MultiViewOptions& options = {});
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_MULTIVIEW_H_

@@ -1,0 +1,18 @@
+#include "rewrite/nf.h"
+
+#include "pattern/properties.h"
+
+namespace xpv {
+
+bool IsInNormalFormNfStar(const Pattern& q) {
+  if (q.IsEmpty()) return false;
+  for (NodeId n = 1; n < q.size(); ++n) {
+    if (q.edge(n) != EdgeType::kDescendant) continue;
+    if (q.label(n) != LabelStore::kWildcard) continue;  // Non-* root.
+    if (IsLinearSubtree(q, n)) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace xpv

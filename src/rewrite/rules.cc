@@ -1,0 +1,236 @@
+#include "rewrite/rules.h"
+
+#include <cassert>
+
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "rewrite/gnf.h"
+#include "rewrite/stability.h"
+
+namespace xpv {
+
+std::string RuleName(RuleId id) {
+  switch (id) {
+    case RuleId::kDepthExceeded:
+      return "depth-exceeded (Prop 3.1(1): k > d)";
+    case RuleId::kSelectionLabelMismatch:
+      return "selection-label-mismatch (Prop 3.1(3))";
+    case RuleId::kEqualDepths:
+      return "equal-depths (k = d)";
+    case RuleId::kViewOutputIsRoot:
+      return "view-output-is-root (Prop 3.5: k = 0)";
+    case RuleId::kStableSubPattern:
+      return "stable-sub-pattern (Thm 4.3)";
+    case RuleId::kChildOnlyQueryPrefix:
+      return "child-only-query-prefix (Thm 4.4)";
+    case RuleId::kDescendantIntoViewOutput:
+      return "descendant-into-view-output (Thm 4.9)";
+    case RuleId::kChildOnlyViewPath:
+      return "child-only-view-path (Thm 4.10)";
+    case RuleId::kCorrespondingLastDescendant:
+      return "corresponding-last-descendant (Thm 4.16)";
+    case RuleId::kGeneralizedNormalForm:
+      return "generalized-normal-form (Thm 5.4)";
+    case RuleId::kStableReduction:
+      return "stable-reduction (Prop 5.1 / Cor 5.2)";
+    case RuleId::kSuffixReduction:
+      return "suffix-reduction (Prop 5.6 / Cor 5.7)";
+    case RuleId::kExtendLiftReduction:
+      return "extend-lift-reduction (Thm 5.9 / Cor 5.11)";
+  }
+  return "unknown-rule";
+}
+
+std::optional<NecessaryViolation> ViolatesBasicNecessaryConditions(
+    const Pattern& p, const Pattern& v) {
+  assert(!p.IsEmpty() && !v.IsEmpty());
+  SelectionInfo pi(p);
+  SelectionInfo vi(v);
+  const int d = pi.depth();
+  const int k = vi.depth();
+  if (k > d) {
+    return NecessaryViolation{
+        RuleId::kDepthExceeded,
+        "depth(V) = " + std::to_string(k) + " exceeds depth(P) = " +
+            std::to_string(d)};
+  }
+  // By Prop 3.1(3) applied to R∘V ≡ P: the i-node of R∘V is the i-node of V
+  // for i < k, so its label (wildcard included, as a symbol) must equal the
+  // label of the i-node of P.
+  for (int i = 0; i < k; ++i) {
+    LabelId lp = p.label(pi.KNode(i));
+    LabelId lv = v.label(vi.KNode(i));
+    if (lp != lv) {
+      return NecessaryViolation{
+          RuleId::kSelectionLabelMismatch,
+          "selection labels differ at depth " + std::to_string(i) + ": P has " +
+              LabelName(lp) + ", V has " + LabelName(lv)};
+    }
+  }
+  // At depth k the label of R∘V is glb(label(root(R)), label(out(V))), which
+  // must equal the k-node label of P; solvable iff out(V) is labeled '*' or
+  // exactly like the k-node of P.
+  LabelId lk = p.label(pi.KNode(k));
+  LabelId lo = v.label(v.output());
+  if (lo != LabelStore::kWildcard && lo != lk) {
+    return NecessaryViolation{
+        RuleId::kSelectionLabelMismatch,
+        "out(V) is labeled " + LabelName(lo) + " but the k-node of P is " +
+            LabelName(lk) + " (no glb can produce it)"};
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Bitmask over the three transformation kinds; each may appear at most
+/// once in a chain.
+enum TransformBit {
+  kUsedStable = 1,
+  kUsedSuffix = 2,
+  kUsedExtendLift = 4,
+};
+
+/// Checks the direct (non-transforming) completeness conditions on (p, v).
+std::optional<CompletenessFinding> CheckDirectConditions(const Pattern& p,
+                                                         const Pattern& v) {
+  SelectionInfo pi(p);
+  SelectionInfo vi(v);
+  const int d = pi.depth();
+  const int k = vi.depth();
+
+  if (k == d) {
+    return CompletenessFinding{{RuleId::kEqualDepths}, true,
+                               "view depth equals query depth"};
+  }
+  if (k == 0) {
+    return CompletenessFinding{{RuleId::kViewOutputIsRoot}, true,
+                               "the output of V is its root"};
+  }
+  if (IsStableSufficient(SubPattern(p, k))) {
+    return CompletenessFinding{{RuleId::kStableSubPattern}, true,
+                               "P>=k satisfies a stability condition of "
+                               "Prop 4.1"};
+  }
+  if (pi.ChildOnlyRange(0, k)) {
+    return CompletenessFinding{{RuleId::kChildOnlyQueryPrefix}, true,
+                               "the first k selection edges of P are child "
+                               "edges"};
+  }
+  if (vi.SelectionEdge(k) == EdgeType::kDescendant) {
+    return CompletenessFinding{{RuleId::kDescendantIntoViewOutput}, true,
+                               "a descendant edge enters out(V)"};
+  }
+  if (vi.ChildOnlyRange(0, k)) {
+    return CompletenessFinding{{RuleId::kChildOnlyViewPath}, false,
+                               "the selection path of V has only child "
+                               "edges"};
+  }
+  const int j = pi.DeepestDescendantSelectionEdge();
+  if (j >= 1 && j <= k && vi.SelectionEdge(j) == EdgeType::kDescendant) {
+    return CompletenessFinding{
+        {RuleId::kCorrespondingLastDescendant}, true,
+        "the last descendant selection edge of P (depth " +
+            std::to_string(j) + ") corresponds to a descendant edge of V"};
+  }
+  if (IsInGeneralizedNormalForm(p)) {
+    return CompletenessFinding{{RuleId::kGeneralizedNormalForm}, false,
+                               "P is in GNF/*"};
+  }
+  return std::nullopt;
+}
+
+std::optional<CompletenessFinding> Evaluate(const Pattern& p, const Pattern& v,
+                                            unsigned used_mask);
+
+/// Tries a transformed instance; on success, prepends the transform id.
+std::optional<CompletenessFinding> TryTransformed(
+    RuleId transform, const std::string& detail, const Pattern& p2,
+    const Pattern& v2, unsigned used_mask) {
+  // Necessary violations on transformed instances also certify
+  // nonexistence (the transforms preserve rewriting existence), but they
+  // are surfaced by EvaluateConditions at the top level only when detected
+  // there; inside the recursion we simply do not claim completeness from a
+  // violated instance. (The engine has already failed the candidates, so a
+  // completeness finding and a violation lead to the same verdict.)
+  std::optional<CompletenessFinding> inner = Evaluate(p2, v2, used_mask);
+  if (!inner.has_value()) return std::nullopt;
+  CompletenessFinding out;
+  out.chain.push_back(transform);
+  out.chain.insert(out.chain.end(), inner->chain.begin(), inner->chain.end());
+  out.sub_candidate_only = inner->sub_candidate_only;
+  out.detail = detail + "; then " + inner->detail;
+  return out;
+}
+
+std::optional<CompletenessFinding> Evaluate(const Pattern& p, const Pattern& v,
+                                            unsigned used_mask) {
+  if (auto direct = CheckDirectConditions(p, v)) return direct;
+
+  SelectionInfo pi(p);
+  SelectionInfo vi(v);
+  const int d = pi.depth();
+  const int k = vi.depth();
+
+  // Transform 1 (Prop 5.1 / Cor 5.2): reduce to (P≥i, V≥i) for the largest
+  // 1 <= i <= k with P≥i satisfying a stability condition. Requires the
+  // i-node labels of P and V to be compatible, which the caller-verified
+  // necessary conditions already guarantee for i < k.
+  if ((used_mask & kUsedStable) == 0) {
+    for (int i = k; i >= 1; --i) {
+      if (!IsStableSufficient(SubPattern(p, i))) continue;
+      auto result = TryTransformed(
+          RuleId::kStableReduction,
+          "reduced to (P>=" + std::to_string(i) + ", V>=" + std::to_string(i) +
+              ") by stability of P>=" + std::to_string(i),
+          SubPattern(p, i), SubPattern(v, i), used_mask | kUsedStable);
+      if (result.has_value()) return result;
+    }
+  }
+
+  // Transform 2 (Prop 5.6): with i the deepest descendant selection edge of
+  // V, pass to (*//P≥i, *//V≥i). Natural candidates are preserved.
+  if ((used_mask & kUsedSuffix) == 0) {
+    const int i = vi.DeepestDescendantSelectionEdge();
+    if (i >= 1) {
+      auto result = TryTransformed(
+          RuleId::kSuffixReduction,
+          "passed to (*//P>=" + std::to_string(i) + ", *//V>=" +
+              std::to_string(i) + ")",
+          DescendantPrefix(LabelStore::kWildcard, SubPattern(p, i)),
+          DescendantPrefix(LabelStore::kWildcard, SubPattern(v, i)),
+          used_mask | kUsedSuffix);
+      if (result.has_value()) return result;
+    }
+  }
+
+  // Transform 3 (Thm 5.9 / Cor 5.11): for a j-node of P with a non-*
+  // label (k <= j <= d), pass to ((P^{+µ})^{j→}, V^{+*}) with µ fresh.
+  if ((used_mask & kUsedExtendLift) == 0) {
+    for (int j = d; j >= k; --j) {
+      if (p.label(pi.KNode(j)) == LabelStore::kWildcard) continue;
+      LabelId mu = Labels().Fresh("mu");
+      auto result = TryTransformed(
+          RuleId::kExtendLiftReduction,
+          "extended with µ and lifted the output to depth " +
+              std::to_string(j),
+          LiftOutput(Extend(p, mu), j), Extend(v, LabelStore::kWildcard),
+          used_mask | kUsedExtendLift);
+      if (result.has_value()) return result;
+    }
+  }
+
+  return std::nullopt;
+}
+
+}  // namespace
+
+ConditionsReport EvaluateConditions(const Pattern& p, const Pattern& v) {
+  ConditionsReport report;
+  report.violation = ViolatesBasicNecessaryConditions(p, v);
+  if (report.violation.has_value()) return report;
+  report.completeness = Evaluate(p, v, 0);
+  return report;
+}
+
+}  // namespace xpv

@@ -1,0 +1,81 @@
+#ifndef XPV_REWRITE_RULES_H_
+#define XPV_REWRITE_RULES_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Identifiers for the paper's results used by the decision engine, both as
+/// *necessary conditions* (violations certify that no rewriting exists) and
+/// as *completeness conditions* (guarantees that a natural candidate is a
+/// potential rewriting, so candidate failure certifies nonexistence).
+enum class RuleId {
+  // ---- Necessary conditions (violation => no rewriting). ----
+  kDepthExceeded,           ///< k > d (Prop 3.1(1)).
+  kSelectionLabelMismatch,  ///< Selection-label clash (Prop 3.1(3)).
+
+  // ---- Direct completeness conditions on an instance (P, V). ----
+  kEqualDepths,              ///< k == d (Section 4, pre-4.1 discussion).
+  kViewOutputIsRoot,         ///< k == 0, out(V) = root(V) (Prop 3.5).
+  kStableSubPattern,         ///< P≥k stable (Thm 4.3 + Prop 4.1).
+  kChildOnlyQueryPrefix,     ///< Selection path of P≤k child-only (Thm 4.4).
+  kDescendantIntoViewOutput, ///< Descendant edge enters out(V) (Thm 4.9).
+  kChildOnlyViewPath,        ///< Selection path of V child-only (Thm 4.10).
+  kCorrespondingLastDescendant,  ///< Last // of P corresponds in V (Thm 4.16).
+  kGeneralizedNormalForm,    ///< P in GNF/* (Thm 5.4).
+
+  // ---- Instance transformations (Section 5). ----
+  kStableReduction,   ///< (P,V) -> (P≥i, V≥i), P≥i stable (Prop 5.1/Cor 5.2).
+  kSuffixReduction,   ///< (P,V) -> (*//P≥i, *//V≥i), i = deepest // of V (Prop 5.6; with Thm 4.16 yields Cor 5.7).
+  kExtendLiftReduction,  ///< (P,V) -> ((P^{+µ})^{j→}, V^{+*}) (Thm 5.9/Cor 5.11).
+};
+
+/// Human-readable name of a rule (for explanations and the benches).
+std::string RuleName(RuleId id);
+
+/// A certificate that the natural candidates w.r.t. the *original* instance
+/// contain a potential rewriting. `chain` lists any transformations applied
+/// (§5) followed by the direct condition that fired on the transformed
+/// instance. All transformations used preserve the natural candidates (or
+/// their ^{+µ}/lift images, Prop 5.10), so the certificate transfers back.
+struct CompletenessFinding {
+  std::vector<RuleId> chain;
+  /// True when the guarantee covers only P≥k (not P≥k_r//). Informational:
+  /// the engine always tests both candidates regardless.
+  bool sub_candidate_only = true;
+  /// Description of the fired condition for explanations.
+  std::string detail;
+};
+
+/// A certificate that no rewriting of P using V exists, from a violated
+/// necessary condition (possibly detected on a §5-transformed instance; the
+/// transformations preserve (non)existence of rewritings).
+struct NecessaryViolation {
+  RuleId rule;
+  std::string detail;
+};
+
+/// Result of evaluating the paper's conditions on an instance.
+struct ConditionsReport {
+  std::optional<NecessaryViolation> violation;
+  std::optional<CompletenessFinding> completeness;
+};
+
+/// Evaluates all necessary and completeness conditions on (p, v), including
+/// recursive application of the Section-5 transformations (each transform
+/// kind is applied at most once per chain). Requires nonempty p, v with
+/// depth(v) <= depth(p); `ViolatesBasicNecessaryConditions` must be checked
+/// by the caller first for the k > d case.
+ConditionsReport EvaluateConditions(const Pattern& p, const Pattern& v);
+
+/// Checks the depth and selection-label necessary conditions on (p, v).
+std::optional<NecessaryViolation> ViolatesBasicNecessaryConditions(
+    const Pattern& p, const Pattern& v);
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_RULES_H_

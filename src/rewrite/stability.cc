@@ -1,0 +1,23 @@
+#include "rewrite/stability.h"
+
+#include <set>
+
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+
+namespace xpv {
+
+bool IsStableSufficient(const Pattern& q) {
+  if (q.IsEmpty()) return false;
+  if (q.label(q.root()) != LabelStore::kWildcard) return true;  // Case 1.
+  SelectionInfo info(q);
+  if (info.depth() == 0) return true;  // Case 2.
+  // Case 3: a Σ-label of Q missing from Q≥1.
+  std::set<LabelId> below = SigmaLabelsInSubtree(q, info.KNode(1));
+  for (LabelId l : SigmaLabels(q)) {
+    if (below.find(l) == below.end()) return true;
+  }
+  return false;
+}
+
+}  // namespace xpv

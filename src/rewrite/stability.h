@@ -1,0 +1,23 @@
+#ifndef XPV_REWRITE_STABILITY_H_
+#define XPV_REWRITE_STABILITY_H_
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Sufficient conditions for *stability* (Proposition 4.1, after [10]).
+///
+/// A pattern Q is stable if weak equivalence to Q coincides with ordinary
+/// equivalence to Q. Stability in general is not known to be efficiently
+/// decidable; this predicate checks the paper's three sufficient
+/// conditions and may return false for patterns that are in fact stable:
+///   1. the root of Q is not labeled '*';
+///   2. Q has depth 0;
+///   3. Q has depth >= 1 and contains a Σ-label that does not occur in Q≥1
+///      (i.e. some branch hanging off the root carries a label seen nowhere
+///      below the 1-node).
+bool IsStableSufficient(const Pattern& q);
+
+}  // namespace xpv
+
+#endif  // XPV_REWRITE_STABILITY_H_

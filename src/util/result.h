@@ -1,0 +1,60 @@
+#ifndef XPV_UTIL_RESULT_H_
+#define XPV_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xpv {
+
+/// A minimal value-or-error holder used by the parsers and other fallible
+/// operations. The library does not use exceptions; fallible entry points
+/// return `Result<T>` and callers are expected to check `ok()` before
+/// dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs an error result carrying a human-readable message.
+  static Result Error(std::string message) {
+    return Result(ErrorTag{}, std::move(message));
+  }
+
+  /// True if this result holds a value.
+  bool ok() const { return storage_.index() == 0; }
+
+  /// The held value. Requires `ok()`.
+  const T& value() const {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+  T& value() {
+    assert(ok());
+    return std::get<0>(storage_);
+  }
+
+  /// Moves the held value out. Requires `ok()`.
+  T&& take() {
+    assert(ok());
+    return std::move(std::get<0>(storage_));
+  }
+
+  /// The error message. Requires `!ok()`.
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<1>(storage_);
+  }
+
+ private:
+  struct ErrorTag {};
+  Result(ErrorTag, std::string message) : storage_(std::move(message)) {}
+
+  std::variant<T, std::string> storage_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_RESULT_H_

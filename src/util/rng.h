@@ -1,0 +1,49 @@
+#ifndef XPV_UTIL_RNG_H_
+#define XPV_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace xpv {
+
+/// Deterministic pseudo-random number generator (splitmix64 core).
+///
+/// The workload generators and the property-based tests need streams that
+/// are reproducible across platforms and standard-library versions, which
+/// `std::mt19937` + `std::uniform_int_distribution` does not guarantee.
+/// This generator is small, fast and fully specified.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int IntIn(int lo, int hi) {
+    return lo + static_cast<int>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw with probability `p` (clamped to [0,1]).
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    // 53-bit mantissa gives a uniform double in [0,1).
+    double u = static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+    return u < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_RNG_H_

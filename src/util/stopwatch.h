@@ -1,0 +1,32 @@
+#ifndef XPV_UTIL_STOPWATCH_H_
+#define XPV_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace xpv {
+
+/// Wall-clock stopwatch used by the examples and ad-hoc measurements.
+/// (The bench/ binaries use google-benchmark's own timing instead.)
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_STOPWATCH_H_

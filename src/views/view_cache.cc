@@ -1,0 +1,64 @@
+#include "views/view_cache.h"
+
+#include <algorithm>
+
+#include "eval/evaluator.h"
+
+namespace xpv {
+
+MaterializedView::MaterializedView(ViewDefinition definition, const Tree& doc)
+    : definition_(std::move(definition)), doc_(&doc) {
+  outputs_ = Eval(definition_.pattern, doc);
+}
+
+std::vector<Tree> MaterializedView::MaterializeCopies() const {
+  std::vector<Tree> copies;
+  copies.reserve(outputs_.size());
+  for (NodeId o : outputs_) copies.push_back(doc_->ExtractSubtree(o));
+  return copies;
+}
+
+std::vector<NodeId> MaterializedView::Apply(const Pattern& r) const {
+  if (r.IsEmpty() || outputs_.empty()) return {};
+  Evaluator evaluator(r, *doc_);
+  std::vector<NodeId> all;
+  for (NodeId o : outputs_) {
+    std::vector<NodeId> part = evaluator.OutputsAnchoredAt(o);
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+ViewCache::ViewCache(const Tree& doc, RewriteOptions options)
+    : doc_(&doc), options_(options) {
+  options_.oracle = &oracle_;
+}
+
+int ViewCache::AddView(ViewDefinition definition) {
+  views_.emplace_back(std::move(definition), *doc_);
+  return static_cast<int>(views_.size()) - 1;
+}
+
+CacheAnswer ViewCache::Answer(const Pattern& query) {
+  ++stats_.queries;
+  CacheAnswer answer;
+  for (const MaterializedView& view : views_) {
+    RewriteResult result =
+        DecideRewrite(query, view.definition().pattern, options_);
+    if (result.status == RewriteStatus::kFound) {
+      answer.hit = true;
+      answer.view_name = view.definition().name;
+      answer.rewriting = result.rewriting;
+      answer.outputs = view.Apply(result.rewriting);
+      ++stats_.hits;
+      return answer;
+    }
+    if (result.status == RewriteStatus::kUnknown) ++stats_.rewrite_unknown;
+  }
+  answer.outputs = Eval(query, *doc_);
+  return answer;
+}
+
+}  // namespace xpv

@@ -1,0 +1,115 @@
+#ifndef XPV_VIEWS_VIEW_CACHE_H_
+#define XPV_VIEWS_VIEW_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "containment/oracle.h"
+#include "pattern/pattern.h"
+#include "rewrite/engine.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// A named view definition.
+struct ViewDefinition {
+  std::string name;
+  Pattern pattern;
+};
+
+/// A view materialized over one document: V has been applied to `doc` and
+/// the result V(doc) — a set of subtrees of doc, identified by their root
+/// nodes — is stored (Section 2.4).
+///
+/// Subtrees are kept as node ids into the original document rather than
+/// deep copies: applying a rewriting R to the view then amounts to
+/// evaluating R anchored at each stored node, which is exactly R(V(t)).
+/// `MaterializeCopies()` produces standalone subtree copies when a
+/// shipped-result cache is being simulated (see bench_view_cache).
+class MaterializedView {
+ public:
+  /// Evaluates `definition.pattern` over `doc`. `doc` must outlive this.
+  MaterializedView(ViewDefinition definition, const Tree& doc);
+
+  const ViewDefinition& definition() const { return definition_; }
+  const Tree& doc() const { return *doc_; }
+
+  /// Root nodes (in `doc`) of the subtrees in V(doc), sorted.
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Deep copies of the result subtrees.
+  std::vector<Tree> MaterializeCopies() const;
+
+  /// Applies a rewriting `r` to the materialized result: the union over
+  /// o in outputs() of r(doc^o), as sorted node ids of `doc`. By
+  /// Proposition 2.4 this equals (r ∘ V)(doc).
+  std::vector<NodeId> Apply(const Pattern& r) const;
+
+ private:
+  ViewDefinition definition_;
+  const Tree* doc_;
+  std::vector<NodeId> outputs_;
+};
+
+/// Outcome of answering one query through the cache.
+struct CacheAnswer {
+  /// True if some cached view admitted an equivalent rewriting.
+  bool hit = false;
+  /// Name of the view used (when hit).
+  std::string view_name;
+  /// The rewriting applied (when hit).
+  Pattern rewriting = Pattern::Empty();
+  /// Query result, as sorted node ids of the document. Always filled:
+  /// on a miss the query is evaluated directly against the document.
+  std::vector<NodeId> outputs;
+};
+
+/// Aggregate statistics of a cache session.
+struct CacheStats {
+  uint64_t queries = 0;
+  uint64_t hits = 0;
+  uint64_t rewrite_unknown = 0;  ///< Queries where some view got kUnknown.
+};
+
+/// A materialized-view cache over a single document: the end-to-end
+/// application from the paper's introduction (answering queries from
+/// cached views). For each query P it scans the cached views, asks the
+/// rewrite engine for an equivalent rewriting R with R ∘ V ≡ P, and on
+/// success answers R(V(t)) without touching the parts of the document
+/// outside the view; otherwise it falls back to direct evaluation.
+class ViewCache {
+ public:
+  /// `doc` must outlive the cache.
+  explicit ViewCache(const Tree& doc, RewriteOptions options = {});
+
+  // Not copyable or movable (the engine options point at the internal
+  // oracle).
+  ViewCache(const ViewCache&) = delete;
+  ViewCache& operator=(const ViewCache&) = delete;
+
+  /// Materializes and registers a view. Returns its index.
+  int AddView(ViewDefinition definition);
+
+  const std::vector<MaterializedView>& views() const { return views_; }
+
+  /// Answers `query` (see CacheAnswer).
+  CacheAnswer Answer(const Pattern& query);
+
+  const CacheStats& stats() const { return stats_; }
+
+  /// The cache's memoizing containment oracle (repeated queries amortize
+  /// their equivalence tests through it).
+  const ContainmentOracle& oracle() const { return oracle_; }
+
+ private:
+  const Tree* doc_;
+  RewriteOptions options_;
+  ContainmentOracle oracle_;
+  std::vector<MaterializedView> views_;
+  CacheStats stats_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_VIEWS_VIEW_CACHE_H_

@@ -1,0 +1,92 @@
+#include "views/view_selection.h"
+
+#include <map>
+#include <set>
+
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "rewrite/engine.h"
+
+namespace xpv {
+
+std::vector<CandidateView> EnumerateCandidateViews(
+    const std::vector<WorkloadQuery>& workload) {
+  // Collect deduplicated prefix views.
+  std::map<std::string, Pattern> prefixes;
+  for (const WorkloadQuery& query : workload) {
+    if (query.pattern.IsEmpty()) continue;
+    SelectionInfo info(query.pattern);
+    // k starts at 1: the k = 0 prefix is a root-anchored view whose
+    // materialization is (essentially) the whole document, which defeats
+    // the purpose of caching.
+    for (int k = 1; k < info.depth(); ++k) {
+      Pattern prefix = UpperPattern(query.pattern, k);
+      prefixes.emplace(prefix.CanonicalEncoding(), std::move(prefix));
+    }
+  }
+
+  std::vector<CandidateView> candidates;
+  candidates.reserve(prefixes.size());
+  for (auto& [key, view] : prefixes) {
+    CandidateView candidate;
+    candidate.depth = SelectionInfo(view).depth();
+    for (int qi = 0; qi < static_cast<int>(workload.size()); ++qi) {
+      const WorkloadQuery& query = workload[static_cast<size_t>(qi)];
+      if (query.pattern.IsEmpty()) continue;
+      RewriteResult result = DecideRewrite(query.pattern, view);
+      if (result.status == RewriteStatus::kFound) {
+        candidate.answers.push_back(qi);
+        candidate.covered_weight += query.weight;
+      }
+    }
+    candidate.pattern = std::move(view);
+    if (!candidate.answers.empty()) {
+      candidates.push_back(std::move(candidate));
+    }
+  }
+  return candidates;
+}
+
+ViewSelectionResult SelectViews(const std::vector<WorkloadQuery>& workload,
+                                const ViewSelectionOptions& options) {
+  ViewSelectionResult result;
+  for (const WorkloadQuery& query : workload) {
+    result.total_weight += query.weight;
+  }
+
+  std::vector<CandidateView> candidates = EnumerateCandidateViews(workload);
+  std::set<int> covered;
+  std::vector<char> used(candidates.size(), 0);
+
+  for (int round = 0; round < options.max_views; ++round) {
+    int best = -1;
+    double best_gain = 0.0;
+    for (int ci = 0; ci < static_cast<int>(candidates.size()); ++ci) {
+      if (used[static_cast<size_t>(ci)] != 0) continue;
+      double gain = 0.0;
+      for (int qi : candidates[static_cast<size_t>(ci)].answers) {
+        if (covered.find(qi) == covered.end()) {
+          gain += workload[static_cast<size_t>(qi)].weight;
+        }
+      }
+      // Tie-break toward deeper (cheaper-to-store) views.
+      if (gain > best_gain ||
+          (gain == best_gain && best >= 0 && gain > 0.0 &&
+           candidates[static_cast<size_t>(ci)].depth >
+               candidates[static_cast<size_t>(best)].depth)) {
+        best = ci;
+        best_gain = gain;
+      }
+    }
+    if (best < 0 || best_gain <= 0.0) break;
+    used[static_cast<size_t>(best)] = 1;
+    for (int qi : candidates[static_cast<size_t>(best)].answers) {
+      covered.insert(qi);
+    }
+    result.covered_weight += best_gain;
+    result.chosen.push_back(candidates[static_cast<size_t>(best)]);
+  }
+  return result;
+}
+
+}  // namespace xpv

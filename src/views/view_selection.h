@@ -1,0 +1,69 @@
+#ifndef XPV_VIEWS_VIEW_SELECTION_H_
+#define XPV_VIEWS_VIEW_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// A query with a frequency weight (how often it is asked).
+struct WorkloadQuery {
+  Pattern pattern = Pattern::Empty();
+  double weight = 1.0;
+};
+
+/// A candidate view together with the workload queries it can answer.
+struct CandidateView {
+  Pattern pattern = Pattern::Empty();
+  /// Indices into the workload of queries with an equivalent rewriting
+  /// over this view.
+  std::vector<int> answers;
+  /// Total weight of those queries.
+  double covered_weight = 0.0;
+  /// Materialization-cost proxy: the view's depth (shallower views select
+  /// more of the document and cost more to store).
+  int depth = 0;
+};
+
+/// Result of view selection.
+struct ViewSelectionResult {
+  /// Chosen views (subset of the candidates, in selection order).
+  std::vector<CandidateView> chosen;
+  /// Weight of workload queries answerable from at least one chosen view.
+  double covered_weight = 0.0;
+  /// Total workload weight.
+  double total_weight = 0.0;
+};
+
+/// Options for view selection.
+struct ViewSelectionOptions {
+  /// Maximum number of views to select.
+  int max_views = 3;
+  /// Per-query rewrite decisions use the standard engine; kUnknown counts
+  /// as not answerable (sound under-approximation).
+};
+
+/// Enumerates candidate views for a workload: all proper selection-path
+/// prefixes P≤k (1 <= k < depth) of every workload query, deduplicated,
+/// each scored by the workload weight it covers (via the rewrite engine).
+/// This is the natural candidate space: prefix views always answer their
+/// own query. The k = 0 prefix (a view materializing essentially the
+/// whole document) is deliberately excluded.
+std::vector<CandidateView> EnumerateCandidateViews(
+    const std::vector<WorkloadQuery>& workload);
+
+/// Greedy weighted set cover over the candidate views: repeatedly picks
+/// the candidate covering the most yet-uncovered workload weight, up to
+/// `options.max_views`. This is the classical (1 - 1/e)-approximation for
+/// coverage, instantiated for the paper's fourth open problem ("given a
+/// set of queries that are frequently asked, what is an optimal set of
+/// views that should be maintained?", Section 6).
+ViewSelectionResult SelectViews(const std::vector<WorkloadQuery>& workload,
+                                const ViewSelectionOptions& options = {});
+
+}  // namespace xpv
+
+#endif  // XPV_VIEWS_VIEW_SELECTION_H_

@@ -1,0 +1,160 @@
+#include "workload/generator.h"
+
+#include <cassert>
+#include <string>
+
+#include "pattern/algebra.h"
+#include "pattern/canonical.h"
+#include "pattern/properties.h"
+
+namespace xpv {
+
+LabelId GenLabel(int i) {
+  std::string name = "a";
+  name.append(std::to_string(i));
+  return L(name);
+}
+
+namespace {
+
+LabelId DrawLabel(Rng& rng, const PatternGenOptions& options) {
+  if (rng.Chance(options.wildcard_prob)) return LabelStore::kWildcard;
+  return GenLabel(rng.IntIn(0, options.alphabet_size - 1));
+}
+
+EdgeType DrawEdge(Rng& rng, const PatternGenOptions& options) {
+  return rng.Chance(options.descendant_prob) ? EdgeType::kDescendant
+                                             : EdgeType::kChild;
+}
+
+}  // namespace
+
+Pattern RandomPattern(Rng& rng, const PatternGenOptions& options) {
+  const int depth = rng.IntIn(options.min_depth, options.max_depth);
+  Pattern p(DrawLabel(rng, options));
+  NodeId spine = p.root();
+  for (int i = 0; i < depth; ++i) {
+    spine = p.AddChild(spine, DrawLabel(rng, options), DrawEdge(rng, options));
+  }
+  p.set_output(spine);
+
+  const int branches = rng.IntIn(0, options.max_branches);
+  for (int b = 0; b < branches; ++b) {
+    // Attach a small chain/branch at any existing node.
+    NodeId attach = static_cast<NodeId>(rng.Below(
+        static_cast<uint64_t>(p.size())));
+    int branch_size = rng.IntIn(1, options.max_branch_size);
+    NodeId cur = attach;
+    for (int i = 0; i < branch_size; ++i) {
+      cur = p.AddChild(cur, DrawLabel(rng, options), DrawEdge(rng, options));
+      // Occasionally fork within the branch.
+      if (rng.Chance(0.25)) cur = attach;
+    }
+  }
+  return p;
+}
+
+Tree RandomTree(Rng& rng, const TreeGenOptions& options) {
+  Tree t(GenLabel(rng.IntIn(0, options.alphabet_size - 1)));
+  std::vector<std::pair<NodeId, int>> frontier = {{t.root(), 0}};
+  while (t.size() < options.max_nodes && !frontier.empty()) {
+    size_t pick = rng.Below(frontier.size());
+    auto [node, depth] = frontier[pick];
+    frontier.erase(frontier.begin() + static_cast<long>(pick));
+    if (depth >= options.max_depth) continue;
+    int fanout = rng.IntIn(0, options.max_fanout);
+    for (int i = 0; i < fanout && t.size() < options.max_nodes; ++i) {
+      NodeId c = t.AddChild(
+          node, GenLabel(rng.IntIn(0, options.alphabet_size - 1)));
+      frontier.push_back({c, depth + 1});
+    }
+  }
+  return t;
+}
+
+Pattern PrefixView(Rng& rng, const Pattern& p, int* k_out) {
+  SelectionInfo info(p);
+  const int k = rng.IntIn(0, info.depth());
+  if (k_out != nullptr) *k_out = k;
+  return UpperPattern(p, k);
+}
+
+Pattern PerturbedView(Rng& rng, const Pattern& p, int* k_out) {
+  Pattern v = PrefixView(rng, p, k_out);
+  const int perturbations = rng.IntIn(0, 2);
+  for (int i = 0; i < perturbations; ++i) {
+    if (v.size() <= 1) break;
+    NodeId n = 1 + static_cast<NodeId>(rng.Below(
+                       static_cast<uint64_t>(v.size() - 1)));
+    switch (rng.Below(3)) {
+      case 0:
+        v.set_edge(n, EdgeType::kDescendant);
+        break;
+      case 1:
+        v.set_label(n, LabelStore::kWildcard);
+        break;
+      case 2: {
+        // Delete a branch node if it is a leaf off the selection path.
+        if (v.children(n).empty() && n != v.output()) {
+          // Rebuild without n by marking: simplest is label it '*' instead
+          // when it cannot be removed cheaply; removal handled by
+          // RemoveSubtree in containment/minimize.h, but that would add a
+          // dependency here; wildcarding is an adequate generalization.
+          v.set_label(n, LabelStore::kWildcard);
+        }
+        break;
+      }
+    }
+  }
+  return v;
+}
+
+Pattern RandomSubFragmentPattern(Rng& rng, const PatternGenOptions& options,
+                                 int fragment) {
+  PatternGenOptions adjusted = options;
+  switch (fragment) {
+    case 0:  // XP^{//,[]}: no wildcards.
+      adjusted.wildcard_prob = 0.0;
+      break;
+    case 1:  // XP^{/,[],*}: no descendant edges.
+      adjusted.descendant_prob = 0.0;
+      break;
+    case 2:  // XP^{//,*}: linear.
+      adjusted.max_branches = 0;
+      break;
+    default:
+      assert(false);
+  }
+  return RandomPattern(rng, adjusted);
+}
+
+Tree DocumentWithMatches(Rng& rng, const Pattern& p,
+                         const TreeGenOptions& options, int copies) {
+  Tree doc = RandomTree(rng, options);
+  for (int i = 0; i < copies; ++i) {
+    CanonicalModelEnumerator en(p, /*max_len=*/2);
+    // Draw a random bounded canonical model of p.
+    std::vector<int> lengths(en.DescendantEdgeTargets().size());
+    for (int& len : lengths) len = rng.IntIn(1, 2);
+    CanonicalModel model = en.Build(lengths);
+    // Canonical models use ⊥ for wildcards; relabel those to random Σ
+    // labels so the document looks natural (wildcards match any label).
+    for (NodeId n = 0; n < model.tree.size(); ++n) {
+      if (model.tree.label(n) == LabelStore::kBottom) {
+        model.tree.set_label(
+            n, GenLabel(rng.IntIn(0, options.alphabet_size - 1)));
+      }
+    }
+    NodeId graft_at = static_cast<NodeId>(rng.Below(
+        static_cast<uint64_t>(doc.size())));
+    // Graft the model's children under a node labeled like the model root:
+    // simplest faithful embedding is grafting the whole model as a child of
+    // a random node — matches of p anchored below the root still witness
+    // weak matches; for root-anchored matches the caller can query with a
+    // '*//' prefix or we graft under the root. Keep both possible.
+    doc.GraftCopy(graft_at, model.tree);
+  }
+  return doc;
+}
+
+}  // namespace xpv

@@ -1,0 +1,68 @@
+#ifndef XPV_WORKLOAD_GENERATOR_H_
+#define XPV_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "util/rng.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Shape knobs for random pattern generation. The generator first draws a
+/// selection path (spine) and then attaches branch subtrees, matching how
+/// the paper's figures are built.
+struct PatternGenOptions {
+  int min_depth = 1;          ///< Minimum selection-path length.
+  int max_depth = 4;          ///< Maximum selection-path length.
+  int max_branches = 3;       ///< Branch subtrees attached to random nodes.
+  int max_branch_size = 3;    ///< Nodes per branch subtree.
+  double wildcard_prob = 0.3; ///< Probability a node is labeled '*'.
+  double descendant_prob = 0.35;  ///< Probability an edge is '//'.
+  int alphabet_size = 4;      ///< Labels drawn from {a0..a(n-1)}.
+};
+
+/// Draws a random pattern of XP^{//,[],*}.
+Pattern RandomPattern(Rng& rng, const PatternGenOptions& options);
+
+/// Shape knobs for random document generation.
+struct TreeGenOptions {
+  int max_nodes = 200;
+  int max_depth = 8;
+  int max_fanout = 4;
+  int alphabet_size = 4;  ///< Labels drawn from {a0..a(n-1)}.
+};
+
+/// Draws a random document tree.
+Tree RandomTree(Rng& rng, const TreeGenOptions& options);
+
+/// The i-th generator label ("a0", "a1", ...).
+LabelId GenLabel(int i);
+
+/// Derives a view from a query such that a rewriting is guaranteed to
+/// exist: V = P≤k for a random 0 <= k <= depth(P) (then P≥k ∘ V is
+/// isomorphic to P, so P≥k is a rewriting). Returns the view and sets
+/// `*k_out` to the chosen prefix depth.
+Pattern PrefixView(Rng& rng, const Pattern& p, int* k_out);
+
+/// Derives a "perturbed" view from a query: starts from P≤k and then
+/// randomly generalizes it (relaxes a child edge to a descendant edge,
+/// wildcards a branch label, or deletes a branch). The resulting instances
+/// may or may not admit rewritings — this is the adversarial mix used by
+/// the rule-coverage bench (C6).
+Pattern PerturbedView(Rng& rng, const Pattern& p, int* k_out);
+
+/// A random pattern constrained to one of the three homomorphism
+/// sub-fragments (used by the C4 bench): 0 = no wildcards, 1 = no
+/// descendant edges, 2 = linear.
+Pattern RandomSubFragmentPattern(Rng& rng, const PatternGenOptions& options,
+                                 int fragment);
+
+/// Builds a document guaranteed to contain matches of `p`: `copies`
+/// canonical models of p grafted at random nodes of a random backbone.
+Tree DocumentWithMatches(Rng& rng, const Pattern& p,
+                         const TreeGenOptions& options, int copies);
+
+}  // namespace xpv
+
+#endif  // XPV_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,81 @@
+#include "xml/label.h"
+
+#include <cassert>
+
+namespace xpv {
+
+LabelStore::LabelStore() {
+  // Reserve the distinguished symbols at fixed ids.
+  names_.push_back("*");
+  index_.emplace("*", kWildcard);
+  names_.push_back("#bot");
+  index_.emplace("#bot", kBottom);
+}
+
+LabelId LabelStore::Intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(std::string(name));
+  if (it != index_.end()) return it->second;
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.emplace_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+const std::string& LabelStore::Name(LabelId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id >= 0 && static_cast<size_t>(id) < names_.size());
+  return names_[static_cast<size_t>(id)];
+}
+
+LabelId LabelStore::Fresh(std::string_view hint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name;
+  name.reserve(hint.size() + 24);
+  name.push_back('#');
+  name.append(hint);
+  name.append(std::to_string(fresh_counter_++));
+  // Fresh names cannot collide with user labels ('#' prefix) and the counter
+  // makes them distinct from each other and from #bot.
+  assert(index_.find(name) == index_.end());
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.push_back(name);
+  index_.emplace(names_.back(), id);
+  return id;
+}
+
+bool LabelStore::IsSigma(LabelId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id >= 0 && static_cast<size_t>(id) < names_.size());
+  const std::string& n = names_[static_cast<size_t>(id)];
+  return id != kWildcard && (n.empty() || n[0] != '#');
+}
+
+size_t LabelStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return names_.size();
+}
+
+LabelStore& Labels() {
+  // Never-destroyed singleton (allowed pattern for non-trivial globals).
+  static LabelStore* store = new LabelStore();
+  return *store;
+}
+
+bool LabelGlb(LabelId a, LabelId b, LabelId* out) {
+  if (a == b) {
+    *out = a;
+    return true;
+  }
+  if (a == LabelStore::kWildcard) {
+    *out = b;
+    return true;
+  }
+  if (b == LabelStore::kWildcard) {
+    *out = a;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xpv

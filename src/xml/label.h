@@ -1,0 +1,82 @@
+#ifndef XPV_XML_LABEL_H_
+#define XPV_XML_LABEL_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xpv {
+
+/// Dense identifier for an interned label. Labels come from the infinite
+/// alphabet Σ of the paper, plus the reserved wildcard symbol `*` (which is
+/// not in Σ) and internal symbols used by the algorithms (the special label
+/// ⊥ of canonical models, fresh labels for counterexample paths, and fresh
+/// µ labels for the extension technique of Section 5.3).
+using LabelId = int32_t;
+
+/// Process-wide label interner.
+///
+/// A single global store keeps label handling out of every API signature;
+/// patterns and trees carry `LabelId`s only. Access it through `Labels()`.
+/// All methods are thread-safe.
+///
+/// Naming convention: user-visible labels (Σ) must not start with '#'.
+/// Internal labels produced by `Fresh()` and the reserved ⊥ all start with
+/// '#', so the algorithms' assumption "⊥ and fresh labels do not occur in
+/// the patterns at hand" is enforced syntactically.
+class LabelStore {
+ public:
+  /// The id of the wildcard symbol `*`. Always 0.
+  static constexpr LabelId kWildcard = 0;
+  /// The id of the special label ⊥ used by canonical models. Always 1.
+  static constexpr LabelId kBottom = 1;
+
+  LabelStore();
+
+  LabelStore(const LabelStore&) = delete;
+  LabelStore& operator=(const LabelStore&) = delete;
+
+  /// Interns `name` and returns its id. Idempotent.
+  LabelId Intern(std::string_view name);
+
+  /// Returns the spelling of `id`.
+  const std::string& Name(LabelId id) const;
+
+  /// Returns a brand-new label guaranteed distinct from every label interned
+  /// so far. `hint` is embedded in the spelling for readability.
+  LabelId Fresh(std::string_view hint);
+
+  /// True if `id` denotes a symbol of Σ (not the wildcard, not internal).
+  bool IsSigma(LabelId id) const;
+
+  /// Number of labels interned so far.
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> index_;
+  int64_t fresh_counter_ = 0;
+};
+
+/// Returns the process-wide label store.
+LabelStore& Labels();
+
+/// Convenience: interns `name` in the global store.
+inline LabelId L(std::string_view name) { return Labels().Intern(name); }
+
+/// Convenience: the spelling of `id` in the global store.
+inline const std::string& LabelName(LabelId id) { return Labels().Name(id); }
+
+/// Greatest lower bound of two labels (Section 2.3 of the paper):
+/// glb(l,l) = glb(l,*) = glb(*,l) = l for l in Σ ∪ {*}; for distinct
+/// Σ-labels the glb is the inconsistent symbol ⊤, represented here by
+/// returning false. On success, `*out` receives the glb.
+bool LabelGlb(LabelId a, LabelId b, LabelId* out);
+
+}  // namespace xpv
+
+#endif  // XPV_XML_LABEL_H_

@@ -1,0 +1,116 @@
+#include "xml/tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace xpv {
+
+Tree::Tree(LabelId root_label) {
+  labels_.push_back(root_label);
+  parents_.push_back(kNoNode);
+  children_.emplace_back();
+}
+
+NodeId Tree::AddChild(NodeId parent, LabelId label) {
+  assert(parent >= 0 && parent < size());
+  NodeId id = static_cast<NodeId>(labels_.size());
+  labels_.push_back(label);
+  parents_.push_back(parent);
+  children_.emplace_back();
+  children_[static_cast<size_t>(parent)].push_back(id);
+  return id;
+}
+
+int Tree::Depth(NodeId n) const {
+  int depth = 0;
+  for (NodeId cur = n; parents_[static_cast<size_t>(cur)] != kNoNode;
+       cur = parents_[static_cast<size_t>(cur)]) {
+    ++depth;
+  }
+  return depth;
+}
+
+bool Tree::IsAncestorOrSelf(NodeId anc, NodeId n) const {
+  for (NodeId cur = n; cur != kNoNode; cur = parents_[static_cast<size_t>(cur)]) {
+    if (cur == anc) return true;
+  }
+  return false;
+}
+
+int Tree::SubtreeHeight(NodeId n) const {
+  int best = 0;
+  for (NodeId c : children(n)) best = std::max(best, 1 + SubtreeHeight(c));
+  return best;
+}
+
+std::vector<NodeId> Tree::SubtreeNodes(NodeId n) const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> stack = {n};
+  while (!stack.empty()) {
+    NodeId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& kids = children(cur);
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) stack.push_back(*it);
+  }
+  return out;
+}
+
+Tree Tree::ExtractSubtree(NodeId n) const {
+  Tree result(label(n));
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId dst) {
+    for (NodeId c : children(src)) {
+      NodeId nc = result.AddChild(dst, label(c));
+      copy(c, nc);
+    }
+  };
+  copy(n, result.root());
+  return result;
+}
+
+NodeId Tree::GraftCopy(NodeId parent, const Tree& sub) {
+  NodeId new_root = AddChild(parent, sub.label(sub.root()));
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId dst) {
+    for (NodeId c : sub.children(src)) {
+      NodeId nc = AddChild(dst, sub.label(c));
+      copy(c, nc);
+    }
+  };
+  copy(sub.root(), new_root);
+  return new_root;
+}
+
+std::string Tree::CanonicalEncoding(NodeId n) const {
+  std::vector<std::string> kids;
+  kids.reserve(children(n).size());
+  for (NodeId c : children(n)) kids.push_back(CanonicalEncoding(c));
+  std::sort(kids.begin(), kids.end());
+  std::string out;
+  out.push_back('(');
+  out.append(std::to_string(label(n)));
+  for (const std::string& k : kids) out += k;
+  out += ")";
+  return out;
+}
+
+std::string Tree::ToAscii() const {
+  std::string out;
+  std::function<void(NodeId, std::string, bool)> render =
+      [&](NodeId n, std::string prefix, bool last) {
+        out += prefix;
+        if (n != root()) out += last ? "`-" : "|-";
+        out += LabelName(label(n));
+        out += "\n";
+        std::string child_prefix =
+            prefix + (n == root() ? "" : (last ? "  " : "| "));
+        const auto& kids = children(n);
+        for (size_t i = 0; i < kids.size(); ++i) {
+          render(kids[i], child_prefix, i + 1 == kids.size());
+        }
+      };
+  render(root(), "", true);
+  return out;
+}
+
+}  // namespace xpv

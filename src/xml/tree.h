@@ -1,0 +1,81 @@
+#ifndef XPV_XML_TREE_H_
+#define XPV_XML_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "xml/label.h"
+
+namespace xpv {
+
+/// Dense node identifier within a Tree. The root is always node 0.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// A rooted, labeled, unordered tree representing an XML document
+/// (Section 2.1 of the paper). Nodes live in a flat arena and are addressed
+/// by `NodeId`; ids are assigned in creation order, and since children can
+/// only be added to existing nodes, ids are topologically sorted (every
+/// node's id is greater than its parent's). Many algorithms rely on this to
+/// run bottom-up passes by iterating ids in reverse.
+class Tree {
+ public:
+  /// Creates a tree with a single root node labeled `root_label`.
+  explicit Tree(LabelId root_label);
+
+  /// Adds a child labeled `label` under `parent` and returns its id.
+  NodeId AddChild(NodeId parent, LabelId label);
+
+  /// Number of nodes.
+  int size() const { return static_cast<int>(labels_.size()); }
+
+  NodeId root() const { return 0; }
+  LabelId label(NodeId n) const { return labels_[static_cast<size_t>(n)]; }
+  NodeId parent(NodeId n) const { return parents_[static_cast<size_t>(n)]; }
+  const std::vector<NodeId>& children(NodeId n) const {
+    return children_[static_cast<size_t>(n)];
+  }
+
+  /// Replaces the label of `n`.
+  void set_label(NodeId n, LabelId label) {
+    labels_[static_cast<size_t>(n)] = label;
+  }
+
+  /// Depth of `n` (number of edges from the root; the root has depth 0).
+  int Depth(NodeId n) const;
+
+  /// True if `anc` is an ancestor of `n` (every node is its own ancestor).
+  bool IsAncestorOrSelf(NodeId anc, NodeId n) const;
+
+  /// Height of the subtree rooted at `n`: the maximal number of edges on a
+  /// path from `n` to a leaf below it.
+  int SubtreeHeight(NodeId n) const;
+
+  /// Ids of all nodes in the subtree rooted at `n`, in preorder.
+  std::vector<NodeId> SubtreeNodes(NodeId n) const;
+
+  /// Deep-copies the subtree rooted at `n` into a standalone tree.
+  Tree ExtractSubtree(NodeId n) const;
+
+  /// Grafts a deep copy of `sub` (whole tree) as a new child of `parent`.
+  /// Returns the id of the copied root.
+  NodeId GraftCopy(NodeId parent, const Tree& sub);
+
+  /// A canonical textual encoding of the subtree rooted at `n`, invariant
+  /// under reordering of siblings. Two subtrees are isomorphic (as unordered
+  /// labeled trees) iff their encodings are equal.
+  std::string CanonicalEncoding(NodeId n) const;
+
+  /// Multi-line ASCII rendering, for debugging and the example binaries.
+  std::string ToAscii() const;
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<NodeId> parents_;
+  std::vector<std::vector<NodeId>> children_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_XML_TREE_H_

@@ -1,0 +1,221 @@
+#include "xml/xml_parser.h"
+
+#include <cctype>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xpv {
+namespace {
+
+/// Hand-rolled single-pass scanner over the input buffer. Keeps a cursor and
+/// 1-based line tracking for error messages.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view input) : input_(input) {}
+
+  bool AtEnd() const { return pos_ >= input_.size(); }
+  char Peek() const { return input_[pos_]; }
+  bool PeekIs(std::string_view s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+
+  char Take() {
+    char c = input_[pos_++];
+    if (c == '\n') ++line_;
+    return c;
+  }
+
+  void Skip(size_t n) {
+    for (size_t i = 0; i < n && !AtEnd(); ++i) Take();
+  }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) Take();
+  }
+
+  /// Advances past the first occurrence of `terminator`. Returns false if the
+  /// input ends first.
+  bool SkipPast(std::string_view terminator) {
+    while (!AtEnd()) {
+      if (PeekIs(terminator)) {
+        Skip(terminator.size());
+        return true;
+      }
+      Take();
+    }
+    return false;
+  }
+
+  std::string TakeName() {
+    std::string name;
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-' || c == '.' || c == ':') {
+        name.push_back(Take());
+      } else {
+        break;
+      }
+    }
+    return name;
+  }
+
+  int line() const { return line_; }
+
+ private:
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+std::string ErrorAt(const Scanner& s, const std::string& message) {
+  return "XML parse error (line " + std::to_string(s.line()) + "): " + message;
+}
+
+/// Skips attributes up to (but not including) '>' or '/>'. Returns an error
+/// message on malformed input, std::nullopt on success.
+std::optional<std::string> SkipAttributes(Scanner& s) {
+  while (true) {
+    s.SkipWhitespace();
+    if (s.AtEnd()) return "unterminated start tag";
+    char c = s.Peek();
+    if (c == '>' || c == '/') return std::nullopt;
+    std::string attr = s.TakeName();
+    if (attr.empty()) return "malformed attribute name";
+    s.SkipWhitespace();
+    if (s.AtEnd() || s.Peek() != '=') return "expected '=' after attribute";
+    s.Take();
+    s.SkipWhitespace();
+    if (s.AtEnd() || (s.Peek() != '"' && s.Peek() != '\'')) {
+      return "expected quoted attribute value";
+    }
+    char quote = s.Take();
+    while (!s.AtEnd() && s.Peek() != quote) s.Take();
+    if (s.AtEnd()) return "unterminated attribute value";
+    s.Take();  // Closing quote.
+  }
+}
+
+}  // namespace
+
+Result<Tree> ParseXml(std::string_view input) {
+  Scanner s(input);
+  std::optional<Tree> tree;
+  // Stack of open element node ids; empty before the root opens and after it
+  // closes.
+  std::vector<NodeId> open;
+  std::vector<std::string> open_names;
+  bool root_closed = false;
+
+  while (true) {
+    // Skip text content and whitespace between tags.
+    while (!s.AtEnd() && s.Peek() != '<') {
+      if (!std::isspace(static_cast<unsigned char>(s.Peek())) && open.empty()) {
+        return Result<Tree>::Error(
+            ErrorAt(s, "text content outside the root element"));
+      }
+      s.Take();
+    }
+    if (s.AtEnd()) break;
+
+    if (s.PeekIs("<!--")) {
+      if (!s.SkipPast("-->")) {
+        return Result<Tree>::Error(ErrorAt(s, "unterminated comment"));
+      }
+      continue;
+    }
+    if (s.PeekIs("<?")) {
+      if (!s.SkipPast("?>")) {
+        return Result<Tree>::Error(
+            ErrorAt(s, "unterminated processing instruction"));
+      }
+      continue;
+    }
+    if (s.PeekIs("<!")) {  // DOCTYPE or other declaration: skip to '>'.
+      if (!s.SkipPast(">")) {
+        return Result<Tree>::Error(ErrorAt(s, "unterminated declaration"));
+      }
+      continue;
+    }
+
+    if (s.PeekIs("</")) {
+      s.Skip(2);
+      std::string name = s.TakeName();
+      s.SkipWhitespace();
+      if (s.AtEnd() || s.Peek() != '>') {
+        return Result<Tree>::Error(ErrorAt(s, "malformed end tag"));
+      }
+      s.Take();
+      if (open.empty()) {
+        return Result<Tree>::Error(
+            ErrorAt(s, "end tag </" + name + "> with no open element"));
+      }
+      if (open_names.back() != name) {
+        return Result<Tree>::Error(
+            ErrorAt(s, "mismatched end tag </" + name + ">, expected </" +
+                           open_names.back() + ">"));
+      }
+      open.pop_back();
+      open_names.pop_back();
+      if (open.empty()) root_closed = true;
+      continue;
+    }
+
+    // Start tag.
+    s.Take();  // '<'
+    std::string name = s.TakeName();
+    if (name.empty()) {
+      return Result<Tree>::Error(ErrorAt(s, "malformed start tag"));
+    }
+    if (name[0] == '#') {
+      return Result<Tree>::Error(
+          ErrorAt(s, "tag names starting with '#' are reserved"));
+    }
+    if (auto err = SkipAttributes(s)) {
+      return Result<Tree>::Error(ErrorAt(s, *err));
+    }
+    bool self_closing = false;
+    if (s.Peek() == '/') {
+      s.Take();
+      self_closing = true;
+    }
+    if (s.AtEnd() || s.Peek() != '>') {
+      return Result<Tree>::Error(ErrorAt(s, "expected '>' to close tag"));
+    }
+    s.Take();
+
+    if (root_closed) {
+      return Result<Tree>::Error(
+          ErrorAt(s, "multiple root elements (second is <" + name + ">)"));
+    }
+    NodeId node;
+    if (!tree.has_value()) {
+      tree.emplace(L(name));
+      node = tree->root();
+    } else {
+      if (open.empty()) {
+        return Result<Tree>::Error(
+            ErrorAt(s, "multiple root elements (second is <" + name + ">)"));
+      }
+      node = tree->AddChild(open.back(), L(name));
+    }
+    if (!self_closing) {
+      open.push_back(node);
+      open_names.push_back(name);
+    } else if (node == tree->root()) {
+      root_closed = true;
+    }
+  }
+
+  if (!tree.has_value()) {
+    return Result<Tree>::Error("XML parse error: no root element");
+  }
+  if (!open.empty()) {
+    return Result<Tree>::Error("XML parse error: unclosed element <" +
+                               open_names.back() + ">");
+  }
+  return *std::move(tree);
+}
+
+}  // namespace xpv

@@ -1,0 +1,27 @@
+#ifndef XPV_XML_XML_PARSER_H_
+#define XPV_XML_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/result.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Parses a subset of XML into a `Tree`.
+///
+/// The paper's data model is element-only labeled trees, so this parser keeps
+/// exactly the element structure and discards everything else:
+///   * elements: `<a>...</a>` and `<a/>`; tag names become node labels;
+///   * attributes are parsed for well-formedness and discarded;
+///   * text content, comments (`<!-- -->`), processing instructions
+///     (`<? ?>`), a leading XML declaration, and DOCTYPE lines are skipped;
+///   * exactly one root element is required.
+///
+/// Tag names must not start with '#' (that prefix is reserved for the
+/// library's internal labels) and must not be `*`.
+Result<Tree> ParseXml(std::string_view input);
+
+}  // namespace xpv
+
+#endif  // XPV_XML_XML_PARSER_H_

@@ -1,0 +1,25 @@
+#include "xml/xml_writer.h"
+
+#include <functional>
+
+namespace xpv {
+
+std::string WriteXml(const Tree& tree) {
+  std::string out;
+  std::function<void(NodeId, int)> write = [&](NodeId n, int indent) {
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    const std::string& name = LabelName(tree.label(n));
+    if (tree.children(n).empty()) {
+      out += "<" + name + "/>\n";
+      return;
+    }
+    out += "<" + name + ">\n";
+    for (NodeId c : tree.children(n)) write(c, indent + 1);
+    out.append(static_cast<size_t>(indent) * 2, ' ');
+    out += "</" + name + ">\n";
+  };
+  write(tree.root(), 0);
+  return out;
+}
+
+}  // namespace xpv

@@ -1,0 +1,16 @@
+#ifndef XPV_XML_XML_WRITER_H_
+#define XPV_XML_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Serializes `tree` as indented element-only XML. Inverse of `ParseXml` up
+/// to whitespace (round trip preserves the labeled tree exactly).
+std::string WriteXml(const Tree& tree);
+
+}  // namespace xpv
+
+#endif  // XPV_XML_XML_WRITER_H_

@@ -1,0 +1,153 @@
+// Algebraic laws tying the pattern operations together: composition
+// associativity, minimization laws, lifted-output serialization, and the
+// weak-equivalence composition property (Prop 3.7).
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+TEST(AlgebraLawsTest, ComposeIsAssociative) {
+  Rng rng(246);
+  PatternGenOptions options;
+  options.max_depth = 2;
+  options.max_branches = 2;
+  options.wildcard_prob = 0.5;
+  options.alphabet_size = 2;
+  int nonempty = 0;
+  for (int round = 0; round < 60; ++round) {
+    Pattern a = RandomPattern(rng, options);
+    Pattern b = RandomPattern(rng, options);
+    Pattern c = RandomPattern(rng, options);
+    Pattern left = Compose(Compose(a, b), c);
+    Pattern right = Compose(a, Compose(b, c));
+    EXPECT_TRUE(Isomorphic(left, right))
+        << ToXPath(a) << " | " << ToXPath(b) << " | " << ToXPath(c);
+    if (!left.IsEmpty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, 5);  // The sweep must exercise nontrivial cases.
+}
+
+TEST(AlgebraLawsTest, ComposeWithSingleWildcardIsIdentityOnStructure) {
+  // The single-node wildcard pattern is a unit for composition on the
+  // right (V = *) up to the root label: *'s output is its root, so
+  // R ∘ * = R with glb-label root. When root(R) is labeled, that label
+  // survives.
+  Pattern r = MustParseXPath("a[x]/b");
+  Pattern unit = MustParseXPath("*");
+  EXPECT_TRUE(Isomorphic(Compose(r, unit), r));
+  // And on the left: * ∘ V = V with its output label glb'ed with *.
+  Pattern v = MustParseXPath("a/b[c]");
+  EXPECT_TRUE(Isomorphic(Compose(unit, v), v));
+}
+
+TEST(AlgebraLawsTest, MinimizationIsIdempotent) {
+  Rng rng(135);
+  PatternGenOptions options;
+  options.max_depth = 3;
+  options.max_branches = 3;
+  options.alphabet_size = 2;
+  for (int round = 0; round < 15; ++round) {
+    Pattern p = RandomPattern(rng, options);
+    Pattern once = RemoveRedundantBranches(p);
+    Pattern twice = RemoveRedundantBranches(once);
+    EXPECT_TRUE(Isomorphic(once, twice)) << ToXPath(p);
+    EXPECT_TRUE(Equivalent(p, once)) << ToXPath(p);
+  }
+}
+
+TEST(AlgebraLawsTest, MinimizationCommutesWithEquivalence) {
+  // Two syntactically different but equivalent patterns minimize to
+  // equivalent (not necessarily isomorphic) results.
+  Pattern p1 = MustParseXPath("a[b][b][c]/d");
+  Pattern p2 = MustParseXPath("a[c][b]/d");
+  ASSERT_TRUE(Equivalent(p1, p2));
+  EXPECT_TRUE(Equivalent(RemoveRedundantBranches(p1),
+                         RemoveRedundantBranches(p2)));
+}
+
+TEST(AlgebraLawsTest, LiftedOutputSerializesAndRoundTrips) {
+  // After lifting, the old spine below the output serializes as a
+  // predicate; the round trip must preserve the pattern exactly.
+  Pattern q = MustParseXPath("a/b/c[x]/d");
+  for (int j = 0; j <= 3; ++j) {
+    Pattern lifted = LiftOutput(q, j);
+    Pattern reparsed = MustParseXPath(ToXPath(lifted));
+    EXPECT_TRUE(Isomorphic(lifted, reparsed))
+        << "j=" << j << ": " << ToXPath(lifted);
+    SelectionInfo info(reparsed);
+    EXPECT_EQ(info.depth(), j);
+  }
+}
+
+TEST(AlgebraLawsTest, SubUpperPartitionNodeCounts) {
+  Rng rng(864);
+  PatternGenOptions options;
+  options.max_depth = 4;
+  options.max_branches = 3;
+  for (int round = 0; round < 20; ++round) {
+    Pattern p = RandomPattern(rng, options);
+    SelectionInfo info(p);
+    for (int k = 0; k <= info.depth(); ++k) {
+      Pattern sub = SubPattern(p, k);
+      Pattern upper = UpperPattern(p, k);
+      // P>=k is exactly the subtree rooted at the k-node; P<=k is P minus
+      // the subtree rooted at the (k+1)-node. (The k-node's own branches
+      // belong to both parts.)
+      EXPECT_EQ(sub.size(),
+                static_cast<int>(p.SubtreeNodes(info.KNode(k)).size()))
+          << ToXPath(p) << " at k=" << k;
+      int pruned = k < info.depth()
+                       ? static_cast<int>(
+                             p.SubtreeNodes(info.KNode(k + 1)).size())
+                       : 0;
+      EXPECT_EQ(upper.size(), p.size() - pruned)
+          << ToXPath(p) << " at k=" << k;
+    }
+  }
+}
+
+TEST(AlgebraLawsTest, Prop37WeakEquivalenceOfCompositions) {
+  // Prop 3.7: root(V) = out(V) and R ∘ V ≡w P imply R ∘ V ≡w P ∘ V.
+  Pattern v = MustParseXPath("a[x]");
+  Pattern p = MustParseXPath("a[x]/b");
+  Pattern r = MustParseXPath("a/b");
+  Pattern rv = Compose(r, v);
+  ASSERT_TRUE(WeaklyEquivalent(rv, p));  // Equivalence implies it.
+  EXPECT_TRUE(WeaklyEquivalent(rv, Compose(p, v)));
+}
+
+TEST(AlgebraLawsTest, RelaxThenComposeVsComposeThenRelax) {
+  // Relaxation of R's root edges commutes with composition in the
+  // containment direction: Compose(R_r//, V) ⊒ Compose(R, V).
+  Rng rng(975);
+  PatternGenOptions options;
+  options.max_depth = 2;
+  options.max_branches = 2;
+  options.wildcard_prob = 0.5;
+  options.alphabet_size = 2;
+  for (int round = 0; round < 20; ++round) {
+    Pattern r = RandomPattern(rng, options);
+    Pattern v = RandomPattern(rng, options);
+    Pattern rv = Compose(r, v);
+    Pattern relaxed_rv = Compose(RelaxRootEdges(r), v);
+    if (rv.IsEmpty()) {
+      EXPECT_TRUE(relaxed_rv.IsEmpty());
+      continue;
+    }
+    EXPECT_TRUE(Contained(rv, relaxed_rv))
+        << ToXPath(r) << " over " << ToXPath(v);
+  }
+}
+
+}  // namespace
+}  // namespace xpv

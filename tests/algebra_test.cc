@@ -1,0 +1,173 @@
+#include "pattern/algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(ComposeTest, MergesOutputWithRoot) {
+  // V = a/b (output b), R = b/c. R∘V = a/b/c.
+  Pattern v = MustParseXPath("a/b");
+  Pattern r = MustParseXPath("b/c");
+  Pattern rv = Compose(r, v);
+  EXPECT_TRUE(Isomorphic(rv, MustParseXPath("a/b/c")));
+}
+
+TEST(ComposeTest, GlbLabelingWildcardWildcard) {
+  // Both merged endpoints labeled '*': merged node stays '*' (Figure 1).
+  Pattern v = MustParseXPath("a/*");
+  Pattern r = MustParseXPath("*/c");
+  Pattern rv = Compose(r, v);
+  EXPECT_TRUE(Isomorphic(rv, MustParseXPath("a/*/c")));
+}
+
+TEST(ComposeTest, GlbLabelingWildcardSigma) {
+  Pattern v = MustParseXPath("a/*");
+  Pattern r = MustParseXPath("b/c");
+  EXPECT_TRUE(Isomorphic(Compose(r, v), MustParseXPath("a/b/c")));
+  Pattern v2 = MustParseXPath("a/b");
+  Pattern r2 = MustParseXPath("*/c");
+  EXPECT_TRUE(Isomorphic(Compose(r2, v2), MustParseXPath("a/b/c")));
+}
+
+TEST(ComposeTest, IncompatibleLabelsYieldEmpty) {
+  Pattern v = MustParseXPath("a/b");
+  Pattern r = MustParseXPath("c/d");
+  EXPECT_TRUE(Compose(r, v).IsEmpty());
+}
+
+TEST(ComposeTest, EmptyOperandsYieldEmpty) {
+  Pattern a = MustParseXPath("a");
+  EXPECT_TRUE(Compose(Pattern::Empty(), a).IsEmpty());
+  EXPECT_TRUE(Compose(a, Pattern::Empty()).IsEmpty());
+}
+
+TEST(ComposeTest, MergedNodeGetsChildrenOfBoth) {
+  // V = a/b[x], R = b[y]/c: merged node has branches x and y plus spine c.
+  Pattern v = MustParseXPath("a/b[x]");
+  Pattern r = MustParseXPath("b[y]/c");
+  EXPECT_TRUE(Isomorphic(Compose(r, v), MustParseXPath("a/b[x][y]/c")));
+}
+
+TEST(ComposeTest, SingleNodeRewritingOutputIsMergedNode) {
+  // root(R) == out(R): the merged node is the output of R∘V.
+  Pattern v = MustParseXPath("a/b[x]");
+  Pattern r = MustParseXPath("b[y]");
+  Pattern rv = Compose(r, v);
+  EXPECT_TRUE(Isomorphic(rv, MustParseXPath("a/b[x][y]")));
+  SelectionInfo info(rv);
+  EXPECT_EQ(info.depth(), 1);
+}
+
+TEST(ComposeTest, EdgeTypesPreserved) {
+  Pattern v = MustParseXPath("a//b");
+  Pattern r = MustParseXPath("b//c[//d]");
+  EXPECT_TRUE(Isomorphic(Compose(r, v), MustParseXPath("a//b//c[//d]")));
+}
+
+TEST(ComposeTest, DepthAdds) {
+  Pattern v = MustParseXPath("a/b/c");
+  Pattern r = MustParseXPath("c/d//e");
+  SelectionInfo info(Compose(r, v));
+  EXPECT_EQ(info.depth(), 4);
+}
+
+TEST(SubPatternTest, Basics) {
+  Pattern p = MustParseXPath("a[q]/b[x//y]/c[z]");
+  Pattern p1 = SubPattern(p, 1);
+  EXPECT_TRUE(Isomorphic(p1, MustParseXPath("b[x//y]/c[z]")));
+  Pattern p2 = SubPattern(p, 2);
+  EXPECT_TRUE(Isomorphic(p2, MustParseXPath("c[z]")));
+  Pattern p0 = SubPattern(p, 0);
+  EXPECT_TRUE(Isomorphic(p0, p));
+}
+
+TEST(UpperPatternTest, Basics) {
+  Pattern p = MustParseXPath("a[q]/b[x]/c[z]");
+  Pattern up1 = UpperPattern(p, 1);
+  EXPECT_TRUE(Isomorphic(up1, MustParseXPath("a[q]/b[x]")));
+  Pattern up0 = UpperPattern(p, 0);
+  EXPECT_TRUE(Isomorphic(up0, MustParseXPath("a[q]")));
+  Pattern up2 = UpperPattern(p, 2);
+  EXPECT_TRUE(Isomorphic(up2, p));
+}
+
+TEST(UpperPatternTest, KeepsBranchesOfKNode) {
+  Pattern p = MustParseXPath("a/b[x][y]/c");
+  Pattern up = UpperPattern(p, 1);
+  EXPECT_TRUE(Isomorphic(up, MustParseXPath("a/b[x][y]")));
+}
+
+TEST(SubUpperTest, CombineReassemblesWhenDescendantEntersKNode) {
+  // If a descendant edge enters the k-node, P^{<k} (k-1)=> P^{>=k} is P.
+  Pattern p = MustParseXPath("a/b//c/d");
+  Pattern upper = UpperPattern(p, 1);  // P^{<2} = P^{<=1}.
+  Pattern lower = SubPattern(p, 2);
+  Pattern recombined = Combine(upper, 1, lower);
+  EXPECT_TRUE(Isomorphic(recombined, p));
+}
+
+TEST(RelaxTest, RelaxesOnlyRootEdges) {
+  Pattern q = MustParseXPath("a[b/c]/d/e");
+  Pattern relaxed = RelaxRootEdges(q);
+  EXPECT_TRUE(Isomorphic(relaxed, MustParseXPath("a[//b/c]//d/e")));
+}
+
+TEST(RelaxTest, NoEdgesNoChange) {
+  Pattern q = MustParseXPath("a");
+  EXPECT_TRUE(Isomorphic(RelaxRootEdges(q), q));
+}
+
+TEST(ExtendTest, AddsOutputChildAndLeafWildcards) {
+  // Q = a[b]/c, leaves are b and c (c is the output).
+  Pattern q = MustParseXPath("a[b]/c");
+  Pattern extended = Extend(q, L("mu_label"));
+  EXPECT_TRUE(Isomorphic(extended, MustParseXPath("a[b/*]/c[mu_label]")));
+  // Output unchanged (still the c node).
+  EXPECT_EQ(extended.label(extended.output()), L("c"));
+}
+
+TEST(ExtendTest, OutputLeafGetsOnlyTheLChild) {
+  Pattern q = MustParseXPath("a/b");
+  Pattern extended = Extend(q, L("mu_label"));
+  // b is a leaf and the output: it gets mu only; a is not a leaf.
+  EXPECT_TRUE(Isomorphic(extended, MustParseXPath("a/b[mu_label]")));
+}
+
+TEST(ExtendTest, NonLeafOutputGetsLChildToo) {
+  Pattern q = MustParseXPath("a/b[c]");
+  Pattern extended = Extend(q, L("mu_label"));
+  EXPECT_TRUE(Isomorphic(extended,
+                         MustParseXPath("a/b[c/*][mu_label]")));
+}
+
+TEST(LiftOutputTest, MovesOutputToJNode) {
+  Pattern q = MustParseXPath("a/b/c");
+  Pattern lifted = LiftOutput(q, 1);
+  SelectionInfo info(lifted);
+  EXPECT_EQ(info.depth(), 1);
+  EXPECT_EQ(lifted.label(lifted.output()), L("b"));
+  // Lifting to the current depth is the identity.
+  EXPECT_TRUE(Isomorphic(LiftOutput(q, 2), q));
+}
+
+TEST(DescendantPrefixTest, Basics) {
+  Pattern q = MustParseXPath("b[x]/c");
+  Pattern prefixed = DescendantPrefix(LabelStore::kWildcard, q);
+  EXPECT_TRUE(Isomorphic(prefixed, MustParseXPath("*//b[x]/c")));
+  SelectionInfo info(prefixed);
+  EXPECT_EQ(info.depth(), 2);
+}
+
+TEST(AlgebraTest, SerializerShowsComposition) {
+  Pattern v = MustParseXPath("a[e]/*");
+  Pattern r = MustParseXPath("*//b");
+  EXPECT_EQ(ToXPath(Compose(r, v)), "a[e]/*//b");
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,106 @@
+#include "rewrite/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "pattern/algebra.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/engine.h"
+
+namespace xpv {
+namespace {
+
+TEST(HomEquivalentTest, AgreesOnSubFragmentPairs) {
+  // Within XP^{//,[]} homomorphism equivalence is genuine equivalence.
+  EXPECT_TRUE(HomEquivalent(MustParseXPath("a[b][b]/c"),
+                            MustParseXPath("a[b]/c")));
+  EXPECT_FALSE(HomEquivalent(MustParseXPath("a/b"), MustParseXPath("a//b")));
+}
+
+TEST(HomEquivalentTest, IncompleteOutsideFragments) {
+  // a/*//b ≡ a//*/b but no homomorphism exists either way.
+  Pattern p1 = MustParseXPath("a/*//b");
+  Pattern p2 = MustParseXPath("a//*/b");
+  ASSERT_TRUE(Equivalent(p1, p2));
+  EXPECT_FALSE(HomEquivalent(p1, p2));
+}
+
+TEST(BaselineTest, NoWildcardFragmentFound) {
+  BaselineResult r = HomomorphismBaselineRewrite(
+      MustParseXPath("a//b[x]/c"), MustParseXPath("a//b[x]"));
+  ASSERT_TRUE(r.applicable);
+  ASSERT_TRUE(r.found);
+  EXPECT_TRUE(Equivalent(
+      Compose(r.rewriting, MustParseXPath("a//b[x]")),
+      MustParseXPath("a//b[x]/c")));
+}
+
+TEST(BaselineTest, NoWildcardFragmentNotExists) {
+  BaselineResult r = HomomorphismBaselineRewrite(
+      MustParseXPath("a//b/c"), MustParseXPath("a//b[z]"));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(BaselineTest, NoDescendantFragment) {
+  BaselineResult found = HomomorphismBaselineRewrite(
+      MustParseXPath("a/*[b]/c"), MustParseXPath("a/*[b]"));
+  ASSERT_TRUE(found.applicable);
+  EXPECT_TRUE(found.found);
+
+  BaselineResult missing = HomomorphismBaselineRewrite(
+      MustParseXPath("a/*/c"), MustParseXPath("a/*[b]"));
+  ASSERT_TRUE(missing.applicable);
+  EXPECT_FALSE(missing.found);
+}
+
+TEST(BaselineTest, LinearFragmentIsOutOfScope) {
+  // The linear fragment's PTIME containment is not homomorphism-based
+  // (a/*//b ≡ a//*/b has no homomorphism), so the baseline must refuse:
+  // here the true answer is Found (R = *//b) but homomorphism equivalence
+  // would wrongly reject it.
+  BaselineResult r = HomomorphismBaselineRewrite(MustParseXPath("a//*/b"),
+                                                 MustParseXPath("a/*"));
+  EXPECT_FALSE(r.applicable);
+  // The full engine handles it.
+  RewriteResult full =
+      DecideRewrite(MustParseXPath("a//*/b"), MustParseXPath("a/*"));
+  ASSERT_EQ(full.status, RewriteStatus::kFound);
+  EXPECT_TRUE(Isomorphic(full.rewriting, MustParseXPath("*//b")));
+}
+
+TEST(BaselineTest, NotApplicableOutsideFragments) {
+  BaselineResult r = HomomorphismBaselineRewrite(
+      MustParseXPath("a[*]//b/c"), MustParseXPath("a[*]//b"));
+  EXPECT_FALSE(r.applicable);
+}
+
+TEST(BaselineTest, NecessaryViolationHandled) {
+  BaselineResult r = HomomorphismBaselineRewrite(MustParseXPath("a/b"),
+                                                 MustParseXPath("a/b/c"));
+  ASSERT_TRUE(r.applicable);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(BaselineTest, AgreesWithFullEngineOnSubFragments) {
+  const char* instances[][2] = {
+      {"a/b/c", "a/b"},        {"a//b//c", "a//b"},
+      {"a//b/c", "a//b[z]"},   {"a/*[b]/c", "a/*[b]"},
+      {"a//*/b", "a/*"},       {"a/b[x][y]/c", "a/b[x]"},
+      {"a//*//*", "a//*"},     {"a/b", "a/b[x]"},
+  };
+  for (auto& inst : instances) {
+    Pattern p = MustParseXPath(inst[0]);
+    Pattern v = MustParseXPath(inst[1]);
+    BaselineResult baseline = HomomorphismBaselineRewrite(p, v);
+    if (!baseline.applicable) continue;
+    RewriteResult full = DecideRewrite(p, v);
+    ASSERT_NE(full.status, RewriteStatus::kUnknown)
+        << inst[0] << " / " << inst[1];
+    EXPECT_EQ(baseline.found, full.status == RewriteStatus::kFound)
+        << inst[0] << " / " << inst[1];
+  }
+}
+
+}  // namespace
+}  // namespace xpv

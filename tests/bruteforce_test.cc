@@ -1,0 +1,89 @@
+#include "rewrite/bruteforce.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "pattern/algebra.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(BruteForceTest, FindsSimpleRewriting) {
+  Pattern p = MustParseXPath("a/b/c");
+  Pattern v = MustParseXPath("a/b");
+  BruteForceOutcome outcome = BruteForceRewrite(p, v);
+  ASSERT_TRUE(outcome.found.has_value());
+  EXPECT_TRUE(Equivalent(Compose(*outcome.found, v), p))
+      << ToXPath(*outcome.found);
+}
+
+TEST(BruteForceTest, FindsRelaxedCandidateShape) {
+  // The rewriting here must use a descendant edge: R = *//b.
+  Pattern p = MustParseXPath("a//*/b");
+  Pattern v = MustParseXPath("a/*");
+  BruteForceOutcome outcome = BruteForceRewrite(p, v);
+  ASSERT_TRUE(outcome.found.has_value());
+  EXPECT_TRUE(Equivalent(Compose(*outcome.found, v), p))
+      << ToXPath(*outcome.found);
+}
+
+TEST(BruteForceTest, ExhaustsWhenNoRewritingExists) {
+  // V has a branch absent from P: no rewriting. With small bounds the
+  // enumeration completes and reports exhaustion.
+  Pattern p = MustParseXPath("a/b");
+  Pattern v = MustParseXPath("a/b[x]");
+  BruteForceOptions options;
+  options.max_nodes = 3;
+  BruteForceOutcome outcome = BruteForceRewrite(p, v);
+  EXPECT_FALSE(outcome.found.has_value());
+  EXPECT_TRUE(outcome.exhausted_max_nodes);
+  EXPECT_GT(outcome.candidates_tested, 0u);
+}
+
+TEST(BruteForceTest, DepthMismatchShortCircuits) {
+  Pattern p = MustParseXPath("a/b");
+  Pattern v = MustParseXPath("a/b/c");
+  BruteForceOutcome outcome = BruteForceRewrite(p, v);
+  EXPECT_FALSE(outcome.found.has_value());
+  EXPECT_EQ(outcome.candidates_tested, 0u);
+}
+
+TEST(BruteForceTest, BudgetIsRespected) {
+  Pattern p = MustParseXPath("a//*[b]/c//d");
+  Pattern v = MustParseXPath("a//*[b]");
+  BruteForceOptions options;
+  options.max_nodes = 5;
+  options.budget = 25;
+  BruteForceOutcome outcome = BruteForceRewrite(p, v, options);
+  EXPECT_LE(outcome.candidates_tested, 25u);
+}
+
+TEST(BruteForceTest, RespectsRootLabelCompatibility) {
+  // out(V) = b forces the rewriting root to compose to the k-node label b;
+  // candidates with other Σ roots are never generated, so the search stays
+  // small and still finds R = b/c.
+  Pattern p = MustParseXPath("a/b/c");
+  Pattern v = MustParseXPath("a/b");
+  BruteForceOptions options;
+  options.max_nodes = 3;
+  BruteForceOutcome outcome = BruteForceRewrite(p, v, options);
+  ASSERT_TRUE(outcome.found.has_value());
+  LabelId root_label = outcome.found->label(outcome.found->root());
+  EXPECT_TRUE(root_label == L("b") || root_label == LabelStore::kWildcard);
+}
+
+TEST(BruteForceTest, FindsBranchyRewriting) {
+  Pattern p = MustParseXPath("a/b/c[x]");
+  Pattern v = MustParseXPath("a/b");
+  BruteForceOptions options;
+  options.max_nodes = 4;
+  BruteForceOutcome outcome = BruteForceRewrite(p, v, options);
+  ASSERT_TRUE(outcome.found.has_value());
+  EXPECT_TRUE(Equivalent(Compose(*outcome.found, v), p))
+      << ToXPath(*outcome.found);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,57 @@
+#include "rewrite/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(CandidatesTest, SubPatternAndRelaxation) {
+  Pattern p = MustParseXPath("a//*[b]/d[e]");
+  NaturalCandidates c = MakeNaturalCandidates(p, 1);
+  EXPECT_TRUE(Isomorphic(c.sub, MustParseXPath("*[b]/d[e]")));
+  EXPECT_TRUE(Isomorphic(c.relaxed, MustParseXPath("*[//b]//d[e]")));
+  EXPECT_FALSE(c.coincide);
+}
+
+TEST(CandidatesTest, CoincideWhenRootEdgesAreDescendant) {
+  Pattern p = MustParseXPath("a/b[//x]//c");
+  NaturalCandidates c = MakeNaturalCandidates(p, 1);
+  EXPECT_TRUE(c.coincide);
+  EXPECT_TRUE(Isomorphic(c.sub, c.relaxed));
+}
+
+TEST(CandidatesTest, DepthZeroViewGivesWholeQuery) {
+  Pattern p = MustParseXPath("a[x]/b");
+  NaturalCandidates c = MakeNaturalCandidates(p, 0);
+  EXPECT_TRUE(Isomorphic(c.sub, p));
+}
+
+TEST(CandidatesTest, FullDepthGivesOutputSubtree) {
+  Pattern p = MustParseXPath("a/b/c[z]");
+  NaturalCandidates c = MakeNaturalCandidates(p, 2);
+  EXPECT_TRUE(Isomorphic(c.sub, MustParseXPath("c[z]")));
+  EXPECT_TRUE(c.coincide != (c.sub.size() > 1 &&
+                             c.sub.edge(1) == EdgeType::kChild));
+}
+
+TEST(CandidatesTest, SubIsContainedInRelaxed) {
+  // Q ⊑ Q_r// (noted in Section 4).
+  for (const char* expr : {"a[x]/b/c", "a/*[b][c]//d", "*[p/q]/r"}) {
+    Pattern p = MustParseXPath(expr);
+    NaturalCandidates c = MakeNaturalCandidates(p, 0);
+    EXPECT_TRUE(Contained(c.sub, c.relaxed)) << expr;
+  }
+}
+
+TEST(CandidatesTest, SingleNodeCandidate) {
+  Pattern p = MustParseXPath("a/b");
+  NaturalCandidates c = MakeNaturalCandidates(p, 1);
+  EXPECT_EQ(c.sub.size(), 1);
+  EXPECT_TRUE(c.coincide);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,109 @@
+#include "pattern/canonical.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(TauTest, ReplacesWildcardsWithBottom) {
+  Pattern p = MustParseXPath("a/*[b]");
+  CanonicalModel model = Tau(p);
+  EXPECT_EQ(model.tree.size(), 3);
+  EXPECT_EQ(model.tree.label(model.tree.root()), L("a"));
+  // The * node became ⊥.
+  NodeId star_img = model.pattern_to_tree[1];
+  EXPECT_EQ(model.tree.label(star_img), LabelStore::kBottom);
+}
+
+TEST(TauTest, DescendantEdgesBecomeSingleEdges) {
+  Pattern p = MustParseXPath("a//b//c");
+  CanonicalModel model = Tau(p);
+  EXPECT_EQ(model.tree.size(), 3);
+  EXPECT_EQ(model.tree.Depth(model.output), 2);
+}
+
+TEST(TauTest, OutputTracksPatternOutput) {
+  Pattern p = MustParseXPath("a/b[c]");
+  CanonicalModel model = Tau(p);
+  EXPECT_EQ(model.output, model.pattern_to_tree[1]);
+  EXPECT_EQ(model.tree.label(model.output), L("b"));
+}
+
+TEST(CanonicalEnumTest, CountsAndSizes) {
+  Pattern p = MustParseXPath("a//b//c");
+  CanonicalModelEnumerator en(p, /*max_len=*/3);
+  EXPECT_EQ(en.TotalCount(), 9u);
+  int count = 0;
+  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
+  int max_size = 0;
+  while (en.Next(&model)) {
+    ++count;
+    max_size = std::max(max_size, model.tree.size());
+  }
+  EXPECT_EQ(count, 9);
+  // Longest model: both edges expanded to 3 -> 3 pattern nodes + 4 interior.
+  EXPECT_EQ(max_size, 7);
+}
+
+TEST(CanonicalEnumTest, NoDescendantEdgesYieldsOneModel) {
+  Pattern p = MustParseXPath("a/b[c]");
+  CanonicalModelEnumerator en(p, 4);
+  EXPECT_EQ(en.TotalCount(), 1u);
+  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
+  EXPECT_TRUE(en.Next(&model));
+  EXPECT_FALSE(en.Next(&model));
+  EXPECT_EQ(model.tree.size(), 3);
+}
+
+TEST(CanonicalEnumTest, EveryCanonicalModelIsAModel) {
+  Pattern p = MustParseXPath("a//*[b]/c//d");
+  CanonicalModelEnumerator en(p, 3);
+  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
+  int checked = 0;
+  while (en.Next(&model)) {
+    EXPECT_TRUE(IsModel(p, model.tree));
+    EXPECT_TRUE(ProducesOutput(p, model.tree, model.output));
+    ++checked;
+  }
+  EXPECT_EQ(checked, 9);
+}
+
+TEST(CanonicalEnumTest, BuildWithExplicitLengths) {
+  Pattern p = MustParseXPath("a//b");
+  CanonicalModelEnumerator en(p, 5);
+  CanonicalModel model = en.Build({4});
+  // Path a -> ⊥ -> ⊥ -> ⊥ -> b.
+  EXPECT_EQ(model.tree.size(), 5);
+  EXPECT_EQ(model.tree.Depth(model.output), 4);
+  EXPECT_EQ(model.tree.label(model.output), L("b"));
+  EXPECT_EQ(model.tree.label(1), LabelStore::kBottom);
+}
+
+TEST(CanonicalEnumTest, InteriorLabelOverride) {
+  Pattern p = MustParseXPath("a//b");
+  LabelId fresh = Labels().Fresh("path");
+  CanonicalModelEnumerator en(p, 3, fresh);
+  CanonicalModel model = en.Build({3});
+  EXPECT_EQ(model.tree.label(1), fresh);
+  EXPECT_EQ(model.tree.label(2), fresh);
+  EXPECT_EQ(model.tree.label(3), L("b"));
+}
+
+TEST(CanonicalEnumTest, PatternToTreeMapIsComplete) {
+  Pattern p = MustParseXPath("a[x]//b[y/z]");
+  CanonicalModelEnumerator en(p, 2);
+  CanonicalModel model = en.Build({2});
+  for (NodeId n = 0; n < p.size(); ++n) {
+    NodeId img = model.pattern_to_tree[static_cast<size_t>(n)];
+    ASSERT_NE(img, kNoNode);
+    if (p.label(n) != LabelStore::kWildcard) {
+      EXPECT_EQ(model.tree.label(img), p.label(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xpv

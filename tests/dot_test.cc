@@ -1,0 +1,54 @@
+#include "pattern/dot.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(DotTest, PatternRenderingHasNodesAndEdges) {
+  Pattern p = MustParseXPath("a//b[c]/d");
+  std::string dot = PatternToDot(p, "demo");
+  EXPECT_NE(dot.find("digraph \"demo\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"a\""), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // The // edge.
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // The output.
+  // Three edges for four nodes.
+  size_t arrows = 0;
+  for (size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, 3u);
+}
+
+TEST(DotTest, EmptyPattern) {
+  std::string dot = PatternToDot(Pattern::Empty());
+  EXPECT_NE(dot.find("empty"), std::string::npos);
+}
+
+TEST(DotTest, WildcardLabelsAreQuotedSafely) {
+  Pattern p = MustParseXPath("*/*");
+  std::string dot = PatternToDot(p);
+  EXPECT_NE(dot.find("label=\"*\""), std::string::npos);
+}
+
+TEST(DotTest, TreeRenderingWithHighlight) {
+  auto doc = ParseXml("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string dot = TreeToDot(doc.value(), "t", 1);
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"b\""), std::string::npos);
+}
+
+TEST(DotTest, TreeRenderingWithoutHighlight) {
+  auto doc = ParseXml("<a><b/></a>");
+  ASSERT_TRUE(doc.ok());
+  std::string dot = TreeToDot(doc.value());
+  EXPECT_EQ(dot.find("fillcolor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,191 @@
+#include "rewrite/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "pattern/algebra.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+RewriteResult Decide(const char* p, const char* v, RewriteOptions options = {}) {
+  return DecideRewrite(MustParseXPath(p), MustParseXPath(v), options);
+}
+
+/// Every kFound result must satisfy R ∘ V ≡ P; verify with an independent
+/// containment call.
+void ExpectSound(const char* p, const char* v, const RewriteResult& result) {
+  ASSERT_EQ(result.status, RewriteStatus::kFound) << result.explanation;
+  EXPECT_TRUE(
+      Equivalent(Compose(result.rewriting, MustParseXPath(v)),
+                 MustParseXPath(p)))
+      << "R = " << ToXPath(result.rewriting);
+}
+
+TEST(EngineTest, PrefixViewAlwaysRewrites) {
+  // V = P<=k: the candidate P>=k recomposes P exactly.
+  RewriteResult r = Decide("a[e]/b//c[x]/d", "a[e]/b");
+  ExpectSound("a[e]/b//c[x]/d", "a[e]/b", r);
+  EXPECT_TRUE(Isomorphic(r.rewriting, MustParseXPath("b//c[x]/d")));
+  EXPECT_EQ(r.stats.equivalence_tests, 1);
+}
+
+TEST(EngineTest, FigureTwoStyleRelaxedCandidateWins) {
+  // P = a//*/b, V = a/*: P>=1 = */b composes to a/*/b ≢ P, but the relaxed
+  // candidate *//b composes to a/*//b ≡ a//*/b (Thm 4.10's example shape).
+  RewriteResult r = Decide("a//*/b", "a/*");
+  ExpectSound("a//*/b", "a/*", r);
+  EXPECT_TRUE(Isomorphic(r.rewriting, MustParseXPath("*//b")));
+  EXPECT_EQ(r.stats.equivalence_tests, 2);
+}
+
+TEST(EngineTest, DepthExceededIsNotExists) {
+  RewriteResult r = Decide("a/b", "a/b/c");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->rule, RuleId::kDepthExceeded);
+  EXPECT_EQ(r.stats.equivalence_tests, 0);
+}
+
+TEST(EngineTest, LabelMismatchIsNotExists) {
+  RewriteResult r = Decide("a/b/c", "a/x");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->rule, RuleId::kSelectionLabelMismatch);
+}
+
+TEST(EngineTest, WildcardKNodeWithSigmaViewOutputIsNotExists) {
+  // Noted after Thm 4.3: if the k-node of P is '*' and out(V) is not,
+  // there is no rewriting.
+  RewriteResult r = Decide("a/*/c", "a/b");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+}
+
+TEST(EngineTest, EqualDepthFound) {
+  RewriteResult r = Decide("a/b[c]", "a/b");
+  ExpectSound("a/b[c]", "a/b", r);
+  // The rewriting is the single node b[c].
+  EXPECT_TRUE(Isomorphic(r.rewriting, MustParseXPath("b[c]")));
+}
+
+TEST(EngineTest, EqualDepthNotExists) {
+  // V requires a branch that P lacks: R∘V always keeps V's [x] branch, so
+  // P ⊑ R∘V fails; with k = d the candidate is potential, so NotExists.
+  RewriteResult r = Decide("a/b", "a/b[x]");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kEqualDepths);
+}
+
+TEST(EngineTest, ViewOutputAtRootFound) {
+  // k = 0 (Prop 3.5): R = P itself works when V's constraints are implied.
+  RewriteResult r = Decide("a[b]/c", "a[b]");
+  ExpectSound("a[b]/c", "a[b]", r);
+}
+
+TEST(EngineTest, ViewOutputAtRootNotExists) {
+  // V = a[x] constrains the root with x, which P = a/c does not imply.
+  RewriteResult r = Decide("a/c", "a[x]");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kViewOutputIsRoot);
+}
+
+TEST(EngineTest, StableRuleNotExists) {
+  // P>=1 = b//d is stable; candidate fails because V carries an extra [x].
+  RewriteResult r = Decide("a//b//d", "a//b[x]");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kStableSubPattern);
+}
+
+TEST(EngineTest, DescendantIntoViewOutputFound) {
+  RewriteResult r = Decide("a//b/c", "a//b");
+  ExpectSound("a//b/c", "a//b", r);
+}
+
+TEST(EngineTest, ChildOnlyQueryPrefixNotExists) {
+  // Thm 4.4 certifies: P's first k selection edges are child edges, the
+  // candidate fails (V has an extra branch), so no rewriting exists.
+  RewriteResult r = Decide("a/b//c", "a/b[x]");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.completeness.has_value());
+}
+
+TEST(EngineTest, CorrespondingLastDescendantNotExists) {
+  // Thm 4.16: P's last selection // (depth 1) corresponds to V's // at
+  // depth 1; candidates fail because of V's extra [z] branch.
+  RewriteResult r = Decide("a//*/*/c", "a//*[z]/*");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(),
+            RuleId::kCorrespondingLastDescendant);
+}
+
+TEST(EngineTest, SuffixReductionNotExists) {
+  // Cor 5.7 via the *// reduction; see rules_test for the condition
+  // analysis. V's branch [q] under the output makes the candidates fail.
+  RewriteResult r = Decide("a//*[b]/*/*/b", "a/*//*[q]/*");
+  EXPECT_EQ(r.status, RewriteStatus::kNotExists);
+}
+
+TEST(EngineTest, UnknownWhenNothingApplies) {
+  RewriteResult r =
+      Decide("a//*[b//x]/*//*[b//x]/*", "a//*[b//x]/*[w]");
+  // Both candidates genuinely fail here; no condition applies. Without
+  // brute force the engine must admit ignorance rather than guess.
+  EXPECT_EQ(r.status, RewriteStatus::kUnknown);
+}
+
+TEST(EngineTest, BruteForceUpgradesUnknownToFound) {
+  // Hand-crafted instance where the natural candidates fail but a
+  // *smaller* rewriting exists: impossible under the completeness
+  // conditions; instead verify brute force on a case where candidates
+  // succeed is not even reached, and on an Unknown case it terminates.
+  RewriteOptions options;
+  options.enable_brute_force = true;
+  options.brute_force_max_nodes = 4;
+  options.brute_force_budget = 500;
+  RewriteResult r =
+      Decide("a//*[b//x]/*//*[b//x]/*", "a//*[b//x]/*[w]", options);
+  EXPECT_TRUE(r.status == RewriteStatus::kUnknown ||
+              r.status == RewriteStatus::kFound);
+  EXPECT_TRUE(r.stats.used_brute_force);
+  EXPECT_GT(r.stats.bruteforce_candidates, 0u);
+}
+
+TEST(EngineTest, ExplanationsAreInformative) {
+  RewriteResult found = Decide("a/b/c", "a/b");
+  EXPECT_NE(found.explanation.find("found"), std::string::npos);
+  RewriteResult missing = Decide("a/b", "a/b/c");
+  EXPECT_NE(missing.explanation.find("no rewriting"), std::string::npos);
+}
+
+TEST(EngineTest, WildcardViewChainsCompose) {
+  // V = a/*/*: pure wildcard prefix view; P = a/*/*/d.
+  RewriteResult r = Decide("a/*/*/d", "a/*/*");
+  ExpectSound("a/*/*/d", "a/*/*", r);
+  EXPECT_TRUE(Isomorphic(r.rewriting, MustParseXPath("*/d")));
+}
+
+TEST(EngineTest, ViewWithExtraBranchStillRewritesWhenImplied) {
+  // V's extra branch [b] is implied by P itself, so the candidate works.
+  RewriteResult r = Decide("a[b]/c/d", "a[b]/c");
+  ExpectSound("a[b]/c/d", "a[b]/c", r);
+}
+
+TEST(EngineTest, DescendantViewEdgeMatchingQuery) {
+  RewriteResult r = Decide("a//b//c//d", "a//b//c");
+  ExpectSound("a//b//c//d", "a//b//c", r);
+}
+
+TEST(EngineTest, OutputSubtreeBranchesSurvive) {
+  RewriteResult r = Decide("a/b/c[x][y/z]", "a/b");
+  ExpectSound("a/b/c[x][y/z]", "a/b", r);
+  EXPECT_TRUE(Isomorphic(r.rewriting, MustParseXPath("b/c[x][y/z]")));
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,142 @@
+#include "eval/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Tree Doc(const char* xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+TEST(EvaluatorTest, SimpleChildMatch) {
+  Tree t = Doc("<a><b/><c/></a>");
+  EXPECT_EQ(Eval(MustParseXPath("a/b"), t), (std::vector<NodeId>{1}));
+  EXPECT_EQ(Eval(MustParseXPath("a/c"), t), (std::vector<NodeId>{2}));
+  EXPECT_TRUE(Eval(MustParseXPath("a/d"), t).empty());
+}
+
+TEST(EvaluatorTest, RootMustMatch) {
+  Tree t = Doc("<a><b/></a>");
+  EXPECT_TRUE(Eval(MustParseXPath("x/b"), t).empty());
+  EXPECT_EQ(Eval(MustParseXPath("*/b"), t), (std::vector<NodeId>{1}));
+}
+
+TEST(EvaluatorTest, DescendantSelectsAllDepths) {
+  Tree t = Doc("<a><b><b/></b><c><b/></c></a>");
+  // Nodes: a=0, b=1, b=2, c=3, b=4.
+  EXPECT_EQ(Eval(MustParseXPath("a//b"), t), (std::vector<NodeId>{1, 2, 4}));
+  EXPECT_EQ(Eval(MustParseXPath("a/b"), t), (std::vector<NodeId>{1}));
+}
+
+TEST(EvaluatorTest, DescendantIsProper) {
+  Tree t = Doc("<a/>");
+  EXPECT_TRUE(Eval(MustParseXPath("a//a"), t).empty());
+}
+
+TEST(EvaluatorTest, WildcardMatchesAnyLabel) {
+  Tree t = Doc("<a><b/><c/></a>");
+  EXPECT_EQ(Eval(MustParseXPath("a/*"), t), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(EvaluatorTest, BranchesFilterWithoutProducing) {
+  Tree t = Doc("<a><b><x/></b><b/></a>");
+  // Only the b with an x child qualifies.
+  EXPECT_EQ(Eval(MustParseXPath("a/b[x]"), t), (std::vector<NodeId>{1}));
+}
+
+TEST(EvaluatorTest, BranchesAreIndependent) {
+  // a/b[x][y]: both branches must hold at the same b, from different
+  // children.
+  Tree t1 = Doc("<a><b><x/><y/></b></a>");
+  Tree t2 = Doc("<a><b><x/></b><b><y/></b></a>");
+  EXPECT_EQ(Eval(MustParseXPath("a/b[x][y]"), t1).size(), 1u);
+  EXPECT_TRUE(Eval(MustParseXPath("a/b[x][y]"), t2).empty());
+}
+
+TEST(EvaluatorTest, DeepBranchPredicate) {
+  Tree t = Doc("<a><b><c><d/></c></b></a>");
+  EXPECT_EQ(Eval(MustParseXPath("a[b/c/d]"), t), (std::vector<NodeId>{0}));
+  EXPECT_EQ(Eval(MustParseXPath("a[//d]"), t), (std::vector<NodeId>{0}));
+  EXPECT_TRUE(Eval(MustParseXPath("a[b/d]"), t).empty());
+}
+
+TEST(EvaluatorTest, ClassicStarDescendantEquivalence) {
+  // a/*//b and a//*/b both select b nodes at depth >= 2 in a-rooted trees.
+  Tree t = Doc("<a><x><b/><y><b/></y></x><b/></a>");
+  // Nodes: a=0, x=1, b=2, y=3, b=4, b=5.
+  std::vector<NodeId> expected = {2, 4};
+  EXPECT_EQ(Eval(MustParseXPath("a/*//b"), t), expected);
+  EXPECT_EQ(Eval(MustParseXPath("a//*/b"), t), expected);
+}
+
+TEST(EvaluatorTest, MultipleEmbeddingsOfSameOutput) {
+  // Two different x-witnesses produce the same output node once.
+  Tree t = Doc("<a><x><x><b/></x></x></a>");
+  EXPECT_EQ(Eval(MustParseXPath("a//x//b"), t).size(), 1u);
+}
+
+TEST(EvaluatorTest, OutputsAnchoredAtSubtree) {
+  Tree t = Doc("<r><a><b/></a><a><c/></a></r>");
+  // Nodes: r=0, a=1, b=2, a=3, c=4.
+  Pattern p = MustParseXPath("a/*");
+  Evaluator ev(p, t);
+  EXPECT_EQ(ev.OutputsAnchoredAt(1), (std::vector<NodeId>{2}));
+  EXPECT_EQ(ev.OutputsAnchoredAt(3), (std::vector<NodeId>{4}));
+  EXPECT_TRUE(ev.OutputsAnchoredAt(0).empty());  // r is not labeled a.
+}
+
+TEST(EvaluatorTest, WeakOutputsIgnoreRootAnchor) {
+  Tree t = Doc("<r><a><b/></a><x><a><b/></a></x></r>");
+  // Nodes: r=0, a=1, b=2, x=3, a=4, b=5.
+  Pattern p = MustParseXPath("a/b");
+  EXPECT_TRUE(Eval(p, t).empty());
+  EXPECT_EQ(EvalWeak(p, t), (std::vector<NodeId>{2, 5}));
+}
+
+TEST(EvaluatorTest, WeakVsStrongOnRootMatch) {
+  Tree t = Doc("<a><a><b/></a></a>");
+  // Strong: b at depth 2 via inner a; a/b needs b child of root -> none.
+  EXPECT_TRUE(Eval(MustParseXPath("a/b"), t).empty());
+  EXPECT_EQ(EvalWeak(MustParseXPath("a/b"), t), (std::vector<NodeId>{2}));
+}
+
+TEST(EvaluatorTest, EmptyPattern) {
+  Tree t = Doc("<a/>");
+  EXPECT_TRUE(Eval(Pattern::Empty(), t).empty());
+  EXPECT_TRUE(EvalWeak(Pattern::Empty(), t).empty());
+  EXPECT_FALSE(IsModel(Pattern::Empty(), t));
+}
+
+TEST(EvaluatorTest, ProducesOutputHelpers) {
+  Tree t = Doc("<a><b/></a>");
+  EXPECT_TRUE(ProducesOutput(MustParseXPath("a/b"), t, 1));
+  EXPECT_FALSE(ProducesOutput(MustParseXPath("a/b"), t, 0));
+  EXPECT_TRUE(WeaklyProducesOutput(MustParseXPath("b"), t, 1));
+}
+
+TEST(EvaluatorTest, CanEmbedAtMatrix) {
+  Tree t = Doc("<a><b><c/></b></a>");
+  Pattern p = MustParseXPath("b/c");
+  Evaluator ev(p, t);
+  EXPECT_TRUE(ev.CanEmbedAt(0, 1));   // b at the b node.
+  EXPECT_FALSE(ev.CanEmbedAt(0, 0));  // b cannot sit at a.
+  EXPECT_TRUE(ev.CanEmbedAt(1, 2));   // c at the c node.
+}
+
+TEST(EvaluatorTest, LargeFlatDocument) {
+  std::string xml = "<a>";
+  for (int i = 0; i < 500; ++i) xml += "<b><c/></b>";
+  xml += "</a>";
+  Tree t = Doc(xml.c_str());
+  EXPECT_EQ(Eval(MustParseXPath("a/b/c"), t).size(), 500u);
+  EXPECT_EQ(Eval(MustParseXPath("a//c"), t).size(), 500u);
+}
+
+}  // namespace
+}  // namespace xpv

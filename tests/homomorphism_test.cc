@@ -1,0 +1,91 @@
+#include "containment/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(HomomorphismTest, IdentityAlwaysExists) {
+  for (const char* expr : {"a", "a/b", "a//b[c]/d", "*[*]//*"}) {
+    Pattern p = MustParseXPath(expr);
+    EXPECT_TRUE(ExistsPatternHomomorphism(p, p)) << expr;
+  }
+}
+
+TEST(HomomorphismTest, ChildMapsIntoChildOnly) {
+  // a/b -> a//b: the descendant edge of a//b may map onto the child edge.
+  EXPECT_TRUE(ExistsPatternHomomorphism(MustParseXPath("a//b"),
+                                        MustParseXPath("a/b")));
+  // a//b -> a/b is impossible: a child edge cannot stretch.
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a/b"),
+                                         MustParseXPath("a//b")));
+}
+
+TEST(HomomorphismTest, DescendantMapsOntoLongerPaths) {
+  EXPECT_TRUE(ExistsPatternHomomorphism(MustParseXPath("a//c"),
+                                        MustParseXPath("a/b/c")));
+  EXPECT_TRUE(ExistsPatternHomomorphism(MustParseXPath("a//c"),
+                                        MustParseXPath("a//b//c")));
+}
+
+TEST(HomomorphismTest, WildcardMapsAnywhere) {
+  EXPECT_TRUE(ExistsPatternHomomorphism(MustParseXPath("a/*"),
+                                        MustParseXPath("a/b")));
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a/b"),
+                                         MustParseXPath("a/*")));
+}
+
+TEST(HomomorphismTest, BranchesMayCollapse) {
+  // a[b][b] -> a[b]: both branch copies map to the single b.
+  EXPECT_TRUE(ExistsPatternHomomorphism(MustParseXPath("a[b][b]"),
+                                        MustParseXPath("a[b]")));
+  // a[b] -> a[b][c] trivially (ignore c).
+  EXPECT_TRUE(ExistsPatternHomomorphism(MustParseXPath("a[b]"),
+                                        MustParseXPath("a[b][c]")));
+  // a[b][c] -> a[b]: c has no image.
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a[b][c]"),
+                                         MustParseXPath("a[b]")));
+}
+
+TEST(HomomorphismTest, OutputMustBePreserved) {
+  // Same trees, different outputs: no homomorphism.
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a/b"),
+                                         MustParseXPath("a[b]")));
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a[b]"),
+                                         MustParseXPath("a/b")));
+}
+
+TEST(HomomorphismTest, RootMustBePreserved) {
+  // b (root=output b) vs a/b: root b cannot map to root a.
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("b"),
+                                         MustParseXPath("a/b")));
+}
+
+TEST(HomomorphismTest, ClassicStarDescendantAsymmetry) {
+  // a/*//b ≡ a//*/b as queries, but only one direction has a homomorphism:
+  // from a//*/b into a/*//b there is none (the child edge into b cannot map
+  // onto the descendant edge), while from a/*//b into a//*/b there is none
+  // either (the child edge into * cannot map onto the descendant edge).
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a//*/b"),
+                                         MustParseXPath("a/*//b")));
+  EXPECT_FALSE(ExistsPatternHomomorphism(MustParseXPath("a/*//b"),
+                                         MustParseXPath("a//*/b")));
+}
+
+TEST(HomomorphismTest, EmptyPatterns) {
+  Pattern a = MustParseXPath("a");
+  EXPECT_FALSE(ExistsPatternHomomorphism(Pattern::Empty(), a));
+  EXPECT_FALSE(ExistsPatternHomomorphism(a, Pattern::Empty()));
+}
+
+TEST(HomomorphismTest, DeepNestedPredicates) {
+  Pattern specific = MustParseXPath("a[b[c[d]]]//e");
+  Pattern general = MustParseXPath("a[b]//e");
+  EXPECT_TRUE(ExistsPatternHomomorphism(general, specific));
+  EXPECT_FALSE(ExistsPatternHomomorphism(specific, general));
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,62 @@
+#include "xml/label.h"
+
+#include <gtest/gtest.h>
+
+namespace xpv {
+namespace {
+
+TEST(LabelTest, InterningIsIdempotent) {
+  LabelId a1 = L("alpha");
+  LabelId a2 = L("alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(LabelName(a1), "alpha");
+}
+
+TEST(LabelTest, DistinctNamesGetDistinctIds) {
+  EXPECT_NE(L("beta"), L("gamma"));
+}
+
+TEST(LabelTest, ReservedSymbols) {
+  EXPECT_EQ(Labels().Intern("*"), LabelStore::kWildcard);
+  EXPECT_EQ(Labels().Intern("#bot"), LabelStore::kBottom);
+  EXPECT_EQ(LabelName(LabelStore::kWildcard), "*");
+}
+
+TEST(LabelTest, FreshLabelsAreDistinct) {
+  LabelId f1 = Labels().Fresh("mu");
+  LabelId f2 = Labels().Fresh("mu");
+  EXPECT_NE(f1, f2);
+  EXPECT_NE(f1, LabelStore::kWildcard);
+  EXPECT_NE(f1, LabelStore::kBottom);
+}
+
+TEST(LabelTest, IsSigmaClassification) {
+  EXPECT_TRUE(Labels().IsSigma(L("delta")));
+  EXPECT_FALSE(Labels().IsSigma(LabelStore::kWildcard));
+  EXPECT_FALSE(Labels().IsSigma(LabelStore::kBottom));
+  EXPECT_FALSE(Labels().IsSigma(Labels().Fresh("x")));
+}
+
+TEST(LabelGlbTest, EqualLabels) {
+  LabelId out = -1;
+  ASSERT_TRUE(LabelGlb(L("a"), L("a"), &out));
+  EXPECT_EQ(out, L("a"));
+}
+
+TEST(LabelGlbTest, WildcardIsTop) {
+  LabelId out = -1;
+  ASSERT_TRUE(LabelGlb(LabelStore::kWildcard, L("a"), &out));
+  EXPECT_EQ(out, L("a"));
+  ASSERT_TRUE(LabelGlb(L("a"), LabelStore::kWildcard, &out));
+  EXPECT_EQ(out, L("a"));
+  ASSERT_TRUE(LabelGlb(LabelStore::kWildcard, LabelStore::kWildcard, &out));
+  EXPECT_EQ(out, LabelStore::kWildcard);
+}
+
+TEST(LabelGlbTest, DistinctSigmaLabelsHaveNoGlb) {
+  LabelId out = -1;
+  EXPECT_FALSE(LabelGlb(L("a"), L("b"), &out));
+}
+
+}  // namespace
+}  // namespace xpv

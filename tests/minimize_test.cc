@@ -1,0 +1,75 @@
+#include "containment/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(RemoveSubtreeTest, RemovesBranch) {
+  Pattern p = MustParseXPath("a[b/c][d]/e");
+  // Parse order: a=0, b=1, c=2, d=3, e=4. Remove b's subtree.
+  Pattern without = RemoveSubtree(p, 1);
+  EXPECT_TRUE(Isomorphic(without, MustParseXPath("a[d]/e")));
+}
+
+TEST(RemoveSubtreeTest, PreservesOutput) {
+  Pattern p = MustParseXPath("a[b]/c[d]");
+  Pattern without = RemoveSubtree(p, 1);
+  EXPECT_EQ(without.label(without.output()), L("c"));
+}
+
+TEST(MinimizeTest, DuplicateBranchIsRedundant) {
+  Pattern p = MustParseXPath("a[b][b]/c");
+  Pattern min = RemoveRedundantBranches(p);
+  EXPECT_TRUE(Isomorphic(min, MustParseXPath("a[b]/c")));
+  EXPECT_TRUE(Equivalent(p, min));
+}
+
+TEST(MinimizeTest, SubsumedBranchIsRedundant) {
+  // a[b][b/c]: the bare b branch is implied by b/c... it is redundant.
+  Pattern p = MustParseXPath("a[b][b/c]/d");
+  Pattern min = RemoveRedundantBranches(p);
+  EXPECT_TRUE(Isomorphic(min, MustParseXPath("a[b/c]/d")));
+}
+
+TEST(MinimizeTest, DescendantBranchSubsumedByChildBranch) {
+  // a[//b][b]: the descendant branch is implied by the child branch.
+  Pattern p = MustParseXPath("a[//b][b]/c");
+  Pattern min = RemoveRedundantBranches(p);
+  EXPECT_TRUE(Isomorphic(min, MustParseXPath("a[b]/c")));
+}
+
+TEST(MinimizeTest, IndependentBranchesAreKept) {
+  Pattern p = MustParseXPath("a[b][c]/d");
+  Pattern min = RemoveRedundantBranches(p);
+  EXPECT_TRUE(Isomorphic(min, p));
+}
+
+TEST(MinimizeTest, NeverTouchesSelectionPath) {
+  Pattern p = MustParseXPath("a/b/c");
+  Pattern min = RemoveRedundantBranches(p);
+  EXPECT_TRUE(Isomorphic(min, p));
+}
+
+TEST(MinimizeTest, WildcardBranchSubsumedBySigmaBranch) {
+  // a[*][b]: the wildcard branch is implied by [b].
+  Pattern p = MustParseXPath("a[*][b]/c");
+  Pattern min = RemoveRedundantBranches(p);
+  EXPECT_TRUE(Isomorphic(min, MustParseXPath("a[b]/c")));
+}
+
+TEST(MinimizeTest, ResultIsAlwaysEquivalent) {
+  for (const char* expr :
+       {"a[b][b][b]/c", "a[*][b/c][b]/d", "a[//x][y/x]//z", "a[b[c]][b]/e"}) {
+    Pattern p = MustParseXPath(expr);
+    Pattern min = RemoveRedundantBranches(p);
+    EXPECT_TRUE(Equivalent(p, min)) << expr;
+    EXPECT_LE(min.size(), p.size()) << expr;
+  }
+}
+
+}  // namespace
+}  // namespace xpv

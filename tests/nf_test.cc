@@ -1,0 +1,71 @@
+#include "rewrite/nf.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+#include "rewrite/gnf.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+TEST(NfTest, ChildOnlyPatternsAreInNf) {
+  EXPECT_TRUE(IsInNormalFormNfStar(MustParseXPath("a/b[c]/d")));
+  EXPECT_TRUE(IsInNormalFormNfStar(MustParseXPath("a")));
+}
+
+TEST(NfTest, DescendantIntoSigmaNodeIsFine) {
+  EXPECT_TRUE(IsInNormalFormNfStar(MustParseXPath("a//b[c]/d")));
+  EXPECT_TRUE(IsInNormalFormNfStar(MustParseXPath("a[//b]/c")));
+}
+
+TEST(NfTest, DescendantIntoLinearWildcardIsFine) {
+  EXPECT_TRUE(IsInNormalFormNfStar(MustParseXPath("a//*/b")));
+  EXPECT_TRUE(IsInNormalFormNfStar(MustParseXPath("a//*//*")));
+}
+
+TEST(NfTest, DescendantIntoBranchingWildcardViolates) {
+  EXPECT_FALSE(IsInNormalFormNfStar(MustParseXPath("a//*[b]/c")));
+  // Even when the branching wildcard is itself inside a branch (NF/*
+  // constrains the whole query, not just the selection path).
+  EXPECT_FALSE(IsInNormalFormNfStar(MustParseXPath("a[x//*[b]/c]/d")));
+}
+
+TEST(NfTest, NfImpliesGnfAlways) {
+  // The containment the paper states: NF/* ⊆ GNF/*.
+  Rng rng(31337);
+  PatternGenOptions options;
+  options.max_depth = 4;
+  options.max_branches = 3;
+  options.wildcard_prob = 0.4;
+  options.descendant_prob = 0.4;
+  for (int i = 0; i < 200; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    if (IsInNormalFormNfStar(p)) {
+      EXPECT_TRUE(IsInGeneralizedNormalForm(p));
+    }
+  }
+}
+
+TEST(NfTest, GnfIsStrictlyLarger) {
+  // A descendant edge enters the branching wildcard *[e]/b whose fresh
+  // branch label e makes it stable: in GNF/* (Prop 4.1 case 3) but not in
+  // NF/*.
+  Pattern p = MustParseXPath("a//*[e]/b");
+  EXPECT_TRUE(IsInGeneralizedNormalForm(p));
+  EXPECT_FALSE(IsInNormalFormNfStar(p));
+
+  // Branch-node violations don't affect GNF/* (selection path only).
+  Pattern q = MustParseXPath("a[x//*[b]/c]/d");
+  EXPECT_TRUE(IsInGeneralizedNormalForm(q));
+  EXPECT_FALSE(IsInNormalFormNfStar(q));
+}
+
+TEST(NfTest, EmptyPatternIsInNeither) {
+  EXPECT_FALSE(IsInNormalFormNfStar(Pattern::Empty()));
+  EXPECT_FALSE(IsInGeneralizedNormalForm(Pattern::Empty()));
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,96 @@
+#include "containment/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+TEST(OracleTest, AgreesWithDirectContainment) {
+  ContainmentOracle oracle;
+  const char* pairs[][2] = {
+      {"a/b", "a//b"},      {"a//b", "a/b"},   {"a[b][c]", "a[b]"},
+      {"a/*//b", "a//*/b"}, {"a[b]", "a[b][c]"},
+  };
+  for (auto& pair : pairs) {
+    Pattern p1 = MustParseXPath(pair[0]);
+    Pattern p2 = MustParseXPath(pair[1]);
+    EXPECT_EQ(oracle.Contained(p1, p2), Contained(p1, p2))
+        << pair[0] << " vs " << pair[1];
+  }
+}
+
+TEST(OracleTest, CachesRepeatedQueries) {
+  ContainmentOracle oracle;
+  Pattern p1 = MustParseXPath("a/*//b[c]");
+  Pattern p2 = MustParseXPath("a//*/b");
+  oracle.Contained(p1, p2);
+  EXPECT_EQ(oracle.misses(), 1u);
+  EXPECT_EQ(oracle.hits(), 0u);
+  for (int i = 0; i < 5; ++i) oracle.Contained(p1, p2);
+  EXPECT_EQ(oracle.misses(), 1u);
+  EXPECT_EQ(oracle.hits(), 5u);
+}
+
+TEST(OracleTest, KeyIsDirectional) {
+  ContainmentOracle oracle;
+  Pattern p1 = MustParseXPath("a/b");
+  Pattern p2 = MustParseXPath("a//b");
+  EXPECT_TRUE(oracle.Contained(p1, p2));
+  EXPECT_FALSE(oracle.Contained(p2, p1));
+  EXPECT_EQ(oracle.size(), 2u);
+}
+
+TEST(OracleTest, IsomorphicPatternsShareEntries) {
+  ContainmentOracle oracle;
+  Pattern p1 = MustParseXPath("a[b][c]/d");
+  Pattern p1_shuffled = MustParseXPath("a[c][b]/d");
+  Pattern p2 = MustParseXPath("a//d");
+  oracle.Contained(p1, p2);
+  oracle.Contained(p1_shuffled, p2);
+  EXPECT_EQ(oracle.misses(), 1u);
+  EXPECT_EQ(oracle.hits(), 1u);
+}
+
+TEST(OracleTest, EquivalentUsesTwoEntries) {
+  ContainmentOracle oracle;
+  Pattern p1 = MustParseXPath("a/*//b");
+  Pattern p2 = MustParseXPath("a//*/b");
+  EXPECT_TRUE(oracle.Equivalent(p1, p2));
+  EXPECT_EQ(oracle.size(), 2u);
+  EXPECT_TRUE(oracle.Equivalent(p2, p1));  // Mirrored keys already cached.
+  EXPECT_EQ(oracle.size(), 2u);
+  EXPECT_EQ(oracle.hits(), 2u);
+}
+
+TEST(OracleTest, ClearResets) {
+  ContainmentOracle oracle;
+  oracle.Contained(MustParseXPath("a"), MustParseXPath("*"));
+  oracle.Clear();
+  EXPECT_EQ(oracle.size(), 0u);
+  EXPECT_EQ(oracle.hits(), 0u);
+  EXPECT_EQ(oracle.misses(), 0u);
+}
+
+TEST(OracleTest, RandomizedAgreement) {
+  ContainmentOracle oracle;
+  Rng rng(777);
+  PatternGenOptions options;
+  options.max_depth = 3;
+  options.max_branches = 2;
+  options.alphabet_size = 2;
+  for (int i = 0; i < 30; ++i) {
+    Pattern p1 = RandomPattern(rng, options);
+    Pattern p2 = RandomPattern(rng, options);
+    EXPECT_EQ(oracle.Contained(p1, p2), Contained(p1, p2));
+    // Second pass must hit the cache with the same answers.
+    EXPECT_EQ(oracle.Contained(p1, p2), Contained(p1, p2));
+  }
+  EXPECT_GT(oracle.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,330 @@
+// Mechanical re-verification of the paper's propositions and theorems on
+// hand-built instances. Each test names the result it exercises.
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "eval/evaluator.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/engine.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Proposition 2.4: R ∘ V (t) = R(V(t)) for all trees t.
+// ---------------------------------------------------------------------------
+
+TEST(Prop24Test, CompositionEqualsSequentialApplication) {
+  Rng rng(42);
+  PatternGenOptions vopts;
+  vopts.max_depth = 2;
+  vopts.max_branches = 1;
+  TreeGenOptions topts;
+  topts.max_nodes = 60;
+  for (int round = 0; round < 40; ++round) {
+    Pattern v = RandomPattern(rng, vopts);
+    Pattern r = RandomPattern(rng, vopts);
+    Pattern rv = Compose(r, v);
+    Tree t = DocumentWithMatches(rng, v, topts, 2);
+
+    // R(V(t)): apply v, then apply r anchored at each output.
+    std::vector<NodeId> v_out = Eval(v, t);
+    std::vector<NodeId> sequential;
+    if (!r.IsEmpty()) {
+      Evaluator r_eval(r, t);
+      for (NodeId o : v_out) {
+        std::vector<NodeId> part = r_eval.OutputsAnchoredAt(o);
+        sequential.insert(sequential.end(), part.begin(), part.end());
+      }
+    }
+    std::sort(sequential.begin(), sequential.end());
+    sequential.erase(std::unique(sequential.begin(), sequential.end()),
+                     sequential.end());
+
+    EXPECT_EQ(Eval(rv, t), sequential)
+        << "R = " << ToXPath(r) << ", V = " << ToXPath(v);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 3.1: weakly equivalent patterns have equal depths, weakly
+// equivalent k-sub-patterns, and identical k-node labels.
+// ---------------------------------------------------------------------------
+
+TEST(Prop31Test, HoldsForEquivalentPairs) {
+  // Equivalence implies weak equivalence, so equivalent pairs must satisfy
+  // all three parts.
+  const char* pairs[][2] = {
+      {"a/*//b", "a//*/b"},
+      {"a/*/*//b", "a//*/*/b"},
+      {"a[x][x]/b//c", "a[x]/b//c"},
+  };
+  for (auto& pair : pairs) {
+    Pattern p1 = MustParseXPath(pair[0]);
+    Pattern p2 = MustParseXPath(pair[1]);
+    ASSERT_TRUE(Equivalent(p1, p2)) << pair[0] << " vs " << pair[1];
+    SelectionInfo i1(p1), i2(p2);
+    ASSERT_EQ(i1.depth(), i2.depth());  // Part 1.
+    for (int k = 0; k <= i1.depth(); ++k) {
+      EXPECT_TRUE(WeaklyEquivalent(SubPattern(p1, k), SubPattern(p2, k)))
+          << pair[0] << " vs " << pair[1] << " at k=" << k;  // Part 2.
+      EXPECT_EQ(p1.label(i1.KNode(k)), p2.label(i2.KNode(k)))
+          << " at k=" << k;  // Part 3.
+    }
+  }
+}
+
+TEST(Prop31Test, HoldsForWeaklyEquivalentPair) {
+  // */b ≡w *//b (the classic unstable pair).
+  Pattern p1 = MustParseXPath("*/b");
+  Pattern p2 = MustParseXPath("*//b");
+  ASSERT_TRUE(WeaklyEquivalent(p1, p2));
+  SelectionInfo i1(p1), i2(p2);
+  EXPECT_EQ(i1.depth(), i2.depth());
+  EXPECT_EQ(p1.label(p1.output()), p2.label(p2.output()));
+  EXPECT_TRUE(WeaklyEquivalent(SubPattern(p1, 1), SubPattern(p2, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 3.2 / Corollary 3.3: replacing the k-sub-pattern below a
+// descendant edge with a weakly equivalent pattern preserves equivalence.
+// ---------------------------------------------------------------------------
+
+TEST(Prop32Test, SubPatternReplacementBelowDescendantEdge) {
+  // P = a[x]//b[c]/d: a descendant edge enters the 1-node.
+  Pattern p = MustParseXPath("a[x]//b[c]/d");
+  Pattern upper = UpperPattern(p, 0);  // P^{<1}.
+  Pattern q = SubPattern(p, 1);        // Weakly equivalent to itself.
+  EXPECT_TRUE(Equivalent(Combine(upper, 0, q), p));
+}
+
+TEST(Prop32Test, ReplacementWithWeaklyEquivalentVariant) {
+  // P = a//*/b: descendant edge enters the 1-node; P>=1 = */b ≡w *//b,
+  // so replacing yields an equivalent pattern a//*//b... note
+  // a//(*//b) = a//*//b and indeed a//*/b ≡ a//*//b? No: a//*/b selects b
+  // at depth >= 2 and a//*//b selects b at depth >= 2 as well — replacing
+  // under the descendant edge preserves equivalence exactly as Prop 3.2
+  // states.
+  Pattern p = MustParseXPath("a//*/b");
+  Pattern upper = UpperPattern(p, 0);
+  Pattern q = MustParseXPath("*//b");
+  ASSERT_TRUE(WeaklyEquivalent(SubPattern(p, 1), q));
+  EXPECT_TRUE(Equivalent(Combine(upper, 0, q), p));
+}
+
+TEST(Cor33Test, CrossReplacementBetweenEquivalentPatterns) {
+  Pattern p1 = MustParseXPath("a//*/*/b");
+  Pattern p2 = MustParseXPath("a//*/*/b");
+  ASSERT_TRUE(Equivalent(p1, p2));
+  // Descendant edge enters the 1-node of p1; swap in p2's 1-sub-pattern.
+  Pattern swapped = Combine(UpperPattern(p1, 0), 0, SubPattern(p2, 1));
+  EXPECT_TRUE(Equivalent(swapped, p1));
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 3.5: if root(V) = out(V) and R ∘ V ≡ P then R ∘ V ≡ P ∘ V.
+// ---------------------------------------------------------------------------
+
+TEST(Prop35Test, RootOutputViewComposition) {
+  Pattern v = MustParseXPath("a[x]");
+  Pattern p = MustParseXPath("a[x]/b");
+  Pattern r = MustParseXPath("a/b");  // R ∘ V = a[x]/b ≡ P.
+  Pattern rv = Compose(r, v);
+  ASSERT_TRUE(Equivalent(rv, p));
+  EXPECT_TRUE(Equivalent(rv, Compose(p, v)));
+}
+
+TEST(Prop35Test, PvContainedInPAlways) {
+  // First half of the proof: P ∘ V ⊑ P whenever root(V) = out(V).
+  const char* views[] = {"a", "a[x]", "a[x//y][z]"};
+  const char* queries[] = {"a/b", "a//b[c]", "a[q]/r//s"};
+  for (const char* vexpr : views) {
+    for (const char* pexpr : queries) {
+      Pattern v = MustParseXPath(vexpr);
+      Pattern p = MustParseXPath(pexpr);
+      Pattern pv = Compose(p, v);
+      EXPECT_TRUE(Contained(pv, p)) << vexpr << " " << pexpr;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.3 (stability) soundness: when P>=k is stable and a rewriting
+// exists, P>=k itself is one.
+// ---------------------------------------------------------------------------
+
+TEST(Thm43Test, StableSubPatternIsThePotentialRewriting) {
+  // P>=1 = b[c]/d is stable; V = a//b is a prefix-like view: rewriting
+  // exists, so P>=1 must be one.
+  Pattern p = MustParseXPath("a//b[c]/d");
+  Pattern v = MustParseXPath("a//b");
+  RewriteResult result = DecideRewrite(p, v);
+  ASSERT_EQ(result.status, RewriteStatus::kFound);
+  EXPECT_TRUE(Isomorphic(result.rewriting, SubPattern(p, 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.9: descendant edge into out(V).
+// ---------------------------------------------------------------------------
+
+TEST(Thm49Test, FoundAndNotExistsSides) {
+  // V's branch [z] is not implied by P, so the candidates fail and Thm 4.9
+  // (descendant edge into out(V)) certifies nonexistence. (With [c]
+  // instead of [z] the branch would be implied by P's own c-child and a
+  // rewriting would exist.)
+  EXPECT_EQ(DecideRewrite(MustParseXPath("a//*/c//c"),
+                          MustParseXPath("a//*[z]"))
+                .status,
+            RewriteStatus::kNotExists);
+  RewriteResult found =
+      DecideRewrite(MustParseXPath("a//b/c"), MustParseXPath("a//b"));
+  EXPECT_EQ(found.status, RewriteStatus::kFound);
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.10: child-only view selection path; the relaxed candidate can
+// be required (Figure 2's phenomenon).
+// ---------------------------------------------------------------------------
+
+TEST(Thm410Test, RelaxedCandidateIsThePotentialOne) {
+  Pattern p = MustParseXPath("a//*/b");
+  Pattern v = MustParseXPath("a/*");
+  // P>=1 is NOT a rewriting:
+  EXPECT_FALSE(Equivalent(Compose(SubPattern(p, 1), v), p));
+  // but P>=1_r// is:
+  Pattern relaxed = RelaxRootEdges(SubPattern(p, 1));
+  EXPECT_TRUE(Equivalent(Compose(relaxed, v), p));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 4.16 and Corollary 5.7 (correspondence of last descendant edges).
+// ---------------------------------------------------------------------------
+
+TEST(Thm416Test, PositiveInstance) {
+  // Last // of P at depth 1 corresponds to V's // at depth 1.
+  Pattern p = MustParseXPath("a//*/*/c");
+  Pattern v = MustParseXPath("a//*/*");
+  RewriteResult result = DecideRewrite(p, v);
+  ASSERT_EQ(result.status, RewriteStatus::kFound);
+  EXPECT_TRUE(Isomorphic(result.rewriting, MustParseXPath("*/c")));
+}
+
+TEST(Cor57Test, DeeperViewDescendantCertifiesNonexistence) {
+  // V's deepest // (2) >= P's deepest // (1); candidates fail due to V's
+  // [q] branch => certified NotExists.
+  RewriteResult result = DecideRewrite(MustParseXPath("a//*[b]/*/*/b"),
+                                       MustParseXPath("a/*//*[q]/*"));
+  EXPECT_EQ(result.status, RewriteStatus::kNotExists);
+  ASSERT_TRUE(result.completeness.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 5.1: with P>=i stable, rewritings of (P, V) and of
+// (P>=i, V>=i) coincide.
+// ---------------------------------------------------------------------------
+
+TEST(Prop51Test, ReducedInstanceHasSameRewriting) {
+  Pattern p = MustParseXPath("a//b/c/d");
+  Pattern v = MustParseXPath("a//b/c");
+  // P>=1 = b/c/d is stable (root b). Reduced instance: (b/c/d, b/c).
+  Pattern rp = SubPattern(p, 1);
+  Pattern rv = SubPattern(v, 1);
+  RewriteResult full = DecideRewrite(p, v);
+  RewriteResult reduced = DecideRewrite(rp, rv);
+  ASSERT_EQ(full.status, RewriteStatus::kFound);
+  ASSERT_EQ(reduced.status, RewriteStatus::kFound);
+  EXPECT_TRUE(Isomorphic(full.rewriting, reduced.rewriting));
+  // And the rewriting works for both instances.
+  EXPECT_TRUE(Equivalent(Compose(reduced.rewriting, v), p));
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 5.6: ignoring everything above the last descendant edge on
+// V's selection path preserves rewritings.
+// ---------------------------------------------------------------------------
+
+TEST(Prop56Test, SuffixReductionPreservesRewriting) {
+  Pattern p = MustParseXPath("x/y//b/c/d");
+  Pattern v = MustParseXPath("x/y//b/c");
+  SelectionInfo vi(v);
+  int i = vi.DeepestDescendantSelectionEdge();
+  ASSERT_EQ(i, 2);
+  Pattern p_prime = DescendantPrefix(LabelStore::kWildcard, SubPattern(p, i));
+  Pattern v_prime = DescendantPrefix(LabelStore::kWildcard, SubPattern(v, i));
+  RewriteResult full = DecideRewrite(p, v);
+  RewriteResult primed = DecideRewrite(p_prime, v_prime);
+  ASSERT_EQ(full.status, RewriteStatus::kFound);
+  ASSERT_EQ(primed.status, RewriteStatus::kFound);
+  // Part 1 of Prop 5.6: the original rewriting also rewrites the primed
+  // instance.
+  EXPECT_TRUE(Equivalent(Compose(full.rewriting, v_prime), p_prime));
+  // Part 2: the primed rewriting is a rewriting of the original (one
+  // exists, so "potential" means actual).
+  EXPECT_TRUE(Equivalent(Compose(primed.rewriting, v), p));
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.9 / Proposition 5.8: extension and output lifting.
+// ---------------------------------------------------------------------------
+
+TEST(Prop58Test, ExtensionPreservesEquivalence) {
+  LabelId mu = Labels().Fresh("mu58");
+  const char* pairs[][2] = {
+      {"a/*//b", "a//*/b"},
+      {"a[x][x]/b", "a[x]/b"},
+  };
+  for (auto& pair : pairs) {
+    Pattern p1 = MustParseXPath(pair[0]);
+    Pattern p2 = MustParseXPath(pair[1]);
+    ASSERT_TRUE(Equivalent(p1, p2));
+    EXPECT_TRUE(Equivalent(Extend(p1, mu), Extend(p2, mu)))
+        << pair[0] << " vs " << pair[1];
+  }
+  // And the converse direction on an inequivalent pair.
+  EXPECT_FALSE(Equivalent(Extend(MustParseXPath("a/b"), mu),
+                          Extend(MustParseXPath("a//b"), mu)));
+}
+
+TEST(Thm59Test, LiftedInstanceRewritesIffOriginalDoes) {
+  // P = a/b/c/d with j = 2 (label c non-*), V = a/b.
+  Pattern p = MustParseXPath("a/b/c/d");
+  Pattern v = MustParseXPath("a/b");
+  LabelId mu = Labels().Fresh("mu59");
+  Pattern p_prime = LiftOutput(Extend(p, mu), 2);
+  Pattern v_prime = Extend(v, LabelStore::kWildcard);
+  RewriteResult original = DecideRewrite(p, v);
+  RewriteResult lifted = DecideRewrite(p_prime, v_prime);
+  EXPECT_EQ(original.status, RewriteStatus::kFound);
+  EXPECT_EQ(lifted.status, RewriteStatus::kFound);
+
+  // A non-existence instance stays non-existent after the transform.
+  Pattern p2 = MustParseXPath("a/b/c/d");
+  Pattern v2 = MustParseXPath("a/b[zz]");
+  Pattern p2_prime = LiftOutput(Extend(p2, mu), 2);
+  Pattern v2_prime = Extend(v2, LabelStore::kWildcard);
+  EXPECT_EQ(DecideRewrite(p2, v2).status, RewriteStatus::kNotExists);
+  EXPECT_EQ(DecideRewrite(p2_prime, v2_prime).status,
+            RewriteStatus::kNotExists);
+}
+
+// ---------------------------------------------------------------------------
+// Section 4 pre-analysis: k = d and k > d.
+// ---------------------------------------------------------------------------
+
+TEST(Section4Test, EqualDepthPotentialAndDepthExceeded) {
+  EXPECT_EQ(DecideRewrite(MustParseXPath("a/b[c]"), MustParseXPath("a/b"))
+                .status,
+            RewriteStatus::kFound);
+  EXPECT_EQ(
+      DecideRewrite(MustParseXPath("a/b"), MustParseXPath("a/b/c")).status,
+      RewriteStatus::kNotExists);
+}
+
+}  // namespace
+}  // namespace xpv

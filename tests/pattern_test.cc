@@ -1,0 +1,91 @@
+#include "pattern/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(PatternTest, EmptyPattern) {
+  Pattern e = Pattern::Empty();
+  EXPECT_TRUE(e.IsEmpty());
+  EXPECT_EQ(e.size(), 0);
+  EXPECT_EQ(e.CanonicalEncoding(), "<empty>");
+}
+
+TEST(PatternTest, SingleNodeIsRootAndOutput) {
+  Pattern p(L("a"));
+  EXPECT_FALSE(p.IsEmpty());
+  EXPECT_EQ(p.root(), p.output());
+  EXPECT_EQ(p.label(p.root()), L("a"));
+}
+
+TEST(PatternTest, AddChildTracksEdgesAndParents) {
+  Pattern p(L("a"));
+  NodeId b = p.AddChild(p.root(), L("b"), EdgeType::kChild);
+  NodeId c = p.AddChild(b, L("c"), EdgeType::kDescendant);
+  EXPECT_EQ(p.size(), 3);
+  EXPECT_EQ(p.parent(c), b);
+  EXPECT_EQ(p.edge(b), EdgeType::kChild);
+  EXPECT_EQ(p.edge(c), EdgeType::kDescendant);
+}
+
+TEST(PatternTest, HeightOfChainAndStar) {
+  Pattern chain = MustParseXPath("a/b/c/d");
+  EXPECT_EQ(chain.Height(), 3);
+  Pattern star = MustParseXPath("a[b][c][d]");
+  EXPECT_EQ(star.Height(), 1);
+}
+
+TEST(PatternTest, SubtreeNodesPreorder) {
+  Pattern p = MustParseXPath("a[b/c]/d");
+  // Parsing order: a=0, b=1, c=2, d=3.
+  EXPECT_EQ(p.SubtreeNodes(p.root()), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(p.SubtreeNodes(1), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(PatternIsomorphismTest, SiblingOrderIsIgnored) {
+  Pattern p1 = MustParseXPath("a[b][c]/d");
+  Pattern p2 = MustParseXPath("a[c][b]/d");
+  EXPECT_TRUE(Isomorphic(p1, p2));
+}
+
+TEST(PatternIsomorphismTest, EdgeTypesMatter) {
+  Pattern p1 = MustParseXPath("a/b");
+  Pattern p2 = MustParseXPath("a//b");
+  EXPECT_FALSE(Isomorphic(p1, p2));
+}
+
+TEST(PatternIsomorphismTest, OutputDesignationMatters) {
+  // a/b with output b vs a[b] with output a: same tree, different output.
+  Pattern p1 = MustParseXPath("a/b");
+  Pattern p2 = MustParseXPath("a[b]");
+  EXPECT_FALSE(Isomorphic(p1, p2));
+}
+
+TEST(PatternIsomorphismTest, LabelsMatter) {
+  EXPECT_FALSE(Isomorphic(MustParseXPath("a/b"), MustParseXPath("a/c")));
+  EXPECT_FALSE(Isomorphic(MustParseXPath("a/*"), MustParseXPath("a/b")));
+}
+
+TEST(PatternIsomorphismTest, EmptyPatterns) {
+  EXPECT_TRUE(Isomorphic(Pattern::Empty(), Pattern::Empty()));
+  EXPECT_FALSE(Isomorphic(Pattern::Empty(), MustParseXPath("a")));
+}
+
+TEST(PatternTest, AsciiMarksOutput) {
+  Pattern p = MustParseXPath("a/b[c]");
+  std::string art = p.ToAscii();
+  EXPECT_NE(art.find("output"), std::string::npos);
+}
+
+TEST(PatternTest, SetLabelAndEdgeMutators) {
+  Pattern p = MustParseXPath("a/b");
+  p.set_label(1, LabelStore::kWildcard);
+  p.set_edge(1, EdgeType::kDescendant);
+  EXPECT_TRUE(Isomorphic(p, MustParseXPath("a//*")));
+}
+
+}  // namespace
+}  // namespace xpv

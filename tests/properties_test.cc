@@ -1,0 +1,124 @@
+#include "pattern/properties.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+TEST(SelectionInfoTest, DepthAndKNodes) {
+  Pattern p = MustParseXPath("a/b[x]//c/d");
+  SelectionInfo info(p);
+  EXPECT_EQ(info.depth(), 3);
+  EXPECT_EQ(p.label(info.KNode(0)), L("a"));
+  EXPECT_EQ(p.label(info.KNode(1)), L("b"));
+  EXPECT_EQ(p.label(info.KNode(2)), L("c"));
+  EXPECT_EQ(p.label(info.KNode(3)), L("d"));
+}
+
+TEST(SelectionInfoTest, SelectionEdges) {
+  Pattern p = MustParseXPath("a/b//c/d");
+  SelectionInfo info(p);
+  EXPECT_EQ(info.SelectionEdge(1), EdgeType::kChild);
+  EXPECT_EQ(info.SelectionEdge(2), EdgeType::kDescendant);
+  EXPECT_EQ(info.SelectionEdge(3), EdgeType::kChild);
+  EXPECT_EQ(info.DeepestDescendantSelectionEdge(), 2);
+  EXPECT_TRUE(info.ChildOnlyRange(2, 3));
+  EXPECT_FALSE(info.ChildOnlyRange(0, 2));
+  EXPECT_TRUE(info.ChildOnlyRange(0, 1));
+}
+
+TEST(SelectionInfoTest, DepthZeroPattern) {
+  Pattern p = MustParseXPath("a[b][c//d]");
+  SelectionInfo info(p);
+  EXPECT_EQ(info.depth(), 0);
+  EXPECT_EQ(info.KNode(0), p.root());
+  EXPECT_EQ(info.DeepestDescendantSelectionEdge(), 0);
+}
+
+TEST(SelectionInfoTest, NodeDepthOfBranchNodes) {
+  // Branch [x/y] hangs off b (depth 1): both x and y have depth 1.
+  Pattern p = MustParseXPath("a/b[x/y]/c");
+  SelectionInfo info(p);
+  EXPECT_EQ(info.NodeDepth(p.root()), 0);
+  // Parse order: a=0 b=1 x=2 y=3 c=4.
+  EXPECT_EQ(info.NodeDepth(2), 1);
+  EXPECT_EQ(info.NodeDepth(3), 1);
+  EXPECT_EQ(info.NodeDepth(4), 2);
+}
+
+TEST(SelectionInfoTest, OnPath) {
+  Pattern p = MustParseXPath("a/b[x]/c");
+  SelectionInfo info(p);
+  EXPECT_TRUE(info.OnPath(0));
+  EXPECT_TRUE(info.OnPath(1));
+  EXPECT_FALSE(info.OnPath(2));  // x.
+  EXPECT_TRUE(info.OnPath(3));   // c.
+}
+
+TEST(PropertiesTest, SigmaLabelsExcludeWildcards) {
+  Pattern p = MustParseXPath("a[*]/b//*");
+  std::set<LabelId> labels = SigmaLabels(p);
+  EXPECT_EQ(labels.size(), 2u);
+  EXPECT_TRUE(labels.count(L("a")));
+  EXPECT_TRUE(labels.count(L("b")));
+}
+
+TEST(PropertiesTest, SigmaLabelsInSubtree) {
+  Pattern p = MustParseXPath("a[e]/b[c]/d");
+  std::set<LabelId> below = SigmaLabelsInSubtree(p, 2);  // b node? id check.
+  // Parse order: a=0, e=1, b=2, c=3, d=4. Subtree of b: {b, c, d}.
+  EXPECT_TRUE(below.count(L("b")));
+  EXPECT_TRUE(below.count(L("c")));
+  EXPECT_TRUE(below.count(L("d")));
+  EXPECT_FALSE(below.count(L("e")));
+}
+
+TEST(PropertiesTest, Linearity) {
+  EXPECT_TRUE(IsLinear(MustParseXPath("a/b//c")));
+  EXPECT_FALSE(IsLinear(MustParseXPath("a[b]/c")));
+  EXPECT_TRUE(IsLinearSubtree(MustParseXPath("a[b][c/d]"), 2));
+}
+
+TEST(PropertiesTest, StarChainLength) {
+  EXPECT_EQ(StarChainLength(MustParseXPath("a/b/c")), 0);
+  EXPECT_EQ(StarChainLength(MustParseXPath("a/*/b")), 1);
+  EXPECT_EQ(StarChainLength(MustParseXPath("a/*/*/*/b")), 3);
+  // A descendant edge breaks the chain.
+  EXPECT_EQ(StarChainLength(MustParseXPath("a/*/*//*/b")), 2);
+  // Chains in branches count too.
+  EXPECT_EQ(StarChainLength(MustParseXPath("a[*/*/*]/b")), 3);
+  // Wildcard root starts a chain.
+  EXPECT_EQ(StarChainLength(MustParseXPath("*/*/a")), 2);
+}
+
+TEST(PropertiesTest, DescendantEdgeCount) {
+  EXPECT_EQ(CountDescendantEdges(MustParseXPath("a/b/c")), 0);
+  EXPECT_EQ(CountDescendantEdges(MustParseXPath("a//b[//c]//d")), 3);
+}
+
+TEST(PropertiesTest, FragmentClassification) {
+  Pattern no_star = MustParseXPath("a//b[c]/d");
+  EXPECT_TRUE(HasNoWildcard(no_star));
+  EXPECT_FALSE(HasNoDescendantEdge(no_star));
+  EXPECT_TRUE(InHomomorphismFragment(no_star));
+
+  Pattern no_desc = MustParseXPath("a/*[b]/c");
+  EXPECT_TRUE(HasNoDescendantEdge(no_desc));
+  EXPECT_FALSE(HasNoWildcard(no_desc));
+  EXPECT_TRUE(InHomomorphismFragment(no_desc));
+
+  Pattern linear = MustParseXPath("a//*/b");
+  EXPECT_TRUE(HasNoBranch(linear));
+  // Linear patterns have PTIME containment but no homomorphism
+  // characterization (a/*//b ≡ a//*/b with no homomorphism), so they are
+  // not in the homomorphism fragment.
+  EXPECT_FALSE(InHomomorphismFragment(linear));
+
+  Pattern full = MustParseXPath("a[*]//b");
+  EXPECT_FALSE(InHomomorphismFragment(full));
+}
+
+}  // namespace
+}  // namespace xpv

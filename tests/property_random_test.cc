@@ -1,0 +1,354 @@
+// Randomized property sweeps (parameterized by seed). These cross-validate
+// independent components against each other:
+//   * containment oracle vs. direct evaluation on sampled documents;
+//   * homomorphism test soundness and sub-fragment completeness;
+//   * engine soundness (every Found rewriting truly composes to P) and
+//     certificate soundness (NotExists confirmed by bounded brute force);
+//   * weak containment consistency with containment;
+//   * algebraic identities (composition depth, candidate containment).
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "containment/homomorphism.h"
+#include "eval/evaluator.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/bruteforce.h"
+#include "rewrite/engine.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+bool Subset(const std::vector<NodeId>& a, const std::vector<NodeId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+class SeededTest : public ::testing::TestWithParam<uint64_t> {};
+
+// ---------------------------------------------------------------------------
+// Containment oracle vs. sampled evaluation.
+// ---------------------------------------------------------------------------
+
+using ContainmentSamplingTest = SeededTest;
+
+TEST_P(ContainmentSamplingTest, ContainmentAgreesWithSampledEvaluation) {
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 3;
+  TreeGenOptions topts;
+  topts.max_nodes = 40;
+  topts.alphabet_size = 3;
+
+  for (int round = 0; round < 12; ++round) {
+    Pattern p1 = RandomPattern(rng, popts);
+    Pattern p2 = RandomPattern(rng, popts);
+    ContainmentWitness witness{Tree(LabelStore::kBottom), kNoNode};
+    if (Contained(p1, p2, &witness)) {
+      // No sampled counterexample may exist: P1(t) ⊆ P2(t) on documents
+      // seeded with matches of p1.
+      for (int s = 0; s < 6; ++s) {
+        Tree t = DocumentWithMatches(rng, p1, topts, 2);
+        EXPECT_TRUE(Subset(Eval(p1, t), Eval(p2, t)))
+            << ToXPath(p1) << " vs " << ToXPath(p2);
+      }
+    } else {
+      EXPECT_TRUE(ProducesOutput(p1, witness.tree, witness.output))
+          << ToXPath(p1);
+      EXPECT_FALSE(ProducesOutput(p2, witness.tree, witness.output))
+          << ToXPath(p1) << " vs " << ToXPath(p2);
+    }
+  }
+}
+
+TEST_P(ContainmentSamplingTest, WeakContainmentAgreesWithSampledEvaluation) {
+  Rng rng(GetParam() ^ 0x5eedULL);
+  PatternGenOptions popts;
+  popts.max_depth = 2;
+  popts.max_branches = 1;
+  popts.alphabet_size = 3;
+  TreeGenOptions topts;
+  topts.max_nodes = 30;
+  topts.alphabet_size = 3;
+
+  for (int round = 0; round < 10; ++round) {
+    Pattern p1 = RandomPattern(rng, popts);
+    Pattern p2 = RandomPattern(rng, popts);
+    ContainmentWitness witness{Tree(LabelStore::kBottom), kNoNode};
+    if (WeaklyContained(p1, p2, &witness)) {
+      for (int s = 0; s < 5; ++s) {
+        Tree t = DocumentWithMatches(rng, p1, topts, 2);
+        EXPECT_TRUE(Subset(EvalWeak(p1, t), EvalWeak(p2, t)))
+            << ToXPath(p1) << " vs " << ToXPath(p2);
+      }
+    } else {
+      EXPECT_TRUE(WeaklyProducesOutput(p1, witness.tree, witness.output));
+      EXPECT_FALSE(WeaklyProducesOutput(p2, witness.tree, witness.output));
+    }
+  }
+}
+
+TEST_P(ContainmentSamplingTest, ContainmentImpliesWeakContainment) {
+  // The paper (Section 2.2): containment implies weak containment when the
+  // patterns have equal depths (outputs at matching selection depths); in
+  // general we verify the counterexample direction: weak non-containment
+  // implies non-containment never fails for equal-depth pairs.
+  Rng rng(GetParam() ^ 0xabcdULL);
+  PatternGenOptions popts;
+  popts.max_depth = 2;
+  popts.max_branches = 1;
+  popts.alphabet_size = 2;
+  for (int round = 0; round < 15; ++round) {
+    Pattern p1 = RandomPattern(rng, popts);
+    Pattern p2 = RandomPattern(rng, popts);
+    SelectionInfo i1(p1), i2(p2);
+    if (i1.depth() != i2.depth()) continue;
+    if (Equivalent(p1, p2)) {
+      EXPECT_TRUE(WeaklyEquivalent(p1, p2))
+          << ToXPath(p1) << " vs " << ToXPath(p2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContainmentSamplingTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// Homomorphism: always sound; complete on the three sub-fragments.
+// ---------------------------------------------------------------------------
+
+using HomomorphismPropertyTest = SeededTest;
+
+TEST_P(HomomorphismPropertyTest, HomomorphismImpliesContainment) {
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 2;
+  ContainmentOptions no_hom;
+  no_hom.use_homomorphism_fast_path = false;
+  for (int round = 0; round < 20; ++round) {
+    Pattern p1 = RandomPattern(rng, popts);
+    Pattern p2 = RandomPattern(rng, popts);
+    if (ExistsPatternHomomorphism(p2, p1)) {
+      EXPECT_TRUE(Contained(p1, p2, nullptr, nullptr, no_hom))
+          << ToXPath(p1) << " vs " << ToXPath(p2);
+    }
+  }
+}
+
+TEST_P(HomomorphismPropertyTest, CompleteOnSubFragments) {
+  Rng rng(GetParam() ^ 0xf00dULL);
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 2;
+  // Fragment 2 (linear) is excluded: homomorphisms are not complete there.
+  for (int fragment = 0; fragment < 2; ++fragment) {
+    for (int round = 0; round < 8; ++round) {
+      Pattern p1 = RandomSubFragmentPattern(rng, popts, fragment);
+      Pattern p2 = RandomSubFragmentPattern(rng, popts, fragment);
+      bool hom = ExistsPatternHomomorphism(p2, p1);
+      ContainmentOptions no_hom;
+      no_hom.use_homomorphism_fast_path = false;
+      bool contained = Contained(p1, p2, nullptr, nullptr, no_hom);
+      EXPECT_EQ(hom, contained)
+          << "fragment " << fragment << ": " << ToXPath(p1) << " vs "
+          << ToXPath(p2);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HomomorphismPropertyTest,
+                         ::testing::Values(7u, 17u, 27u));
+
+// ---------------------------------------------------------------------------
+// Engine soundness and certificate validity.
+// ---------------------------------------------------------------------------
+
+using EnginePropertyTest = SeededTest;
+
+TEST_P(EnginePropertyTest, FoundRewritingsCompose) {
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 3;
+  TreeGenOptions topts;
+  topts.max_nodes = 50;
+  topts.alphabet_size = 3;
+
+  for (int round = 0; round < 12; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    int k = -1;
+    Pattern v = PerturbedView(rng, p, &k);
+    RewriteResult result = DecideRewrite(p, v);
+    if (result.status != RewriteStatus::kFound) continue;
+    // Independent verification 1: the equivalence oracle.
+    EXPECT_TRUE(Equivalent(Compose(result.rewriting, v), p))
+        << "P=" << ToXPath(p) << " V=" << ToXPath(v)
+        << " R=" << ToXPath(result.rewriting);
+    // Independent verification 2: evaluation on sampled documents,
+    // including the R(V(t)) = P(t) end-to-end identity.
+    for (int s = 0; s < 3; ++s) {
+      Tree t = DocumentWithMatches(rng, p, topts, 2);
+      std::vector<NodeId> direct = Eval(p, t);
+      std::vector<NodeId> via_view;
+      Evaluator r_eval(result.rewriting, t);
+      for (NodeId o : Eval(v, t)) {
+        auto part = r_eval.OutputsAnchoredAt(o);
+        via_view.insert(via_view.end(), part.begin(), part.end());
+      }
+      std::sort(via_view.begin(), via_view.end());
+      via_view.erase(std::unique(via_view.begin(), via_view.end()),
+                     via_view.end());
+      EXPECT_EQ(direct, via_view)
+          << "P=" << ToXPath(p) << " V=" << ToXPath(v);
+    }
+  }
+}
+
+TEST_P(EnginePropertyTest, NotExistsConfirmedByBruteForce) {
+  Rng rng(GetParam() ^ 0xbeefULL);
+  PatternGenOptions popts;
+  popts.max_depth = 2;
+  popts.max_branches = 1;
+  popts.max_branch_size = 1;
+  popts.alphabet_size = 2;
+  int checked = 0;
+  for (int round = 0; round < 25 && checked < 8; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    int k = -1;
+    Pattern v = PerturbedView(rng, p, &k);
+    RewriteResult result = DecideRewrite(p, v);
+    if (result.status != RewriteStatus::kNotExists) continue;
+    ++checked;
+    BruteForceOptions bf;
+    bf.max_nodes = 4;
+    bf.budget = 400;
+    BruteForceOutcome outcome = BruteForceRewrite(p, v, bf);
+    EXPECT_FALSE(outcome.found.has_value())
+        << "engine said NotExists but brute force found "
+        << ToXPath(*outcome.found) << " for P=" << ToXPath(p)
+        << " V=" << ToXPath(v);
+  }
+}
+
+TEST_P(EnginePropertyTest, PrefixViewsAlwaysRewrite) {
+  Rng rng(GetParam() ^ 0xcafeULL);
+  PatternGenOptions popts;
+  popts.max_depth = 4;
+  popts.max_branches = 3;
+  popts.alphabet_size = 3;
+  for (int round = 0; round < 15; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    int k = -1;
+    Pattern v = PrefixView(rng, p, &k);
+    RewriteResult result = DecideRewrite(p, v);
+    EXPECT_EQ(result.status, RewriteStatus::kFound)
+        << "P=" << ToXPath(p) << " V=" << ToXPath(v) << ": "
+        << result.explanation;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
+                         ::testing::Values(5u, 15u, 25u, 35u));
+
+// ---------------------------------------------------------------------------
+// Algebraic identities on random patterns.
+// ---------------------------------------------------------------------------
+
+using AlgebraPropertyTest = SeededTest;
+
+TEST_P(AlgebraPropertyTest, SubComposePrefixReassemblesP) {
+  // Compose(P>=k, P<=k) duplicates the k-node's off-path branches (both
+  // operands carry them), so the reassembly is equivalent to P always, and
+  // isomorphic exactly when the k-node has no off-path branches.
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  for (int round = 0; round < 10; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    SelectionInfo info(p);
+    for (int k = 0; k <= info.depth(); ++k) {
+      Pattern reassembled = Compose(SubPattern(p, k), UpperPattern(p, k));
+      EXPECT_TRUE(Equivalent(reassembled, p)) << ToXPath(p) << " at k=" << k;
+      NodeId knode = info.KNode(k);
+      size_t off_path = p.children(knode).size() -
+                        (k < info.depth() ? 1 : 0);
+      if (off_path == 0) {
+        EXPECT_TRUE(Isomorphic(reassembled, p))
+            << ToXPath(p) << " at k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(AlgebraPropertyTest, CompositionDepthAdds) {
+  Rng rng(GetParam() ^ 0x9999ULL);
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.wildcard_prob = 0.5;
+  for (int round = 0; round < 20; ++round) {
+    Pattern r = RandomPattern(rng, popts);
+    Pattern v = RandomPattern(rng, popts);
+    Pattern rv = Compose(r, v);
+    if (rv.IsEmpty()) continue;
+    SelectionInfo ri(r), vi(v), ci(rv);
+    EXPECT_EQ(ci.depth(), ri.depth() + vi.depth());
+  }
+}
+
+TEST_P(AlgebraPropertyTest, SerializerRoundTripsRandomPatterns) {
+  Rng rng(GetParam() ^ 0x1111ULL);
+  PatternGenOptions popts;
+  popts.max_depth = 5;
+  popts.max_branches = 4;
+  for (int round = 0; round < 40; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    Pattern reparsed = MustParseXPath(ToXPath(p));
+    EXPECT_TRUE(Isomorphic(p, reparsed)) << ToXPath(p);
+  }
+}
+
+TEST_P(AlgebraPropertyTest, RelaxationWeakensThePattern) {
+  Rng rng(GetParam() ^ 0x2222ULL);
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  for (int round = 0; round < 12; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    EXPECT_TRUE(Contained(p, RelaxRootEdges(p))) << ToXPath(p);
+  }
+}
+
+TEST_P(AlgebraPropertyTest, ExtensionPreservesEquivalenceBothWays) {
+  // Prop 5.8: P1 ≡ P2 iff P1^{+µ} ≡ P2^{+µ}. Test the forward direction on
+  // pattern/minimized-pattern pairs and the backward on perturbed pairs.
+  Rng rng(GetParam() ^ 0x3333ULL);
+  PatternGenOptions popts;
+  popts.max_depth = 2;
+  popts.max_branches = 2;
+  popts.alphabet_size = 2;
+  LabelId mu = Labels().Fresh("mu_prop");
+  for (int round = 0; round < 10; ++round) {
+    Pattern p1 = RandomPattern(rng, popts);
+    Pattern p2 = RandomPattern(rng, popts);
+    EXPECT_EQ(Equivalent(p1, p2), Equivalent(Extend(p1, mu), Extend(p2, mu)))
+        << ToXPath(p1) << " vs " << ToXPath(p2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlgebraPropertyTest,
+                         ::testing::Values(3u, 13u, 23u));
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,151 @@
+// Robustness and scale tests: deep/wide patterns and documents through
+// every layer (parsers, serializer, algebra, evaluation, containment fast
+// paths), malformed-input handling, and adversarial label content.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "containment/containment.h"
+#include "containment/homomorphism.h"
+#include "eval/evaluator.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/candidates.h"
+#include "rewrite/engine.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+namespace xpv {
+namespace {
+
+std::string DeepChainExpr(int depth) {
+  std::string expr = "a";
+  for (int i = 1; i <= depth; ++i) expr += i % 3 == 0 ? "//n" : "/n";
+  return expr;
+}
+
+TEST(RobustnessTest, DeepPatternRoundTrip) {
+  const int kDepth = 500;
+  Pattern p = MustParseXPath(DeepChainExpr(kDepth));
+  SelectionInfo info(p);
+  EXPECT_EQ(info.depth(), kDepth);
+  Pattern reparsed = MustParseXPath(ToXPath(p));
+  EXPECT_TRUE(Isomorphic(p, reparsed));
+}
+
+TEST(RobustnessTest, DeepPatternAlgebra) {
+  Pattern p = MustParseXPath(DeepChainExpr(400));
+  Pattern sub = SubPattern(p, 200);
+  Pattern upper = UpperPattern(p, 200);
+  SelectionInfo si(sub), ui(upper);
+  EXPECT_EQ(si.depth(), 200);
+  EXPECT_EQ(ui.depth(), 200);
+  EXPECT_TRUE(Isomorphic(Compose(sub, upper), p));
+}
+
+TEST(RobustnessTest, DeepPatternCandidates) {
+  Pattern p = MustParseXPath(DeepChainExpr(300));
+  NaturalCandidates c = MakeNaturalCandidates(p, 150);
+  SelectionInfo info(c.sub);
+  EXPECT_EQ(info.depth(), 150);
+}
+
+TEST(RobustnessTest, WidePatternHandling) {
+  Pattern p(L("root"));
+  for (int i = 0; i < 400; ++i) {
+    std::string name = "w";
+    name.append(std::to_string(i % 20));
+    p.AddChild(p.root(), L(name), EdgeType::kChild);
+  }
+  Pattern reparsed = MustParseXPath(ToXPath(p));
+  EXPECT_TRUE(Isomorphic(p, reparsed));
+  EXPECT_TRUE(ExistsPatternHomomorphism(p, p));
+}
+
+TEST(RobustnessTest, DeepDocumentEvaluation) {
+  std::string open, close;
+  for (int i = 0; i < 600; ++i) {
+    open += "<n>";
+    close += "</n>";
+  }
+  auto doc = ParseXml("<a>" + open + "<hit/>" + close + "</a>");
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(Eval(MustParseXPath("a//hit"), doc.value()).size(), 1u);
+  EXPECT_EQ(Eval(MustParseXPath("a//n//hit"), doc.value()).size(), 1u);
+  EXPECT_TRUE(Eval(MustParseXPath("a/hit"), doc.value()).empty());
+}
+
+TEST(RobustnessTest, WideDocumentEvaluation) {
+  std::string xml = "<a>";
+  for (int i = 0; i < 2000; ++i) xml += "<b/>";
+  xml += "</a>";
+  auto doc = ParseXml(xml);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(Eval(MustParseXPath("a/b"), doc.value()).size(), 2000u);
+  // Round trip through the writer.
+  auto round = ParseXml(WriteXml(doc.value()));
+  ASSERT_TRUE(round.ok());
+  EXPECT_EQ(round.value().size(), doc.value().size());
+}
+
+TEST(RobustnessTest, EngineOnDeepInstances) {
+  Pattern p = MustParseXPath(DeepChainExpr(120));
+  Pattern v = UpperPattern(p, 60);
+  RewriteResult result = DecideRewrite(p, v);
+  EXPECT_EQ(result.status, RewriteStatus::kFound);
+}
+
+TEST(RobustnessTest, LabelsWithXmlSpecialNames) {
+  // Names valid in our grammar but worth exercising: dots, dashes,
+  // underscores, digits after the first character.
+  Pattern p = MustParseXPath("ns.elem/sub-elem/_x/e2");
+  EXPECT_EQ(p.size(), 4);
+  EXPECT_TRUE(Isomorphic(p, MustParseXPath(ToXPath(p))));
+}
+
+TEST(RobustnessTest, ParserRejectsGarbageWithoutCrashing) {
+  const char* garbage[] = {
+      "///",     "a[[b]]", "a[b",   "]a",   "a//",      "a[/b]",
+      "*[*][",   "a/b]c",  "//",    "[a]",  "a b c",    "a/*[]",
+  };
+  for (const char* g : garbage) {
+    EXPECT_FALSE(ParseXPath(g).ok()) << g;
+  }
+}
+
+TEST(RobustnessTest, XmlParserRejectsGarbageWithoutCrashing) {
+  const char* garbage[] = {
+      "<",        "<a",      "<a><b>", "</a>",     "<a/><b/>",
+      "<a attr>", "<a 1=2>", "<>",     "<a></b\\>", "text only",
+  };
+  for (const char* g : garbage) {
+    EXPECT_FALSE(ParseXml(g).ok()) << g;
+  }
+}
+
+TEST(RobustnessTest, ContainmentOnDeepChains) {
+  // Hom fast path must handle long chains without recursion issues.
+  Pattern deep1 = MustParseXPath(DeepChainExpr(200));
+  Pattern deep2 = MustParseXPath(DeepChainExpr(200));
+  EXPECT_TRUE(Contained(deep1, deep2));
+}
+
+TEST(RobustnessTest, ManyBranchesSameLabel) {
+  std::string expr = "a";
+  for (int i = 0; i < 60; ++i) expr += "[b]";
+  expr += "/c";
+  Pattern p = MustParseXPath(expr);
+  Pattern min_form = MustParseXPath("a[b]/c");
+  EXPECT_TRUE(Equivalent(p, min_form));
+}
+
+TEST(RobustnessTest, AsciiAndDotOnBigPatterns) {
+  Pattern p = MustParseXPath(DeepChainExpr(100));
+  EXPECT_FALSE(p.ToAscii().empty());
+}
+
+}  // namespace
+}  // namespace xpv

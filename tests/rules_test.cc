@@ -1,0 +1,186 @@
+#include "rewrite/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+ConditionsReport Report(const char* p, const char* v) {
+  return EvaluateConditions(MustParseXPath(p), MustParseXPath(v));
+}
+
+std::optional<NecessaryViolation> Violation(const char* p, const char* v) {
+  return ViolatesBasicNecessaryConditions(MustParseXPath(p),
+                                          MustParseXPath(v));
+}
+
+TEST(NecessaryTest, DepthExceeded) {
+  auto v = Violation("a/b", "a/b/c");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->rule, RuleId::kDepthExceeded);
+}
+
+TEST(NecessaryTest, SelectionLabelMismatchSigmaSigma) {
+  auto v = Violation("a/b/c", "a/d");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->rule, RuleId::kSelectionLabelMismatch);
+}
+
+TEST(NecessaryTest, SelectionLabelMismatchStarVsSigma) {
+  // Prop 3.1(3): labels at each selection depth below k must be identical
+  // *as symbols* — '*' vs 'b' is a mismatch in both directions.
+  auto v = Violation("a/*/c/d", "a/b/c");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->rule, RuleId::kSelectionLabelMismatch);
+  auto v2 = Violation("a/b/c/d", "a/*/c");
+  ASSERT_TRUE(v2.has_value());
+}
+
+TEST(NecessaryTest, ViewOutputLabelIncompatibleWithKNode) {
+  // out(V) labeled b, k-node of P labeled '*': glb can never be '*'.
+  auto v = Violation("a/*/c", "a/b");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->rule, RuleId::kSelectionLabelMismatch);
+  // out(V) labeled b vs k-node labeled c: no glb at all.
+  auto v2 = Violation("a/c/d", "a/b");
+  ASSERT_TRUE(v2.has_value());
+}
+
+TEST(NecessaryTest, WildcardViewOutputIsCompatible) {
+  EXPECT_FALSE(Violation("a/b/c", "a/*").has_value());
+  EXPECT_FALSE(Violation("a/*/c", "a/*").has_value());
+}
+
+TEST(NecessaryTest, RootLabelsMustAgree) {
+  EXPECT_TRUE(Violation("a/b", "x/b").has_value());
+  EXPECT_TRUE(Violation("a/b", "*/b").has_value());
+}
+
+TEST(DirectRulesTest, EqualDepths) {
+  ConditionsReport r = Report("a//*[x]//*[y]", "a//*[z]//*");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kEqualDepths);
+}
+
+TEST(DirectRulesTest, ViewOutputIsRoot) {
+  ConditionsReport r = Report("a[x]//*/b", "a[y]");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kViewOutputIsRoot);
+}
+
+TEST(DirectRulesTest, StableSubPattern) {
+  // P>=1 = b//d has a non-wildcard root -> stable (Thm 4.3 + Prop 4.1).
+  ConditionsReport r = Report("a//b//d", "a//b");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kStableSubPattern);
+}
+
+TEST(DirectRulesTest, ChildOnlyQueryPrefix) {
+  // P>=1 = */c//c is not stable-sufficient; P's first selection edge is a
+  // child edge, so Thm 4.4 applies.
+  ConditionsReport r = Report("a/*/c//c", "a/*[c]");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kChildOnlyQueryPrefix);
+}
+
+TEST(DirectRulesTest, DescendantIntoViewOutput) {
+  // P>=1 unstable, P's prefix has //, and a descendant edge enters out(V):
+  // Thm 4.9.
+  ConditionsReport r = Report("a//*/c//c", "a//*[c]");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(),
+            RuleId::kDescendantIntoViewOutput);
+}
+
+TEST(DirectRulesTest, ChildOnlyViewPath) {
+  // P's prefix has //, V's output edge is a child edge and V's whole
+  // selection path is child-only: Thm 4.10 (covers both candidates).
+  ConditionsReport r = Report("a//*/c//c", "a/*[c]");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kChildOnlyViewPath);
+  EXPECT_FALSE(r.completeness->sub_candidate_only);
+}
+
+TEST(DirectRulesTest, CorrespondingLastDescendant) {
+  // The last descendant selection edge of P (depth 1) corresponds to a
+  // descendant edge of V; the k-node is a wildcard so Thm 4.3 cannot fire
+  // first (Thm 4.16).
+  ConditionsReport r = Report("a//*/*/c", "a//*[c]/*");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.front(),
+            RuleId::kCorrespondingLastDescendant);
+}
+
+TEST(DirectRulesTest, GeneralizedNormalForm) {
+  // P = a//*//*//* is linear, hence every P>=i is linear and P is in
+  // GNF/* (Thm 5.4); none of the earlier conditions applies (wildcard
+  // k-node, // in P's prefix, V's path mixed with its deepest // not
+  // corresponding to P's last descendant edge).
+  ConditionsReport r = Report("a//*//*//*", "a//*[q]/*");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_EQ(r.completeness->chain.back(),
+            RuleId::kGeneralizedNormalForm);
+  EXPECT_FALSE(r.completeness->sub_candidate_only);
+}
+
+TEST(TransformRulesTest, SuffixReductionEnablesCorrespondence) {
+  // Cor 5.7 flavor: P's deepest selection // is at depth 1 where V has a
+  // child edge, so Thm 4.16 does not fire directly; V's deepest // (depth
+  // 2) is at least as deep as P's, and after the *//-suffix reduction the
+  // correspondence holds.
+  ConditionsReport r = Report("a//*[b]/*/*/b", "a/*//*/*");
+  ASSERT_TRUE(r.completeness.has_value());
+  ASSERT_GE(r.completeness->chain.size(), 2u);
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kSuffixReduction);
+  EXPECT_EQ(r.completeness->chain.back(),
+            RuleId::kCorrespondingLastDescendant);
+}
+
+TEST(TransformRulesTest, StableReductionChain) {
+  // P>=1 = b/... is stable; after reducing to (P>=1, V>=1) the query
+  // prefix down to the k-node is child-only (Prop 5.1 + Thm 4.4 =
+  // Cor 5.2).
+  ConditionsReport r = Report("a//b/*//*[x]/x", "a//b/*");
+  ASSERT_TRUE(r.completeness.has_value());
+  ASSERT_GE(r.completeness->chain.size(), 2u);
+  EXPECT_EQ(r.completeness->chain.front(), RuleId::kStableReduction);
+  EXPECT_EQ(r.completeness->chain.back(), RuleId::kChildOnlyQueryPrefix);
+}
+
+TEST(TransformRulesTest, DeepDescendantNeedsSectionFiveMachinery) {
+  // P has a descendant edge below the k-node (depth 4) with a non-* label
+  // (c) between the k-node and that edge — the Fig-4/P2 situation where
+  // Section 5.3's extension+lifting (possibly after the suffix reduction)
+  // is required; no direct rule applies.
+  ConditionsReport r = Report("a//*/*/c//*[x]/x", "a//*/*");
+  ASSERT_TRUE(r.completeness.has_value());
+  EXPECT_GE(r.completeness->chain.size(), 2u);
+}
+
+TEST(TransformRulesTest, NoConditionApplies) {
+  // An instance outside every sufficient condition: wildcard selection
+  // labels, // into an unstable branching 1-node, V's deepest // above
+  // P's deepest //, and no non-* selection label at depth >= k to lift to.
+  ConditionsReport r = Report("a//*[b//x]/*//*[b//x]/*", "a//*[b//x]/*");
+  EXPECT_FALSE(r.violation.has_value());
+  EXPECT_FALSE(r.completeness.has_value());
+}
+
+TEST(RuleNameTest, AllRulesHaveNames) {
+  for (RuleId id :
+       {RuleId::kDepthExceeded, RuleId::kSelectionLabelMismatch,
+        RuleId::kEqualDepths, RuleId::kViewOutputIsRoot,
+        RuleId::kStableSubPattern, RuleId::kChildOnlyQueryPrefix,
+        RuleId::kDescendantIntoViewOutput, RuleId::kChildOnlyViewPath,
+        RuleId::kCorrespondingLastDescendant,
+        RuleId::kGeneralizedNormalForm, RuleId::kStableReduction,
+        RuleId::kSuffixReduction, RuleId::kExtendLiftReduction}) {
+    EXPECT_FALSE(RuleName(id).empty());
+    EXPECT_EQ(RuleName(id).find("unknown"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace xpv

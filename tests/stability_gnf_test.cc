@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/gnf.h"
+#include "rewrite/stability.h"
+
+namespace xpv {
+namespace {
+
+TEST(StabilityTest, NonWildcardRootIsStable) {
+  EXPECT_TRUE(IsStableSufficient(MustParseXPath("a//b/*")));
+  EXPECT_TRUE(IsStableSufficient(MustParseXPath("b")));
+}
+
+TEST(StabilityTest, DepthZeroIsStable) {
+  EXPECT_TRUE(IsStableSufficient(MustParseXPath("*[a][b]")));
+  EXPECT_TRUE(IsStableSufficient(MustParseXPath("*")));
+}
+
+TEST(StabilityTest, FreshBranchLabelIsStable) {
+  // Root *, depth >= 1, and the branch label e does not occur in Q>=1.
+  EXPECT_TRUE(IsStableSufficient(MustParseXPath("*[e]/b")));
+  EXPECT_TRUE(IsStableSufficient(MustParseXPath("*[e//f]/b[c]")));
+}
+
+TEST(StabilityTest, InconclusiveCases) {
+  // */b: the only Σ-label b occurs in Q>=1 — no sufficient condition.
+  EXPECT_FALSE(IsStableSufficient(MustParseXPath("*/b")));
+  // *[b]/b: branch label b also appears below the 1-node.
+  EXPECT_FALSE(IsStableSufficient(MustParseXPath("*[b]/b")));
+  // *//b likewise.
+  EXPECT_FALSE(IsStableSufficient(MustParseXPath("*//b")));
+}
+
+TEST(StabilityTest, UnstableWitness) {
+  // */b is genuinely unstable: */b ≡w *//b but */b ≢ *//b, so the
+  // sufficient conditions rightly fail for it.
+  Pattern p1 = MustParseXPath("*/b");
+  Pattern p2 = MustParseXPath("*//b");
+  EXPECT_TRUE(WeaklyEquivalent(p1, p2));
+  EXPECT_FALSE(Equivalent(p1, p2));
+}
+
+TEST(GnfTest, ChildEdgesOnlyIsInGnf) {
+  EXPECT_TRUE(IsInGeneralizedNormalForm(MustParseXPath("a/b[c]/d")));
+}
+
+TEST(GnfTest, LinearSuffixSatisfiesGnf) {
+  // Descendant edges enter the 1- and 2-nodes, but every Q>=i is linear.
+  EXPECT_TRUE(IsInGeneralizedNormalForm(MustParseXPath("a//*//*")));
+  EXPECT_TRUE(IsInGeneralizedNormalForm(MustParseXPath("*//*//b")));
+}
+
+TEST(GnfTest, StableSuffixSatisfiesGnf) {
+  // A descendant edge enters the 1-node b[c]/d, which is stable (root b).
+  EXPECT_TRUE(IsInGeneralizedNormalForm(MustParseXPath("a//b[c]/d")));
+}
+
+TEST(GnfTest, MixedConditionsPerDepth) {
+  // Depth 1: child edge (ok). Depth 2: descendant edge into c[x]/d — the
+  // sub-pattern is stable (root c).
+  EXPECT_TRUE(IsInGeneralizedNormalForm(MustParseXPath("a/b//c[x]/d")));
+}
+
+TEST(GnfTest, ViolatingPattern) {
+  // A descendant edge enters the 1-node, which is a branching wildcard
+  // sub-pattern *[b]/b: not linear, not stable by the sufficient
+  // conditions.
+  EXPECT_FALSE(IsInGeneralizedNormalForm(MustParseXPath("a//*[b]/b")));
+}
+
+TEST(GnfTest, NfStarPatternsAreAlsoGnf) {
+  // Every pattern of NF/* (child edges into non-wildcard spine nodes,
+  // wildcards only in linear tails) is in GNF/*; spot-check shapes.
+  for (const char* expr : {"a/b/c", "a//b/c[d]", "a/b//c", "a//*"}) {
+    EXPECT_TRUE(IsInGeneralizedNormalForm(MustParseXPath(expr))) << expr;
+  }
+}
+
+}  // namespace
+}  // namespace xpv

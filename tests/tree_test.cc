@@ -1,0 +1,106 @@
+#include "xml/tree.h"
+
+#include <gtest/gtest.h>
+
+namespace xpv {
+namespace {
+
+Tree Chain(const char* a, const char* b, const char* c) {
+  Tree t(L(a));
+  NodeId nb = t.AddChild(t.root(), L(b));
+  t.AddChild(nb, L(c));
+  return t;
+}
+
+TEST(TreeTest, SingleNode) {
+  Tree t(L("r"));
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_EQ(t.parent(t.root()), kNoNode);
+  EXPECT_TRUE(t.children(t.root()).empty());
+  EXPECT_EQ(t.Depth(t.root()), 0);
+  EXPECT_EQ(t.SubtreeHeight(t.root()), 0);
+}
+
+TEST(TreeTest, ChainDepthsAndHeight) {
+  Tree t = Chain("a", "b", "c");
+  EXPECT_EQ(t.size(), 3);
+  EXPECT_EQ(t.Depth(2), 2);
+  EXPECT_EQ(t.SubtreeHeight(t.root()), 2);
+  EXPECT_EQ(t.SubtreeHeight(1), 1);
+}
+
+TEST(TreeTest, ParentChildIdsAreTopological) {
+  Tree t(L("a"));
+  NodeId b = t.AddChild(t.root(), L("b"));
+  NodeId c = t.AddChild(b, L("c"));
+  NodeId d = t.AddChild(t.root(), L("d"));
+  EXPECT_LT(t.parent(b), b);
+  EXPECT_LT(t.parent(c), c);
+  EXPECT_LT(t.parent(d), d);
+}
+
+TEST(TreeTest, IsAncestorOrSelf) {
+  Tree t = Chain("a", "b", "c");
+  EXPECT_TRUE(t.IsAncestorOrSelf(0, 2));
+  EXPECT_TRUE(t.IsAncestorOrSelf(2, 2));
+  EXPECT_FALSE(t.IsAncestorOrSelf(2, 0));
+}
+
+TEST(TreeTest, SubtreeNodesPreorder) {
+  Tree t(L("a"));
+  NodeId b = t.AddChild(t.root(), L("b"));
+  t.AddChild(b, L("c"));
+  t.AddChild(t.root(), L("d"));
+  std::vector<NodeId> all = t.SubtreeNodes(t.root());
+  EXPECT_EQ(all, (std::vector<NodeId>{0, 1, 2, 3}));
+  std::vector<NodeId> sub = t.SubtreeNodes(b);
+  EXPECT_EQ(sub, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(TreeTest, ExtractSubtreeDeepCopies) {
+  Tree t = Chain("a", "b", "c");
+  Tree sub = t.ExtractSubtree(1);
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_EQ(sub.label(sub.root()), L("b"));
+  EXPECT_EQ(sub.label(1), L("c"));
+}
+
+TEST(TreeTest, GraftCopyAppends) {
+  Tree t(L("a"));
+  Tree sub = Chain("x", "y", "z");
+  NodeId grafted = t.GraftCopy(t.root(), sub);
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.label(grafted), L("x"));
+  EXPECT_EQ(t.Depth(grafted), 1);
+  EXPECT_EQ(t.SubtreeHeight(t.root()), 3);
+}
+
+TEST(TreeTest, CanonicalEncodingIgnoresSiblingOrder) {
+  Tree t1(L("a"));
+  t1.AddChild(t1.root(), L("b"));
+  t1.AddChild(t1.root(), L("c"));
+  Tree t2(L("a"));
+  t2.AddChild(t2.root(), L("c"));
+  t2.AddChild(t2.root(), L("b"));
+  EXPECT_EQ(t1.CanonicalEncoding(t1.root()), t2.CanonicalEncoding(t2.root()));
+}
+
+TEST(TreeTest, CanonicalEncodingDistinguishesStructure) {
+  Tree t1 = Chain("a", "b", "c");
+  Tree t2(L("a"));
+  t2.AddChild(t2.root(), L("b"));
+  t2.AddChild(t2.root(), L("c"));
+  EXPECT_NE(t1.CanonicalEncoding(t1.root()), t2.CanonicalEncoding(t2.root()));
+}
+
+TEST(TreeTest, AsciiRenderingMentionsLabels) {
+  Tree t = Chain("root", "mid", "leaf");
+  std::string art = t.ToAscii();
+  EXPECT_NE(art.find("root"), std::string::npos);
+  EXPECT_NE(art.find("mid"), std::string::npos);
+  EXPECT_NE(art.find("leaf"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xpv

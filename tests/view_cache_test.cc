@@ -1,0 +1,116 @@
+#include "views/view_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "pattern/algebra.h"
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Tree Doc(const char* xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+TEST(MaterializedViewTest, OutputsMatchDirectEvaluation) {
+  Tree doc = Doc("<a><b><c/></b><b><d/></b><x><b/></x></a>");
+  MaterializedView view({"v", MustParseXPath("a//b")}, doc);
+  EXPECT_EQ(view.outputs(), Eval(MustParseXPath("a//b"), doc));
+}
+
+TEST(MaterializedViewTest, CopiesAreSubtrees) {
+  Tree doc = Doc("<a><b><c/></b><b><d/></b></a>");
+  MaterializedView view({"v", MustParseXPath("a/b")}, doc);
+  std::vector<Tree> copies = view.MaterializeCopies();
+  ASSERT_EQ(copies.size(), 2u);
+  EXPECT_EQ(copies[0].CanonicalEncoding(0),
+            doc.ExtractSubtree(1).CanonicalEncoding(0));
+}
+
+TEST(MaterializedViewTest, ApplyEqualsCompositionEvaluation) {
+  // Proposition 2.4 at the evaluation level: R(V(t)) = (R ∘ V)(t).
+  Tree doc = Doc(
+      "<a><b><c><d/></c></b><b><c/></b><x><c><d/></c></x></a>");
+  Pattern v = MustParseXPath("a/b");
+  Pattern r = MustParseXPath("b/c");
+  MaterializedView view({"v", v}, doc);
+  EXPECT_EQ(view.Apply(r), Eval(Compose(r, v), doc));
+}
+
+TEST(MaterializedViewTest, ApplyWithDescendantRewriting) {
+  Tree doc = Doc("<a><b><x><d/></x></b><b><d/></b></a>");
+  Pattern v = MustParseXPath("a/b");
+  Pattern r = MustParseXPath("b//d");
+  MaterializedView view({"v", v}, doc);
+  EXPECT_EQ(view.Apply(r), Eval(Compose(r, v), doc));
+}
+
+TEST(MaterializedViewTest, EmptyViewResult) {
+  Tree doc = Doc("<a><c/></a>");
+  MaterializedView view({"v", MustParseXPath("a/b")}, doc);
+  EXPECT_TRUE(view.outputs().empty());
+  EXPECT_TRUE(view.Apply(MustParseXPath("b/c")).empty());
+}
+
+TEST(ViewCacheTest, HitAnswersFromView) {
+  Tree doc = Doc("<a><b><c/><c/></b><b/></a>");
+  ViewCache cache(doc);
+  cache.AddView({"b-view", MustParseXPath("a/b")});
+  CacheAnswer answer = cache.Answer(MustParseXPath("a/b/c"));
+  EXPECT_TRUE(answer.hit);
+  EXPECT_EQ(answer.view_name, "b-view");
+  EXPECT_EQ(answer.outputs, Eval(MustParseXPath("a/b/c"), doc));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(ViewCacheTest, MissFallsBackToDirectEvaluation) {
+  Tree doc = Doc("<a><b><c/></b><x><y/></x></a>");
+  ViewCache cache(doc);
+  cache.AddView({"b-view", MustParseXPath("a/b")});
+  // No rewriting of a/x/y using a/b (label mismatch at depth 1).
+  CacheAnswer answer = cache.Answer(MustParseXPath("a/x/y"));
+  EXPECT_FALSE(answer.hit);
+  EXPECT_EQ(answer.outputs, Eval(MustParseXPath("a/x/y"), doc));
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().queries, 1u);
+}
+
+TEST(ViewCacheTest, PicksAViewThatWorks) {
+  Tree doc = Doc("<a><b><c><d/></c></b></a>");
+  ViewCache cache(doc);
+  cache.AddView({"x-view", MustParseXPath("a/x")});
+  cache.AddView({"bc-view", MustParseXPath("a/b/c")});
+  CacheAnswer answer = cache.Answer(MustParseXPath("a/b/c/d"));
+  EXPECT_TRUE(answer.hit);
+  EXPECT_EQ(answer.view_name, "bc-view");
+  EXPECT_EQ(answer.outputs, Eval(MustParseXPath("a/b/c/d"), doc));
+}
+
+TEST(ViewCacheTest, HitAgreesWithDirectOnWildcardViews) {
+  Tree doc = Doc(
+      "<a><u><b/></u><v><b><b/></b></v><w><x><b/></x></w></a>");
+  ViewCache cache(doc);
+  cache.AddView({"star", MustParseXPath("a/*")});
+  // Query a//*/b rewrites over a/* via the relaxed candidate *//b.
+  CacheAnswer answer = cache.Answer(MustParseXPath("a//*/b"));
+  EXPECT_TRUE(answer.hit);
+  EXPECT_EQ(answer.outputs, Eval(MustParseXPath("a//*/b"), doc));
+}
+
+TEST(ViewCacheTest, StatsAccumulate) {
+  Tree doc = Doc("<a><b><c/></b></a>");
+  ViewCache cache(doc);
+  cache.AddView({"b-view", MustParseXPath("a/b")});
+  cache.Answer(MustParseXPath("a/b/c"));   // Hit.
+  cache.Answer(MustParseXPath("a/b"));     // Hit (k = d).
+  cache.Answer(MustParseXPath("x/y"));     // Miss (root mismatch).
+  EXPECT_EQ(cache.stats().queries, 3u);
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+}  // namespace
+}  // namespace xpv

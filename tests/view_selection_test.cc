@@ -1,0 +1,97 @@
+#include "views/view_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+
+namespace xpv {
+namespace {
+
+std::vector<WorkloadQuery> LibraryWorkload() {
+  return {
+      {MustParseXPath("lib/shelf/book/title"), 10.0},
+      {MustParseXPath("lib/shelf/book/author"), 8.0},
+      {MustParseXPath("lib/shelf/book[award]/title"), 2.0},
+      {MustParseXPath("lib/admin/log/entry"), 1.0},
+  };
+}
+
+TEST(ViewSelectionTest, CandidateEnumerationCoversPrefixes) {
+  std::vector<CandidateView> candidates =
+      EnumerateCandidateViews(LibraryWorkload());
+  // Every candidate answers at least one query.
+  for (const CandidateView& c : candidates) {
+    EXPECT_FALSE(c.answers.empty()) << ToXPath(c.pattern);
+    EXPECT_GT(c.covered_weight, 0.0);
+  }
+  // The shared prefix lib/shelf/book must be among the candidates and
+  // must answer the three book queries.
+  bool found_book_view = false;
+  for (const CandidateView& c : candidates) {
+    if (ToXPath(c.pattern) == "lib/shelf/book") {
+      found_book_view = true;
+      EXPECT_EQ(c.answers.size(), 3u);
+      EXPECT_DOUBLE_EQ(c.covered_weight, 20.0);
+    }
+  }
+  EXPECT_TRUE(found_book_view);
+}
+
+TEST(ViewSelectionTest, GreedyPicksTheSharedPrefixFirst) {
+  ViewSelectionOptions options;
+  options.max_views = 1;
+  ViewSelectionResult result = SelectViews(LibraryWorkload(), options);
+  ASSERT_EQ(result.chosen.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.chosen[0].covered_weight, 20.0);
+  EXPECT_DOUBLE_EQ(result.covered_weight, 20.0);
+  EXPECT_DOUBLE_EQ(result.total_weight, 21.0);
+}
+
+TEST(ViewSelectionTest, SecondViewCoversTheRemainder) {
+  ViewSelectionOptions options;
+  options.max_views = 2;
+  ViewSelectionResult result = SelectViews(LibraryWorkload(), options);
+  ASSERT_EQ(result.chosen.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.covered_weight, 21.0);  // Full coverage.
+}
+
+TEST(ViewSelectionTest, StopsWhenNothingLeftToCover) {
+  ViewSelectionOptions options;
+  options.max_views = 10;
+  ViewSelectionResult result = SelectViews(LibraryWorkload(), options);
+  // Two views suffice; further rounds add no gain and must not be chosen.
+  EXPECT_EQ(result.chosen.size(), 2u);
+}
+
+TEST(ViewSelectionTest, WeightsDriveTheChoice) {
+  std::vector<WorkloadQuery> workload = {
+      {MustParseXPath("a/b/c"), 1.0},
+      {MustParseXPath("x/y/z"), 100.0},
+  };
+  ViewSelectionOptions options;
+  options.max_views = 1;
+  ViewSelectionResult result = SelectViews(workload, options);
+  ASSERT_EQ(result.chosen.size(), 1u);
+  // The chosen view must answer the heavy query.
+  bool answers_heavy = false;
+  for (int qi : result.chosen[0].answers) {
+    if (qi == 1) answers_heavy = true;
+  }
+  EXPECT_TRUE(answers_heavy);
+}
+
+TEST(ViewSelectionTest, EmptyWorkload) {
+  ViewSelectionResult result = SelectViews({});
+  EXPECT_TRUE(result.chosen.empty());
+  EXPECT_DOUBLE_EQ(result.total_weight, 0.0);
+}
+
+TEST(ViewSelectionTest, DepthZeroQueriesYieldNoPrefixViews) {
+  std::vector<WorkloadQuery> workload = {{MustParseXPath("a[b]"), 1.0}};
+  // The only prefix would be k < depth = 0: none.
+  EXPECT_TRUE(EnumerateCandidateViews(workload).empty());
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,122 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/containment.h"
+#include "eval/evaluator.h"
+#include "pattern/algebra.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "rewrite/engine.h"
+
+namespace xpv {
+namespace {
+
+TEST(GeneratorTest, PatternsRespectDepthBounds) {
+  Rng rng(1);
+  PatternGenOptions options;
+  options.min_depth = 2;
+  options.max_depth = 5;
+  for (int i = 0; i < 50; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    SelectionInfo info(p);
+    EXPECT_GE(info.depth(), 2);
+    EXPECT_LE(info.depth(), 5);
+  }
+}
+
+TEST(GeneratorTest, ZeroProbabilitiesAreRespected) {
+  Rng rng(2);
+  PatternGenOptions options;
+  options.wildcard_prob = 0.0;
+  options.descendant_prob = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    EXPECT_TRUE(HasNoWildcard(p)) << ToXPath(p);
+    EXPECT_TRUE(HasNoDescendantEdge(p)) << ToXPath(p);
+  }
+}
+
+TEST(GeneratorTest, SubFragmentPatternsStayInFragment) {
+  Rng rng(3);
+  PatternGenOptions options;
+  for (int i = 0; i < 30; ++i) {
+    EXPECT_TRUE(HasNoWildcard(RandomSubFragmentPattern(rng, options, 0)));
+    EXPECT_TRUE(
+        HasNoDescendantEdge(RandomSubFragmentPattern(rng, options, 1)));
+    EXPECT_TRUE(IsLinear(RandomSubFragmentPattern(rng, options, 2)));
+  }
+}
+
+TEST(GeneratorTest, TreesRespectBounds) {
+  Rng rng(4);
+  TreeGenOptions options;
+  options.max_nodes = 50;
+  options.max_depth = 4;
+  for (int i = 0; i < 20; ++i) {
+    Tree t = RandomTree(rng, options);
+    EXPECT_LE(t.size(), 50);
+    EXPECT_LE(t.SubtreeHeight(t.root()), 4);
+    EXPECT_GE(t.size(), 1);
+  }
+}
+
+TEST(GeneratorTest, DeterministicGivenSeed) {
+  PatternGenOptions options;
+  Rng rng1(99), rng2(99);
+  for (int i = 0; i < 10; ++i) {
+    Pattern p1 = RandomPattern(rng1, options);
+    Pattern p2 = RandomPattern(rng2, options);
+    EXPECT_TRUE(Isomorphic(p1, p2));
+  }
+}
+
+TEST(GeneratorTest, PrefixViewIsUpperPattern) {
+  Rng rng(5);
+  PatternGenOptions options;
+  for (int i = 0; i < 30; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    int k = -1;
+    Pattern v = PrefixView(rng, p, &k);
+    SelectionInfo pv(v);
+    EXPECT_EQ(pv.depth(), k);
+    EXPECT_TRUE(Isomorphic(v, UpperPattern(p, k)));
+  }
+}
+
+TEST(GeneratorTest, PrefixViewInstancesAlwaysRewrite) {
+  Rng rng(6);
+  PatternGenOptions options;
+  options.max_depth = 3;
+  options.max_branches = 2;
+  for (int i = 0; i < 15; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    int k = -1;
+    Pattern v = PrefixView(rng, p, &k);
+    RewriteResult result = DecideRewrite(p, v);
+    EXPECT_EQ(result.status, RewriteStatus::kFound)
+        << "P = " << ToXPath(p) << ", V = " << ToXPath(v) << ": "
+        << result.explanation;
+  }
+}
+
+TEST(GeneratorTest, DocumentWithMatchesContainsWeakMatches) {
+  Rng rng(7);
+  PatternGenOptions popts;
+  popts.wildcard_prob = 0.2;
+  TreeGenOptions topts;
+  topts.max_nodes = 40;
+  for (int i = 0; i < 10; ++i) {
+    Pattern p = RandomPattern(rng, popts);
+    Tree doc = DocumentWithMatches(rng, p, topts, /*copies=*/2);
+    EXPECT_FALSE(EvalWeak(p, doc).empty()) << ToXPath(p);
+  }
+}
+
+TEST(GeneratorTest, GenLabelIsStable) {
+  EXPECT_EQ(GenLabel(0), L("a0"));
+  EXPECT_EQ(GenLabel(3), L("a3"));
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,98 @@
+#include "xml/xml_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml_writer.h"
+
+namespace xpv {
+namespace {
+
+TEST(XmlParserTest, SingleElement) {
+  auto result = ParseXml("<doc/>");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().size(), 1);
+  EXPECT_EQ(result.value().label(0), L("doc"));
+}
+
+TEST(XmlParserTest, NestedElements) {
+  auto result = ParseXml("<a><b><c/></b><d/></a>");
+  ASSERT_TRUE(result.ok()) << result.error();
+  const Tree& t = result.value();
+  EXPECT_EQ(t.size(), 4);
+  EXPECT_EQ(t.label(t.root()), L("a"));
+  ASSERT_EQ(t.children(t.root()).size(), 2u);
+}
+
+TEST(XmlParserTest, SkipsTextContent) {
+  auto result = ParseXml("<a>hello <b>world</b> bye</a>");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().size(), 2);
+}
+
+TEST(XmlParserTest, SkipsAttributesCommentsAndDeclaration) {
+  auto result = ParseXml(
+      "<?xml version=\"1.0\"?><!-- head --><a x=\"1\" y='two'>"
+      "<!-- inner --><b z=\"3\"/></a>");
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().size(), 2);
+}
+
+TEST(XmlParserTest, SkipsDoctype) {
+  auto result = ParseXml("<!DOCTYPE a><a/>");
+  ASSERT_TRUE(result.ok()) << result.error();
+}
+
+TEST(XmlParserTest, RejectsMismatchedTags) {
+  auto result = ParseXml("<a><b></a></b>");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(XmlParserTest, RejectsUnclosedElement) {
+  EXPECT_FALSE(ParseXml("<a><b>").ok());
+}
+
+TEST(XmlParserTest, RejectsMultipleRoots) {
+  EXPECT_FALSE(ParseXml("<a/><b/>").ok());
+}
+
+TEST(XmlParserTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseXml("").ok());
+  EXPECT_FALSE(ParseXml("   \n ").ok());
+}
+
+TEST(XmlParserTest, RejectsTextOutsideRoot) {
+  EXPECT_FALSE(ParseXml("stray <a/>").ok());
+}
+
+TEST(XmlParserTest, RejectsReservedTagNames) {
+  EXPECT_FALSE(ParseXml("<a><#bot/></a>").ok());
+}
+
+TEST(XmlParserTest, RejectsMalformedAttribute) {
+  EXPECT_FALSE(ParseXml("<a attr></a>").ok());
+  EXPECT_FALSE(ParseXml("<a attr=novalue></a>").ok());
+}
+
+TEST(XmlParserTest, WriterRoundTrip) {
+  auto original = ParseXml("<lib><shelf><book/><book/></shelf><desk/></lib>");
+  ASSERT_TRUE(original.ok());
+  auto reparsed = ParseXml(WriteXml(original.value()));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.error();
+  EXPECT_EQ(original.value().CanonicalEncoding(0),
+            reparsed.value().CanonicalEncoding(0));
+}
+
+TEST(XmlParserTest, DeeplyNestedRoundTrip) {
+  std::string open, close;
+  for (int i = 0; i < 40; ++i) {
+    open += "<n" + std::to_string(i) + ">";
+    close = "</n" + std::to_string(i) + ">" + close;
+  }
+  auto result = ParseXml(open + close);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value().size(), 40);
+  EXPECT_EQ(result.value().SubtreeHeight(0), 39);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,118 @@
+#include "pattern/xpath_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+
+namespace xpv {
+namespace {
+
+TEST(XPathParserTest, SingleLabel) {
+  Pattern p = MustParseXPath("a");
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_EQ(p.label(0), L("a"));
+  EXPECT_EQ(p.output(), p.root());
+}
+
+TEST(XPathParserTest, SingleWildcard) {
+  Pattern p = MustParseXPath("*");
+  EXPECT_EQ(p.label(0), LabelStore::kWildcard);
+}
+
+TEST(XPathParserTest, ChildAndDescendantSteps) {
+  Pattern p = MustParseXPath("a/b//c");
+  ASSERT_EQ(p.size(), 3);
+  EXPECT_EQ(p.edge(1), EdgeType::kChild);
+  EXPECT_EQ(p.edge(2), EdgeType::kDescendant);
+  EXPECT_EQ(p.output(), 2);
+}
+
+TEST(XPathParserTest, LeadingSlashIsAccepted) {
+  EXPECT_TRUE(Isomorphic(MustParseXPath("/a/b"), MustParseXPath("a/b")));
+}
+
+TEST(XPathParserTest, LeadingDoubleSlashAddsWildcardRoot) {
+  Pattern p = MustParseXPath("//a");
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.label(0), LabelStore::kWildcard);
+  EXPECT_EQ(p.edge(1), EdgeType::kDescendant);
+  EXPECT_EQ(p.output(), 1);
+}
+
+TEST(XPathParserTest, PredicatesAttachAsBranches) {
+  Pattern p = MustParseXPath("a[b][c]/d");
+  ASSERT_EQ(p.size(), 4);
+  EXPECT_EQ(p.parent(1), 0);
+  EXPECT_EQ(p.parent(2), 0);
+  EXPECT_EQ(p.parent(3), 0);
+  EXPECT_EQ(p.output(), 3);
+  SelectionInfo info(p);
+  EXPECT_EQ(info.depth(), 1);
+}
+
+TEST(XPathParserTest, PredicateWithPath) {
+  Pattern p = MustParseXPath("a[b/c//d]/e");
+  SelectionInfo info(p);
+  EXPECT_EQ(info.depth(), 1);
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_EQ(p.edge(3), EdgeType::kDescendant);  // c//d.
+}
+
+TEST(XPathParserTest, PredicateLeadingDescendant) {
+  Pattern p = MustParseXPath("a[//b]");
+  ASSERT_EQ(p.size(), 2);
+  EXPECT_EQ(p.edge(1), EdgeType::kDescendant);
+  EXPECT_EQ(p.output(), 0);  // Output stays at the root step.
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  Pattern p = MustParseXPath("a[b[c][d]]/e");
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_EQ(p.parent(2), 1);
+  EXPECT_EQ(p.parent(3), 1);
+}
+
+TEST(XPathParserTest, OutputIsLastTopLevelStepEvenWithPredicates) {
+  Pattern p = MustParseXPath("a/b[c]");
+  EXPECT_EQ(p.output(), 1);
+  EXPECT_EQ(p.label(p.output()), L("b"));
+}
+
+TEST(XPathParserTest, WhitespaceTolerated) {
+  EXPECT_TRUE(Isomorphic(MustParseXPath(" a / b [ c ] "),
+                         MustParseXPath("a/b[c]")));
+}
+
+TEST(XPathParserTest, Errors) {
+  EXPECT_FALSE(ParseXPath("").ok());
+  EXPECT_FALSE(ParseXPath("a[").ok());
+  EXPECT_FALSE(ParseXPath("a]").ok());
+  EXPECT_FALSE(ParseXPath("a/").ok());
+  EXPECT_FALSE(ParseXPath("/").ok());
+  EXPECT_FALSE(ParseXPath("a[]").ok());
+  EXPECT_FALSE(ParseXPath("a//[b]").ok());
+  EXPECT_FALSE(ParseXPath("1abc").ok());
+  EXPECT_FALSE(ParseXPath("a b").ok());
+}
+
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, SerializeThenParseIsIdentity) {
+  Pattern p = MustParseXPath(GetParam());
+  std::string xpath = ToXPath(p);
+  Pattern reparsed = MustParseXPath(xpath);
+  EXPECT_TRUE(Isomorphic(p, reparsed))
+      << GetParam() << " -> " << xpath << " -> " << ToXPath(reparsed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Various, RoundTripTest,
+    ::testing::Values(
+        "a", "*", "a/b", "a//b", "a/*//b", "a[b]", "a[//b]", "a[b][c]",
+        "a[b/c]/d", "a[b//c][d]/e//f", "*[*]/*", "a[b[c[d]]]//e",
+        "x//y//z[w]", "a[b][c][d][e]", "a//*[b]/*[c]//d",
+        "root[p/q][//r]/s[t]//u"));
+
+}  // namespace
+}  // namespace xpv
