@@ -125,7 +125,7 @@ int main(int argc, char** argv) {
       "C2", "containment complexity (Section 2.2, [14])",
       "Claims: homomorphism test is polynomial; the canonical-model test "
       "is exponential in #descendant-edges with base = star-chain bound.");
-  benchmark::Initialize(&argc, argv);
+  xpv::benchutil::InitWithJsonOutput(argc, argv, "BENCH_containment.json");
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
       "C9", "containment-oracle memoization (ablation)",
       "The coNP containment tests dominate the engine's cost; memoization "
       "amortizes them across repeated cache workloads.");
-  benchmark::Initialize(&argc, argv);
+  xpv::benchutil::InitWithJsonOutput(argc, argv, "BENCH_oracle_cache.json");
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

@@ -5,8 +5,12 @@
 // to one experiment id of DESIGN.md / EXPERIMENTS.md and starts by printing
 // a header naming the experiment and the paper artifact it regenerates.
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "pattern/pattern.h"
 #include "pattern/xpath_parser.h"
@@ -22,6 +26,33 @@ inline void PrintHeader(const char* experiment_id, const char* artifact,
   std::printf("Experiment %s — %s\n", experiment_id, artifact);
   std::printf("%s\n", claim);
   std::printf("==============================================================\n");
+}
+
+/// Initializes Google Benchmark so that results are also written as
+/// machine-readable JSON to `json_path` (e.g. "BENCH_containment.json"),
+/// unless the caller passed their own --benchmark_out on the command
+/// line. The perf trajectory of the tracked benches is compared across
+/// PRs from these files.
+inline void InitWithJsonOutput(int argc, char** argv, const char* json_path) {
+  static std::vector<std::string> storage;
+  static std::vector<char*> args;
+  storage.assign(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& arg : storage) {
+    // Exact flag only: --benchmark_out_format alone must not suppress the
+    // default output file.
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) {
+      has_out = true;
+    }
+  }
+  if (!has_out) {
+    storage.push_back(std::string("--benchmark_out=") + json_path);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  args.clear();
+  for (std::string& arg : storage) args.push_back(arg.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
 }
 
 /// A chain query a/*/*/.../b of the given depth with `branches` predicate

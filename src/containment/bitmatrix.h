@@ -1,0 +1,113 @@
+#ifndef XPV_CONTAINMENT_BITMATRIX_H_
+#define XPV_CONTAINMENT_BITMATRIX_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace xpv {
+
+/// One machine word of a bit-row.
+using BitWord = uint64_t;
+
+inline constexpr int kBitWordBits = 64;
+
+/// Number of words needed for `bits` columns.
+inline int BitWordsFor(int bits) {
+  return (bits + kBitWordBits - 1) / kBitWordBits;
+}
+
+inline bool TestBit(const BitWord* row, int i) {
+  return (row[i / kBitWordBits] >> (i % kBitWordBits)) & 1u;
+}
+
+inline void SetBit(BitWord* row, int i) {
+  row[i / kBitWordBits] |= BitWord{1} << (i % kBitWordBits);
+}
+
+inline void ClearBit(BitWord* row, int i) {
+  row[i / kBitWordBits] &= ~(BitWord{1} << (i % kBitWordBits));
+}
+
+/// dst |= src, word-wise.
+inline void OrRow(BitWord* dst, const BitWord* src, int words) {
+  for (int i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+/// dst &= src, word-wise.
+inline void AndRow(BitWord* dst, const BitWord* src, int words) {
+  for (int i = 0; i < words; ++i) dst[i] &= src[i];
+}
+
+inline void ZeroRow(BitWord* dst, int words) {
+  std::memset(dst, 0, static_cast<size_t>(words) * sizeof(BitWord));
+}
+
+/// (row & required) == required: every required bit is present in `row`.
+inline bool ContainsAllBits(const BitWord* row, const BitWord* required,
+                            int words) {
+  for (int i = 0; i < words; ++i) {
+    if ((row[i] & required[i]) != required[i]) return false;
+  }
+  return true;
+}
+
+inline bool AnyBit(const BitWord* row, int words) {
+  for (int i = 0; i < words; ++i) {
+    if (row[i] != 0) return true;
+  }
+  return false;
+}
+
+/// A dense boolean matrix stored as 64-bit words, row-major. Rows are
+/// word-aligned so row operations (OR/AND/subset tests) sweep whole words —
+/// this is the storage behind the bit-parallel embedding kernel, which
+/// packs one DP row per *tree* node with one bit per *pattern* node.
+///
+/// `Reset` reuses the underlying buffer: growing within previously used
+/// capacity performs no allocation, which the canonical-model enumeration
+/// loop relies on (one matrix serves hundreds of models).
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+
+  /// Shapes the matrix to `rows` x `cols` bits and zeroes it. Keeps the
+  /// underlying allocation when capacity suffices.
+  void Reset(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    words_per_row_ = BitWordsFor(cols);
+    const size_t need =
+        static_cast<size_t>(rows) * static_cast<size_t>(words_per_row_);
+    if (words_.size() < need) words_.resize(need);
+    std::memset(words_.data(), 0, need * sizeof(BitWord));
+  }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int words_per_row() const { return words_per_row_; }
+
+  BitWord* row(int r) {
+    return words_.data() + static_cast<size_t>(r) * words_per_row_;
+  }
+  const BitWord* row(int r) const {
+    return words_.data() + static_cast<size_t>(r) * words_per_row_;
+  }
+
+  bool Test(int r, int c) const { return TestBit(row(r), c); }
+  void Set(int r, int c) { SetBit(row(r), c); }
+  void Clear(int r, int c) { ClearBit(row(r), c); }
+
+  /// Zeroes row `r` only.
+  void ZeroRowAt(int r) { ZeroRow(row(r), words_per_row_); }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  int words_per_row_ = 0;
+  std::vector<BitWord> words_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_CONTAINMENT_BITMATRIX_H_

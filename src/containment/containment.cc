@@ -1,43 +1,161 @@
 #include "containment/containment.h"
 
+#include <algorithm>
+#include <cassert>
+
 #include "containment/homomorphism.h"
-#include "eval/evaluator.h"
 #include "pattern/canonical.h"
 #include "pattern/properties.h"
 
 namespace xpv {
-namespace {
-
-/// Shared core of the strong and weak tests: checks that for every bounded
-/// canonical model of p1, the canonical output is (weakly) produced by p2.
-bool CanonicalModelsPass(const Pattern& p1, const Pattern& p2, bool weak,
-                         ContainmentWitness* witness,
-                         ContainmentStats* stats) {
-  const int bound = ExpansionBound(p2);
-  CanonicalModelEnumerator en(p1, bound);
-  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
-  while (en.Next(&model)) {
-    if (stats != nullptr) ++stats->models_checked;
-    const bool produced =
-        weak ? WeaklyProducesOutput(p2, model.tree, model.output)
-             : ProducesOutput(p2, model.tree, model.output);
-    if (!produced) {
-      if (witness != nullptr) {
-        *witness = ContainmentWitness{model.tree, model.output};
-      }
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
 
 int ExpansionBound(const Pattern& p2) { return StarChainLength(p2) + 2; }
 
-bool Contained(const Pattern& p1, const Pattern& p2,
-               ContainmentWitness* witness, ContainmentStats* stats,
-               const ContainmentOptions& options) {
+void ContainmentContext::BuildSuffix(const Pattern& p1, NodeId from) {
+  for (NodeId n = from; n < p1.size(); ++n) {
+    tree_start_[static_cast<size_t>(n)] = model_tree_.size();
+    NodeId attach = pattern_to_tree_[static_cast<size_t>(p1.parent(n))];
+    for (int i = 1; i < node_len_[static_cast<size_t>(n)]; ++i) {
+      attach = model_tree_.AddChild(attach, LabelStore::kBottom);
+    }
+    const LabelId l = p1.label(n);
+    pattern_to_tree_[static_cast<size_t>(n)] = model_tree_.AddChild(
+        attach, l == LabelStore::kWildcard ? LabelStore::kBottom : l);
+  }
+}
+
+bool ContainmentContext::ProducesOutputOnChain(
+    const Pattern& p2, const std::vector<NodeId>& selection_path,
+    NodeId output, bool weak) {
+  // Every root-anchored embedding of P2 with out(P2) -> output maps the
+  // selection path s_0..s_d onto ancestors of `output`: s_d -> output, and
+  // each s_{k-1} onto the parent (child edge) or a proper ancestor
+  // (descendant edge) of s_k's image. So o ∈ P2(t) reduces to a DP along
+  // output's ancestor chain — O(d * depth(output)) bit probes instead of a
+  // placement sweep over the whole model.
+  chain_.clear();
+  for (NodeId v = output; v != kNoNode; v = model_tree_.parent(v)) {
+    chain_.push_back(v);
+  }
+  std::reverse(chain_.begin(), chain_.end());  // chain_[0] = root.
+  const size_t len = chain_.size();
+
+  if (dp_cur_.size() < len) {
+    dp_cur_.resize(len);
+    dp_next_.resize(len);
+  }
+  const NodeId s0 = selection_path[0];
+  for (size_t i = 0; i < len; ++i) {
+    const bool allowed = kernel_.Down(chain_[i], s0);
+    dp_cur_[i] = (weak ? allowed : (i == 0 && allowed)) ? 1 : 0;
+  }
+  for (size_t k = 1; k < selection_path.size(); ++k) {
+    const NodeId sk = selection_path[k];
+    if (p2.edge(sk) == EdgeType::kChild) {
+      for (size_t i = len; i-- > 1;) {
+        dp_next_[i] =
+            (dp_cur_[i - 1] != 0 && kernel_.Down(chain_[i], sk)) ? 1 : 0;
+      }
+      dp_next_[0] = 0;
+    } else {
+      bool any_above = false;
+      for (size_t i = 0; i < len; ++i) {
+        dp_next_[i] = (any_above && kernel_.Down(chain_[i], sk)) ? 1 : 0;
+        any_above = any_above || dp_cur_[i] != 0;
+      }
+    }
+    std::swap(dp_cur_, dp_next_);
+  }
+  return dp_cur_[len - 1] != 0;
+}
+
+bool ContainmentContext::CanonicalModelsPass(const Pattern& p1,
+                                             const Pattern& p2, bool weak,
+                                             ContainmentWitness* witness,
+                                             ContainmentStats* stats) {
+  const int bound = ExpansionBound(p2);
+  const int np = p1.size();
+
+  desc_targets_.clear();
+  for (NodeId n = 1; n < np; ++n) {
+    if (p1.edge(n) == EdgeType::kDescendant) desc_targets_.push_back(n);
+  }
+  const int m = static_cast<int>(desc_targets_.size());
+  lengths_.assign(static_cast<size_t>(m), 1);
+  node_len_.assign(static_cast<size_t>(np), 1);
+  tree_start_.assign(static_cast<size_t>(np), 0);
+  pattern_to_tree_.assign(static_cast<size_t>(np), 0);
+
+  // Initial model: all expansions length 1 (the τ-transformation).
+  model_tree_.TruncateTo(1);
+  {
+    const LabelId l = p1.label(p1.root());
+    model_tree_.set_label(model_tree_.root(),
+                          l == LabelStore::kWildcard ? LabelStore::kBottom : l);
+  }
+  BuildSuffix(p1, 1);
+
+  const int max_rows = np + m * (bound - 1);
+  SelectionInfo p2_info(p2);
+  const std::vector<NodeId>& path = p2_info.path();
+  kernel_.Compute(p2, model_tree_, max_rows);
+
+  while (true) {
+    if (stats != nullptr) ++stats->models_checked;
+    const NodeId output = pattern_to_tree_[static_cast<size_t>(p1.output())];
+    if (!ProducesOutputOnChain(p2, path, output, weak)) {
+      if (witness != nullptr) {
+        *witness = ContainmentWitness{model_tree_, output};
+      }
+      return false;
+    }
+
+    // Advance the odometer. The *last* descendant edge (largest pattern id)
+    // is the fastest digit, so consecutive models share all tree nodes
+    // built for pattern ids below the changed target — the shared prefix
+    // the incremental kernel update relies on.
+    int j = m - 1;
+    while (j >= 0 && lengths_[static_cast<size_t>(j)] == bound) {
+      lengths_[static_cast<size_t>(j)] = 1;
+      --j;
+    }
+    if (j < 0) return true;  // All models checked.
+    ++lengths_[static_cast<size_t>(j)];
+    for (int i = j; i < m; ++i) {
+      node_len_[static_cast<size_t>(desc_targets_[static_cast<size_t>(i)])] =
+          lengths_[static_cast<size_t>(i)];
+    }
+
+    // Rebuild the tree suffix for pattern nodes >= the changed target.
+    const NodeId rebuild_from = desc_targets_[static_cast<size_t>(j)];
+    const NodeId suffix_start = tree_start_[static_cast<size_t>(rebuild_from)];
+    model_tree_.TruncateTo(suffix_start);
+    BuildSuffix(p1, rebuild_from);
+
+    // Surviving rows whose subtrees changed: the ancestors of every splice
+    // point (tree parents of rebuilt pattern nodes that lie in the kept
+    // prefix). Everything else below `suffix_start` is untouched.
+    dirty_mark_.assign(static_cast<size_t>(suffix_start), 0);
+    dirty_prefix_.clear();
+    for (NodeId n = rebuild_from; n < np; ++n) {
+      if (p1.parent(n) >= rebuild_from) continue;
+      NodeId a = pattern_to_tree_[static_cast<size_t>(p1.parent(n))];
+      while (a != kNoNode && dirty_mark_[static_cast<size_t>(a)] == 0) {
+        dirty_mark_[static_cast<size_t>(a)] = 1;
+        dirty_prefix_.push_back(a);
+        a = model_tree_.parent(a);
+      }
+    }
+    std::sort(dirty_prefix_.begin(), dirty_prefix_.end(),
+              std::greater<NodeId>());
+    kernel_.Update(model_tree_, suffix_start, dirty_prefix_);
+  }
+}
+
+bool ContainmentContext::Contained(const Pattern& p1, const Pattern& p2,
+                                   ContainmentWitness* witness,
+                                   ContainmentStats* stats,
+                                   const ContainmentOptions& options) {
   // Υ ⊑ anything; P ⊑ Υ only for P = Υ.
   if (p1.IsEmpty()) return true;
   if (p2.IsEmpty()) {
@@ -55,14 +173,16 @@ bool Contained(const Pattern& p1, const Pattern& p2,
   return CanonicalModelsPass(p1, p2, /*weak=*/false, witness, stats);
 }
 
-bool Equivalent(const Pattern& p1, const Pattern& p2, ContainmentStats* stats,
-                const ContainmentOptions& options) {
+bool ContainmentContext::Equivalent(const Pattern& p1, const Pattern& p2,
+                                    ContainmentStats* stats,
+                                    const ContainmentOptions& options) {
   return Contained(p1, p2, nullptr, stats, options) &&
          Contained(p2, p1, nullptr, stats, options);
 }
 
-bool WeaklyContained(const Pattern& p1, const Pattern& p2,
-                     ContainmentWitness* witness, ContainmentStats* stats) {
+bool ContainmentContext::WeaklyContained(const Pattern& p1, const Pattern& p2,
+                                         ContainmentWitness* witness,
+                                         ContainmentStats* stats) {
   if (p1.IsEmpty()) return true;
   if (p2.IsEmpty()) {
     if (witness != nullptr) {
@@ -83,10 +203,43 @@ bool WeaklyContained(const Pattern& p1, const Pattern& p2,
   return CanonicalModelsPass(p1, p2, /*weak=*/true, witness, stats);
 }
 
-bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
-                      ContainmentStats* stats) {
+bool ContainmentContext::WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                                          ContainmentStats* stats) {
   return WeaklyContained(p1, p2, nullptr, stats) &&
          WeaklyContained(p2, p1, nullptr, stats);
+}
+
+namespace {
+
+// The free functions share one context per thread: containment never calls
+// itself recursively, so the scratch buffers (and their warmth) can be
+// reused by every caller without threading a context around.
+ContainmentContext& ThreadContext() {
+  static thread_local ContainmentContext context;
+  return context;
+}
+
+}  // namespace
+
+bool Contained(const Pattern& p1, const Pattern& p2,
+               ContainmentWitness* witness, ContainmentStats* stats,
+               const ContainmentOptions& options) {
+  return ThreadContext().Contained(p1, p2, witness, stats, options);
+}
+
+bool Equivalent(const Pattern& p1, const Pattern& p2, ContainmentStats* stats,
+                const ContainmentOptions& options) {
+  return ThreadContext().Equivalent(p1, p2, stats, options);
+}
+
+bool WeaklyContained(const Pattern& p1, const Pattern& p2,
+                     ContainmentWitness* witness, ContainmentStats* stats) {
+  return ThreadContext().WeaklyContained(p1, p2, witness, stats);
+}
+
+bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                      ContainmentStats* stats) {
+  return ThreadContext().WeaklyEquivalent(p1, p2, stats);
 }
 
 }  // namespace xpv

@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
+#include "eval/evaluator.h"
 #include "pattern/pattern.h"
 #include "xml/tree.h"
 
@@ -39,6 +41,77 @@ struct ContainmentOptions {
 /// models whose descendant-edge expansions have length up to this bound is
 /// complete for containment.
 int ExpansionBound(const Pattern& p2);
+
+/// Reusable state for containment testing: the scratch canonical-model
+/// tree, the bit-parallel embedding kernel (`EvalScratch`), and the
+/// enumeration bookkeeping all live here and are reused across models and
+/// across calls, so the coNP loop performs no per-model allocation.
+///
+/// The enumeration is *incremental*: models are ordered so that advancing
+/// the expansion odometer rebuilds only a suffix of the scratch tree's
+/// node ids, and only the DP rows of that suffix plus the ancestors of the
+/// splice points are recomputed. Checking "does P2 produce the canonical
+/// output" is a DP along the output's ancestor chain (every root-anchored
+/// embedding maps the selection path onto that chain), so no full-tree
+/// placement sweep runs either.
+///
+/// Hot-path callers may hold their own context and issue every test
+/// through it; the free functions below share one thread-local context,
+/// so they too amortize scratch buffers across calls (containment never
+/// recurses into itself). Not thread-safe; use one context per thread.
+class ContainmentContext {
+ public:
+  ContainmentContext() = default;
+
+  ContainmentContext(const ContainmentContext&) = delete;
+  ContainmentContext& operator=(const ContainmentContext&) = delete;
+
+  /// Decides P1 ⊑ P2 (Definition 2.2); see `Contained` below.
+  bool Contained(const Pattern& p1, const Pattern& p2,
+                 ContainmentWitness* witness = nullptr,
+                 ContainmentStats* stats = nullptr,
+                 const ContainmentOptions& options = {});
+
+  /// Decides P1 ≡ P2 (containment in both directions).
+  bool Equivalent(const Pattern& p1, const Pattern& p2,
+                  ContainmentStats* stats = nullptr,
+                  const ContainmentOptions& options = {});
+
+  /// Decides weak containment P1 ⊑w P2 (Definition 2.3).
+  bool WeaklyContained(const Pattern& p1, const Pattern& p2,
+                       ContainmentWitness* witness = nullptr,
+                       ContainmentStats* stats = nullptr);
+
+  /// Decides weak equivalence P1 ≡w P2.
+  bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                        ContainmentStats* stats = nullptr);
+
+ private:
+  bool CanonicalModelsPass(const Pattern& p1, const Pattern& p2, bool weak,
+                           ContainmentWitness* witness,
+                           ContainmentStats* stats);
+  /// Rebuilds the scratch tree for pattern nodes [from, p1.size()).
+  void BuildSuffix(const Pattern& p1, NodeId from);
+  /// o ∈ P2(model) (resp. P2^w(model)) given up-to-date kernel tables.
+  bool ProducesOutputOnChain(const Pattern& p2,
+                             const std::vector<NodeId>& selection_path,
+                             NodeId output, bool weak);
+
+  EvalScratch kernel_;
+  Tree model_tree_{LabelStore::kBottom};
+  // Enumeration state (valid within one CanonicalModelsPass):
+  std::vector<NodeId> desc_targets_;   // Pattern nodes entered by //-edges.
+  std::vector<int> lengths_;           // Odometer: expansion length per target.
+  std::vector<int> node_len_;          // Per-pattern-node expansion length.
+  std::vector<NodeId> tree_start_;     // First tree id built for each node.
+  std::vector<NodeId> pattern_to_tree_;
+  std::vector<char> dirty_mark_;
+  std::vector<NodeId> dirty_prefix_;
+  // Output-chain DP scratch:
+  std::vector<NodeId> chain_;
+  std::vector<char> dp_cur_;
+  std::vector<char> dp_next_;
+};
 
 /// Decides P1 ⊑ P2 (Definition 2.2) for arbitrary patterns of
 /// XP^{//,[],*}. coNP-complete in general [14]; implemented as the

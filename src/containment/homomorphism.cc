@@ -1,74 +1,198 @@
 #include "containment/homomorphism.h"
 
+#include <algorithm>
+#include <bit>
 #include <vector>
 
+#include "containment/bitmatrix.h"
+
 namespace xpv {
+namespace {
 
-bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to) {
-  if (from.IsEmpty() || to.IsEmpty()) return false;
-  const size_t nf = static_cast<size_t>(from.size());
-  const size_t nt = static_cast<size_t>(to.size());
+/// Reusable buffers: the homomorphism test runs once per containment call
+/// (it is the PTIME fast path), so its setup cost must stay allocation-free.
+struct HomScratch {
+  std::vector<BitWord> down;        // to.size() rows x words.
+  std::vector<BitWord> sub;
+  std::vector<BitWord> need_child;  // from.size() rows x words.
+  std::vector<BitWord> need_desc;
+  std::vector<BitWord> wildcard;    // 1 x words.
+  std::vector<BitWord> has_req;     // 1 x words: nodes with any children.
+  std::vector<BitWord> label_masks;
+  std::vector<LabelId> labels;
+  std::vector<BitWord> child_or;    // 1 x words.
+  std::vector<BitWord> sub_or;
 
-  // down[q * nt + p]: the subtree of `from` rooted at q maps with q -> p,
-  // respecting the output constraint. sub aggregates down over the subtree
-  // of p (for descendant-edge witnesses).
-  std::vector<char> down(nf * nt, 0);
-  std::vector<char> sub(nf * nt, 0);
+  void Ensure(std::vector<BitWord>& v, size_t words) {
+    if (v.size() < words) v.resize(words);
+  }
+};
 
-  for (NodeId q = from.size() - 1; q >= 0; --q) {
-    const LabelId qlabel = from.label(q);
-    char* down_row = &down[static_cast<size_t>(q) * nt];
-    char* sub_row = &sub[static_cast<size_t>(q) * nt];
-    for (NodeId p = to.size() - 1; p >= 0; --p) {
-      bool ok = qlabel == LabelStore::kWildcard || qlabel == to.label(p);
-      // Output preservation: out(from) may only map to out(to).
-      if (ok && q == from.output() && p != to.output()) ok = false;
-      if (ok) {
-        for (NodeId c : from.children(q)) {
-          const char* c_down = &down[static_cast<size_t>(c) * nt];
-          const char* c_sub = &sub[static_cast<size_t>(c) * nt];
-          bool found = false;
-          if (from.edge(c) == EdgeType::kChild) {
-            // Child edges must map to child edges.
-            for (NodeId w : to.children(p)) {
-              if (from.edge(c) == EdgeType::kChild &&
-                  to.edge(w) == EdgeType::kChild &&
-                  c_down[static_cast<size_t>(w)] != 0) {
-                found = true;
-                break;
-              }
-            }
-          } else {
-            // Descendant edges map to any downward path of >= 1 edges.
-            for (NodeId w : to.children(p)) {
-              if (c_sub[static_cast<size_t>(w)] != 0) {
-                found = true;
-                break;
-              }
-            }
-          }
-          if (!found) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      down_row[static_cast<size_t>(p)] = ok ? 1 : 0;
-      char agg = down_row[static_cast<size_t>(p)];
-      if (agg == 0) {
-        for (NodeId w : to.children(p)) {
-          if (sub_row[static_cast<size_t>(w)] != 0) {
-            agg = 1;
-            break;
-          }
-        }
-      }
-      sub_row[static_cast<size_t>(p)] = agg;
+HomScratch& Scratch() {
+  static thread_local HomScratch scratch;
+  return scratch;
+}
+
+/// Builds the per-`from` masks into `s`. Returns the number of words per
+/// bit-row over `from`'s nodes.
+int BuildMasks(const Pattern& from, HomScratch& s) {
+  const int nf = from.size();
+  const int words = BitWordsFor(nf);
+  const size_t rows = static_cast<size_t>(nf) * static_cast<size_t>(words);
+  s.Ensure(s.need_child, rows);
+  s.Ensure(s.need_desc, rows);
+  s.Ensure(s.wildcard, static_cast<size_t>(words));
+  s.Ensure(s.has_req, static_cast<size_t>(words));
+  std::fill_n(s.need_child.begin(), rows, 0);
+  std::fill_n(s.need_desc.begin(), rows, 0);
+  std::fill_n(s.wildcard.begin(), static_cast<size_t>(words), 0);
+  std::fill_n(s.has_req.begin(), static_cast<size_t>(words), 0);
+
+  s.labels.clear();
+  for (NodeId q = 0; q < nf; ++q) {
+    if (!from.children(q).empty()) SetBit(s.has_req.data(), q);
+    for (NodeId c : from.children(q)) {
+      BitWord* row = (from.edge(c) == EdgeType::kChild ? s.need_child.data()
+                                                       : s.need_desc.data()) +
+                     static_cast<size_t>(q) * words;
+      SetBit(row, c);
+    }
+    const LabelId l = from.label(q);
+    if (l != LabelStore::kWildcard &&
+        std::find(s.labels.begin(), s.labels.end(), l) == s.labels.end()) {
+      s.labels.push_back(l);
     }
   }
 
-  return down[static_cast<size_t>(from.root()) * nt +
-              static_cast<size_t>(to.root())] != 0;
+  const size_t mask_rows = s.labels.size() * static_cast<size_t>(words);
+  s.Ensure(s.label_masks, mask_rows);
+  std::fill_n(s.label_masks.begin(), mask_rows, 0);
+  for (NodeId q = 0; q < nf; ++q) {
+    const LabelId l = from.label(q);
+    if (l == LabelStore::kWildcard) {
+      SetBit(s.wildcard.data(), q);
+    } else {
+      const auto it = std::find(s.labels.begin(), s.labels.end(), l);
+      SetBit(s.label_masks.data() +
+                 static_cast<size_t>(it - s.labels.begin()) * words,
+             q);
+    }
+  }
+  for (size_t i = 0; i < s.labels.size(); ++i) {
+    OrRow(s.label_masks.data() + i * words, s.wildcard.data(), words);
+  }
+  return words;
+}
+
+const BitWord* CandidateRow(const HomScratch& s, LabelId tree_label,
+                            int words) {
+  const auto it = std::find(s.labels.begin(), s.labels.end(), tree_label);
+  if (it == s.labels.end()) return s.wildcard.data();
+  return s.label_masks.data() +
+         static_cast<size_t>(it - s.labels.begin()) * words;
+}
+
+/// Single-word kernel: every bit-row over `from` fits one BitWord, so the
+/// child-witness join is one OR per child of p and the per-candidate check
+/// two AND-compares — no inner word loops.
+bool HomSingleWord(const Pattern& from, const Pattern& to, HomScratch& s) {
+  const size_t nt = static_cast<size_t>(to.size());
+  s.Ensure(s.down, nt);
+  s.Ensure(s.sub, nt);
+  const BitWord out_bit = BitWord{1} << from.output();
+
+  for (NodeId p = to.size() - 1; p >= 0; --p) {
+    BitWord child_or = 0;
+    BitWord sub_or = 0;
+    for (NodeId w : to.children(p)) {
+      if (to.edge(w) == EdgeType::kChild) {
+        child_or |= s.down[static_cast<size_t>(w)];
+      }
+      sub_or |= s.sub[static_cast<size_t>(w)];
+    }
+    BitWord res = *CandidateRow(s, to.label(p), 1);
+    // Leaves of `from` have no witness requirements; only candidates with
+    // children need the subset tests.
+    BitWord pending = res & s.has_req[0];
+    while (pending != 0) {
+      const int q = std::countr_zero(pending);
+      pending &= pending - 1;
+      const BitWord nc = s.need_child[static_cast<size_t>(q)];
+      const BitWord nd = s.need_desc[static_cast<size_t>(q)];
+      if ((child_or & nc) != nc || (sub_or & nd) != nd) {
+        res &= ~(BitWord{1} << q);
+      }
+    }
+    if (p != to.output()) res &= ~out_bit;
+    s.down[static_cast<size_t>(p)] = res;
+    s.sub[static_cast<size_t>(p)] = res | sub_or;
+  }
+  return (s.down[static_cast<size_t>(to.root())] >> from.root()) & 1;
+}
+
+/// General multi-word kernel, same recurrences.
+bool HomMultiWord(const Pattern& from, const Pattern& to, HomScratch& s,
+                  int words) {
+  const size_t rows = static_cast<size_t>(to.size()) * words;
+  s.Ensure(s.down, rows);
+  s.Ensure(s.sub, rows);
+  s.Ensure(s.child_or, static_cast<size_t>(words));
+  s.Ensure(s.sub_or, static_cast<size_t>(words));
+
+  for (NodeId p = to.size() - 1; p >= 0; --p) {
+    ZeroRow(s.child_or.data(), words);
+    ZeroRow(s.sub_or.data(), words);
+    for (NodeId w : to.children(p)) {
+      if (to.edge(w) == EdgeType::kChild) {
+        OrRow(s.child_or.data(), s.down.data() + static_cast<size_t>(w) * words,
+              words);
+      }
+      OrRow(s.sub_or.data(), s.sub.data() + static_cast<size_t>(w) * words,
+            words);
+    }
+    BitWord* down_row = s.down.data() + static_cast<size_t>(p) * words;
+    const BitWord* cand = CandidateRow(s, to.label(p), words);
+    std::copy(cand, cand + words, down_row);
+    for (int wi = 0; wi < words; ++wi) {
+      BitWord pending = down_row[wi] & s.has_req[static_cast<size_t>(wi)];
+      while (pending != 0) {
+        const int b = std::countr_zero(pending);
+        pending &= pending - 1;
+        const size_t q = static_cast<size_t>(wi) * kBitWordBits + b;
+        if (!ContainsAllBits(s.child_or.data(), s.need_child.data() + q * words,
+                             words) ||
+            !ContainsAllBits(s.sub_or.data(), s.need_desc.data() + q * words,
+                             words)) {
+          down_row[wi] &= ~(BitWord{1} << b);
+        }
+      }
+    }
+    if (p != to.output()) ClearBit(down_row, from.output());
+    BitWord* sub_row = s.sub.data() + static_cast<size_t>(p) * words;
+    for (int wi = 0; wi < words; ++wi) {
+      sub_row[wi] = down_row[wi] | s.sub_or[wi];
+    }
+  }
+  return TestBit(s.down.data() + static_cast<size_t>(to.root()) * words,
+                 from.root());
+}
+
+}  // namespace
+
+bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to) {
+  if (from.IsEmpty() || to.IsEmpty()) return false;
+  // Transposed bit-parallel DP, one bit-row per node p of `to`, one bit per
+  // node q of `from`:
+  //   down(q,p) = the subtree of `from` rooted at q maps with q -> p,
+  //               respecting edge kinds and the output constraint;
+  //   sub(q,p)  = down(q,w) for some w in the subtree of p.
+  // Child edges of `from` must land on child edges of `to` (so child_or
+  // accumulates only child-edge children of p); descendant edges may
+  // traverse any downward path of >= 1 edges (sub_or over all children).
+  HomScratch& s = Scratch();
+  const int words = BuildMasks(from, s);
+  return words == 1 ? HomSingleWord(from, to, s)
+                    : HomMultiWord(from, to, s, words);
 }
 
 }  // namespace xpv

@@ -2,29 +2,93 @@
 
 namespace xpv {
 
-bool ContainmentOracle::Contained(const Pattern& p1, const Pattern& p2) {
-  std::string key = p1.CanonicalEncoding();
-  key += '\x1f';
-  key += p2.CanonicalEncoding();
+bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
+                                               const Pattern& p1,
+                                               const Pattern& p2) {
+  const bool swapped = fp1 > fp2;
+  const PairKey key = swapped ? PairKey{fp2, fp1} : PairKey{fp1, fp2};
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    ++hits_;
-    return it->second;
+    const Entry& entry = it->second;
+    if (swapped ? entry.rev_known : entry.fwd_known) {
+      ++hits_;
+      return swapped ? entry.rev : entry.fwd;
+    }
+  } else {
+    if (cache_.size() >= capacity_) EvictHalf();
+    it = cache_.emplace(key, Entry{0, 0, 0, 0}).first;
   }
   ++misses_;
-  bool result = xpv::Contained(p1, p2);
-  cache_.emplace(std::move(key), result);
+  // The free function computes through the thread-local ContainmentContext,
+  // so scratch buffers stay warm across oracle instances as well as calls.
+  const bool result = xpv::Contained(p1, p2);
+  Entry& entry = it->second;
+  if (swapped) {
+    entry.rev_known = 1;
+    entry.rev = result ? 1 : 0;
+  } else {
+    entry.fwd_known = 1;
+    entry.fwd = result ? 1 : 0;
+  }
+  ++known_directions_;
   return result;
 }
 
+bool ContainmentOracle::Contained(const Pattern& p1, const Pattern& p2) {
+  return ContainedByFingerprint(p1.CanonicalFingerprint(),
+                                p2.CanonicalFingerprint(), p1, p2);
+}
+
 bool ContainmentOracle::Equivalent(const Pattern& p1, const Pattern& p2) {
-  return Contained(p1, p2) && Contained(p2, p1);
+  const uint64_t fp1 = p1.CanonicalFingerprint();
+  const uint64_t fp2 = p2.CanonicalFingerprint();
+  // Short-circuits: the reverse direction is only computed (or even looked
+  // up) when the forward one holds. Both directions share one cache entry.
+  return ContainedByFingerprint(fp1, fp2, p1, p2) &&
+         ContainedByFingerprint(fp2, fp1, p2, p1);
+}
+
+std::vector<char> ContainmentOracle::ContainedMany(
+    const std::vector<std::pair<const Pattern*, const Pattern*>>& pairs) {
+  // Fingerprint each distinct pattern object once (batches routinely pass
+  // the same query against many candidates).
+  std::unordered_map<const Pattern*, uint64_t> fingerprints;
+  auto fingerprint_of = [&](const Pattern* p) {
+    auto [it, inserted] = fingerprints.try_emplace(p, 0);
+    if (inserted) it->second = p->CanonicalFingerprint();
+    return it->second;
+  };
+  std::vector<char> results;
+  results.reserve(pairs.size());
+  for (const auto& [lhs, rhs] : pairs) {
+    results.push_back(ContainedByFingerprint(fingerprint_of(lhs),
+                                             fingerprint_of(rhs), *lhs, *rhs)
+                          ? 1
+                          : 0);
+  }
+  return results;
+}
+
+void ContainmentOracle::EvictHalf() {
+  bool drop = true;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (drop) {
+      known_directions_ -= it->second.fwd_known + it->second.rev_known;
+      ++evictions_;
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+    drop = !drop;
+  }
 }
 
 void ContainmentOracle::Clear() {
   cache_.clear();
+  known_directions_ = 0;
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace xpv

@@ -1,9 +1,11 @@
 #ifndef XPV_CONTAINMENT_ORACLE_H_
 #define XPV_CONTAINMENT_ORACLE_H_
 
+#include <cstddef>
 #include <cstdint>
-#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "containment/containment.h"
 #include "pattern/pattern.h"
@@ -15,12 +17,26 @@ namespace xpv {
 /// The engine's equivalence tests are the only non-polynomial step of the
 /// rewriting algorithm (Section 4), and cache-style applications
 /// (`ViewCache`, the rule-coverage workloads) ask many containment
-/// questions about overlapping patterns. Keys are pairs of canonical
-/// encodings, so structurally isomorphic patterns share entries. Not
+/// questions about overlapping patterns.
+///
+/// Keys are *interned 64-bit canonical fingerprints*
+/// (`Pattern::CanonicalFingerprint`), so structurally isomorphic patterns
+/// share entries without ever materializing encoding strings. One cache
+/// entry carries both directions of a pattern pair (A ⊑ B and B ⊑ A) —
+/// equivalence tests touch a single entry — and the table is bounded:
+/// when `capacity` entries are reached, half the table is evicted (and
+/// counted in `evictions()`).
+///
+/// All misses are computed through the thread-local `ContainmentContext`
+/// behind the free `Contained` function, so the canonical-model scratch
+/// buffers amortize across every oracle instance on the thread. Not
 /// thread-safe; use one oracle per thread.
 class ContainmentOracle {
  public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
   ContainmentOracle() = default;
+  explicit ContainmentOracle(size_t capacity) : capacity_(capacity) {}
 
   ContainmentOracle(const ContainmentOracle&) = delete;
   ContainmentOracle& operator=(const ContainmentOracle&) = delete;
@@ -28,20 +44,65 @@ class ContainmentOracle {
   /// Memoized Contained(p1, p2).
   bool Contained(const Pattern& p1, const Pattern& p2);
 
-  /// Memoized equivalence (two containment lookups).
+  /// Memoized equivalence. Both directions live in one cache entry, and
+  /// the second direction is only computed when the first holds.
   bool Equivalent(const Pattern& p1, const Pattern& p2);
+
+  /// Batch interface: answers `out[i] = pairs[i].first ⊑ pairs[i].second`.
+  /// Fingerprints are computed once per distinct pattern object in the
+  /// batch, and duplicate pairs are answered from the entry filled by
+  /// their first occurrence. Pointers must be non-null and alive for the
+  /// duration of the call.
+  std::vector<char> ContainedMany(
+      const std::vector<std::pair<const Pattern*, const Pattern*>>& pairs);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
-  size_t size() const { return cache_.size(); }
+  uint64_t evictions() const { return evictions_; }
+  /// Number of cached directional answers (an entry whose two directions
+  /// are both known counts twice).
+  size_t size() const { return known_directions_; }
+  size_t capacity() const { return capacity_; }
 
-  /// Drops all cached entries.
+  /// Drops all cached entries and resets the counters.
   void Clear();
 
  private:
-  std::unordered_map<std::string, bool> cache_;
+  /// Unordered pair of fingerprints; `fwd` answers lo ⊑ hi, `rev` hi ⊑ lo
+  /// (lo/hi by fingerprint value, with the query direction normalized at
+  /// lookup time).
+  struct PairKey {
+    uint64_t lo;
+    uint64_t hi;
+    bool operator==(const PairKey& other) const {
+      return lo == other.lo && hi == other.hi;
+    }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      uint64_t z = k.lo ^ (k.hi * 0x9E3779B97F4A7C15ULL);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      return static_cast<size_t>(z ^ (z >> 27));
+    }
+  };
+  struct Entry {
+    uint8_t fwd_known : 1;
+    uint8_t fwd : 1;
+    uint8_t rev_known : 1;
+    uint8_t rev : 1;
+  };
+
+  /// Looks up / computes one direction given precomputed fingerprints.
+  bool ContainedByFingerprint(uint64_t fp1, uint64_t fp2, const Pattern& p1,
+                              const Pattern& p2);
+  void EvictHalf();
+
+  std::unordered_map<PairKey, Entry, PairKeyHash> cache_;
+  size_t capacity_ = kDefaultCapacity;
+  size_t known_directions_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
 };
 
 }  // namespace xpv

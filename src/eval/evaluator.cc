@@ -1,78 +1,152 @@
 #include "eval/evaluator.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 
 #include "pattern/properties.h"
 
 namespace xpv {
 
+void EvalScratch::BuildPatternMasks(const Pattern& p) {
+  const int np = p.size();
+  words_ = BitWordsFor(np);
+  need_child_.Reset(np, np);
+  need_desc_.Reset(np, np);
+  if (static_cast<int>(wildcard_mask_.size()) < words_) {
+    wildcard_mask_.resize(static_cast<size_t>(words_));
+    has_req_mask_.resize(static_cast<size_t>(words_));
+    child_or_.resize(static_cast<size_t>(words_));
+    sub_or_.resize(static_cast<size_t>(words_));
+  }
+  ZeroRow(wildcard_mask_.data(), words_);
+  ZeroRow(has_req_mask_.data(), words_);
+
+  mask_labels_.clear();
+  for (NodeId q = 0; q < np; ++q) {
+    if (!p.children(q).empty()) SetBit(has_req_mask_.data(), q);
+    for (NodeId c : p.children(q)) {
+      if (p.edge(c) == EdgeType::kChild) {
+        need_child_.Set(q, c);
+      } else {
+        need_desc_.Set(q, c);
+      }
+    }
+    const LabelId l = p.label(q);
+    if (l != LabelStore::kWildcard &&
+        std::find(mask_labels_.begin(), mask_labels_.end(), l) ==
+            mask_labels_.end()) {
+      mask_labels_.push_back(l);
+    }
+  }
+
+  // Candidate row per distinct pattern label: wildcard nodes match any tree
+  // label, exact nodes match their own.
+  label_masks_.Reset(static_cast<int>(mask_labels_.size()), np);
+  for (NodeId q = 0; q < np; ++q) {
+    const LabelId l = p.label(q);
+    if (l == LabelStore::kWildcard) {
+      SetBit(wildcard_mask_.data(), q);
+    } else {
+      const auto it = std::find(mask_labels_.begin(), mask_labels_.end(), l);
+      label_masks_.Set(static_cast<int>(it - mask_labels_.begin()), q);
+    }
+  }
+  for (int i = 0; i < label_masks_.rows(); ++i) {
+    OrRow(label_masks_.row(i), wildcard_mask_.data(), words_);
+  }
+}
+
+void EvalScratch::ComputeRow(NodeId v) {
+  const Tree& t = *tree_;
+  // Word-parallel child-witness join: one OR per tree child accumulates,
+  // for every pattern node at once, whether its subtree embeds at a child
+  // (child_or) or anywhere strictly below v (sub_or).
+  ZeroRow(child_or_.data(), words_);
+  ZeroRow(sub_or_.data(), words_);
+  for (NodeId w : t.children(v)) {
+    OrRow(child_or_.data(), down_.row(w), words_);
+    OrRow(sub_or_.data(), sub_.row(w), words_);
+  }
+
+  // Candidates by label, then per candidate two subset tests replace the
+  // per-child scan of the naive kernel.
+  BitWord* down_row = down_.row(v);
+  const LabelId tl = t.label(v);
+  const auto it = std::find(mask_labels_.begin(), mask_labels_.end(), tl);
+  if (it == mask_labels_.end()) {
+    std::copy(wildcard_mask_.data(), wildcard_mask_.data() + words_, down_row);
+  } else {
+    const BitWord* cand =
+        label_masks_.row(static_cast<int>(it - mask_labels_.begin()));
+    std::copy(cand, cand + words_, down_row);
+  }
+  for (int wi = 0; wi < words_; ++wi) {
+    // Leaf pattern nodes have no witness requirements — only candidates
+    // with children need the subset tests.
+    BitWord pending = down_row[wi] & has_req_mask_[static_cast<size_t>(wi)];
+    while (pending != 0) {
+      const int b = std::countr_zero(pending);
+      pending &= pending - 1;
+      const NodeId q = static_cast<NodeId>(wi * kBitWordBits + b);
+      if (!ContainsAllBits(child_or_.data(), need_child_.row(q), words_) ||
+          !ContainsAllBits(sub_or_.data(), need_desc_.row(q), words_)) {
+        down_row[wi] &= ~(BitWord{1} << b);
+      }
+    }
+  }
+
+  BitWord* sub_row = sub_.row(v);
+  for (int wi = 0; wi < words_; ++wi) {
+    sub_row[wi] = down_row[wi] | sub_or_[wi];
+  }
+}
+
+void EvalScratch::Compute(const Pattern& p, const Tree& t,
+                          int row_capacity_hint) {
+  assert(!p.IsEmpty());
+  pattern_ = &p;
+  tree_ = &t;
+  BuildPatternMasks(p);
+  const int rows = std::max(t.size(), row_capacity_hint);
+  down_.Reset(rows, p.size());
+  sub_.Reset(rows, p.size());
+  // Tree ids are topologically sorted; reverse order visits children first.
+  for (NodeId v = t.size() - 1; v >= 0; --v) ComputeRow(v);
+}
+
+void EvalScratch::Update(const Tree& t, NodeId suffix_start,
+                         const std::vector<NodeId>& dirty_prefix_desc) {
+  assert(pattern_ != nullptr);
+  tree_ = &t;
+  if (t.size() > down_.rows()) {
+    // Grow preserving the prefix rows (suffix rows are rewritten below).
+    const int np = pattern_->size();
+    BitMatrix grown;
+    grown.Reset(t.size(), np);
+    for (NodeId v = 0; v < suffix_start; ++v) {
+      std::copy(down_.row(v), down_.row(v) + words_, grown.row(v));
+    }
+    std::swap(down_, grown);
+    grown.Reset(t.size(), np);
+    for (NodeId v = 0; v < suffix_start; ++v) {
+      std::copy(sub_.row(v), sub_.row(v) + words_, grown.row(v));
+    }
+    std::swap(sub_, grown);
+  }
+  for (NodeId v = t.size() - 1; v >= suffix_start; --v) ComputeRow(v);
+  for (NodeId v : dirty_prefix_desc) {
+    assert(v < suffix_start);
+    ComputeRow(v);
+  }
+}
+
 Evaluator::Evaluator(const Pattern& p, const Tree& t)
     : pattern_(p), tree_(t) {
   assert(!p.IsEmpty());
   SelectionInfo info(p);
   selection_path_ = info.path();
-
-  const size_t np = static_cast<size_t>(p.size());
-  const size_t nt = static_cast<size_t>(t.size());
-  down_.assign(np * nt, 0);
-  sub_.assign(np * nt, 0);
-
-  // Pattern ids are topologically sorted; reverse order visits children
-  // before parents. Same for tree ids within the sub() aggregation.
-  for (NodeId pn = p.size() - 1; pn >= 0; --pn) {
-    const LabelId plabel = p.label(pn);
-    char* down_row = &down_[static_cast<size_t>(pn) * nt];
-    char* sub_row = &sub_[static_cast<size_t>(pn) * nt];
-    for (NodeId v = t.size() - 1; v >= 0; --v) {
-      bool ok = plabel == LabelStore::kWildcard || plabel == t.label(v);
-      if (ok) {
-        for (NodeId c : p.children(pn)) {
-          const char* c_down = &down_[static_cast<size_t>(c) * nt];
-          const char* c_sub = &sub_[static_cast<size_t>(c) * nt];
-          bool found = false;
-          if (p.edge(c) == EdgeType::kChild) {
-            for (NodeId w : t.children(v)) {
-              if (c_down[static_cast<size_t>(w)] != 0) {
-                found = true;
-                break;
-              }
-            }
-          } else {
-            for (NodeId w : t.children(v)) {
-              if (c_sub[static_cast<size_t>(w)] != 0) {
-                found = true;
-                break;
-              }
-            }
-          }
-          if (!found) {
-            ok = false;
-            break;
-          }
-        }
-      }
-      down_row[static_cast<size_t>(v)] = ok ? 1 : 0;
-      // sub(p,v) = down(p,v) OR sub(p, child of v); children have larger
-      // ids, already computed in this reverse sweep.
-      char agg = down_row[static_cast<size_t>(v)];
-      if (agg == 0) {
-        for (NodeId w : t.children(v)) {
-          if (sub_row[static_cast<size_t>(w)] != 0) {
-            agg = 1;
-            break;
-          }
-        }
-      }
-      sub_row[static_cast<size_t>(v)] = agg;
-    }
-  }
-}
-
-bool Evaluator::CanEmbedAt(NodeId pattern_node, NodeId tree_node) const {
-  return down_[static_cast<size_t>(pattern_node) *
-                   static_cast<size_t>(tree_.size()) +
-               static_cast<size_t>(tree_node)] != 0;
+  scratch_.Compute(p, t);
 }
 
 std::vector<NodeId> Evaluator::RunSelectionSweep(
@@ -80,12 +154,11 @@ std::vector<NodeId> Evaluator::RunSelectionSweep(
   const size_t nt = static_cast<size_t>(tree_.size());
   for (size_t k = 1; k < selection_path_.size(); ++k) {
     NodeId sk = selection_path_[k];
-    const char* down_row = &down_[static_cast<size_t>(sk) * nt];
     std::vector<char> next(nt, 0);
     if (pattern_.edge(sk) == EdgeType::kChild) {
       for (NodeId v = 1; v < tree_.size(); ++v) {
-        if (down_row[static_cast<size_t>(v)] != 0 &&
-            current[static_cast<size_t>(tree_.parent(v))] != 0) {
+        if (current[static_cast<size_t>(tree_.parent(v))] != 0 &&
+            scratch_.Down(v, sk)) {
           next[static_cast<size_t>(v)] = 1;
         }
       }
@@ -99,8 +172,7 @@ std::vector<NodeId> Evaluator::RunSelectionSweep(
              reach[static_cast<size_t>(par)] != 0)
                 ? 1
                 : 0;
-        if (reach[static_cast<size_t>(v)] != 0 &&
-            down_row[static_cast<size_t>(v)] != 0) {
+        if (reach[static_cast<size_t>(v)] != 0 && scratch_.Down(v, sk)) {
           next[static_cast<size_t>(v)] = 1;
         }
       }
@@ -125,8 +197,10 @@ std::vector<NodeId> Evaluator::OutputsAnchoredAt(NodeId anchor) const {
 std::vector<NodeId> Evaluator::WeakOutputs() const {
   const size_t nt = static_cast<size_t>(tree_.size());
   NodeId s0 = selection_path_[0];
-  const char* down_row = &down_[static_cast<size_t>(s0) * nt];
-  std::vector<char> initial(down_row, down_row + nt);
+  std::vector<char> initial(nt, 0);
+  for (NodeId v = 0; v < tree_.size(); ++v) {
+    if (scratch_.Down(v, s0)) initial[static_cast<size_t>(v)] = 1;
+  }
   return RunSelectionSweep(std::move(initial));
 }
 

@@ -3,10 +3,83 @@
 
 #include <vector>
 
+#include "containment/bitmatrix.h"
 #include "pattern/pattern.h"
 #include "xml/tree.h"
 
 namespace xpv {
+
+/// The bit-parallel embedding kernel: computes, for one (pattern, tree)
+/// pair, the DP tables
+///
+///   down(q,v) = "the pattern subtree rooted at q embeds with q -> v"
+///   sub(q,v)  = "down(q,w) holds for some w in the tree subtree of v"
+///
+/// The tables are stored *transposed* relative to the naive formulation:
+/// one `BitMatrix` row per tree node v, one bit per pattern node q. This
+/// makes the inner child-witness join word-parallel: a single OR of the
+/// child rows answers "which pattern subtrees embed at some child of v"
+/// for every pattern node at once, and per pattern node the join reduces
+/// to two word-wise subset tests against precomputed child masks.
+///
+/// The object owns all buffers and reuses them across `Compute` calls
+/// (no allocation once warm), and `Update` recomputes only the rows whose
+/// tree subtrees changed — the scratch-reuse and incremental paths of the
+/// canonical-model containment loop.
+class EvalScratch {
+ public:
+  EvalScratch() = default;
+
+  EvalScratch(const EvalScratch&) = delete;
+  EvalScratch& operator=(const EvalScratch&) = delete;
+
+  /// Full bottom-up DP over all tree nodes. `p` must be nonempty; `p` and
+  /// `t` must stay alive until the next Compute. `row_capacity_hint`
+  /// pre-sizes the tables for trees that will later grow via `Update`.
+  void Compute(const Pattern& p, const Tree& t, int row_capacity_hint = 0);
+
+  /// Incremental recompute after the tree changed: every node with id
+  /// >= `suffix_start` is new or rebuilt (the tree may have grown or
+  /// shrunk), and `dirty_prefix_desc` lists the surviving nodes whose
+  /// subtrees changed (ancestors of the splice points), in strictly
+  /// decreasing id order. All other rows are reused unchanged. The
+  /// pattern must be the one from the last `Compute`.
+  void Update(const Tree& t, NodeId suffix_start,
+              const std::vector<NodeId>& dirty_prefix_desc);
+
+  /// down(q,v).
+  bool Down(NodeId tree_node, NodeId pattern_node) const {
+    return down_.Test(tree_node, pattern_node);
+  }
+
+  /// sub(q,v).
+  bool Sub(NodeId tree_node, NodeId pattern_node) const {
+    return sub_.Test(tree_node, pattern_node);
+  }
+
+ private:
+  void BuildPatternMasks(const Pattern& p);
+  void ComputeRow(NodeId v);
+
+  const Pattern* pattern_ = nullptr;
+  const Tree* tree_ = nullptr;
+  int words_ = 0;  // Words per pattern-bit row.
+
+  BitMatrix down_;  // rows = tree nodes, cols = pattern nodes.
+  BitMatrix sub_;
+
+  // Per-pattern masks, rebuilt by Compute:
+  BitMatrix need_child_;  // row q = q's children reached by child edges.
+  BitMatrix need_desc_;   // row q = q's children reached by // edges.
+  std::vector<BitWord> wildcard_mask_;   // bits of *-labeled pattern nodes.
+  std::vector<BitWord> has_req_mask_;    // bits of pattern nodes with children.
+  std::vector<LabelId> mask_labels_;     // distinct non-* labels in p ...
+  BitMatrix label_masks_;                // ... and their candidate rows.
+
+  // Per-row gather scratch.
+  std::vector<BitWord> child_or_;
+  std::vector<BitWord> sub_or_;
+};
 
 /// Decides embedding questions for one (pattern, tree) pair
 /// (Definition 2.1) and computes the query results P(t) and P^w(t).
@@ -15,19 +88,12 @@ namespace xpv {
 /// sorted vector of tree node ids o such that some embedding maps out(P)
 /// to o.
 ///
-/// Algorithm: two-pass dynamic programming.
-///   1. Bottom-up over (pattern node p, tree node v): down(p,v) = "the
-///      pattern subtree rooted at p embeds into t with p ↦ v". Branches of
-///      p are independent, so down(p,v) holds iff the label matches and
-///      every pattern child c has a witness below v (a child of v for
-///      child edges, a proper descendant for descendant edges; the latter
-///      is answered by the auxiliary table sub(p,v) = "down(p,w) for some
-///      w in the subtree of v").
-///   2. A placement sweep along the selection path: U_0 = anchors, and
-///      U_k = nodes v with down(s_k, v) whose parent (resp. some proper
-///      ancestor) lies in U_{k-1}. The output set is U_d. Independence of
-///      branches makes this exact.
-/// Total cost O(|P| * |t|).
+/// Algorithm: the bit-parallel `EvalScratch` kernel computes down/sub
+/// (pass 1), then a placement sweep along the selection path: U_0 =
+/// anchors, and U_k = nodes v with down(s_k, v) whose parent (resp. some
+/// proper ancestor) lies in U_{k-1}. The output set is U_d. Independence
+/// of branches makes this exact. Total cost O(|P| * |t|) with word-packed
+/// constants.
 class Evaluator {
  public:
   /// Builds the DP tables. `p` must be nonempty; both must outlive this.
@@ -35,7 +101,9 @@ class Evaluator {
 
   /// down(p,v): can the pattern subtree rooted at `pattern_node` embed with
   /// pattern_node ↦ tree_node?
-  bool CanEmbedAt(NodeId pattern_node, NodeId tree_node) const;
+  bool CanEmbedAt(NodeId pattern_node, NodeId tree_node) const {
+    return scratch_.Down(tree_node, pattern_node);
+  }
 
   /// P(t^anchor): outputs of embeddings that map root(P) to `anchor`
   /// (i.e. the pattern applied to the subtree of t rooted at `anchor`).
@@ -53,9 +121,7 @@ class Evaluator {
   const Pattern& pattern_;
   const Tree& tree_;
   std::vector<NodeId> selection_path_;
-  // down_[p * |t| + v]; sub_ likewise.
-  std::vector<char> down_;
-  std::vector<char> sub_;
+  EvalScratch scratch_;
 };
 
 /// P(t) for a (possibly empty) pattern.

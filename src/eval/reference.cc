@@ -1,0 +1,258 @@
+#include "eval/reference.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pattern/canonical.h"
+#include "pattern/properties.h"
+
+namespace xpv {
+namespace reference {
+namespace {
+
+/// The pre-kernel evaluator: down/sub as byte matrices, child witnesses
+/// found by scanning each tree child.
+class NaiveEvaluator {
+ public:
+  NaiveEvaluator(const Pattern& p, const Tree& t) : pattern_(p), tree_(t) {
+    assert(!p.IsEmpty());
+    SelectionInfo info(p);
+    selection_path_ = info.path();
+
+    const size_t np = static_cast<size_t>(p.size());
+    const size_t nt = static_cast<size_t>(t.size());
+    down_.assign(np * nt, 0);
+    sub_.assign(np * nt, 0);
+
+    for (NodeId pn = p.size() - 1; pn >= 0; --pn) {
+      const LabelId plabel = p.label(pn);
+      char* down_row = &down_[static_cast<size_t>(pn) * nt];
+      char* sub_row = &sub_[static_cast<size_t>(pn) * nt];
+      for (NodeId v = t.size() - 1; v >= 0; --v) {
+        bool ok = plabel == LabelStore::kWildcard || plabel == t.label(v);
+        if (ok) {
+          for (NodeId c : p.children(pn)) {
+            const char* c_down = &down_[static_cast<size_t>(c) * nt];
+            const char* c_sub = &sub_[static_cast<size_t>(c) * nt];
+            bool found = false;
+            if (p.edge(c) == EdgeType::kChild) {
+              for (NodeId w : t.children(v)) {
+                if (c_down[static_cast<size_t>(w)] != 0) {
+                  found = true;
+                  break;
+                }
+              }
+            } else {
+              for (NodeId w : t.children(v)) {
+                if (c_sub[static_cast<size_t>(w)] != 0) {
+                  found = true;
+                  break;
+                }
+              }
+            }
+            if (!found) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        down_row[static_cast<size_t>(v)] = ok ? 1 : 0;
+        char agg = down_row[static_cast<size_t>(v)];
+        if (agg == 0) {
+          for (NodeId w : t.children(v)) {
+            if (sub_row[static_cast<size_t>(w)] != 0) {
+              agg = 1;
+              break;
+            }
+          }
+        }
+        sub_row[static_cast<size_t>(v)] = agg;
+      }
+    }
+  }
+
+  bool CanEmbedAt(NodeId pattern_node, NodeId tree_node) const {
+    return down_[static_cast<size_t>(pattern_node) *
+                     static_cast<size_t>(tree_.size()) +
+                 static_cast<size_t>(tree_node)] != 0;
+  }
+
+  std::vector<NodeId> Outputs() const {
+    std::vector<char> initial(static_cast<size_t>(tree_.size()), 0);
+    if (CanEmbedAt(selection_path_[0], tree_.root())) {
+      initial[static_cast<size_t>(tree_.root())] = 1;
+    }
+    return RunSelectionSweep(std::move(initial));
+  }
+
+  std::vector<NodeId> WeakOutputs() const {
+    const size_t nt = static_cast<size_t>(tree_.size());
+    NodeId s0 = selection_path_[0];
+    const char* down_row = &down_[static_cast<size_t>(s0) * nt];
+    std::vector<char> initial(down_row, down_row + nt);
+    return RunSelectionSweep(std::move(initial));
+  }
+
+ private:
+  std::vector<NodeId> RunSelectionSweep(std::vector<char> current) const {
+    const size_t nt = static_cast<size_t>(tree_.size());
+    for (size_t k = 1; k < selection_path_.size(); ++k) {
+      NodeId sk = selection_path_[k];
+      const char* down_row = &down_[static_cast<size_t>(sk) * nt];
+      std::vector<char> next(nt, 0);
+      if (pattern_.edge(sk) == EdgeType::kChild) {
+        for (NodeId v = 1; v < tree_.size(); ++v) {
+          if (down_row[static_cast<size_t>(v)] != 0 &&
+              current[static_cast<size_t>(tree_.parent(v))] != 0) {
+            next[static_cast<size_t>(v)] = 1;
+          }
+        }
+      } else {
+        std::vector<char> reach(nt, 0);
+        for (NodeId v = 1; v < tree_.size(); ++v) {
+          NodeId par = tree_.parent(v);
+          reach[static_cast<size_t>(v)] =
+              (current[static_cast<size_t>(par)] != 0 ||
+               reach[static_cast<size_t>(par)] != 0)
+                  ? 1
+                  : 0;
+          if (reach[static_cast<size_t>(v)] != 0 &&
+              down_row[static_cast<size_t>(v)] != 0) {
+            next[static_cast<size_t>(v)] = 1;
+          }
+        }
+      }
+      current.swap(next);
+    }
+    std::vector<NodeId> outputs;
+    for (NodeId v = 0; v < tree_.size(); ++v) {
+      if (current[static_cast<size_t>(v)] != 0) outputs.push_back(v);
+    }
+    return outputs;
+  }
+
+  const Pattern& pattern_;
+  const Tree& tree_;
+  std::vector<NodeId> selection_path_;
+  std::vector<char> down_;
+  std::vector<char> sub_;
+};
+
+}  // namespace
+
+std::vector<NodeId> Eval(const Pattern& p, const Tree& t) {
+  if (p.IsEmpty()) return {};
+  return NaiveEvaluator(p, t).Outputs();
+}
+
+std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t) {
+  if (p.IsEmpty()) return {};
+  return NaiveEvaluator(p, t).WeakOutputs();
+}
+
+bool ProducesOutput(const Pattern& p, const Tree& t, NodeId o) {
+  if (p.IsEmpty()) return false;
+  std::vector<NodeId> outs = Eval(p, t);
+  return std::binary_search(outs.begin(), outs.end(), o);
+}
+
+bool WeaklyProducesOutput(const Pattern& p, const Tree& t, NodeId o) {
+  if (p.IsEmpty()) return false;
+  std::vector<NodeId> outs = EvalWeak(p, t);
+  return std::binary_search(outs.begin(), outs.end(), o);
+}
+
+bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to) {
+  if (from.IsEmpty() || to.IsEmpty()) return false;
+  const size_t nf = static_cast<size_t>(from.size());
+  const size_t nt = static_cast<size_t>(to.size());
+
+  std::vector<char> down(nf * nt, 0);
+  std::vector<char> sub(nf * nt, 0);
+
+  for (NodeId q = from.size() - 1; q >= 0; --q) {
+    const LabelId qlabel = from.label(q);
+    char* down_row = &down[static_cast<size_t>(q) * nt];
+    char* sub_row = &sub[static_cast<size_t>(q) * nt];
+    for (NodeId p = to.size() - 1; p >= 0; --p) {
+      bool ok = qlabel == LabelStore::kWildcard || qlabel == to.label(p);
+      if (ok && q == from.output() && p != to.output()) ok = false;
+      if (ok) {
+        for (NodeId c : from.children(q)) {
+          const char* c_down = &down[static_cast<size_t>(c) * nt];
+          const char* c_sub = &sub[static_cast<size_t>(c) * nt];
+          bool found = false;
+          if (from.edge(c) == EdgeType::kChild) {
+            for (NodeId w : to.children(p)) {
+              if (to.edge(w) == EdgeType::kChild &&
+                  c_down[static_cast<size_t>(w)] != 0) {
+                found = true;
+                break;
+              }
+            }
+          } else {
+            for (NodeId w : to.children(p)) {
+              if (c_sub[static_cast<size_t>(w)] != 0) {
+                found = true;
+                break;
+              }
+            }
+          }
+          if (!found) {
+            ok = false;
+            break;
+          }
+        }
+      }
+      down_row[static_cast<size_t>(p)] = ok ? 1 : 0;
+      char agg = down_row[static_cast<size_t>(p)];
+      if (agg == 0) {
+        for (NodeId w : to.children(p)) {
+          if (sub_row[static_cast<size_t>(w)] != 0) {
+            agg = 1;
+            break;
+          }
+        }
+      }
+      sub_row[static_cast<size_t>(p)] = agg;
+    }
+  }
+
+  return down[static_cast<size_t>(from.root()) * nt +
+              static_cast<size_t>(to.root())] != 0;
+}
+
+namespace {
+
+int NaiveExpansionBound(const Pattern& p2) { return StarChainLength(p2) + 2; }
+
+bool NaiveCanonicalModelsPass(const Pattern& p1, const Pattern& p2,
+                              bool weak) {
+  const int bound = NaiveExpansionBound(p2);
+  CanonicalModelEnumerator en(p1, bound);
+  CanonicalModel model{Tree(LabelStore::kBottom), kNoNode, {}};
+  while (en.Next(&model)) {
+    const bool produced =
+        weak ? WeaklyProducesOutput(p2, model.tree, model.output)
+             : ProducesOutput(p2, model.tree, model.output);
+    if (!produced) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Contained(const Pattern& p1, const Pattern& p2) {
+  if (p1.IsEmpty()) return true;
+  if (p2.IsEmpty()) return false;
+  return NaiveCanonicalModelsPass(p1, p2, /*weak=*/false);
+}
+
+bool WeaklyContained(const Pattern& p1, const Pattern& p2) {
+  if (p1.IsEmpty()) return true;
+  if (p2.IsEmpty()) return false;
+  return NaiveCanonicalModelsPass(p1, p2, /*weak=*/true);
+}
+
+}  // namespace reference
+}  // namespace xpv

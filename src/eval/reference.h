@@ -1,0 +1,42 @@
+#ifndef XPV_EVAL_REFERENCE_H_
+#define XPV_EVAL_REFERENCE_H_
+
+#include <vector>
+
+#include "pattern/pattern.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+/// Naive reference implementations, retained verbatim from the pre-kernel
+/// code: byte-per-cell DP tables, per-child witness scans, one full
+/// evaluation per canonical model. They exist so the randomized property
+/// tests can check the bit-parallel kernel, the incremental canonical-model
+/// loop and the scratch-reuse paths against an independent oracle — do not
+/// use them on hot paths.
+namespace reference {
+
+/// P(t), computed with the naive evaluator.
+std::vector<NodeId> Eval(const Pattern& p, const Tree& t);
+
+/// P^w(t), computed with the naive evaluator.
+std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t);
+
+/// o ∈ P(t) / o ∈ P^w(t), via full naive evaluation.
+bool ProducesOutput(const Pattern& p, const Tree& t, NodeId o);
+bool WeaklyProducesOutput(const Pattern& p, const Tree& t, NodeId o);
+
+/// Pattern homomorphism existence, naive quadratic DP.
+bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to);
+
+/// P1 ⊑ P2 by enumerating every canonical model from scratch (no
+/// homomorphism fast path, no incremental reuse).
+bool Contained(const Pattern& p1, const Pattern& p2);
+
+/// P1 ⊑w P2, same technique with weak-output checks.
+bool WeaklyContained(const Pattern& p1, const Pattern& p2);
+
+}  // namespace reference
+}  // namespace xpv
+
+#endif  // XPV_EVAL_REFERENCE_H_

@@ -62,6 +62,41 @@ std::string Pattern::CanonicalEncoding() const {
   return EncodeSubtree(root());
 }
 
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
+uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t Pattern::CanonicalFingerprint() const {
+  if (IsEmpty()) return 0x9E3779B97F4A7C15ULL;
+  // Bottom-up over ids (children have larger ids than their parent), with
+  // thread-local scratch so the oracle's key derivation never allocates.
+  static thread_local std::vector<uint64_t> hashes;
+  static thread_local std::vector<uint64_t> kid_hashes;
+  hashes.resize(static_cast<size_t>(size()));
+  for (NodeId n = size() - 1; n >= 0; --n) {
+    kid_hashes.clear();
+    for (NodeId c : children(n)) {
+      kid_hashes.push_back(hashes[static_cast<size_t>(c)]);
+    }
+    std::sort(kid_hashes.begin(), kid_hashes.end());
+    uint64_t h = Mix64(static_cast<uint64_t>(label(n)) + 0x1B873593ULL);
+    if (n != root() && edge(n) == EdgeType::kDescendant) {
+      h = Mix64(h ^ 0xD6E8FEB86659FD93ULL);
+    }
+    if (n == output()) h = Mix64(h ^ 0xA24BAED4963EE407ULL);
+    for (uint64_t k : kid_hashes) h = Mix64(h * 0x100000001B3ULL ^ k);
+    hashes[static_cast<size_t>(n)] = h;
+  }
+  return hashes[0];
+}
+
 std::string Pattern::ToAscii() const {
   if (IsEmpty()) return "<empty pattern>\n";
   std::string out;

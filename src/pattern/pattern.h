@@ -77,6 +77,14 @@ class Pattern {
   /// bijection) iff their encodings are equal.
   std::string CanonicalEncoding() const;
 
+  /// 64-bit structural fingerprint of the canonical encoding: computed by
+  /// hashing (label, incoming edge type, output flag, sorted child
+  /// fingerprints) bottom-up, so it is invariant under sibling reordering.
+  /// Isomorphic patterns always collide; distinct patterns collide with
+  /// probability ~2^-64. The containment oracle keys its cache on pairs of
+  /// these fingerprints instead of pairs of encoding strings.
+  uint64_t CanonicalFingerprint() const;
+
   /// Multi-line ASCII rendering (output node marked with '>'), for
   /// debugging and the example binaries. Descendant edges are drawn '//'.
   std::string ToAscii() const;

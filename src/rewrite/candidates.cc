@@ -17,4 +17,19 @@ NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth) {
   return NaturalCandidates{std::move(sub), std::move(relaxed), coincide};
 }
 
+void AppendNaturalCandidatePairs(
+    const Pattern& p, const Pattern& v, int view_depth,
+    std::deque<Pattern>* compositions,
+    std::vector<std::pair<const Pattern*, const Pattern*>>* pairs) {
+  NaturalCandidates natural = MakeNaturalCandidates(p, view_depth);
+  compositions->push_back(Compose(natural.sub, v));
+  if (!natural.coincide) {
+    compositions->push_back(Compose(natural.relaxed, v));
+  }
+  const size_t n = natural.coincide ? 1 : 2;
+  for (size_t i = compositions->size() - n; i < compositions->size(); ++i) {
+    pairs->emplace_back(&(*compositions)[i], &p);
+  }
+}
+
 }  // namespace xpv

@@ -1,6 +1,8 @@
 #ifndef XPV_REWRITE_CANDIDATES_H_
 #define XPV_REWRITE_CANDIDATES_H_
 
+#include <deque>
+#include <utility>
 #include <vector>
 
 #include "pattern/pattern.h"
@@ -23,6 +25,20 @@ struct NaturalCandidates {
 /// construction claimed in Section 1 and benchmarked by
 /// `bench_candidates_linear`. Requires 0 <= view_depth <= depth(p).
 NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth);
+
+/// Appends the natural-candidate compositions of query `p` over view `v`
+/// (view depth `view_depth`) to `*compositions`, and for each one the
+/// *forward* containment question (composition ⊑ p) to `*pairs`. These are
+/// exactly the first-direction tests `DecideRewrite` issues in step 2, so
+/// batch warm-up paths (`ViewCache::AnswerMany`, view selection scoring)
+/// push `*pairs` through `ContainmentOracle::ContainedMany` and the engine
+/// then answers from the cache; the reverse directions stay lazy (they are
+/// only needed when a forward test holds). The pairs point into
+/// `*compositions` — a deque, so growth never invalidates them.
+void AppendNaturalCandidatePairs(
+    const Pattern& p, const Pattern& v, int view_depth,
+    std::deque<Pattern>* compositions,
+    std::vector<std::pair<const Pattern*, const Pattern*>>* pairs);
 
 }  // namespace xpv
 

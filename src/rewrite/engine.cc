@@ -42,7 +42,11 @@ RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
   SelectionInfo vi(v);
   const int k = vi.depth();
 
-  // Step 2: construct and test the natural candidates.
+  // Step 2: construct and test the natural candidates. With an oracle both
+  // directions of an equivalence land in one two-direction cache entry
+  // (batch warm-ups, e.g. ViewCache::AnswerMany, prefill the forward
+  // direction via ContainedMany), and the reverse test still short-circuits
+  // when the forward one fails.
   auto equivalent = [&options](const Pattern& a, const Pattern& b) {
     return options.oracle != nullptr ? options.oracle->Equivalent(a, b)
                                      : Equivalent(a, b);

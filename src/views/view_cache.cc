@@ -1,8 +1,13 @@
 #include "views/view_cache.h"
 
 #include <algorithm>
+#include <deque>
+#include <utility>
 
 #include "eval/evaluator.h"
+#include "pattern/properties.h"
+#include "rewrite/candidates.h"
+#include "rewrite/rules.h"
 
 namespace xpv {
 
@@ -44,6 +49,8 @@ int ViewCache::AddView(ViewDefinition definition) {
 CacheAnswer ViewCache::Answer(const Pattern& query) {
   ++stats_.queries;
   CacheAnswer answer;
+  // Υ selects nothing; the rewrite engine requires nonempty patterns.
+  if (query.IsEmpty()) return answer;
   for (const MaterializedView& view : views_) {
     RewriteResult result =
         DecideRewrite(query, view.definition().pattern, options_);
@@ -59,6 +66,40 @@ CacheAnswer ViewCache::Answer(const Pattern& query) {
   }
   answer.outputs = Eval(query, *doc_);
   return answer;
+}
+
+std::vector<CacheAnswer> ViewCache::AnswerMany(
+    const std::vector<Pattern>& queries) {
+  // Warm the oracle with one batch: for each query, the forward
+  // natural-candidate containment tests of its *first* admissible view —
+  // `Answer` probes views in order and earlier views fail the necessary
+  // conditions without any containment test, so exactly these tests are
+  // guaranteed to run. Later views' tests stay lazy (they only run when
+  // every earlier view missed), as do all reverse directions.
+  std::vector<int> view_depths;
+  view_depths.reserve(views_.size());
+  for (const MaterializedView& view : views_) {
+    view_depths.push_back(SelectionInfo(view.definition().pattern).depth());
+  }
+  std::deque<Pattern> compositions;
+  std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
+  pairs.reserve(2 * queries.size());
+  for (const Pattern& query : queries) {
+    if (query.IsEmpty()) continue;
+    for (size_t vi = 0; vi < views_.size(); ++vi) {
+      const Pattern& vp = views_[vi].definition().pattern;
+      if (ViolatesBasicNecessaryConditions(query, vp).has_value()) continue;
+      AppendNaturalCandidatePairs(query, vp, view_depths[vi], &compositions,
+                                  &pairs);
+      break;
+    }
+  }
+  oracle_.ContainedMany(pairs);
+
+  std::vector<CacheAnswer> answers;
+  answers.reserve(queries.size());
+  for (const Pattern& query : queries) answers.push_back(Answer(query));
+  return answers;
 }
 
 }  // namespace xpv

@@ -96,6 +96,13 @@ class ViewCache {
   /// Answers `query` (see CacheAnswer).
   CacheAnswer Answer(const Pattern& query);
 
+  /// Answers a batch of queries. Before the per-query scans, the
+  /// natural-candidate containment tests each query is guaranteed to need
+  /// (those of its first admissible view, forward direction) are pushed
+  /// through the oracle's `ContainedMany` in one call, so fingerprints are
+  /// shared across the batch and the scans answer from the cache.
+  std::vector<CacheAnswer> AnswerMany(const std::vector<Pattern>& queries);
+
   const CacheStats& stats() const { return stats_; }
 
   /// The cache's memoizing containment oracle (repeated queries amortize

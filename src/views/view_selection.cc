@@ -1,16 +1,21 @@
 #include "views/view_selection.h"
 
+#include <deque>
 #include <map>
 #include <set>
+#include <utility>
 
+#include "containment/oracle.h"
 #include "pattern/algebra.h"
 #include "pattern/properties.h"
+#include "rewrite/candidates.h"
 #include "rewrite/engine.h"
+#include "rewrite/rules.h"
 
 namespace xpv {
 
 std::vector<CandidateView> EnumerateCandidateViews(
-    const std::vector<WorkloadQuery>& workload) {
+    const std::vector<WorkloadQuery>& workload, ContainmentOracle* oracle) {
   // Collect deduplicated prefix views.
   std::map<std::string, Pattern> prefixes;
   for (const WorkloadQuery& query : workload) {
@@ -25,15 +30,39 @@ std::vector<CandidateView> EnumerateCandidateViews(
     }
   }
 
+  ContainmentOracle local_oracle;
+  if (oracle == nullptr) oracle = &local_oracle;
+  RewriteOptions rewrite_options;
+  rewrite_options.oracle = oracle;
+
   std::vector<CandidateView> candidates;
   candidates.reserve(prefixes.size());
   for (auto& [key, view] : prefixes) {
     CandidateView candidate;
     candidate.depth = SelectionInfo(view).depth();
+
+    // Batch-warm the oracle: the forward natural-candidate containment
+    // tests of every admissible query against this view go through
+    // ContainedMany in one call, so the DecideRewrite loop below answers
+    // them from the cache (reverse directions stay lazy).
+    std::deque<Pattern> compositions;
+    std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
+    pairs.reserve(2 * workload.size());
+    for (const WorkloadQuery& query : workload) {
+      if (query.pattern.IsEmpty()) continue;
+      if (ViolatesBasicNecessaryConditions(query.pattern, view).has_value()) {
+        continue;  // The engine never reaches the equivalence tests.
+      }
+      AppendNaturalCandidatePairs(query.pattern, view, candidate.depth,
+                                  &compositions, &pairs);
+    }
+    oracle->ContainedMany(pairs);
+
     for (int qi = 0; qi < static_cast<int>(workload.size()); ++qi) {
       const WorkloadQuery& query = workload[static_cast<size_t>(qi)];
       if (query.pattern.IsEmpty()) continue;
-      RewriteResult result = DecideRewrite(query.pattern, view);
+      RewriteResult result =
+          DecideRewrite(query.pattern, view, rewrite_options);
       if (result.status == RewriteStatus::kFound) {
         candidate.answers.push_back(qi);
         candidate.covered_weight += query.weight;
@@ -54,7 +83,8 @@ ViewSelectionResult SelectViews(const std::vector<WorkloadQuery>& workload,
     result.total_weight += query.weight;
   }
 
-  std::vector<CandidateView> candidates = EnumerateCandidateViews(workload);
+  std::vector<CandidateView> candidates =
+      EnumerateCandidateViews(workload, options.oracle);
   std::set<int> covered;
   std::vector<char> used(candidates.size(), 0);
 

@@ -9,6 +9,8 @@
 
 namespace xpv {
 
+class ContainmentOracle;
+
 /// A query with a frequency weight (how often it is asked).
 struct WorkloadQuery {
   Pattern pattern = Pattern::Empty();
@@ -44,6 +46,11 @@ struct ViewSelectionOptions {
   int max_views = 3;
   /// Per-query rewrite decisions use the standard engine; kUnknown counts
   /// as not answerable (sound under-approximation).
+  /// Optional shared containment oracle. Candidate scoring asks
+  /// O(#views * #queries) overlapping equivalence questions; a shared
+  /// oracle amortizes them. Not owned; may be null (a call-local oracle is
+  /// used then).
+  ContainmentOracle* oracle = nullptr;
 };
 
 /// Enumerates candidate views for a workload: all proper selection-path
@@ -52,8 +59,14 @@ struct ViewSelectionOptions {
 /// This is the natural candidate space: prefix views always answer their
 /// own query. The k = 0 prefix (a view materializing essentially the
 /// whole document) is deliberately excluded.
+///
+/// Scoring batches the natural-candidate containment tests of each view
+/// against the whole workload through `ContainmentOracle::ContainedMany`
+/// before running the per-query engine decisions, which then hit the
+/// oracle's cache.
 std::vector<CandidateView> EnumerateCandidateViews(
-    const std::vector<WorkloadQuery>& workload);
+    const std::vector<WorkloadQuery>& workload,
+    ContainmentOracle* oracle = nullptr);
 
 /// Greedy weighted set cover over the candidate views: repeatedly picks
 /// the candidate covering the most yet-uncovered workload weight, up to

@@ -22,6 +22,21 @@ NodeId Tree::AddChild(NodeId parent, LabelId label) {
   return id;
 }
 
+void Tree::TruncateTo(int new_size) {
+  assert(new_size >= 1 && new_size <= size());
+  // Children lists hold ids in increasing order, so the node being removed
+  // (largest remaining id) is always the last entry of its parent's list.
+  for (NodeId n = size() - 1; n >= new_size; --n) {
+    std::vector<NodeId>& siblings =
+        children_[static_cast<size_t>(parents_[static_cast<size_t>(n)])];
+    assert(!siblings.empty() && siblings.back() == n);
+    siblings.pop_back();
+  }
+  labels_.resize(static_cast<size_t>(new_size));
+  parents_.resize(static_cast<size_t>(new_size));
+  children_.resize(static_cast<size_t>(new_size));
+}
+
 int Tree::Depth(NodeId n) const {
   int depth = 0;
   for (NodeId cur = n; parents_[static_cast<size_t>(cur)] != kNoNode;

@@ -55,6 +55,14 @@ class Tree {
   /// Ids of all nodes in the subtree rooted at `n`, in preorder.
   std::vector<NodeId> SubtreeNodes(NodeId n) const;
 
+  /// Removes every node with id >= `new_size`, keeping the first
+  /// `new_size` nodes (ids are topologically sorted, so the remainder is a
+  /// valid tree). Requires 1 <= new_size <= size(). Together with
+  /// `AddChild` this lets one tree buffer be reused across the
+  /// canonical-model enumeration: consecutive models share a prefix of
+  /// node ids, so only the changed suffix is rebuilt.
+  void TruncateTo(int new_size);
+
   /// Deep-copies the subtree rooted at `n` into a standalone tree.
   Tree ExtractSubtree(NodeId n) const;
 

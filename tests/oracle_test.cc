@@ -75,6 +75,56 @@ TEST(OracleTest, ClearResets) {
   EXPECT_EQ(oracle.misses(), 0u);
 }
 
+TEST(OracleTest, ContainedManyMatchesScalarCalls) {
+  ContainmentOracle oracle;
+  Pattern a = MustParseXPath("a/b");
+  Pattern b = MustParseXPath("a//b");
+  Pattern c = MustParseXPath("a//*/b");
+  std::vector<char> results =
+      oracle.ContainedMany({{&a, &b}, {&b, &a}, {&a, &c}, {&a, &b}});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0] != 0, Contained(a, b));
+  EXPECT_EQ(results[1] != 0, Contained(b, a));
+  EXPECT_EQ(results[2] != 0, Contained(a, c));
+  EXPECT_EQ(results[3] != 0, Contained(a, b));
+  // The duplicate pair answers from the entry filled by its first
+  // occurrence.
+  EXPECT_EQ(oracle.misses(), 3u);
+  EXPECT_EQ(oracle.hits(), 1u);
+}
+
+TEST(OracleTest, CanonicalFingerprintRespectsIsomorphism) {
+  EXPECT_EQ(MustParseXPath("a[b][c]/d").CanonicalFingerprint(),
+            MustParseXPath("a[c][b]/d").CanonicalFingerprint());
+  // Distinct edge types, labels and output nodes must all separate.
+  EXPECT_NE(MustParseXPath("a/b").CanonicalFingerprint(),
+            MustParseXPath("a//b").CanonicalFingerprint());
+  EXPECT_NE(MustParseXPath("a/b").CanonicalFingerprint(),
+            MustParseXPath("a/c").CanonicalFingerprint());
+  Pattern out_at_root = MustParseXPath("a/b");
+  out_at_root.set_output(out_at_root.root());
+  EXPECT_NE(MustParseXPath("a/b").CanonicalFingerprint(),
+            out_at_root.CanonicalFingerprint());
+  EXPECT_EQ(Pattern::Empty().CanonicalFingerprint(),
+            Pattern::Empty().CanonicalFingerprint());
+}
+
+TEST(OracleTest, BoundedCacheEvictsAndKeepsAnswering) {
+  ContainmentOracle oracle(/*capacity=*/8);
+  Rng rng(42);
+  PatternGenOptions options;
+  options.max_depth = 3;
+  options.max_branches = 2;
+  options.alphabet_size = 4;
+  for (int i = 0; i < 64; ++i) {
+    Pattern p1 = RandomPattern(rng, options);
+    Pattern p2 = RandomPattern(rng, options);
+    EXPECT_EQ(oracle.Contained(p1, p2), Contained(p1, p2));
+  }
+  EXPECT_LE(oracle.size(), 2 * oracle.capacity());
+  EXPECT_GT(oracle.evictions(), 0u);
+}
+
 TEST(OracleTest, RandomizedAgreement) {
   ContainmentOracle oracle;
   Rng rng(777);

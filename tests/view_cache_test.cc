@@ -112,5 +112,30 @@ TEST(ViewCacheTest, StatsAccumulate) {
   EXPECT_EQ(cache.stats().hits, 2u);
 }
 
+TEST(ViewCacheTest, AnswerManyMatchesSequentialAnswers) {
+  Tree doc = Doc("<a><b><c/></b><b><c/><d/></b><x><b><c/></b></x></a>");
+  std::vector<Pattern> queries = {
+      MustParseXPath("a/b/c"), MustParseXPath("a/b"),
+      MustParseXPath("a//b/d"), MustParseXPath("x/y"),
+      MustParseXPath("a/b/c")};
+
+  ViewCache batched(doc);
+  batched.AddView({"b-view", MustParseXPath("a/b")});
+  std::vector<CacheAnswer> answers = batched.AnswerMany(queries);
+
+  ViewCache sequential(doc);
+  sequential.AddView({"b-view", MustParseXPath("a/b")});
+  ASSERT_EQ(answers.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CacheAnswer expected = sequential.Answer(queries[i]);
+    EXPECT_EQ(answers[i].hit, expected.hit) << i;
+    EXPECT_EQ(answers[i].outputs, expected.outputs) << i;
+  }
+  EXPECT_EQ(batched.stats().queries, queries.size());
+  // The warm-up batch precomputed the equivalence tests, so the per-query
+  // scans answered containment questions from the oracle's cache.
+  EXPECT_GT(batched.oracle().hits(), 0u);
+}
+
 }  // namespace
 }  // namespace xpv
