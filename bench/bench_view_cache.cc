@@ -123,7 +123,7 @@ int main(int argc, char** argv) {
       "Claims: R(V(t)) = P(t); answering via the view is insensitive to "
       "document regions outside the view.");
   xpv::VerifyIdentity();
-  benchmark::Initialize(&argc, argv);
+  xpv::benchutil::InitWithJsonOutput(argc, argv, "BENCH_view_cache.json");
   benchmark::RunSpecifiedBenchmarks();
   return 0;
 }

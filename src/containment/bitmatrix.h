@@ -83,6 +83,19 @@ class BitMatrix {
     std::memset(words_.data(), 0, need * sizeof(BitWord));
   }
 
+  /// Shapes the matrix without zeroing. Rows carry garbage until written;
+  /// callers must write every row they later read (the anchored evaluation
+  /// path computes exactly the rows it consults, skipping the full-matrix
+  /// memset that would otherwise cost O(rows) on large documents).
+  void ResizeNoZero(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    words_per_row_ = BitWordsFor(cols);
+    const size_t need =
+        static_cast<size_t>(rows) * static_cast<size_t>(words_per_row_);
+    if (words_.size() < need) words_.resize(need);
+  }
+
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int words_per_row() const { return words_per_row_; }

@@ -1,26 +1,23 @@
 #include "containment/homomorphism.h"
 
-#include <algorithm>
 #include <bit>
 #include <vector>
 
 #include "containment/bitmatrix.h"
+#include "containment/pattern_masks.h"
 
 namespace xpv {
 namespace {
 
 /// Reusable buffers: the homomorphism test runs once per containment call
 /// (it is the PTIME fast path), so its setup cost must stay allocation-free.
+/// The label/edge masks live in the shared `PatternMasks`; only the DP rows
+/// and gather rows are local to this kernel.
 struct HomScratch {
-  std::vector<BitWord> down;        // to.size() rows x words.
+  PatternMasks masks;
+  std::vector<BitWord> down;  // to.size() rows x words.
   std::vector<BitWord> sub;
-  std::vector<BitWord> need_child;  // from.size() rows x words.
-  std::vector<BitWord> need_desc;
-  std::vector<BitWord> wildcard;    // 1 x words.
-  std::vector<BitWord> has_req;     // 1 x words: nodes with any children.
-  std::vector<BitWord> label_masks;
-  std::vector<LabelId> labels;
-  std::vector<BitWord> child_or;    // 1 x words.
+  std::vector<BitWord> child_or;  // 1 x words.
   std::vector<BitWord> sub_or;
 
   void Ensure(std::vector<BitWord>& v, size_t words) {
@@ -31,65 +28,6 @@ struct HomScratch {
 HomScratch& Scratch() {
   static thread_local HomScratch scratch;
   return scratch;
-}
-
-/// Builds the per-`from` masks into `s`. Returns the number of words per
-/// bit-row over `from`'s nodes.
-int BuildMasks(const Pattern& from, HomScratch& s) {
-  const int nf = from.size();
-  const int words = BitWordsFor(nf);
-  const size_t rows = static_cast<size_t>(nf) * static_cast<size_t>(words);
-  s.Ensure(s.need_child, rows);
-  s.Ensure(s.need_desc, rows);
-  s.Ensure(s.wildcard, static_cast<size_t>(words));
-  s.Ensure(s.has_req, static_cast<size_t>(words));
-  std::fill_n(s.need_child.begin(), rows, 0);
-  std::fill_n(s.need_desc.begin(), rows, 0);
-  std::fill_n(s.wildcard.begin(), static_cast<size_t>(words), 0);
-  std::fill_n(s.has_req.begin(), static_cast<size_t>(words), 0);
-
-  s.labels.clear();
-  for (NodeId q = 0; q < nf; ++q) {
-    if (!from.children(q).empty()) SetBit(s.has_req.data(), q);
-    for (NodeId c : from.children(q)) {
-      BitWord* row = (from.edge(c) == EdgeType::kChild ? s.need_child.data()
-                                                       : s.need_desc.data()) +
-                     static_cast<size_t>(q) * words;
-      SetBit(row, c);
-    }
-    const LabelId l = from.label(q);
-    if (l != LabelStore::kWildcard &&
-        std::find(s.labels.begin(), s.labels.end(), l) == s.labels.end()) {
-      s.labels.push_back(l);
-    }
-  }
-
-  const size_t mask_rows = s.labels.size() * static_cast<size_t>(words);
-  s.Ensure(s.label_masks, mask_rows);
-  std::fill_n(s.label_masks.begin(), mask_rows, 0);
-  for (NodeId q = 0; q < nf; ++q) {
-    const LabelId l = from.label(q);
-    if (l == LabelStore::kWildcard) {
-      SetBit(s.wildcard.data(), q);
-    } else {
-      const auto it = std::find(s.labels.begin(), s.labels.end(), l);
-      SetBit(s.label_masks.data() +
-                 static_cast<size_t>(it - s.labels.begin()) * words,
-             q);
-    }
-  }
-  for (size_t i = 0; i < s.labels.size(); ++i) {
-    OrRow(s.label_masks.data() + i * words, s.wildcard.data(), words);
-  }
-  return words;
-}
-
-const BitWord* CandidateRow(const HomScratch& s, LabelId tree_label,
-                            int words) {
-  const auto it = std::find(s.labels.begin(), s.labels.end(), tree_label);
-  if (it == s.labels.end()) return s.wildcard.data();
-  return s.label_masks.data() +
-         static_cast<size_t>(it - s.labels.begin()) * words;
 }
 
 /// Single-word kernel: every bit-row over `from` fits one BitWord, so the
@@ -110,15 +48,15 @@ bool HomSingleWord(const Pattern& from, const Pattern& to, HomScratch& s) {
       }
       sub_or |= s.sub[static_cast<size_t>(w)];
     }
-    BitWord res = *CandidateRow(s, to.label(p), 1);
+    BitWord res = *s.masks.CandidateRow(to.label(p));
     // Leaves of `from` have no witness requirements; only candidates with
     // children need the subset tests.
-    BitWord pending = res & s.has_req[0];
+    BitWord pending = res & s.masks.has_req()[0];
     while (pending != 0) {
       const int q = std::countr_zero(pending);
       pending &= pending - 1;
-      const BitWord nc = s.need_child[static_cast<size_t>(q)];
-      const BitWord nd = s.need_desc[static_cast<size_t>(q)];
+      const BitWord nc = *s.masks.need_child(static_cast<NodeId>(q));
+      const BitWord nd = *s.masks.need_desc(static_cast<NodeId>(q));
       if ((child_or & nc) != nc || (sub_or & nd) != nd) {
         res &= ~(BitWord{1} << q);
       }
@@ -151,18 +89,16 @@ bool HomMultiWord(const Pattern& from, const Pattern& to, HomScratch& s,
             words);
     }
     BitWord* down_row = s.down.data() + static_cast<size_t>(p) * words;
-    const BitWord* cand = CandidateRow(s, to.label(p), words);
+    const BitWord* cand = s.masks.CandidateRow(to.label(p));
     std::copy(cand, cand + words, down_row);
     for (int wi = 0; wi < words; ++wi) {
-      BitWord pending = down_row[wi] & s.has_req[static_cast<size_t>(wi)];
+      BitWord pending = down_row[wi] & s.masks.has_req()[wi];
       while (pending != 0) {
         const int b = std::countr_zero(pending);
         pending &= pending - 1;
-        const size_t q = static_cast<size_t>(wi) * kBitWordBits + b;
-        if (!ContainsAllBits(s.child_or.data(), s.need_child.data() + q * words,
-                             words) ||
-            !ContainsAllBits(s.sub_or.data(), s.need_desc.data() + q * words,
-                             words)) {
+        const NodeId q = static_cast<NodeId>(wi * kBitWordBits + b);
+        if (!ContainsAllBits(s.child_or.data(), s.masks.need_child(q), words) ||
+            !ContainsAllBits(s.sub_or.data(), s.masks.need_desc(q), words)) {
           down_row[wi] &= ~(BitWord{1} << b);
         }
       }
@@ -190,7 +126,8 @@ bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to) {
   // accumulates only child-edge children of p); descendant edges may
   // traverse any downward path of >= 1 edges (sub_or over all children).
   HomScratch& s = Scratch();
-  const int words = BuildMasks(from, s);
+  s.masks.Build(from);
+  const int words = s.masks.words();
   return words == 1 ? HomSingleWord(from, to, s)
                     : HomMultiWord(from, to, s, words);
 }

@@ -2,6 +2,13 @@
 
 namespace xpv {
 
+ContainmentOracle::Entry& ContainmentOracle::InsertEntry(const PairKey& key) {
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  if (cache_.size() >= capacity_) EvictHalf();
+  return cache_.emplace(key, Entry{0, 0, 0, 0, 0}).first->second;
+}
+
 bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
                                                const Pattern& p1,
                                                const Pattern& p2) {
@@ -9,28 +16,47 @@ bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
   const PairKey key = swapped ? PairKey{fp2, fp1} : PairKey{fp1, fp2};
   auto it = cache_.find(key);
   if (it != cache_.end()) {
-    const Entry& entry = it->second;
+    Entry& entry = it->second;
     if (swapped ? entry.rev_known : entry.fwd_known) {
+      ++hits_;
+      entry.ref = 1;
+      return swapped ? entry.rev : entry.fwd;
+    }
+  }
+  // Shard read-through: probe the (frozen) fallback table and copy whatever
+  // it knows about this pair, so repeated batches amortize across the
+  // shared oracle without locking.
+  if (fallback_ != nullptr) {
+    auto fit = fallback_->cache_.find(key);
+    if (fit != fallback_->cache_.end() &&
+        (swapped ? fit->second.rev_known : fit->second.fwd_known)) {
+      Entry& entry = InsertEntry(key);
+      const Entry& parent = fit->second;
+      known_directions_ += (parent.fwd_known && !entry.fwd_known) +
+                           (parent.rev_known && !entry.rev_known);
+      entry.fwd_known |= parent.fwd_known;
+      entry.fwd |= parent.fwd_known ? parent.fwd : 0;
+      entry.rev_known |= parent.rev_known;
+      entry.rev |= parent.rev_known ? parent.rev : 0;
+      entry.ref = 1;
       ++hits_;
       return swapped ? entry.rev : entry.fwd;
     }
-  } else {
-    if (cache_.size() >= capacity_) EvictHalf();
-    it = cache_.emplace(key, Entry{0, 0, 0, 0}).first;
   }
   ++misses_;
   // The free function computes through the thread-local ContainmentContext,
   // so scratch buffers stay warm across oracle instances as well as calls.
   const bool result = xpv::Contained(p1, p2);
-  Entry& entry = it->second;
+  Entry& entry = InsertEntry(key);
   if (swapped) {
+    if (!entry.rev_known) ++known_directions_;
     entry.rev_known = 1;
     entry.rev = result ? 1 : 0;
   } else {
+    if (!entry.fwd_known) ++known_directions_;
     entry.fwd_known = 1;
     entry.fwd = result ? 1 : 0;
   }
-  ++known_directions_;
   return result;
 }
 
@@ -69,17 +95,47 @@ std::vector<char> ContainmentOracle::ContainedMany(
   return results;
 }
 
+void ContainmentOracle::AbsorbFrom(const ContainmentOracle& other) {
+  for (const auto& [key, src] : other.cache_) {
+    if (!src.fwd_known && !src.rev_known) continue;
+    Entry& dst = InsertEntry(key);
+    known_directions_ += (src.fwd_known && !dst.fwd_known) +
+                         (src.rev_known && !dst.rev_known);
+    dst.fwd_known |= src.fwd_known;
+    dst.fwd |= src.fwd_known ? src.fwd : 0;
+    dst.rev_known |= src.rev_known;
+    dst.rev |= src.rev_known ? src.rev : 0;
+    dst.ref |= src.ref;
+  }
+  hits_ += other.hits_;
+  misses_ += other.misses_;
+  evictions_ += other.evictions_;
+}
+
 void ContainmentOracle::EvictHalf() {
-  bool drop = true;
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (drop) {
-      known_directions_ -= it->second.fwd_known + it->second.rev_known;
-      ++evictions_;
-      it = cache_.erase(it);
-    } else {
-      ++it;
+  // Second-chance (clock) sweep: entries hit since the last sweep trade
+  // their reference bit for survival, cold entries are evicted, until half
+  // the table is gone. A first pass over an all-hot table clears every
+  // reference bit, so the loop terminates on the second pass at the latest.
+  //
+  // Fresh entries enter with ref = 0: an entry earns survival by answering
+  // a lookup, which keeps one-shot pairs from displacing proven-hot ones.
+  // The flip side is that a single warm-up batch larger than the capacity
+  // can evict its own prefill before the engine reads it — size `capacity`
+  // to the batch (the parallel shards inherit the shared oracle's).
+  const size_t target = cache_.size() / 2;
+  while (cache_.size() > target) {
+    for (auto it = cache_.begin();
+         it != cache_.end() && cache_.size() > target;) {
+      if (it->second.ref != 0) {
+        it->second.ref = 0;
+        ++it;
+      } else {
+        known_directions_ -= it->second.fwd_known + it->second.rev_known;
+        ++evictions_;
+        it = cache_.erase(it);
+      }
     }
-    drop = !drop;
   }
 }
 

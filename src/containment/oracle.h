@@ -24,13 +24,22 @@ namespace xpv {
 /// share entries without ever materializing encoding strings. One cache
 /// entry carries both directions of a pattern pair (A ⊑ B and B ⊑ A) —
 /// equivalence tests touch a single entry — and the table is bounded:
-/// when `capacity` entries are reached, half the table is evicted (and
-/// counted in `evictions()`).
+/// when `capacity` entries are reached, half the table is evicted by a
+/// second-chance (clock) sweep — entries that have been hit since the
+/// last sweep get their reference bit cleared and survive, cold entries
+/// go first (counted in `evictions()`).
 ///
 /// All misses are computed through the thread-local `ContainmentContext`
 /// behind the free `Contained` function, so the canonical-model scratch
 /// buffers amortize across every oracle instance on the thread. Not
 /// thread-safe; use one oracle per thread.
+///
+/// For batch parallelism, an oracle can act as a *shard* over a shared
+/// read-only parent set via `set_fallback`: local misses first probe the
+/// fallback's table (copying what they find), and only then compute. A
+/// fleet of shards over one frozen shared oracle is lock-free; after the
+/// batch, `AbsorbFrom` merges each shard's entries (and counters) back
+/// into the shared oracle. This is the `ViewCache::AnswerMany` pipeline.
 class ContainmentOracle {
  public:
   static constexpr size_t kDefaultCapacity = 1 << 16;
@@ -55,6 +64,21 @@ class ContainmentOracle {
   /// duration of the call.
   std::vector<char> ContainedMany(
       const std::vector<std::pair<const Pattern*, const Pattern*>>& pairs);
+
+  /// Installs a read-only fallback probed on local misses (not owned; may
+  /// be null to detach). The fallback must not be mutated while this
+  /// oracle is in use — the parallel batch path freezes the shared oracle,
+  /// points every worker shard at it, and merges afterwards.
+  void set_fallback(const ContainmentOracle* fallback) {
+    fallback_ = fallback;
+  }
+
+  /// Merges every cached direction of `other` into this oracle: directions
+  /// this table does not know are copied (evicting if the table is full);
+  /// directions both know are left as-is (they agree — containment is
+  /// deterministic). Also folds `other`'s hit/miss/eviction counters into
+  /// this oracle's, so a batch's sharded statistics survive the merge.
+  void AbsorbFrom(const ContainmentOracle& other);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -90,11 +114,16 @@ class ContainmentOracle {
     uint8_t fwd : 1;
     uint8_t rev_known : 1;
     uint8_t rev : 1;
+    /// Second-chance reference bit: set when the entry answers a lookup,
+    /// cleared by the eviction sweep.
+    uint8_t ref : 1;
   };
 
   /// Looks up / computes one direction given precomputed fingerprints.
   bool ContainedByFingerprint(uint64_t fp1, uint64_t fp2, const Pattern& p1,
                               const Pattern& p2);
+  /// Inserts `key` (evicting if full) and returns its entry.
+  Entry& InsertEntry(const PairKey& key);
   void EvictHalf();
 
   std::unordered_map<PairKey, Entry, PairKeyHash> cache_;
@@ -103,6 +132,7 @@ class ContainmentOracle {
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
+  const ContainmentOracle* fallback_ = nullptr;
 };
 
 }  // namespace xpv

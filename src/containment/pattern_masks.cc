@@ -1,0 +1,61 @@
+#include "containment/pattern_masks.h"
+
+#include <algorithm>
+
+namespace xpv {
+
+void PatternMasks::EnsureZeroed(std::vector<BitWord>* v, size_t words) {
+  if (v->size() < words) v->resize(words);
+  std::fill_n(v->begin(), words, 0);
+}
+
+void PatternMasks::Build(const Pattern& p) {
+  const int np = p.size();
+  words_ = BitWordsFor(np);
+  const size_t rows = static_cast<size_t>(np) * static_cast<size_t>(words_);
+  EnsureZeroed(&need_child_, rows);
+  EnsureZeroed(&need_desc_, rows);
+  EnsureZeroed(&wildcard_, static_cast<size_t>(words_));
+  EnsureZeroed(&has_req_, static_cast<size_t>(words_));
+
+  labels_.clear();
+  for (NodeId q = 0; q < np; ++q) {
+    if (!p.children(q).empty()) SetBit(has_req_.data(), q);
+    for (NodeId c : p.children(q)) {
+      BitWord* row = (p.edge(c) == EdgeType::kChild ? need_child_.data()
+                                                    : need_desc_.data()) +
+                     static_cast<size_t>(q) * words_;
+      SetBit(row, c);
+    }
+    const LabelId l = p.label(q);
+    if (l != LabelStore::kWildcard &&
+        std::find(labels_.begin(), labels_.end(), l) == labels_.end()) {
+      labels_.push_back(l);
+    }
+  }
+
+  EnsureZeroed(&label_masks_, labels_.size() * static_cast<size_t>(words_));
+  for (NodeId q = 0; q < np; ++q) {
+    const LabelId l = p.label(q);
+    if (l == LabelStore::kWildcard) {
+      SetBit(wildcard_.data(), q);
+    } else {
+      const auto it = std::find(labels_.begin(), labels_.end(), l);
+      SetBit(label_masks_.data() +
+                 static_cast<size_t>(it - labels_.begin()) * words_,
+             q);
+    }
+  }
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    OrRow(label_masks_.data() + i * words_, wildcard_.data(), words_);
+  }
+}
+
+const BitWord* PatternMasks::CandidateRow(LabelId label) const {
+  const auto it = std::find(labels_.begin(), labels_.end(), label);
+  if (it == labels_.end()) return wildcard_.data();
+  return label_masks_.data() +
+         static_cast<size_t>(it - labels_.begin()) * words_;
+}
+
+}  // namespace xpv

@@ -1,0 +1,69 @@
+#ifndef XPV_CONTAINMENT_PATTERN_MASKS_H_
+#define XPV_CONTAINMENT_PATTERN_MASKS_H_
+
+#include <vector>
+
+#include "containment/bitmatrix.h"
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// The per-pattern bit masks shared by every bit-parallel kernel: the
+/// embedding DP over documents (`EvalScratch`) and the pattern-homomorphism
+/// test both need, for a pattern P with one bit per node q,
+///
+///   need_child(q) = q's children reached by child edges,
+///   need_desc(q)  = q's children reached by descendant edges,
+///   wildcard      = the *-labeled nodes,
+///   has_req       = the nodes with at least one child,
+///   CandidateRow(l) = the nodes a target node labeled `l` can host
+///                     (exact-label matches plus every wildcard node).
+///
+/// Kernel-specific details (the homomorphism test's output-bit clearing and
+/// child-edge-only witness join, the evaluator's tree-row storage) stay in
+/// the kernels; this object only owns the label/edge mask setup.
+///
+/// `Build` reuses the underlying buffers, so one `PatternMasks` amortizes
+/// across calls exactly like the kernels' scratch state.
+class PatternMasks {
+ public:
+  PatternMasks() = default;
+
+  PatternMasks(const PatternMasks&) = delete;
+  PatternMasks& operator=(const PatternMasks&) = delete;
+
+  /// (Re)builds all masks for `p` (nonempty).
+  void Build(const Pattern& p);
+
+  /// Words per bit-row over the pattern's nodes.
+  int words() const { return words_; }
+
+  const BitWord* need_child(NodeId q) const {
+    return need_child_.data() + static_cast<size_t>(q) * words_;
+  }
+  const BitWord* need_desc(NodeId q) const {
+    return need_desc_.data() + static_cast<size_t>(q) * words_;
+  }
+  const BitWord* wildcard() const { return wildcard_.data(); }
+  const BitWord* has_req() const { return has_req_.data(); }
+
+  /// The candidate row for a target node labeled `label`: bits of the
+  /// pattern nodes whose label matches (their own label or '*'). Labels
+  /// not occurring in the pattern share the wildcard row.
+  const BitWord* CandidateRow(LabelId label) const;
+
+ private:
+  static void EnsureZeroed(std::vector<BitWord>* v, size_t words);
+
+  int words_ = 0;
+  std::vector<BitWord> need_child_;  // One row per pattern node.
+  std::vector<BitWord> need_desc_;
+  std::vector<BitWord> wildcard_;  // Single rows.
+  std::vector<BitWord> has_req_;
+  std::vector<LabelId> labels_;      // Distinct non-* labels in p ...
+  std::vector<BitWord> label_masks_; // ... and their candidate rows.
+};
+
+}  // namespace xpv
+
+#endif  // XPV_CONTAINMENT_PATTERN_MASKS_H_

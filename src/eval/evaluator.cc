@@ -8,55 +8,6 @@
 
 namespace xpv {
 
-void EvalScratch::BuildPatternMasks(const Pattern& p) {
-  const int np = p.size();
-  words_ = BitWordsFor(np);
-  need_child_.Reset(np, np);
-  need_desc_.Reset(np, np);
-  if (static_cast<int>(wildcard_mask_.size()) < words_) {
-    wildcard_mask_.resize(static_cast<size_t>(words_));
-    has_req_mask_.resize(static_cast<size_t>(words_));
-    child_or_.resize(static_cast<size_t>(words_));
-    sub_or_.resize(static_cast<size_t>(words_));
-  }
-  ZeroRow(wildcard_mask_.data(), words_);
-  ZeroRow(has_req_mask_.data(), words_);
-
-  mask_labels_.clear();
-  for (NodeId q = 0; q < np; ++q) {
-    if (!p.children(q).empty()) SetBit(has_req_mask_.data(), q);
-    for (NodeId c : p.children(q)) {
-      if (p.edge(c) == EdgeType::kChild) {
-        need_child_.Set(q, c);
-      } else {
-        need_desc_.Set(q, c);
-      }
-    }
-    const LabelId l = p.label(q);
-    if (l != LabelStore::kWildcard &&
-        std::find(mask_labels_.begin(), mask_labels_.end(), l) ==
-            mask_labels_.end()) {
-      mask_labels_.push_back(l);
-    }
-  }
-
-  // Candidate row per distinct pattern label: wildcard nodes match any tree
-  // label, exact nodes match their own.
-  label_masks_.Reset(static_cast<int>(mask_labels_.size()), np);
-  for (NodeId q = 0; q < np; ++q) {
-    const LabelId l = p.label(q);
-    if (l == LabelStore::kWildcard) {
-      SetBit(wildcard_mask_.data(), q);
-    } else {
-      const auto it = std::find(mask_labels_.begin(), mask_labels_.end(), l);
-      label_masks_.Set(static_cast<int>(it - mask_labels_.begin()), q);
-    }
-  }
-  for (int i = 0; i < label_masks_.rows(); ++i) {
-    OrRow(label_masks_.row(i), wildcard_mask_.data(), words_);
-  }
-}
-
 void EvalScratch::ComputeRow(NodeId v) {
   const Tree& t = *tree_;
   // Word-parallel child-witness join: one OR per tree child accumulates,
@@ -72,25 +23,18 @@ void EvalScratch::ComputeRow(NodeId v) {
   // Candidates by label, then per candidate two subset tests replace the
   // per-child scan of the naive kernel.
   BitWord* down_row = down_.row(v);
-  const LabelId tl = t.label(v);
-  const auto it = std::find(mask_labels_.begin(), mask_labels_.end(), tl);
-  if (it == mask_labels_.end()) {
-    std::copy(wildcard_mask_.data(), wildcard_mask_.data() + words_, down_row);
-  } else {
-    const BitWord* cand =
-        label_masks_.row(static_cast<int>(it - mask_labels_.begin()));
-    std::copy(cand, cand + words_, down_row);
-  }
+  const BitWord* cand = masks_.CandidateRow(t.label(v));
+  std::copy(cand, cand + words_, down_row);
   for (int wi = 0; wi < words_; ++wi) {
     // Leaf pattern nodes have no witness requirements — only candidates
     // with children need the subset tests.
-    BitWord pending = down_row[wi] & has_req_mask_[static_cast<size_t>(wi)];
+    BitWord pending = down_row[wi] & masks_.has_req()[wi];
     while (pending != 0) {
       const int b = std::countr_zero(pending);
       pending &= pending - 1;
       const NodeId q = static_cast<NodeId>(wi * kBitWordBits + b);
-      if (!ContainsAllBits(child_or_.data(), need_child_.row(q), words_) ||
-          !ContainsAllBits(sub_or_.data(), need_desc_.row(q), words_)) {
+      if (!ContainsAllBits(child_or_.data(), masks_.need_child(q), words_) ||
+          !ContainsAllBits(sub_or_.data(), masks_.need_desc(q), words_)) {
         down_row[wi] &= ~(BitWord{1} << b);
       }
     }
@@ -107,12 +51,58 @@ void EvalScratch::Compute(const Pattern& p, const Tree& t,
   assert(!p.IsEmpty());
   pattern_ = &p;
   tree_ = &t;
-  BuildPatternMasks(p);
+  masks_.Build(p);
+  words_ = masks_.words();
+  if (static_cast<int>(child_or_.size()) < words_) {
+    child_or_.resize(static_cast<size_t>(words_));
+    sub_or_.resize(static_cast<size_t>(words_));
+  }
   const int rows = std::max(t.size(), row_capacity_hint);
   down_.Reset(rows, p.size());
   sub_.Reset(rows, p.size());
   // Tree ids are topologically sorted; reverse order visits children first.
   for (NodeId v = t.size() - 1; v >= 0; --v) ComputeRow(v);
+}
+
+void EvalScratch::ComputeAnchored(const Pattern& p, const Tree& t,
+                                  const std::vector<NodeId>& anchors) {
+  assert(!p.IsEmpty());
+  pattern_ = &p;
+  tree_ = &t;
+  masks_.Build(p);
+  words_ = masks_.words();
+  if (static_cast<int>(child_or_.size()) < words_) {
+    child_or_.resize(static_cast<size_t>(words_));
+    sub_or_.resize(static_cast<size_t>(words_));
+  }
+  down_.ResizeNoZero(t.size(), p.size());
+  sub_.ResizeNoZero(t.size(), p.size());
+
+  // Collect the union of the anchor subtrees (anchors may be nested; the
+  // visited row deduplicates). The union is closed under tree children, so
+  // computing exactly these rows children-first keeps every row that
+  // `ComputeRow` consults valid.
+  const int tree_words = BitWordsFor(t.size());
+  if (static_cast<int>(visited_.size()) < tree_words) {
+    visited_.resize(static_cast<size_t>(tree_words));
+  }
+  std::fill_n(visited_.begin(), static_cast<size_t>(tree_words), 0);
+  anchored_nodes_.clear();
+  dfs_stack_.clear();
+  for (NodeId a : anchors) dfs_stack_.push_back(a);
+  while (!dfs_stack_.empty()) {
+    const NodeId v = dfs_stack_.back();
+    dfs_stack_.pop_back();
+    if (TestBit(visited_.data(), v)) continue;
+    SetBit(visited_.data(), v);
+    anchored_nodes_.push_back(v);
+    for (NodeId w : t.children(v)) dfs_stack_.push_back(w);
+  }
+  // Children have larger ids than their parents; decreasing id order is
+  // children-first.
+  std::sort(anchored_nodes_.begin(), anchored_nodes_.end(),
+            std::greater<NodeId>());
+  for (NodeId v : anchored_nodes_) ComputeRow(v);
 }
 
 void EvalScratch::Update(const Tree& t, NodeId suffix_start,
@@ -149,57 +139,140 @@ Evaluator::Evaluator(const Pattern& p, const Tree& t)
   scratch_.Compute(p, t);
 }
 
+Evaluator::Evaluator(const Pattern& p, const Tree& t,
+                     const std::vector<NodeId>& anchors)
+    : pattern_(p), tree_(t), anchored_(true) {
+  assert(!p.IsEmpty());
+  SelectionInfo info(p);
+  selection_path_ = info.path();
+  scratch_.ComputeAnchored(p, t, anchors);
+}
+
 std::vector<NodeId> Evaluator::RunSelectionSweep(
-    std::vector<char> current) const {
-  const size_t nt = static_cast<size_t>(tree_.size());
+    std::vector<BitWord> current) const {
+  // The U_k sets are bit rows over tree nodes. Each step runs in one of
+  // two modes:
+  //  - *sparse*: iterate only the set bits of the frontier — children for
+  //    a child edge, a depth-first subtree walk for a descendant edge.
+  //    Sweeps anchored at a few small subtrees (the materialized-view
+  //    serving path) never touch the rest of the document.
+  //  - *linear*: one pass over all nodes in id order with word-packed
+  //    reach bits — dense frontiers (root-anchored or weak evaluation
+  //    over large documents) keep the old sweep's locality at an eighth
+  //    of the memory traffic.
+  // Child edges pick by frontier popcount (their sparse cost is bounded by
+  // the frontier's child count); descendant edges go sparse only on
+  // anchored evaluators, whose subtree union bounds the walk.
+  const int nt = tree_.size();
+  const int words = static_cast<int>(current.size());
+  std::vector<BitWord> next(static_cast<size_t>(words));
+  std::vector<BitWord> reach;   // Descendant-step reached marker (lazy).
+  std::vector<NodeId> stack;    // Descendant-step DFS scratch.
   for (size_t k = 1; k < selection_path_.size(); ++k) {
-    NodeId sk = selection_path_[k];
-    std::vector<char> next(nt, 0);
+    if (!AnyBit(current.data(), words)) return {};
+    const NodeId sk = selection_path_[k];
+    ZeroRow(next.data(), words);
     if (pattern_.edge(sk) == EdgeType::kChild) {
-      for (NodeId v = 1; v < tree_.size(); ++v) {
-        if (current[static_cast<size_t>(tree_.parent(v))] != 0 &&
-            scratch_.Down(v, sk)) {
-          next[static_cast<size_t>(v)] = 1;
+      // Anchored sweeps are always sparse (no popcount pass needed).
+      int frontier = 0;
+      if (!anchored_) {
+        for (int wi = 0; wi < words; ++wi) {
+          frontier += std::popcount(current[static_cast<size_t>(wi)]);
+        }
+      }
+      if (anchored_ || frontier <= nt / (2 * kBitWordBits)) {
+        for (int wi = 0; wi < words; ++wi) {
+          BitWord w = current[static_cast<size_t>(wi)];
+          while (w != 0) {
+            const NodeId u =
+                static_cast<NodeId>(wi * kBitWordBits + std::countr_zero(w));
+            w &= w - 1;
+            for (NodeId v : tree_.children(u)) {
+              if (scratch_.Down(v, sk)) SetBit(next.data(), v);
+            }
+          }
+        }
+      } else {
+        for (NodeId v = 1; v < nt; ++v) {
+          if (TestBit(current.data(), tree_.parent(v)) &&
+              scratch_.Down(v, sk)) {
+            SetBit(next.data(), v);
+          }
+        }
+      }
+    } else if (anchored_) {
+      // Descendants of the current set: depth-first from each member, with
+      // a reached-marker row so overlapping subtrees are walked once.
+      // Everything popped from the stack is a proper descendant of some
+      // member and thus next-eligible — including members nested under
+      // other members (the linear pass's `reach`). Descent below a member
+      // is left to its own source iteration, so each node is pushed (and
+      // its children scanned) at most once per level.
+      reach.assign(static_cast<size_t>(words), 0);
+      for (int wi = 0; wi < words; ++wi) {
+        BitWord w = current[static_cast<size_t>(wi)];
+        while (w != 0) {
+          const NodeId u =
+              static_cast<NodeId>(wi * kBitWordBits + std::countr_zero(w));
+          w &= w - 1;
+          for (NodeId v : tree_.children(u)) stack.push_back(v);
+          while (!stack.empty()) {
+            const NodeId v = stack.back();
+            stack.pop_back();
+            if (scratch_.Down(v, sk)) SetBit(next.data(), v);
+            if (TestBit(reach.data(), v) || TestBit(current.data(), v)) {
+              continue;  // Subtree covered (here or by v's own iteration).
+            }
+            SetBit(reach.data(), v);
+            for (NodeId c : tree_.children(v)) stack.push_back(c);
+          }
         }
       }
     } else {
-      // reach[v] = some proper ancestor of v is in `current`.
-      std::vector<char> reach(nt, 0);
-      for (NodeId v = 1; v < tree_.size(); ++v) {
-        NodeId par = tree_.parent(v);
-        reach[static_cast<size_t>(v)] =
-            (current[static_cast<size_t>(par)] != 0 ||
-             reach[static_cast<size_t>(par)] != 0)
-                ? 1
-                : 0;
-        if (reach[static_cast<size_t>(v)] != 0 && scratch_.Down(v, sk)) {
-          next[static_cast<size_t>(v)] = 1;
-        }
+      // Linear reach pass: reach(v) = some proper ancestor of v is in the
+      // frontier; ids are topological so one forward scan suffices. The
+      // propagation is branchless — only the (rare) frontier-and-down hits
+      // branch.
+      reach.assign(static_cast<size_t>(words), 0);
+      for (NodeId v = 1; v < nt; ++v) {
+        const NodeId par = tree_.parent(v);
+        const BitWord r = ((current[static_cast<size_t>(par >> 6)] |
+                            reach[static_cast<size_t>(par >> 6)]) >>
+                           (par & 63)) &
+                          1;
+        reach[static_cast<size_t>(v >> 6)] |= r << (v & 63);
+        if (r != 0 && scratch_.Down(v, sk)) SetBit(next.data(), v);
       }
     }
     current.swap(next);
   }
   std::vector<NodeId> outputs;
-  for (NodeId v = 0; v < tree_.size(); ++v) {
-    if (current[static_cast<size_t>(v)] != 0) outputs.push_back(v);
+  for (int wi = 0; wi < words; ++wi) {
+    BitWord w = current[static_cast<size_t>(wi)];
+    while (w != 0) {
+      outputs.push_back(
+          static_cast<NodeId>(wi * kBitWordBits + std::countr_zero(w)));
+      w &= w - 1;
+    }
   }
   return outputs;
 }
 
 std::vector<NodeId> Evaluator::OutputsAnchoredAt(NodeId anchor) const {
-  std::vector<char> initial(static_cast<size_t>(tree_.size()), 0);
+  std::vector<BitWord> initial(
+      static_cast<size_t>(BitWordsFor(tree_.size())));
   if (CanEmbedAt(selection_path_[0], anchor)) {
-    initial[static_cast<size_t>(anchor)] = 1;
+    SetBit(initial.data(), anchor);
   }
   return RunSelectionSweep(std::move(initial));
 }
 
 std::vector<NodeId> Evaluator::WeakOutputs() const {
-  const size_t nt = static_cast<size_t>(tree_.size());
   NodeId s0 = selection_path_[0];
-  std::vector<char> initial(nt, 0);
+  std::vector<BitWord> initial(
+      static_cast<size_t>(BitWordsFor(tree_.size())));
   for (NodeId v = 0; v < tree_.size(); ++v) {
-    if (scratch_.Down(v, s0)) initial[static_cast<size_t>(v)] = 1;
+    if (scratch_.Down(v, s0)) SetBit(initial.data(), v);
   }
   return RunSelectionSweep(std::move(initial));
 }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "containment/bitmatrix.h"
+#include "containment/pattern_masks.h"
 #include "pattern/pattern.h"
 #include "xml/tree.h"
 
@@ -20,12 +21,15 @@ namespace xpv {
 /// makes the inner child-witness join word-parallel: a single OR of the
 /// child rows answers "which pattern subtrees embed at some child of v"
 /// for every pattern node at once, and per pattern node the join reduces
-/// to two word-wise subset tests against precomputed child masks.
+/// to two word-wise subset tests against the shared `PatternMasks`.
 ///
 /// The object owns all buffers and reuses them across `Compute` calls
 /// (no allocation once warm), and `Update` recomputes only the rows whose
 /// tree subtrees changed — the scratch-reuse and incremental paths of the
-/// canonical-model containment loop.
+/// canonical-model containment loop. `ComputeAnchored` restricts the DP to
+/// the union of given subtrees, the fast path behind answering queries
+/// from materialized views (cost proportional to the view result, not the
+/// document).
 class EvalScratch {
  public:
   EvalScratch() = default;
@@ -37,6 +41,13 @@ class EvalScratch {
   /// `t` must stay alive until the next Compute. `row_capacity_hint`
   /// pre-sizes the tables for trees that will later grow via `Update`.
   void Compute(const Pattern& p, const Tree& t, int row_capacity_hint = 0);
+
+  /// DP restricted to the union of the subtrees rooted at `anchors`: only
+  /// those rows are computed (children-first), all other rows hold garbage
+  /// and must not be consulted. O(|union| * |p| / 64) — independent of the
+  /// document size outside the anchored subtrees.
+  void ComputeAnchored(const Pattern& p, const Tree& t,
+                       const std::vector<NodeId>& anchors);
 
   /// Incremental recompute after the tree changed: every node with id
   /// >= `suffix_start` is new or rebuilt (the tree may have grown or
@@ -58,7 +69,6 @@ class EvalScratch {
   }
 
  private:
-  void BuildPatternMasks(const Pattern& p);
   void ComputeRow(NodeId v);
 
   const Pattern* pattern_ = nullptr;
@@ -68,17 +78,17 @@ class EvalScratch {
   BitMatrix down_;  // rows = tree nodes, cols = pattern nodes.
   BitMatrix sub_;
 
-  // Per-pattern masks, rebuilt by Compute:
-  BitMatrix need_child_;  // row q = q's children reached by child edges.
-  BitMatrix need_desc_;   // row q = q's children reached by // edges.
-  std::vector<BitWord> wildcard_mask_;   // bits of *-labeled pattern nodes.
-  std::vector<BitWord> has_req_mask_;    // bits of pattern nodes with children.
-  std::vector<LabelId> mask_labels_;     // distinct non-* labels in p ...
-  BitMatrix label_masks_;                // ... and their candidate rows.
+  // Per-pattern label/edge masks (shared helper, rebuilt by Compute).
+  PatternMasks masks_;
 
   // Per-row gather scratch.
   std::vector<BitWord> child_or_;
   std::vector<BitWord> sub_or_;
+
+  // ComputeAnchored scratch.
+  std::vector<BitWord> visited_;
+  std::vector<NodeId> anchored_nodes_;
+  std::vector<NodeId> dfs_stack_;
 };
 
 /// Decides embedding questions for one (pattern, tree) pair
@@ -92,12 +102,23 @@ class EvalScratch {
 /// (pass 1), then a placement sweep along the selection path: U_0 =
 /// anchors, and U_k = nodes v with down(s_k, v) whose parent (resp. some
 /// proper ancestor) lies in U_{k-1}. The output set is U_d. Independence
-/// of branches makes this exact. Total cost O(|P| * |t|) with word-packed
-/// constants.
+/// of branches makes this exact. The U_k sets are bit rows over tree
+/// nodes; sparse frontiers are stepped by iterating set bits only (so
+/// anchored sweeps over small subtrees never scan the whole document),
+/// dense ones by a linear word-packed pass. Total cost O(|P| * |t|) with
+/// word-packed constants.
 class Evaluator {
  public:
-  /// Builds the DP tables. `p` must be nonempty; both must outlive this.
+  /// Builds the DP tables over the full document. `p` must be nonempty;
+  /// both must outlive this.
   Evaluator(const Pattern& p, const Tree& t);
+
+  /// Builds the DP tables only over the union of the subtrees rooted at
+  /// `anchors` (see `EvalScratch::ComputeAnchored`). Only
+  /// `OutputsAnchoredAt(a)` for `a` inside that union is valid on an
+  /// evaluator constructed this way; `Outputs`/`WeakOutputs` are not.
+  Evaluator(const Pattern& p, const Tree& t,
+            const std::vector<NodeId>& anchors);
 
   /// down(p,v): can the pattern subtree rooted at `pattern_node` embed with
   /// pattern_node ↦ tree_node?
@@ -116,12 +137,13 @@ class Evaluator {
   std::vector<NodeId> WeakOutputs() const;
 
  private:
-  std::vector<NodeId> RunSelectionSweep(std::vector<char> current) const;
+  std::vector<NodeId> RunSelectionSweep(std::vector<BitWord> current) const;
 
   const Pattern& pattern_;
   const Tree& tree_;
   std::vector<NodeId> selection_path_;
   EvalScratch scratch_;
+  bool anchored_ = false;  // Anchored-subset DP (sparse sweeps only).
 };
 
 /// P(t) for a (possibly empty) pattern.

@@ -17,18 +17,23 @@ NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth) {
   return NaturalCandidates{std::move(sub), std::move(relaxed), coincide};
 }
 
-void AppendNaturalCandidatePairs(
-    const Pattern& p, const Pattern& v, int view_depth,
-    std::deque<Pattern>* compositions,
-    std::vector<std::pair<const Pattern*, const Pattern*>>* pairs) {
-  NaturalCandidates natural = MakeNaturalCandidates(p, view_depth);
-  compositions->push_back(Compose(natural.sub, v));
-  if (!natural.coincide) {
-    compositions->push_back(Compose(natural.relaxed, v));
+CandidateBundle MakeCandidateBundle(const Pattern& p, const Pattern& v,
+                                    int view_depth) {
+  CandidateBundle bundle;
+  bundle.natural = MakeNaturalCandidates(p, view_depth);
+  bundle.sub_composition = Compose(bundle.natural.sub, v);
+  if (!bundle.natural.coincide) {
+    bundle.relaxed_composition = Compose(bundle.natural.relaxed, v);
   }
-  const size_t n = natural.coincide ? 1 : 2;
-  for (size_t i = compositions->size() - n; i < compositions->size(); ++i) {
-    pairs->emplace_back(&(*compositions)[i], &p);
+  return bundle;
+}
+
+void AppendBundlePairs(
+    const CandidateBundle& bundle, const Pattern& p,
+    std::vector<std::pair<const Pattern*, const Pattern*>>* pairs) {
+  pairs->emplace_back(&bundle.sub_composition, &p);
+  if (!bundle.natural.coincide) {
+    pairs->emplace_back(&bundle.relaxed_composition, &p);
   }
 }
 

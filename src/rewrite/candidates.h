@@ -1,7 +1,6 @@
 #ifndef XPV_REWRITE_CANDIDATES_H_
 #define XPV_REWRITE_CANDIDATES_H_
 
-#include <deque>
 #include <utility>
 #include <vector>
 
@@ -26,18 +25,38 @@ struct NaturalCandidates {
 /// `bench_candidates_linear`. Requires 0 <= view_depth <= depth(p).
 NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth);
 
-/// Appends the natural-candidate compositions of query `p` over view `v`
-/// (view depth `view_depth`) to `*compositions`, and for each one the
-/// *forward* containment question (composition ⊑ p) to `*pairs`. These are
-/// exactly the first-direction tests `DecideRewrite` issues in step 2, so
-/// batch warm-up paths (`ViewCache::AnswerMany`, view selection scoring)
-/// push `*pairs` through `ContainmentOracle::ContainedMany` and the engine
-/// then answers from the cache; the reverse directions stay lazy (they are
-/// only needed when a forward test holds). The pairs point into
-/// `*compositions` — a deque, so growth never invalidates them.
-void AppendNaturalCandidatePairs(
-    const Pattern& p, const Pattern& v, int view_depth,
-    std::deque<Pattern>* compositions,
+/// A (query, view) candidate set built once and shared: the natural
+/// candidates plus their compositions with the view — everything the
+/// engine's step-2 equivalence tests consume. Batch paths
+/// (`ViewCache::AnswerMany`, view-selection scoring) build one bundle per
+/// (query, view) pair, push its forward containment pairs through
+/// `ContainmentOracle::ContainedMany`, and then hand the same bundle to
+/// `DecideRewrite` — which would otherwise reconstruct all four patterns
+/// from scratch (this was the duplicated polynomial setup called out in
+/// ROADMAP.md).
+struct CandidateBundle {
+  NaturalCandidates natural{Pattern::Empty(), Pattern::Empty(), true};
+  Pattern sub_composition = Pattern::Empty();      ///< natural.sub ∘ V.
+  Pattern relaxed_composition = Pattern::Empty();  ///< natural.relaxed ∘ V
+                                                   ///< (empty if coincide).
+};
+
+/// Builds the bundle for query `p` over view `v` with depth(v) ==
+/// `view_depth`. The caller must have checked
+/// `ViolatesBasicNecessaryConditions(p, v)` already (bundles only exist
+/// for admissible pairs; `DecideRewrite` relies on this to skip step 1).
+CandidateBundle MakeCandidateBundle(const Pattern& p, const Pattern& v,
+                                    int view_depth);
+
+/// Appends the *forward* containment questions of `bundle` (composition ⊑
+/// p, for each distinct candidate) to `*pairs`. These are exactly the
+/// first-direction tests `DecideRewrite` issues in step 2, so warming them
+/// through `ContainmentOracle::ContainedMany` lets the engine answer from
+/// the cache; the reverse directions stay lazy (they are only needed when
+/// a forward test holds). The appended pointers point into `bundle` and
+/// `p`, which must stay alive and unmoved for the duration of use.
+void AppendBundlePairs(
+    const CandidateBundle& bundle, const Pattern& p,
     std::vector<std::pair<const Pattern*, const Pattern*>>* pairs);
 
 }  // namespace xpv

@@ -25,22 +25,25 @@ std::string ChainToString(const CompletenessFinding& finding) {
 }  // namespace
 
 RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
-                            const RewriteOptions& options) {
+                            const RewriteOptions& options,
+                            const CandidateBundle* precomputed) {
   assert(!p.IsEmpty() && !v.IsEmpty());
   RewriteResult result;
 
-  // Step 1: necessary conditions.
-  if (auto violation = ViolatesBasicNecessaryConditions(p, v)) {
-    result.status = RewriteStatus::kNotExists;
-    result.violation = violation;
-    result.explanation =
-        "no rewriting: " + RuleName(violation->rule) + " — " +
-        violation->detail;
-    return result;
+  // Step 1: necessary conditions. A precomputed bundle certifies that the
+  // caller (batch warm-up, view-pruning index) already checked them.
+  if (precomputed == nullptr) {
+    if (auto violation = ViolatesBasicNecessaryConditions(p, v)) {
+      result.status = RewriteStatus::kNotExists;
+      result.violation = violation;
+      result.explanation =
+          "no rewriting: " + RuleName(violation->rule) + " — " +
+          violation->detail;
+      return result;
+    }
+  } else {
+    assert(!ViolatesBasicNecessaryConditions(p, v).has_value());
   }
-
-  SelectionInfo vi(v);
-  const int k = vi.depth();
 
   // Step 2: construct and test the natural candidates. With an oracle both
   // directions of an equivalence land in one two-direction cache entry
@@ -51,10 +54,15 @@ RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
     return options.oracle != nullptr ? options.oracle->Equivalent(a, b)
                                      : Equivalent(a, b);
   };
-  NaturalCandidates candidates = MakeNaturalCandidates(p, k);
+  CandidateBundle local;
+  if (precomputed == nullptr) {
+    local = MakeCandidateBundle(p, v, SelectionInfo(v).depth());
+  }
+  const CandidateBundle& bundle = precomputed != nullptr ? *precomputed : local;
+  const NaturalCandidates& candidates = bundle.natural;
   {
     ++result.stats.equivalence_tests;
-    if (equivalent(Compose(candidates.sub, v), p)) {
+    if (equivalent(bundle.sub_composition, p)) {
       result.status = RewriteStatus::kFound;
       result.rewriting = candidates.sub;
       result.explanation = "found: the natural candidate P>=k (" +
@@ -64,7 +72,7 @@ RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
   }
   if (!candidates.coincide) {
     ++result.stats.equivalence_tests;
-    if (equivalent(Compose(candidates.relaxed, v), p)) {
+    if (equivalent(bundle.relaxed_composition, p)) {
       result.status = RewriteStatus::kFound;
       result.rewriting = candidates.relaxed;
       result.explanation = "found: the natural candidate P>=k_r// (" +

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "pattern/pattern.h"
+#include "rewrite/candidates.h"
 #include "rewrite/rules.h"
 
 namespace xpv {
@@ -68,8 +69,17 @@ struct RewriteOptions {
 ///      the failed candidates certify kNotExists;
 ///   4. otherwise optional brute force (Prop 3.4) within a budget; a hit
 ///      yields kFound, exhaustion yields kUnknown.
+///
+/// `precomputed` optionally supplies the step-2 candidate set built by
+/// `MakeCandidateBundle` (batch paths construct it once per (query, view)
+/// pair, warm the oracle with its forward pairs, and pass it here so the
+/// candidates and compositions are never rebuilt). A non-null bundle
+/// asserts that the caller already verified the necessary conditions
+/// (`ViolatesBasicNecessaryConditions` — e.g. through the view-pruning
+/// index), so step 1 is skipped.
 RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
-                            const RewriteOptions& options = {});
+                            const RewriteOptions& options = {},
+                            const CandidateBundle* precomputed = nullptr);
 
 }  // namespace xpv
 

@@ -1,0 +1,56 @@
+#ifndef XPV_UTIL_THREAD_POOL_H_
+#define XPV_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xpv {
+
+/// A small fixed-size worker pool: `num_threads` std::threads draining a
+/// FIFO work queue. Built for batch pipelines (`ViewCache::AnswerMany`)
+/// that submit a handful of chunk tasks and then barrier on `Wait`.
+///
+/// Semantics:
+///  - `Submit` enqueues a task; any worker may pick it up.
+///  - `Wait` blocks until the queue is empty AND no task is running, so
+///    after it returns every effect of every submitted task is visible to
+///    the caller (the mutex hand-off orders the memory).
+///  - Tasks must not submit to the pool they run on and must not throw.
+///
+/// The pool is reusable: Submit/Wait cycles can repeat, and the threads
+/// park on the condition variable between batches. Destruction joins all
+/// workers (outstanding tasks finish first).
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // Signals workers: work or stop.
+  std::condition_variable idle_cv_;   // Signals Wait: queue drained.
+  std::deque<std::function<void()>> queue_;
+  int active_ = 0;     // Tasks currently executing.
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_THREAD_POOL_H_

@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <deque>
+#include <unordered_map>
 #include <utility>
 
 #include "eval/evaluator.h"
-#include "pattern/properties.h"
 #include "rewrite/candidates.h"
-#include "rewrite/rules.h"
+#include "util/thread_pool.h"
 
 namespace xpv {
 
@@ -25,7 +25,10 @@ std::vector<Tree> MaterializedView::MaterializeCopies() const {
 
 std::vector<NodeId> MaterializedView::Apply(const Pattern& r) const {
   if (r.IsEmpty() || outputs_.empty()) return {};
-  Evaluator evaluator(r, *doc_);
+  // Anchored evaluation: the embedding DP is computed only over the union
+  // of the stored subtrees, so the cost tracks the materialized result
+  // size, not the document size.
+  Evaluator evaluator(r, *doc_, outputs_);
   std::vector<NodeId> all;
   for (NodeId o : outputs_) {
     std::vector<NodeId> part = evaluator.OutputsAnchoredAt(o);
@@ -41,64 +44,175 @@ ViewCache::ViewCache(const Tree& doc, RewriteOptions options)
   options_.oracle = &oracle_;
 }
 
+ViewCache::~ViewCache() = default;
+
 int ViewCache::AddView(ViewDefinition definition) {
   views_.emplace_back(std::move(definition), *doc_);
+  index_.Add(views_.back().definition().pattern);
   return static_cast<int>(views_.size()) - 1;
 }
 
-CacheAnswer ViewCache::Answer(const Pattern& query) {
-  ++stats_.queries;
+CacheAnswer ViewCache::ScanViews(const Pattern& query,
+                                 const SelectionSummary& summary,
+                                 int prebuilt_vi,
+                                 const CandidateBundle* prebuilt,
+                                 const RewriteOptions& options,
+                                 CacheStats* stats) const {
   CacheAnswer answer;
-  // Υ selects nothing; the rewrite engine requires nonempty patterns.
-  if (query.IsEmpty()) return answer;
-  for (const MaterializedView& view : views_) {
-    RewriteResult result =
-        DecideRewrite(query, view.definition().pattern, options_);
+  for (int vi = 0; vi < index_.size(); ++vi) {
+    // O(1) pruning: views that fail the necessary conditions never reach
+    // the engine (this is what `ViolatesBasicNecessaryConditions` would
+    // certify as kNotExists).
+    if (!index_.Admissible(summary, vi)) continue;
+    const MaterializedView& view = views_[static_cast<size_t>(vi)];
+    const Pattern& vp = view.definition().pattern;
+    CandidateBundle local;
+    const CandidateBundle* bundle = prebuilt;
+    if (vi != prebuilt_vi || bundle == nullptr) {
+      local = MakeCandidateBundle(query, vp, index_.view_summary(vi).depth);
+      bundle = &local;
+    }
+    RewriteResult result = DecideRewrite(query, vp, options, bundle);
     if (result.status == RewriteStatus::kFound) {
       answer.hit = true;
       answer.view_name = view.definition().name;
       answer.rewriting = result.rewriting;
       answer.outputs = view.Apply(result.rewriting);
-      ++stats_.hits;
+      ++stats->hits;
       return answer;
     }
-    if (result.status == RewriteStatus::kUnknown) ++stats_.rewrite_unknown;
+    if (result.status == RewriteStatus::kUnknown) ++stats->rewrite_unknown;
   }
   answer.outputs = Eval(query, *doc_);
   return answer;
 }
 
+CacheAnswer ViewCache::Answer(const Pattern& query) {
+  ++stats_.queries;
+  // Υ selects nothing; the rewrite engine requires nonempty patterns.
+  if (query.IsEmpty()) return CacheAnswer{};
+  const SelectionSummary summary = SummarizeSelection(query);
+  return ScanViews(query, summary, -1, nullptr, options_, &stats_);
+}
+
 std::vector<CacheAnswer> ViewCache::AnswerMany(
-    const std::vector<Pattern>& queries) {
-  // Warm the oracle with one batch: for each query, the forward
-  // natural-candidate containment tests of its *first* admissible view —
-  // `Answer` probes views in order and earlier views fail the necessary
-  // conditions without any containment test, so exactly these tests are
-  // guaranteed to run. Later views' tests stay lazy (they only run when
-  // every earlier view missed), as do all reverse directions.
-  std::vector<int> view_depths;
-  view_depths.reserve(views_.size());
-  for (const MaterializedView& view : views_) {
-    view_depths.push_back(SelectionInfo(view.definition().pattern).depth());
-  }
-  std::deque<Pattern> compositions;
-  std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
-  pairs.reserve(2 * queries.size());
-  for (const Pattern& query : queries) {
-    if (query.IsEmpty()) continue;
-    for (size_t vi = 0; vi < views_.size(); ++vi) {
-      const Pattern& vp = views_[vi].definition().pattern;
-      if (ViolatesBasicNecessaryConditions(query, vp).has_value()) continue;
-      AppendNaturalCandidatePairs(query, vp, view_depths[vi], &compositions,
-                                  &pairs);
-      break;
+    const std::vector<Pattern>& queries, int num_workers) {
+  // One work item per *distinct* query (canonical fingerprint — the same
+  // identity the oracle keys on); duplicates are fanned out at the end.
+  struct DistinctQuery {
+    int query_index;  // First occurrence in `queries`.
+    SelectionSummary summary;
+    int first_admissible = -1;
+    CacheAnswer answer;
+    CacheStats delta;  // hits/rewrite_unknown of one scan.
+  };
+  std::vector<DistinctQuery> items;
+  std::vector<int> item_of(queries.size(), -1);
+  {
+    std::unordered_map<uint64_t, int> first_by_fp;
+    first_by_fp.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      if (queries[i].IsEmpty()) continue;
+      const uint64_t fp = queries[i].CanonicalFingerprint();
+      auto [it, inserted] =
+          first_by_fp.try_emplace(fp, static_cast<int>(items.size()));
+      if (inserted) {
+        items.push_back(DistinctQuery{static_cast<int>(i),
+                                      SummarizeSelection(queries[i]),
+                                      -1,
+                                      CacheAnswer{},
+                                      CacheStats{}});
+      }
+      item_of[i] = it->second;
     }
   }
-  oracle_.ContainedMany(pairs);
 
+  // Answers items [begin, end) through `oracle`: builds each item's
+  // candidate bundle over its first admissible view once, warms the oracle
+  // with the forward pairs in one ContainedMany batch, then scans. Runs on
+  // worker threads; touches only the given range and local state.
+  auto process = [this, &queries, &items](int begin, int end,
+                                          ContainmentOracle* oracle) {
+    RewriteOptions options = options_;
+    options.oracle = oracle;
+    std::deque<CandidateBundle> bundles;  // Stable addresses for `pairs`.
+    std::vector<const CandidateBundle*> bundle_of(
+        static_cast<size_t>(end - begin), nullptr);
+    std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
+    pairs.reserve(2 * static_cast<size_t>(end - begin));
+    for (int ii = begin; ii < end; ++ii) {
+      DistinctQuery& item = items[static_cast<size_t>(ii)];
+      item.first_admissible = index_.FirstAdmissible(item.summary);
+      if (item.first_admissible < 0) continue;
+      const Pattern& query =
+          queries[static_cast<size_t>(item.query_index)];
+      const int vi = item.first_admissible;
+      bundles.push_back(MakeCandidateBundle(
+          query, views_[static_cast<size_t>(vi)].definition().pattern,
+          index_.view_summary(vi).depth));
+      bundle_of[static_cast<size_t>(ii - begin)] = &bundles.back();
+      AppendBundlePairs(bundles.back(), query, &pairs);
+    }
+    oracle->ContainedMany(pairs);
+    for (int ii = begin; ii < end; ++ii) {
+      DistinctQuery& item = items[static_cast<size_t>(ii)];
+      const Pattern& query =
+          queries[static_cast<size_t>(item.query_index)];
+      item.answer =
+          ScanViews(query, item.summary, item.first_admissible,
+                    bundle_of[static_cast<size_t>(ii - begin)], options,
+                    &item.delta);
+    }
+  };
+
+  const int n_items = static_cast<int>(items.size());
+  const int workers = std::clamp(num_workers, 1, std::max(n_items, 1));
+  if (workers <= 1 || n_items <= 1) {
+    process(0, n_items, &oracle_);
+  } else {
+    if (pool_ == nullptr || pool_->num_threads() != workers) {
+      pool_ = std::make_unique<ThreadPool>(workers);
+    }
+    // Per-worker shards read through the shared oracle, which stays frozen
+    // until every worker has finished; the merge below publishes the
+    // batch's new entries (and counters) back into it.
+    std::vector<std::unique_ptr<ContainmentOracle>> shards;
+    shards.reserve(static_cast<size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      shards.push_back(
+          std::make_unique<ContainmentOracle>(oracle_.capacity()));
+      shards.back()->set_fallback(&oracle_);
+    }
+    const int base = n_items / workers;
+    const int extra = n_items % workers;
+    int begin = 0;
+    for (int w = 0; w < workers; ++w) {
+      const int end = begin + base + (w < extra ? 1 : 0);
+      ContainmentOracle* shard = shards[static_cast<size_t>(w)].get();
+      pool_->Submit([&process, begin, end, shard] {
+        process(begin, end, shard);
+      });
+      begin = end;
+    }
+    pool_->Wait();
+    for (const auto& shard : shards) oracle_.AbsorbFrom(*shard);
+  }
+
+  // Fan the distinct answers out to the original order; statistics
+  // accumulate exactly as a sequential Answer loop would have.
   std::vector<CacheAnswer> answers;
   answers.reserve(queries.size());
-  for (const Pattern& query : queries) answers.push_back(Answer(query));
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ++stats_.queries;
+    if (item_of[i] < 0) {
+      answers.push_back(CacheAnswer{});
+      continue;
+    }
+    const DistinctQuery& item = items[static_cast<size_t>(item_of[i])];
+    answers.push_back(item.answer);
+    stats_.hits += item.delta.hits;
+    stats_.rewrite_unknown += item.delta.rewrite_unknown;
+  }
   return answers;
 }
 

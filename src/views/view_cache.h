@@ -2,15 +2,19 @@
 #define XPV_VIEWS_VIEW_CACHE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "containment/oracle.h"
 #include "pattern/pattern.h"
 #include "rewrite/engine.h"
+#include "views/view_index.h"
 #include "xml/tree.h"
 
 namespace xpv {
+
+class ThreadPool;
 
 /// A named view definition.
 struct ViewDefinition {
@@ -25,8 +29,11 @@ struct ViewDefinition {
 /// Subtrees are kept as node ids into the original document rather than
 /// deep copies: applying a rewriting R to the view then amounts to
 /// evaluating R anchored at each stored node, which is exactly R(V(t)).
-/// `MaterializeCopies()` produces standalone subtree copies when a
-/// shipped-result cache is being simulated (see bench_view_cache).
+/// The anchored evaluation computes its embedding DP only over the stored
+/// subtrees, so `Apply` costs O(|V(t)|-region), not O(|doc|) — the paper's
+/// "answering through the view is insensitive to the rest of the
+/// document". `MaterializeCopies()` produces standalone subtree copies
+/// when a shipped-result cache is being simulated (see bench_view_cache).
 class MaterializedView {
  public:
   /// Evaluates `definition.pattern` over `doc`. `doc` must outlive this.
@@ -74,14 +81,23 @@ struct CacheStats {
 
 /// A materialized-view cache over a single document: the end-to-end
 /// application from the paper's introduction (answering queries from
-/// cached views). For each query P it scans the cached views, asks the
-/// rewrite engine for an equivalent rewriting R with R ∘ V ≡ P, and on
-/// success answers R(V(t)) without touching the parts of the document
-/// outside the view; otherwise it falls back to direct evaluation.
+/// cached views). For each query P it consults the view-pruning index
+/// (per-view selection summaries built at `AddView` time), then asks the
+/// rewrite engine for an equivalent rewriting R with R ∘ V ≡ P over each
+/// admissible view, and on success answers R(V(t)) without touching the
+/// parts of the document outside the view; otherwise it falls back to
+/// direct evaluation.
+///
+/// `AnswerMany` runs the batched pipeline: index pruning → one candidate
+/// bundle per distinct (query, first-admissible-view) pair, shared between
+/// the oracle warm-up and the engine → optional worker-parallel answering
+/// over per-worker oracle shards that read through the (frozen) shared
+/// oracle and are merged back afterwards (`ContainmentOracle::AbsorbFrom`).
 class ViewCache {
  public:
   /// `doc` must outlive the cache.
   explicit ViewCache(const Tree& doc, RewriteOptions options = {});
+  ~ViewCache();
 
   // Not copyable or movable (the engine options point at the internal
   // oracle).
@@ -96,12 +112,20 @@ class ViewCache {
   /// Answers `query` (see CacheAnswer).
   CacheAnswer Answer(const Pattern& query);
 
-  /// Answers a batch of queries. Before the per-query scans, the
-  /// natural-candidate containment tests each query is guaranteed to need
-  /// (those of its first admissible view, forward direction) are pushed
-  /// through the oracle's `ContainedMany` in one call, so fingerprints are
-  /// shared across the batch and the scans answer from the cache.
-  std::vector<CacheAnswer> AnswerMany(const std::vector<Pattern>& queries);
+  /// Answers a batch of queries; the result (answers and `stats()` deltas)
+  /// is identical to looping `Answer`, for every worker count.
+  ///
+  /// Batch-level work sharing: duplicate queries (by canonical
+  /// fingerprint) are answered once; each distinct query's
+  /// natural-candidate bundle over its first admissible view is built
+  /// exactly once and shared between the `ContainedMany` oracle warm-up
+  /// and `DecideRewrite`. With `num_workers` > 1 the distinct queries are
+  /// partitioned over a worker pool; each worker answers through its own
+  /// oracle shard (reading through the shared oracle, which is frozen for
+  /// the duration of the batch), and the shards are absorbed into the
+  /// shared oracle afterwards, so the whole batch is lock-free.
+  std::vector<CacheAnswer> AnswerMany(const std::vector<Pattern>& queries,
+                                      int num_workers = 1);
 
   const CacheStats& stats() const { return stats_; }
 
@@ -109,12 +133,26 @@ class ViewCache {
   /// their equivalence tests through it).
   const ContainmentOracle& oracle() const { return oracle_; }
 
+  /// The view-pruning index (per-view selection summaries).
+  const ViewIndex& index() const { return index_; }
+
  private:
+  /// Scans the admissible views for `query` (summarized as `summary`) in
+  /// registration order; `prebuilt` optionally supplies the candidate
+  /// bundle for view `prebuilt_vi`. Thread-safe: everything mutable is
+  /// reached through `options`/`stats`.
+  CacheAnswer ScanViews(const Pattern& query, const SelectionSummary& summary,
+                        int prebuilt_vi, const CandidateBundle* prebuilt,
+                        const RewriteOptions& options,
+                        CacheStats* stats) const;
+
   const Tree* doc_;
   RewriteOptions options_;
   ContainmentOracle oracle_;
   std::vector<MaterializedView> views_;
+  ViewIndex index_;
   CacheStats stats_;
+  std::unique_ptr<ThreadPool> pool_;  // Lazily created by AnswerMany.
 };
 
 }  // namespace xpv

@@ -1,0 +1,85 @@
+#include "views/view_index.h"
+
+#include <cassert>
+
+namespace xpv {
+namespace {
+
+/// Mixes a (selection depth, label) pair into one of 64 buckets. The exact
+/// constant is immaterial; it only has to spread (depth, label) pairs so
+/// the subset prefilter rejects label clashes with high probability.
+uint64_t PrefixBit(int depth, LabelId label) {
+  uint64_t z = (static_cast<uint64_t>(static_cast<uint32_t>(label)) << 20) ^
+               static_cast<uint64_t>(static_cast<uint32_t>(depth));
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return uint64_t{1} << ((z ^ (z >> 31)) & 63);
+}
+
+}  // namespace
+
+SelectionSummary SummarizeSelection(const Pattern& pattern) {
+  assert(!pattern.IsEmpty());
+  SelectionSummary summary;
+  // Root -> output path, without building a full SelectionInfo (no
+  // node-depth table is needed for pruning).
+  std::vector<NodeId> reversed;
+  for (NodeId cur = pattern.output(); cur != kNoNode;
+       cur = pattern.parent(cur)) {
+    reversed.push_back(cur);
+  }
+  summary.depth = static_cast<int>(reversed.size()) - 1;
+  summary.path_labels.reserve(reversed.size());
+  for (auto it = reversed.rbegin(); it != reversed.rend(); ++it) {
+    summary.path_labels.push_back(pattern.label(*it));
+  }
+  for (int i = 0; i < summary.depth; ++i) {
+    summary.prefix_mask |=
+        PrefixBit(i, summary.path_labels[static_cast<size_t>(i)]);
+  }
+  return summary;
+}
+
+bool AdmissibleBySummaries(const SelectionSummary& query,
+                           const SelectionSummary& view) {
+  const int k = view.depth;
+  // Prop 3.1(1): depth(V) <= depth(P).
+  if (k > query.depth) return false;
+  // O(1) prefilter for Prop 3.1(3) on the proper prefix: a matching view
+  // has every (depth, label) bit of its prefix present in the query's mask
+  // (the query path is at least as long). A missing bit proves a clash.
+  if ((view.prefix_mask & ~query.prefix_mask) != 0) return false;
+  // Exact prefix compare (the mask is only a filter: 64 buckets collide).
+  for (int i = 0; i < k; ++i) {
+    if (view.path_labels[static_cast<size_t>(i)] !=
+        query.path_labels[static_cast<size_t>(i)]) {
+      return false;
+    }
+  }
+  // At depth k the label of R∘V is glb(label(root(R)), label(out(V))):
+  // solvable iff out(V) is '*' or labeled exactly like the k-node of P.
+  const LabelId out_label = view.path_labels[static_cast<size_t>(k)];
+  return out_label == LabelStore::kWildcard ||
+         out_label == query.path_labels[static_cast<size_t>(k)];
+}
+
+int ViewIndex::Add(const Pattern& view_pattern) {
+  views_.push_back(SummarizeSelection(view_pattern));
+  return static_cast<int>(views_.size()) - 1;
+}
+
+int ViewIndex::FirstAdmissible(const SelectionSummary& query) const {
+  for (int vi = 0; vi < size(); ++vi) {
+    if (Admissible(query, vi)) return vi;
+  }
+  return -1;
+}
+
+void ViewIndex::AppendAdmissible(const SelectionSummary& query,
+                                 std::vector<int>* out) const {
+  for (int vi = 0; vi < size(); ++vi) {
+    if (Admissible(query, vi)) out->push_back(vi);
+  }
+}
+
+}  // namespace xpv

@@ -1,0 +1,80 @@
+#ifndef XPV_VIEWS_VIEW_INDEX_H_
+#define XPV_VIEWS_VIEW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "pattern/pattern.h"
+
+namespace xpv {
+
+/// Precomputed pruning summary of one pattern's selection path, the facts
+/// the necessary conditions of Prop 3.1 consume:
+///
+///   depth        — number of selection edges (k for a view, d for a query),
+///   path_labels  — the selection-node labels, root first (depth + 1 of
+///                  them; wildcards included as ordinary symbols),
+///   prefix_mask  — a 64-bit set of hash(depth_i, label_i) over the proper
+///                  prefix (all selection nodes except the output node).
+///
+/// Summaries are built once — per view at `AddView` time, per query at the
+/// start of `Answer` — so the per-(query, view) admissibility check does no
+/// pattern traversal at all: a depth compare, one O(1) bitset subset test
+/// that rejects most label clashes, and only on survival the exact O(k)
+/// label compare. This replaces re-deriving `SelectionInfo` +
+/// `ViolatesBasicNecessaryConditions` for every (query, view) pair in the
+/// serving loop.
+struct SelectionSummary {
+  int depth = 0;
+  std::vector<LabelId> path_labels;
+  uint64_t prefix_mask = 0;
+};
+
+/// Builds the summary of a nonempty pattern. O(|pattern|).
+SelectionSummary SummarizeSelection(const Pattern& pattern);
+
+/// True iff `ViolatesBasicNecessaryConditions(query, view)` would return
+/// no violation, computed from the summaries alone:
+///   (1) depth(view) <= depth(query),
+///   (2) the selection labels agree at depths 0..k-1,
+///   (3) the view's output label is '*' or equals the query's k-node label.
+bool AdmissibleBySummaries(const SelectionSummary& query,
+                           const SelectionSummary& view);
+
+/// The view-pruning index of the serving path: one `SelectionSummary` per
+/// registered view. `Answer` summarizes the query once and probes every
+/// view in O(1) expected time, visiting only the admissible ones; the
+/// batch warm-up asks for `FirstAdmissible` (the view whose candidate
+/// tests are guaranteed to run), and `AppendAdmissible` exposes the whole
+/// per-query admissible list for batch planners.
+class ViewIndex {
+ public:
+  /// Registers a view pattern (nonempty); returns its index.
+  int Add(const Pattern& view_pattern);
+
+  int size() const { return static_cast<int>(views_.size()); }
+  const SelectionSummary& view_summary(int vi) const {
+    return views_[static_cast<size_t>(vi)];
+  }
+
+  /// True iff view `vi` passes the necessary conditions against the query
+  /// summarized by `query`.
+  bool Admissible(const SelectionSummary& query, int vi) const {
+    return AdmissibleBySummaries(query, views_[static_cast<size_t>(vi)]);
+  }
+
+  /// Index of the first admissible view (the one `Answer` probes first),
+  /// or -1 when every view is pruned.
+  int FirstAdmissible(const SelectionSummary& query) const;
+
+  /// Appends all admissible view indices, in registration order.
+  void AppendAdmissible(const SelectionSummary& query,
+                        std::vector<int>* out) const;
+
+ private:
+  std::vector<SelectionSummary> views_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_VIEWS_VIEW_INDEX_H_

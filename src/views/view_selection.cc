@@ -10,7 +10,7 @@
 #include "pattern/properties.h"
 #include "rewrite/candidates.h"
 #include "rewrite/engine.h"
-#include "rewrite/rules.h"
+#include "views/view_index.h"
 
 namespace xpv {
 
@@ -35,34 +35,51 @@ std::vector<CandidateView> EnumerateCandidateViews(
   RewriteOptions rewrite_options;
   rewrite_options.oracle = oracle;
 
+  // Summarize each workload query once; scoring a candidate view against
+  // the workload is then an O(1) admissibility probe per query.
+  std::vector<SelectionSummary> query_summaries(workload.size());
+  for (size_t qi = 0; qi < workload.size(); ++qi) {
+    if (workload[qi].pattern.IsEmpty()) continue;
+    query_summaries[qi] = SummarizeSelection(workload[qi].pattern);
+  }
+
   std::vector<CandidateView> candidates;
   candidates.reserve(prefixes.size());
+  std::deque<CandidateBundle> bundles;
+  std::vector<const CandidateBundle*> bundle_of(workload.size());
+  std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
   for (auto& [key, view] : prefixes) {
     CandidateView candidate;
-    candidate.depth = SelectionInfo(view).depth();
+    const SelectionSummary view_summary = SummarizeSelection(view);
+    candidate.depth = view_summary.depth;
 
-    // Batch-warm the oracle: the forward natural-candidate containment
-    // tests of every admissible query against this view go through
-    // ContainedMany in one call, so the DecideRewrite loop below answers
-    // them from the cache (reverse directions stay lazy).
-    std::deque<Pattern> compositions;
-    std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
+    // Build each admissible (query, view) candidate bundle exactly once:
+    // its forward containment pairs warm the oracle through ContainedMany
+    // in one batch, and the same bundle then feeds DecideRewrite below
+    // (reverse directions stay lazy).
+    bundles.clear();
+    bundle_of.assign(workload.size(), nullptr);
+    pairs.clear();
     pairs.reserve(2 * workload.size());
-    for (const WorkloadQuery& query : workload) {
+    for (size_t qi = 0; qi < workload.size(); ++qi) {
+      const WorkloadQuery& query = workload[qi];
       if (query.pattern.IsEmpty()) continue;
-      if (ViolatesBasicNecessaryConditions(query.pattern, view).has_value()) {
-        continue;  // The engine never reaches the equivalence tests.
+      if (!AdmissibleBySummaries(query_summaries[qi], view_summary)) {
+        continue;  // The engine would certify kNotExists from Prop 3.1.
       }
-      AppendNaturalCandidatePairs(query.pattern, view, candidate.depth,
-                                  &compositions, &pairs);
+      bundles.push_back(
+          MakeCandidateBundle(query.pattern, view, candidate.depth));
+      bundle_of[qi] = &bundles.back();
+      AppendBundlePairs(bundles.back(), query.pattern, &pairs);
     }
     oracle->ContainedMany(pairs);
 
     for (int qi = 0; qi < static_cast<int>(workload.size()); ++qi) {
       const WorkloadQuery& query = workload[static_cast<size_t>(qi)];
-      if (query.pattern.IsEmpty()) continue;
+      if (bundle_of[static_cast<size_t>(qi)] == nullptr) continue;
       RewriteResult result =
-          DecideRewrite(query.pattern, view, rewrite_options);
+          DecideRewrite(query.pattern, view, rewrite_options,
+                        bundle_of[static_cast<size_t>(qi)]);
       if (result.status == RewriteStatus::kFound) {
         candidate.answers.push_back(qi);
         candidate.covered_weight += query.weight;

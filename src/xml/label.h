@@ -2,11 +2,11 @@
 #define XPV_XML_LABEL_H_
 
 #include <cstdint>
+#include <deque>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
-#include <vector>
 
 namespace xpv {
 
@@ -57,7 +57,11 @@ class LabelStore {
 
  private:
   mutable std::mutex mu_;
-  std::vector<std::string> names_;
+  // A deque so references returned by `Name()` stay valid while other
+  // threads intern: growth never moves existing elements, which the
+  // parallel answering path relies on (workers may `Fresh()` µ-labels
+  // while peers format explanations through `LabelName`).
+  std::deque<std::string> names_;
   std::unordered_map<std::string, LabelId> index_;
   int64_t fresh_counter_ = 0;
 };

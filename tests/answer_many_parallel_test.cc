@@ -1,0 +1,203 @@
+// The batched, parallel answering pipeline (ViewCache::AnswerMany): for
+// every worker count the batch must be indistinguishable from a sequential
+// Answer loop — identical answers, identical cache statistics — while the
+// shared oracle ends up at least as warm. The randomized stress test doubles
+// as the ThreadSanitizer target of the CI tsan job.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "views/view_cache.h"
+#include "workload/generator.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Tree Doc(const char* xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+void ExpectSameAnswer(const CacheAnswer& actual, const CacheAnswer& expected,
+                      size_t index) {
+  EXPECT_EQ(actual.hit, expected.hit) << index;
+  EXPECT_EQ(actual.view_name, expected.view_name) << index;
+  EXPECT_EQ(actual.outputs, expected.outputs) << index;
+  EXPECT_EQ(actual.rewriting.CanonicalEncoding(),
+            expected.rewriting.CanonicalEncoding())
+      << index;
+}
+
+/// Answers `queries` through `reference` one by one and through a batched
+/// cache with `num_workers`, then asserts identical answers and statistics.
+void CheckBatchAgainstLoop(const Tree& doc,
+                           const std::vector<ViewDefinition>& views,
+                           const std::vector<Pattern>& queries,
+                           int num_workers) {
+  ViewCache batched(doc);
+  ViewCache sequential(doc);
+  for (const ViewDefinition& view : views) {
+    batched.AddView(view);
+    sequential.AddView(view);
+  }
+  std::vector<CacheAnswer> answers = batched.AnswerMany(queries, num_workers);
+  ASSERT_EQ(answers.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CacheAnswer expected = sequential.Answer(queries[i]);
+    ExpectSameAnswer(answers[i], expected, i);
+    if (!queries[i].IsEmpty()) {
+      // End-to-end identity: every answer equals direct evaluation.
+      EXPECT_EQ(answers[i].outputs, Eval(queries[i], doc)) << i;
+    }
+  }
+  EXPECT_EQ(batched.stats().queries, sequential.stats().queries);
+  EXPECT_EQ(batched.stats().hits, sequential.stats().hits);
+  EXPECT_EQ(batched.stats().rewrite_unknown,
+            sequential.stats().rewrite_unknown);
+}
+
+TEST(AnswerManyParallelTest, MatchesSequentialLoopOnMixedWorkload) {
+  Tree doc = Doc(
+      "<a><b><c/><c><d/></c></b><b><c/><e/></b><x><b><c/></b><y/></x></a>");
+  std::vector<ViewDefinition> views = {
+      {"b-view", MustParseXPath("a/b")},
+      {"x-view", MustParseXPath("a/x")},
+      {"deep", MustParseXPath("a/b/c")},
+  };
+  std::vector<Pattern> queries = {
+      MustParseXPath("a/b/c"),      // Hit.
+      MustParseXPath("a/b/c"),      // Duplicate.
+      MustParseXPath("a/x/y"),      // Hit on the second view.
+      MustParseXPath("a//b/c"),     // Not answerable by prefix views.
+      Pattern::Empty(),             // Empty query.
+      MustParseXPath("a/b/c/d"),    // Deeper hit.
+      MustParseXPath("q/r"),        // Root mismatch: all views pruned.
+      MustParseXPath("a/b/c"),      // Another duplicate.
+      MustParseXPath("a/b[e]/c"),   // Branch under the view.
+  };
+  for (int workers : {1, 2, 4, 8}) {
+    SCOPED_TRACE(workers);
+    CheckBatchAgainstLoop(doc, views, queries, workers);
+  }
+}
+
+TEST(AnswerManyParallelTest, OracleHitsNoWorseThanSequentialLoop) {
+  // On a duplicate-free batch the warm-up precomputes the forward
+  // containment tests, so the batched cache's oracle must end up at least
+  // as hit-rich as a plain Answer loop's.
+  Tree doc = Doc("<a><b><c/><d/></b><b><c><e/></c></b></a>");
+  std::vector<ViewDefinition> views = {{"b-view", MustParseXPath("a/b")}};
+  std::vector<Pattern> queries = {
+      MustParseXPath("a/b/c"),   MustParseXPath("a/b/d"),
+      MustParseXPath("a/b/c/e"), MustParseXPath("a/b//e"),
+      MustParseXPath("a/b"),
+  };
+  ViewCache batched(doc);
+  ViewCache sequential(doc);
+  for (const ViewDefinition& view : views) {
+    batched.AddView(view);
+    sequential.AddView(view);
+  }
+  batched.AnswerMany(queries, 4);
+  for (const Pattern& query : queries) sequential.Answer(query);
+  EXPECT_GE(batched.oracle().hits(), sequential.oracle().hits());
+}
+
+TEST(AnswerManyParallelTest, RepeatedBatchesReadThroughSharedOracle) {
+  // The second identical batch must answer its containment questions from
+  // the absorbed shared oracle via the shards' read-through fallback: no
+  // new misses.
+  Tree doc = Doc("<a><b><c/></b><b><d/></b></a>");
+  ViewCache cache(doc);
+  cache.AddView({"b-view", MustParseXPath("a/b")});
+  std::vector<Pattern> queries = {MustParseXPath("a/b/c"),
+                                  MustParseXPath("a/b/d"),
+                                  MustParseXPath("a/b")};
+  std::vector<CacheAnswer> first = cache.AnswerMany(queries, 3);
+  const uint64_t misses_after_first = cache.oracle().misses();
+  std::vector<CacheAnswer> second = cache.AnswerMany(queries, 3);
+  EXPECT_EQ(cache.oracle().misses(), misses_after_first);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ExpectSameAnswer(second[i], first[i], i);
+  }
+}
+
+TEST(AnswerManyParallelTest, RandomizedStress) {
+  // Randomized workloads from the generator, answered in repeated batches
+  // with 4 workers against a long-lived cache and checked against a
+  // sequential twin. Run under ThreadSanitizer by the CI tsan job.
+  Rng rng(20260730);
+  PatternGenOptions pattern_options;
+  pattern_options.min_depth = 2;
+  pattern_options.max_depth = 4;
+  pattern_options.max_branches = 2;
+  TreeGenOptions tree_options;
+  tree_options.max_nodes = 300;
+
+  for (int round = 0; round < 3; ++round) {
+    // A document seeded with matches of a few base patterns.
+    std::vector<Pattern> base;
+    for (int i = 0; i < 4; ++i) {
+      base.push_back(RandomPattern(rng, pattern_options));
+    }
+    Tree doc = DocumentWithMatches(rng, base[0], tree_options, 3);
+
+    ViewCache batched(doc);
+    ViewCache sequential(doc);
+    int added = 0;
+    for (const Pattern& p : base) {
+      int k = 0;
+      Pattern view = PrefixView(rng, p, &k);
+      if (SummarizeSelection(view).depth == 0) continue;  // Whole-doc view.
+      std::string name = "v" + std::to_string(added++);
+      batched.AddView({name, view});
+      sequential.AddView({name, view});
+    }
+
+    for (int batch = 0; batch < 3; ++batch) {
+      std::vector<Pattern> queries;
+      for (int i = 0; i < 24; ++i) {
+        const uint64_t pick = rng.Next() % 4;
+        if (pick == 0) {
+          queries.push_back(RandomPattern(rng, pattern_options));
+        } else {
+          // Repeats of the base patterns make the batch duplicate-heavy.
+          queries.push_back(base[static_cast<size_t>(rng.Next() % 4)]);
+        }
+      }
+      std::vector<CacheAnswer> answers = batched.AnswerMany(queries, 4);
+      ASSERT_EQ(answers.size(), queries.size());
+      for (size_t i = 0; i < queries.size(); ++i) {
+        CacheAnswer expected = sequential.Answer(queries[i]);
+        ExpectSameAnswer(answers[i], expected, i);
+      }
+      EXPECT_EQ(batched.stats().queries, sequential.stats().queries);
+      EXPECT_EQ(batched.stats().hits, sequential.stats().hits);
+    }
+  }
+}
+
+TEST(ThreadPoolTest, RunsAllTasksAcrossWaitCycles) {
+  ThreadPool pool(4);
+  std::vector<int> results(64, 0);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&results, i] { results[static_cast<size_t>(i)] += i; });
+    }
+    pool.Wait();
+  }
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(results[static_cast<size_t>(i)], 3 * i);
+  }
+}
+
+}  // namespace
+}  // namespace xpv

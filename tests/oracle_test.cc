@@ -125,6 +125,79 @@ TEST(OracleTest, BoundedCacheEvictsAndKeepsAnswering) {
   EXPECT_GT(oracle.evictions(), 0u);
 }
 
+TEST(OracleTest, SecondChanceEvictionKeepsHotEntries) {
+  // Second-chance (clock) eviction: entries that answered a lookup since
+  // the last sweep survive an eviction cycle, cold entries go first.
+  ContainmentOracle oracle(/*capacity=*/8);
+  std::vector<std::pair<Pattern, Pattern>> pairs;
+  for (int i = 0; i < 8; ++i) {
+    std::string label = "l" + std::to_string(i);
+    pairs.emplace_back(MustParseXPath(label + "/b"),
+                       MustParseXPath(label + "//b"));
+  }
+  for (auto& [p1, p2] : pairs) oracle.Contained(p1, p2);
+  ASSERT_EQ(oracle.misses(), 8u);
+  // Mark entries 0..2 hot.
+  for (int i = 0; i < 3; ++i) {
+    oracle.Contained(pairs[static_cast<size_t>(i)].first,
+                     pairs[static_cast<size_t>(i)].second);
+  }
+  ASSERT_EQ(oracle.hits(), 3u);
+  // The 9th distinct pair triggers an eviction cycle.
+  Pattern extra1 = MustParseXPath("extra/b");
+  Pattern extra2 = MustParseXPath("extra//b");
+  oracle.Contained(extra1, extra2);
+  EXPECT_GT(oracle.evictions(), 0u);
+  // The hot entries survived: re-querying them hits without new misses.
+  const uint64_t misses_before = oracle.misses();
+  for (int i = 0; i < 3; ++i) {
+    oracle.Contained(pairs[static_cast<size_t>(i)].first,
+                     pairs[static_cast<size_t>(i)].second);
+  }
+  EXPECT_EQ(oracle.misses(), misses_before);
+  EXPECT_EQ(oracle.hits(), 6u);
+}
+
+TEST(OracleTest, AbsorbFromMergesEntriesAndCounters) {
+  ContainmentOracle a;
+  ContainmentOracle b;
+  Pattern p1 = MustParseXPath("a/b");
+  Pattern p2 = MustParseXPath("a//b");
+  Pattern p3 = MustParseXPath("a[c]/b");
+  EXPECT_TRUE(a.Contained(p1, p2));
+  EXPECT_TRUE(b.Contained(p3, p2));
+  b.AbsorbFrom(a);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.misses(), 2u);  // Own miss plus a's folded-in miss.
+  // a's entry now answers from b's cache.
+  const uint64_t misses_before = b.misses();
+  EXPECT_TRUE(b.Contained(p1, p2));
+  EXPECT_EQ(b.misses(), misses_before);
+}
+
+TEST(OracleTest, FallbackReadThrough) {
+  ContainmentOracle shared;
+  Pattern p1 = MustParseXPath("a/b");
+  Pattern p2 = MustParseXPath("a//b");
+  EXPECT_TRUE(shared.Contained(p1, p2));
+
+  ContainmentOracle shard;
+  shard.set_fallback(&shared);
+  // The shard answers from the frozen shared table without computing.
+  EXPECT_TRUE(shard.Contained(p1, p2));
+  EXPECT_EQ(shard.misses(), 0u);
+  EXPECT_EQ(shard.hits(), 1u);
+  // New pairs computed in the shard stay local until absorbed.
+  Pattern p3 = MustParseXPath("a[c]/b");
+  EXPECT_TRUE(shard.Contained(p3, p2));
+  EXPECT_EQ(shard.misses(), 1u);
+  EXPECT_EQ(shared.size(), 1u);  // Unchanged by the shard's activity.
+  shared.AbsorbFrom(shard);
+  const uint64_t misses_before = shared.misses();
+  EXPECT_TRUE(shared.Contained(p3, p2));
+  EXPECT_EQ(shared.misses(), misses_before);
+}
+
 TEST(OracleTest, RandomizedAgreement) {
   ContainmentOracle oracle;
   Rng rng(777);

@@ -1,0 +1,84 @@
+#include "views/view_index.h"
+
+#include <gtest/gtest.h>
+
+#include "pattern/xpath_parser.h"
+#include "rewrite/rules.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace xpv {
+namespace {
+
+TEST(ViewIndexTest, SummaryCapturesSelectionPath) {
+  // The [c] branch is a predicate, not a selection step: the selection
+  // path is a -> b -> d -> e.
+  Pattern p = MustParseXPath("a/b[c]//d/e");
+  SelectionSummary summary = SummarizeSelection(p);
+  EXPECT_EQ(summary.depth, 3);
+  ASSERT_EQ(summary.path_labels.size(), 4u);
+  EXPECT_EQ(summary.path_labels[0], L("a"));
+  EXPECT_EQ(summary.path_labels[3], L("e"));
+}
+
+TEST(ViewIndexTest, AdmissibleMatchesHandPickedCases) {
+  struct Case {
+    const char* query;
+    const char* view;
+    bool admissible;
+  };
+  const Case cases[] = {
+      {"a/b/c", "a/b", true},
+      {"a/b/c", "a/x", false},      // Selection-label clash at depth 1.
+      {"a/b", "a/b/c", false},      // View deeper than query.
+      {"a/b/c", "a/*", true},       // Wildcard output matches anything.
+      {"a/*/c", "a/b", false},      // '*' and 'b' differ as symbols.
+      {"a/*/c", "a/*", true},
+      {"a//b/c", "a//b", true},     // Edge types don't matter for Prop 3.1.
+      {"x/y/z", "x/y", true},
+  };
+  for (const Case& c : cases) {
+    SelectionSummary q = SummarizeSelection(MustParseXPath(c.query));
+    SelectionSummary v = SummarizeSelection(MustParseXPath(c.view));
+    EXPECT_EQ(AdmissibleBySummaries(q, v), c.admissible)
+        << c.query << " over " << c.view;
+  }
+}
+
+TEST(ViewIndexTest, AdmissibleEquivalentToNecessaryConditions) {
+  // The pruning index must agree exactly with the engine's step-1 check on
+  // random instances — it replaces it on the serving path.
+  Rng rng(4242);
+  PatternGenOptions options;
+  options.min_depth = 1;
+  options.max_depth = 4;
+  options.max_branches = 2;
+  options.wildcard_prob = 0.4;
+  options.alphabet_size = 3;
+  for (int i = 0; i < 300; ++i) {
+    Pattern query = RandomPattern(rng, options);
+    Pattern view = RandomPattern(rng, options);
+    const bool admissible = AdmissibleBySummaries(SummarizeSelection(query),
+                                                  SummarizeSelection(view));
+    const bool violates =
+        ViolatesBasicNecessaryConditions(query, view).has_value();
+    EXPECT_EQ(admissible, !violates) << "iteration " << i;
+  }
+}
+
+TEST(ViewIndexTest, FirstAdmissibleAndListsAgree) {
+  ViewIndex index;
+  index.Add(MustParseXPath("a/x"));
+  index.Add(MustParseXPath("a/b"));
+  index.Add(MustParseXPath("a/b/c"));
+  SelectionSummary q = SummarizeSelection(MustParseXPath("a/b/c/d"));
+  EXPECT_EQ(index.FirstAdmissible(q), 1);
+  std::vector<int> admissible;
+  index.AppendAdmissible(q, &admissible);
+  EXPECT_EQ(admissible, (std::vector<int>{1, 2}));
+  SelectionSummary none = SummarizeSelection(MustParseXPath("z"));
+  EXPECT_EQ(index.FirstAdmissible(none), -1);
+}
+
+}  // namespace
+}  // namespace xpv
