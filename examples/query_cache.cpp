@@ -1,20 +1,19 @@
 // Query-cache scenario: the application the paper's introduction motivates
-// (XPath caching a la [3,5,13,18], but with a *complete* rewriting test).
+// (XPath caching a la [3,5,13,18], but with a *complete* rewriting test),
+// served through the multi-document `xpv::Service` facade.
 //
 // A synthetic "digital library" document is queried by a stream of XPath
-// queries; two views are materialized. Every query is answered through the
-// cache when an equivalent rewriting exists, otherwise evaluated directly.
-// The demo prints per-query routing and the final hit-rate statistics, and
-// cross-checks every cached answer against direct evaluation.
+// queries; two views are materialized. The whole stream is answered in one
+// `AnswerBatch` call (dedup, shared candidate bundles, worker-parallel
+// shards), queries that cannot be answered from a view fall back to direct
+// evaluation, and a malformed query fails its own slot without disturbing
+// the rest. The demo prints per-query routing and the final statistics,
+// and cross-checks every answer against direct evaluation.
 
 #include <cstdio>
 #include <vector>
 
-#include "eval/evaluator.h"
-#include "pattern/serializer.h"
-#include "pattern/xpath_parser.h"
-#include "views/view_cache.h"
-#include "xml/tree.h"
+#include "api/xpv.h"
 
 namespace {
 
@@ -43,12 +42,21 @@ xpv::Tree BuildLibrary(int shelves, int books_per_shelf) {
 int main() {
   using namespace xpv;
 
-  Tree doc = BuildLibrary(/*shelves=*/8, /*books_per_shelf=*/12);
+  Service service;
+  DocumentId library = service.AddDocument(BuildLibrary(8, 12));
+  const Tree& doc = *service.document(library);
   std::printf("Library document: %d nodes\n\n", doc.size());
 
-  ViewCache cache(doc);
-  cache.AddView({"books", MustParseXPath("library/shelf/book")});
-  cache.AddView({"authors", MustParseXPath("library//author")});
+  for (const auto& [name, xpath] :
+       {std::pair{"books", "library/shelf/book"},
+        std::pair{"authors", "library//author"}}) {
+    ServiceResult<ViewId> view = service.AddView(library, name, xpath);
+    if (!view.ok()) {
+      std::fprintf(stderr, "[%s] %s\n", ToString(view.error().code),
+                   view.error().message.c_str());
+      return 1;
+    }
+  }
 
   const char* queries[] = {
       "library/shelf/book/title",        // Rewrites over "books".
@@ -59,13 +67,30 @@ int main() {
       "library/admin/inventory",         // Miss.
       "library/shelf/book//text",        // Rewrites over "books".
       "library//book[author]/title",     // Tricky: // vs child in view.
+      "library/shelf/book[",             // Malformed: fails its slot only.
   };
 
+  std::vector<BatchItem> batch;
+  for (const char* expr : queries) batch.push_back({library, expr});
+  ServiceResult<BatchAnswers> answered = service.AnswerBatch(batch, 4);
+  if (!answered.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", ToString(answered.error().code),
+                 answered.error().message.c_str());
+    return 1;
+  }
+
   int cross_check_failures = 0;
-  for (const char* expr : queries) {
-    Pattern query = MustParseXPath(expr);
-    CacheAnswer answer = cache.Answer(query);
-    std::vector<NodeId> direct = Eval(query, doc);
+  for (size_t i = 0; i < answered.value().size(); ++i) {
+    const char* expr = queries[i];
+    const ServiceResult<Answer>& slot = answered.value().answers[i];
+    if (!slot.ok()) {
+      std::printf("%-34s -> [%s] position %lld\n", expr,
+                  ToString(slot.error().code),
+                  static_cast<long long>(slot.error().offset));
+      continue;
+    }
+    const Answer& answer = slot.value();
+    std::vector<NodeId> direct = Eval(ParseXPath(expr).take(), doc);
     bool correct = answer.outputs == direct;
     cross_check_failures += correct ? 0 : 1;
     std::printf("%-34s -> %-22s %3zu results, rewriting: %-14s %s\n", expr,
@@ -76,12 +101,17 @@ int main() {
                 correct ? "" : "  <-- WRONG ANSWER");
   }
 
-  const CacheStats& stats = cache.stats();
-  std::printf("\n%llu queries, %llu cache hits (%.0f%% hit rate)\n",
+  ServiceStats stats = service.stats();
+  std::printf("\n%llu queries answered, %llu cache hits (%.0f%% hit rate), "
+              "%llu rejected request(s)\n",
               static_cast<unsigned long long>(stats.queries),
               static_cast<unsigned long long>(stats.hits),
               100.0 * static_cast<double>(stats.hits) /
-                  static_cast<double>(stats.queries));
+                  static_cast<double>(stats.queries),
+              static_cast<unsigned long long>(stats.failed_requests));
+  std::printf("Shared oracle: %llu hits / %llu misses\n",
+              static_cast<unsigned long long>(stats.oracle_hits),
+              static_cast<unsigned long long>(stats.oracle_misses));
   std::printf("All answers cross-checked against direct evaluation: %s\n",
               cross_check_failures == 0 ? "OK" : "FAILURES!");
   return cross_check_failures == 0 ? 0 : 1;

@@ -1,5 +1,6 @@
-// Quickstart: parse a query and a view, decide rewritability, and answer
-// the query from the materialized view.
+// Quickstart: stand up the serving facade, register a document and a view,
+// and answer a query through the cache — with Result-typed error handling
+// end to end (malformed input never aborts).
 //
 //   ./quickstart [<query-xpath> <view-xpath>]
 //
@@ -8,14 +9,7 @@
 #include <cstdio>
 #include <string>
 
-#include "eval/evaluator.h"
-#include "pattern/algebra.h"
-#include "pattern/serializer.h"
-#include "pattern/xpath_parser.h"
-#include "rewrite/engine.h"
-#include "views/view_cache.h"
-#include "xml/tree.h"
-#include "xml/xml_parser.h"
+#include "api/xpv.h"
 
 namespace {
 
@@ -40,47 +34,73 @@ int main(int argc, char** argv) {
   std::string query_expr = argc > 2 ? argv[1] : "a[e]//*/b[d]";
   std::string view_expr = argc > 2 ? argv[2] : "a[e]/*";
 
-  Result<Pattern> query = ParseXPath(query_expr);
-  if (!query.ok()) {
-    std::fprintf(stderr, "query: %s\n", query.error().c_str());
-    return 1;
-  }
-  Result<Pattern> view = ParseXPath(view_expr);
-  if (!view.ok()) {
-    std::fprintf(stderr, "view: %s\n", view.error().c_str());
-    return 1;
-  }
-
-  std::printf("Query P: %s\n%s\n", query_expr.c_str(),
-              query.value().ToAscii().c_str());
-  std::printf("View  V: %s\n%s\n", view_expr.c_str(),
-              view.value().ToAscii().c_str());
-
-  // 1. Decide rewritability.
-  RewriteResult result = DecideRewrite(query.value(), view.value());
-  std::printf("Decision: %s\n\n", result.explanation.c_str());
-  if (result.status != RewriteStatus::kFound) return 0;
-
-  std::printf("Rewriting R: %s\n%s\n", ToXPath(result.rewriting).c_str(),
-              result.rewriting.ToAscii().c_str());
-  std::printf("Composition R∘V: %s\n\n",
-              ToXPath(Compose(result.rewriting, view.value())).c_str());
-
-  // 2. Use it: materialize V over a document and answer P via R.
-  Result<Tree> doc = ParseXml(kSampleDocument);
+  // 1. The serving facade: one Service, one document, one view. Every
+  // fallible step returns a ServiceResult carrying a structured error.
+  Service service;
+  ServiceResult<DocumentId> doc = service.AddDocument(kSampleDocument);
   if (!doc.ok()) {
-    std::fprintf(stderr, "doc: %s\n", doc.error().c_str());
+    std::fprintf(stderr, "[%s] %s\n", ToString(doc.error().code),
+                 doc.error().message.c_str());
     return 1;
   }
-  MaterializedView materialized({"demo-view", view.value()}, doc.value());
-  std::printf("Document has %d nodes; V(t) has %zu result subtrees.\n",
-              doc.value().size(), materialized.outputs().size());
+  ServiceResult<ViewId> view = service.AddView(doc.value(), "demo-view",
+                                               view_expr);
+  if (!view.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", ToString(view.error().code),
+                 view.error().message.c_str());
+    return 1;
+  }
 
-  std::vector<NodeId> via_view = materialized.Apply(result.rewriting);
-  std::vector<NodeId> direct = Eval(query.value(), doc.value());
-  std::printf("P(t) directly:    %zu results\n", direct.size());
-  std::printf("R(V(t)) via view: %zu results — %s\n", via_view.size(),
-              via_view == direct ? "identical (Prop 2.4 in action)"
-                                 : "MISMATCH (bug!)");
-  return via_view == direct ? 0 : 1;
+  const Pattern& view_pattern = service.view(view.value())->pattern;
+  std::printf("View  V: %s\n%s\n", view_expr.c_str(),
+              view_pattern.ToAscii().c_str());
+
+  // 2. Answer the query through the cache. A hit means the engine found a
+  // rewriting R with R ∘ V ≡ P and evaluated R over the materialized view
+  // only — the rest of the document was never touched.
+  ServiceResult<Answer> answer = service.Answer(doc.value(), query_expr);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "[%s] %s\n", ToString(answer.error().code),
+                 answer.error().message.c_str());
+    return 1;
+  }
+
+  Pattern query = ParseXPath(query_expr).take();  // Validated by Answer.
+  std::printf("Query P: %s\n%s\n", query_expr.c_str(),
+              query.ToAscii().c_str());
+  if (answer.value().hit) {
+    std::printf("HIT via view '%s'\n", answer.value().view_name.c_str());
+    std::printf("Rewriting R: %s\n%s\n",
+                ToXPath(answer.value().rewriting).c_str(),
+                answer.value().rewriting.ToAscii().c_str());
+    std::printf("Composition R∘V: %s\n\n",
+                ToXPath(Compose(answer.value().rewriting,
+                                view_pattern)).c_str());
+  } else {
+    RewriteResult decision = DecideRewrite(query, view_pattern);
+    std::printf("miss (direct evaluation): %s\n\n",
+                decision.explanation.c_str());
+  }
+
+  // 3. Cross-check against direct evaluation (Prop 2.4 in action).
+  const Tree& tree = *service.document(doc.value());
+  std::vector<NodeId> direct = Eval(query, tree);
+  std::printf("Document has %d nodes.\n", tree.size());
+  std::printf("P(t) directly:     %zu results\n", direct.size());
+  std::printf("P(t) via Service:  %zu results — %s\n",
+              answer.value().outputs.size(),
+              answer.value().outputs == direct
+                  ? "identical (Prop 2.4 in action)"
+                  : "MISMATCH (bug!)");
+
+  // 4. Errors are data, not aborts: a malformed query comes back as a
+  // ServiceError with position and caret context.
+  ServiceResult<Answer> bad = service.Answer(doc.value(), "a[b//]");
+  if (!bad.ok()) {
+    std::printf("\nMalformed query \"a[b//]\" is rejected cleanly:\n[%s] "
+                "%s\n",
+                ToString(bad.error().code), bad.error().message.c_str());
+  }
+
+  return answer.value().outputs == direct ? 0 : 1;
 }

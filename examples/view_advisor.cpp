@@ -6,12 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "pattern/serializer.h"
-#include "pattern/xpath_parser.h"
-#include "eval/evaluator.h"
-#include "views/view_cache.h"
-#include "views/view_selection.h"
-#include "xml/tree.h"
+#include "api/xpv.h"
 
 namespace {
 
@@ -70,23 +65,36 @@ int main() {
               selection.covered_weight, selection.total_weight,
               100.0 * selection.covered_weight / selection.total_weight);
 
-  // Prove it out: run the workload through a cache with the chosen views.
-  Tree doc = BuildShop();
-  ViewCache cache(doc);
+  // Prove it out: serve the workload from the chosen views through the
+  // facade.
+  Service service;
+  DocumentId shop = service.AddDocument(BuildShop());
+  const Tree& doc = *service.document(shop);
   for (size_t i = 0; i < selection.chosen.size(); ++i) {
-    cache.AddView({"view" + std::to_string(i), selection.chosen[i].pattern});
+    ServiceResult<ViewId> added = service.AddView(
+        shop, "view" + std::to_string(i), selection.chosen[i].pattern);
+    if (!added.ok()) {
+      std::fprintf(stderr, "[%s] %s\n", ToString(added.error().code),
+                   added.error().message.c_str());
+      return 1;
+    }
   }
   std::printf("\nReplaying the workload against a %d-node document:\n",
               doc.size());
   int mismatches = 0;
   for (const WorkloadQuery& q : workload) {
-    CacheAnswer answer = cache.Answer(q.pattern);
+    ServiceResult<Answer> answer = service.Answer(shop, q.pattern);
+    if (!answer.ok()) {
+      ++mismatches;
+      continue;
+    }
     std::vector<NodeId> direct = Eval(q.pattern, doc);
-    if (answer.outputs != direct) ++mismatches;
+    if (answer.value().outputs != direct) ++mismatches;
     std::printf("  %-38s %s (%zu results)\n", ToXPath(q.pattern).c_str(),
-                answer.hit ? "HIT " : "miss", answer.outputs.size());
+                answer.value().hit ? "HIT " : "miss",
+                answer.value().outputs.size());
   }
-  const CacheStats& stats = cache.stats();
+  ServiceStats stats = service.stats();
   std::printf("\nHit rate: %llu/%llu; all answers correct: %s\n",
               static_cast<unsigned long long>(stats.hits),
               static_cast<unsigned long long>(stats.queries),

@@ -17,15 +17,7 @@
 #include <sstream>
 #include <string>
 
-#include "containment/containment.h"
-#include "containment/minimize.h"
-#include "eval/evaluator.h"
-#include "pattern/dot.h"
-#include "pattern/serializer.h"
-#include "pattern/xpath_parser.h"
-#include "rewrite/engine.h"
-#include "views/view_cache.h"
-#include "xml/xml_parser.h"
+#include "api/xpv.h"
 
 namespace {
 
@@ -127,25 +119,39 @@ int CmdEval(const char* qexpr, const char* path) {
 }
 
 int CmdAnswer(const char* qexpr, const char* vexpr, const char* path) {
-  Pattern p = Pattern::Empty(), v = Pattern::Empty();
   Tree doc(LabelStore::kBottom);
-  if (!ParseOrComplain("query", qexpr, &p) ||
-      !ParseOrComplain("view", vexpr, &v) || !LoadXml(path, &doc)) {
+  if (!LoadXml(path, &doc)) return 2;
+  // Serve through the facade: every malformed input comes back as a
+  // structured ServiceError (with caret context for XPath) instead of an
+  // abort.
+  Service service;
+  DocumentId id = service.AddDocument(std::move(doc));
+  ServiceResult<ViewId> view = service.AddView(id, "view", vexpr);
+  if (!view.ok()) {
+    std::fprintf(stderr, "view: [%s] %s\n", ToString(view.error().code),
+                 view.error().message.c_str());
     return 2;
   }
-  RewriteResult rewrite = DecideRewrite(p, v);
-  if (rewrite.status != RewriteStatus::kFound) {
+  ServiceResult<Answer> answer = service.Answer(id, qexpr);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "query: [%s] %s\n", ToString(answer.error().code),
+                 answer.error().message.c_str());
+    return 2;
+  }
+  if (!answer.value().hit) {
+    RewriteResult rewrite = DecideRewrite(
+        ParseXPath(qexpr).take(), service.view(view.value())->pattern);
     std::printf("no equivalent rewriting: %s\n",
                 rewrite.explanation.c_str());
     return 1;
   }
-  MaterializedView view({"view", v}, doc);
-  std::vector<NodeId> answers = view.Apply(rewrite.rewriting);
-  std::printf("rewriting %s over %zu materialized subtree(s): %zu "
-              "result(s)\n",
-              ToXPath(rewrite.rewriting).c_str(), view.outputs().size(),
-              answers.size());
-  bool consistent = answers == Eval(p, doc);
+  std::printf("rewriting %s over view '%s': %zu result(s)\n",
+              ToXPath(answer.value().rewriting).c_str(),
+              answer.value().view_name.c_str(),
+              answer.value().outputs.size());
+  bool consistent =
+      answer.value().outputs ==
+      Eval(ParseXPath(qexpr).take(), *service.document(id));
   std::printf("cross-check vs direct evaluation: %s\n",
               consistent ? "identical" : "MISMATCH (bug)");
   return consistent ? 0 : 2;

@@ -1,0 +1,298 @@
+#include "api/service.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "pattern/xpath_parser.h"
+#include "util/thread_pool.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+ServiceError MakeError(ServiceErrorCode code, std::string message,
+                       int64_t offset = -1) {
+  return ServiceError{code, std::move(message), offset};
+}
+
+ServiceError XPathError(std::string_view what, std::string_view input,
+                        const XPathParseError& error) {
+  return MakeError(
+      ServiceErrorCode::kParseError,
+      std::string(what) + ": " + error.Format(input),
+      static_cast<int64_t>(error.offset));
+}
+
+}  // namespace
+
+const char* ToString(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kParseError:
+      return "parse_error";
+    case ServiceErrorCode::kUnknownDocument:
+      return "unknown_document";
+    case ServiceErrorCode::kDuplicateViewName:
+      return "duplicate_view_name";
+    case ServiceErrorCode::kEmptyPattern:
+      return "empty_pattern";
+  }
+  return "unknown";
+}
+
+/// One served document. Heap-allocated so the `Tree` (whose address the
+/// cache and its materialized views capture) and the cache stay put while
+/// `shards_` grows.
+struct Service::Shard {
+  Shard(Tree tree_in, const RewriteOptions& options, ContainmentOracle* oracle)
+      : tree(std::move(tree_in)), cache(tree, options, oracle) {}
+
+  Tree tree;
+  ViewCache cache;
+  std::unordered_map<std::string, int32_t> view_index_by_name;
+};
+
+Service::Service(ServiceOptions options)
+    : options_(std::move(options)),
+      oracle_(std::make_unique<ContainmentOracle>(options_.oracle_capacity)) {
+  // The shared oracle is the only one the caches ever see; a caller-set
+  // rewrite.oracle would dangle across documents, so it is overwritten.
+  options_.rewrite.oracle = oracle_.get();
+}
+
+Service::~Service() = default;
+Service::Service(Service&&) noexcept = default;
+Service& Service::operator=(Service&&) noexcept = default;
+
+Service::Shard* Service::Find(DocumentId id) {
+  if (id.value < 0 || id.value >= static_cast<int32_t>(shards_.size())) {
+    return nullptr;
+  }
+  return shards_[static_cast<size_t>(id.value)].get();
+}
+
+const Service::Shard* Service::Find(DocumentId id) const {
+  return const_cast<Service*>(this)->Find(id);
+}
+
+ThreadPool* Service::EnsurePool(int workers) {
+  if (workers <= 1) return nullptr;
+  // Threads are an execution resource, not part of the answer: the shard
+  // partition (and hence every answer) depends only on the caller's
+  // num_workers, so the pool size is capped by the hardware instead of
+  // trusting the request — a huge num_workers must not exhaust
+  // std::thread and terminate the process.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cap = std::max(4, static_cast<int>(hw));
+  const int threads = std::min(workers, cap);
+  if (pool_ == nullptr || pool_->num_threads() < threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
+
+DocumentId Service::AddDocument(Tree document) {
+  shards_.push_back(std::make_unique<Shard>(std::move(document),
+                                            options_.rewrite, oracle_.get()));
+  return DocumentId{static_cast<int32_t>(shards_.size()) - 1};
+}
+
+ServiceResult<DocumentId> Service::AddDocument(std::string_view xml) {
+  Result<Tree> parsed = ParseXml(xml);
+  if (!parsed.ok()) {
+    ++failed_requests_;
+    return ServiceResult<DocumentId>::Error(
+        MakeError(ServiceErrorCode::kParseError, "document: " + parsed.error()));
+  }
+  return AddDocument(parsed.take());
+}
+
+const Tree* Service::document(DocumentId id) const {
+  const Shard* shard = Find(id);
+  return shard == nullptr ? nullptr : &shard->tree;
+}
+
+ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
+                                       Pattern pattern) {
+  Shard* shard = Find(document);
+  if (shard == nullptr) {
+    ++failed_requests_;
+    return ServiceResult<ViewId>::Error(
+        MakeError(ServiceErrorCode::kUnknownDocument,
+                  "unknown document id " + std::to_string(document.value)));
+  }
+  if (pattern.IsEmpty()) {
+    ++failed_requests_;
+    return ServiceResult<ViewId>::Error(
+        MakeError(ServiceErrorCode::kEmptyPattern,
+                  "view '" + name + "': the empty pattern selects nothing"));
+  }
+  if (shard->view_index_by_name.count(name) > 0) {
+    ++failed_requests_;
+    return ServiceResult<ViewId>::Error(
+        MakeError(ServiceErrorCode::kDuplicateViewName,
+                  "document already has a view named '" + name + "'"));
+  }
+  const int32_t index =
+      shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
+  shard->view_index_by_name.emplace(std::move(name), index);
+  return ViewId{document, index};
+}
+
+ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
+                                       std::string_view xpath) {
+  Result<Pattern, XPathParseError> parsed = ParseXPathDetailed(xpath);
+  if (!parsed.ok()) {
+    ++failed_requests_;
+    return ServiceResult<ViewId>::Error(
+        XPathError("view '" + name + "'", xpath, parsed.error()));
+  }
+  return AddView(document, std::move(name), parsed.take());
+}
+
+int Service::num_views(DocumentId document) const {
+  const Shard* shard = Find(document);
+  return shard == nullptr
+             ? 0
+             : static_cast<int>(shard->cache.views().size());
+}
+
+const ViewDefinition* Service::view(ViewId id) const {
+  const Shard* shard = Find(id.document);
+  if (shard == nullptr || id.index < 0 ||
+      id.index >= static_cast<int32_t>(shard->cache.views().size())) {
+    return nullptr;
+  }
+  return &shard->cache.views()[static_cast<size_t>(id.index)].definition();
+}
+
+ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
+                                      const Query& query) {
+  Shard* shard = Find(document);
+  if (shard == nullptr) {
+    ++failed_requests_;
+    return ServiceResult<xpv::Answer>::Error(
+        MakeError(ServiceErrorCode::kUnknownDocument,
+                  "unknown document id " + std::to_string(document.value)));
+  }
+  if (query.holds_pattern()) {
+    return shard->cache.Answer(query.pattern());
+  }
+  Result<Pattern, XPathParseError> parsed = ParseXPathDetailed(query.xpath());
+  if (!parsed.ok()) {
+    ++failed_requests_;
+    return ServiceResult<xpv::Answer>::Error(
+        XPathError("query", query.xpath(), parsed.error()));
+  }
+  return shard->cache.Answer(parsed.value());
+}
+
+ServiceResult<BatchAnswers> Service::AnswerBatch(
+    const std::vector<BatchItem>& items, int num_workers) {
+  const int workers =
+      num_workers > 0 ? num_workers : std::max(options_.default_workers, 1);
+  const size_t n = items.size();
+
+  // Resolve every item up front: look the document up and parse XPath
+  // queries. A failed item keeps its error and stays out of the batch;
+  // everything else proceeds.
+  struct Resolved {
+    Shard* shard = nullptr;
+    Pattern pattern = Pattern::Empty();
+    std::optional<ServiceError> error;  // Set iff the item failed.
+  };
+  std::vector<Resolved> resolved(n);
+  for (size_t i = 0; i < n; ++i) {
+    Resolved& r = resolved[i];
+    r.shard = Find(items[i].document);
+    if (r.shard == nullptr) {
+      ++failed_requests_;
+      r.error = MakeError(
+          ServiceErrorCode::kUnknownDocument,
+          "unknown document id " + std::to_string(items[i].document.value));
+      continue;
+    }
+    const Query& query = items[i].query;
+    if (query.holds_pattern()) {
+      r.pattern = query.pattern();
+      continue;
+    }
+    Result<Pattern, XPathParseError> parsed =
+        ParseXPathDetailed(query.xpath());
+    if (!parsed.ok()) {
+      ++failed_requests_;
+      r.error = XPathError("query", query.xpath(), parsed.error());
+      r.shard = nullptr;
+      continue;
+    }
+    r.pattern = parsed.take();
+  }
+
+  // Group the live items per document shard (in request order — the order
+  // a per-document `AnswerMany` loop would see) and run each document's
+  // slice through the batched/parallel pipeline on the shared pool.
+  std::vector<Shard*> shard_order;
+  std::unordered_map<Shard*, std::vector<size_t>> by_shard;
+  for (size_t i = 0; i < n; ++i) {
+    if (resolved[i].shard == nullptr) continue;
+    auto [it, inserted] =
+        by_shard.try_emplace(resolved[i].shard, std::vector<size_t>());
+    if (inserted) shard_order.push_back(resolved[i].shard);
+    it->second.push_back(i);
+  }
+  std::vector<std::optional<CacheAnswer>> answers(n);
+  size_t live_items = 0;
+  for (Shard* shard : shard_order) live_items += by_shard[shard].size();
+  ThreadPool* pool =
+      EnsurePool(std::min<int>(workers, static_cast<int>(live_items)));
+  for (Shard* shard : shard_order) {
+    const std::vector<size_t>& indices = by_shard[shard];
+    std::vector<Pattern> queries;
+    queries.reserve(indices.size());
+    // The patterns are dead after this copy-out (only `error` is read
+    // below), so move them instead of deep-copying.
+    for (size_t i : indices) queries.push_back(std::move(resolved[i].pattern));
+    std::vector<CacheAnswer> slice =
+        shard->cache.AnswerMany(queries, workers, pool);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      answers[indices[k]] = std::move(slice[k]);
+    }
+  }
+
+  BatchAnswers out;
+  out.answers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (resolved[i].error.has_value()) {
+      out.answers.push_back(
+          ServiceResult<xpv::Answer>::Error(std::move(*resolved[i].error)));
+    } else {
+      out.answers.push_back(std::move(*answers[i]));
+    }
+  }
+  return out;
+}
+
+ServiceStats Service::stats() const {
+  ServiceStats stats;
+  stats.documents = shards_.size();
+  stats.failed_requests = failed_requests_;
+  for (const auto& shard : shards_) {
+    stats.views += shard->cache.views().size();
+    const CacheStats& cache_stats = shard->cache.stats();
+    stats.queries += cache_stats.queries;
+    stats.hits += cache_stats.hits;
+    stats.rewrite_unknown += cache_stats.rewrite_unknown;
+  }
+  stats.oracle_hits = oracle_->hits();
+  stats.oracle_misses = oracle_->misses();
+  return stats;
+}
+
+const ViewCache* Service::cache(DocumentId id) const {
+  const Shard* shard = Find(id);
+  return shard == nullptr ? nullptr : &shard->cache;
+}
+
+}  // namespace xpv

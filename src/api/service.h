@@ -1,0 +1,265 @@
+#ifndef XPV_API_SERVICE_H_
+#define XPV_API_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "containment/oracle.h"
+#include "pattern/pattern.h"
+#include "rewrite/engine.h"
+#include "util/result.h"
+#include "views/view_cache.h"
+#include "xml/tree.h"
+
+namespace xpv {
+
+class ThreadPool;
+
+/// Machine-readable classification of a `Service` failure. Every fallible
+/// entry point of the serving facade reports one of these through
+/// `ServiceResult` — no user input can reach an assert/abort through
+/// `src/api/`.
+enum class ServiceErrorCode {
+  kParseError,         ///< Malformed XPath or XML input.
+  kUnknownDocument,    ///< The `DocumentId` was not minted by this Service.
+  kDuplicateViewName,  ///< The document already has a view with this name.
+  kEmptyPattern,       ///< The pattern is the empty pattern Υ.
+};
+
+/// Stable identifier string for a code (e.g. "parse_error").
+const char* ToString(ServiceErrorCode code);
+
+/// A structured `Service` failure: code, human-readable message (for parse
+/// errors including the one-line `position N: ...` summary plus caret
+/// context), and — for `kParseError` on XPath input — the byte offset of
+/// the offending character (-1 when unavailable).
+struct ServiceError {
+  ServiceErrorCode code = ServiceErrorCode::kParseError;
+  std::string message;
+  int64_t offset = -1;
+};
+
+/// `Result` flavors used by the facade: structured errors, not strings.
+/// `ServiceStatus` is the payload-free flavor for mutation APIs (e.g. a
+/// future RemoveDocument); no current entry point returns it.
+template <typename T>
+using ServiceResult = Result<T, ServiceError>;
+using ServiceStatus = Result<void, ServiceError>;
+
+/// Interned handle to a document registered with a `Service`.
+struct DocumentId {
+  int32_t value = -1;
+
+  bool valid() const { return value >= 0; }
+  friend bool operator==(DocumentId a, DocumentId b) {
+    return a.value == b.value;
+  }
+  friend bool operator!=(DocumentId a, DocumentId b) {
+    return a.value != b.value;
+  }
+};
+
+/// Interned handle to a view: the owning document plus the view's index
+/// within that document's cache (the same index `ViewCache::AddView`
+/// returns).
+struct ViewId {
+  DocumentId document;
+  int32_t index = -1;
+
+  bool valid() const { return document.valid() && index >= 0; }
+  friend bool operator==(ViewId a, ViewId b) {
+    return a.document == b.document && a.index == b.index;
+  }
+  friend bool operator!=(ViewId a, ViewId b) { return !(a == b); }
+};
+
+/// A typed query request: either an already-built `Pattern` or an XPath
+/// string the Service parses on demand. Batches deduplicate requests by
+/// the pattern's canonical fingerprint (two textually different XPaths for
+/// isomorphic patterns are answered once). XPath parse failures surface as
+/// `ServiceError`s; inside a batch they fail only their own slot.
+class Query {
+ public:
+  Query(Pattern pattern)  // NOLINT(runtime/explicit)
+      : pattern_(std::move(pattern)), has_pattern_(true) {}
+  Query(std::string xpath)  // NOLINT(runtime/explicit)
+      : pattern_(Pattern::Empty()), xpath_(std::move(xpath)) {}
+  Query(std::string_view xpath)  // NOLINT(runtime/explicit)
+      : Query(std::string(xpath)) {}
+  // A null C string is treated as empty (which parses to a structured
+  // "empty expression" error) — never undefined behavior.
+  Query(const char* xpath)  // NOLINT(runtime/explicit)
+      : Query(std::string(xpath == nullptr ? "" : xpath)) {}
+
+  bool holds_pattern() const { return has_pattern_; }
+  /// The held pattern. Requires `holds_pattern()`.
+  const Pattern& pattern() const { return pattern_; }
+  /// The held XPath string. Requires `!holds_pattern()`.
+  const std::string& xpath() const { return xpath_; }
+
+ private:
+  Pattern pattern_;
+  std::string xpath_;
+  bool has_pattern_ = false;
+};
+
+/// The serving-facade answer is the cache answer: hit/miss, the view and
+/// rewriting used, and the query result as sorted node ids of the
+/// document.
+using Answer = CacheAnswer;
+
+/// One request of a cross-document batch.
+struct BatchItem {
+  DocumentId document;
+  Query query;
+};
+
+/// Per-item outcomes of `Service::AnswerBatch`, parallel to the request
+/// vector: a slot fails alone (malformed XPath, unknown document) without
+/// disturbing the other answers.
+struct BatchAnswers {
+  std::vector<ServiceResult<Answer>> answers;
+
+  size_t size() const { return answers.size(); }
+};
+
+/// Aggregated serving statistics across every document of a `Service`.
+struct ServiceStats {
+  uint64_t documents = 0;
+  uint64_t views = 0;
+  uint64_t queries = 0;          ///< Queries answered (hits + misses).
+  uint64_t hits = 0;             ///< Answered through a view rewriting.
+  uint64_t rewrite_unknown = 0;  ///< Queries where some view got kUnknown.
+  uint64_t failed_requests = 0;  ///< Requests rejected with a ServiceError.
+  uint64_t oracle_hits = 0;      ///< Shared containment-oracle hits.
+  uint64_t oracle_misses = 0;    ///< Shared containment-oracle misses.
+};
+
+/// Configuration of a `Service`.
+struct ServiceOptions {
+  /// Engine options used by every per-document cache. The `oracle` field
+  /// is ignored: the Service always injects its own shared oracle.
+  RewriteOptions rewrite;
+  /// Capacity of the shared containment oracle.
+  size_t oracle_capacity = ContainmentOracle::kDefaultCapacity;
+  /// Worker count used by `AnswerBatch` when the call passes 0.
+  int default_workers = 1;
+};
+
+/// The multi-document serving facade — the paper's end-to-end story (a
+/// cache answering many users' queries from materialized views) behind one
+/// stable front door:
+///
+///   Service service;
+///   auto doc = service.AddDocument("<a><b><c/></b></a>");
+///   service.AddView(doc.value(), "b-view", "a/b");
+///   auto answer = service.Answer(doc.value(), "a/b/c");
+///
+/// Documents and views are interned behind `DocumentId`/`ViewId` handles;
+/// requests are `Query` values (pattern or XPath string); every fallible
+/// entry point returns `ServiceResult`/`ServiceStatus` with a structured
+/// `ServiceError` instead of asserting.
+///
+/// Internally the Service owns ONE shared `ContainmentOracle` and ONE
+/// lazily created `ThreadPool`, injected into a `ViewCache` per document:
+/// equivalence tests amortize across documents, and `AnswerBatch` routes
+/// each document's slice of a cross-document batch through the
+/// batched/parallel `AnswerMany` pipeline on the shared pool.
+///
+/// Not thread-safe: serialize calls externally (the parallelism lives
+/// inside `AnswerBatch`). Movable, not copyable.
+class Service {
+ public:
+  explicit Service(ServiceOptions options = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+  Service(Service&&) noexcept;
+  Service& operator=(Service&&) noexcept;
+
+  // ------------------------------------------------------------ documents
+
+  /// Registers an already-built document. Infallible.
+  DocumentId AddDocument(Tree document);
+
+  /// Parses `xml` and registers the resulting document.
+  ServiceResult<DocumentId> AddDocument(std::string_view xml);
+
+  int num_documents() const { return static_cast<int>(shards_.size()); }
+
+  /// The document behind `id`, or null when `id` is unknown.
+  const Tree* document(DocumentId id) const;
+
+  // ---------------------------------------------------------------- views
+
+  /// Materializes `pattern` over the document and registers it under
+  /// `name` (unique per document). Errors: unknown document, duplicate
+  /// view name, empty pattern.
+  ServiceResult<ViewId> AddView(DocumentId document, std::string name,
+                                Pattern pattern);
+
+  /// As above, from an XPath expression (adds: parse error with offset).
+  ServiceResult<ViewId> AddView(DocumentId document, std::string name,
+                                std::string_view xpath);
+
+  /// Number of views on `document` (0 when unknown).
+  int num_views(DocumentId document) const;
+
+  /// The view definition behind `id`, or null when `id` is unknown.
+  const ViewDefinition* view(ViewId id) const;
+
+  // -------------------------------------------------------------- serving
+
+  /// Answers one query against one document. An empty pattern selects
+  /// nothing and answers with an empty miss (matching `ViewCache`); a
+  /// malformed XPath or unknown document is a `ServiceError`.
+  /// (`xpv::Answer` is qualified because the member name shadows it.)
+  ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query);
+
+  /// Answers a cross-document batch: items are resolved (documents looked
+  /// up, XPath parsed), grouped per document, and each document's slice is
+  /// answered by the batched/parallel `ViewCache::AnswerMany` pipeline
+  /// (dedup by canonical fingerprint, shared candidate bundles, oracle
+  /// shards) over the Service's shared pool. Answers come back in request
+  /// order; a failed item (parse error, unknown document) occupies its
+  /// slot as an error without affecting the other items.
+  ///
+  /// `num_workers` <= 0 means `options.default_workers`. Answers are
+  /// identical for every worker count.
+  ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
+                                          int num_workers = 0);
+
+  // ------------------------------------------------------------ telemetry
+
+  /// Aggregated statistics (computed on demand).
+  ServiceStats stats() const;
+
+  /// The shared containment oracle.
+  const ContainmentOracle& oracle() const { return *oracle_; }
+
+  /// The per-document cache behind `id`, or null when `id` is unknown —
+  /// read-only escape hatch for telemetry and tests.
+  const ViewCache* cache(DocumentId id) const;
+
+ private:
+  struct Shard;  // One document: tree + per-document ViewCache + view names.
+
+  Shard* Find(DocumentId id);
+  const Shard* Find(DocumentId id) const;
+  /// Lazily (re)creates the shared pool so it has >= `workers` threads.
+  ThreadPool* EnsurePool(int workers);
+
+  ServiceOptions options_;
+  std::unique_ptr<ContainmentOracle> oracle_;  // Shared across documents.
+  std::unique_ptr<ThreadPool> pool_;           // Shared across documents.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t failed_requests_ = 0;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_API_SERVICE_H_

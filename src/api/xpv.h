@@ -1,0 +1,41 @@
+#ifndef XPV_API_XPV_H_
+#define XPV_API_XPV_H_
+
+/// The library's public entry header. Applications (and the bundled
+/// examples/tools) include `api/service.h` for the multi-document serving
+/// facade, or this umbrella when they also drive the lower-level research
+/// surfaces directly: pattern algebra, containment with witnesses,
+/// rewriting decisions with explanations, evaluation, view selection, and
+/// the XML/XPath front ends. Everything here is `namespace xpv`.
+///
+/// Headers outside `src/api/` are implementation-organized and may move
+/// between releases; downstream code should reach them only through this
+/// file.
+
+#include "api/service.h"
+
+// Front ends: XPath fragment XP^{//,[],*} and element-only XML.
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+#include "xml/xml_writer.h"
+
+// The data model: labeled trees, tree patterns, their algebra and
+// serializations.
+#include "pattern/algebra.h"
+#include "pattern/dot.h"
+#include "pattern/pattern.h"
+#include "pattern/serializer.h"
+#include "xml/label.h"
+#include "xml/tree.h"
+
+// Decision procedures and evaluation.
+#include "containment/containment.h"
+#include "containment/minimize.h"
+#include "containment/oracle.h"
+#include "eval/evaluator.h"
+#include "rewrite/engine.h"
+
+// Workload-driven view recommendation.
+#include "views/view_selection.h"
+
+#endif  // XPV_API_XPV_H_

@@ -40,6 +40,12 @@ namespace xpv {
 /// fleet of shards over one frozen shared oracle is lock-free; after the
 /// batch, `AbsorbFrom` merges each shard's entries (and counters) back
 /// into the shared oracle. This is the `ViewCache::AnswerMany` pipeline.
+///
+/// Because entries are keyed on pattern fingerprints only (documents never
+/// enter the cache), one oracle is safely shared across documents: the
+/// `xpv::Service` facade injects a single oracle into every per-document
+/// `ViewCache`, so a (query, view) pair decided for one document answers
+/// instantly for all others.
 class ContainmentOracle {
  public:
   static constexpr size_t kDefaultCapacity = 1 << 16;

@@ -3,17 +3,47 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 namespace xpv {
+
+std::string XPathParseError::Summary() const {
+  return "position " + std::to_string(offset) + ": " + message;
+}
+
+std::string XPathParseError::Format(std::string_view input) const {
+  std::string out = Summary();
+  // Slice the context to the line containing `offset` — embedded newlines
+  // are legal whitespace in the grammar and would otherwise break the
+  // caret alignment. Within a line, byte offset == display column (NAME
+  // tokens and punctuation are ASCII).
+  const size_t clamped = offset < input.size() ? offset : input.size();
+  size_t line_begin = 0;
+  if (clamped > 0) {
+    const size_t nl = input.rfind('\n', clamped - 1);
+    if (nl != std::string_view::npos) line_begin = nl + 1;
+  }
+  size_t line_end = input.find('\n', clamped);
+  if (line_end == std::string_view::npos) line_end = input.size();
+  const std::string_view line = input.substr(line_begin, line_end - line_begin);
+  out += "\n  ";
+  out.append(line.data(), line.size());
+  out += "\n  ";
+  out.append(clamped - line_begin, ' ');
+  out += '^';
+  return out;
+}
+
 namespace {
 
-/// Recursive-descent parser over the grammar in the header.
+/// Recursive-descent parser over the grammar in the header. Every failure
+/// site records the byte offset of the offending character.
 class Parser {
  public:
   explicit Parser(std::string_view input) : input_(input) {}
 
-  Result<Pattern> Parse() {
+  Result<Pattern, XPathParseError> Parse() {
     SkipSpace();
     if (AtEnd()) return Err("empty expression");
 
@@ -32,17 +62,17 @@ class Parser {
     // label; we used a placeholder above, so parse the first step now.
     NodeId current;
     if (leading_descendant) {
-      Result<NodeId> first =
+      Result<NodeId, XPathParseError> first =
           ParseStep(&p, p.root(), EdgeType::kDescendant);
-      if (!first.ok()) return Result<Pattern>::Error(first.error());
+      if (!first.ok()) return Fail(first.error());
       current = first.value();
     } else {
-      Result<LabelId> label = ParseStepLabel();
-      if (!label.ok()) return Result<Pattern>::Error(label.error());
+      Result<LabelId, XPathParseError> label = ParseStepLabel();
+      if (!label.ok()) return Fail(label.error());
       p.set_label(p.root(), label.value());
       current = p.root();
-      if (auto err = ParsePredicates(&p, current); !err.empty()) {
-        return Result<Pattern>::Error(err);
+      if (auto err = ParsePredicates(&p, current); err.has_value()) {
+        return Fail(*err);
       }
     }
 
@@ -60,8 +90,8 @@ class Parser {
       } else {
         return Err(std::string("unexpected character '") + Peek() + "'");
       }
-      Result<NodeId> next = ParseStep(&p, current, edge);
-      if (!next.ok()) return Result<Pattern>::Error(next.error());
+      Result<NodeId, XPathParseError> next = ParseStep(&p, current, edge);
+      if (!next.ok()) return Fail(next.error());
       current = next.value();
     }
 
@@ -83,23 +113,29 @@ class Parser {
     }
   }
 
-  Result<Pattern> Err(const std::string& message) const {
-    return Result<Pattern>::Error("XPath parse error (offset " +
-                                  std::to_string(pos_) + "): " + message);
+  /// An error at the current position.
+  XPathParseError Here(std::string message) const {
+    return XPathParseError{pos_, std::move(message)};
+  }
+  Result<Pattern, XPathParseError> Err(std::string message) const {
+    return Fail(Here(std::move(message)));
+  }
+  static Result<Pattern, XPathParseError> Fail(XPathParseError error) {
+    return Result<Pattern, XPathParseError>::Error(std::move(error));
   }
 
-  Result<LabelId> ParseStepLabel() {
+  Result<LabelId, XPathParseError> ParseStepLabel() {
     SkipSpace();
-    if (AtEnd()) return Result<LabelId>::Error("expected a step");
+    if (AtEnd()) {
+      return Result<LabelId, XPathParseError>::Error(Here("expected step"));
+    }
     if (Peek() == '*') {
       ++pos_;
       return LabelStore::kWildcard;
     }
     char first = Peek();
     if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
-      return Result<LabelId>::Error(
-          std::string("XPath parse error: expected name or '*', got '") +
-          first + "'");
+      return Result<LabelId, XPathParseError>::Error(Here("expected step"));
     }
     std::string name;
     while (!AtEnd()) {
@@ -117,22 +153,25 @@ class Parser {
 
   /// Parses `step` and attaches it under `parent` with edge `edge`.
   /// Returns the new node's id.
-  Result<NodeId> ParseStep(Pattern* p, NodeId parent, EdgeType edge) {
-    Result<LabelId> label = ParseStepLabel();
-    if (!label.ok()) return Result<NodeId>::Error(label.error());
+  Result<NodeId, XPathParseError> ParseStep(Pattern* p, NodeId parent,
+                                            EdgeType edge) {
+    Result<LabelId, XPathParseError> label = ParseStepLabel();
+    if (!label.ok()) {
+      return Result<NodeId, XPathParseError>::Error(label.error());
+    }
     NodeId node = p->AddChild(parent, label.value(), edge);
-    if (std::string err = ParsePredicates(p, node); !err.empty()) {
-      return Result<NodeId>::Error(err);
+    if (auto err = ParsePredicates(p, node); err.has_value()) {
+      return Result<NodeId, XPathParseError>::Error(*err);
     }
     return node;
   }
 
   /// Parses zero or more `[rel]` predicates attached to `node`. Returns an
-  /// error message, or empty string on success.
-  std::string ParsePredicates(Pattern* p, NodeId node) {
+  /// error, or nullopt on success.
+  std::optional<XPathParseError> ParsePredicates(Pattern* p, NodeId node) {
     while (true) {
       SkipSpace();
-      if (AtEnd() || Peek() != '[') return "";
+      if (AtEnd() || Peek() != '[') return std::nullopt;
       ++pos_;  // '['
       SkipSpace();
       EdgeType first_edge = EdgeType::kChild;
@@ -140,12 +179,12 @@ class Parser {
         first_edge = EdgeType::kDescendant;
         pos_ += 2;
       }
-      Result<NodeId> first = ParseStep(p, node, first_edge);
+      Result<NodeId, XPathParseError> first = ParseStep(p, node, first_edge);
       if (!first.ok()) return first.error();
       NodeId current = first.value();
       while (true) {
         SkipSpace();
-        if (AtEnd()) return "XPath parse error: unterminated predicate";
+        if (AtEnd()) return Here("unterminated predicate: expected ']'");
         if (Peek() == ']') {
           ++pos_;
           break;
@@ -158,12 +197,10 @@ class Parser {
           edge = EdgeType::kChild;
           ++pos_;
         } else {
-          return std::string(
-                     "XPath parse error: unexpected character in predicate "
-                     "'") +
-                 Peek() + "'";
+          return Here(std::string("unexpected character in predicate '") +
+                      Peek() + "'");
         }
-        Result<NodeId> next = ParseStep(p, current, edge);
+        Result<NodeId, XPathParseError> next = ParseStep(p, current, edge);
         if (!next.ok()) return next.error();
         current = next.value();
       }
@@ -176,8 +213,17 @@ class Parser {
 
 }  // namespace
 
-Result<Pattern> ParseXPath(std::string_view input) {
+Result<Pattern, XPathParseError> ParseXPathDetailed(std::string_view input) {
   return Parser(input).Parse();
+}
+
+Result<Pattern> ParseXPath(std::string_view input) {
+  Result<Pattern, XPathParseError> result = ParseXPathDetailed(input);
+  if (!result.ok()) {
+    return Result<Pattern>::Error("XPath parse error: " +
+                                  result.error().Format(input));
+  }
+  return result.take();
 }
 
 Pattern MustParseXPath(std::string_view input) {

@@ -1,12 +1,32 @@
 #ifndef XPV_PATTERN_XPATH_PARSER_H_
 #define XPV_PATTERN_XPATH_PARSER_H_
 
+#include <cstddef>
+#include <string>
 #include <string_view>
 
 #include "pattern/pattern.h"
 #include "util/result.h"
 
 namespace xpv {
+
+/// A structured XPath parse failure: what went wrong and where. `offset`
+/// is the byte offset into the input at which the parser gave up (for
+/// `a[b//]` the offset is 5, the ']' where a step was expected).
+struct XPathParseError {
+  size_t offset = 0;
+  std::string message;  ///< e.g. "expected step".
+
+  /// One-line summary: `position 5: expected step`.
+  std::string Summary() const;
+
+  /// Multi-line rendering with a caret marking `offset` in `input`:
+  ///
+  ///   position 5: expected step
+  ///     a[b//]
+  ///          ^
+  std::string Format(std::string_view input) const;
+};
 
 /// Parses an expression of the XPath fragment XP^{//,[],*} into a `Pattern`.
 ///
@@ -31,6 +51,14 @@ namespace xpv {
 ///
 /// NAME tokens are [A-Za-z_][A-Za-z0-9_.-]*; names starting with '#' are
 /// rejected (reserved for internal labels).
+///
+/// On failure the error carries the byte offset of the first offending
+/// character; the `xpv::Service` layer surfaces it (with caret context)
+/// through `ServiceError`.
+Result<Pattern, XPathParseError> ParseXPathDetailed(std::string_view input);
+
+/// String-error convenience wrapper around `ParseXPathDetailed`: the error
+/// is `XPathParseError::Format(input)` (one-line summary + caret context).
 Result<Pattern> ParseXPath(std::string_view input);
 
 /// Convenience for tests and examples: parses `input` and aborts on error.

@@ -52,6 +52,9 @@ struct RewriteOptions {
   /// Optional memoizing containment oracle. When set, the candidate
   /// equivalence tests go through it, amortizing the coNP work across
   /// repeated decisions (cache workloads ask about overlapping patterns).
+  /// This is the injection seam of the serving layers: `ViewCache` points
+  /// it at its (owned or injected) oracle, and `xpv::Service` threads its
+  /// ONE shared oracle through here into every per-document cache.
   /// Not owned; must outlive the call. May be null.
   ContainmentOracle* oracle = nullptr;
 };

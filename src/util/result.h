@@ -2,25 +2,31 @@
 #define XPV_UTIL_RESULT_H_
 
 #include <cassert>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
 
 namespace xpv {
 
-/// A minimal value-or-error holder used by the parsers and other fallible
-/// operations. The library does not use exceptions; fallible entry points
-/// return `Result<T>` and callers are expected to check `ok()` before
-/// dereferencing.
-template <typename T>
+/// A minimal value-or-error holder used by the parsers, the serving facade
+/// and other fallible operations. The library does not use exceptions;
+/// fallible entry points return `Result<T, E>` and callers are expected to
+/// check `ok()` before dereferencing.
+///
+/// `E` defaults to `std::string` (a bare human-readable message); richer
+/// layers substitute structured error types (`XPathParseError`,
+/// `ServiceError`). The error is boxed internally so `Result<T, T>` and
+/// `Result<std::string>` stay unambiguous.
+template <typename T, typename E = std::string>
 class Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
 
-  /// Constructs an error result carrying a human-readable message.
-  static Result Error(std::string message) {
-    return Result(ErrorTag{}, std::move(message));
+  /// Constructs an error result carrying `error`.
+  static Result Error(E error) {
+    return Result(ErrorBox{std::move(error)});
   }
 
   /// True if this result holds a value.
@@ -36,24 +42,69 @@ class Result {
     return std::get<0>(storage_);
   }
 
-  /// Moves the held value out. Requires `ok()`.
-  T&& take() {
+  /// Moves the held value out, returning it *by value* (the previous
+  /// `T&&` return made it easy to bind a reference to the spent
+  /// internals). Requires `ok()`; the result is left holding a
+  /// moved-from value.
+  T take() {
     assert(ok());
     return std::move(std::get<0>(storage_));
   }
 
-  /// The error message. Requires `!ok()`.
-  const std::string& error() const {
+  /// The held value, or `fallback` when this result is an error.
+  T value_or(T fallback) const& {
+    return ok() ? std::get<0>(storage_) : std::move(fallback);
+  }
+  T value_or(T fallback) && {
+    return ok() ? std::move(std::get<0>(storage_)) : std::move(fallback);
+  }
+
+  /// The error. Requires `!ok()`.
+  const E& error() const {
     assert(!ok());
-    return std::get<1>(storage_);
+    return std::get<1>(storage_).error;
   }
 
  private:
-  struct ErrorTag {};
-  Result(ErrorTag, std::string message) : storage_(std::move(message)) {}
+  struct ErrorBox {
+    E error;
+  };
+  explicit Result(ErrorBox box) : storage_(std::move(box)) {}
 
-  std::variant<T, std::string> storage_;
+  std::variant<T, ErrorBox> storage_;
 };
+
+/// The `Result<void, E>` specialization: success carries no value, so this
+/// is a plain "did it work" status for mutation APIs. Default-constructed
+/// means success.
+template <typename E>
+class Result<void, E> {
+ public:
+  /// Constructs a successful status.
+  Result() = default;
+
+  /// Constructs an error status carrying `error`.
+  static Result Error(E error) { return Result(std::move(error)); }
+
+  bool ok() const { return !error_.has_value(); }
+
+  /// The error. Requires `!ok()`.
+  const E& error() const {
+    assert(!ok());
+    return *error_;
+  }
+
+ private:
+  explicit Result(E error) : error_(std::move(error)) {}
+
+  std::optional<E> error_;
+};
+
+/// Status of a fallible mutation with a string diagnostic and no payload.
+using Status = Result<void>;
+
+/// Explicitly-named success value for `Status`-returning functions.
+inline Status OkStatus() { return Status(); }
 
 }  // namespace xpv
 

@@ -39,12 +39,20 @@ std::vector<NodeId> MaterializedView::Apply(const Pattern& r) const {
   return all;
 }
 
-ViewCache::ViewCache(const Tree& doc, RewriteOptions options)
+ViewCache::ViewCache(const Tree& doc, RewriteOptions options,
+                     ContainmentOracle* oracle)
     : doc_(&doc), options_(options) {
-  options_.oracle = &oracle_;
+  if (oracle == nullptr) {
+    owned_oracle_ = std::make_unique<ContainmentOracle>();
+    oracle = owned_oracle_.get();
+  }
+  oracle_ = oracle;
+  options_.oracle = oracle_;
 }
 
 ViewCache::~ViewCache() = default;
+ViewCache::ViewCache(ViewCache&&) noexcept = default;
+ViewCache& ViewCache::operator=(ViewCache&&) noexcept = default;
 
 int ViewCache::AddView(ViewDefinition definition) {
   views_.emplace_back(std::move(definition), *doc_);
@@ -96,7 +104,7 @@ CacheAnswer ViewCache::Answer(const Pattern& query) {
 }
 
 std::vector<CacheAnswer> ViewCache::AnswerMany(
-    const std::vector<Pattern>& queries, int num_workers) {
+    const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool) {
   // One work item per *distinct* query (canonical fingerprint — the same
   // identity the oracle keys on); duplicates are fanned out at the end.
   struct DistinctQuery {
@@ -168,10 +176,13 @@ std::vector<CacheAnswer> ViewCache::AnswerMany(
   const int n_items = static_cast<int>(items.size());
   const int workers = std::clamp(num_workers, 1, std::max(n_items, 1));
   if (workers <= 1 || n_items <= 1) {
-    process(0, n_items, &oracle_);
+    process(0, n_items, oracle_);
   } else {
-    if (pool_ == nullptr || pool_->num_threads() != workers) {
-      pool_ = std::make_unique<ThreadPool>(workers);
+    if (pool == nullptr) {
+      if (pool_ == nullptr || pool_->num_threads() != workers) {
+        pool_ = std::make_unique<ThreadPool>(workers);
+      }
+      pool = pool_.get();
     }
     // Per-worker shards read through the shared oracle, which stays frozen
     // until every worker has finished; the merge below publishes the
@@ -180,8 +191,8 @@ std::vector<CacheAnswer> ViewCache::AnswerMany(
     shards.reserve(static_cast<size_t>(workers));
     for (int w = 0; w < workers; ++w) {
       shards.push_back(
-          std::make_unique<ContainmentOracle>(oracle_.capacity()));
-      shards.back()->set_fallback(&oracle_);
+          std::make_unique<ContainmentOracle>(oracle_->capacity()));
+      shards.back()->set_fallback(oracle_);
     }
     const int base = n_items / workers;
     const int extra = n_items % workers;
@@ -189,13 +200,13 @@ std::vector<CacheAnswer> ViewCache::AnswerMany(
     for (int w = 0; w < workers; ++w) {
       const int end = begin + base + (w < extra ? 1 : 0);
       ContainmentOracle* shard = shards[static_cast<size_t>(w)].get();
-      pool_->Submit([&process, begin, end, shard] {
+      pool->Submit([&process, begin, end, shard] {
         process(begin, end, shard);
       });
       begin = end;
     }
-    pool_->Wait();
-    for (const auto& shard : shards) oracle_.AbsorbFrom(*shard);
+    pool->Wait();
+    for (const auto& shard : shards) oracle_->AbsorbFrom(*shard);
   }
 
   // Fan the distinct answers out to the original order; statistics

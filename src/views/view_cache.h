@@ -95,14 +95,25 @@ struct CacheStats {
 /// oracle and are merged back afterwards (`ContainmentOracle::AbsorbFrom`).
 class ViewCache {
  public:
-  /// `doc` must outlive the cache.
-  explicit ViewCache(const Tree& doc, RewriteOptions options = {});
+  /// `doc` must outlive the cache. When `oracle` is non-null the cache
+  /// uses it instead of creating its own — the multi-document
+  /// `xpv::Service` injects ONE shared oracle into every per-document
+  /// cache so equivalence tests amortize across documents; it is not
+  /// owned and must outlive the cache. When null, the cache owns a
+  /// private oracle (heap-allocated, so moving the cache is safe).
+  explicit ViewCache(const Tree& doc, RewriteOptions options = {},
+                     ContainmentOracle* oracle = nullptr);
   ~ViewCache();
 
-  // Not copyable or movable (the engine options point at the internal
-  // oracle).
   ViewCache(const ViewCache&) = delete;
   ViewCache& operator=(const ViewCache&) = delete;
+
+  // Movable: the oracle lives on the heap (or externally), so the
+  // `options_.oracle` pointer stays valid across moves. A moved-from
+  // cache may only be destroyed or assigned to. (Defined out of line —
+  // the defaulted bodies need the complete ThreadPool type.)
+  ViewCache(ViewCache&&) noexcept;
+  ViewCache& operator=(ViewCache&&) noexcept;
 
   /// Materializes and registers a view. Returns its index.
   int AddView(ViewDefinition definition);
@@ -120,18 +131,26 @@ class ViewCache {
   /// natural-candidate bundle over its first admissible view is built
   /// exactly once and shared between the `ContainedMany` oracle warm-up
   /// and `DecideRewrite`. With `num_workers` > 1 the distinct queries are
-  /// partitioned over a worker pool; each worker answers through its own
-  /// oracle shard (reading through the shared oracle, which is frozen for
-  /// the duration of the batch), and the shards are absorbed into the
-  /// shared oracle afterwards, so the whole batch is lock-free.
+  /// partitioned into `num_workers` chunks over a worker pool; each chunk
+  /// answers through its own oracle shard (reading through the shared
+  /// oracle, which is frozen for the duration of the batch), and the
+  /// shards are absorbed into the shared oracle afterwards, so the whole
+  /// batch is lock-free.
+  ///
+  /// `pool`, when non-null, supplies the worker threads (not owned; the
+  /// `Service` layer shares ONE pool across all documents). Its thread
+  /// count need not match `num_workers` — the chunk/shard partition, and
+  /// hence the answers and statistics, depend only on `num_workers`.
+  /// When null, the cache lazily creates a private pool.
   std::vector<CacheAnswer> AnswerMany(const std::vector<Pattern>& queries,
-                                      int num_workers = 1);
+                                      int num_workers = 1,
+                                      ThreadPool* pool = nullptr);
 
   const CacheStats& stats() const { return stats_; }
 
   /// The cache's memoizing containment oracle (repeated queries amortize
   /// their equivalence tests through it).
-  const ContainmentOracle& oracle() const { return oracle_; }
+  const ContainmentOracle& oracle() const { return *oracle_; }
 
   /// The view-pruning index (per-view selection summaries).
   const ViewIndex& index() const { return index_; }
@@ -147,12 +166,14 @@ class ViewCache {
                         CacheStats* stats) const;
 
   const Tree* doc_;
-  RewriteOptions options_;
-  ContainmentOracle oracle_;
+  RewriteOptions options_;  // options_.oracle == oracle_.
+  std::unique_ptr<ContainmentOracle> owned_oracle_;  // Null when injected.
+  ContainmentOracle* oracle_;  // owned_oracle_.get() or the injected one.
   std::vector<MaterializedView> views_;
   ViewIndex index_;
   CacheStats stats_;
-  std::unique_ptr<ThreadPool> pool_;  // Lazily created by AnswerMany.
+  std::unique_ptr<ThreadPool> pool_;  // Lazily created by AnswerMany when
+                                      // no external pool is supplied.
 };
 
 }  // namespace xpv

@@ -1,0 +1,88 @@
+#include "util/result.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace xpv {
+namespace {
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> ok(7);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+
+  Result<int> bad = Result<int>::Error("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "nope");
+}
+
+TEST(ResultTest, TakeReturnsByValue) {
+  // take() must hand back an owning T, not a reference into the spent
+  // result: the returned object stays alive independently of the Result.
+  Result<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  std::vector<int> taken = [](Result<std::vector<int>> r) {
+    return r.take();  // `r` dies at the end of the lambda.
+  }(std::move(result));
+  EXPECT_EQ(taken, (std::vector<int>{1, 2, 3}));
+
+  // Move-only payloads move out.
+  Result<std::unique_ptr<int>> owner(std::make_unique<int>(42));
+  std::unique_ptr<int> p = owner.take();
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(*p, 42);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> ok(3);
+  EXPECT_EQ(ok.value_or(9), 3);
+  EXPECT_EQ(Result<int>::Error("x").value_or(9), 9);
+
+  Result<std::string> err = Result<std::string>::Error("boom");
+  EXPECT_EQ(err.value_or("fallback"), "fallback");
+}
+
+TEST(ResultTest, StringPayloadIsUnambiguous) {
+  // T == E == std::string: the boxed error keeps the variant well-formed.
+  Result<std::string> ok(std::string("payload"));
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), "payload");
+  Result<std::string> bad = Result<std::string>::Error("message");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error(), "message");
+}
+
+TEST(ResultTest, StructuredErrorType) {
+  struct ParseFailure {
+    int offset;
+    std::string what;
+  };
+  Result<int, ParseFailure> bad =
+      Result<int, ParseFailure>::Error({5, "expected step"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().offset, 5);
+  EXPECT_EQ(bad.error().what, "expected step");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+TEST(StatusTest, DefaultIsOkAndErrorCarriesMessage) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(OkStatus().ok());
+
+  Status failed = Status::Error("disk on fire");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error(), "disk on fire");
+
+  struct Code {
+    int value;
+  };
+  Result<void, Code> typed = Result<void, Code>::Error({404});
+  EXPECT_FALSE(typed.ok());
+  EXPECT_EQ(typed.error().value, 404);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,360 @@
+// The multi-document serving facade: handle interning, Result-typed
+// failure paths (nothing aborts on user input), equivalence with direct
+// per-document ViewCache use, and the cross-document batch pipeline.
+
+#include "api/service.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+#include "views/view_cache.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Tree Doc(const char* xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+TEST(ServiceTest, AddDocumentFromXmlAndAnswer) {
+  Service service;
+  ServiceResult<DocumentId> doc =
+      service.AddDocument("<a><b><c/><c/></b><b/></a>");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_TRUE(doc.value().valid());
+  EXPECT_EQ(service.num_documents(), 1);
+
+  ServiceResult<ViewId> view = service.AddView(doc.value(), "b-view", "a/b");
+  ASSERT_TRUE(view.ok()) << view.error().message;
+  EXPECT_TRUE(view.value().valid());
+  EXPECT_EQ(service.view(view.value())->name, "b-view");
+
+  ServiceResult<Answer> answer = service.Answer(doc.value(), "a/b/c");
+  ASSERT_TRUE(answer.ok()) << answer.error().message;
+  EXPECT_TRUE(answer.value().hit);
+  EXPECT_EQ(answer.value().view_name, "b-view");
+  EXPECT_EQ(answer.value().outputs,
+            Eval(MustParseXPath("a/b/c"), *service.document(doc.value())));
+}
+
+TEST(ServiceTest, MalformedXmlDocumentIsAParseError) {
+  Service service;
+  ServiceResult<DocumentId> doc = service.AddDocument("<a><b></a>");
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.error().code, ServiceErrorCode::kParseError);
+  EXPECT_EQ(service.num_documents(), 0);
+  EXPECT_EQ(service.stats().failed_requests, 1u);
+}
+
+TEST(ServiceTest, MalformedViewXPathCarriesOffset) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  ServiceResult<ViewId> view = service.AddView(doc, "bad", "a[b//]");
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.error().code, ServiceErrorCode::kParseError);
+  EXPECT_EQ(view.error().offset, 5);
+  EXPECT_NE(view.error().message.find("position 5: expected step"),
+            std::string::npos)
+      << view.error().message;
+  // The caret context line points at the offending byte.
+  EXPECT_NE(view.error().message.find("a[b//]"), std::string::npos);
+  EXPECT_EQ(service.num_views(doc), 0);
+}
+
+TEST(ServiceTest, DuplicateViewNameIsRejected) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/><c/></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  ServiceResult<ViewId> dup = service.AddView(doc, "v", "a/c");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, ServiceErrorCode::kDuplicateViewName);
+  EXPECT_EQ(service.num_views(doc), 1);
+  // The same name is fine on a different document.
+  DocumentId other = service.AddDocument(Doc("<a><b/></a>"));
+  EXPECT_TRUE(service.AddView(other, "v", "a/b").ok());
+}
+
+TEST(ServiceTest, UnknownDocumentIsRejected) {
+  Service service;
+  DocumentId real = service.AddDocument(Doc("<a><b/></a>"));
+  DocumentId bogus{7};
+  ServiceResult<ViewId> view = service.AddView(bogus, "v", "a/b");
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.error().code, ServiceErrorCode::kUnknownDocument);
+
+  ServiceResult<Answer> answer = service.Answer(bogus, "a/b");
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.error().code, ServiceErrorCode::kUnknownDocument);
+
+  EXPECT_EQ(service.document(bogus), nullptr);
+  EXPECT_EQ(service.document(DocumentId{}), nullptr);
+  EXPECT_NE(service.document(real), nullptr);
+}
+
+TEST(ServiceTest, EmptyViewPatternIsRejected) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a/>"));
+  ServiceResult<ViewId> view = service.AddView(doc, "v", Pattern::Empty());
+  ASSERT_FALSE(view.ok());
+  EXPECT_EQ(view.error().code, ServiceErrorCode::kEmptyPattern);
+}
+
+TEST(ServiceTest, EmptyPatternQueryAnswersLikeViewCache) {
+  // Υ selects nothing; the facade mirrors ViewCache::Answer instead of
+  // erroring, so pattern-level callers keep the same semantics.
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  ServiceResult<Answer> answer = service.Answer(doc, Pattern::Empty());
+  ASSERT_TRUE(answer.ok());
+  EXPECT_FALSE(answer.value().hit);
+  EXPECT_TRUE(answer.value().outputs.empty());
+}
+
+TEST(ServiceTest, AnswerEquivalentToDirectViewCachePerDocument) {
+  const char* xml =
+      "<a><b><c/><c><d/></c></b><b><c/><e/></b><x><b><c/></b><y/></x></a>";
+  const char* views[] = {"a/b", "a/x"};
+  const char* queries[] = {"a/b/c",  "a/b",   "a//b/c", "a/x/y",
+                           "a/b[e]", "a/q/r", "a/b/c/d"};
+
+  Service service;
+  DocumentId doc = service.AddDocument(Doc(xml));
+  Tree direct_doc = Doc(xml);
+  ViewCache direct(direct_doc);
+  int vi = 0;
+  for (const char* view : views) {
+    ASSERT_TRUE(
+        service.AddView(doc, "v" + std::to_string(vi++), view).ok());
+    direct.AddView({"v" + std::to_string(vi - 1), MustParseXPath(view)});
+  }
+  for (const char* query : queries) {
+    ServiceResult<Answer> answer = service.Answer(doc, query);
+    ASSERT_TRUE(answer.ok()) << query;
+    CacheAnswer expected = direct.Answer(MustParseXPath(query));
+    EXPECT_EQ(answer.value().hit, expected.hit) << query;
+    EXPECT_EQ(answer.value().view_name, expected.view_name) << query;
+    EXPECT_EQ(answer.value().outputs, expected.outputs) << query;
+    EXPECT_EQ(answer.value().rewriting.CanonicalEncoding(),
+              expected.rewriting.CanonicalEncoding())
+        << query;
+  }
+  EXPECT_EQ(service.stats().queries, direct.stats().queries);
+  EXPECT_EQ(service.stats().hits, direct.stats().hits);
+}
+
+TEST(ServiceTest, BatchFailedSlotsDoNotDisturbTheOthers) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  std::vector<BatchItem> items = {
+      {doc, "a/b/c"},
+      {doc, "a[b//"},     // Malformed: fails alone.
+      {DocumentId{42}, "a/b"},  // Unknown document: fails alone.
+      {doc, "a/b"},
+  };
+  ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, 2);
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch.value().size(), items.size());
+
+  EXPECT_TRUE(batch.value().answers[0].ok());
+  EXPECT_TRUE(batch.value().answers[0].value().hit);
+
+  ASSERT_FALSE(batch.value().answers[1].ok());
+  EXPECT_EQ(batch.value().answers[1].error().code,
+            ServiceErrorCode::kParseError);
+  EXPECT_GE(batch.value().answers[1].error().offset, 0);
+
+  ASSERT_FALSE(batch.value().answers[2].ok());
+  EXPECT_EQ(batch.value().answers[2].error().code,
+            ServiceErrorCode::kUnknownDocument);
+
+  EXPECT_TRUE(batch.value().answers[3].ok());
+  EXPECT_TRUE(batch.value().answers[3].value().hit);
+
+  EXPECT_EQ(service.stats().failed_requests, 2u);
+  EXPECT_EQ(service.stats().queries, 2u);
+}
+
+TEST(ServiceTest, CrossDocumentBatchMatchesPerDocumentAnswerManyLoops) {
+  // Service::AnswerBatch over N documents must return exactly what a
+  // per-document ViewCache::AnswerMany loop returns, for every worker
+  // count (the acceptance bar of the api_redesign issue).
+  struct DocSpec {
+    const char* xml;
+    std::vector<const char*> views;
+  };
+  const DocSpec specs[] = {
+      {"<a><b><c/><c><d/></c></b><b><e/></b></a>", {"a/b"}},
+      {"<a><x><b><c/></b></x><b><c/></b></a>", {"a//b", "a/x"}},
+      {"<r><s><t/><t><u/></t></s></r>", {"r/s"}},
+  };
+  const char* queries[] = {"a/b/c",   "a/b",   "a//b/c", "r/s/t",
+                           "a/x/b/c", "r/s/t/u", "a/b/c", "q/z"};
+
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE(workers);
+    Service service;
+    std::vector<DocumentId> ids;
+    // Direct per-document twins, sharing nothing with the service.
+    std::vector<Tree> twin_docs;
+    twin_docs.reserve(3);
+    std::vector<ViewCache> twins;
+    twins.reserve(3);
+    for (const DocSpec& spec : specs) {
+      DocumentId id = service.AddDocument(Doc(spec.xml));
+      ids.push_back(id);
+      twin_docs.push_back(Doc(spec.xml));
+      twins.emplace_back(twin_docs.back());
+      int vi = 0;
+      for (const char* view : spec.views) {
+        std::string name = "v" + std::to_string(vi++);
+        ASSERT_TRUE(service.AddView(id, name, view).ok());
+        twins.back().AddView({name, MustParseXPath(view)});
+      }
+    }
+
+    // Round-robin the queries over the documents.
+    std::vector<BatchItem> items;
+    std::vector<std::vector<Pattern>> per_doc(3);
+    for (size_t i = 0; i < std::size(queries); ++i) {
+      const size_t d = i % 3;
+      items.push_back({ids[d], queries[i]});
+      per_doc[d].push_back(MustParseXPath(queries[i]));
+    }
+
+    ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, workers);
+    ASSERT_TRUE(batch.ok());
+    ASSERT_EQ(batch.value().size(), items.size());
+
+    std::vector<std::vector<CacheAnswer>> expected;
+    for (size_t d = 0; d < 3; ++d) {
+      expected.push_back(twins[d].AnswerMany(per_doc[d], workers));
+    }
+    std::vector<size_t> next(3, 0);
+    for (size_t i = 0; i < items.size(); ++i) {
+      const size_t d = i % 3;
+      ASSERT_TRUE(batch.value().answers[i].ok()) << i;
+      const Answer& actual = batch.value().answers[i].value();
+      const CacheAnswer& want = expected[d][next[d]++];
+      EXPECT_EQ(actual.hit, want.hit) << i;
+      EXPECT_EQ(actual.view_name, want.view_name) << i;
+      EXPECT_EQ(actual.outputs, want.outputs) << i;
+      EXPECT_EQ(actual.rewriting.CanonicalEncoding(),
+                want.rewriting.CanonicalEncoding())
+          << i;
+    }
+    // Aggregated statistics equal the sum of the per-document loops.
+    uint64_t want_queries = 0, want_hits = 0;
+    for (const ViewCache& twin : twins) {
+      want_queries += twin.stats().queries;
+      want_hits += twin.stats().hits;
+    }
+    EXPECT_EQ(service.stats().queries, want_queries);
+    EXPECT_EQ(service.stats().hits, want_hits);
+    EXPECT_EQ(service.stats().documents, 3u);
+    EXPECT_EQ(service.stats().views, 4u);
+  }
+}
+
+TEST(ServiceTest, SharedOracleAmortizesAcrossDocuments) {
+  // Two documents with the same view/query shapes: the second document's
+  // equivalence tests must be answered from the shared oracle (its miss
+  // count does not grow).
+  Service service;
+  DocumentId d1 = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  DocumentId d2 = service.AddDocument(Doc("<a><b><c/><c/></b><b/></a>"));
+  ASSERT_TRUE(service.AddView(d1, "v", "a/b").ok());
+  ASSERT_TRUE(service.AddView(d2, "v", "a/b").ok());
+
+  ASSERT_TRUE(service.Answer(d1, "a/b/c").ok());
+  const uint64_t misses_after_first = service.oracle().misses();
+  ServiceResult<Answer> second = service.Answer(d2, "a/b/c");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().hit);
+  EXPECT_EQ(service.oracle().misses(), misses_after_first);
+  EXPECT_GT(service.oracle().hits(), 0u);
+}
+
+TEST(ServiceTest, QueriesDeduplicateByCanonicalFingerprint) {
+  // Textually different XPaths with isomorphic patterns are answered as
+  // one distinct query by the batch pipeline.
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b><b><d/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  std::vector<BatchItem> items = {
+      {doc, "a[b/c]/b"},
+      {doc, " a [ b / c ] / b "},  // Same pattern, different spelling.
+      {doc, Query(MustParseXPath("a[b/c]/b"))},
+  };
+  ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, 1);
+  ASSERT_TRUE(batch.ok());
+  for (const auto& slot : batch.value().answers) {
+    ASSERT_TRUE(slot.ok());
+    EXPECT_EQ(slot.value().outputs,
+              batch.value().answers[0].value().outputs);
+  }
+  // Three requests counted, one scan performed: hits/misses accrued once.
+  EXPECT_EQ(service.stats().queries, 3u);
+  EXPECT_EQ(service.cache(doc)->stats().queries, 3u);
+}
+
+TEST(ServiceTest, NullCStringQueryIsAParseErrorNotUB) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  const char* null_xpath = nullptr;
+  ServiceResult<Answer> answer = service.Answer(doc, null_xpath);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.error().code, ServiceErrorCode::kParseError);
+}
+
+TEST(ServiceTest, HugeWorkerCountIsCappedNotFatal) {
+  // The shard partition depends on num_workers, but the thread pool is
+  // capped by the hardware — an absurd request must neither spawn that
+  // many threads nor change the answers.
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b><b><d/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  std::vector<BatchItem> items = {
+      {doc, "a/b/c"}, {doc, "a/b/d"}, {doc, "a/b"}};
+  ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, 1 << 20);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(batch.value().answers[i].ok()) << i;
+    ServiceResult<Answer> single =
+        service.Answer(doc, items[i].query);
+    ASSERT_TRUE(single.ok()) << i;
+    EXPECT_EQ(batch.value().answers[i].value().outputs,
+              single.value().outputs)
+        << i;
+  }
+}
+
+TEST(ServiceTest, ServiceIsMovable) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+
+  Service moved = std::move(service);
+  ServiceResult<Answer> answer = moved.Answer(doc, "a/b/c");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value().hit);
+}
+
+TEST(ServiceTest, ErrorCodeNames) {
+  EXPECT_STREQ(ToString(ServiceErrorCode::kParseError), "parse_error");
+  EXPECT_STREQ(ToString(ServiceErrorCode::kUnknownDocument),
+               "unknown_document");
+  EXPECT_STREQ(ToString(ServiceErrorCode::kDuplicateViewName),
+               "duplicate_view_name");
+  EXPECT_STREQ(ToString(ServiceErrorCode::kEmptyPattern), "empty_pattern");
+}
+
+}  // namespace
+}  // namespace xpv

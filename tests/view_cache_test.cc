@@ -5,6 +5,7 @@
 #include "eval/evaluator.h"
 #include "pattern/algebra.h"
 #include "pattern/xpath_parser.h"
+#include "util/thread_pool.h"
 #include "xml/xml_parser.h"
 
 namespace xpv {
@@ -110,6 +111,65 @@ TEST(ViewCacheTest, StatsAccumulate) {
   cache.Answer(MustParseXPath("x/y"));     // Miss (root mismatch).
   EXPECT_EQ(cache.stats().queries, 3u);
   EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(ViewCacheTest, CacheIsMovable) {
+  // The oracle lives behind a stable pointer (owned heap allocation or an
+  // injected external one), so a cache can move — e.g. into the vector of
+  // per-document shards the Service layer keeps.
+  Tree doc = Doc("<a><b><c/></b><b/></a>");
+  ViewCache original(doc);
+  original.AddView({"b-view", MustParseXPath("a/b")});
+  CacheAnswer before = original.Answer(MustParseXPath("a/b/c"));
+
+  ViewCache moved = std::move(original);
+  CacheAnswer after = moved.Answer(MustParseXPath("a/b/c"));
+  EXPECT_EQ(after.hit, before.hit);
+  EXPECT_EQ(after.outputs, before.outputs);
+  EXPECT_EQ(moved.stats().queries, 2u);
+  // The second answer reuses the oracle entries warmed before the move.
+  EXPECT_GT(moved.oracle().hits(), 0u);
+
+  ViewCache assigned(doc);
+  assigned = std::move(moved);
+  EXPECT_EQ(assigned.Answer(MustParseXPath("a/b/c")).outputs, before.outputs);
+}
+
+TEST(ViewCacheTest, ExternalOracleIsSharedAcrossCaches) {
+  Tree doc1 = Doc("<a><b><c/></b></a>");
+  Tree doc2 = Doc("<a><b><c/><c/></b></a>");
+  ContainmentOracle oracle;
+  ViewCache cache1(doc1, RewriteOptions{}, &oracle);
+  ViewCache cache2(doc2, RewriteOptions{}, &oracle);
+  cache1.AddView({"v", MustParseXPath("a/b")});
+  cache2.AddView({"v", MustParseXPath("a/b")});
+
+  EXPECT_TRUE(cache1.Answer(MustParseXPath("a/b/c")).hit);
+  const uint64_t misses = oracle.misses();
+  // The same (query, view) shape on another document reuses the shared
+  // oracle's entries: no new containment computations.
+  EXPECT_TRUE(cache2.Answer(MustParseXPath("a/b/c")).hit);
+  EXPECT_EQ(oracle.misses(), misses);
+  EXPECT_EQ(&cache1.oracle(), &oracle);
+}
+
+TEST(ViewCacheTest, AnswerManyUsesExternalPool) {
+  Tree doc = Doc("<a><b><c/></b><b><c/><d/></b></a>");
+  ThreadPool pool(2);
+  ViewCache cache(doc);
+  cache.AddView({"b-view", MustParseXPath("a/b")});
+  std::vector<Pattern> queries = {MustParseXPath("a/b/c"),
+                                  MustParseXPath("a/b/d"),
+                                  MustParseXPath("a/b")};
+  std::vector<CacheAnswer> answers = cache.AnswerMany(queries, 4, &pool);
+  ViewCache sequential(doc);
+  sequential.AddView({"b-view", MustParseXPath("a/b")});
+  ASSERT_EQ(answers.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    CacheAnswer expected = sequential.Answer(queries[i]);
+    EXPECT_EQ(answers[i].hit, expected.hit) << i;
+    EXPECT_EQ(answers[i].outputs, expected.outputs) << i;
+  }
 }
 
 TEST(ViewCacheTest, AnswerManyMatchesSequentialAnswers) {

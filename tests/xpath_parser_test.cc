@@ -96,6 +96,56 @@ TEST(XPathParserTest, Errors) {
   EXPECT_FALSE(ParseXPath("a b").ok());
 }
 
+TEST(XPathParserTest, ErrorsCarryByteOffsets) {
+  struct Case {
+    const char* input;
+    size_t offset;
+  };
+  const Case cases[] = {
+      {"", 0},        // Empty expression.
+      {"a[b//]", 5},  // ']' where a step was expected.
+      {"a[", 2},      // Input ends where a step was expected.
+      {"a[b", 3},     // Unterminated predicate.
+      {"a/", 2},      // Trailing '/' without a step.
+      {"a]", 1},      // Stray ']'.
+      {"1abc", 0},    // Names cannot start with a digit.
+      {"a b", 2},     // Stray second name.
+  };
+  for (const Case& c : cases) {
+    Result<Pattern, XPathParseError> result = ParseXPathDetailed(c.input);
+    ASSERT_FALSE(result.ok()) << c.input;
+    EXPECT_EQ(result.error().offset, c.offset)
+        << c.input << ": " << result.error().message;
+  }
+}
+
+TEST(XPathParserTest, ErrorFormatHasSummaryAndCaretContext) {
+  Result<Pattern, XPathParseError> result = ParseXPathDetailed("a[b//]");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().Summary(), "position 5: expected step");
+  EXPECT_EQ(result.error().Format("a[b//]"),
+            "position 5: expected step\n"
+            "  a[b//]\n"
+            "       ^");
+  // The string-typed wrapper carries the same rendering.
+  Result<Pattern> wrapped = ParseXPath("a[b//]");
+  ASSERT_FALSE(wrapped.ok());
+  EXPECT_NE(wrapped.error().find("position 5: expected step"),
+            std::string::npos);
+}
+
+TEST(XPathParserTest, ErrorFormatSlicesToTheOffendingLine) {
+  // Newlines are legal whitespace; the caret context shows only the line
+  // containing the error, with the caret aligned within it.
+  Result<Pattern, XPathParseError> result = ParseXPathDetailed("a[\nb//]");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().offset, 6u);  // The ']' on the second line.
+  EXPECT_EQ(result.error().Format("a[\nb//]"),
+            "position 6: expected step\n"
+            "  b//]\n"
+            "     ^");
+}
+
 class RoundTripTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(RoundTripTest, SerializeThenParseIsIdentity) {
