@@ -1,0 +1,185 @@
+// Experiment C12: the thread-safe serving facade under concurrent callers.
+//
+// Measures xpv::Service with multiple caller threads sharing one Service:
+// single-query Answer throughput (per-call oracle shard + striped shared
+// locks), cross-document AnswerBatch throughput, and a mixed
+// readers-plus-writer workload (AddView/RemoveView churn on one document
+// while the others keep answering). The tracked claim: caller concurrency
+// adds no correctness cost and the lock striping keeps concurrent Answer
+// throughput within a small factor of the single-threaded facade.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/service.h"
+#include "bench_util.h"
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+/// A catalogue document (same family as bench_answer_many): structured
+/// regions that views cover plus unrelated noise.
+Tree CatalogueDoc(int noise_nodes, int entries) {
+  Tree doc(L("lib"));
+  NodeId section = doc.AddChild(doc.root(), L("section"));
+  for (int i = 0; i < entries; ++i) {
+    NodeId book = doc.AddChild(section, L("book"));
+    NodeId title = doc.AddChild(book, L("title"));
+    doc.AddChild(title, L("text"));
+    doc.AddChild(book, L("author"));
+  }
+  NodeId misc = doc.AddChild(doc.root(), L("misc"));
+  NodeId cur = misc;
+  for (int i = 0; i < noise_nodes; ++i) {
+    cur = doc.AddChild(cur, L(i % 3 == 0 ? "x" : (i % 3 == 1 ? "y" : "z")));
+    if (i % 7 == 0) cur = misc;
+  }
+  return doc;
+}
+
+const char* const kQueries[] = {
+    "lib/section/book/title", "lib/section/book/author",
+    "lib/section/book//text", "lib/section/book[author]/title",
+    "lib/section/book",       "lib/misc/x",
+};
+
+struct SharedService {
+  Service service;
+  std::vector<DocumentId> docs;
+
+  explicit SharedService(int num_docs) {
+    for (int d = 0; d < num_docs; ++d) {
+      DocumentId id = service.AddDocument(CatalogueDoc(1024, 24));
+      docs.push_back(id);
+      ServiceResult<ViewId> view =
+          service.AddView(id, "books", "lib/section/book");
+      if (!view.ok()) std::abort();
+    }
+  }
+};
+
+void VerifyConcurrentIdentity() {
+  // The bench's own sanity gate: answers through the shared Service equal
+  // direct evaluation for every (document, query).
+  SharedService shared(2);
+  for (DocumentId doc : shared.docs) {
+    for (const char* q : kQueries) {
+      ServiceResult<Answer> answer = shared.service.Answer(doc, q);
+      if (!answer.ok()) std::abort();
+      const Tree* tree = shared.service.document(doc);
+      if (answer.value().outputs != Eval(MustParseXPath(q), *tree)) {
+        std::abort();
+      }
+    }
+  }
+  std::printf(
+      "C12 check: concurrent-facade answers == direct evaluation over "
+      "%zu (doc, query) pairs\n",
+      shared.docs.size() * std::size(kQueries));
+}
+
+/// Concurrent single-query Answer: every benchmark thread hammers the
+/// SAME Service (its own rotation over documents and queries).
+void BM_ServiceAnswerConcurrent(benchmark::State& state) {
+  static SharedService* shared = new SharedService(4);
+  int i = state.thread_index();
+  size_t outputs = 0;
+  for (auto _ : state) {
+    const DocumentId doc =
+        shared->docs[static_cast<size_t>(i) % shared->docs.size()];
+    const char* query = kQueries[static_cast<size_t>(i) % std::size(kQueries)];
+    ServiceResult<Answer> answer = shared->service.Answer(doc, query);
+    if (!answer.ok()) std::abort();
+    outputs += answer.value().outputs.size();
+    ++i;
+  }
+  benchmark::DoNotOptimize(outputs);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceAnswerConcurrent)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+/// Concurrent cross-document batches: each thread submits 64-item batches
+/// spanning all documents through the shared pool.
+void BM_ServiceBatchConcurrent(benchmark::State& state) {
+  static SharedService* shared = new SharedService(4);
+  std::vector<BatchItem> items;
+  for (int k = 0; k < 64; ++k) {
+    items.push_back(
+        {shared->docs[static_cast<size_t>(k) % shared->docs.size()],
+         kQueries[static_cast<size_t>(k) % std::size(kQueries)]});
+  }
+  for (auto _ : state) {
+    ServiceResult<BatchAnswers> batch =
+        shared->service.AnswerBatch(items, /*num_workers=*/2);
+    if (!batch.ok()) std::abort();
+    benchmark::DoNotOptimize(batch.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+}
+BENCHMARK(BM_ServiceBatchConcurrent)
+    ->Threads(1)
+    ->Threads(2)
+    ->UseRealTime();
+
+/// Readers under writer churn: thread 0 cycles AddView/RemoveView on one
+/// document while the other threads answer against the rest — the striped
+/// locks confine the writer to its own shard.
+void BM_ServiceAnswerUnderViewChurn(benchmark::State& state) {
+  static SharedService* shared = new SharedService(4);
+  int i = state.thread_index();
+  size_t work = 0;
+  for (auto _ : state) {
+    if (state.thread_index() == 0 && state.threads() > 1) {
+      const DocumentId churn = shared->docs.back();
+      ServiceResult<ViewId> view = shared->service.AddView(
+          churn, "churn-" + std::to_string(i % 2), "lib/section/book/title");
+      if (view.ok()) {
+        if (!shared->service.RemoveView(view.value()).ok()) std::abort();
+      }
+      ++work;
+    } else {
+      const DocumentId doc =
+          shared->docs[static_cast<size_t>(i) % (shared->docs.size() - 1)];
+      ServiceResult<Answer> answer = shared->service.Answer(
+          doc, kQueries[static_cast<size_t>(i) % std::size(kQueries)]);
+      if (!answer.ok()) std::abort();
+      work += answer.value().outputs.size();
+    }
+    ++i;
+  }
+  benchmark::DoNotOptimize(work);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceAnswerUnderViewChurn)
+    ->Threads(2)
+    ->Threads(4)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace xpv
+
+int main(int argc, char** argv) {
+  xpv::benchutil::PrintHeader(
+      "C12", "concurrent multi-tenant serving facade (xpv::Service)",
+      "Claims: concurrent Answer/AnswerBatch callers over one Service are "
+      "safe (striped shard locks + synchronized oracle) and answers stay "
+      "identical to direct evaluation; writer churn on one document does "
+      "not block the others.");
+  xpv::VerifyConcurrentIdentity();
+  xpv::benchutil::InitWithJsonOutput(argc, argv,
+                                     "BENCH_service_concurrent.json");
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

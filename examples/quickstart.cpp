@@ -102,5 +102,19 @@ int main(int argc, char** argv) {
                 ToString(bad.error().code), bad.error().message.c_str());
   }
 
+  // 5. Handles are generation-tagged: after RemoveView the old ViewId is
+  // *detectably* stale — even though its slot is immediately recycled for
+  // the next view, it can never resolve to the wrong one.
+  ServiceStatus removed = service.RemoveView(view.value());
+  ServiceResult<ViewId> reborn = service.AddView(doc.value(), "demo-view",
+                                                 view_expr);
+  if (removed.ok() && reborn.ok()) {
+    std::printf("\nView removed and re-added: old handle %s, new handle "
+                "resolves to '%s'\n",
+                service.view(view.value()) == nullptr ? "is stale"
+                                                      : "RESOLVED (bug!)",
+                service.view(reborn.value())->name.c_str());
+  }
+
   return answer.value().outputs == direct ? 0 : 1;
 }

@@ -1,9 +1,15 @@
 #include "api/service.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "pattern/xpath_parser.h"
@@ -26,6 +32,29 @@ ServiceError XPathError(std::string_view what, std::string_view input,
       static_cast<int64_t>(error.offset));
 }
 
+ServiceError StaleError(std::string message) {
+  return MakeError(ServiceErrorCode::kStaleHandle, std::move(message));
+}
+
+ServiceError StaleDocumentError(DocumentId id) {
+  return StaleError("stale document handle (slot " + std::to_string(id.slot) +
+                    ", generation " + std::to_string(id.generation) +
+                    "): the document was removed or replaced");
+}
+
+ServiceError StaleViewError(ViewId id) {
+  return StaleError("stale view handle (slot " + std::to_string(id.slot) +
+                    ", generation " + std::to_string(id.generation) +
+                    "): the view was removed");
+}
+
+/// Mints unique, nonzero instance tags for `Service` objects process-wide,
+/// so a handle can prove which Service minted it.
+uint32_t MintServiceTag() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 const char* ToString(ServiceErrorCode code) {
@@ -38,43 +67,205 @@ const char* ToString(ServiceErrorCode code) {
       return "duplicate_view_name";
     case ServiceErrorCode::kEmptyPattern:
       return "empty_pattern";
+    case ServiceErrorCode::kStaleHandle:
+      return "stale_handle";
   }
   return "unknown";
 }
 
-/// One served document. Heap-allocated so the `Tree` (whose address the
+/// One live document. Heap-allocated so the `Tree` (whose address the
 /// cache and its materialized views capture) and the cache stay put while
-/// `shards_` grows.
+/// the slot table grows.
 struct Service::Shard {
   Shard(Tree tree_in, const RewriteOptions& options, ContainmentOracle* oracle)
       : tree(std::move(tree_in)), cache(tree, options, oracle) {}
 
   Tree tree;
   ViewCache cache;
-  std::unordered_map<std::string, int32_t> view_index_by_name;
+  std::unordered_map<std::string, int32_t> view_slot_by_name;
+
+  /// Mint-time generation of each view slot, parallel to `cache.views()`
+  /// (liveness itself is the cache's `view_active`). Generations come
+  /// from the DocSlot's monotonic counter, so a recycled view slot never
+  /// reuses one.
+  std::vector<uint32_t> view_generations;
+  std::vector<int32_t> free_view_slots;
+
+  /// True when `id` resolves to a live view of this shard: slot in range,
+  /// not tombstoned, and minted under the same generation.
+  bool ResolvesView(ViewId id) const {
+    return id.slot >= 0 &&
+           id.slot < static_cast<int32_t>(view_generations.size()) &&
+           cache.view_active(id.slot) &&
+           view_generations[static_cast<size_t>(id.slot)] == id.generation;
+  }
+
+  // Serving statistics. Answer paths hold the stripe lock in *shared*
+  // mode, so concurrent answers fold their per-call deltas atomically.
+  std::atomic<uint64_t> queries{0};
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> rewrite_unknown{0};
+
+  void FoldStats(const CacheStats& delta) {
+    queries.fetch_add(delta.queries, std::memory_order_relaxed);
+    hits.fetch_add(delta.hits, std::memory_order_relaxed);
+    rewrite_unknown.fetch_add(delta.rewrite_unknown,
+                              std::memory_order_relaxed);
+  }
+};
+
+/// One document slot: the stripe lock, the slot generation, and the
+/// current occupant. Slots are heap-stable (the table holds pointers) and
+/// never destroyed while the Service lives, so a resolved `DocSlot*`
+/// outlives any table growth.
+struct Service::DocSlot {
+  /// Stripe: shared = answer/lookup, exclusive = mutate this document.
+  mutable std::shared_mutex mu;
+  /// Bumped when the occupant is removed; handles carry the mint-time
+  /// value, so a recycled slot rejects its previous occupants' handles.
+  uint32_t generation = 1;
+  /// Monotonic view-generation mint for this slot's whole lifetime: view
+  /// handles stay detectably stale across `RemoveView` slot reuse AND
+  /// across `ReplaceDocument` (which rebuilds the view table from
+  /// scratch).
+  uint32_t next_view_generation = 1;
+  std::unique_ptr<Shard> shard;  // Null while the slot is free.
+};
+
+/// All Service state, heap-stable behind one pointer so moves are cheap
+/// and the mutexes never have to move.
+struct Service::State {
+  explicit State(ServiceOptions options_in)
+      : options(std::move(options_in)), tag(MintServiceTag()),
+        oracle(options.oracle_capacity) {
+    // The shared oracle is the only one the caches ever see; a caller-set
+    // rewrite.oracle would dangle across documents, so it is cleared (the
+    // per-call oracle is injected by the concurrent answer paths).
+    options.rewrite.oracle = nullptr;
+  }
+
+  ServiceOptions options;
+  const uint32_t tag;
+  SynchronizedOracle oracle;  // Shared across documents.
+
+  std::mutex pool_mu;                 // Guards pool creation/growth.
+  std::unique_ptr<ThreadPool> pool;   // Shared across documents.
+
+  /// Guards the slot table and the free list. Lock order: `table_mu`
+  /// before any `DocSlot::mu`; no code acquires `table_mu` while holding
+  /// a stripe.
+  mutable std::shared_mutex table_mu;
+  std::vector<std::unique_ptr<DocSlot>> slots;
+  std::vector<int32_t> free_slots;
+
+  std::atomic<uint64_t> failed_requests{0};
+
+  // Serving counters of shards that were removed/replaced: `stats()`
+  // totals must stay cumulative (monotonic) across document lifecycle.
+  // `retire_epoch` ticks once per completed retirement; the stats() walk
+  // retries when it observes a tick, so a removal racing the walk can
+  // neither drop a shard's counters (folded but slot already visited)
+  // nor double-count them.
+  std::atomic<uint64_t> retired_queries{0};
+  std::atomic<uint64_t> retired_hits{0};
+  std::atomic<uint64_t> retired_rewrite_unknown{0};
+  std::atomic<uint64_t> retire_epoch{0};
+
+  void CountFailure() {
+    failed_requests.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds a dying shard's counters into the retired totals. Requires the
+  /// shard's stripe held exclusively (no concurrent folds).
+  void RetireShard(const Shard& shard) {
+    retired_queries.fetch_add(shard.queries.load(std::memory_order_relaxed),
+                              std::memory_order_relaxed);
+    retired_hits.fetch_add(shard.hits.load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+    retired_rewrite_unknown.fetch_add(
+        shard.rewrite_unknown.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    retire_epoch.fetch_add(1, std::memory_order_release);
+  }
+
+  /// True when `slot` currently serves the document `id` was minted for.
+  /// Requires holding `slot.mu` (shared or exclusive).
+  static bool Live(const DocSlot& slot, DocumentId id) {
+    return slot.generation == id.generation && slot.shard != nullptr;
+  }
 };
 
 Service::Service(ServiceOptions options)
-    : options_(std::move(options)),
-      oracle_(std::make_unique<ContainmentOracle>(options_.oracle_capacity)) {
-  // The shared oracle is the only one the caches ever see; a caller-set
-  // rewrite.oracle would dangle across documents, so it is overwritten.
-  options_.rewrite.oracle = oracle_.get();
-}
+    : state_(std::make_unique<State>(std::move(options))) {}
 
 Service::~Service() = default;
 Service::Service(Service&&) noexcept = default;
 Service& Service::operator=(Service&&) noexcept = default;
 
-Service::Shard* Service::Find(DocumentId id) {
-  if (id.value < 0 || id.value >= static_cast<int32_t>(shards_.size())) {
-    return nullptr;
+/// Result of the shared-mode entry preamble: on success `shard` is
+/// non-null and `stripe` holds the slot's lock; on failure `shard` is
+/// null, no lock is held, and `error` explains why.
+struct Service::SharedAccess {
+  std::shared_lock<std::shared_mutex> stripe;
+  Shard* shard = nullptr;
+  ServiceError error;
+};
+
+/// Exclusive-mode flavor; also exposes the DocSlot for generation mints.
+struct Service::ExclusiveAccess {
+  std::unique_lock<std::shared_mutex> stripe;
+  DocSlot* slot = nullptr;
+  Shard* shard = nullptr;
+  ServiceError error;
+};
+
+Service::SharedAccess Service::LockLiveShared(DocumentId id) const {
+  SharedAccess access;
+  DocSlot* slot = FindSlot(id, &access.error);
+  if (slot == nullptr) return access;
+  access.stripe = std::shared_lock<std::shared_mutex>(slot->mu);
+  if (!State::Live(*slot, id)) {
+    access.stripe.unlock();
+    access.error = StaleDocumentError(id);
+    return access;
   }
-  return shards_[static_cast<size_t>(id.value)].get();
+  access.shard = slot->shard.get();
+  return access;
 }
 
-const Service::Shard* Service::Find(DocumentId id) const {
-  return const_cast<Service*>(this)->Find(id);
+Service::ExclusiveAccess Service::LockLiveExclusive(DocumentId id) {
+  ExclusiveAccess access;
+  DocSlot* slot = FindSlot(id, &access.error);
+  if (slot == nullptr) return access;
+  access.stripe = std::unique_lock<std::shared_mutex>(slot->mu);
+  if (!State::Live(*slot, id)) {
+    access.stripe.unlock();
+    access.error = StaleDocumentError(id);
+    return access;
+  }
+  access.slot = slot;
+  access.shard = slot->shard.get();
+  return access;
+}
+
+Service::DocSlot* Service::FindSlot(DocumentId id, ServiceError* error) const {
+  if (id.slot < 0 || id.generation == 0 || id.service == 0) {
+    *error = MakeError(ServiceErrorCode::kUnknownDocument,
+                       "document handle was never minted (slot " +
+                           std::to_string(id.slot) + ")");
+    return nullptr;
+  }
+  if (id.service != state_->tag) {
+    *error = StaleError(
+        "document handle was minted by a different Service instance");
+    return nullptr;
+  }
+  std::shared_lock<std::shared_mutex> table(state_->table_mu);
+  if (id.slot >= static_cast<int32_t>(state_->slots.size())) {
+    *error = StaleDocumentError(id);
+    return nullptr;
+  }
+  return state_->slots[static_cast<size_t>(id.slot)].get();
 }
 
 ThreadPool* Service::EnsurePool(int workers) {
@@ -87,131 +278,298 @@ ThreadPool* Service::EnsurePool(int workers) {
   const unsigned hw = std::thread::hardware_concurrency();
   const int cap = std::max(4, static_cast<int>(hw));
   const int threads = std::min(workers, cap);
-  if (pool_ == nullptr || pool_->num_threads() < threads) {
-    pool_ = std::make_unique<ThreadPool>(threads);
+  std::lock_guard<std::mutex> lock(state_->pool_mu);
+  if (state_->pool == nullptr) {
+    state_->pool = std::make_unique<ThreadPool>(threads);
+  } else {
+    // Grow in place, never shrink, and NEVER replace: concurrent batches
+    // may be running on this pool, and alternating small/large batches
+    // must reuse the max-size pool instead of joining and re-spawning
+    // threads per batch.
+    state_->pool->EnsureThreads(threads);
   }
-  return pool_.get();
+  return state_->pool.get();
 }
 
 DocumentId Service::AddDocument(Tree document) {
-  shards_.push_back(std::make_unique<Shard>(std::move(document),
-                                            options_.rewrite, oracle_.get()));
-  return DocumentId{static_cast<int32_t>(shards_.size()) - 1};
+  auto shard = std::make_unique<Shard>(std::move(document),
+                                       state_->options.rewrite,
+                                       &state_->oracle.unsynchronized());
+  int32_t s;
+  DocSlot* slot;
+  {
+    std::unique_lock<std::shared_mutex> table(state_->table_mu);
+    if (!state_->free_slots.empty()) {
+      s = state_->free_slots.back();
+      state_->free_slots.pop_back();
+    } else {
+      state_->slots.push_back(std::make_unique<DocSlot>());
+      s = static_cast<int32_t>(state_->slots.size()) - 1;
+    }
+    slot = state_->slots[static_cast<size_t>(s)].get();
+  }
+  // The stripe is taken AFTER releasing the table lock: a recycled slot's
+  // stripe may still be held shared by stale-handle readers (e.g. a long
+  // batch that resolved the slot before its generation check), and
+  // waiting them out must not stall the whole service behind the table
+  // writer. The slot itself is private here — it is off the free list and
+  // its generation rejects every outstanding handle.
+  std::unique_lock<std::shared_mutex> stripe(slot->mu);
+  slot->shard = std::move(shard);
+  return DocumentId{s, slot->generation, state_->tag};
 }
 
 ServiceResult<DocumentId> Service::AddDocument(std::string_view xml) {
   Result<Tree> parsed = ParseXml(xml);
   if (!parsed.ok()) {
-    ++failed_requests_;
+    state_->CountFailure();
     return ServiceResult<DocumentId>::Error(
         MakeError(ServiceErrorCode::kParseError, "document: " + parsed.error()));
   }
   return AddDocument(parsed.take());
 }
 
+ServiceStatus Service::RemoveDocument(DocumentId id) {
+  {
+    // The stripe waits out in-flight answers on THIS document only —
+    // traffic on other documents is untouched (holding the table lock
+    // here would stall the whole service behind a long batch).
+    ExclusiveAccess access = LockLiveExclusive(id);
+    if (access.shard == nullptr) {
+      state_->CountFailure();
+      return ServiceStatus::Error(std::move(access.error));
+    }
+    state_->RetireShard(*access.shard);
+    access.slot->shard.reset();
+    ++access.slot->generation;
+  }
+  // The stripe is released before the table lock (order: table before
+  // stripe, never the reverse). No double-free of the slot is possible —
+  // a racing RemoveDocument fails the generation check above, and the
+  // slot cannot be re-minted before this push because it is not on the
+  // free list yet.
+  std::unique_lock<std::shared_mutex> table(state_->table_mu);
+  state_->free_slots.push_back(id.slot);
+  return ServiceStatus();
+}
+
+ServiceStatus Service::ReplaceDocument(DocumentId id, Tree document) {
+  ExclusiveAccess access = LockLiveExclusive(id);
+  if (access.shard == nullptr) {
+    state_->CountFailure();
+    return ServiceStatus::Error(std::move(access.error));
+  }
+  // The document handle survives (same slot generation); every view dies
+  // with the old shard, and `next_view_generation` is monotonic across the
+  // swap, so the dropped views' handles stay detectably stale even after
+  // their slots are re-minted on the new shard. (Shard construction is
+  // cheap — the tree moves, the cache starts empty — so building it under
+  // the stripe is fine.)
+  state_->RetireShard(*access.shard);
+  access.slot->shard = std::make_unique<Shard>(
+      std::move(document), state_->options.rewrite,
+      &state_->oracle.unsynchronized());
+  return ServiceStatus();
+}
+
+ServiceStatus Service::ReplaceDocument(DocumentId id, std::string_view xml) {
+  Result<Tree> parsed = ParseXml(xml);
+  if (!parsed.ok()) {
+    state_->CountFailure();
+    return ServiceStatus::Error(
+        MakeError(ServiceErrorCode::kParseError, "document: " + parsed.error()));
+  }
+  return ReplaceDocument(id, parsed.take());
+}
+
+/// Snapshots the slot pointers under the table lock and RELEASES it
+/// before any stripe is touched: stats/num_documents must not couple
+/// table writers to a slow exclusive operation on one document. The
+/// pointers stay valid — slots are heap-stable for the Service's life.
+std::vector<Service::DocSlot*> Service::SnapshotSlots() const {
+  std::shared_lock<std::shared_mutex> table(state_->table_mu);
+  std::vector<DocSlot*> slots;
+  slots.reserve(state_->slots.size());
+  for (const auto& slot : state_->slots) slots.push_back(slot.get());
+  return slots;
+}
+
+int Service::num_documents() const {
+  int n = 0;
+  for (DocSlot* slot : SnapshotSlots()) {
+    std::shared_lock<std::shared_mutex> stripe(slot->mu);
+    if (slot->shard != nullptr) ++n;
+  }
+  return n;
+}
+
 const Tree* Service::document(DocumentId id) const {
-  const Shard* shard = Find(id);
-  return shard == nullptr ? nullptr : &shard->tree;
+  SharedAccess access = LockLiveShared(id);
+  return access.shard == nullptr ? nullptr : &access.shard->tree;
 }
 
 ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
                                        Pattern pattern) {
-  Shard* shard = Find(document);
-  if (shard == nullptr) {
-    ++failed_requests_;
-    return ServiceResult<ViewId>::Error(
-        MakeError(ServiceErrorCode::kUnknownDocument,
-                  "unknown document id " + std::to_string(document.value)));
+  ExclusiveAccess access = LockLiveExclusive(document);
+  if (access.shard == nullptr) {
+    state_->CountFailure();
+    return ServiceResult<ViewId>::Error(std::move(access.error));
   }
+  Shard* shard = access.shard;
   if (pattern.IsEmpty()) {
-    ++failed_requests_;
+    state_->CountFailure();
     return ServiceResult<ViewId>::Error(
         MakeError(ServiceErrorCode::kEmptyPattern,
                   "view '" + name + "': the empty pattern selects nothing"));
   }
-  if (shard->view_index_by_name.count(name) > 0) {
-    ++failed_requests_;
+  if (shard->view_slot_by_name.count(name) > 0) {
+    state_->CountFailure();
     return ServiceResult<ViewId>::Error(
         MakeError(ServiceErrorCode::kDuplicateViewName,
                   "document already has a view named '" + name + "'"));
   }
-  const int32_t index =
-      shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
-  shard->view_index_by_name.emplace(std::move(name), index);
-  return ViewId{document, index};
+  int32_t vs;
+  if (!shard->free_view_slots.empty()) {
+    vs = shard->free_view_slots.back();
+    shard->free_view_slots.pop_back();
+    shard->cache.ReplaceView(vs, ViewDefinition{name, std::move(pattern)});
+  } else {
+    vs = shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
+    shard->view_generations.resize(static_cast<size_t>(vs) + 1);
+  }
+  const uint32_t generation = access.slot->next_view_generation++;
+  shard->view_generations[static_cast<size_t>(vs)] = generation;
+  shard->view_slot_by_name.emplace(std::move(name), vs);
+  return ViewId{document, vs, generation};
 }
 
 ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
                                        std::string_view xpath) {
   Result<Pattern, XPathParseError> parsed = ParseXPathDetailed(xpath);
   if (!parsed.ok()) {
-    ++failed_requests_;
+    state_->CountFailure();
     return ServiceResult<ViewId>::Error(
         XPathError("view '" + name + "'", xpath, parsed.error()));
   }
   return AddView(document, std::move(name), parsed.take());
 }
 
+ServiceStatus Service::RemoveView(ViewId id) {
+  ExclusiveAccess access = LockLiveExclusive(id.document);
+  if (access.shard == nullptr) {
+    state_->CountFailure();
+    return ServiceStatus::Error(std::move(access.error));
+  }
+  Shard* shard = access.shard;
+  if (!shard->ResolvesView(id)) {
+    state_->CountFailure();
+    return ServiceStatus::Error(StaleViewError(id));
+  }
+  shard->view_slot_by_name.erase(
+      shard->cache.views()[static_cast<size_t>(id.slot)].definition().name);
+  shard->cache.RemoveView(id.slot);
+  shard->free_view_slots.push_back(id.slot);
+  return ServiceStatus();
+}
+
 int Service::num_views(DocumentId document) const {
-  const Shard* shard = Find(document);
-  return shard == nullptr
-             ? 0
-             : static_cast<int>(shard->cache.views().size());
+  SharedAccess access = LockLiveShared(document);
+  return access.shard == nullptr ? 0
+                                 : access.shard->cache.num_active_views();
 }
 
 const ViewDefinition* Service::view(ViewId id) const {
-  const Shard* shard = Find(id.document);
-  if (shard == nullptr || id.index < 0 ||
-      id.index >= static_cast<int32_t>(shard->cache.views().size())) {
+  SharedAccess access = LockLiveShared(id.document);
+  if (access.shard == nullptr || !access.shard->ResolvesView(id)) {
     return nullptr;
   }
-  return &shard->cache.views()[static_cast<size_t>(id.index)].definition();
+  return &access.shard->cache.views()[static_cast<size_t>(id.slot)]
+              .definition();
 }
 
 ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
-                                      const Query& query) {
-  Shard* shard = Find(document);
-  if (shard == nullptr) {
-    ++failed_requests_;
-    return ServiceResult<xpv::Answer>::Error(
-        MakeError(ServiceErrorCode::kUnknownDocument,
-                  "unknown document id " + std::to_string(document.value)));
-  }
+                                           const Query& query) {
+  // Parse BEFORE the stripe lock (no document state involved): the
+  // critical section covers only the answering itself, and parse-failure
+  // requests never touch the lock at all.
+  Pattern parsed_storage = Pattern::Empty();
+  const Pattern* pattern;
   if (query.holds_pattern()) {
-    return shard->cache.Answer(query.pattern());
+    pattern = &query.pattern();
+  } else {
+    Result<Pattern, XPathParseError> parsed =
+        ParseXPathDetailed(query.xpath());
+    if (!parsed.ok()) {
+      state_->CountFailure();
+      return ServiceResult<xpv::Answer>::Error(
+          XPathError("query", query.xpath(), parsed.error()));
+    }
+    parsed_storage = parsed.take();
+    pattern = &parsed_storage;
   }
-  Result<Pattern, XPathParseError> parsed = ParseXPathDetailed(query.xpath());
-  if (!parsed.ok()) {
-    ++failed_requests_;
-    return ServiceResult<xpv::Answer>::Error(
-        XPathError("query", query.xpath(), parsed.error()));
+  SharedAccess access = LockLiveShared(document);
+  if (access.shard == nullptr) {
+    state_->CountFailure();
+    return ServiceResult<xpv::Answer>::Error(std::move(access.error));
   }
-  return shard->cache.Answer(parsed.value());
+  CacheStats delta;
+  xpv::Answer answer =
+      access.shard->cache.AnswerConcurrent(*pattern, &state_->oracle, &delta);
+  access.shard->FoldStats(delta);
+  return answer;
 }
 
 ServiceResult<BatchAnswers> Service::AnswerBatch(
     const std::vector<BatchItem>& items, int num_workers) {
   const int workers =
-      num_workers > 0 ? num_workers : std::max(options_.default_workers, 1);
+      num_workers > 0 ? num_workers : std::max(state_->options.default_workers, 1);
   const size_t n = items.size();
 
-  // Resolve every item up front: look the document up and parse XPath
-  // queries. A failed item keeps its error and stays out of the batch;
-  // everything else proceeds.
+  // Resolve every item up front: look the document slot up and parse
+  // XPath queries. A failed item keeps its error and stays out of the
+  // batch; everything else proceeds.
   struct Resolved {
-    Shard* shard = nullptr;
+    DocSlot* slot = nullptr;  // Pre-generation-check resolution.
+    Shard* shard = nullptr;   // Filled under the stripe lock below.
     Pattern pattern = Pattern::Empty();
     std::optional<ServiceError> error;  // Set iff the item failed.
   };
   std::vector<Resolved> resolved(n);
+  // Batches routinely repeat a handful of documents: FindSlot (one table
+  // lock + validation) runs once per distinct same-tag handle, keyed on
+  // (slot, generation). The cache stores FindSlot's actual outcome —
+  // pointer AND error — so the two paths cannot drift.
+  struct CachedResolution {
+    DocSlot* slot = nullptr;
+    ServiceError error;  // FindSlot's error iff slot == nullptr.
+  };
+  std::unordered_map<uint64_t, CachedResolution> slot_cache;
+  auto pack = [](DocumentId d) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(d.slot)) << 32) |
+           static_cast<uint64_t>(d.generation);
+  };
   for (size_t i = 0; i < n; ++i) {
     Resolved& r = resolved[i];
-    r.shard = Find(items[i].document);
-    if (r.shard == nullptr) {
-      ++failed_requests_;
-      r.error = MakeError(
-          ServiceErrorCode::kUnknownDocument,
-          "unknown document id " + std::to_string(items[i].document.value));
+    const DocumentId id = items[i].document;
+    // Only well-formed same-tag handles are cacheable: (slot, generation)
+    // keys them uniquely, and FindSlot is deterministic for them within
+    // this call.
+    const bool cacheable =
+        id.service == state_->tag && id.slot >= 0 && id.generation != 0;
+    ServiceError slot_error;
+    auto cached = cacheable ? slot_cache.find(pack(id)) : slot_cache.end();
+    if (cached != slot_cache.end()) {
+      r.slot = cached->second.slot;
+      slot_error = cached->second.error;
+    } else {
+      r.slot = FindSlot(id, &slot_error);
+      if (cacheable) {
+        slot_cache.emplace(pack(id), CachedResolution{r.slot, slot_error});
+      }
+    }
+    if (r.slot == nullptr) {
+      state_->CountFailure();
+      r.error = std::move(slot_error);
       continue;
     }
     const Query& query = items[i].query;
@@ -222,16 +580,63 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
     Result<Pattern, XPathParseError> parsed =
         ParseXPathDetailed(query.xpath());
     if (!parsed.ok()) {
-      ++failed_requests_;
+      state_->CountFailure();
       r.error = XPathError("query", query.xpath(), parsed.error());
-      r.shard = nullptr;
+      r.slot = nullptr;
       continue;
     }
     r.pattern = parsed.take();
   }
 
+  // Take the stripe locks of every distinct slot in shared mode for the
+  // whole answering phase (the view sets must not mutate mid-batch), then
+  // finish the per-item generation checks under them. The locks are
+  // acquired in one canonical order (slot address) so two concurrent
+  // batches over overlapping document sets cannot chase each other's
+  // stripes in opposite directions.
+  std::vector<DocSlot*> distinct_slots;
+  {
+    std::unordered_set<DocSlot*> seen;
+    for (size_t i = 0; i < n; ++i) {
+      DocSlot* slot = resolved[i].slot;
+      if (slot != nullptr && seen.insert(slot).second) {
+        distinct_slots.push_back(slot);
+      }
+    }
+  }
+  std::sort(distinct_slots.begin(), distinct_slots.end());
+  std::vector<std::shared_lock<std::shared_mutex>> stripes;
+  stripes.reserve(distinct_slots.size());
+  std::unordered_map<DocSlot*, size_t> stripe_index;
+  for (DocSlot* slot : distinct_slots) {
+    stripe_index.emplace(slot, stripes.size());
+    stripes.emplace_back(slot->mu);
+  }
+  std::vector<char> stripe_live(stripes.size(), 0);
+  std::unordered_map<Shard*, size_t> stripe_of_shard;
+  for (size_t i = 0; i < n; ++i) {
+    Resolved& r = resolved[i];
+    if (r.slot == nullptr) continue;
+    if (!State::Live(*r.slot, items[i].document)) {
+      state_->CountFailure();
+      r.error = StaleDocumentError(items[i].document);
+      r.slot = nullptr;
+      continue;
+    }
+    const size_t si = stripe_index.at(r.slot);
+    stripe_live[si] = 1;
+    r.shard = r.slot->shard.get();
+    stripe_of_shard.emplace(r.shard, si);
+  }
+  // Drop the stripes of slots every item failed on (stale handles to a
+  // freed slot) — holding a dead slot's lock for the whole answering
+  // phase would needlessly delay an AddDocument recycling it.
+  for (size_t k = 0; k < stripes.size(); ++k) {
+    if (stripe_live[k] == 0) stripes[k].unlock();
+  }
+
   // Group the live items per document shard (in request order — the order
-  // a per-document `AnswerMany` loop would see) and run each document's
+  // a per-document answering loop would see) and run each document's
   // slice through the batched/parallel pipeline on the shared pool.
   std::vector<Shard*> shard_order;
   std::unordered_map<Shard*, std::vector<size_t>> by_shard;
@@ -254,11 +659,17 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
     // The patterns are dead after this copy-out (only `error` is read
     // below), so move them instead of deep-copying.
     for (size_t i : indices) queries.push_back(std::move(resolved[i].pattern));
-    std::vector<CacheAnswer> slice =
-        shard->cache.AnswerMany(queries, workers, pool);
+    CacheStats delta;
+    std::vector<CacheAnswer> slice = shard->cache.AnswerManyConcurrent(
+        queries, workers, pool, &state_->oracle, &delta);
+    shard->FoldStats(delta);
     for (size_t k = 0; k < indices.size(); ++k) {
       answers[indices[k]] = std::move(slice[k]);
     }
+    // This document's slice is done — release its stripe so writers on it
+    // are not held for the remaining documents' slices. (Each live slot
+    // maps to exactly one shard, so each stripe unlocks exactly once.)
+    stripes[stripe_of_shard.at(shard)].unlock();
   }
 
   BatchAnswers out;
@@ -276,23 +687,64 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
 
 ServiceStats Service::stats() const {
   ServiceStats stats;
-  stats.documents = shards_.size();
-  stats.failed_requests = failed_requests_;
-  for (const auto& shard : shards_) {
-    stats.views += shard->cache.views().size();
-    const CacheStats& cache_stats = shard->cache.stats();
-    stats.queries += cache_stats.queries;
-    stats.hits += cache_stats.hits;
-    stats.rewrite_unknown += cache_stats.rewrite_unknown;
+  stats.failed_requests =
+      state_->failed_requests.load(std::memory_order_relaxed);
+  // Cumulative serving counters: live shards plus retired (removed or
+  // replaced) ones, so totals never go backwards across the lifecycle.
+  // The walk retries when a retirement completed mid-walk — otherwise a
+  // shard folded into retired_* after its slot was visited would be
+  // counted twice, or one folded before the retired_* read but reset
+  // before its slot's visit would be dropped.
+  // Bounded retries: under sustained retirement churn the walk accepts
+  // the last (at-most-one-retirement-skewed) snapshot instead of
+  // spinning until the writers pause.
+  const std::vector<DocSlot*> slots = SnapshotSlots();
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const uint64_t epoch =
+        state_->retire_epoch.load(std::memory_order_acquire);
+    stats.documents = 0;
+    stats.views = 0;
+    stats.queries = state_->retired_queries.load(std::memory_order_relaxed);
+    stats.hits = state_->retired_hits.load(std::memory_order_relaxed);
+    stats.rewrite_unknown =
+        state_->retired_rewrite_unknown.load(std::memory_order_relaxed);
+    for (DocSlot* slot : slots) {
+      std::shared_lock<std::shared_mutex> stripe(slot->mu);
+      if (slot->shard == nullptr) continue;
+      ++stats.documents;
+      stats.views +=
+          static_cast<uint64_t>(slot->shard->cache.num_active_views());
+      stats.queries += slot->shard->queries.load(std::memory_order_relaxed);
+      stats.hits += slot->shard->hits.load(std::memory_order_relaxed);
+      stats.rewrite_unknown +=
+          slot->shard->rewrite_unknown.load(std::memory_order_relaxed);
+    }
+    if (state_->retire_epoch.load(std::memory_order_acquire) == epoch) break;
   }
-  stats.oracle_hits = oracle_->hits();
-  stats.oracle_misses = oracle_->misses();
+  stats.oracle_hits = state_->oracle.hits();
+  stats.oracle_misses = state_->oracle.misses();
+  {
+    std::lock_guard<std::mutex> lock(state_->pool_mu);
+    stats.pool_threads =
+        state_->pool == nullptr
+            ? 0
+            : static_cast<uint64_t>(state_->pool->num_threads());
+  }
   return stats;
 }
 
+const ContainmentOracle& Service::oracle() const {
+  return state_->oracle.unsynchronized();
+}
+
 const ViewCache* Service::cache(DocumentId id) const {
-  const Shard* shard = Find(id);
-  return shard == nullptr ? nullptr : &shard->cache;
+  SharedAccess access = LockLiveShared(id);
+  return access.shard == nullptr ? nullptr : &access.shard->cache;
+}
+
+const ThreadPool* Service::pool_for_testing() const {
+  std::lock_guard<std::mutex> lock(state_->pool_mu);
+  return state_->pool.get();
 }
 
 }  // namespace xpv

@@ -24,9 +24,15 @@ class ThreadPool;
 /// `src/api/`.
 enum class ServiceErrorCode {
   kParseError,         ///< Malformed XPath or XML input.
-  kUnknownDocument,    ///< The `DocumentId` was not minted by this Service.
+  kUnknownDocument,    ///< The handle was never minted (default/invalid).
   kDuplicateViewName,  ///< The document already has a view with this name.
   kEmptyPattern,       ///< The pattern is the empty pattern Υ.
+  /// The handle no longer (or never did) resolve on this Service: its
+  /// target was removed or replaced, its slot was recycled for a newer
+  /// object, or it was minted by a *different* Service instance. Stale
+  /// handles are detected exactly — a recycled slot never silently
+  /// resolves to the wrong document or view.
+  kStaleHandle,
 };
 
 /// Stable identifier string for a code (e.g. "parse_error").
@@ -43,35 +49,48 @@ struct ServiceError {
 };
 
 /// `Result` flavors used by the facade: structured errors, not strings.
-/// `ServiceStatus` is the payload-free flavor for mutation APIs (e.g. a
-/// future RemoveDocument); no current entry point returns it.
+/// `ServiceStatus` is the payload-free flavor of the mutation APIs
+/// (`RemoveDocument`, `ReplaceDocument`, `RemoveView`).
 template <typename T>
 using ServiceResult = Result<T, ServiceError>;
 using ServiceStatus = Result<void, ServiceError>;
 
-/// Interned handle to a document registered with a `Service`.
+/// Generation-tagged handle to a document registered with a `Service`.
+///
+/// `slot` is the dense storage index, `generation` disambiguates
+/// successive occupants of a recycled slot, and `service` is the instance
+/// tag of the minting Service — a handle fed to a different Service (which
+/// also mints slots from 0) is rejected with `kStaleHandle` instead of
+/// silently resolving to an unrelated document.
 struct DocumentId {
-  int32_t value = -1;
+  int32_t slot = -1;
+  uint32_t generation = 0;
+  uint32_t service = 0;
 
-  bool valid() const { return value >= 0; }
+  bool valid() const { return slot >= 0 && generation != 0 && service != 0; }
   friend bool operator==(DocumentId a, DocumentId b) {
-    return a.value == b.value;
+    return a.slot == b.slot && a.generation == b.generation &&
+           a.service == b.service;
   }
-  friend bool operator!=(DocumentId a, DocumentId b) {
-    return a.value != b.value;
-  }
+  friend bool operator!=(DocumentId a, DocumentId b) { return !(a == b); }
 };
 
-/// Interned handle to a view: the owning document plus the view's index
-/// within that document's cache (the same index `ViewCache::AddView`
-/// returns).
+/// Generation-tagged handle to a view: the owning document plus the view's
+/// slot within that document's cache and the slot's generation at mint
+/// time. View generations are minted monotonically per document slot, so
+/// neither `RemoveView` slot reuse nor `ReplaceDocument` (which drops all
+/// views) can resurrect an old handle.
 struct ViewId {
   DocumentId document;
-  int32_t index = -1;
+  int32_t slot = -1;
+  uint32_t generation = 0;
 
-  bool valid() const { return document.valid() && index >= 0; }
+  bool valid() const {
+    return document.valid() && slot >= 0 && generation != 0;
+  }
   friend bool operator==(ViewId a, ViewId b) {
-    return a.document == b.document && a.index == b.index;
+    return a.document == b.document && a.slot == b.slot &&
+           a.generation == b.generation;
   }
   friend bool operator!=(ViewId a, ViewId b) { return !(a == b); }
 };
@@ -118,7 +137,7 @@ struct BatchItem {
 };
 
 /// Per-item outcomes of `Service::AnswerBatch`, parallel to the request
-/// vector: a slot fails alone (malformed XPath, unknown document) without
+/// vector: a slot fails alone (malformed XPath, stale handle) without
 /// disturbing the other answers.
 struct BatchAnswers {
   std::vector<ServiceResult<Answer>> answers;
@@ -136,6 +155,10 @@ struct ServiceStats {
   uint64_t failed_requests = 0;  ///< Requests rejected with a ServiceError.
   uint64_t oracle_hits = 0;      ///< Shared containment-oracle hits.
   uint64_t oracle_misses = 0;    ///< Shared containment-oracle misses.
+  /// Worker threads alive in the shared pool. The pool only ever grows in
+  /// place (up to the hardware cap), so alternating small and large
+  /// batches reuse threads instead of joining and re-spawning them.
+  uint64_t pool_threads = 0;
 };
 
 /// Configuration of a `Service`.
@@ -158,19 +181,36 @@ struct ServiceOptions {
 ///   service.AddView(doc.value(), "b-view", "a/b");
 ///   auto answer = service.Answer(doc.value(), "a/b/c");
 ///
-/// Documents and views are interned behind `DocumentId`/`ViewId` handles;
-/// requests are `Query` values (pattern or XPath string); every fallible
-/// entry point returns `ServiceResult`/`ServiceStatus` with a structured
-/// `ServiceError` instead of asserting.
+/// Documents and views are interned behind generation-tagged
+/// `DocumentId`/`ViewId` handles whose slots are recycled through free
+/// lists: `RemoveDocument`/`RemoveView`/`ReplaceDocument` invalidate
+/// outstanding handles *detectably* — every later use reports
+/// `kStaleHandle` instead of resolving to the slot's new occupant. A
+/// handle minted by another Service instance is rejected the same way.
+/// Every fallible entry point returns `ServiceResult`/`ServiceStatus`
+/// with a structured `ServiceError` instead of asserting.
 ///
-/// Internally the Service owns ONE shared `ContainmentOracle` and ONE
-/// lazily created `ThreadPool`, injected into a `ViewCache` per document:
-/// equivalence tests amortize across documents, and `AnswerBatch` routes
-/// each document's slice of a cross-document batch through the
+/// Internally the Service owns ONE shared `ContainmentOracle` (behind a
+/// `SynchronizedOracle`) and ONE lazily created, grow-in-place
+/// `ThreadPool`, injected into a `ViewCache` per document: equivalence
+/// tests amortize across documents, and `AnswerBatch` routes each
+/// document's slice of a cross-document batch through the
 /// batched/parallel `AnswerMany` pipeline on the shared pool.
 ///
-/// Not thread-safe: serialize calls externally (the parallelism lives
-/// inside `AnswerBatch`). Movable, not copyable.
+/// Thread safety: `Answer`, `AnswerBatch`, `document`, `view`, `cache`,
+/// `num_views`, `num_documents` and `stats` are *shared* operations — any
+/// number may run concurrently from multiple threads. `AddDocument`,
+/// `AddView`, `RemoveDocument`, `RemoveView` and `ReplaceDocument` are
+/// *exclusive* per document (a striped `shared_mutex` per document slot;
+/// `AddDocument`/`RemoveDocument` additionally serialize on the slot
+/// table) and may run concurrently with shared operations on *other*
+/// documents. Answers never tear: a query observes the view set either
+/// before or after a concurrent mutation, and its outputs always equal
+/// direct evaluation against the document. Pointers returned by
+/// `document`/`view`/`cache` stay valid until that document (or view) is
+/// removed or replaced — do not use them across a concurrent removal.
+/// Move construction/assignment and destruction require external
+/// quiescence. Movable, not copyable.
 class Service {
  public:
   explicit Service(ServiceOptions options = {});
@@ -183,22 +223,39 @@ class Service {
 
   // ------------------------------------------------------------ documents
 
-  /// Registers an already-built document. Infallible.
+  /// Registers an already-built document. Infallible. Handles minted for
+  /// previously removed slots carry a fresh generation.
   DocumentId AddDocument(Tree document);
 
   /// Parses `xml` and registers the resulting document.
   ServiceResult<DocumentId> AddDocument(std::string_view xml);
 
-  int num_documents() const { return static_cast<int>(shards_.size()); }
+  /// Removes the document and all its views. The document handle and
+  /// every `ViewId` on it become stale; the slot is recycled for future
+  /// `AddDocument` calls with a bumped generation, so the old handles are
+  /// rejected with `kStaleHandle` forever.
+  ServiceStatus RemoveDocument(DocumentId id);
 
-  /// The document behind `id`, or null when `id` is unknown.
+  /// Replaces the document behind `id` in place: the *document* handle
+  /// stays valid and now serves the new tree; all existing views are
+  /// dropped (their `ViewId`s become stale — a view materialized over the
+  /// old tree cannot answer for the new one).
+  ServiceStatus ReplaceDocument(DocumentId id, Tree document);
+
+  /// As above, from XML (adds: parse error).
+  ServiceStatus ReplaceDocument(DocumentId id, std::string_view xml);
+
+  /// Number of live documents.
+  int num_documents() const;
+
+  /// The document behind `id`, or null when `id` is stale/unknown.
   const Tree* document(DocumentId id) const;
 
   // ---------------------------------------------------------------- views
 
   /// Materializes `pattern` over the document and registers it under
-  /// `name` (unique per document). Errors: unknown document, duplicate
-  /// view name, empty pattern.
+  /// `name` (unique per document; a removed view's name may be reused).
+  /// Errors: stale/unknown document, duplicate view name, empty pattern.
   ServiceResult<ViewId> AddView(DocumentId document, std::string name,
                                 Pattern pattern);
 
@@ -206,27 +263,33 @@ class Service {
   ServiceResult<ViewId> AddView(DocumentId document, std::string name,
                                 std::string_view xpath);
 
-  /// Number of views on `document` (0 when unknown).
+  /// Removes one view: its handle becomes stale, its name and slot are
+  /// recycled (the slot with a fresh generation).
+  ServiceStatus RemoveView(ViewId id);
+
+  /// Number of live views on `document` (0 when stale/unknown).
   int num_views(DocumentId document) const;
 
-  /// The view definition behind `id`, or null when `id` is unknown.
+  /// The view definition behind `id`, or null when `id` is stale/unknown.
   const ViewDefinition* view(ViewId id) const;
 
   // -------------------------------------------------------------- serving
 
   /// Answers one query against one document. An empty pattern selects
   /// nothing and answers with an empty miss (matching `ViewCache`); a
-  /// malformed XPath or unknown document is a `ServiceError`.
+  /// malformed XPath or stale/unknown document is a `ServiceError`.
+  /// Safe to call concurrently with other shared operations and with
+  /// mutations of other documents.
   /// (`xpv::Answer` is qualified because the member name shadows it.)
   ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query);
 
   /// Answers a cross-document batch: items are resolved (documents looked
   /// up, XPath parsed), grouped per document, and each document's slice is
-  /// answered by the batched/parallel `ViewCache::AnswerMany` pipeline
-  /// (dedup by canonical fingerprint, shared candidate bundles, oracle
-  /// shards) over the Service's shared pool. Answers come back in request
-  /// order; a failed item (parse error, unknown document) occupies its
-  /// slot as an error without affecting the other items.
+  /// answered by the batched/parallel `ViewCache` pipeline (dedup by
+  /// canonical fingerprint, shared candidate bundles, oracle shards) over
+  /// the Service's shared pool. Answers come back in request order; a
+  /// failed item (parse error, stale/unknown document) occupies its slot
+  /// as an error without affecting the other items.
   ///
   /// `num_workers` <= 0 means `options.default_workers`. Answers are
   /// identical for every worker count.
@@ -235,29 +298,50 @@ class Service {
 
   // ------------------------------------------------------------ telemetry
 
-  /// Aggregated statistics (computed on demand).
+  /// Aggregated statistics (computed on demand; safe concurrently).
   ServiceStats stats() const;
 
-  /// The shared containment oracle.
-  const ContainmentOracle& oracle() const { return *oracle_; }
+  /// The shared containment oracle's table, unsynchronized — requires
+  /// external quiescence (no concurrent Service calls); tests and
+  /// telemetry only. Its raw `hits()` can lag `stats().oracle_hits`:
+  /// fully-cached calls fold their hit counts outside the table (see
+  /// `SynchronizedOracle::Absorb`), and only `stats()` adds them back.
+  const ContainmentOracle& oracle() const;
 
-  /// The per-document cache behind `id`, or null when `id` is unknown —
-  /// read-only escape hatch for telemetry and tests.
+  /// The per-document cache behind `id`, or null when `id` is
+  /// stale/unknown — read-only escape hatch for view inspection and
+  /// tests. Note: the Service's concurrent answer paths do NOT maintain
+  /// the cache's own `stats()` (serving counters live in `stats()` at
+  /// the Service level).
   const ViewCache* cache(DocumentId id) const;
 
- private:
-  struct Shard;  // One document: tree + per-document ViewCache + view names.
+  /// The shared worker pool (null until a parallel batch created it) —
+  /// test-only identity check that batches reuse one grow-in-place pool.
+  const ThreadPool* pool_for_testing() const;
 
-  Shard* Find(DocumentId id);
-  const Shard* Find(DocumentId id) const;
-  /// Lazily (re)creates the shared pool so it has >= `workers` threads.
+ private:
+  struct Shard;    // One live document: tree + cache + view slot table.
+  struct DocSlot;  // One document slot: stripe lock + generation + shard.
+  struct State;    // All Service state, heap-stable so moves are cheap.
+  struct SharedAccess;     // Stripe (shared) + live shard, or an error.
+  struct ExclusiveAccess;  // Stripe (unique) + live shard + slot, or error.
+
+  /// Validates tag + slot range and returns the slot (never null on Ok).
+  /// The caller must still check `generation`/`shard` under the slot lock.
+  DocSlot* FindSlot(DocumentId id, ServiceError* error) const;
+  /// The shared preamble of every per-document entry point: resolve the
+  /// slot, take its stripe in the named mode, and check liveness. On
+  /// failure the returned access carries the error (no lock held).
+  SharedAccess LockLiveShared(DocumentId id) const;
+  ExclusiveAccess LockLiveExclusive(DocumentId id);
+  /// All slot pointers, snapshotted under (then released from) the table
+  /// lock — the telemetry walk must not hold it across stripe waits.
+  std::vector<DocSlot*> SnapshotSlots() const;
+  /// Lazily creates or grows (never replaces) the shared pool so it has
+  /// >= `workers` threads, capped by the hardware.
   ThreadPool* EnsurePool(int workers);
 
-  ServiceOptions options_;
-  std::unique_ptr<ContainmentOracle> oracle_;  // Shared across documents.
-  std::unique_ptr<ThreadPool> pool_;           // Shared across documents.
-  std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t failed_requests_ = 0;
+  std::unique_ptr<State> state_;
 };
 
 }  // namespace xpv

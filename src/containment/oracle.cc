@@ -23,15 +23,27 @@ bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
       return swapped ? entry.rev : entry.fwd;
     }
   }
-  // Shard read-through: probe the (frozen) fallback table and copy whatever
-  // it knows about this pair, so repeated batches amortize across the
-  // shared oracle without locking.
+  // Shard read-through: probe the fallback table and copy whatever it
+  // knows about this pair, so repeated batches amortize across the shared
+  // oracle. Without a fallback mutex the fallback is frozen for the
+  // batch's duration; with one (the concurrent Service wiring) the probe
+  // takes the shared lock so other calls may absorb their shards.
   if (fallback_ != nullptr) {
-    auto fit = fallback_->cache_.find(key);
-    if (fit != fallback_->cache_.end() &&
-        (swapped ? fit->second.rev_known : fit->second.fwd_known)) {
+    Entry parent{0, 0, 0, 0, 0};
+    bool found = false;
+    {
+      std::shared_lock<std::shared_mutex> lock;
+      if (fallback_mu_ != nullptr) {
+        lock = std::shared_lock<std::shared_mutex>(*fallback_mu_);
+      }
+      auto fit = fallback_->cache_.find(key);
+      if (fit != fallback_->cache_.end()) {
+        parent = fit->second;
+        found = true;
+      }
+    }
+    if (found && (swapped ? parent.rev_known : parent.fwd_known)) {
       Entry& entry = InsertEntry(key);
-      const Entry& parent = fit->second;
       known_directions_ += (parent.fwd_known && !entry.fwd_known) +
                            (parent.rev_known && !entry.rev_known);
       entry.fwd_known |= parent.fwd_known;
@@ -96,9 +108,29 @@ std::vector<char> ContainmentOracle::ContainedMany(
 }
 
 void ContainmentOracle::AbsorbFrom(const ContainmentOracle& other) {
+  // Capacity-aware merge: count the genuinely new keys, then make room
+  // with ONE sweep that spares every key the merge is about to write.
+  // Letting InsertEntry's EvictHalf fire mid-merge used to evict the
+  // batch's own entries absorbed moments earlier.
+  // The counting pass is skipped when even the no-overlap worst case
+  // fits — the common case, and this often runs under the shared
+  // oracle's exclusive lock where every extra probe blocks readers.
+  if (cache_.size() + other.cache_.size() > capacity_) {
+    size_t new_keys = 0;
+    for (const auto& [key, src] : other.cache_) {
+      if ((src.fwd_known || src.rev_known) &&
+          cache_.find(key) == cache_.end()) {
+        ++new_keys;
+      }
+    }
+    if (cache_.size() + new_keys > capacity_) {
+      EvictAtLeastSparing(cache_.size() + new_keys - capacity_,
+                          other.cache_);
+    }
+  }
   for (const auto& [key, src] : other.cache_) {
     if (!src.fwd_known && !src.rev_known) continue;
-    Entry& dst = InsertEntry(key);
+    Entry& dst = cache_.try_emplace(key, Entry{0, 0, 0, 0, 0}).first->second;
     known_directions_ += (src.fwd_known && !dst.fwd_known) +
                          (src.rev_known && !dst.rev_known);
     dst.fwd_known |= src.fwd_known;
@@ -109,7 +141,38 @@ void ContainmentOracle::AbsorbFrom(const ContainmentOracle& other) {
   }
   hits_ += other.hits_;
   misses_ += other.misses_;
-  evictions_ += other.evictions_;
+  // `other`'s evictions are that shard's churn, not this table's: folding
+  // them double-reported batch churn (the shard's evicted entries were
+  // read-through copies the shared table still holds).
+}
+
+void ContainmentOracle::EvictAtLeastSparing(size_t need, const Table& spare) {
+  // Second-chance sweep over the non-spared entries: cold entries go
+  // first, hot entries trade their reference bit for survival on the
+  // first pass and are eligible on the next. Stops early (leaving the
+  // table over capacity) when only spared entries remain.
+  size_t evicted = 0;
+  bool progress = true;
+  while (evicted < need && progress) {
+    progress = false;
+    for (auto it = cache_.begin(); it != cache_.end() && evicted < need;) {
+      if (spare.find(it->first) != spare.end()) {
+        ++it;
+        continue;
+      }
+      if (it->second.ref != 0) {
+        it->second.ref = 0;
+        progress = true;
+        ++it;
+        continue;
+      }
+      known_directions_ -= it->second.fwd_known + it->second.rev_known;
+      ++evictions_;
+      it = cache_.erase(it);
+      ++evicted;
+      progress = true;
+    }
+  }
 }
 
 void ContainmentOracle::EvictHalf() {

@@ -1,8 +1,11 @@
 #ifndef XPV_CONTAINMENT_ORACLE_H_
 #define XPV_CONTAINMENT_ORACLE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -72,18 +75,30 @@ class ContainmentOracle {
       const std::vector<std::pair<const Pattern*, const Pattern*>>& pairs);
 
   /// Installs a read-only fallback probed on local misses (not owned; may
-  /// be null to detach). The fallback must not be mutated while this
-  /// oracle is in use — the parallel batch path freezes the shared oracle,
-  /// points every worker shard at it, and merges afterwards.
-  void set_fallback(const ContainmentOracle* fallback) {
+  /// be null to detach). With `fallback_mu` null the fallback must not be
+  /// mutated while this oracle is in use — the single-owner batch path
+  /// freezes the shared oracle, points every worker shard at it, and
+  /// merges afterwards. With `fallback_mu` non-null every fallback probe
+  /// takes the shared lock, so the fallback may concurrently absorb other
+  /// shards under the exclusive lock (the `SynchronizedOracle` wiring of
+  /// the thread-safe `xpv::Service`).
+  void set_fallback(const ContainmentOracle* fallback,
+                    std::shared_mutex* fallback_mu = nullptr) {
     fallback_ = fallback;
+    fallback_mu_ = fallback_mu;
   }
 
   /// Merges every cached direction of `other` into this oracle: directions
-  /// this table does not know are copied (evicting if the table is full);
-  /// directions both know are left as-is (they agree — containment is
-  /// deterministic). Also folds `other`'s hit/miss/eviction counters into
-  /// this oracle's, so a batch's sharded statistics survive the merge.
+  /// this table does not know are copied; directions both know are left
+  /// as-is (they agree — containment is deterministic). Also folds
+  /// `other`'s hit/miss counters into this oracle's, so a batch's sharded
+  /// statistics survive the merge. `other`'s evictions are NOT folded:
+  /// `evictions()` counts entries dropped from *this* table only.
+  ///
+  /// The merge is capacity-aware: room for the incoming keys is made with
+  /// one up-front sweep that never evicts a key `other` is about to
+  /// contribute, so merging a large shard into a near-capacity table
+  /// cannot churn out the batch's own hot entries mid-merge.
   void AbsorbFrom(const ContainmentOracle& other);
 
   uint64_t hits() const { return hits_; }
@@ -125,20 +140,93 @@ class ContainmentOracle {
     uint8_t ref : 1;
   };
 
+  using Table = std::unordered_map<PairKey, Entry, PairKeyHash>;
+
   /// Looks up / computes one direction given precomputed fingerprints.
   bool ContainedByFingerprint(uint64_t fp1, uint64_t fp2, const Pattern& p1,
                               const Pattern& p2);
   /// Inserts `key` (evicting if full) and returns its entry.
   Entry& InsertEntry(const PairKey& key);
   void EvictHalf();
+  /// Second-chance sweep evicting at least `need` entries, never touching
+  /// keys present in `spare` (the set an in-flight merge is about to
+  /// write). May evict fewer when only spared entries remain — the table
+  /// then temporarily exceeds capacity until the next organic insert.
+  void EvictAtLeastSparing(size_t need, const Table& spare);
 
-  std::unordered_map<PairKey, Entry, PairKeyHash> cache_;
+  Table cache_;
   size_t capacity_ = kDefaultCapacity;
   size_t known_directions_ = 0;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   const ContainmentOracle* fallback_ = nullptr;
+  std::shared_mutex* fallback_mu_ = nullptr;
+};
+
+/// A `shared_mutex`-synchronized owner of a shared `ContainmentOracle` —
+/// the concurrency wrapper the thread-safe `xpv::Service` serves through.
+///
+/// Concurrent `Answer`/`AnswerBatch` calls never touch the shared table
+/// directly: each call answers through a private shard oracle whose
+/// read-through probes take this wrapper's shared lock (`AttachShard`
+/// wires `ContainmentOracle::set_fallback` with the mutex), and publishes
+/// the shard's new entries and counters back with `Absorb` under the
+/// exclusive lock. Containment misses therefore compute outside any lock;
+/// the critical sections are hash-table probes and merges only.
+class SynchronizedOracle {
+ public:
+  explicit SynchronizedOracle(
+      size_t capacity = ContainmentOracle::kDefaultCapacity)
+      : oracle_(capacity) {}
+
+  /// Points `shard`'s read-through at the shared table. Probes take the
+  /// shared lock; this wrapper must outlive the shard's use.
+  void AttachShard(ContainmentOracle* shard) const {
+    shard->set_fallback(&oracle_, &mu_);
+  }
+
+  /// Publishes a shard's entries and hit/miss counters into the shared
+  /// table (exclusive lock; capacity-aware, see `AbsorbFrom`). A shard
+  /// that computed nothing (`misses() == 0` — every entry it holds is a
+  /// read-through copy OF this table) folds only its hit counter, and
+  /// does so atomically WITHOUT the exclusive lock: hot fully-cached
+  /// traffic neither merges tables nor blocks concurrent read-throughs.
+  void Absorb(const ContainmentOracle& shard) {
+    if (shard.misses() == 0) {
+      folded_hits_.fetch_add(shard.hits(), std::memory_order_relaxed);
+      return;
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    oracle_.AbsorbFrom(shard);
+  }
+
+  // Counter snapshots (shared lock; `folded_hits_` holds the hits of
+  // miss-free shards folded outside the lock).
+  uint64_t hits() const {
+    return Snapshot(&ContainmentOracle::hits) +
+           folded_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t misses() const { return Snapshot(&ContainmentOracle::misses); }
+  uint64_t evictions() const { return Snapshot(&ContainmentOracle::evictions); }
+  size_t size() const { return Snapshot(&ContainmentOracle::size); }
+  size_t capacity() const { return oracle_.capacity(); }  // Immutable.
+
+  /// The wrapped oracle, unsynchronized — for single-threaded setup,
+  /// teardown and tests only. Must not race attached shards or `Absorb`.
+  ContainmentOracle& unsynchronized() { return oracle_; }
+  const ContainmentOracle& unsynchronized() const { return oracle_; }
+
+ private:
+  template <typename R>
+  R Snapshot(R (ContainmentOracle::*getter)() const) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return (oracle_.*getter)();
+  }
+
+  mutable std::shared_mutex mu_;
+  ContainmentOracle oracle_;
+  std::atomic<uint64_t> folded_hits_{0};
 };
 
 }  // namespace xpv

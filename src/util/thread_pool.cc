@@ -12,6 +12,18 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
+void ThreadPool::EnsureThreads(int num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(workers_.size()) < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+int ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(workers_.size());
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -19,6 +31,33 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
+  // pending_ goes up BEFORE the enqueue (a fast worker may finish and
+  // decrement first otherwise), and comes back down if the enqueue
+  // throws (e.g. bad_alloc) — a wedged count would hang Wait() and the
+  // draining destructor forever.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  try {
+    pool_->Submit([this, task = std::move(task)] {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) cv_.notify_all();
+    });
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_ == 0) cv_.notify_all();
+    throw;
+  }
+}
+
+void ThreadPool::TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 void ThreadPool::Submit(std::function<void()> task) {

@@ -24,6 +24,10 @@ namespace xpv {
 /// The pool is reusable: Submit/Wait cycles can repeat, and the threads
 /// park on the condition variable between batches. Destruction joins all
 /// workers (outstanding tasks finish first).
+///
+/// `Submit`, `Wait`, `EnsureThreads` and `num_threads` are safe to call
+/// from multiple threads; note that `Wait` blocks until the whole queue is
+/// drained, including tasks submitted by other callers.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -34,15 +38,51 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished — including tasks
+  /// submitted by OTHER callers sharing this pool. Single-owner batches
+  /// only; concurrent callers should await a `TaskGroup` instead.
   void Wait();
 
-  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// A set of tasks that can be awaited independently of other callers'
+  /// submissions to the same pool: `Wait` returns when THIS group's tasks
+  /// have finished, no matter how busy the shared pool is — a batch
+  /// cannot be starved by other batches' sustained submissions.
+  class TaskGroup {
+   public:
+    explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+    TaskGroup(const TaskGroup&) = delete;
+    TaskGroup& operator=(const TaskGroup&) = delete;
+    /// Drains the group: submitted task wrappers touch this object after
+    /// running, so destruction (including exception unwind between
+    /// Submit calls) must wait them out rather than dangle.
+    ~TaskGroup() { Wait(); }
+
+    void Submit(std::function<void()> task);
+
+    /// Blocks until every task submitted through this group has finished.
+    /// The usual pool memory-ordering guarantee applies to the group.
+    void Wait();
+
+   private:
+    ThreadPool* pool_;
+    std::mutex mu_;
+    std::condition_variable cv_;
+    int pending_ = 0;
+  };
+
+  /// Grows the pool *in place* to at least `num_threads` workers: existing
+  /// workers keep running (and keep their queued tasks); only the missing
+  /// ones are spawned. Never shrinks. Safe while tasks are in flight —
+  /// this is how the serving layer adapts to alternating batch sizes
+  /// without joining and re-spawning a live pool.
+  void EnsureThreads(int num_threads);
+
+  int num_threads() const;
 
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;   // Signals workers: work or stop.
   std::condition_variable idle_cv_;   // Signals Wait: queue drained.
   std::deque<std::function<void()>> queue_;

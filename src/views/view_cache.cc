@@ -56,8 +56,29 @@ ViewCache& ViewCache::operator=(ViewCache&&) noexcept = default;
 
 int ViewCache::AddView(ViewDefinition definition) {
   views_.emplace_back(std::move(definition), *doc_);
+  active_.push_back(1);
+  ++active_views_;
   index_.Add(views_.back().definition().pattern);
   return static_cast<int>(views_.size()) - 1;
+}
+
+void ViewCache::ReplaceView(int index, ViewDefinition definition) {
+  const size_t i = static_cast<size_t>(index);
+  views_[i] = MaterializedView(std::move(definition), *doc_);
+  index_.Replace(index, views_[i].definition().pattern);
+  if (active_[i] == 0) {
+    active_[i] = 1;
+    ++active_views_;
+  }
+}
+
+void ViewCache::RemoveView(int index) {
+  const size_t i = static_cast<size_t>(index);
+  if (active_[i] == 0) return;
+  views_[i] = MaterializedView();  // Drop the materialized data.
+  index_.Remove(index);
+  active_[i] = 0;
+  --active_views_;
 }
 
 CacheAnswer ViewCache::ScanViews(const Pattern& query,
@@ -96,15 +117,48 @@ CacheAnswer ViewCache::ScanViews(const Pattern& query,
 }
 
 CacheAnswer ViewCache::Answer(const Pattern& query) {
-  ++stats_.queries;
+  return AnswerThrough(query, oracle_, &stats_);
+}
+
+CacheAnswer ViewCache::AnswerThrough(const Pattern& query,
+                                     ContainmentOracle* oracle,
+                                     CacheStats* stats) const {
+  ++stats->queries;
   // Υ selects nothing; the rewrite engine requires nonempty patterns.
   if (query.IsEmpty()) return CacheAnswer{};
+  RewriteOptions options = options_;
+  options.oracle = oracle;
   const SelectionSummary summary = SummarizeSelection(query);
-  return ScanViews(query, summary, -1, nullptr, options_, &stats_);
+  return ScanViews(query, summary, -1, nullptr, options, stats);
+}
+
+CacheAnswer ViewCache::AnswerConcurrent(const Pattern& query,
+                                        SynchronizedOracle* shared,
+                                        CacheStats* stats) const {
+  // A private shard keeps the heavy containment work outside any lock:
+  // read-throughs take the shared lock, the merge the exclusive one.
+  ContainmentOracle local(shared->capacity());
+  shared->AttachShard(&local);
+  CacheAnswer answer = AnswerThrough(query, &local, stats);
+  shared->Absorb(local);
+  return answer;
 }
 
 std::vector<CacheAnswer> ViewCache::AnswerMany(
     const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool) {
+  return AnswerManyImpl(queries, num_workers, pool, &pool_, nullptr, &stats_);
+}
+
+std::vector<CacheAnswer> ViewCache::AnswerManyConcurrent(
+    const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
+    SynchronizedOracle* shared, CacheStats* stats) const {
+  return AnswerManyImpl(queries, num_workers, pool, nullptr, shared, stats);
+}
+
+std::vector<CacheAnswer> ViewCache::AnswerManyImpl(
+    const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
+    std::unique_ptr<ThreadPool>* lazy_pool, SynchronizedOracle* shared,
+    CacheStats* stats) const {
   // One work item per *distinct* query (canonical fingerprint — the same
   // identity the oracle keys on); duplicates are fanned out at the end.
   struct DistinctQuery {
@@ -174,39 +228,69 @@ std::vector<CacheAnswer> ViewCache::AnswerMany(
   };
 
   const int n_items = static_cast<int>(items.size());
-  const int workers = std::clamp(num_workers, 1, std::max(n_items, 1));
+  int workers = std::clamp(num_workers, 1, std::max(n_items, 1));
+  // Concurrent callers own pool creation; without one the batch runs on
+  // the calling thread (the chunk partition — and hence the answers and
+  // statistics — is unaffected by how chunks are executed).
+  if (pool == nullptr && lazy_pool == nullptr) workers = 1;
   if (workers <= 1 || n_items <= 1) {
-    process(0, n_items, oracle_);
+    if (shared == nullptr) {
+      process(0, n_items, oracle_);
+    } else {
+      ContainmentOracle local(shared->capacity());
+      shared->AttachShard(&local);
+      process(0, n_items, &local);
+      shared->Absorb(local);
+    }
   } else {
     if (pool == nullptr) {
-      if (pool_ == nullptr || pool_->num_threads() != workers) {
-        pool_ = std::make_unique<ThreadPool>(workers);
+      // Grow the private pool in place — never join a pool mid-life.
+      if (*lazy_pool == nullptr) {
+        *lazy_pool = std::make_unique<ThreadPool>(workers);
+      } else {
+        (*lazy_pool)->EnsureThreads(workers);
       }
-      pool = pool_.get();
+      pool = lazy_pool->get();
     }
-    // Per-worker shards read through the shared oracle, which stays frozen
-    // until every worker has finished; the merge below publishes the
-    // batch's new entries (and counters) back into it.
+    // Per-worker shards read through the shared oracle: in single-owner
+    // mode it stays frozen until every worker has finished; in
+    // synchronized mode probes take the shared lock. The merge below
+    // publishes the batch's new entries (and counters) back into it.
     std::vector<std::unique_ptr<ContainmentOracle>> shards;
     shards.reserve(static_cast<size_t>(workers));
+    const size_t shard_capacity =
+        shared != nullptr ? shared->capacity() : oracle_->capacity();
     for (int w = 0; w < workers; ++w) {
-      shards.push_back(
-          std::make_unique<ContainmentOracle>(oracle_->capacity()));
-      shards.back()->set_fallback(oracle_);
+      shards.push_back(std::make_unique<ContainmentOracle>(shard_capacity));
+      if (shared != nullptr) {
+        shared->AttachShard(shards.back().get());
+      } else {
+        shards.back()->set_fallback(oracle_);
+      }
     }
+    // The group is awaited rather than the pool: the Service shares ONE
+    // pool across concurrent batches, and this batch must not wait out
+    // (or be starved by) the others' submissions.
+    ThreadPool::TaskGroup group(pool);
     const int base = n_items / workers;
     const int extra = n_items % workers;
     int begin = 0;
     for (int w = 0; w < workers; ++w) {
       const int end = begin + base + (w < extra ? 1 : 0);
       ContainmentOracle* shard = shards[static_cast<size_t>(w)].get();
-      pool->Submit([&process, begin, end, shard] {
+      group.Submit([&process, begin, end, shard] {
         process(begin, end, shard);
       });
       begin = end;
     }
-    pool->Wait();
-    for (const auto& shard : shards) oracle_->AbsorbFrom(*shard);
+    group.Wait();
+    for (const auto& shard : shards) {
+      if (shared != nullptr) {
+        shared->Absorb(*shard);
+      } else {
+        oracle_->AbsorbFrom(*shard);
+      }
+    }
   }
 
   // Fan the distinct answers out to the original order; statistics
@@ -214,15 +298,15 @@ std::vector<CacheAnswer> ViewCache::AnswerMany(
   std::vector<CacheAnswer> answers;
   answers.reserve(queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
-    ++stats_.queries;
+    ++stats->queries;
     if (item_of[i] < 0) {
       answers.push_back(CacheAnswer{});
       continue;
     }
     const DistinctQuery& item = items[static_cast<size_t>(item_of[i])];
     answers.push_back(item.answer);
-    stats_.hits += item.delta.hits;
-    stats_.rewrite_unknown += item.delta.rewrite_unknown;
+    stats->hits += item.delta.hits;
+    stats->rewrite_unknown += item.delta.rewrite_unknown;
   }
   return answers;
 }

@@ -2,6 +2,7 @@
 #define XPV_VIEWS_VIEW_CACHE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,11 @@ class MaterializedView {
   /// Evaluates `definition.pattern` over `doc`. `doc` must outlive this.
   MaterializedView(ViewDefinition definition, const Tree& doc);
 
+  /// An inert tombstone (empty definition, no outputs) — the state of a
+  /// removed view slot awaiting reuse. `Apply` answers empty; `doc()` must
+  /// not be called.
+  MaterializedView() : definition_{std::string(), Pattern::Empty()} {}
+
   const ViewDefinition& definition() const { return definition_; }
   const Tree& doc() const { return *doc_; }
 
@@ -55,7 +61,7 @@ class MaterializedView {
 
  private:
   ViewDefinition definition_;
-  const Tree* doc_;
+  const Tree* doc_ = nullptr;
   std::vector<NodeId> outputs_;
 };
 
@@ -115,10 +121,34 @@ class ViewCache {
   ViewCache(ViewCache&&) noexcept;
   ViewCache& operator=(ViewCache&&) noexcept;
 
-  /// Materializes and registers a view. Returns its index.
+  /// Materializes and registers a view. Returns its index (a new slot at
+  /// the end of `views()`).
   int AddView(ViewDefinition definition);
 
-  const std::vector<MaterializedView>& views() const { return views_; }
+  /// Re-materializes slot `index` with a new definition — the slot-reuse
+  /// half of the remove/re-add lifecycle (`xpv::Service` recycles removed
+  /// view slots through this). The slot keeps its position in the
+  /// deterministic probe order.
+  void ReplaceView(int index, ViewDefinition definition);
+
+  /// Tombstones slot `index`: the view stops answering, its materialized
+  /// data is dropped, and the slot can be revived with `ReplaceView`.
+  void RemoveView(int index);
+
+  /// True when slot `index` holds a live (non-tombstoned) view.
+  bool view_active(int index) const {
+    return index >= 0 && index < static_cast<int>(views_.size()) &&
+           active_[static_cast<size_t>(index)] != 0;
+  }
+
+  /// Number of live views (`views().size()` minus the tombstoned slots).
+  int num_active_views() const { return active_views_; }
+
+  /// All view slots, including tombstones (check `view_active`). A deque
+  /// so growth never moves existing elements: pointers into a slot (e.g.
+  /// `Service::view`'s `ViewDefinition*`) stay valid until that slot is
+  /// removed or replaced, even across concurrent `AddView`s.
+  const std::deque<MaterializedView>& views() const { return views_; }
 
   /// Answers `query` (see CacheAnswer).
   CacheAnswer Answer(const Pattern& query);
@@ -146,6 +176,38 @@ class ViewCache {
                                       int num_workers = 1,
                                       ThreadPool* pool = nullptr);
 
+  // ------------------------------------------------- concurrent serving
+  //
+  // The const entry points below are the thread-safe `xpv::Service` path:
+  // they touch no ViewCache state (`stats_`, the owned oracle and the lazy
+  // pool stay untouched), answer through caller-provided oracles, and
+  // report statistics into a caller-owned delta. The caller must hold the
+  // view set stable for the duration of the call (the Service's per-shard
+  // stripe lock, in shared mode) — answers are identical to the mutating
+  // `Answer`/`AnswerMany` for every worker count.
+
+  /// Answers one query through `oracle` (read: a per-call shard the caller
+  /// later absorbs into its shared oracle). Adds the query/hit/unknown
+  /// counts of this one scan onto `*stats`.
+  CacheAnswer AnswerThrough(const Pattern& query, ContainmentOracle* oracle,
+                            CacheStats* stats) const;
+
+  /// Answers one query via a private shard attached to `shared`
+  /// (read-through under the shared lock, absorbed back afterwards).
+  CacheAnswer AnswerConcurrent(const Pattern& query,
+                               SynchronizedOracle* shared,
+                               CacheStats* stats) const;
+
+  /// The batched pipeline against a synchronized shared oracle: worker
+  /// shards read through `shared` under its shared lock and are absorbed
+  /// back under the exclusive lock. `pool` must be non-null when
+  /// `num_workers` > 1 (the Service owns pool creation); when null the
+  /// batch degrades to one worker. Answers and statistics are identical
+  /// to `AnswerMany` for every worker count.
+  std::vector<CacheAnswer> AnswerManyConcurrent(
+      const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
+      SynchronizedOracle* shared, CacheStats* stats) const;
+
   const CacheStats& stats() const { return stats_; }
 
   /// The cache's memoizing containment oracle (repeated queries amortize
@@ -165,11 +227,23 @@ class ViewCache {
                         const RewriteOptions& options,
                         CacheStats* stats) const;
 
+  /// The shared batch pipeline behind `AnswerMany` (shared == nullptr:
+  /// single-owner mode on `oracle_`, with `lazy_pool` supplying the
+  /// private pool when no external one is given) and
+  /// `AnswerManyConcurrent` (shared != nullptr: shards read through /
+  /// absorb into `shared`; `lazy_pool` is null — the caller owns pools).
+  std::vector<CacheAnswer> AnswerManyImpl(
+      const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
+      std::unique_ptr<ThreadPool>* lazy_pool, SynchronizedOracle* shared,
+      CacheStats* stats) const;
+
   const Tree* doc_;
   RewriteOptions options_;  // options_.oracle == oracle_.
   std::unique_ptr<ContainmentOracle> owned_oracle_;  // Null when injected.
   ContainmentOracle* oracle_;  // owned_oracle_.get() or the injected one.
-  std::vector<MaterializedView> views_;
+  std::deque<MaterializedView> views_;  // Stable slots; see views().
+  std::vector<char> active_;  // Parallel to views_: 0 = tombstoned slot.
+  int active_views_ = 0;
   ViewIndex index_;
   CacheStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // Lazily created by AnswerMany when

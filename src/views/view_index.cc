@@ -1,6 +1,8 @@
 #include "views/view_index.h"
 
 #include <cassert>
+#include <limits>
+#include <utility>
 
 namespace xpv {
 namespace {
@@ -66,6 +68,18 @@ bool AdmissibleBySummaries(const SelectionSummary& query,
 int ViewIndex::Add(const Pattern& view_pattern) {
   views_.push_back(SummarizeSelection(view_pattern));
   return static_cast<int>(views_.size()) - 1;
+}
+
+void ViewIndex::Replace(int vi, const Pattern& view_pattern) {
+  views_[static_cast<size_t>(vi)] = SummarizeSelection(view_pattern);
+}
+
+void ViewIndex::Remove(int vi) {
+  // A depth no query can reach makes the slot inadmissible via the Prop
+  // 3.1(1) check — no extra branch in the hot Admissible path.
+  SelectionSummary tombstone;
+  tombstone.depth = std::numeric_limits<int>::max();
+  views_[static_cast<size_t>(vi)] = std::move(tombstone);
 }
 
 int ViewIndex::FirstAdmissible(const SelectionSummary& query) const {

@@ -52,6 +52,15 @@ class ViewIndex {
   /// Registers a view pattern (nonempty); returns its index.
   int Add(const Pattern& view_pattern);
 
+  /// Replaces the summary at slot `vi` (view slot reuse in the cache's
+  /// remove/re-add lifecycle). The slot keeps its position, so the
+  /// deterministic probe order is preserved.
+  void Replace(int vi, const Pattern& view_pattern);
+
+  /// Deactivates slot `vi`: the view stops being admissible for every
+  /// query (and so is never probed) until `Replace` revives the slot.
+  void Remove(int vi);
+
   int size() const { return static_cast<int>(views_.size()); }
   const SelectionSummary& view_summary(int vi) const {
     return views_[static_cast<size_t>(vi)];

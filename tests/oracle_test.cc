@@ -198,6 +198,86 @@ TEST(OracleTest, FallbackReadThrough) {
   EXPECT_EQ(shared.misses(), misses_before);
 }
 
+TEST(OracleTest, AbsorbFromNearCapacityKeepsMergedEntriesResident) {
+  // Regression: AbsorbFrom used to insert through InsertEntry, so merging
+  // a large shard into a near-capacity destination fired EvictHalf
+  // MID-merge and could evict the batch's own entries absorbed moments
+  // earlier. The capacity-aware merge makes room once, up front, sparing
+  // every key the shard contributes.
+  ContainmentOracle dest(/*capacity=*/8);
+  for (int i = 0; i < 7; ++i) {
+    std::string label = "d" + std::to_string(i);
+    Pattern p1 = MustParseXPath(label + "/b");
+    Pattern p2 = MustParseXPath(label + "//b");
+    dest.Contained(p1, p2);
+  }
+  ContainmentOracle shard(/*capacity=*/8);
+  std::vector<std::pair<Pattern, Pattern>> hot;
+  for (int i = 0; i < 6; ++i) {
+    std::string label = "s" + std::to_string(i);
+    hot.emplace_back(MustParseXPath(label + "/b"),
+                     MustParseXPath(label + "//b"));
+  }
+  for (auto& [p1, p2] : hot) shard.Contained(p1, p2);
+
+  dest.AbsorbFrom(shard);
+  // 7 + 6 > 8: room was made from the destination's cold entries only —
+  // every merged entry is resident and answers without recomputation.
+  const uint64_t misses_before = dest.misses();
+  for (auto& [p1, p2] : hot) EXPECT_TRUE(dest.Contained(p1, p2));
+  EXPECT_EQ(dest.misses(), misses_before);
+  EXPECT_EQ(dest.evictions(), 5u);  // Exactly the excess, from dest's side.
+}
+
+TEST(OracleTest, AbsorbFromDoesNotDoubleReportShardChurn) {
+  // Regression: `evictions_ += other.evictions_` reported the shard's own
+  // churn as destination churn. The shard's evicted entries were (at
+  // worst) read-through copies — they are not evictions of this table.
+  ContainmentOracle shard(/*capacity=*/4);
+  for (int i = 0; i < 16; ++i) {
+    std::string label = "c" + std::to_string(i);
+    Pattern p1 = MustParseXPath(label + "/b");
+    Pattern p2 = MustParseXPath(label + "//b");
+    shard.Contained(p1, p2);
+  }
+  ASSERT_GT(shard.evictions(), 0u);
+
+  ContainmentOracle dest(/*capacity=*/64);
+  dest.AbsorbFrom(shard);
+  EXPECT_EQ(dest.evictions(), 0u);
+  // Hit/miss statistics still fold (the batch's counters survive).
+  EXPECT_EQ(dest.misses(), shard.misses());
+  EXPECT_EQ(dest.hits(), shard.hits());
+}
+
+TEST(OracleTest, SynchronizedOracleShardRoundTrip) {
+  // The concurrent-Service wiring: shards attach to a SynchronizedOracle,
+  // read through it under the shared lock, and are absorbed back.
+  SynchronizedOracle shared;
+  Pattern p1 = MustParseXPath("a/b");
+  Pattern p2 = MustParseXPath("a//b");
+  {
+    ContainmentOracle warm;
+    shared.AttachShard(&warm);
+    EXPECT_TRUE(warm.Contained(p1, p2));
+    EXPECT_EQ(warm.misses(), 1u);
+    shared.Absorb(warm);
+  }
+  EXPECT_EQ(shared.size(), 1u);
+  EXPECT_EQ(shared.misses(), 1u);
+  {
+    ContainmentOracle shard;
+    shared.AttachShard(&shard);
+    // Answered from the shared table through the locked read-through.
+    EXPECT_TRUE(shard.Contained(p1, p2));
+    EXPECT_EQ(shard.misses(), 0u);
+    EXPECT_EQ(shard.hits(), 1u);
+    shared.Absorb(shard);
+  }
+  EXPECT_EQ(shared.hits(), 1u);
+  EXPECT_EQ(shared.misses(), 1u);
+}
+
 TEST(OracleTest, RandomizedAgreement) {
   ContainmentOracle oracle;
   Rng rng(777);

@@ -1,0 +1,326 @@
+// Thread-safety of the serving facade: concurrent Answer/AnswerBatch
+// callers against one Service, with and without interleaved
+// AddView/RemoveView/ReplaceDocument writers.
+//
+// Two invariants are asserted:
+//   1. With a fixed view set, every concurrently-produced answer is
+//      IDENTICAL to a serial replay of the same requests (hit, view,
+//      rewriting, outputs — and the aggregated statistics).
+//   2. Under view churn, every answer's outputs still equal direct
+//      evaluation against the document (a query observes the view set
+//      before or after a mutation, never a torn state).
+//
+// The CI tsan job runs this file explicitly under ThreadSanitizer.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/service.h"
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+#include "util/thread_pool.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Tree Doc(const char* xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+struct DocSpec {
+  const char* xml;
+  std::vector<const char*> views;
+};
+
+const DocSpec kSpecs[] = {
+    {"<a><b><c/><c><d/></c></b><b><e/></b></a>", {"a/b"}},
+    {"<a><x><b><c/></b></x><b><c/></b></a>", {"a//b", "a/x"}},
+    {"<r><s><t/><t><u/></t></s></r>", {"r/s"}},
+};
+
+const char* kQueries[] = {"a/b/c",   "a/b",     "a//b/c", "r/s/t",
+                          "a/x/b/c", "r/s/t/u", "a/b/c",  "q/z"};
+
+std::vector<DocumentId> Populate(Service* service) {
+  std::vector<DocumentId> ids;
+  for (const DocSpec& spec : kSpecs) {
+    DocumentId id = service->AddDocument(Doc(spec.xml));
+    int vi = 0;
+    for (const char* view : spec.views) {
+      EXPECT_TRUE(
+          service->AddView(id, "v" + std::to_string(vi++), view).ok());
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void ExpectSameAnswer(const Answer& actual, const Answer& want,
+                      const std::string& context) {
+  EXPECT_EQ(actual.hit, want.hit) << context;
+  EXPECT_EQ(actual.view_name, want.view_name) << context;
+  EXPECT_EQ(actual.outputs, want.outputs) << context;
+  EXPECT_EQ(actual.rewriting.CanonicalEncoding(),
+            want.rewriting.CanonicalEncoding())
+      << context;
+}
+
+TEST(ServiceConcurrencyTest, ParallelAnswersMatchSerialReplay) {
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 12;
+  const size_t n_queries = std::size(kQueries);
+
+  Service concurrent;
+  std::vector<DocumentId> ids = Populate(&concurrent);
+
+  // Each thread owns a deterministic request schedule: per round, one
+  // single Answer and one 4-item AnswerBatch (round-robin over documents
+  // and queries, offset by the thread id).
+  auto request = [&](int thread, int round, int k) {
+    const size_t q = static_cast<size_t>(thread + 3 * round + k) % n_queries;
+    const size_t d = static_cast<size_t>(thread + round + k) % ids.size();
+    return BatchItem{ids[d], kQueries[q]};
+  };
+
+  std::vector<std::vector<Answer>> single(kThreads);
+  std::vector<std::vector<Answer>> batched(kThreads);
+  {
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int round = 0; round < kRounds; ++round) {
+          BatchItem one = request(t, round, 0);
+          ServiceResult<Answer> answer =
+              concurrent.Answer(one.document, one.query);
+          ASSERT_TRUE(answer.ok());
+          single[static_cast<size_t>(t)].push_back(answer.take());
+
+          std::vector<BatchItem> items;
+          for (int k = 1; k <= 4; ++k) items.push_back(request(t, round, k));
+          ServiceResult<BatchAnswers> batch =
+              concurrent.AnswerBatch(items, /*num_workers=*/2);
+          ASSERT_TRUE(batch.ok());
+          for (auto& slot : batch.value().answers) {
+            ASSERT_TRUE(slot.ok());
+            batched[static_cast<size_t>(t)].push_back(slot.take());
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Serial replay: the same schedule, thread by thread, on a fresh twin.
+  Service serial;
+  std::vector<DocumentId> twin_ids = Populate(&serial);
+  auto twin_request = [&](int thread, int round, int k) {
+    BatchItem item = request(thread, round, k);
+    for (size_t d = 0; d < ids.size(); ++d) {
+      if (item.document == ids[d]) return BatchItem{twin_ids[d], item.query};
+    }
+    ADD_FAILURE() << "unmapped document";
+    return item;
+  };
+  for (int t = 0; t < kThreads; ++t) {
+    size_t si = 0, bi = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      BatchItem one = twin_request(t, round, 0);
+      ServiceResult<Answer> answer = serial.Answer(one.document, one.query);
+      ASSERT_TRUE(answer.ok());
+      ExpectSameAnswer(single[static_cast<size_t>(t)][si++], answer.value(),
+                       "thread " + std::to_string(t) + " round " +
+                           std::to_string(round));
+      std::vector<BatchItem> items;
+      for (int k = 1; k <= 4; ++k) items.push_back(twin_request(t, round, k));
+      ServiceResult<BatchAnswers> batch = serial.AnswerBatch(items, 2);
+      ASSERT_TRUE(batch.ok());
+      for (auto& slot : batch.value().answers) {
+        ASSERT_TRUE(slot.ok());
+        ExpectSameAnswer(batched[static_cast<size_t>(t)][bi++], slot.value(),
+                         "thread " + std::to_string(t) + " round " +
+                             std::to_string(round) + " (batch)");
+      }
+    }
+  }
+
+  // Aggregated counters equal the serial replay's.
+  EXPECT_EQ(concurrent.stats().queries, serial.stats().queries);
+  EXPECT_EQ(concurrent.stats().hits, serial.stats().hits);
+  EXPECT_EQ(concurrent.stats().rewrite_unknown,
+            serial.stats().rewrite_unknown);
+  EXPECT_EQ(concurrent.stats().failed_requests, 0u);
+}
+
+TEST(ServiceConcurrencyTest, AnswersStayCorrectUnderViewChurn) {
+  // Readers hammer a stable document and a churned one while a writer
+  // interleaves AddView/RemoveView and same-content ReplaceDocument on
+  // the churned document. Outputs must always equal direct evaluation;
+  // the stable document's answers must not change at all.
+  constexpr int kReaders = 3;
+  constexpr int kReaderRounds = 60;
+  constexpr int kWriterRounds = 40;
+
+  const char* stable_xml = "<a><b><c/><c/></b><b><d/></b></a>";
+  const char* churn_xml = "<r><s><t/></s><s><t/><u/></s></r>";
+  const char* stable_queries[] = {"a/b/c", "a/b", "a/b/d"};
+  const char* churn_queries[] = {"r/s/t", "r/s", "r//u"};
+
+  Service service;
+  DocumentId stable = service.AddDocument(Doc(stable_xml));
+  ASSERT_TRUE(service.AddView(stable, "v", "a/b").ok());
+  DocumentId churn = service.AddDocument(Doc(churn_xml));
+  ASSERT_TRUE(service.AddView(churn, "keep", "r/s").ok());
+
+  // Ground truth, computed before any thread starts. Node ids are stable
+  // across the same-content replaces (identical parse).
+  Tree stable_twin = Doc(stable_xml);
+  Tree churn_twin = Doc(churn_xml);
+  std::vector<std::vector<NodeId>> stable_expected, churn_expected;
+  for (const char* q : stable_queries) {
+    stable_expected.push_back(Eval(MustParseXPath(q), stable_twin));
+  }
+  for (const char* q : churn_queries) {
+    churn_expected.push_back(Eval(MustParseXPath(q), churn_twin));
+  }
+
+  std::vector<std::thread> threads;
+  threads.reserve(kReaders + 1);
+
+  // Writer: add/remove a rotating view on the churned document, and every
+  // few rounds replace the document with identical content (shard swap
+  // under load; the handle stays valid).
+  threads.emplace_back([&] {
+    for (int i = 0; i < kWriterRounds; ++i) {
+      std::string name = "w" + std::to_string(i % 3);
+      ServiceResult<ViewId> added =
+          service.AddView(churn, name, i % 2 == 0 ? "r/s" : "r//s");
+      ASSERT_TRUE(added.ok()) << added.error().message;
+      ASSERT_TRUE(service.RemoveView(added.value()).ok());
+      if (i % 8 == 7) {
+        ASSERT_TRUE(service.ReplaceDocument(churn, Doc(churn_xml)).ok());
+        // The replace dropped every view; restore the resident one.
+        ASSERT_TRUE(service.AddView(churn, "keep", "r/s").ok());
+      }
+    }
+  });
+
+  for (int reader = 0; reader < kReaders; ++reader) {
+    threads.emplace_back([&, reader] {
+      for (int round = 0; round < kReaderRounds; ++round) {
+        // Stable document: full answer equality every time.
+        const size_t sq = static_cast<size_t>(reader + round) %
+                          std::size(stable_queries);
+        ServiceResult<Answer> s =
+            service.Answer(stable, stable_queries[sq]);
+        ASSERT_TRUE(s.ok());
+        EXPECT_EQ(s.value().outputs, stable_expected[sq]);
+
+        // Churned document: outputs invariant (hit/miss may vary with the
+        // writer's interleaving).
+        const size_t cq = static_cast<size_t>(reader + 2 * round) %
+                          std::size(churn_queries);
+        ServiceResult<Answer> c = service.Answer(churn, churn_queries[cq]);
+        ASSERT_TRUE(c.ok());
+        EXPECT_EQ(c.value().outputs, churn_expected[cq]) << churn_queries[cq];
+
+        // Cross-document batches against both under churn.
+        std::vector<BatchItem> items = {{stable, stable_queries[sq]},
+                                        {churn, churn_queries[cq]}};
+        ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, 2);
+        ASSERT_TRUE(batch.ok());
+        ASSERT_TRUE(batch.value().answers[0].ok());
+        EXPECT_EQ(batch.value().answers[0].value().outputs,
+                  stable_expected[sq]);
+        ASSERT_TRUE(batch.value().answers[1].ok());
+        EXPECT_EQ(batch.value().answers[1].value().outputs,
+                  churn_expected[cq]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Quiesced: the resident view answers, the churn views are gone.
+  EXPECT_EQ(service.num_views(churn), 1);
+  ServiceResult<Answer> final_answer = service.Answer(churn, "r/s/t");
+  ASSERT_TRUE(final_answer.ok());
+  EXPECT_TRUE(final_answer.value().hit);
+  EXPECT_EQ(final_answer.value().outputs, churn_expected[0]);
+}
+
+TEST(ServiceConcurrencyTest, ConcurrentDocumentLifecycleKeepsOthersServing) {
+  // One thread churns whole documents (add → answer → remove) while
+  // readers keep answering on their own stable documents; stale handles
+  // surface as kStaleHandle, never as wrong answers.
+  Service service;
+  DocumentId stable = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ASSERT_TRUE(service.AddView(stable, "v", "a/b").ok());
+  Tree twin = Doc("<a><b><c/></b></a>");
+  const std::vector<NodeId> expected = Eval(MustParseXPath("a/b/c"), twin);
+
+  std::thread churner([&] {
+    for (int i = 0; i < 40; ++i) {
+      DocumentId doc = service.AddDocument(Doc("<x><y><z/></y></x>"));
+      ASSERT_TRUE(service.AddView(doc, "w", "x/y").ok());
+      ServiceResult<Answer> answer = service.Answer(doc, "x/y/z");
+      ASSERT_TRUE(answer.ok());
+      EXPECT_EQ(answer.value().outputs.size(), 1u);
+      ASSERT_TRUE(service.RemoveDocument(doc).ok());
+      ServiceResult<Answer> stale = service.Answer(doc, "x/y/z");
+      ASSERT_FALSE(stale.ok());
+      EXPECT_EQ(stale.error().code, ServiceErrorCode::kStaleHandle);
+    }
+  });
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      for (int i = 0; i < 60; ++i) {
+        ServiceResult<Answer> answer = service.Answer(stable, "a/b/c");
+        ASSERT_TRUE(answer.ok());
+        EXPECT_TRUE(answer.value().hit);
+        EXPECT_EQ(answer.value().outputs, expected);
+      }
+    });
+  }
+  churner.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(service.num_documents(), 1);
+}
+
+TEST(ServiceConcurrencyTest, AlternatingBatchSizesReuseOneGrowingPool) {
+  // Regression for EnsurePool: a larger worker count used to REPLACE the
+  // live pool (join + re-spawn per batch in alternating-size workloads,
+  // and a use-after-free hazard under concurrency). The pool must be one
+  // object that only grows.
+  Service service;
+  DocumentId doc =
+      service.AddDocument(Doc("<a><b><c/></b><b><d/></b><e/></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  std::vector<BatchItem> items;
+  for (const char* q : {"a/b/c", "a/b/d", "a/b", "a/e", "a//c", "a//d",
+                        "a/b/c", "a/e"}) {
+    items.push_back({doc, q});
+  }
+
+  ASSERT_TRUE(service.AnswerBatch(items, 2).ok());
+  const ThreadPool* pool = service.pool_for_testing();
+  ASSERT_NE(pool, nullptr);
+  const int small = pool->num_threads();
+
+  for (int round = 0; round < 4; ++round) {
+    ASSERT_TRUE(service.AnswerBatch(items, round % 2 == 0 ? 8 : 2).ok());
+    // Same pool object every time — threads were reused, not re-spawned.
+    EXPECT_EQ(service.pool_for_testing(), pool);
+    EXPECT_GE(pool->num_threads(), small);  // Grow-only.
+  }
+  EXPECT_EQ(service.stats().pool_threads,
+            static_cast<uint64_t>(pool->num_threads()));
+}
+
+}  // namespace
+}  // namespace xpv

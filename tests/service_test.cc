@@ -302,7 +302,8 @@ TEST(ServiceTest, QueriesDeduplicateByCanonicalFingerprint) {
   }
   // Three requests counted, one scan performed: hits/misses accrued once.
   EXPECT_EQ(service.stats().queries, 3u);
-  EXPECT_EQ(service.cache(doc)->stats().queries, 3u);
+  ASSERT_NE(service.cache(doc), nullptr);
+  EXPECT_EQ(service.cache(doc)->num_active_views(), 1);
 }
 
 TEST(ServiceTest, NullCStringQueryIsAParseErrorNotUB) {

@@ -1,0 +1,90 @@
+// ThreadPool growth semantics: `EnsureThreads` grows the pool IN PLACE —
+// existing workers keep running and are reused — and never shrinks.
+// Regression for the serving layer's alternating-batch-size workloads,
+// where a larger worker count used to join and re-spawn the whole pool.
+
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace xpv {
+namespace {
+
+/// Runs `n` tasks that rendezvous (all must be running simultaneously
+/// before any finishes), proving `n` distinct live workers; returns their
+/// thread ids.
+std::set<std::thread::id> RendezvousWorkerIds(ThreadPool* pool, int n) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < n; ++i) {
+    pool->Submit([&mu, &cv, &arrived, &ids, n] {
+      std::unique_lock<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+      ++arrived;
+      cv.notify_all();
+      cv.wait(lock, [&arrived, n] { return arrived >= n; });
+    });
+  }
+  pool->Wait();
+  return ids;
+}
+
+TEST(ThreadPoolTest, EnsureThreadsGrowsInPlaceAndReusesWorkers) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2);
+  const std::set<std::thread::id> before = RendezvousWorkerIds(&pool, 2);
+  ASSERT_EQ(before.size(), 2u);
+
+  pool.EnsureThreads(8);
+  EXPECT_EQ(pool.num_threads(), 8);
+  // Alternating small requests never shrink the pool.
+  pool.EnsureThreads(2);
+  EXPECT_EQ(pool.num_threads(), 8);
+
+  // An 8-way rendezvous requires all 8 workers alive at once; the two
+  // original workers are among them — they were reused, not joined and
+  // re-spawned.
+  const std::set<std::thread::id> after = RendezvousWorkerIds(&pool, 8);
+  ASSERT_EQ(after.size(), 8u);
+  for (std::thread::id id : before) {
+    EXPECT_EQ(after.count(id), 1u) << "original worker was not reused";
+  }
+}
+
+TEST(ThreadPoolTest, EnsureThreadsIsSafeWhileTasksRun) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  pool.Submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+  // Grow while the single worker is blocked inside a task.
+  pool.EnsureThreads(3);
+  EXPECT_EQ(pool.num_threads(), 3);
+  // The new workers drain the queue even though the first is busy.
+  std::atomic<int> done{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  while (done.load() < 4) std::this_thread::yield();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Wait();
+  EXPECT_EQ(done.load(), 4);
+}
+
+}  // namespace
+}  // namespace xpv

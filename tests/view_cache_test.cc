@@ -197,5 +197,84 @@ TEST(ViewCacheTest, AnswerManyMatchesSequentialAnswers) {
   EXPECT_GT(batched.oracle().hits(), 0u);
 }
 
+TEST(ViewCacheTest, RemoveAndReplaceViewLifecycle) {
+  Tree doc = Doc("<a><b><c/></b><d><e/></d></a>");
+  ViewCache cache(doc);
+  const int b_slot = cache.AddView({"b-view", MustParseXPath("a/b")});
+  EXPECT_EQ(cache.num_active_views(), 1);
+  EXPECT_TRUE(cache.view_active(b_slot));
+  EXPECT_TRUE(cache.Answer(MustParseXPath("a/b/c")).hit);
+
+  cache.RemoveView(b_slot);
+  EXPECT_EQ(cache.num_active_views(), 0);
+  EXPECT_FALSE(cache.view_active(b_slot));
+  // The tombstoned slot is skipped, the answer still correct (direct).
+  CacheAnswer miss = cache.Answer(MustParseXPath("a/b/c"));
+  EXPECT_FALSE(miss.hit);
+  EXPECT_EQ(miss.outputs, Eval(MustParseXPath("a/b/c"), doc));
+  // The materialized data was dropped with the tombstone.
+  EXPECT_TRUE(cache.views()[static_cast<size_t>(b_slot)].outputs().empty());
+
+  cache.ReplaceView(b_slot, {"d-view", MustParseXPath("a/d")});
+  EXPECT_EQ(cache.num_active_views(), 1);
+  EXPECT_TRUE(cache.view_active(b_slot));
+  CacheAnswer hit = cache.Answer(MustParseXPath("a/d/e"));
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.view_name, "d-view");
+  EXPECT_EQ(hit.outputs, Eval(MustParseXPath("a/d/e"), doc));
+}
+
+TEST(ViewCacheTest, ConcurrentEntryPointsMatchMutatingOnes) {
+  // The const AnswerThrough/AnswerConcurrent/AnswerManyConcurrent paths
+  // (the thread-safe Service's route) must produce exactly the answers
+  // and statistics of the mutating Answer/AnswerMany.
+  Tree doc = Doc("<a><b><c/></b><b><c/><d/></b><x><b><c/></b></x></a>");
+  std::vector<Pattern> queries = {
+      MustParseXPath("a/b/c"), MustParseXPath("a/b"),
+      MustParseXPath("a//b/d"), MustParseXPath("x/y"),
+      MustParseXPath("a/b/c")};
+
+  ViewCache mutating(doc);
+  mutating.AddView({"b-view", MustParseXPath("a/b")});
+
+  const ViewCache concurrent_cache = [&doc] {
+    ViewCache cache(doc);
+    cache.AddView({"b-view", MustParseXPath("a/b")});
+    return cache;
+  }();
+  SynchronizedOracle shared;
+  CacheStats delta;
+
+  for (const Pattern& query : queries) {
+    CacheAnswer expected = mutating.Answer(query);
+    CacheAnswer actual =
+        concurrent_cache.AnswerConcurrent(query, &shared, &delta);
+    EXPECT_EQ(actual.hit, expected.hit);
+    EXPECT_EQ(actual.view_name, expected.view_name);
+    EXPECT_EQ(actual.outputs, expected.outputs);
+  }
+  EXPECT_EQ(delta.queries, mutating.stats().queries);
+  EXPECT_EQ(delta.hits, mutating.stats().hits);
+  EXPECT_EQ(delta.rewrite_unknown, mutating.stats().rewrite_unknown);
+  // The concurrent path never touched the cache's own state.
+  EXPECT_EQ(concurrent_cache.stats().queries, 0u);
+  EXPECT_EQ(concurrent_cache.oracle().size(), 0u);
+
+  // Batch flavor, against a pool-backed AnswerMany.
+  ThreadPool pool(2);
+  std::vector<CacheAnswer> expected_batch =
+      mutating.AnswerMany(queries, 2, &pool);
+  CacheStats batch_delta;
+  std::vector<CacheAnswer> actual_batch =
+      concurrent_cache.AnswerManyConcurrent(queries, 2, &pool, &shared,
+                                            &batch_delta);
+  ASSERT_EQ(actual_batch.size(), expected_batch.size());
+  for (size_t i = 0; i < expected_batch.size(); ++i) {
+    EXPECT_EQ(actual_batch[i].hit, expected_batch[i].hit) << i;
+    EXPECT_EQ(actual_batch[i].outputs, expected_batch[i].outputs) << i;
+  }
+  EXPECT_EQ(batch_delta.queries, queries.size());
+}
+
 }  // namespace
 }  // namespace xpv
