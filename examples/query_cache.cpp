@@ -101,6 +101,20 @@ int main() {
                 correct ? "" : "  <-- WRONG ANSWER");
   }
 
+  // A repeated batch answers from the epoch-keyed memo: no new rewrite
+  // work, same answers (the planner replays the memoized scans).
+  const uint64_t oracle_misses_before = service.stats().oracle_misses;
+  ServiceResult<BatchAnswers> repeat = service.AnswerBatch(batch, 4);
+  if (!repeat.ok()) return 1;
+  for (size_t i = 0; i < repeat.value().size(); ++i) {
+    const ServiceResult<Answer>& slot = repeat.value().answers[i];
+    const ServiceResult<Answer>& first = answered.value().answers[i];
+    if (slot.ok() != first.ok() ||
+        (slot.ok() && slot.value().outputs != first.value().outputs)) {
+      ++cross_check_failures;
+    }
+  }
+
   ServiceStats stats = service.stats();
   std::printf("\n%llu queries answered, %llu cache hits (%.0f%% hit rate), "
               "%llu rejected request(s)\n",
@@ -112,6 +126,12 @@ int main() {
   std::printf("Shared oracle: %llu hits / %llu misses\n",
               static_cast<unsigned long long>(stats.oracle_hits),
               static_cast<unsigned long long>(stats.oracle_misses));
+  std::printf("Answer memo: %llu hits, %llu entries; repeated batch added "
+              "%llu oracle misses (memo bypasses the rewrite engine)\n",
+              static_cast<unsigned long long>(stats.answer_cache_hits),
+              static_cast<unsigned long long>(stats.answer_cache_entries),
+              static_cast<unsigned long long>(stats.oracle_misses -
+                                              oracle_misses_before));
   std::printf("All answers cross-checked against direct evaluation: %s\n",
               cross_check_failures == 0 ? "OK" : "FAILURES!");
   return cross_check_failures == 0 ? 0 : 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -55,6 +56,23 @@ uint32_t MintServiceTag() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+/// Resolves a `Query` to the pattern to answer: the borrowed pattern of a
+/// pattern-holding query, or the XPath parse result placed in `*storage`.
+/// Null on parse failure with `*error` filled — the caller counts the
+/// failure. Shared by `Answer` and the `AnswerBatch` planner so the two
+/// paths cannot drift in error wording or accounting.
+const Pattern* ResolveQueryPattern(const Query& query, Pattern* storage,
+                                   ServiceError* error) {
+  if (query.holds_pattern()) return &query.pattern();
+  Result<Pattern, XPathParseError> parsed = ParseXPathDetailed(query.xpath());
+  if (!parsed.ok()) {
+    *error = XPathError("query", query.xpath(), parsed.error());
+    return nullptr;
+  }
+  *storage = parsed.take();
+  return storage;
+}
+
 }  // namespace
 
 const char* ToString(ServiceErrorCode code) {
@@ -85,11 +103,11 @@ struct Service::Shard {
   std::unordered_map<std::string, int32_t> view_slot_by_name;
 
   /// Mint-time generation of each view slot, parallel to `cache.views()`
-  /// (liveness itself is the cache's `view_active`). Generations come
-  /// from the DocSlot's monotonic counter, so a recycled view slot never
-  /// reuses one.
+  /// (liveness itself is the cache's `view_active`; slot recycling is the
+  /// cache's own tombstone free list). Generations come from the
+  /// DocSlot's monotonic counter, so a recycled view slot never reuses
+  /// one.
   std::vector<uint32_t> view_generations;
-  std::vector<int32_t> free_view_slots;
 
   /// True when `id` resolves to a live view of this shard: slot in range,
   /// not tombstoned, and minted under the same generation.
@@ -129,7 +147,23 @@ struct Service::DocSlot {
   /// across `ReplaceDocument` (which rebuilds the view table from
   /// scratch).
   uint32_t next_view_generation = 1;
+  /// Answer-memo epoch contribution of this slot's PREVIOUS occupants:
+  /// `RemoveDocument`/`ReplaceDocument` advance it past the dying cache's
+  /// epoch, so `Epoch()` is monotonic across the slot's whole lifetime —
+  /// an answer memoized against any earlier occupant (or earlier view
+  /// set) can never be keyed equal to the current one.
+  uint64_t epoch_base = 0;
   std::unique_ptr<Shard> shard;  // Null while the slot is free.
+
+  /// The slot's current view-set epoch, the invalidation key of the
+  /// `AnswerCache` (see its contract). Requires `mu` held (shared is
+  /// enough) and a live shard.
+  uint64_t Epoch() const { return epoch_base + shard->cache.epoch(); }
+
+  /// Folds the dying occupant's epochs into `epoch_base` so the next
+  /// occupant starts strictly above every epoch ever observed on this
+  /// slot. Requires `mu` held exclusively and a live shard.
+  void AdvanceEpochPastShard() { epoch_base += shard->cache.epoch() + 1; }
 };
 
 /// All Service state, heap-stable behind one pointer so moves are cheap
@@ -147,6 +181,10 @@ struct Service::State {
   ServiceOptions options;
   const uint32_t tag;
   SynchronizedOracle oracle;  // Shared across documents.
+  /// The epoch-keyed answer memo shared across documents (its own
+  /// shared_mutex; lock order: any stripe before the memo's lock — memo
+  /// code never touches stripes).
+  AnswerCache answers{options.answer_cache_capacity};
 
   std::mutex pool_mu;                 // Guards pool creation/growth.
   std::unique_ptr<ThreadPool> pool;   // Shared across documents.
@@ -203,10 +241,12 @@ Service::Service(Service&&) noexcept = default;
 Service& Service::operator=(Service&&) noexcept = default;
 
 /// Result of the shared-mode entry preamble: on success `shard` is
-/// non-null and `stripe` holds the slot's lock; on failure `shard` is
-/// null, no lock is held, and `error` explains why.
+/// non-null, `slot` is its DocSlot (for epoch/scope reads) and `stripe`
+/// holds the slot's lock; on failure `shard` is null, no lock is held,
+/// and `error` explains why.
 struct Service::SharedAccess {
   std::shared_lock<std::shared_mutex> stripe;
+  DocSlot* slot = nullptr;
   Shard* shard = nullptr;
   ServiceError error;
 };
@@ -229,6 +269,7 @@ Service::SharedAccess Service::LockLiveShared(DocumentId id) const {
     access.error = StaleDocumentError(id);
     return access;
   }
+  access.slot = slot;
   access.shard = slot->shard.get();
   return access;
 }
@@ -340,6 +381,13 @@ ServiceStatus Service::RemoveDocument(DocumentId id) {
       return ServiceStatus::Error(std::move(access.error));
     }
     state_->RetireShard(*access.shard);
+    access.slot->AdvanceEpochPastShard();
+    // Purge the dead document's memoized answers eagerly: they are
+    // already unreachable (the epoch advanced), but their output vectors
+    // would otherwise stay resident until capacity pressure sweeps them.
+    // Under the exclusive stripe the slot cannot be recycled yet, so no
+    // live entry of a successor can be swept by mistake.
+    state_->answers.EraseScope(reinterpret_cast<uintptr_t>(access.slot));
     access.slot->shard.reset();
     ++access.slot->generation;
   }
@@ -366,6 +414,9 @@ ServiceStatus Service::ReplaceDocument(DocumentId id, Tree document) {
   // cheap — the tree moves, the cache starts empty — so building it under
   // the stripe is fine.)
   state_->RetireShard(*access.shard);
+  access.slot->AdvanceEpochPastShard();
+  // Purge the replaced document's memoized answers (see RemoveDocument).
+  state_->answers.EraseScope(reinterpret_cast<uintptr_t>(access.slot));
   access.slot->shard = std::make_unique<Shard>(
       std::move(document), state_->options.rewrite,
       &state_->oracle.unsynchronized());
@@ -428,13 +479,12 @@ ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
         MakeError(ServiceErrorCode::kDuplicateViewName,
                   "document already has a view named '" + name + "'"));
   }
-  int32_t vs;
-  if (!shard->free_view_slots.empty()) {
-    vs = shard->free_view_slots.back();
-    shard->free_view_slots.pop_back();
-    shard->cache.ReplaceView(vs, ViewDefinition{name, std::move(pattern)});
-  } else {
-    vs = shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
+  // The cache recycles tombstoned slots through its own free list (churn
+  // keeps views()/index bounded); a re-added name always mints a FRESH
+  // generation below, so a dead handle can never resurrect on the slot.
+  const int32_t vs =
+      shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
+  if (static_cast<size_t>(vs) >= shard->view_generations.size()) {
     shard->view_generations.resize(static_cast<size_t>(vs) + 1);
   }
   const uint32_t generation = access.slot->next_view_generation++;
@@ -467,8 +517,7 @@ ServiceStatus Service::RemoveView(ViewId id) {
   }
   shard->view_slot_by_name.erase(
       shard->cache.views()[static_cast<size_t>(id.slot)].definition().name);
-  shard->cache.RemoveView(id.slot);
-  shard->free_view_slots.push_back(id.slot);
+  shard->cache.RemoveView(id.slot);  // Tombstones + queues the slot.
   return ServiceStatus();
 }
 
@@ -493,29 +542,40 @@ ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
   // critical section covers only the answering itself, and parse-failure
   // requests never touch the lock at all.
   Pattern parsed_storage = Pattern::Empty();
-  const Pattern* pattern;
-  if (query.holds_pattern()) {
-    pattern = &query.pattern();
-  } else {
-    Result<Pattern, XPathParseError> parsed =
-        ParseXPathDetailed(query.xpath());
-    if (!parsed.ok()) {
-      state_->CountFailure();
-      return ServiceResult<xpv::Answer>::Error(
-          XPathError("query", query.xpath(), parsed.error()));
-    }
-    parsed_storage = parsed.take();
-    pattern = &parsed_storage;
+  ServiceError parse_error;
+  const Pattern* pattern =
+      ResolveQueryPattern(query, &parsed_storage, &parse_error);
+  if (pattern == nullptr) {
+    state_->CountFailure();
+    return ServiceResult<xpv::Answer>::Error(std::move(parse_error));
   }
   SharedAccess access = LockLiveShared(document);
   if (access.shard == nullptr) {
     state_->CountFailure();
     return ServiceResult<xpv::Answer>::Error(std::move(access.error));
   }
+  // Epoch-keyed memo probe: the key binds the answer to the view set
+  // observed under the stripe we hold, so a hit is exactly what the
+  // rewrite pipeline would compute — and replaying the stored delta keeps
+  // the serving counters identical too. Empty patterns skip the memo
+  // (they answer constant-empty without touching the engine anyway).
+  AnswerCache::Key key;
+  const bool memoize = state_->answers.enabled() && !pattern->IsEmpty();
+  if (memoize) {
+    key = AnswerCache::Key{reinterpret_cast<uintptr_t>(access.slot),
+                           access.slot->Epoch(),
+                           pattern->CanonicalFingerprint()};
+    if (std::shared_ptr<const AnswerCache::Entry> entry =
+            state_->answers.Lookup(key)) {
+      access.shard->FoldStats(entry->delta);
+      return entry->answer;  // The one copy: into the caller's reply.
+    }
+  }
   CacheStats delta;
   xpv::Answer answer =
       access.shard->cache.AnswerConcurrent(*pattern, &state_->oracle, &delta);
   access.shard->FoldStats(delta);
+  if (memoize) state_->answers.Insert(key, AnswerCache::Entry{answer, delta});
   return answer;
 }
 
@@ -525,16 +585,29 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
       num_workers > 0 ? num_workers : std::max(state_->options.default_workers, 1);
   const size_t n = items.size();
 
-  // Resolve every item up front: look the document slot up and parse
-  // XPath queries. A failed item keeps its error and stays out of the
+  // ---------------------------------------------------- plan (pre-stripe)
+  // Resolve every item up front (document slot lookup, XPath parse) and
+  // canonicalize the queries ONCE service-wide: one plan entry per
+  // distinct canonical fingerprint, carrying the pattern and its
+  // selection summary. A batch asking the same query over many documents
+  // pays parse + fingerprint + summary once, not once per (document,
+  // query); candidate bundles stay per (document, query) and are fed from
+  // this shared plan. A failed item keeps its error and stays out of the
   // batch; everything else proceeds.
   struct Resolved {
     DocSlot* slot = nullptr;  // Pre-generation-check resolution.
     Shard* shard = nullptr;   // Filled under the stripe lock below.
-    Pattern pattern = Pattern::Empty();
+    int plan = -1;            // Plan entry; -1 = empty pattern (or failed).
     std::optional<ServiceError> error;  // Set iff the item failed.
   };
+  struct PlanEntry {
+    Pattern pattern;
+    uint64_t fingerprint = 0;
+    SelectionSummary summary;
+  };
   std::vector<Resolved> resolved(n);
+  std::deque<PlanEntry> plan;  // Stable addresses: PlannedQuery points in.
+  std::unordered_map<uint64_t, int> plan_by_fp;
   // Batches routinely repeat a handful of documents: FindSlot (one table
   // lock + validation) runs once per distinct same-tag handle, keyed on
   // (slot, generation). The cache stores FindSlot's actual outcome —
@@ -573,19 +646,31 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
       continue;
     }
     const Query& query = items[i].query;
-    if (query.holds_pattern()) {
-      r.pattern = query.pattern();
-      continue;
-    }
-    Result<Pattern, XPathParseError> parsed =
-        ParseXPathDetailed(query.xpath());
-    if (!parsed.ok()) {
+    Pattern parsed_storage = Pattern::Empty();
+    ServiceError parse_error;
+    const Pattern* pattern =
+        ResolveQueryPattern(query, &parsed_storage, &parse_error);
+    if (pattern == nullptr) {
       state_->CountFailure();
-      r.error = XPathError("query", query.xpath(), parsed.error());
+      r.error = std::move(parse_error);
       r.slot = nullptr;
       continue;
     }
-    r.pattern = parsed.take();
+    if (pattern->IsEmpty()) continue;  // Constant-empty answer; no plan.
+    const uint64_t fp = pattern->CanonicalFingerprint();
+    auto [entry, inserted] =
+        plan_by_fp.try_emplace(fp, static_cast<int>(plan.size()));
+    if (inserted) {
+      // The only per-batch copy of a caller-held pattern happens here,
+      // once per DISTINCT fingerprint; duplicates (and every later
+      // document slice) share the plan entry's instance.
+      SelectionSummary summary = SummarizeSelection(*pattern);
+      plan.push_back(PlanEntry{query.holds_pattern()
+                                   ? *pattern
+                                   : std::move(parsed_storage),
+                               fp, std::move(summary)});
+    }
+    r.plan = entry->second;
   }
 
   // Take the stripe locks of every distinct slot in shared mode for the
@@ -613,6 +698,7 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
     stripes.emplace_back(slot->mu);
   }
   std::vector<char> stripe_live(stripes.size(), 0);
+  std::vector<uint64_t> stripe_epoch(stripes.size(), 0);
   std::unordered_map<Shard*, size_t> stripe_of_shard;
   for (size_t i = 0; i < n; ++i) {
     Resolved& r = resolved[i];
@@ -625,6 +711,11 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
     }
     const size_t si = stripe_index.at(r.slot);
     stripe_live[si] = 1;
+    // The memo epoch is read under the stripe we hold for the whole
+    // answering phase: answers computed below are valid exactly for this
+    // epoch, and a concurrent writer (blocked on the stripe) bumps it
+    // before the view set can change.
+    stripe_epoch[si] = r.slot->Epoch();
     r.shard = r.slot->shard.get();
     stripe_of_shard.emplace(r.shard, si);
   }
@@ -652,24 +743,99 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
   for (Shard* shard : shard_order) live_items += by_shard[shard].size();
   ThreadPool* pool =
       EnsurePool(std::min<int>(workers, static_cast<int>(live_items)));
+  const bool memoize = state_->answers.enabled();
   for (Shard* shard : shard_order) {
     const std::vector<size_t>& indices = by_shard[shard];
-    std::vector<Pattern> queries;
-    queries.reserve(indices.size());
-    // The patterns are dead after this copy-out (only `error` is read
-    // below), so move them instead of deep-copying.
-    for (size_t i : indices) queries.push_back(std::move(resolved[i].pattern));
-    CacheStats delta;
-    std::vector<CacheAnswer> slice = shard->cache.AnswerManyConcurrent(
-        queries, workers, pool, &state_->oracle, &delta);
-    shard->FoldStats(delta);
-    for (size_t k = 0; k < indices.size(); ++k) {
-      answers[indices[k]] = std::move(slice[k]);
+    // `stripes`/`stripe_epoch` were built in `distinct_slots` order, so
+    // the stripe index recovers the shard's DocSlot (the memo scope).
+    const size_t si = stripe_of_shard.at(shard);
+    const uint64_t scope = reinterpret_cast<uintptr_t>(distinct_slots[si]);
+    const uint64_t epoch = stripe_epoch[si];
+
+    // Distinct plan entries of this slice, in first-appearance order (the
+    // order the per-document pipeline would have deduplicated them in).
+    std::vector<int> slice_plan;
+    std::unordered_map<int, int> slice_pos;
+    for (size_t i : indices) {
+      const int p = resolved[i].plan;
+      if (p < 0) continue;
+      if (slice_pos.try_emplace(p, static_cast<int>(slice_plan.size()))
+              .second) {
+        slice_plan.push_back(p);
+      }
     }
+
+    // Memo probe per distinct (slot, epoch, fingerprint): a hit replays a
+    // stored scan (answer + stats delta, held by pointer — no deep copy)
+    // without touching the rewrite engine; only the misses run the
+    // batched/parallel pipeline.
+    std::vector<std::shared_ptr<const AnswerCache::Entry>> memo_entries(
+        slice_plan.size());
+    std::vector<PlannedAnswer> computed;  // Parallel to compute_pos.
+    std::vector<PlannedQuery> to_compute;
+    std::vector<size_t> compute_pos;
+    for (size_t k = 0; k < slice_plan.size(); ++k) {
+      const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
+      if (memoize) {
+        memo_entries[k] =
+            state_->answers.Lookup({scope, epoch, entry.fingerprint});
+        if (memo_entries[k] != nullptr) continue;
+      }
+      to_compute.push_back(PlannedQuery{&entry.pattern, &entry.summary});
+      compute_pos.push_back(k);
+    }
+    if (!to_compute.empty()) {
+      computed = shard->cache.AnswerPlannedConcurrent(to_compute, workers,
+                                                      pool, &state_->oracle);
+      if (memoize) {
+        for (size_t j = 0; j < computed.size(); ++j) {
+          // Keyed at the epoch observed under the stripe: if a writer has
+          // queued behind us, the entry is dead on arrival, never wrong.
+          state_->answers.Insert(
+              {scope, epoch,
+               plan[static_cast<size_t>(slice_plan[compute_pos[j]])]
+                   .fingerprint},
+              AnswerCache::Entry{computed[j].answer, computed[j].delta});
+        }
+      }
+    }
+    // The distinct answers of this slice, by plan position: pointers into
+    // the shared memo entry (hits) or into `computed` (misses) — nothing
+    // is deep-copied until the per-request fan-out below.
+    std::vector<const CacheAnswer*> answer_of(slice_plan.size(), nullptr);
+    std::vector<const CacheStats*> delta_of(slice_plan.size(), nullptr);
+    for (size_t k = 0; k < slice_plan.size(); ++k) {
+      if (memo_entries[k] != nullptr) {
+        answer_of[k] = &memo_entries[k]->answer;
+        delta_of[k] = &memo_entries[k]->delta;
+      }
+    }
+    for (size_t j = 0; j < compute_pos.size(); ++j) {
+      answer_of[compute_pos[j]] = &computed[j].answer;
+      delta_of[compute_pos[j]] = &computed[j].delta;
+    }
+
+    // Fold serving stats and fan the slice out in request order —
+    // duplicates replay the distinct entry's delta, exactly as the
+    // unplanned pipeline's fan-out did.
+    CacheStats delta;
+    for (size_t i : indices) {
+      ++delta.queries;
+      const int p = resolved[i].plan;
+      if (p < 0) {
+        answers[i] = CacheAnswer{};  // Empty pattern: constant empty miss.
+        continue;
+      }
+      const size_t k = static_cast<size_t>(slice_pos.at(p));
+      delta.hits += delta_of[k]->hits;
+      delta.rewrite_unknown += delta_of[k]->rewrite_unknown;
+      answers[i] = *answer_of[k];
+    }
+    shard->FoldStats(delta);
     // This document's slice is done — release its stripe so writers on it
     // are not held for the remaining documents' slices. (Each live slot
     // maps to exactly one shard, so each stripe unlocks exactly once.)
-    stripes[stripe_of_shard.at(shard)].unlock();
+    stripes[si].unlock();
   }
 
   BatchAnswers out;
@@ -723,6 +889,11 @@ ServiceStats Service::stats() const {
   }
   stats.oracle_hits = state_->oracle.hits();
   stats.oracle_misses = state_->oracle.misses();
+  const AnswerCache::Stats memo = state_->answers.stats();
+  stats.answer_cache_hits = memo.hits;
+  stats.answer_cache_misses = memo.misses;
+  stats.answer_cache_evictions = memo.evictions;
+  stats.answer_cache_entries = state_->answers.size();
   {
     std::lock_guard<std::mutex> lock(state_->pool_mu);
     stats.pool_threads =
@@ -746,5 +917,7 @@ const ThreadPool* Service::pool_for_testing() const {
   std::lock_guard<std::mutex> lock(state_->pool_mu);
   return state_->pool.get();
 }
+
+const AnswerCache& Service::answer_cache() const { return state_->answers; }
 
 }  // namespace xpv

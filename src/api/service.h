@@ -11,6 +11,7 @@
 #include "pattern/pattern.h"
 #include "rewrite/engine.h"
 #include "util/result.h"
+#include "views/answer_cache.h"
 #include "views/view_cache.h"
 #include "xml/tree.h"
 
@@ -159,6 +160,14 @@ struct ServiceStats {
   /// place (up to the hardware cap), so alternating small and large
   /// batches reuse threads instead of joining and re-spawning them.
   uint64_t pool_threads = 0;
+  /// Epoch-keyed answer-memo counters (see `AnswerCache`): a hit served a
+  /// stored answer without touching the rewrite engine; serving counters
+  /// (`queries`/`hits`/`rewrite_unknown`) are unaffected either way — a
+  /// memo hit replays the stored scan's deltas verbatim.
+  uint64_t answer_cache_hits = 0;
+  uint64_t answer_cache_misses = 0;
+  uint64_t answer_cache_evictions = 0;
+  uint64_t answer_cache_entries = 0;  ///< Resident memo entries.
 };
 
 /// Configuration of a `Service`.
@@ -168,6 +177,11 @@ struct ServiceOptions {
   RewriteOptions rewrite;
   /// Capacity of the shared containment oracle.
   size_t oracle_capacity = ContainmentOracle::kDefaultCapacity;
+  /// Capacity (in entries) of the epoch-keyed answer memo probed by
+  /// `Answer`/`AnswerBatch` before the rewrite engine runs. 0 disables
+  /// memoization entirely (every request recomputes — the baseline the
+  /// equivalence tests and benches compare against).
+  size_t answer_cache_capacity = AnswerCache::kDefaultCapacity;
   /// Worker count used by `AnswerBatch` when the call passes 0.
   int default_workers = 1;
 };
@@ -191,11 +205,17 @@ struct ServiceOptions {
 /// with a structured `ServiceError` instead of asserting.
 ///
 /// Internally the Service owns ONE shared `ContainmentOracle` (behind a
-/// `SynchronizedOracle`) and ONE lazily created, grow-in-place
-/// `ThreadPool`, injected into a `ViewCache` per document: equivalence
-/// tests amortize across documents, and `AnswerBatch` routes each
-/// document's slice of a cross-document batch through the
-/// batched/parallel `AnswerMany` pipeline on the shared pool.
+/// `SynchronizedOracle`), ONE lazily created, grow-in-place `ThreadPool`,
+/// and ONE epoch-keyed `AnswerCache`, injected into a `ViewCache` per
+/// document: equivalence tests amortize across documents. `AnswerBatch`
+/// is a service-wide batch planner — every query of a cross-document
+/// batch is canonicalized ONCE (parse + canonical fingerprint + selection
+/// summary per distinct fingerprint, across all documents), each
+/// document's slice is probed against the answer memo, and only the
+/// misses run the batched/parallel `ViewCache` pipeline on the shared
+/// pool. A batch asking the same query over 50 documents pays the
+/// per-query setup once; a repeated batch answers from the memo without
+/// touching the rewrite engine at all.
 ///
 /// Thread safety: `Answer`, `AnswerBatch`, `document`, `view`, `cache`,
 /// `num_views`, `num_documents` and `stats` are *shared* operations — any
@@ -275,24 +295,30 @@ class Service {
 
   // -------------------------------------------------------------- serving
 
-  /// Answers one query against one document. An empty pattern selects
-  /// nothing and answers with an empty miss (matching `ViewCache`); a
-  /// malformed XPath or stale/unknown document is a `ServiceError`.
+  /// Answers one query against one document, probing the epoch-keyed
+  /// answer memo first (a repeat of a recently answered query under an
+  /// unchanged view set skips the rewrite engine; answers and serving
+  /// stats are identical either way). An empty pattern selects nothing
+  /// and answers with an empty miss (matching `ViewCache`); a malformed
+  /// XPath or stale/unknown document is a `ServiceError`.
   /// Safe to call concurrently with other shared operations and with
   /// mutations of other documents.
   /// (`xpv::Answer` is qualified because the member name shadows it.)
   ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query);
 
-  /// Answers a cross-document batch: items are resolved (documents looked
-  /// up, XPath parsed), grouped per document, and each document's slice is
-  /// answered by the batched/parallel `ViewCache` pipeline (dedup by
-  /// canonical fingerprint, shared candidate bundles, oracle shards) over
-  /// the Service's shared pool. Answers come back in request order; a
-  /// failed item (parse error, stale/unknown document) occupies its slot
-  /// as an error without affecting the other items.
+  /// Answers a cross-document batch through the service-wide planner:
+  /// items are resolved (documents looked up, XPath parsed), every
+  /// distinct query (by canonical fingerprint) is summarized ONCE across
+  /// all documents, each document slice probes the epoch-keyed answer
+  /// memo, and the remaining misses run the batched/parallel `ViewCache`
+  /// pipeline (shared candidate bundles, oracle shards) over the
+  /// Service's shared pool. Answers come back in request order; a failed
+  /// item (parse error, stale/unknown document) occupies its slot as an
+  /// error without affecting the other items.
   ///
-  /// `num_workers` <= 0 means `options.default_workers`. Answers are
-  /// identical for every worker count.
+  /// `num_workers` <= 0 means `options.default_workers`. Answers and
+  /// serving statistics are identical for every worker count, and
+  /// identical with the memo on or off.
   ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
                                           int num_workers = 0);
 
@@ -318,6 +344,10 @@ class Service {
   /// The shared worker pool (null until a parallel batch created it) —
   /// test-only identity check that batches reuse one grow-in-place pool.
   const ThreadPool* pool_for_testing() const;
+
+  /// The epoch-keyed answer memo (its own synchronization; safe
+  /// concurrently) — telemetry and tests.
+  const AnswerCache& answer_cache() const;
 
  private:
   struct Shard;    // One live document: tree + cache + view slot table.

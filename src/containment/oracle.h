@@ -12,6 +12,7 @@
 
 #include "containment/containment.h"
 #include "pattern/pattern.h"
+#include "util/hash.h"
 
 namespace xpv {
 
@@ -125,9 +126,7 @@ class ContainmentOracle {
   };
   struct PairKeyHash {
     size_t operator()(const PairKey& k) const {
-      uint64_t z = k.lo ^ (k.hi * 0x9E3779B97F4A7C15ULL);
-      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-      return static_cast<size_t>(z ^ (z >> 27));
+      return static_cast<size_t>(Mix64(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ULL)));
     }
   };
   struct Entry {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <functional>
 
+#include "util/hash.h"  // Mix64 — the fingerprint's mixer.
+
 namespace xpv {
 
 Pattern::Pattern(LabelId root_label) {
@@ -61,17 +63,6 @@ std::string Pattern::CanonicalEncoding() const {
   if (IsEmpty()) return "<empty>";
   return EncodeSubtree(root());
 }
-
-namespace {
-
-/// splitmix64 finalizer: a cheap full-avalanche 64-bit mixer.
-uint64_t Mix64(uint64_t z) {
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return z ^ (z >> 31);
-}
-
-}  // namespace
 
 uint64_t Pattern::CanonicalFingerprint() const {
   if (IsEmpty()) return 0x9E3779B97F4A7C15ULL;

@@ -16,8 +16,7 @@ std::string XPathParseError::Format(std::string_view input) const {
   std::string out = Summary();
   // Slice the context to the line containing `offset` — embedded newlines
   // are legal whitespace in the grammar and would otherwise break the
-  // caret alignment. Within a line, byte offset == display column (NAME
-  // tokens and punctuation are ASCII).
+  // caret alignment.
   const size_t clamped = offset < input.size() ? offset : input.size();
   size_t line_begin = 0;
   if (clamped > 0) {
@@ -30,7 +29,15 @@ std::string XPathParseError::Format(std::string_view input) const {
   out += "\n  ";
   out.append(line.data(), line.size());
   out += "\n  ";
-  out.append(clamped - line_begin, ' ');
+  // The caret column is counted in display columns, not bytes: labels may
+  // be multi-byte UTF-8 (the struct's `offset` stays byte-based), and a
+  // byte count would push the caret right of the offending character.
+  // Code points are counted by skipping UTF-8 continuation bytes.
+  size_t columns = 0;
+  for (size_t i = line_begin; i < clamped; ++i) {
+    if ((static_cast<unsigned char>(input[i]) & 0xC0) != 0x80) ++columns;
+  }
+  out.append(columns, ' ');
   out += '^';
   return out;
 }
@@ -133,15 +140,18 @@ class Parser {
       ++pos_;
       return LabelStore::kWildcard;
     }
-    char first = Peek();
-    if (!std::isalpha(static_cast<unsigned char>(first)) && first != '_') {
+    // Bytes >= 0x80 are UTF-8 lead/continuation bytes of non-ASCII
+    // labels, accepted verbatim (labels are interned as byte strings).
+    const unsigned char first = static_cast<unsigned char>(Peek());
+    if (!std::isalpha(first) && first != '_' && first < 0x80) {
       return Result<LabelId, XPathParseError>::Error(Here("expected step"));
     }
     std::string name;
     while (!AtEnd()) {
-      char c = Peek();
-      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-          c == '.' || c == '-') {
+      const char c = Peek();
+      const unsigned char uc = static_cast<unsigned char>(c);
+      if (std::isalnum(uc) || uc >= 0x80 || c == '_' || c == '.' ||
+          c == '-') {
         name.push_back(c);
         ++pos_;
       } else {

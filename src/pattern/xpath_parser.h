@@ -25,6 +25,10 @@ struct XPathParseError {
   ///   position 5: expected step
   ///     a[b//]
   ///          ^
+  ///
+  /// The caret column is counted in display columns (code points) over
+  /// the offending line, so multi-byte UTF-8 labels before the error do
+  /// not misplace it; `offset` itself stays byte-based.
   std::string Format(std::string_view input) const;
 };
 
@@ -49,8 +53,9 @@ struct XPathParseError {
 ///     '//' (e.g. `a[//b]` has a descendant edge from `a` to `b`).
 ///   * The output node is the last step of the top-level path.
 ///
-/// NAME tokens are [A-Za-z_][A-Za-z0-9_.-]*; names starting with '#' are
-/// rejected (reserved for internal labels).
+/// NAME tokens are [A-Za-z_][A-Za-z0-9_.-]* extended with non-ASCII UTF-8
+/// bytes (labels like `café` are legal and interned as byte strings);
+/// names starting with '#' are rejected (reserved for internal labels).
 ///
 /// On failure the error carries the byte offset of the first offending
 /// character; the `xpv::Service` layer surfaces it (with caret context)

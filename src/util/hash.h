@@ -1,0 +1,26 @@
+#ifndef XPV_UTIL_HASH_H_
+#define XPV_UTIL_HASH_H_
+
+#include <cstdint>
+
+namespace xpv {
+
+/// The SplitMix64 finalizer: a cheap, well-distributed 64-bit mixer used
+/// wherever the codebase folds ids/fingerprints into hash-table keys
+/// (answer-memo keys, composite fingerprints). Not cryptographic.
+inline uint64_t Mix64(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Order-sensitive combination of two mixed words (boost-style, with the
+/// golden-ratio odd constant): combine(a, b) != combine(b, a).
+inline uint64_t HashCombine64(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9E3779B97F4A7C15ULL + (seed << 6) +
+                 (seed >> 2));
+}
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_HASH_H_

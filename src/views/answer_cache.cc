@@ -1,0 +1,84 @@
+#include "views/answer_cache.h"
+
+#include <mutex>
+
+namespace xpv {
+
+std::shared_ptr<const AnswerCache::Entry> AnswerCache::Lookup(
+    const Key& key) const {
+  if (!enabled()) return nullptr;
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  it->second.ref.store(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.entry;
+}
+
+void AnswerCache::Insert(const Key& key, Entry entry) {
+  if (!enabled()) return;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (table_.count(key) > 0) return;  // A racing filler already published.
+  if (table_.size() >= capacity_) EvictSome();
+  table_.emplace(key, Slot(std::move(entry)));
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t AnswerCache::EraseScope(uint64_t scope) {
+  if (!enabled()) return 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  size_t erased = 0;
+  for (auto it = table_.begin(); it != table_.end();) {
+    if (it->first.scope == scope) {
+      it = table_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  erased_.fetch_add(erased, std::memory_order_relaxed);
+  return erased;
+}
+
+size_t AnswerCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return table_.size();
+}
+
+void AnswerCache::Clear() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  table_.clear();
+  hits_.store(0, std::memory_order_relaxed);
+  misses_.store(0, std::memory_order_relaxed);
+  insertions_.store(0, std::memory_order_relaxed);
+  evictions_.store(0, std::memory_order_relaxed);
+  erased_.store(0, std::memory_order_relaxed);
+}
+
+void AnswerCache::EvictSome() {
+  // Second-chance clock over the whole table: entries referenced since
+  // the last sweep survive (bit cleared), cold entries go. Entries keyed
+  // on superseded epochs can never be referenced again, so they are
+  // always cold by the second sweep — stale answers cannot pin the table.
+  const size_t target = table_.size() / 2 + 1;
+  size_t evicted = 0;
+  for (auto it = table_.begin(); it != table_.end() && evicted < target;) {
+    if (it->second.ref.exchange(0, std::memory_order_relaxed) != 0) {
+      ++it;
+      continue;
+    }
+    it = table_.erase(it);
+    ++evicted;
+  }
+  // All-hot table: drop from the front so the insert always finds room.
+  for (auto it = table_.begin(); it != table_.end() && evicted < 1;) {
+    it = table_.erase(it);
+    ++evicted;
+  }
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+}
+
+}  // namespace xpv

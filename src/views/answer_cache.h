@@ -1,0 +1,173 @@
+#ifndef XPV_VIEWS_ANSWER_CACHE_H_
+#define XPV_VIEWS_ANSWER_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "util/hash.h"
+#include "views/view_cache.h"
+
+namespace xpv {
+
+/// A bounded memo of fully-computed answers, keyed on
+/// (document scope, view-set epoch, query fingerprint) — the batch-level
+/// answer memoization the serving facade's `AnswerBatch` planner probes
+/// before touching the rewrite engine.
+///
+/// The epoch is the invalidation contract: every mutation of a document's
+/// view set (`AddView`/`RemoveView`/`ReplaceView`) or of the document
+/// itself (`ReplaceDocument`, slot recycling) bumps a monotonic counter,
+/// and the key carries the epoch *observed while the answer was computed*
+/// (under the same lock that held the view set stable). A lookup therefore
+/// needs no validation beyond key equality — an entry computed against a
+/// superseded view set can never be returned, because no future lookup
+/// carries its epoch; stale entries die by construction and are swept out
+/// by the eviction clock (they can never be referenced again, so they are
+/// always the first to go).
+///
+/// Each entry stores the `CacheAnswer` *and* the serving-stats delta of
+/// the one unmemoized scan that produced it (`delta.queries == 1`), so a
+/// memo hit replays exactly the counters the rewrite pipeline would have
+/// produced — the memoized path is stats-identical, not just
+/// answer-identical.
+///
+/// Concurrency follows the `SynchronizedOracle` discipline: `Lookup`
+/// probes under the shared lock (the reference bit and the counters are
+/// atomics), a miss computes its answer with NO cache lock held, and
+/// `Insert` publishes under the exclusive lock. Two racing fillers of the
+/// same key insert the same value (answers are deterministic for a fixed
+/// (document, view set, query)); the second insert is a no-op.
+///
+/// A capacity of 0 disables the cache: `Lookup` always misses without
+/// counting and `Insert` drops the entry — the switch equivalence tests
+/// and benchmarks compare against.
+class AnswerCache {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 13;
+
+  /// The memo key. `scope` identifies the document slot (any value stable
+  /// for the slot's lifetime — the Service uses the slot's address),
+  /// `epoch` the view-set epoch observed under the slot's lock, and
+  /// `fingerprint` the query's `Pattern::CanonicalFingerprint()`.
+  struct Key {
+    uint64_t scope = 0;
+    uint64_t epoch = 0;
+    uint64_t fingerprint = 0;
+
+    friend bool operator==(const Key& a, const Key& b) {
+      return a.scope == b.scope && a.epoch == b.epoch &&
+             a.fingerprint == b.fingerprint;
+    }
+  };
+
+  /// One memoized answer plus the serving-stats delta of the scan that
+  /// computed it (`delta.queries == 1`; a hit replays the delta verbatim).
+  struct Entry {
+    CacheAnswer answer;
+    CacheStats delta;
+  };
+
+  /// Counter snapshot. `hits`/`misses` count `Lookup` outcomes,
+  /// `insertions` successful `Insert`s (re-inserting a present key does
+  /// not count), `evictions` entries dropped by the capacity sweep,
+  /// `erased` entries dropped by `EraseScope` (document removal).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+    uint64_t erased = 0;
+  };
+
+  explicit AnswerCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  AnswerCache(const AnswerCache&) = delete;
+  AnswerCache& operator=(const AnswerCache&) = delete;
+
+  /// False when constructed with capacity 0 (memoization off).
+  bool enabled() const { return capacity_ > 0; }
+  size_t capacity() const { return capacity_; }
+
+  /// Probes the memo (shared lock). On a hit returns the entry (shared
+  /// ownership — a hit is a pointer copy, not a deep copy of the answer
+  /// vectors, and the entry stays valid across a concurrent eviction)
+  /// and marks the slot referenced for the eviction clock. Null on miss.
+  std::shared_ptr<const Entry> Lookup(const Key& key) const;
+
+  /// Publishes a computed entry (exclusive lock), evicting cold entries
+  /// when the table is full. A present key keeps its existing entry.
+  void Insert(const Key& key, Entry entry);
+
+  /// Drops every entry of `scope`, any epoch (exclusive lock). Called
+  /// when a document is removed or replaced: its entries are already
+  /// unreachable (the epoch advanced), but their answer vectors would
+  /// otherwise stay resident until capacity pressure sweeps them — on a
+  /// quiet service, indefinitely. Returns the number of entries dropped
+  /// (counted in `stats().erased`, not `evictions`).
+  size_t EraseScope(uint64_t scope);
+
+  /// Number of resident entries.
+  size_t size() const;
+
+  Stats stats() const {
+    return Stats{hits_.load(std::memory_order_relaxed),
+                 misses_.load(std::memory_order_relaxed),
+                 insertions_.load(std::memory_order_relaxed),
+                 evictions_.load(std::memory_order_relaxed),
+                 erased_.load(std::memory_order_relaxed)};
+  }
+
+  /// Drops every entry and resets the counters.
+  void Clear();
+
+ private:
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = Mix64(k.scope);
+      h = HashCombine64(h, k.epoch);
+      h = HashCombine64(h, k.fingerprint);
+      return static_cast<size_t>(h);
+    }
+  };
+
+  /// A resident entry plus its second-chance reference bit. The bit is
+  /// set by `Lookup` under the *shared* lock, hence atomic; the node
+  /// itself is only created/destroyed under the exclusive lock. The
+  /// entry is immutable and shared out to readers, so eviction only
+  /// drops a reference.
+  struct Slot {
+    explicit Slot(Entry entry_in)
+        : entry(std::make_shared<const Entry>(std::move(entry_in))) {}
+    Slot(Slot&& other) noexcept
+        : entry(std::move(other.entry)),
+          ref(other.ref.load(std::memory_order_relaxed)) {}
+
+    std::shared_ptr<const Entry> entry;
+    /// Mutable: `Lookup` marks references under the SHARED lock.
+    mutable std::atomic<uint8_t> ref{1};
+  };
+
+  /// Second-chance sweep making room for one insert. Requires the
+  /// exclusive lock. Referenced slots get their bit cleared and survive;
+  /// at least one entry is always evicted.
+  void EvictSome();
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Key, Slot, KeyHash> table_;
+  const size_t capacity_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> erased_{0};
+};
+
+}  // namespace xpv
+
+#endif  // XPV_VIEWS_ANSWER_CACHE_H_

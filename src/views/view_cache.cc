@@ -55,10 +55,19 @@ ViewCache::ViewCache(ViewCache&&) noexcept = default;
 ViewCache& ViewCache::operator=(ViewCache&&) noexcept = default;
 
 int ViewCache::AddView(ViewDefinition definition) {
+  if (!free_slots_.empty()) {
+    // Recycle the most recently tombstoned slot instead of growing
+    // views_/active_/index_ forever under remove/re-add churn. ReplaceView
+    // revives the slot (and unlinks it from the free list).
+    const int slot = free_slots_.back();
+    ReplaceView(slot, std::move(definition));
+    return slot;
+  }
   views_.emplace_back(std::move(definition), *doc_);
   active_.push_back(1);
   ++active_views_;
   index_.Add(views_.back().definition().pattern);
+  ++epoch_;
   return static_cast<int>(views_.size()) - 1;
 }
 
@@ -67,9 +76,15 @@ void ViewCache::ReplaceView(int index, ViewDefinition definition) {
   views_[i] = MaterializedView(std::move(definition), *doc_);
   index_.Replace(index, views_[i].definition().pattern);
   if (active_[i] == 0) {
+    // Reviving a tombstone: unlink it from the free list, or a later
+    // AddView would recycle the slot and clobber this live view.
+    free_slots_.erase(
+        std::remove(free_slots_.begin(), free_slots_.end(), index),
+        free_slots_.end());
     active_[i] = 1;
     ++active_views_;
   }
+  ++epoch_;
 }
 
 void ViewCache::RemoveView(int index) {
@@ -79,6 +94,8 @@ void ViewCache::RemoveView(int index) {
   index_.Remove(index);
   active_[i] = 0;
   --active_views_;
+  free_slots_.push_back(index);
+  ++epoch_;
 }
 
 CacheAnswer ViewCache::ScanViews(const Pattern& query,
@@ -155,20 +172,20 @@ std::vector<CacheAnswer> ViewCache::AnswerManyConcurrent(
   return AnswerManyImpl(queries, num_workers, pool, nullptr, shared, stats);
 }
 
+std::vector<PlannedAnswer> ViewCache::AnswerPlannedConcurrent(
+    const std::vector<PlannedQuery>& queries, int num_workers,
+    ThreadPool* pool, SynchronizedOracle* shared) const {
+  return ExecutePlan(queries, num_workers, pool, nullptr, shared);
+}
+
 std::vector<CacheAnswer> ViewCache::AnswerManyImpl(
     const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
     std::unique_ptr<ThreadPool>* lazy_pool, SynchronizedOracle* shared,
     CacheStats* stats) const {
-  // One work item per *distinct* query (canonical fingerprint — the same
+  // One plan entry per *distinct* query (canonical fingerprint — the same
   // identity the oracle keys on); duplicates are fanned out at the end.
-  struct DistinctQuery {
-    int query_index;  // First occurrence in `queries`.
-    SelectionSummary summary;
-    int first_admissible = -1;
-    CacheAnswer answer;
-    CacheStats delta;  // hits/rewrite_unknown of one scan.
-  };
-  std::vector<DistinctQuery> items;
+  std::deque<SelectionSummary> summaries;  // Stable addresses for the plan.
+  std::vector<PlannedQuery> plan;
   std::vector<int> item_of(queries.size(), -1);
   {
     std::unordered_map<uint64_t, int> first_by_fp;
@@ -177,57 +194,80 @@ std::vector<CacheAnswer> ViewCache::AnswerManyImpl(
       if (queries[i].IsEmpty()) continue;
       const uint64_t fp = queries[i].CanonicalFingerprint();
       auto [it, inserted] =
-          first_by_fp.try_emplace(fp, static_cast<int>(items.size()));
+          first_by_fp.try_emplace(fp, static_cast<int>(plan.size()));
       if (inserted) {
-        items.push_back(DistinctQuery{static_cast<int>(i),
-                                      SummarizeSelection(queries[i]),
-                                      -1,
-                                      CacheAnswer{},
-                                      CacheStats{}});
+        summaries.push_back(SummarizeSelection(queries[i]));
+        plan.push_back(PlannedQuery{&queries[i], &summaries.back()});
       }
       item_of[i] = it->second;
     }
   }
 
-  // Answers items [begin, end) through `oracle`: builds each item's
+  std::vector<PlannedAnswer> planned =
+      ExecutePlan(plan, num_workers, pool, lazy_pool, shared);
+
+  // Fan the distinct answers out to the original order; statistics
+  // accumulate exactly as a sequential Answer loop would have.
+  std::vector<CacheAnswer> answers;
+  answers.reserve(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ++stats->queries;
+    if (item_of[i] < 0) {
+      answers.push_back(CacheAnswer{});
+      continue;
+    }
+    const PlannedAnswer& item = planned[static_cast<size_t>(item_of[i])];
+    answers.push_back(item.answer);
+    stats->hits += item.delta.hits;
+    stats->rewrite_unknown += item.delta.rewrite_unknown;
+  }
+  return answers;
+}
+
+std::vector<PlannedAnswer> ViewCache::ExecutePlan(
+    const std::vector<PlannedQuery>& queries, int num_workers,
+    ThreadPool* pool, std::unique_ptr<ThreadPool>* lazy_pool,
+    SynchronizedOracle* shared) const {
+  std::vector<PlannedAnswer> answers(queries.size());
+
+  // Answers entries [begin, end) through `oracle`: builds each entry's
   // candidate bundle over its first admissible view once, warms the oracle
   // with the forward pairs in one ContainedMany batch, then scans. Runs on
   // worker threads; touches only the given range and local state.
-  auto process = [this, &queries, &items](int begin, int end,
-                                          ContainmentOracle* oracle) {
+  auto process = [this, &queries, &answers](int begin, int end,
+                                            ContainmentOracle* oracle) {
     RewriteOptions options = options_;
     options.oracle = oracle;
     std::deque<CandidateBundle> bundles;  // Stable addresses for `pairs`.
     std::vector<const CandidateBundle*> bundle_of(
         static_cast<size_t>(end - begin), nullptr);
+    std::vector<int> first_admissible(static_cast<size_t>(end - begin), -1);
     std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
     pairs.reserve(2 * static_cast<size_t>(end - begin));
     for (int ii = begin; ii < end; ++ii) {
-      DistinctQuery& item = items[static_cast<size_t>(ii)];
-      item.first_admissible = index_.FirstAdmissible(item.summary);
-      if (item.first_admissible < 0) continue;
-      const Pattern& query =
-          queries[static_cast<size_t>(item.query_index)];
-      const int vi = item.first_admissible;
+      const PlannedQuery& item = queries[static_cast<size_t>(ii)];
+      const int vi = index_.FirstAdmissible(*item.summary);
+      first_admissible[static_cast<size_t>(ii - begin)] = vi;
+      if (vi < 0) continue;
       bundles.push_back(MakeCandidateBundle(
-          query, views_[static_cast<size_t>(vi)].definition().pattern,
+          *item.pattern, views_[static_cast<size_t>(vi)].definition().pattern,
           index_.view_summary(vi).depth));
       bundle_of[static_cast<size_t>(ii - begin)] = &bundles.back();
-      AppendBundlePairs(bundles.back(), query, &pairs);
+      AppendBundlePairs(bundles.back(), *item.pattern, &pairs);
     }
     oracle->ContainedMany(pairs);
     for (int ii = begin; ii < end; ++ii) {
-      DistinctQuery& item = items[static_cast<size_t>(ii)];
-      const Pattern& query =
-          queries[static_cast<size_t>(item.query_index)];
-      item.answer =
-          ScanViews(query, item.summary, item.first_admissible,
-                    bundle_of[static_cast<size_t>(ii - begin)], options,
-                    &item.delta);
+      const PlannedQuery& item = queries[static_cast<size_t>(ii)];
+      PlannedAnswer& out = answers[static_cast<size_t>(ii)];
+      out.delta.queries = 1;
+      out.answer = ScanViews(
+          *item.pattern, *item.summary,
+          first_admissible[static_cast<size_t>(ii - begin)],
+          bundle_of[static_cast<size_t>(ii - begin)], options, &out.delta);
     }
   };
 
-  const int n_items = static_cast<int>(items.size());
+  const int n_items = static_cast<int>(queries.size());
   int workers = std::clamp(num_workers, 1, std::max(n_items, 1));
   // Concurrent callers own pool creation; without one the batch runs on
   // the calling thread (the chunk partition — and hence the answers and
@@ -291,22 +331,6 @@ std::vector<CacheAnswer> ViewCache::AnswerManyImpl(
         oracle_->AbsorbFrom(*shard);
       }
     }
-  }
-
-  // Fan the distinct answers out to the original order; statistics
-  // accumulate exactly as a sequential Answer loop would have.
-  std::vector<CacheAnswer> answers;
-  answers.reserve(queries.size());
-  for (size_t i = 0; i < queries.size(); ++i) {
-    ++stats->queries;
-    if (item_of[i] < 0) {
-      answers.push_back(CacheAnswer{});
-      continue;
-    }
-    const DistinctQuery& item = items[static_cast<size_t>(item_of[i])];
-    answers.push_back(item.answer);
-    stats->hits += item.delta.hits;
-    stats->rewrite_unknown += item.delta.rewrite_unknown;
   }
   return answers;
 }

@@ -85,6 +85,27 @@ struct CacheStats {
   uint64_t rewrite_unknown = 0;  ///< Queries where some view got kUnknown.
 };
 
+/// One pre-resolved entry of a batch plan: a *distinct* (by canonical
+/// fingerprint) nonempty query whose selection summary was already built by
+/// the planner. `Service::AnswerBatch` canonicalizes a cross-document batch
+/// once — parse, fingerprint, summary per distinct query, service-wide —
+/// and hands every document slice these shared entries, so the per-query
+/// setup cost is paid once per batch instead of once per (document, query).
+/// Both pointers must stay alive and unmoved for the duration of the call.
+struct PlannedQuery {
+  const Pattern* pattern = nullptr;
+  const SelectionSummary* summary = nullptr;
+};
+
+/// The answer of one planned (distinct) query plus the serving-stats delta
+/// of its scan (`delta.queries == 1`). The caller fans duplicates out by
+/// replaying the delta per request — and the `AnswerCache` memoizes the
+/// pair, so a memo hit is stats-identical to an unmemoized scan.
+struct PlannedAnswer {
+  CacheAnswer answer;
+  CacheStats delta;
+};
+
 /// A materialized-view cache over a single document: the end-to-end
 /// application from the paper's introduction (answering queries from
 /// cached views). For each query P it consults the view-pruning index
@@ -121,8 +142,11 @@ class ViewCache {
   ViewCache(ViewCache&&) noexcept;
   ViewCache& operator=(ViewCache&&) noexcept;
 
-  /// Materializes and registers a view. Returns its index (a new slot at
-  /// the end of `views()`).
+  /// Materializes and registers a view. Returns its slot index: a
+  /// tombstoned slot when one is free (remove/re-add churn recycles slots
+  /// instead of growing `views()` and the index forever), otherwise a new
+  /// slot at the end of `views()`. Recycling preserves the deque's
+  /// pointer-stability guarantee — live slots never move either way.
   int AddView(ViewDefinition definition);
 
   /// Re-materializes slot `index` with a new definition — the slot-reuse
@@ -143,6 +167,13 @@ class ViewCache {
 
   /// Number of live views (`views().size()` minus the tombstoned slots).
   int num_active_views() const { return active_views_; }
+
+  /// The view-set epoch: a monotonic counter bumped by every `AddView`,
+  /// `ReplaceView` and `RemoveView`. Answers are a pure function of
+  /// (document, view set, query), so an epoch-tagged answer is valid
+  /// exactly while the epoch stands — the `AnswerCache` keys on it and
+  /// invalidation is one integer compare (see the epoch contract there).
+  uint64_t epoch() const { return epoch_; }
 
   /// All view slots, including tombstones (check `view_active`). A deque
   /// so growth never moves existing elements: pointers into a slot (e.g.
@@ -208,6 +239,19 @@ class ViewCache {
       const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
       SynchronizedOracle* shared, CacheStats* stats) const;
 
+  /// The planner's flavor of the batched pipeline: `queries` are already
+  /// distinct, nonempty and summarized (one `PlannedQuery` per canonical
+  /// fingerprint — the `Service` batch planner builds them once across all
+  /// documents), so this runs only the per-(document, query) work: first
+  /// admissible view, candidate bundle, oracle warm-up, scan. Returns one
+  /// `PlannedAnswer` per entry, in order; `delta.queries` is always 1.
+  /// Same locking contract and worker semantics as `AnswerManyConcurrent`
+  /// — for identical inputs the answers and deltas are identical to it
+  /// for every worker count.
+  std::vector<PlannedAnswer> AnswerPlannedConcurrent(
+      const std::vector<PlannedQuery>& queries, int num_workers,
+      ThreadPool* pool, SynchronizedOracle* shared) const;
+
   const CacheStats& stats() const { return stats_; }
 
   /// The cache's memoizing containment oracle (repeated queries amortize
@@ -232,10 +276,21 @@ class ViewCache {
   /// private pool when no external one is given) and
   /// `AnswerManyConcurrent` (shared != nullptr: shards read through /
   /// absorb into `shared`; `lazy_pool` is null — the caller owns pools).
+  /// Dedups + summarizes, then runs `ExecutePlan` and fans the distinct
+  /// answers back out.
   std::vector<CacheAnswer> AnswerManyImpl(
       const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
       std::unique_ptr<ThreadPool>* lazy_pool, SynchronizedOracle* shared,
       CacheStats* stats) const;
+
+  /// The execution core: answers the distinct, summarized `queries`
+  /// (bundle + warm-up + scan), partitioned over `num_workers` oracle
+  /// shards. The chunk partition depends only on (queries.size(),
+  /// num_workers), so answers and deltas are worker-count-invariant.
+  std::vector<PlannedAnswer> ExecutePlan(
+      const std::vector<PlannedQuery>& queries, int num_workers,
+      ThreadPool* pool, std::unique_ptr<ThreadPool>* lazy_pool,
+      SynchronizedOracle* shared) const;
 
   const Tree* doc_;
   RewriteOptions options_;  // options_.oracle == oracle_.
@@ -243,7 +298,9 @@ class ViewCache {
   ContainmentOracle* oracle_;  // owned_oracle_.get() or the injected one.
   std::deque<MaterializedView> views_;  // Stable slots; see views().
   std::vector<char> active_;  // Parallel to views_: 0 = tombstoned slot.
+  std::vector<int> free_slots_;  // Tombstoned slots awaiting AddView reuse.
   int active_views_ = 0;
+  uint64_t epoch_ = 0;  // See epoch().
   ViewIndex index_;
   CacheStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // Lazily created by AnswerMany when

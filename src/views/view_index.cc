@@ -4,18 +4,19 @@
 #include <limits>
 #include <utility>
 
+#include "util/hash.h"
+
 namespace xpv {
 namespace {
 
 /// Mixes a (selection depth, label) pair into one of 64 buckets. The exact
-/// constant is immaterial; it only has to spread (depth, label) pairs so
-/// the subset prefilter rejects label clashes with high probability.
+/// mixer is immaterial; it only has to spread (depth, label) pairs so the
+/// subset prefilter rejects label clashes with high probability.
 uint64_t PrefixBit(int depth, LabelId label) {
-  uint64_t z = (static_cast<uint64_t>(static_cast<uint32_t>(label)) << 20) ^
-               static_cast<uint64_t>(static_cast<uint32_t>(depth));
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
-  return uint64_t{1} << ((z ^ (z >> 31)) & 63);
+  const uint64_t seed =
+      (static_cast<uint64_t>(static_cast<uint32_t>(label)) << 20) ^
+      static_cast<uint64_t>(static_cast<uint32_t>(depth));
+  return uint64_t{1} << (Mix64(seed) & 63);
 }
 
 }  // namespace

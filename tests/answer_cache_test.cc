@@ -1,0 +1,149 @@
+// The epoch-keyed answer memo: key semantics (scope/epoch/fingerprint
+// isolation), the stored stats-delta contract, bounded capacity with
+// second-chance eviction, and the capacity-0 disabled mode.
+
+#include "views/answer_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace xpv {
+namespace {
+
+AnswerCache::Entry MakeEntry(NodeId output, uint64_t hits) {
+  AnswerCache::Entry entry;
+  entry.answer.hit = hits > 0;
+  entry.answer.view_name = hits > 0 ? "v" : "";
+  entry.answer.outputs = {output};
+  entry.delta.queries = 1;
+  entry.delta.hits = hits;
+  return entry;
+}
+
+TEST(AnswerCacheTest, LookupReturnsExactlyWhatWasInserted) {
+  AnswerCache cache;
+  const AnswerCache::Key key{1, 7, 42};
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  cache.Insert(key, MakeEntry(5, 1));
+
+  std::shared_ptr<const AnswerCache::Entry> probe = cache.Lookup(key);
+  ASSERT_NE(probe, nullptr);
+  EXPECT_TRUE(probe->answer.hit);
+  EXPECT_EQ(probe->answer.view_name, "v");
+  EXPECT_EQ(probe->answer.outputs, std::vector<NodeId>{5});
+  EXPECT_EQ(probe->delta.queries, 1u);
+  EXPECT_EQ(probe->delta.hits, 1u);
+
+  const AnswerCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnswerCacheTest, KeysIsolateScopeEpochAndFingerprint) {
+  AnswerCache cache;
+  cache.Insert({1, 7, 42}, MakeEntry(5, 1));
+  // Any differing component is a distinct answer space: another document
+  // slot, a bumped view-set epoch, another query.
+  EXPECT_EQ(cache.Lookup({2, 7, 42}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 8, 42}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 7, 43}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 7, 42}), nullptr);
+}
+
+TEST(AnswerCacheTest, ReinsertKeepsTheFirstEntry) {
+  // Two racing fillers compute the same answer; the second publish must
+  // not double-count or replace (answers are deterministic per key).
+  AnswerCache cache;
+  cache.Insert({1, 1, 1}, MakeEntry(3, 1));
+  cache.Insert({1, 1, 1}, MakeEntry(9, 0));
+  std::shared_ptr<const AnswerCache::Entry> probe = cache.Lookup({1, 1, 1});
+  ASSERT_NE(probe, nullptr);
+  EXPECT_EQ(probe->answer.outputs, std::vector<NodeId>{3});
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnswerCacheTest, LookupSurvivesEvictionOfItsEntry) {
+  // A returned entry is shared ownership: sweeping it out of the table
+  // must not invalidate a reader still holding it.
+  AnswerCache cache(2);
+  cache.Insert({1, 1, 1}, MakeEntry(7, 0));
+  std::shared_ptr<const AnswerCache::Entry> held = cache.Lookup({1, 1, 1});
+  ASSERT_NE(held, nullptr);
+  cache.Clear();  // Strongest form of eviction.
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(held->answer.outputs, std::vector<NodeId>{7});
+}
+
+TEST(AnswerCacheTest, CapacityBoundsResidencyAndEvictsColdFirst) {
+  AnswerCache cache(8);
+  for (uint64_t fp = 0; fp < 8; ++fp) {
+    cache.Insert({1, 1, fp}, MakeEntry(static_cast<NodeId>(fp), 0));
+  }
+  EXPECT_EQ(cache.size(), 8u);
+  // Touch one entry so the clock's reference bit spares it.
+  ASSERT_NE(cache.Lookup({1, 1, 3}), nullptr);
+
+  // Overflow: the sweep evicts cold entries, the hot one survives.
+  cache.Insert({1, 1, 100}, MakeEntry(100, 0));
+  EXPECT_LE(cache.size(), 8u);
+  EXPECT_GT(cache.stats().evictions, 0u);
+  EXPECT_NE(cache.Lookup({1, 1, 3}), nullptr);
+  EXPECT_NE(cache.Lookup({1, 1, 100}), nullptr);
+}
+
+TEST(AnswerCacheTest, SustainedChurnStaysBounded) {
+  // Epoch churn (the invalidation pattern): entries keyed on superseded
+  // epochs can never be referenced again; residency must stay <= capacity
+  // no matter how many epochs pass.
+  AnswerCache cache(16);
+  for (uint64_t epoch = 0; epoch < 100; ++epoch) {
+    for (uint64_t fp = 0; fp < 4; ++fp) {
+      cache.Insert({1, epoch, fp}, MakeEntry(static_cast<NodeId>(fp), 0));
+    }
+  }
+  EXPECT_LE(cache.size(), 16u);
+  // The newest epoch's entries are resident (stale ones were evicted).
+  EXPECT_NE(cache.Lookup({1, 99, 3}), nullptr);
+}
+
+TEST(AnswerCacheTest, EraseScopeDropsAllEpochsOfOneScopeOnly) {
+  AnswerCache cache;
+  cache.Insert({1, 1, 10}, MakeEntry(1, 0));
+  cache.Insert({1, 2, 10}, MakeEntry(2, 0));  // Same scope, later epoch.
+  cache.Insert({2, 1, 10}, MakeEntry(3, 0));  // Another document.
+  EXPECT_EQ(cache.EraseScope(1), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().erased, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);  // Not capacity pressure.
+  EXPECT_EQ(cache.Lookup({1, 1, 10}), nullptr);
+  EXPECT_EQ(cache.Lookup({1, 2, 10}), nullptr);
+  EXPECT_NE(cache.Lookup({2, 1, 10}), nullptr);
+}
+
+TEST(AnswerCacheTest, ZeroCapacityDisablesTheCache) {
+  AnswerCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  cache.Insert({1, 1, 1}, MakeEntry(3, 1));
+  EXPECT_EQ(cache.Lookup({1, 1, 1}), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  // Disabled mode is silent: no counters accrue.
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().insertions, 0u);
+}
+
+TEST(AnswerCacheTest, ClearDropsEntriesAndCounters) {
+  AnswerCache cache;
+  cache.Insert({1, 1, 1}, MakeEntry(3, 1));
+  ASSERT_NE(cache.Lookup({1, 1, 1}), nullptr);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Lookup({1, 1, 1}), nullptr);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // The post-Clear probe.
+}
+
+}  // namespace
+}  // namespace xpv

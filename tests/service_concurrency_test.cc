@@ -292,6 +292,125 @@ TEST(ServiceConcurrencyTest, ConcurrentDocumentLifecycleKeepsOthersServing) {
   EXPECT_EQ(service.num_documents(), 1);
 }
 
+TEST(ServiceConcurrencyTest, RepeatedBatchesStayCorrectUnderChurnWithMemo) {
+  // The answer-memo stress: readers re-issue the SAME cross-document
+  // batch (maximal memo-hit contention on shared AnswerCache entries)
+  // while a writer churns one document's views and periodically replaces
+  // the document (same content). Every answer must equal direct
+  // evaluation — a stale memo entry surviving an epoch bump would fail
+  // here deterministically, because the churned view set flips queries
+  // between hit and miss while outputs stay fixed.
+  constexpr int kReaders = 3;
+  constexpr int kReaderRounds = 50;
+  constexpr int kWriterRounds = 30;
+
+  const char* stable_xml = "<a><b><c/><c/></b><b><d/></b></a>";
+  const char* churn_xml = "<r><s><t/></s><s><t/><u/></s></r>";
+
+  Service service;
+  DocumentId stable = service.AddDocument(Doc(stable_xml));
+  ASSERT_TRUE(service.AddView(stable, "v", "a/b").ok());
+  DocumentId churn = service.AddDocument(Doc(churn_xml));
+  ASSERT_TRUE(service.AddView(churn, "keep", "r/s").ok());
+
+  const char* batch_queries[] = {"a/b/c", "r/s/t", "a/b", "r//u",
+                                 "a/b/c", "r/s/t"};
+  std::vector<BatchItem> items;
+  std::vector<std::vector<NodeId>> expected;
+  {
+    Tree stable_twin = Doc(stable_xml);
+    Tree churn_twin = Doc(churn_xml);
+    for (size_t i = 0; i < std::size(batch_queries); ++i) {
+      const bool on_stable = batch_queries[i][0] == 'a';
+      items.push_back({on_stable ? stable : churn, batch_queries[i]});
+      expected.push_back(Eval(MustParseXPath(batch_queries[i]),
+                              on_stable ? stable_twin : churn_twin));
+    }
+  }
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (int i = 0; i < kWriterRounds; ++i) {
+      ServiceResult<ViewId> added =
+          service.AddView(churn, "w", i % 2 == 0 ? "r/s" : "r//s");
+      ASSERT_TRUE(added.ok()) << added.error().message;
+      ASSERT_TRUE(service.RemoveView(added.value()).ok());
+      if (i % 10 == 9) {
+        ASSERT_TRUE(service.ReplaceDocument(churn, Doc(churn_xml)).ok());
+        ASSERT_TRUE(service.AddView(churn, "keep", "r/s").ok());
+      }
+    }
+  });
+  for (int reader = 0; reader < kReaders; ++reader) {
+    threads.emplace_back([&, reader] {
+      for (int round = 0; round < kReaderRounds; ++round) {
+        ServiceResult<BatchAnswers> batch =
+            service.AnswerBatch(items, 1 + (reader + round) % 3);
+        ASSERT_TRUE(batch.ok());
+        for (size_t i = 0; i < items.size(); ++i) {
+          ASSERT_TRUE(batch.value().answers[i].ok()) << i;
+          EXPECT_EQ(batch.value().answers[i].value().outputs, expected[i])
+              << batch_queries[i];
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // The repeated batches actually exercised the memo.
+  EXPECT_GT(service.stats().answer_cache_hits, 0u);
+  // Quiesced sanity: one final batch still equals direct evaluation.
+  ServiceResult<BatchAnswers> last = service.AnswerBatch(items, 2);
+  ASSERT_TRUE(last.ok());
+  for (size_t i = 0; i < items.size(); ++i) {
+    ASSERT_TRUE(last.value().answers[i].ok());
+    EXPECT_EQ(last.value().answers[i].value().outputs, expected[i]);
+  }
+}
+
+TEST(ServiceConcurrencyTest, AnswerCacheStressTinyCapacityStaysSound) {
+  // TSan-targeted stress of the AnswerCache itself: a tiny capacity keeps
+  // the eviction sweep firing constantly while readers hit/miss/insert
+  // from many threads and a writer bumps epochs — the shared-probe /
+  // exclusive-fill discipline and the ref-bit atomics must hold up, and
+  // answers must stay correct throughout.
+  ServiceOptions options;
+  options.answer_cache_capacity = 4;  // Far below the working set.
+  Service service(options);
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b><b><d/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  const char* queries[] = {"a/b/c", "a/b/d", "a/b", "a//c", "a//d",
+                           "a/b/c", "a/*"};
+  Tree twin = Doc("<a><b><c/></b><b><d/></b></a>");
+  std::vector<std::vector<NodeId>> expected;
+  for (const char* q : queries) {
+    expected.push_back(Eval(MustParseXPath(q), twin));
+  }
+
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    for (int i = 0; i < 60; ++i) {
+      ServiceResult<ViewId> added = service.AddView(doc, "w", "a//b");
+      ASSERT_TRUE(added.ok());
+      ASSERT_TRUE(service.RemoveView(added.value()).ok());
+    }
+  });
+  for (int reader = 0; reader < 4; ++reader) {
+    threads.emplace_back([&, reader] {
+      for (int round = 0; round < 80; ++round) {
+        const size_t q = static_cast<size_t>(reader + round) %
+                         std::size(queries);
+        ServiceResult<Answer> answer = service.Answer(doc, queries[q]);
+        ASSERT_TRUE(answer.ok());
+        EXPECT_EQ(answer.value().outputs, expected[q]) << queries[q];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // The table respected its bound under the whole stress.
+  EXPECT_LE(service.stats().answer_cache_entries, 4u);
+}
+
 TEST(ServiceConcurrencyTest, AlternatingBatchSizesReuseOneGrowingPool) {
   // Regression for EnsurePool: a larger worker count used to REPLACE the
   // live pool (join + re-spawn per batch in alternating-size workloads,

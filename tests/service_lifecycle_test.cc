@@ -333,6 +333,87 @@ TEST(ServiceLifecycleTest, ViewPointersSurviveLaterAddViews) {
   EXPECT_EQ(held, service.view(first.value()));
 }
 
+TEST(ServiceLifecycleTest, ReAddingARemovedViewNameMintsAFreshHandle) {
+  // Regression (tombstone hygiene): re-adding a view under a name freed
+  // by RemoveView must succeed with a FRESH ViewId — neither failing
+  // kDuplicateViewName (the name is free) nor resurrecting the dead
+  // slot's generation (the old handle must stay stale forever).
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b><d/></a>"));
+  ServiceResult<ViewId> first = service.AddView(doc, "v", "a/b");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(service.RemoveView(first.value()).ok());
+
+  ServiceResult<ViewId> second = service.AddView(doc, "v", "a/b");
+  ASSERT_TRUE(second.ok()) << second.error().message;
+  EXPECT_NE(second.value(), first.value());
+  EXPECT_NE(second.value().generation, first.value().generation);
+  EXPECT_EQ(service.view(first.value()), nullptr);
+  ASSERT_NE(service.view(second.value()), nullptr);
+  EXPECT_EQ(service.view(second.value())->name, "v");
+
+  // The old handle cannot remove/resolve the reborn view.
+  ServiceStatus stale = service.RemoveView(first.value());
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, ServiceErrorCode::kStaleHandle);
+  EXPECT_EQ(service.num_views(doc), 1);
+  ServiceResult<Answer> answer = service.Answer(doc, "a/b/c");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value().hit);
+  EXPECT_EQ(answer.value().view_name, "v");
+}
+
+TEST(ServiceLifecycleTest, ViewChurnKeepsTheSlotTableBounded) {
+  // Service-level half of the tombstone-recycling regression: sustained
+  // AddView/RemoveView churn must not grow the per-document view table
+  // (or the index every ScanViews loop walks) without bound.
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ServiceResult<ViewId> resident = service.AddView(doc, "keep", "a/b");
+  ASSERT_TRUE(resident.ok());
+  ASSERT_NE(service.cache(doc), nullptr);
+  const size_t slots_before = service.cache(doc)->views().size();
+
+  for (int i = 0; i < 200; ++i) {
+    ServiceResult<ViewId> churn =
+        service.AddView(doc, "w" + std::to_string(i % 2), "a//b");
+    ASSERT_TRUE(churn.ok());
+    ASSERT_TRUE(service.RemoveView(churn.value()).ok());
+  }
+  // One extra slot (the churn views recycle it), not 200.
+  EXPECT_LE(service.cache(doc)->views().size(), slots_before + 1);
+  EXPECT_EQ(service.cache(doc)->index().size(),
+            static_cast<int>(service.cache(doc)->views().size()));
+  EXPECT_EQ(service.num_views(doc), 1);
+  EXPECT_TRUE(service.Answer(doc, "a/b/c").value().hit);
+}
+
+TEST(ServiceLifecycleTest, RecycledDocumentSlotNeverServesMemoizedAnswers) {
+  // The answer memo keys on (slot, epoch, fingerprint); the slot's epoch
+  // is monotonic across occupants, so a recycled slot can never serve an
+  // answer memoized for the document it replaced — even for the same
+  // query under a new handle.
+  Service service;
+  DocumentId first = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ServiceResult<Answer> original = service.Answer(first, "a/b/c");
+  ASSERT_TRUE(original.ok());
+  EXPECT_EQ(original.value().outputs.size(), 1u);
+  ASSERT_TRUE(service.Answer(first, "a/b/c").ok());  // Memoized now.
+  ASSERT_GT(service.stats().answer_cache_entries, 0u);
+  ASSERT_TRUE(service.RemoveDocument(first).ok());
+  // The dead document's memo entries are purged eagerly, not left to pin
+  // their answer vectors until capacity pressure.
+  EXPECT_EQ(service.stats().answer_cache_entries, 0u);
+
+  DocumentId second = service.AddDocument(Doc("<a><b><c/><c/></b></a>"));
+  ASSERT_EQ(second.slot, first.slot);  // Recycled.
+  ServiceResult<Answer> fresh = service.Answer(second, "a/b/c");
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(fresh.value().outputs.size(), 2u);
+  EXPECT_EQ(fresh.value().outputs,
+            Eval(MustParseXPath("a/b/c"), *service.document(second)));
+}
+
 TEST(ServiceLifecycleTest, StaleHandleErrorCodeName) {
   EXPECT_STREQ(ToString(ServiceErrorCode::kStaleHandle), "stale_handle");
 }

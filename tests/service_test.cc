@@ -337,6 +337,131 @@ TEST(ServiceTest, HugeWorkerCountIsCappedNotFatal) {
   }
 }
 
+TEST(ServiceTest, RepeatedBatchesAnswerFromTheMemoIdentically) {
+  // The acceptance bar of the batch-planner issue: the memoized/deduped
+  // AnswerBatch must return answers AND serving stats identical to the
+  // unmemoized pipeline, for 1/2/4 workers — while repeated batches
+  // actually hit the memo.
+  const char* xmls[] = {
+      "<a><b><c/><c><d/></c></b><b><e/></b></a>",
+      "<a><b><c/></b><x><b><c/></b></x></a>",
+      "<a><b/><b><c/></b></a>",
+  };
+  const char* queries[] = {"a/b/c", "a/b", "a//b/c", "a/b/c", "q/z"};
+
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE(workers);
+    Service memoized;  // Default: answer memo on.
+    ServiceOptions off;
+    off.answer_cache_capacity = 0;  // The unmemoized baseline.
+    Service baseline(off);
+    std::vector<DocumentId> mids, bids;
+    for (const char* xml : xmls) {
+      mids.push_back(memoized.AddDocument(Doc(xml)));
+      bids.push_back(baseline.AddDocument(Doc(xml)));
+      ASSERT_TRUE(memoized.AddView(mids.back(), "v", "a/b").ok());
+      ASSERT_TRUE(baseline.AddView(bids.back(), "v", "a/b").ok());
+    }
+    // Every query over every document — the cross-document dedup regime.
+    std::vector<BatchItem> mitems, bitems;
+    for (size_t d = 0; d < mids.size(); ++d) {
+      for (const char* q : queries) {
+        mitems.push_back({mids[d], q});
+        bitems.push_back({bids[d], q});
+      }
+    }
+
+    for (int round = 0; round < 3; ++round) {
+      SCOPED_TRACE(round);
+      ServiceResult<BatchAnswers> got = memoized.AnswerBatch(mitems, workers);
+      ServiceResult<BatchAnswers> want = baseline.AnswerBatch(bitems, workers);
+      ASSERT_TRUE(got.ok());
+      ASSERT_TRUE(want.ok());
+      ASSERT_EQ(got.value().size(), want.value().size());
+      for (size_t i = 0; i < got.value().size(); ++i) {
+        ASSERT_TRUE(got.value().answers[i].ok()) << i;
+        ASSERT_TRUE(want.value().answers[i].ok()) << i;
+        const Answer& g = got.value().answers[i].value();
+        const Answer& w = want.value().answers[i].value();
+        EXPECT_EQ(g.hit, w.hit) << i;
+        EXPECT_EQ(g.view_name, w.view_name) << i;
+        EXPECT_EQ(g.outputs, w.outputs) << i;
+        EXPECT_EQ(g.rewriting.CanonicalEncoding(),
+                  w.rewriting.CanonicalEncoding())
+            << i;
+      }
+      // Serving counters are memo-invariant: hits replay the stored scan's
+      // delta, so the two services agree query for query.
+      EXPECT_EQ(memoized.stats().queries, baseline.stats().queries);
+      EXPECT_EQ(memoized.stats().hits, baseline.stats().hits);
+      EXPECT_EQ(memoized.stats().rewrite_unknown,
+                baseline.stats().rewrite_unknown);
+    }
+    // The memo worked: repeated batches hit, the baseline never does.
+    EXPECT_GT(memoized.stats().answer_cache_hits, 0u);
+    EXPECT_GT(memoized.stats().answer_cache_entries, 0u);
+    EXPECT_EQ(baseline.stats().answer_cache_hits, 0u);
+    EXPECT_EQ(baseline.stats().answer_cache_entries, 0u);
+  }
+}
+
+TEST(ServiceTest, SingleAnswersShareTheMemoWithBatches) {
+  // Answer and AnswerBatch key the same memo: a batch fills it, a single
+  // repeat of one of its queries hits without a new scan (and both paths
+  // replay identical serving stats).
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  std::vector<BatchItem> items = {{doc, "a/b/c"}, {doc, "a/b"}};
+  ASSERT_TRUE(service.AnswerBatch(items, 1).ok());
+  const uint64_t hits_before = service.stats().answer_cache_hits;
+  const uint64_t oracle_misses_before = service.stats().oracle_misses;
+
+  ServiceResult<Answer> repeat = service.Answer(doc, "a/b/c");
+  ASSERT_TRUE(repeat.ok());
+  EXPECT_TRUE(repeat.value().hit);
+  EXPECT_GT(service.stats().answer_cache_hits, hits_before);
+  // A memo hit runs no equivalence tests at all.
+  EXPECT_EQ(service.stats().oracle_misses, oracle_misses_before);
+  EXPECT_EQ(service.stats().queries, items.size() + 1);
+}
+
+TEST(ServiceTest, MemoInvalidatesOnViewAndDocumentMutations) {
+  // The epoch contract: AddView/RemoveView/ReplaceDocument each bump the
+  // document's epoch, so memoized answers from before the mutation are
+  // unreachable — answers always reflect the current view set/document.
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b><c/></b></a>"));
+  ServiceResult<Answer> miss = service.Answer(doc, "a/b/c");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().hit);
+  ASSERT_TRUE(service.Answer(doc, "a/b/c").ok());  // Memoize the miss.
+
+  // AddView: the same query must now answer through the view.
+  ServiceResult<ViewId> view = service.AddView(doc, "v", "a/b");
+  ASSERT_TRUE(view.ok());
+  ServiceResult<Answer> hit = service.Answer(doc, "a/b/c");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit.value().hit);
+  EXPECT_EQ(hit.value().outputs, miss.value().outputs);
+
+  // RemoveView: back to a direct-evaluation miss, not the stale hit.
+  ASSERT_TRUE(service.RemoveView(view.value()).ok());
+  ServiceResult<Answer> miss_again = service.Answer(doc, "a/b/c");
+  ASSERT_TRUE(miss_again.ok());
+  EXPECT_FALSE(miss_again.value().hit);
+  EXPECT_EQ(miss_again.value().outputs, miss.value().outputs);
+
+  // ReplaceDocument: outputs must track the new tree immediately.
+  ASSERT_TRUE(
+      service.ReplaceDocument(doc, Doc("<a><b><c/><c/></b></a>")).ok());
+  ServiceResult<Answer> replaced = service.Answer(doc, "a/b/c");
+  ASSERT_TRUE(replaced.ok());
+  EXPECT_EQ(replaced.value().outputs.size(), 2u);
+  EXPECT_EQ(replaced.value().outputs,
+            Eval(MustParseXPath("a/b/c"), *service.document(doc)));
+}
+
 TEST(ServiceTest, ServiceIsMovable) {
   Service service;
   DocumentId doc = service.AddDocument(Doc("<a><b><c/></b></a>"));

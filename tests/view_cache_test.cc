@@ -224,6 +224,73 @@ TEST(ViewCacheTest, RemoveAndReplaceViewLifecycle) {
   EXPECT_EQ(hit.outputs, Eval(MustParseXPath("a/d/e"), doc));
 }
 
+TEST(ViewCacheTest, AddRemoveChurnRecyclesTombstonedSlots) {
+  // Regression: AddView used to append a brand-new slot forever, so
+  // add/remove churn grew views_/active_/ViewIndex without bound (and
+  // every ScanViews loop with them). Tombstoned slots must be recycled.
+  Tree doc = Doc("<a><b><c/></b><d/></a>");
+  ViewCache cache(doc);
+  const int slot = cache.AddView({"v0", MustParseXPath("a/b")});
+  const size_t slots_after_first = cache.views().size();
+  const int index_after_first = cache.index().size();
+
+  for (int i = 0; i < 100; ++i) {
+    cache.RemoveView(slot);
+    const int reused =
+        cache.AddView({"v" + std::to_string(i + 1), MustParseXPath("a/b")});
+    // The same slot comes back; nothing grows.
+    EXPECT_EQ(reused, slot);
+    EXPECT_EQ(cache.views().size(), slots_after_first);
+    EXPECT_EQ(cache.index().size(), index_after_first);
+    EXPECT_EQ(cache.num_active_views(), 1);
+  }
+  // The recycled slot answers for its current definition.
+  CacheAnswer hit = cache.Answer(MustParseXPath("a/b/c"));
+  EXPECT_TRUE(hit.hit);
+  EXPECT_EQ(hit.view_name, "v100");
+  EXPECT_EQ(hit.outputs, Eval(MustParseXPath("a/b/c"), doc));
+}
+
+TEST(ViewCacheTest, ReplaceViewUnlinksTheSlotFromTheFreeList) {
+  // ReplaceView revives a tombstone directly (the Service's historical
+  // slot-reuse path); a later AddView must NOT recycle that slot again
+  // and clobber the live view.
+  Tree doc = Doc("<a><b><c/></b><d><e/></d></a>");
+  ViewCache cache(doc);
+  const int slot = cache.AddView({"b-view", MustParseXPath("a/b")});
+  cache.RemoveView(slot);
+  cache.ReplaceView(slot, {"d-view", MustParseXPath("a/d")});
+  ASSERT_TRUE(cache.view_active(slot));
+
+  const int fresh = cache.AddView({"b-again", MustParseXPath("a/b")});
+  EXPECT_NE(fresh, slot);
+  EXPECT_EQ(cache.num_active_views(), 2);
+  EXPECT_TRUE(cache.Answer(MustParseXPath("a/d/e")).hit);
+  EXPECT_TRUE(cache.Answer(MustParseXPath("a/b/c")).hit);
+}
+
+TEST(ViewCacheTest, EpochBumpsOnEveryViewSetMutation) {
+  // The AnswerCache invalidation contract: every AddView/ReplaceView/
+  // RemoveView moves the epoch strictly forward (RemoveView of a
+  // tombstone is a no-op and must not).
+  Tree doc = Doc("<a><b/><d/></a>");
+  ViewCache cache(doc);
+  uint64_t last = cache.epoch();
+  const int slot = cache.AddView({"v", MustParseXPath("a/b")});
+  EXPECT_GT(cache.epoch(), last);
+  last = cache.epoch();
+  cache.ReplaceView(slot, {"w", MustParseXPath("a/d")});
+  EXPECT_GT(cache.epoch(), last);
+  last = cache.epoch();
+  cache.RemoveView(slot);
+  EXPECT_GT(cache.epoch(), last);
+  last = cache.epoch();
+  cache.RemoveView(slot);  // Already tombstoned: no state change.
+  EXPECT_EQ(cache.epoch(), last);
+  cache.AddView({"x", MustParseXPath("a/b")});  // Recycles the slot.
+  EXPECT_GT(cache.epoch(), last);
+}
+
 TEST(ViewCacheTest, ConcurrentEntryPointsMatchMutatingOnes) {
   // The const AnswerThrough/AnswerConcurrent/AnswerManyConcurrent paths
   // (the thread-safe Service's route) must produce exactly the answers
@@ -274,6 +341,54 @@ TEST(ViewCacheTest, ConcurrentEntryPointsMatchMutatingOnes) {
     EXPECT_EQ(actual_batch[i].outputs, expected_batch[i].outputs) << i;
   }
   EXPECT_EQ(batch_delta.queries, queries.size());
+}
+
+TEST(ViewCacheTest, PlannedPipelineMatchesAnswerManyForEveryWorkerCount) {
+  // AnswerPlannedConcurrent (the Service batch planner's entry point:
+  // distinct queries, caller-built summaries) must produce exactly the
+  // answers and per-scan deltas of AnswerManyConcurrent on the same
+  // distinct queries, for every worker count.
+  Tree doc = Doc("<a><b><c/></b><b><c/><d/></b><x><b><c/></b></x></a>");
+  ViewCache cache(doc);
+  cache.AddView({"b-view", MustParseXPath("a/b")});
+  std::vector<Pattern> distinct = {
+      MustParseXPath("a/b/c"), MustParseXPath("a/b"),
+      MustParseXPath("a//b/d"), MustParseXPath("x/y")};
+  std::vector<SelectionSummary> summaries;
+  summaries.reserve(distinct.size());
+  for (const Pattern& q : distinct) summaries.push_back(SummarizeSelection(q));
+  std::vector<PlannedQuery> plan;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    plan.push_back(PlannedQuery{&distinct[i], &summaries[i]});
+  }
+
+  ThreadPool pool(4);
+  for (int workers : {1, 2, 4}) {
+    SCOPED_TRACE(workers);
+    SynchronizedOracle reference_oracle;
+    CacheStats reference_delta;
+    std::vector<CacheAnswer> reference = cache.AnswerManyConcurrent(
+        distinct, workers, &pool, &reference_oracle, &reference_delta);
+
+    SynchronizedOracle planned_oracle;
+    std::vector<PlannedAnswer> planned =
+        cache.AnswerPlannedConcurrent(plan, workers, &pool, &planned_oracle);
+
+    ASSERT_EQ(planned.size(), reference.size());
+    CacheStats total;
+    for (size_t i = 0; i < planned.size(); ++i) {
+      EXPECT_EQ(planned[i].answer.hit, reference[i].hit) << i;
+      EXPECT_EQ(planned[i].answer.view_name, reference[i].view_name) << i;
+      EXPECT_EQ(planned[i].answer.outputs, reference[i].outputs) << i;
+      EXPECT_EQ(planned[i].delta.queries, 1u) << i;
+      total.queries += planned[i].delta.queries;
+      total.hits += planned[i].delta.hits;
+      total.rewrite_unknown += planned[i].delta.rewrite_unknown;
+    }
+    EXPECT_EQ(total.queries, reference_delta.queries);
+    EXPECT_EQ(total.hits, reference_delta.hits);
+    EXPECT_EQ(total.rewrite_unknown, reference_delta.rewrite_unknown);
+  }
 }
 
 }  // namespace

@@ -146,6 +146,42 @@ TEST(XPathParserTest, ErrorFormatSlicesToTheOffendingLine) {
             "     ^");
 }
 
+TEST(XPathParserTest, NonAsciiLabelsParse) {
+  // NAME accepts non-ASCII UTF-8 bytes: labels are interned as byte
+  // strings, matching the XML side (element names are not restricted to
+  // ASCII in practice).
+  Result<Pattern, XPathParseError> result = ParseXPathDetailed("café/日本");
+  ASSERT_TRUE(result.ok()) << result.error().Summary();
+  const Pattern& p = result.value();
+  EXPECT_EQ(LabelName(p.label(p.root())), "café");
+  EXPECT_EQ(LabelName(p.label(p.output())), "日本");
+}
+
+TEST(XPathParserTest, ErrorCaretCountsDisplayColumnsNotBytes) {
+  // Regression: the caret column was counted in bytes, so multi-byte
+  // UTF-8 labels before the error pushed the caret right of the
+  // offending character. "café/" is 6 bytes but 5 display columns: the
+  // byte offset stays 6 (the struct's contract), the caret sits at
+  // column 5.
+  Result<Pattern, XPathParseError> result = ParseXPathDetailed("café/");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().offset, 6u);  // Byte offset, past the 'é'.
+  EXPECT_EQ(result.error().Format("café/"),
+            "position 6: expected step\n"
+            "  café/\n"
+            "       ^");  // 5 columns of text under "  ", caret at the 6th.
+
+  // Mixed with the line slicing: only the offending line counts.
+  Result<Pattern, XPathParseError> multiline =
+      ParseXPathDetailed("café[\n日本//]");
+  ASSERT_FALSE(multiline.ok());
+  EXPECT_EQ(multiline.error().offset, 15u);  // ']' byte offset.
+  EXPECT_EQ(multiline.error().Format("café[\n日本//]"),
+            "position 15: expected step\n"
+            "  日本//]\n"
+            "      ^");  // 2 ideographs + 2 slashes = 4 columns.
+}
+
 class RoundTripTest : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(RoundTripTest, SerializeThenParseIsIdentity) {
