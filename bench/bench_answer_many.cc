@@ -203,6 +203,46 @@ BENCHMARK(BM_ServiceRepeatedBatch)
     ->ArgNames({"batch", "memo"})
     ->UseRealTime();
 
+/// The cold floor: every iteration answers the batch through a FRESH
+/// Service — empty containment oracle, answer memo disabled — so nothing
+/// is amortized across iterations. The containment DP, the rewrite
+/// pipeline, and the evaluator all run from scratch on every batch. This
+/// is the path the SIMD bit kernel, the arena scratch, and the banked
+/// candidate bundles attack; Service construction and view
+/// materialization are excluded from the timed region.
+void BM_ColdAnswerBatch(benchmark::State& state) {
+  const int batch_size = static_cast<int>(state.range(0));
+  constexpr int kDocs = 8;
+  ServiceOptions options;
+  options.answer_cache_capacity = 0;  // Cold by construction: no memo.
+  std::vector<Pattern> traffic = Traffic(batch_size);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    Service service(options);
+    std::vector<DocumentId> docs;
+    for (int d = 0; d < kDocs; ++d) {
+      DocumentId id = service.AddDocument(CatalogueDoc(1024, 32));
+      for (const ViewDefinition& view : CatalogueViews()) {
+        if (!service.AddView(id, view.name, view.pattern).ok()) std::abort();
+      }
+      docs.push_back(id);
+    }
+    std::vector<BatchItem> items;
+    items.reserve(traffic.size());
+    for (size_t i = 0; i < traffic.size(); ++i) {
+      items.push_back({docs[i % docs.size()], Query(traffic[i])});
+    }
+    state.ResumeTiming();
+    ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, 1);
+    if (!batch.ok()) std::abort();
+    benchmark::DoNotOptimize(batch.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() * batch_size);
+  state.counters["docs"] = kDocs;
+}
+BENCHMARK(BM_ColdAnswerBatch)->Arg(64)->Arg(256)->UseRealTime();
+
 }  // namespace
 }  // namespace xpv
 

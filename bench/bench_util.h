@@ -28,6 +28,40 @@ inline void PrintHeader(const char* experiment_id, const char* artifact,
   std::printf("==============================================================\n");
 }
 
+/// The CPU model string from /proc/cpuinfo, or "unknown" off-Linux. Two
+/// result files are only comparable when this matches.
+inline std::string CpuModelName() {
+  std::FILE* f = std::fopen("/proc/cpuinfo", "r");
+  if (f == nullptr) return "unknown";
+  std::string model = "unknown";
+  char line[512];
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "model name", 10) == 0) {
+      const char* colon = std::strchr(line, ':');
+      if (colon != nullptr) {
+        model.assign(colon + 1);
+        while (!model.empty() && model.front() == ' ') model.erase(0, 1);
+        while (!model.empty() &&
+               (model.back() == '\n' || model.back() == ' ')) {
+          model.pop_back();
+        }
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return model;
+}
+
+/// Which bit-kernel the binary was built with (the XPV_SIMD CMake flag).
+inline const char* SimdMode() {
+#ifdef XPV_SIMD_AVX2
+  return "avx2";
+#else
+  return "off";
+#endif
+}
+
 /// Initializes Google Benchmark so that results are also written as
 /// machine-readable JSON to `json_path` (e.g. "BENCH_containment.json"),
 /// unless the caller passed their own --benchmark_out on the command
@@ -53,6 +87,15 @@ inline void InitWithJsonOutput(int argc, char** argv, const char* json_path) {
   for (std::string& arg : storage) args.push_back(arg.data());
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
+  // Provenance in every result file: a JSON is only comparable to another
+  // when the machine, the bit-kernel build mode, and the source tree match.
+  benchmark::AddCustomContext("cpu_model", CpuModelName());
+  benchmark::AddCustomContext("simd", SimdMode());
+#ifdef XPV_GIT_SHA
+  benchmark::AddCustomContext("git_sha", XPV_GIT_SHA);
+#else
+  benchmark::AddCustomContext("git_sha", "unknown");
+#endif
 }
 
 /// A chain query a/*/*/.../b of the given depth with `branches` predicate

@@ -184,7 +184,8 @@ struct Service::State {
   /// The epoch-keyed answer memo shared across documents (its own
   /// shared_mutex; lock order: any stripe before the memo's lock — memo
   /// code never touches stripes).
-  AnswerCache answers{options.answer_cache_capacity};
+  AnswerCache answers{options.answer_cache_capacity,
+                      options.answer_cache_doorkeeper};
 
   std::mutex pool_mu;                 // Guards pool creation/growth.
   std::unique_ptr<ThreadPool> pool;   // Shared across documents.
@@ -561,21 +562,43 @@ ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
   // (they answer constant-empty without touching the engine anyway).
   AnswerCache::Key key;
   const bool memoize = state_->answers.enabled() && !pattern->IsEmpty();
+  AnswerCache::Fill fill;
   if (memoize) {
     key = AnswerCache::Key{reinterpret_cast<uintptr_t>(access.slot),
                            access.slot->Epoch(),
                            pattern->CanonicalFingerprint()};
-    if (std::shared_ptr<const AnswerCache::Entry> entry =
-            state_->answers.Lookup(key)) {
-      access.shard->FoldStats(entry->delta);
-      return entry->answer;  // The one copy: into the caller's reply.
+    // Single-flight probe-or-arm: a resident entry answers immediately; a
+    // miss either leads (computes below and publishes) or joins a fill
+    // already in flight for this exact key and receives the leader's
+    // entry — a stampede of identical cold queries runs the rewrite
+    // pipeline once. Waiting is safe here: leader and followers hold the
+    // same stripe in SHARED mode, and the leader only ever blocks on
+    // short hash-table critical sections.
+    fill = state_->answers.BeginFill(key);
+    if (fill.hit()) {
+      access.shard->FoldStats(fill.entry()->delta);
+      return fill.entry()->answer;  // The one copy: into the reply.
+    }
+    if (!fill.leader()) {
+      if (std::shared_ptr<const AnswerCache::Entry> entry = fill.Wait()) {
+        access.shard->FoldStats(entry->delta);
+        return entry->answer;
+      }
+      // The leader unwound without publishing: compute for ourselves
+      // (and Insert below — no flight to resolve).
     }
   }
   CacheStats delta;
   xpv::Answer answer =
       access.shard->cache.AnswerConcurrent(*pattern, &state_->oracle, &delta);
   access.shard->FoldStats(delta);
-  if (memoize) state_->answers.Insert(key, AnswerCache::Entry{answer, delta});
+  if (memoize) {
+    if (fill.leader()) {
+      state_->answers.Publish(fill, AnswerCache::Entry{answer, delta});
+    } else {
+      state_->answers.Insert(key, AnswerCache::Entry{answer, delta});
+    }
+  }
   return answer;
 }
 
@@ -767,19 +790,39 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
 
     // Memo probe per distinct (slot, epoch, fingerprint): a hit replays a
     // stored scan (answer + stats delta, held by pointer — no deep copy)
-    // without touching the rewrite engine; only the misses run the
-    // batched/parallel pipeline.
+    // without touching the rewrite engine. Misses arm single-flight
+    // fills: keys nobody else is computing are led (computed by the
+    // pipeline below), keys already in flight elsewhere are joined and
+    // waited on LAST — every fill this slice leads is published before
+    // the first wait, so two batches joining each other's keys always
+    // drain (each publishes its own leads first; no wait cycle exists).
     std::vector<std::shared_ptr<const AnswerCache::Entry>> memo_entries(
         slice_plan.size());
+    // Fills are kept ONLY for misses (leaders in compute order, joiners
+    // with their slice position). A warm slice keeps both lists empty —
+    // empty vectors never allocate, so the all-hit fast path stays free
+    // of per-slice heap traffic (a hit's Fill lives and dies inside its
+    // loop iteration; only its entry pointer survives).
+    std::vector<AnswerCache::Fill> lead_fills;   // Parallel to compute_pos.
+    std::vector<std::pair<size_t, AnswerCache::Fill>> join_fills;
     std::vector<PlannedAnswer> computed;  // Parallel to compute_pos.
     std::vector<PlannedQuery> to_compute;
     std::vector<size_t> compute_pos;
     for (size_t k = 0; k < slice_plan.size(); ++k) {
       const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
       if (memoize) {
-        memo_entries[k] =
-            state_->answers.Lookup({scope, epoch, entry.fingerprint});
-        if (memo_entries[k] != nullptr) continue;
+        AnswerCache::Fill fill =
+            state_->answers.BeginFill({scope, epoch, entry.fingerprint});
+        if (fill.hit()) {
+          memo_entries[k] = fill.entry();
+          continue;
+        }
+        if (!fill.leader()) {
+          // In flight elsewhere; wait after computing our own leads.
+          join_fills.emplace_back(k, std::move(fill));
+          continue;
+        }
+        lead_fills.push_back(std::move(fill));
       }
       to_compute.push_back(PlannedQuery{&entry.pattern, &entry.summary});
       compute_pos.push_back(k);
@@ -791,12 +834,37 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
         for (size_t j = 0; j < computed.size(); ++j) {
           // Keyed at the epoch observed under the stripe: if a writer has
           // queued behind us, the entry is dead on arrival, never wrong.
-          state_->answers.Insert(
-              {scope, epoch,
-               plan[static_cast<size_t>(slice_plan[compute_pos[j]])]
-                   .fingerprint},
+          // Publishing resolves the fill, waking every waiter.
+          state_->answers.Publish(
+              lead_fills[j],
               AnswerCache::Entry{computed[j].answer, computed[j].delta});
         }
+      }
+    }
+    // Collect the joined fills (all our leads are already published).
+    std::vector<size_t> orphan_pos;  // Joins whose leader unwound.
+    for (auto& [k, fill] : join_fills) {
+      memo_entries[k] = fill.Wait();
+      if (memo_entries[k] == nullptr) orphan_pos.push_back(k);
+    }
+    if (!orphan_pos.empty()) {
+      // Rare recovery path: compute abandoned keys ourselves.
+      std::vector<PlannedQuery> orphan_queries;
+      orphan_queries.reserve(orphan_pos.size());
+      for (size_t k : orphan_pos) {
+        const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
+        orphan_queries.push_back(PlannedQuery{&entry.pattern, &entry.summary});
+      }
+      std::vector<PlannedAnswer> recovered = shard->cache.AnswerPlannedConcurrent(
+          orphan_queries, workers, pool, &state_->oracle);
+      for (size_t j = 0; j < recovered.size(); ++j) {
+        const size_t k = orphan_pos[j];
+        const uint64_t fp =
+            plan[static_cast<size_t>(slice_plan[k])].fingerprint;
+        AnswerCache::Entry entry{recovered[j].answer, recovered[j].delta};
+        memo_entries[k] =
+            std::make_shared<const AnswerCache::Entry>(entry);
+        state_->answers.Insert({scope, epoch, fp}, std::move(entry));
       }
     }
     // The distinct answers of this slice, by plan position: pointers into
@@ -894,6 +962,7 @@ ServiceStats Service::stats() const {
   stats.answer_cache_misses = memo.misses;
   stats.answer_cache_evictions = memo.evictions;
   stats.answer_cache_entries = state_->answers.size();
+  stats.answer_cache_doorkeeper_rejects = memo.doorkeeper_rejects;
   {
     std::lock_guard<std::mutex> lock(state_->pool_mu);
     stats.pool_threads =

@@ -168,6 +168,10 @@ struct ServiceStats {
   uint64_t answer_cache_misses = 0;
   uint64_t answer_cache_evictions = 0;
   uint64_t answer_cache_entries = 0;  ///< Resident memo entries.
+  /// Inserts the memo's doorkeeper turned away: under capacity pressure a
+  /// key must be presented twice before it may evict a resident entry, so
+  /// one-off queries cannot sweep out the proven-hot memo.
+  uint64_t answer_cache_doorkeeper_rejects = 0;
 };
 
 /// Configuration of a `Service`.
@@ -182,6 +186,10 @@ struct ServiceOptions {
   /// memoization entirely (every request recomputes — the baseline the
   /// equivalence tests and benches compare against).
   size_t answer_cache_capacity = AnswerCache::kDefaultCapacity;
+  /// Doorkeeper admission for the answer memo (see `AnswerCache`): under
+  /// capacity pressure, first-seen keys are rejected once before they may
+  /// displace resident entries. Only bites when the memo is full.
+  bool answer_cache_doorkeeper = true;
   /// Worker count used by `AnswerBatch` when the call passes 0.
   int default_workers = 1;
 };

@@ -3,7 +3,12 @@
 
 #include <cstdint>
 #include <cstring>
-#include <vector>
+#include <memory>
+#include <new>
+
+#if defined(XPV_SIMD_AVX2)
+#include <immintrin.h>
+#endif
 
 namespace xpv {
 
@@ -11,6 +16,19 @@ namespace xpv {
 using BitWord = uint64_t;
 
 inline constexpr int kBitWordBits = 64;
+
+/// Alignment in bytes of every `BitMatrix` backing buffer (one AVX2 lane).
+/// Rows keep their natural word stride — padding each row to a whole lane
+/// measurably hurt narrow matrices (a one-word-row DP grew 4x in footprint
+/// and fell out of L1) while buying nothing, since the wide kernels use
+/// unaligned loads and only engage at >= `kRowWordAlign` logical words.
+/// Wide configurations (e.g. the 256-bit packed evaluation groups) land on
+/// lane-aligned rows naturally: 4-word stride from a 32-byte base.
+inline constexpr size_t kRowByteAlign = 32;
+
+/// Words per AVX2 lane (4 x 64 = 256 bits) — the wide kernels' step size.
+inline constexpr int kRowWordAlign =
+    static_cast<int>(kRowByteAlign / sizeof(BitWord));
 
 /// Number of words needed for `bits` columns.
 inline int BitWordsFor(int bits) {
@@ -29,40 +47,210 @@ inline void ClearBit(BitWord* row, int i) {
   row[i / kBitWordBits] &= ~(BitWord{1} << (i % kBitWordBits));
 }
 
+// --------------------------------------------------------------------------
+// Scalar row kernels. These are the portable fallback AND the reference the
+// randomized property tests pin the SIMD variants against — they stay
+// compiled (and callable) in every build configuration.
+// --------------------------------------------------------------------------
+
 /// dst |= src, word-wise.
-inline void OrRow(BitWord* dst, const BitWord* src, int words) {
+inline void OrRowScalar(BitWord* dst, const BitWord* src, int words) {
   for (int i = 0; i < words; ++i) dst[i] |= src[i];
 }
 
 /// dst &= src, word-wise.
-inline void AndRow(BitWord* dst, const BitWord* src, int words) {
+inline void AndRowScalar(BitWord* dst, const BitWord* src, int words) {
   for (int i = 0; i < words; ++i) dst[i] &= src[i];
 }
 
-inline void ZeroRow(BitWord* dst, int words) {
-  std::memset(dst, 0, static_cast<size_t>(words) * sizeof(BitWord));
+/// dst = a | b, word-wise.
+inline void OrRowsIntoScalar(BitWord* dst, const BitWord* a, const BitWord* b,
+                             int words) {
+  for (int i = 0; i < words; ++i) dst[i] = a[i] | b[i];
 }
 
 /// (row & required) == required: every required bit is present in `row`.
-inline bool ContainsAllBits(const BitWord* row, const BitWord* required,
-                            int words) {
+inline bool ContainsAllBitsScalar(const BitWord* row, const BitWord* required,
+                                  int words) {
   for (int i = 0; i < words; ++i) {
     if ((row[i] & required[i]) != required[i]) return false;
   }
   return true;
 }
 
-inline bool AnyBit(const BitWord* row, int words) {
+inline bool AnyBitScalar(const BitWord* row, int words) {
   for (int i = 0; i < words; ++i) {
     if (row[i] != 0) return true;
   }
   return false;
 }
 
-/// A dense boolean matrix stored as 64-bit words, row-major. Rows are
-/// word-aligned so row operations (OR/AND/subset tests) sweep whole words —
-/// this is the storage behind the bit-parallel embedding kernel, which
-/// packs one DP row per *tree* node with one bit per *pattern* node.
+// --------------------------------------------------------------------------
+// Wide row kernels. Under XPV_SIMD=avx2 each iteration processes one
+// 256-bit lane (4 words) with a scalar tail for the remainder, so callers
+// may pass any word count and unaligned rows (loads/stores are unaligned;
+// BitMatrix alignment only improves their throughput). With XPV_SIMD=off
+// the public names are the scalar kernels directly.
+//
+// AVX2 codegen is scoped to the *Wide bodies via the `target("avx2")`
+// attribute instead of a TU-wide -mavx2 flag: letting the compiler emit
+// 256-bit code everywhere measurably regressed copy-heavy non-kernel code
+// (the serving fan-out slowed ~2x), while the attribute confines VEX
+// encoding to the kernels and gets a vzeroupper on every exit, so the
+// surrounding SSE code never pays a transition penalty. The flip side of
+// the attribute is that these bodies can never be inlined into
+// default-target callers — a real call per row op, ruinous for one-word
+// rows (a small pattern's whole DP row), where the 256-bit loop would not
+// even run. The public entry points therefore dispatch on width: narrow
+// rows take the always-inlinable scalar loop, and only rows with at least
+// one full lane pay the call and get 256-bit codegen.
+// --------------------------------------------------------------------------
+
+#if defined(XPV_SIMD_AVX2)
+
+#define XPV_TARGET_AVX2 __attribute__((target("avx2")))
+
+XPV_TARGET_AVX2 inline void OrRowWide(BitWord* dst, const BitWord* src,
+                                  int words) {
+  int i = 0;
+  for (; i + kRowWordAlign <= words; i += kRowWordAlign) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < words; ++i) dst[i] |= src[i];
+}
+
+XPV_TARGET_AVX2 inline void AndRowWide(BitWord* dst, const BitWord* src,
+                                   int words) {
+  int i = 0;
+  for (; i + kRowWordAlign <= words; i += kRowWordAlign) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < words; ++i) dst[i] &= src[i];
+}
+
+XPV_TARGET_AVX2 inline void OrRowsIntoWide(BitWord* dst, const BitWord* a,
+                                       const BitWord* b, int words) {
+  int i = 0;
+  for (; i + kRowWordAlign <= words; i += kRowWordAlign) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(va, vb));
+  }
+  for (; i < words; ++i) dst[i] = a[i] | b[i];
+}
+
+XPV_TARGET_AVX2 inline bool ContainsAllBitsWide(const BitWord* row,
+                                            const BitWord* required,
+                                            int words) {
+  int i = 0;
+  for (; i + kRowWordAlign <= words; i += kRowWordAlign) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    const __m256i q =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(required + i));
+    // testc(r, q) == 1 iff (~r & q) == 0, i.e. required ⊆ row.
+    if (!_mm256_testc_si256(r, q)) return false;
+  }
+  for (; i < words; ++i) {
+    if ((row[i] & required[i]) != required[i]) return false;
+  }
+  return true;
+}
+
+XPV_TARGET_AVX2 inline bool AnyBitWide(const BitWord* row, int words) {
+  int i = 0;
+  for (; i + kRowWordAlign <= words; i += kRowWordAlign) {
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    if (!_mm256_testz_si256(r, r)) return true;
+  }
+  for (; i < words; ++i) {
+    if (row[i] != 0) return true;
+  }
+  return false;
+}
+
+inline void OrRow(BitWord* dst, const BitWord* src, int words) {
+  if (words >= kRowWordAlign) return OrRowWide(dst, src, words);
+  OrRowScalar(dst, src, words);
+}
+
+inline void AndRow(BitWord* dst, const BitWord* src, int words) {
+  if (words >= kRowWordAlign) return AndRowWide(dst, src, words);
+  AndRowScalar(dst, src, words);
+}
+
+inline void OrRowsInto(BitWord* dst, const BitWord* a, const BitWord* b,
+                       int words) {
+  if (words >= kRowWordAlign) return OrRowsIntoWide(dst, a, b, words);
+  OrRowsIntoScalar(dst, a, b, words);
+}
+
+inline bool ContainsAllBits(const BitWord* row, const BitWord* required,
+                            int words) {
+  if (words >= kRowWordAlign) return ContainsAllBitsWide(row, required, words);
+  return ContainsAllBitsScalar(row, required, words);
+}
+
+inline bool AnyBit(const BitWord* row, int words) {
+  if (words >= kRowWordAlign) return AnyBitWide(row, words);
+  return AnyBitScalar(row, words);
+}
+
+#else  // !XPV_SIMD_AVX2
+
+inline void OrRow(BitWord* dst, const BitWord* src, int words) {
+  OrRowScalar(dst, src, words);
+}
+
+inline void AndRow(BitWord* dst, const BitWord* src, int words) {
+  AndRowScalar(dst, src, words);
+}
+
+inline void OrRowsInto(BitWord* dst, const BitWord* a, const BitWord* b,
+                       int words) {
+  OrRowsIntoScalar(dst, a, b, words);
+}
+
+inline bool ContainsAllBits(const BitWord* row, const BitWord* required,
+                            int words) {
+  return ContainsAllBitsScalar(row, required, words);
+}
+
+inline bool AnyBit(const BitWord* row, int words) {
+  return AnyBitScalar(row, words);
+}
+
+#endif  // XPV_SIMD_AVX2
+
+inline void ZeroRow(BitWord* dst, int words) {
+  std::memset(dst, 0, static_cast<size_t>(words) * sizeof(BitWord));
+}
+
+inline void CopyRow(BitWord* dst, const BitWord* src, int words) {
+  std::memcpy(dst, src, static_cast<size_t>(words) * sizeof(BitWord));
+}
+
+/// A dense boolean matrix stored as 64-bit words, row-major. The backing
+/// buffer is 32-byte aligned and rows keep their natural word stride, so
+/// row operations (OR/AND/subset tests) sweep whole words — whole AVX2
+/// lanes under `XPV_SIMD=avx2` once rows are >= 4 words, where the stride
+/// puts every row on a lane boundary anyway. This is the storage behind
+/// the bit-parallel embedding kernel, which packs one DP row per *tree*
+/// node with one bit per *pattern* node.
 ///
 /// `Reset` reuses the underlying buffer: growing within previously used
 /// capacity performs no allocation, which the canonical-model enumeration
@@ -71,40 +259,33 @@ class BitMatrix {
  public:
   BitMatrix() = default;
 
+  BitMatrix(BitMatrix&&) = default;
+  BitMatrix& operator=(BitMatrix&&) = default;
+
   /// Shapes the matrix to `rows` x `cols` bits and zeroes it. Keeps the
   /// underlying allocation when capacity suffices.
   void Reset(int rows, int cols) {
-    rows_ = rows;
-    cols_ = cols;
-    words_per_row_ = BitWordsFor(cols);
-    const size_t need =
-        static_cast<size_t>(rows) * static_cast<size_t>(words_per_row_);
-    if (words_.size() < need) words_.resize(need);
-    std::memset(words_.data(), 0, need * sizeof(BitWord));
+    Shape(rows, cols);
+    std::memset(words_.get(), 0,
+                static_cast<size_t>(rows) *
+                    static_cast<size_t>(words_per_row_) * sizeof(BitWord));
   }
 
   /// Shapes the matrix without zeroing. Rows carry garbage until written;
   /// callers must write every row they later read (the anchored evaluation
   /// path computes exactly the rows it consults, skipping the full-matrix
   /// memset that would otherwise cost O(rows) on large documents).
-  void ResizeNoZero(int rows, int cols) {
-    rows_ = rows;
-    cols_ = cols;
-    words_per_row_ = BitWordsFor(cols);
-    const size_t need =
-        static_cast<size_t>(rows) * static_cast<size_t>(words_per_row_);
-    if (words_.size() < need) words_.resize(need);
-  }
+  void ResizeNoZero(int rows, int cols) { Shape(rows, cols); }
 
   int rows() const { return rows_; }
   int cols() const { return cols_; }
   int words_per_row() const { return words_per_row_; }
 
   BitWord* row(int r) {
-    return words_.data() + static_cast<size_t>(r) * words_per_row_;
+    return words_.get() + static_cast<size_t>(r) * words_per_row_;
   }
   const BitWord* row(int r) const {
-    return words_.data() + static_cast<size_t>(r) * words_per_row_;
+    return words_.get() + static_cast<size_t>(r) * words_per_row_;
   }
 
   bool Test(int r, int c) const { return TestBit(row(r), c); }
@@ -115,10 +296,33 @@ class BitMatrix {
   void ZeroRowAt(int r) { ZeroRow(row(r), words_per_row_); }
 
  private:
+  struct AlignedFree {
+    void operator()(BitWord* p) const {
+      ::operator delete[](p, std::align_val_t{kRowByteAlign});
+    }
+  };
+
+  /// Sets the shape, reallocating (content-discarding) only when the
+  /// capacity is insufficient. Both `Reset` and `ResizeNoZero` overwrite
+  /// or invalidate every row, so nothing needs preserving across growth.
+  void Shape(int rows, int cols) {
+    rows_ = rows;
+    cols_ = cols;
+    words_per_row_ = BitWordsFor(cols);
+    const size_t need =
+        static_cast<size_t>(rows) * static_cast<size_t>(words_per_row_);
+    if (capacity_ < need) {
+      words_.reset(static_cast<BitWord*>(::operator new[](
+          need * sizeof(BitWord), std::align_val_t{kRowByteAlign})));
+      capacity_ = need;
+    }
+  }
+
   int rows_ = 0;
   int cols_ = 0;
   int words_per_row_ = 0;
-  std::vector<BitWord> words_;
+  size_t capacity_ = 0;
+  std::unique_ptr<BitWord[], AlignedFree> words_;
 };
 
 }  // namespace xpv

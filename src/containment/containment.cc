@@ -32,18 +32,14 @@ bool ContainmentContext::ProducesOutputOnChain(
   // each s_{k-1} onto the parent (child edge) or a proper ancestor
   // (descendant edge) of s_k's image. So o ∈ P2(t) reduces to a DP along
   // output's ancestor chain — O(d * depth(output)) bit probes instead of a
-  // placement sweep over the whole model.
-  chain_.clear();
+  // placement sweep over the whole model. chain_/dp_* are arena storage
+  // sized for the tallest possible model by CanonicalModelsPass.
+  size_t len = 0;
   for (NodeId v = output; v != kNoNode; v = model_tree_.parent(v)) {
-    chain_.push_back(v);
+    chain_[len++] = v;
   }
-  std::reverse(chain_.begin(), chain_.end());  // chain_[0] = root.
-  const size_t len = chain_.size();
+  std::reverse(chain_, chain_ + len);  // chain_[0] = root.
 
-  if (dp_cur_.size() < len) {
-    dp_cur_.resize(len);
-    dp_next_.resize(len);
-  }
   const NodeId s0 = selection_path[0];
   for (size_t i = 0; i < len; ++i) {
     const bool allowed = kernel_.Down(chain_[i], s0);
@@ -76,15 +72,29 @@ bool ContainmentContext::CanonicalModelsPass(const Pattern& p1,
   const int bound = ExpansionBound(p2);
   const int np = p1.size();
 
-  desc_targets_.clear();
+  // All enumeration state for this pass comes from the context arena; the
+  // capacities are fixed up front (max_rows bounds both the model size and
+  // its height), so nothing reallocates while the odometer runs.
+  const int max_rows = np + (np - 1) * (bound - 1);
+  arena_.Reset();
+  desc_targets_ = arena_.AllocateArray<NodeId>(static_cast<size_t>(np));
+  lengths_ = arena_.AllocateArray<int>(static_cast<size_t>(np));
+  node_len_ = arena_.AllocateArray<int>(static_cast<size_t>(np));
+  tree_start_ = arena_.AllocateArray<NodeId>(static_cast<size_t>(np));
+  pattern_to_tree_ = arena_.AllocateArray<NodeId>(static_cast<size_t>(np));
+  dirty_mark_ = arena_.AllocateArray<char>(static_cast<size_t>(max_rows));
+  chain_ = arena_.AllocateArray<NodeId>(static_cast<size_t>(max_rows));
+  dp_cur_ = arena_.AllocateArray<char>(static_cast<size_t>(max_rows));
+  dp_next_ = arena_.AllocateArray<char>(static_cast<size_t>(max_rows));
+
+  int m = 0;
   for (NodeId n = 1; n < np; ++n) {
-    if (p1.edge(n) == EdgeType::kDescendant) desc_targets_.push_back(n);
+    if (p1.edge(n) == EdgeType::kDescendant) desc_targets_[m++] = n;
   }
-  const int m = static_cast<int>(desc_targets_.size());
-  lengths_.assign(static_cast<size_t>(m), 1);
-  node_len_.assign(static_cast<size_t>(np), 1);
-  tree_start_.assign(static_cast<size_t>(np), 0);
-  pattern_to_tree_.assign(static_cast<size_t>(np), 0);
+  std::fill_n(lengths_, static_cast<size_t>(m), 1);
+  std::fill_n(node_len_, static_cast<size_t>(np), 1);
+  std::fill_n(tree_start_, static_cast<size_t>(np), 0);
+  std::fill_n(pattern_to_tree_, static_cast<size_t>(np), 0);
 
   // Initial model: all expansions length 1 (the τ-transformation).
   model_tree_.TruncateTo(1);
@@ -95,10 +105,9 @@ bool ContainmentContext::CanonicalModelsPass(const Pattern& p1,
   }
   BuildSuffix(p1, 1);
 
-  const int max_rows = np + m * (bound - 1);
   SelectionInfo p2_info(p2);
   const std::vector<NodeId>& path = p2_info.path();
-  kernel_.Compute(p2, model_tree_, max_rows);
+  kernel_.Compute(p2, model_tree_, np + m * (bound - 1));
 
   while (true) {
     if (stats != nullptr) ++stats->models_checked;
@@ -135,7 +144,7 @@ bool ContainmentContext::CanonicalModelsPass(const Pattern& p1,
     // Surviving rows whose subtrees changed: the ancestors of every splice
     // point (tree parents of rebuilt pattern nodes that lie in the kept
     // prefix). Everything else below `suffix_start` is untouched.
-    dirty_mark_.assign(static_cast<size_t>(suffix_start), 0);
+    std::fill_n(dirty_mark_, static_cast<size_t>(suffix_start), 0);
     dirty_prefix_.clear();
     for (NodeId n = rebuild_from; n < np; ++n) {
       if (p1.parent(n) >= rebuild_from) continue;

@@ -7,6 +7,7 @@
 
 #include "eval/evaluator.h"
 #include "pattern/pattern.h"
+#include "util/arena.h"
 #include "xml/tree.h"
 
 namespace xpv {
@@ -99,18 +100,27 @@ class ContainmentContext {
 
   EvalScratch kernel_;
   Tree model_tree_{LabelStore::kBottom};
-  // Enumeration state (valid within one CanonicalModelsPass):
-  std::vector<NodeId> desc_targets_;   // Pattern nodes entered by //-edges.
-  std::vector<int> lengths_;           // Odometer: expansion length per target.
-  std::vector<int> node_len_;          // Per-pattern-node expansion length.
-  std::vector<NodeId> tree_start_;     // First tree id built for each node.
-  std::vector<NodeId> pattern_to_tree_;
-  std::vector<char> dirty_mark_;
+
+  // Enumeration state, bump-allocated from `arena_` at the start of each
+  // CanonicalModelsPass with capacities fixed by (|p1|, bound): the
+  // odometer and the output-chain DP touch no heap between models. The
+  // arena is rewound per pass (keeping its blocks), so repeated calls on
+  // one context run entirely in warm storage. The pointers below are only
+  // valid within the pass that allocated them.
+  Arena arena_;
+  NodeId* desc_targets_ = nullptr;  // Pattern nodes entered by //-edges.
+  int* lengths_ = nullptr;          // Odometer: expansion length per target.
+  int* node_len_ = nullptr;         // Per-pattern-node expansion length.
+  NodeId* tree_start_ = nullptr;    // First tree id built for each node.
+  NodeId* pattern_to_tree_ = nullptr;
+  char* dirty_mark_ = nullptr;
+  // Output-chain DP scratch (capacity = max model height):
+  NodeId* chain_ = nullptr;
+  char* dp_cur_ = nullptr;
+  char* dp_next_ = nullptr;
+  // Kept as a vector: `EvalScratch::Update` takes the dirty-ancestor list
+  // by vector reference (capacity is retained across models all the same).
   std::vector<NodeId> dirty_prefix_;
-  // Output-chain DP scratch:
-  std::vector<NodeId> chain_;
-  std::vector<char> dp_cur_;
-  std::vector<char> dp_next_;
 };
 
 /// Decides P1 ⊑ P2 (Definition 2.2) for arbitrary patterns of

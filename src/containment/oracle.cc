@@ -58,7 +58,12 @@ bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
   ++misses_;
   // The free function computes through the thread-local ContainmentContext,
   // so scratch buffers stay warm across oracle instances as well as calls.
-  const bool result = xpv::Contained(p1, p2);
+  // Attached shards route the computation through the shared wrapper's
+  // single-flight registry: a stampede of shards missing one direction
+  // runs the DP once.
+  const bool result = flights_ != nullptr
+                          ? flights_->ContainedSingleFlight(fp1, fp2, p1, p2)
+                          : xpv::Contained(p1, p2);
   Entry& entry = InsertEntry(key);
   if (swapped) {
     if (!entry.rev_known) ++known_directions_;
@@ -70,6 +75,62 @@ bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
     entry.fwd = result ? 1 : 0;
   }
   return result;
+}
+
+std::optional<bool> ContainmentOracle::ProbeDirection(uint64_t fp1,
+                                                      uint64_t fp2) const {
+  const bool swapped = fp1 > fp2;
+  const PairKey key = swapped ? PairKey{fp2, fp1} : PairKey{fp1, fp2};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  if (swapped ? !entry.rev_known : !entry.fwd_known) return std::nullopt;
+  return (swapped ? entry.rev : entry.fwd) != 0;
+}
+
+void ContainmentOracle::StoreDirection(uint64_t fp1, uint64_t fp2,
+                                       bool value) {
+  const bool swapped = fp1 > fp2;
+  const PairKey key = swapped ? PairKey{fp2, fp1} : PairKey{fp1, fp2};
+  Entry& entry = InsertEntry(key);
+  if (swapped) {
+    if (!entry.rev_known) ++known_directions_;
+    entry.rev_known = 1;
+    entry.rev = value ? 1 : 0;
+  } else {
+    if (!entry.fwd_known) ++known_directions_;
+    entry.fwd_known = 1;
+    entry.fwd = value ? 1 : 0;
+  }
+}
+
+bool SynchronizedOracle::ContainedSingleFlight(uint64_t fp1, uint64_t fp2,
+                                               const Pattern& p1,
+                                               const Pattern& p2) {
+  const DirectionKey key{fp1, fp2};
+  auto flight = flights_.Join(key, [&]() -> std::optional<bool> {
+    // Registry-lock probe: a leader publishes through the shared table
+    // BEFORE erasing its flight, so a thread that finds no flight here
+    // sees any already-published value instead of recomputing it.
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return oracle_.ProbeDirection(fp1, fp2);
+  });
+  if (flight.immediate.has_value()) return *flight.immediate;
+  if (flight.ticket.leader()) {
+    // The DP runs with no lock held; only the write-through takes the
+    // exclusive lock, and only for a hash-table insert.
+    const bool value = xpv::Contained(p1, p2);
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      oracle_.StoreDirection(fp1, fp2, value);
+    }
+    flights_.Publish(flight.ticket, value);
+    return value;
+  }
+  if (std::optional<bool> value = flights_.Wait(flight.ticket)) {
+    return *value;
+  }
+  return xpv::Contained(p1, p2);  // The leader abandoned (unwound).
 }
 
 bool ContainmentOracle::Contained(const Pattern& p1, const Pattern& p2) {

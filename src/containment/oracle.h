@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
@@ -13,8 +14,11 @@
 #include "containment/containment.h"
 #include "pattern/pattern.h"
 #include "util/hash.h"
+#include "util/single_flight.h"
 
 namespace xpv {
+
+class SynchronizedOracle;
 
 /// A memoizing wrapper around the containment test.
 ///
@@ -83,10 +87,18 @@ class ContainmentOracle {
   /// takes the shared lock, so the fallback may concurrently absorb other
   /// shards under the exclusive lock (the `SynchronizedOracle` wiring of
   /// the thread-safe `xpv::Service`).
+  ///
+  /// With `flights` non-null (the `AttachShard` wiring), misses that
+  /// survive the fallback probe run *single-flight*: concurrent shards
+  /// missing the same directional pair rendezvous in the wrapper's
+  /// flight registry and exactly one of them runs the containment DP
+  /// (see `SynchronizedOracle::ContainedSingleFlight`).
   void set_fallback(const ContainmentOracle* fallback,
-                    std::shared_mutex* fallback_mu = nullptr) {
+                    std::shared_mutex* fallback_mu = nullptr,
+                    SynchronizedOracle* flights = nullptr) {
     fallback_ = fallback;
     fallback_mu_ = fallback_mu;
+    flights_ = flights;
   }
 
   /// Merges every cached direction of `other` into this oracle: directions
@@ -144,6 +156,13 @@ class ContainmentOracle {
   /// Looks up / computes one direction given precomputed fingerprints.
   bool ContainedByFingerprint(uint64_t fp1, uint64_t fp2, const Pattern& p1,
                               const Pattern& p2);
+  /// Reads the cached fp1 ⊑ fp2 direction, if known. Counts nothing and
+  /// touches no reference bit (used by `SynchronizedOracle` under its
+  /// own locks).
+  std::optional<bool> ProbeDirection(uint64_t fp1, uint64_t fp2) const;
+  /// Writes one computed direction (eviction-aware; counts nothing).
+  void StoreDirection(uint64_t fp1, uint64_t fp2, bool value);
+  friend class SynchronizedOracle;
   /// Inserts `key` (evicting if full) and returns its entry.
   Entry& InsertEntry(const PairKey& key);
   void EvictHalf();
@@ -161,6 +180,7 @@ class ContainmentOracle {
   uint64_t evictions_ = 0;
   const ContainmentOracle* fallback_ = nullptr;
   std::shared_mutex* fallback_mu_ = nullptr;
+  SynchronizedOracle* flights_ = nullptr;
 };
 
 /// A `shared_mutex`-synchronized owner of a shared `ContainmentOracle` —
@@ -179,11 +199,28 @@ class SynchronizedOracle {
       size_t capacity = ContainmentOracle::kDefaultCapacity)
       : oracle_(capacity) {}
 
-  /// Points `shard`'s read-through at the shared table. Probes take the
-  /// shared lock; this wrapper must outlive the shard's use.
-  void AttachShard(ContainmentOracle* shard) const {
-    shard->set_fallback(&oracle_, &mu_);
+  /// Points `shard`'s read-through at the shared table and its miss path
+  /// at this wrapper's single-flight registry. Probes take the shared
+  /// lock; this wrapper must outlive the shard's use.
+  void AttachShard(ContainmentOracle* shard) {
+    shard->set_fallback(&oracle_, &mu_, this);
   }
+
+  /// The single-flight miss path attached shards compute through:
+  /// concurrent misses of the same *directional* pair (fp1 ⊑ fp2 — exact
+  /// fingerprints, never hashes: a collision would return the wrong
+  /// answer) elect one leader, who runs the containment DP with no lock
+  /// held, writes the direction through to the shared table, and wakes
+  /// the waiters with the value. Late arrivals re-probe the shared table
+  /// under the registry lock, so a published direction is never
+  /// recomputed. Waiters of an abandoned flight (leader unwound) compute
+  /// for themselves.
+  bool ContainedSingleFlight(uint64_t fp1, uint64_t fp2, const Pattern& p1,
+                             const Pattern& p2);
+
+  uint64_t single_flight_leads() const { return flights_.leads(); }
+  uint64_t single_flight_joins() const { return flights_.joins(); }
+  uint64_t single_flight_abandons() const { return flights_.abandons(); }
 
   /// Publishes a shard's entries and hit/miss counters into the shared
   /// table (exclusive lock; capacity-aware, see `AbsorbFrom`). A shard
@@ -217,6 +254,21 @@ class SynchronizedOracle {
   const ContainmentOracle& unsynchronized() const { return oracle_; }
 
  private:
+  /// Directional containment question, compared exactly.
+  struct DirectionKey {
+    uint64_t from;
+    uint64_t to;
+    bool operator==(const DirectionKey& other) const {
+      return from == other.from && to == other.to;
+    }
+  };
+  struct DirectionKeyHash {
+    size_t operator()(const DirectionKey& k) const {
+      return static_cast<size_t>(
+          Mix64(k.from ^ (k.to * 0x9E3779B97F4A7C15ULL) ^ 0x5851F42D4C957F2DULL));
+    }
+  };
+
   template <typename R>
   R Snapshot(R (ContainmentOracle::*getter)() const) const {
     std::shared_lock<std::shared_mutex> lock(mu_);
@@ -226,6 +278,7 @@ class SynchronizedOracle {
   mutable std::shared_mutex mu_;
   ContainmentOracle oracle_;
   std::atomic<uint64_t> folded_hits_{0};
+  SingleFlight<DirectionKey, bool, DirectionKeyHash> flights_;
 };
 
 }  // namespace xpv

@@ -10,41 +10,61 @@ void PatternMasks::EnsureZeroed(std::vector<BitWord>* v, size_t words) {
 }
 
 void PatternMasks::Build(const Pattern& p) {
-  const int np = p.size();
-  words_ = BitWordsFor(np);
-  const size_t rows = static_cast<size_t>(np) * static_cast<size_t>(words_);
+  const Pattern* single[] = {&p};
+  BuildMany(single, 1);
+}
+
+void PatternMasks::BuildMany(const Pattern* const* patterns, size_t count) {
+  int total = 0;
+  for (size_t i = 0; i < count; ++i) total += patterns[i]->size();
+  words_ = BitWordsFor(total);
+  const size_t rows =
+      static_cast<size_t>(total) * static_cast<size_t>(words_);
   EnsureZeroed(&need_child_, rows);
   EnsureZeroed(&need_desc_, rows);
   EnsureZeroed(&wildcard_, static_cast<size_t>(words_));
   EnsureZeroed(&has_req_, static_cast<size_t>(words_));
 
   labels_.clear();
-  for (NodeId q = 0; q < np; ++q) {
-    if (!p.children(q).empty()) SetBit(has_req_.data(), q);
-    for (NodeId c : p.children(q)) {
-      BitWord* row = (p.edge(c) == EdgeType::kChild ? need_child_.data()
-                                                    : need_desc_.data()) +
-                     static_cast<size_t>(q) * words_;
-      SetBit(row, c);
+  int offset = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Pattern& p = *patterns[i];
+    const int np = p.size();
+    for (NodeId q = 0; q < np; ++q) {
+      const NodeId qb = offset + q;  // Packed bit id of (pattern i, q).
+      if (!p.children(q).empty()) SetBit(has_req_.data(), qb);
+      for (NodeId c : p.children(q)) {
+        BitWord* row = (p.edge(c) == EdgeType::kChild ? need_child_.data()
+                                                      : need_desc_.data()) +
+                       static_cast<size_t>(qb) * words_;
+        SetBit(row, offset + c);
+      }
+      const LabelId l = p.label(q);
+      if (l != LabelStore::kWildcard &&
+          std::find(labels_.begin(), labels_.end(), l) == labels_.end()) {
+        labels_.push_back(l);
+      }
     }
-    const LabelId l = p.label(q);
-    if (l != LabelStore::kWildcard &&
-        std::find(labels_.begin(), labels_.end(), l) == labels_.end()) {
-      labels_.push_back(l);
-    }
+    offset += np;
   }
 
   EnsureZeroed(&label_masks_, labels_.size() * static_cast<size_t>(words_));
-  for (NodeId q = 0; q < np; ++q) {
-    const LabelId l = p.label(q);
-    if (l == LabelStore::kWildcard) {
-      SetBit(wildcard_.data(), q);
-    } else {
-      const auto it = std::find(labels_.begin(), labels_.end(), l);
-      SetBit(label_masks_.data() +
-                 static_cast<size_t>(it - labels_.begin()) * words_,
-             q);
+  offset = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const Pattern& p = *patterns[i];
+    const int np = p.size();
+    for (NodeId q = 0; q < np; ++q) {
+      const LabelId l = p.label(q);
+      if (l == LabelStore::kWildcard) {
+        SetBit(wildcard_.data(), offset + q);
+      } else {
+        const auto it = std::find(labels_.begin(), labels_.end(), l);
+        SetBit(label_masks_.data() +
+                   static_cast<size_t>(it - labels_.begin()) * words_,
+               offset + q);
+      }
     }
+    offset += np;
   }
   for (size_t i = 0; i < labels_.size(); ++i) {
     OrRow(label_masks_.data() + i * words_, wildcard_.data(), words_);

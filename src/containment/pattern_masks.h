@@ -1,6 +1,7 @@
 #ifndef XPV_CONTAINMENT_PATTERN_MASKS_H_
 #define XPV_CONTAINMENT_PATTERN_MASKS_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "containment/bitmatrix.h"
@@ -34,6 +35,17 @@ class PatternMasks {
 
   /// (Re)builds all masks for `p` (nonempty).
   void Build(const Pattern& p);
+
+  /// (Re)builds *combined* masks for `count` nonempty patterns packed into
+  /// one bit-space: pattern i's node q lives at bit `offset(i) + q`, where
+  /// offset(i) is the prefix sum of the earlier patterns' sizes. Every
+  /// per-node row (`need_child`/`need_desc`, indexed by packed bit id)
+  /// references only bits of its own pattern, so a single DP pass over a
+  /// document decides all patterns at once while their table entries stay
+  /// independent. `CandidateRow` merges labels across patterns: a label
+  /// used by pattern A but not B yields A's exact matches plus every
+  /// pattern's wildcard bits — exactly the union of the per-pattern rows.
+  void BuildMany(const Pattern* const* patterns, size_t count);
 
   /// Words per bit-row over the pattern's nodes.
   int words() const { return words_; }

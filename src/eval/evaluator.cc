@@ -20,11 +20,11 @@ void EvalScratch::ComputeRow(NodeId v) {
     OrRow(sub_or_.data(), sub_.row(w), words_);
   }
 
-  // Candidates by label, then per candidate two subset tests replace the
-  // per-child scan of the naive kernel.
+  // Candidates by label, then per candidate two subset tests (whole wide
+  // words per iteration) replace the per-child scan of the naive kernel.
   BitWord* down_row = down_.row(v);
   const BitWord* cand = masks_.CandidateRow(t.label(v));
-  std::copy(cand, cand + words_, down_row);
+  CopyRow(down_row, cand, words_);
   for (int wi = 0; wi < words_; ++wi) {
     // Leaf pattern nodes have no witness requirements — only candidates
     // with children need the subset tests.
@@ -40,10 +40,7 @@ void EvalScratch::ComputeRow(NodeId v) {
     }
   }
 
-  BitWord* sub_row = sub_.row(v);
-  for (int wi = 0; wi < words_; ++wi) {
-    sub_row[wi] = down_row[wi] | sub_or_[wi];
-  }
+  OrRowsInto(sub_.row(v), down_row, sub_or_.data(), words_);
 }
 
 void EvalScratch::Compute(const Pattern& p, const Tree& t,
@@ -64,6 +61,26 @@ void EvalScratch::Compute(const Pattern& p, const Tree& t,
   for (NodeId v = t.size() - 1; v >= 0; --v) ComputeRow(v);
 }
 
+void EvalScratch::ComputeMany(const Pattern* const* patterns, size_t count,
+                              const Tree& t) {
+  int total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    assert(!patterns[i]->IsEmpty());
+    total += patterns[i]->size();
+  }
+  pattern_ = nullptr;  // Multi-pattern tables do not support Update.
+  tree_ = &t;
+  masks_.BuildMany(patterns, count);
+  words_ = masks_.words();
+  if (static_cast<int>(child_or_.size()) < words_) {
+    child_or_.resize(static_cast<size_t>(words_));
+    sub_or_.resize(static_cast<size_t>(words_));
+  }
+  down_.Reset(t.size(), total);
+  sub_.Reset(t.size(), total);
+  for (NodeId v = t.size() - 1; v >= 0; --v) ComputeRow(v);
+}
+
 void EvalScratch::ComputeAnchored(const Pattern& p, const Tree& t,
                                   const std::vector<NodeId>& anchors) {
   assert(!p.IsEmpty());
@@ -77,32 +94,61 @@ void EvalScratch::ComputeAnchored(const Pattern& p, const Tree& t,
   }
   down_.ResizeNoZero(t.size(), p.size());
   sub_.ResizeNoZero(t.size(), p.size());
+  ComputeAnchoredRows(t, anchors);
+}
 
+void EvalScratch::ComputeAnchoredMany(const Pattern* const* patterns,
+                                      size_t count, const Tree& t,
+                                      const std::vector<NodeId>& anchors) {
+  int total = 0;
+  for (size_t i = 0; i < count; ++i) {
+    assert(!patterns[i]->IsEmpty());
+    total += patterns[i]->size();
+  }
+  pattern_ = nullptr;  // Multi-pattern tables do not support Update.
+  tree_ = &t;
+  masks_.BuildMany(patterns, count);
+  words_ = masks_.words();
+  if (static_cast<int>(child_or_.size()) < words_) {
+    child_or_.resize(static_cast<size_t>(words_));
+    sub_or_.resize(static_cast<size_t>(words_));
+  }
+  down_.ResizeNoZero(t.size(), total);
+  sub_.ResizeNoZero(t.size(), total);
+  ComputeAnchoredRows(t, anchors);
+}
+
+void EvalScratch::ComputeAnchoredRows(const Tree& t,
+                                      const std::vector<NodeId>& anchors) {
   // Collect the union of the anchor subtrees (anchors may be nested; the
   // visited row deduplicates). The union is closed under tree children, so
   // computing exactly these rows children-first keeps every row that
-  // `ComputeRow` consults valid.
+  // `ComputeRow` consults valid. All walk scratch is arena-backed: the
+  // stack never exceeds |anchors| + |t| pushes (each node's children are
+  // pushed at most once, when it is first visited).
+  arena_.Reset();
   const int tree_words = BitWordsFor(t.size());
-  if (static_cast<int>(visited_.size()) < tree_words) {
-    visited_.resize(static_cast<size_t>(tree_words));
-  }
-  std::fill_n(visited_.begin(), static_cast<size_t>(tree_words), 0);
-  anchored_nodes_.clear();
-  dfs_stack_.clear();
-  for (NodeId a : anchors) dfs_stack_.push_back(a);
-  while (!dfs_stack_.empty()) {
-    const NodeId v = dfs_stack_.back();
-    dfs_stack_.pop_back();
-    if (TestBit(visited_.data(), v)) continue;
-    SetBit(visited_.data(), v);
-    anchored_nodes_.push_back(v);
-    for (NodeId w : t.children(v)) dfs_stack_.push_back(w);
+  BitWord* visited = arena_.AllocateArray<BitWord>(
+      static_cast<size_t>(tree_words));
+  ZeroRow(visited, tree_words);
+  NodeId* nodes =
+      arena_.AllocateArray<NodeId>(static_cast<size_t>(t.size()));
+  NodeId* stack = arena_.AllocateArray<NodeId>(
+      anchors.size() + static_cast<size_t>(t.size()));
+  int node_count = 0;
+  size_t sp = 0;
+  for (NodeId a : anchors) stack[sp++] = a;
+  while (sp > 0) {
+    const NodeId v = stack[--sp];
+    if (TestBit(visited, v)) continue;
+    SetBit(visited, v);
+    nodes[node_count++] = v;
+    for (NodeId w : t.children(v)) stack[sp++] = w;
   }
   // Children have larger ids than their parents; decreasing id order is
   // children-first.
-  std::sort(anchored_nodes_.begin(), anchored_nodes_.end(),
-            std::greater<NodeId>());
-  for (NodeId v : anchored_nodes_) ComputeRow(v);
+  std::sort(nodes, nodes + node_count, std::greater<NodeId>());
+  for (int i = 0; i < node_count; ++i) ComputeRow(nodes[i]);
 }
 
 void EvalScratch::Update(const Tree& t, NodeId suffix_start,
@@ -131,25 +177,63 @@ void EvalScratch::Update(const Tree& t, NodeId suffix_start,
   }
 }
 
-Evaluator::Evaluator(const Pattern& p, const Tree& t)
-    : pattern_(p), tree_(t) {
-  assert(!p.IsEmpty());
+namespace {
+
+// Builds a pattern's sweep steps: the selection path root-first, each node
+// as its packed DP bit id (`offset` shifts into a multi-pattern bit space)
+// paired with the edge entering it. The first step's edge is never
+// consulted — it only seeds the frontier.
+std::vector<internal::SweepStep> MakeSweepSteps(const Pattern& p,
+                                                NodeId offset) {
   SelectionInfo info(p);
-  selection_path_ = info.path();
-  scratch_.Compute(p, t);
+  std::vector<internal::SweepStep> steps;
+  steps.reserve(info.path().size());
+  for (size_t k = 0; k < info.path().size(); ++k) {
+    const NodeId s = info.path()[k];
+    steps.push_back(internal::SweepStep{
+        static_cast<NodeId>(offset + s),
+        k == 0 ? EdgeType::kChild : p.edge(s)});
+  }
+  return steps;
+}
+
+std::vector<NodeId> RunSweep(const Tree& tree, const EvalScratch& scratch,
+                             const internal::SweepStep* steps, size_t n_steps,
+                             bool anchored, BitWord* current, int words);
+
+}  // namespace
+
+Evaluator::Evaluator(const Pattern& p, const Tree& t, EvalScratch* scratch)
+    : pattern_(p),
+      tree_(t),
+      scratch_(scratch != nullptr ? scratch : &owned_scratch_) {
+  assert(!p.IsEmpty());
+  steps_ = MakeSweepSteps(p, 0);
+  scratch_->Compute(p, t);
 }
 
 Evaluator::Evaluator(const Pattern& p, const Tree& t,
-                     const std::vector<NodeId>& anchors)
-    : pattern_(p), tree_(t), anchored_(true) {
+                     const std::vector<NodeId>& anchors, EvalScratch* scratch)
+    : pattern_(p),
+      tree_(t),
+      scratch_(scratch != nullptr ? scratch : &owned_scratch_),
+      anchored_(true) {
   assert(!p.IsEmpty());
-  SelectionInfo info(p);
-  selection_path_ = info.path();
-  scratch_.ComputeAnchored(p, t, anchors);
+  steps_ = MakeSweepSteps(p, 0);
+  scratch_->ComputeAnchored(p, t, anchors);
 }
 
-std::vector<NodeId> Evaluator::RunSelectionSweep(
-    std::vector<BitWord> current) const {
+std::vector<NodeId> Evaluator::RunSelectionSweep(BitWord* current,
+                                                 int words) const {
+  return RunSweep(tree_, *scratch_, steps_.data(), steps_.size(), anchored_,
+                  current, words);
+}
+
+namespace {
+
+std::vector<NodeId> RunSweep(const Tree& tree_, const EvalScratch& scratch,
+                             const internal::SweepStep* steps, size_t n_steps,
+                             bool anchored_, BitWord* current, int words) {
   // The U_k sets are bit rows over tree nodes. Each step runs in one of
   // two modes:
   //  - *sparse*: iterate only the set bits of the frontier — children for
@@ -163,40 +247,46 @@ std::vector<NodeId> Evaluator::RunSelectionSweep(
   // Child edges pick by frontier popcount (their sparse cost is bounded by
   // the frontier's child count); descendant edges go sparse only on
   // anchored evaluators, whose subtree union bounds the walk.
+  // All sweep scratch is bump-allocated from the kernel's arena, which the
+  // public entry points (`OutputsAnchoredAt`, `WeakOutputs`) reset before
+  // allocating the frontier — a view-serving loop calling
+  // `OutputsAnchoredAt` per stored output performs no heap allocation
+  // beyond the returned vector once the arena is warm. The DFS stack never
+  // exceeds |t| entries (each node has one parent, so it is pushed at most
+  // once per level).
   const int nt = tree_.size();
-  const int words = static_cast<int>(current.size());
-  std::vector<BitWord> next(static_cast<size_t>(words));
-  std::vector<BitWord> reach;   // Descendant-step reached marker (lazy).
-  std::vector<NodeId> stack;    // Descendant-step DFS scratch.
-  for (size_t k = 1; k < selection_path_.size(); ++k) {
-    if (!AnyBit(current.data(), words)) return {};
-    const NodeId sk = selection_path_[k];
-    ZeroRow(next.data(), words);
-    if (pattern_.edge(sk) == EdgeType::kChild) {
+  Arena& arena = scratch.scratch_arena();
+  BitWord* next = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  BitWord* reach = nullptr;   // Descendant-step reached marker (lazy).
+  NodeId* stack = nullptr;    // Descendant-step DFS scratch (lazy).
+  for (size_t k = 1; k < n_steps; ++k) {
+    if (!AnyBit(current, words)) return {};
+    const NodeId sk = steps[k].bit;
+    ZeroRow(next, words);
+    if (steps[k].edge == EdgeType::kChild) {
       // Anchored sweeps are always sparse (no popcount pass needed).
       int frontier = 0;
       if (!anchored_) {
         for (int wi = 0; wi < words; ++wi) {
-          frontier += std::popcount(current[static_cast<size_t>(wi)]);
+          frontier += std::popcount(current[wi]);
         }
       }
       if (anchored_ || frontier <= nt / (2 * kBitWordBits)) {
         for (int wi = 0; wi < words; ++wi) {
-          BitWord w = current[static_cast<size_t>(wi)];
+          BitWord w = current[wi];
           while (w != 0) {
             const NodeId u =
                 static_cast<NodeId>(wi * kBitWordBits + std::countr_zero(w));
             w &= w - 1;
             for (NodeId v : tree_.children(u)) {
-              if (scratch_.Down(v, sk)) SetBit(next.data(), v);
+              if (scratch.Down(v, sk)) SetBit(next, v);
             }
           }
         }
       } else {
         for (NodeId v = 1; v < nt; ++v) {
-          if (TestBit(current.data(), tree_.parent(v)) &&
-              scratch_.Down(v, sk)) {
-            SetBit(next.data(), v);
+          if (TestBit(current, tree_.parent(v)) && scratch.Down(v, sk)) {
+            SetBit(next, v);
           }
         }
       }
@@ -208,23 +298,27 @@ std::vector<NodeId> Evaluator::RunSelectionSweep(
       // other members (the linear pass's `reach`). Descent below a member
       // is left to its own source iteration, so each node is pushed (and
       // its children scanned) at most once per level.
-      reach.assign(static_cast<size_t>(words), 0);
+      if (reach == nullptr) {
+        reach = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+        stack = arena.AllocateArray<NodeId>(static_cast<size_t>(nt));
+      }
+      ZeroRow(reach, words);
+      size_t sp = 0;
       for (int wi = 0; wi < words; ++wi) {
-        BitWord w = current[static_cast<size_t>(wi)];
+        BitWord w = current[wi];
         while (w != 0) {
           const NodeId u =
               static_cast<NodeId>(wi * kBitWordBits + std::countr_zero(w));
           w &= w - 1;
-          for (NodeId v : tree_.children(u)) stack.push_back(v);
-          while (!stack.empty()) {
-            const NodeId v = stack.back();
-            stack.pop_back();
-            if (scratch_.Down(v, sk)) SetBit(next.data(), v);
-            if (TestBit(reach.data(), v) || TestBit(current.data(), v)) {
+          for (NodeId v : tree_.children(u)) stack[sp++] = v;
+          while (sp > 0) {
+            const NodeId v = stack[--sp];
+            if (scratch.Down(v, sk)) SetBit(next, v);
+            if (TestBit(reach, v) || TestBit(current, v)) {
               continue;  // Subtree covered (here or by v's own iteration).
             }
-            SetBit(reach.data(), v);
-            for (NodeId c : tree_.children(v)) stack.push_back(c);
+            SetBit(reach, v);
+            for (NodeId c : tree_.children(v)) stack[sp++] = c;
           }
         }
       }
@@ -233,22 +327,24 @@ std::vector<NodeId> Evaluator::RunSelectionSweep(
       // frontier; ids are topological so one forward scan suffices. The
       // propagation is branchless — only the (rare) frontier-and-down hits
       // branch.
-      reach.assign(static_cast<size_t>(words), 0);
+      if (reach == nullptr) {
+        reach = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+        stack = arena.AllocateArray<NodeId>(static_cast<size_t>(nt));
+      }
+      ZeroRow(reach, words);
       for (NodeId v = 1; v < nt; ++v) {
         const NodeId par = tree_.parent(v);
-        const BitWord r = ((current[static_cast<size_t>(par >> 6)] |
-                            reach[static_cast<size_t>(par >> 6)]) >>
-                           (par & 63)) &
-                          1;
-        reach[static_cast<size_t>(v >> 6)] |= r << (v & 63);
-        if (r != 0 && scratch_.Down(v, sk)) SetBit(next.data(), v);
+        const BitWord r =
+            ((current[par >> 6] | reach[par >> 6]) >> (par & 63)) & 1;
+        reach[v >> 6] |= r << (v & 63);
+        if (r != 0 && scratch.Down(v, sk)) SetBit(next, v);
       }
     }
-    current.swap(next);
+    std::swap(current, next);
   }
   std::vector<NodeId> outputs;
   for (int wi = 0; wi < words; ++wi) {
-    BitWord w = current[static_cast<size_t>(wi)];
+    BitWord w = current[wi];
     while (w != 0) {
       outputs.push_back(
           static_cast<NodeId>(wi * kBitWordBits + std::countr_zero(w)));
@@ -258,33 +354,135 @@ std::vector<NodeId> Evaluator::RunSelectionSweep(
   return outputs;
 }
 
+}  // namespace
 std::vector<NodeId> Evaluator::OutputsAnchoredAt(NodeId anchor) const {
-  std::vector<BitWord> initial(
-      static_cast<size_t>(BitWordsFor(tree_.size())));
-  if (CanEmbedAt(selection_path_[0], anchor)) {
-    SetBit(initial.data(), anchor);
+  Arena& arena = scratch_->scratch_arena();
+  arena.Reset();
+  const int words = BitWordsFor(tree_.size());
+  BitWord* initial = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  ZeroRow(initial, words);
+  if (CanEmbedAt(steps_[0].bit, anchor)) {
+    SetBit(initial, anchor);
   }
-  return RunSelectionSweep(std::move(initial));
+  return RunSelectionSweep(initial, words);
+}
+
+std::vector<NodeId> Evaluator::OutputsAnchoredAtAll(
+    const std::vector<NodeId>& anchors) const {
+  Arena& arena = scratch_->scratch_arena();
+  arena.Reset();
+  const int words = BitWordsFor(tree_.size());
+  BitWord* initial = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  ZeroRow(initial, words);
+  const NodeId s0 = steps_[0].bit;
+  for (NodeId a : anchors) {
+    if (scratch_->Down(a, s0)) SetBit(initial, a);
+  }
+  // One sweep from the union frontier; the bit-order result collection
+  // returns node ids sorted and deduplicated by construction.
+  return RunSelectionSweep(initial, words);
 }
 
 std::vector<NodeId> Evaluator::WeakOutputs() const {
-  NodeId s0 = selection_path_[0];
-  std::vector<BitWord> initial(
-      static_cast<size_t>(BitWordsFor(tree_.size())));
+  NodeId s0 = steps_[0].bit;
+  Arena& arena = scratch_->scratch_arena();
+  arena.Reset();
+  const int words = BitWordsFor(tree_.size());
+  BitWord* initial = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  ZeroRow(initial, words);
   for (NodeId v = 0; v < tree_.size(); ++v) {
-    if (scratch_.Down(v, s0)) SetBit(initial.data(), v);
+    if (scratch_->Down(v, s0)) SetBit(initial, v);
   }
-  return RunSelectionSweep(std::move(initial));
+  return RunSelectionSweep(initial, words);
 }
 
-std::vector<NodeId> Eval(const Pattern& p, const Tree& t) {
+MultiEvaluator::MultiEvaluator(const std::vector<const Pattern*>& patterns,
+                               const Tree& t, EvalScratch* scratch)
+    : tree_(t), scratch_(scratch != nullptr ? scratch : &owned_scratch_) {
+  steps_.reserve(patterns.size());
+  NodeId offset = 0;
+  for (const Pattern* p : patterns) {
+    assert(p != nullptr && !p->IsEmpty());
+    steps_.push_back(MakeSweepSteps(*p, offset));
+    offset += p->size();
+  }
+  scratch_->ComputeMany(patterns.data(), patterns.size(), t);
+}
+
+MultiEvaluator::MultiEvaluator(const std::vector<const Pattern*>& patterns,
+                               const Tree& t,
+                               const std::vector<NodeId>& anchors,
+                               EvalScratch* scratch)
+    : tree_(t),
+      scratch_(scratch != nullptr ? scratch : &owned_scratch_),
+      anchored_(true) {
+  steps_.reserve(patterns.size());
+  NodeId offset = 0;
+  for (const Pattern* p : patterns) {
+    assert(p != nullptr && !p->IsEmpty());
+    steps_.push_back(MakeSweepSteps(*p, offset));
+    offset += p->size();
+  }
+  scratch_->ComputeAnchoredMany(patterns.data(), patterns.size(), t, anchors);
+}
+
+std::vector<NodeId> MultiEvaluator::Outputs(size_t i) const {
+  const std::vector<internal::SweepStep>& steps = steps_[i];
+  Arena& arena = scratch_->scratch_arena();
+  arena.Reset();
+  const int words = BitWordsFor(tree_.size());
+  BitWord* initial = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  ZeroRow(initial, words);
+  if (scratch_->Down(tree_.root(), steps[0].bit)) {
+    SetBit(initial, tree_.root());
+  }
+  return RunSweep(tree_, *scratch_, steps.data(), steps.size(), anchored_,
+                  initial, words);
+}
+
+std::vector<NodeId> MultiEvaluator::OutputsAnchoredAtAll(
+    size_t i, const std::vector<NodeId>& anchors) const {
+  const std::vector<internal::SweepStep>& steps = steps_[i];
+  Arena& arena = scratch_->scratch_arena();
+  arena.Reset();
+  const int words = BitWordsFor(tree_.size());
+  BitWord* initial = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  ZeroRow(initial, words);
+  const NodeId s0 = steps[0].bit;
+  for (NodeId a : anchors) {
+    if (scratch_->Down(a, s0)) SetBit(initial, a);
+  }
+  return RunSweep(tree_, *scratch_, steps.data(), steps.size(), anchored_,
+                  initial, words);
+}
+
+namespace {
+
+// The free-function entry points share one warm kernel per thread: a cold
+// EvalScratch pays the arena block and the two aligned DP allocations on
+// its first evaluation, which on tiny trees costs more than the DP itself.
+// The thread-local keeps those buffers (bounded by the largest tree the
+// thread has evaluated) warm across calls, the same discipline the serving
+// path uses for its Apply/fallback kernels. Safe because an Evaluator
+// borrows the scratch only for the duration of the call and nothing below
+// Outputs()/WeakOutputs() re-enters these wrappers.
+EvalScratch& ThreadScratch() {
+  static thread_local EvalScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+std::vector<NodeId> Eval(const Pattern& p, const Tree& t,
+                         EvalScratch* scratch) {
   if (p.IsEmpty()) return {};
-  return Evaluator(p, t).Outputs();
+  return Evaluator(p, t, scratch != nullptr ? scratch : &ThreadScratch())
+      .Outputs();
 }
 
 std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t) {
   if (p.IsEmpty()) return {};
-  return Evaluator(p, t).WeakOutputs();
+  return Evaluator(p, t, &ThreadScratch()).WeakOutputs();
 }
 
 bool IsModel(const Pattern& p, const Tree& t) {

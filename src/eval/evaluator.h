@@ -6,6 +6,7 @@
 #include "containment/bitmatrix.h"
 #include "containment/pattern_masks.h"
 #include "pattern/pattern.h"
+#include "util/arena.h"
 #include "xml/tree.h"
 
 namespace xpv {
@@ -49,6 +50,23 @@ class EvalScratch {
   void ComputeAnchored(const Pattern& p, const Tree& t,
                        const std::vector<NodeId>& anchors);
 
+  /// Packed multi-pattern DP: all `count` (nonempty) patterns share ONE
+  /// bottom-up pass over `t`. Pattern i's node q lives at bit
+  /// `offset(i) + q` of every row, offset(i) = prefix sum of the earlier
+  /// patterns' sizes (see `PatternMasks::BuildMany`); `Down`/`Sub` take
+  /// these packed bit ids. The row kernel is mask-driven and therefore
+  /// pattern-count-agnostic — for small patterns the per-row fixed costs
+  /// (child iteration, label lookup) are paid once for the whole group
+  /// instead of once per pattern. `Update` is not supported after a
+  /// multi-pattern compute.
+  void ComputeMany(const Pattern* const* patterns, size_t count,
+                   const Tree& t);
+
+  /// `ComputeMany` restricted to the union of the subtrees rooted at
+  /// `anchors` (same row validity contract as `ComputeAnchored`).
+  void ComputeAnchoredMany(const Pattern* const* patterns, size_t count,
+                           const Tree& t, const std::vector<NodeId>& anchors);
+
   /// Incremental recompute after the tree changed: every node with id
   /// >= `suffix_start` is new or rebuilt (the tree may have grown or
   /// shrunk), and `dirty_prefix_desc` lists the surviving nodes whose
@@ -68,8 +86,19 @@ class EvalScratch {
     return sub_.Test(tree_node, pattern_node);
   }
 
+  /// The per-kernel scratch arena. `ComputeAnchored` and the owning
+  /// `Evaluator`'s selection sweeps draw their per-call scratch from it
+  /// and reset it on entry — pointers into the arena never outlive one
+  /// call. Mutable because sweeps run on logically-const evaluators; the
+  /// kernel object (and hence its arena) is confined to one thread.
+  Arena& scratch_arena() const { return arena_; }
+
  private:
   void ComputeRow(NodeId v);
+
+  /// The anchored-subset row computation shared by `ComputeAnchored` and
+  /// `ComputeAnchoredMany` (masks and matrices already set up).
+  void ComputeAnchoredRows(const Tree& t, const std::vector<NodeId>& anchors);
 
   const Pattern* pattern_ = nullptr;
   const Tree* tree_ = nullptr;
@@ -85,11 +114,20 @@ class EvalScratch {
   std::vector<BitWord> child_or_;
   std::vector<BitWord> sub_or_;
 
-  // ComputeAnchored scratch.
-  std::vector<BitWord> visited_;
-  std::vector<NodeId> anchored_nodes_;
-  std::vector<NodeId> dfs_stack_;
+  // Per-call scratch storage (ComputeAnchored walks, selection sweeps).
+  mutable Arena arena_;
 };
+
+namespace internal {
+/// One selection-sweep step: the DP bit to test — a pattern-node bit id,
+/// already offset when the tables pack several patterns — and the edge
+/// leading into it (unused for the first step, which only seeds the
+/// frontier).
+struct SweepStep {
+  NodeId bit;
+  EdgeType edge;
+};
+}  // namespace internal
 
 /// Decides embedding questions for one (pattern, tree) pair
 /// (Definition 2.1) and computes the query results P(t) and P^w(t).
@@ -110,25 +148,44 @@ class EvalScratch {
 class Evaluator {
  public:
   /// Builds the DP tables over the full document. `p` must be nonempty;
-  /// both must outlive this.
-  Evaluator(const Pattern& p, const Tree& t);
+  /// both must outlive this. A non-null `scratch` is borrowed instead of
+  /// the internal kernel: its buffers (and their capacity) are reused, so
+  /// a caller evaluating many patterns against comparable trees pays the
+  /// DP-table allocation once, not per evaluation. The borrowed kernel is
+  /// recomputed from scratch — no state carries over — and must outlive
+  /// this evaluator and stay confined to its thread.
+  explicit Evaluator(const Pattern& p, const Tree& t,
+                     EvalScratch* scratch = nullptr);
 
   /// Builds the DP tables only over the union of the subtrees rooted at
   /// `anchors` (see `EvalScratch::ComputeAnchored`). Only
-  /// `OutputsAnchoredAt(a)` for `a` inside that union is valid on an
-  /// evaluator constructed this way; `Outputs`/`WeakOutputs` are not.
+  /// `OutputsAnchoredAt(a)` / `OutputsAnchoredAtAll(as)` for anchors
+  /// inside that union are valid on an evaluator constructed this way;
+  /// `Outputs`/`WeakOutputs` are not. `scratch` as above.
   Evaluator(const Pattern& p, const Tree& t,
-            const std::vector<NodeId>& anchors);
+            const std::vector<NodeId>& anchors,
+            EvalScratch* scratch = nullptr);
 
   /// down(p,v): can the pattern subtree rooted at `pattern_node` embed with
   /// pattern_node ↦ tree_node?
   bool CanEmbedAt(NodeId pattern_node, NodeId tree_node) const {
-    return scratch_.Down(tree_node, pattern_node);
+    return scratch_->Down(tree_node, pattern_node);
   }
 
   /// P(t^anchor): outputs of embeddings that map root(P) to `anchor`
   /// (i.e. the pattern applied to the subtree of t rooted at `anchor`).
   std::vector<NodeId> OutputsAnchoredAt(NodeId anchor) const;
+
+  /// Union over `anchors` of P(t^anchor), sorted and deduplicated. The
+  /// selection sweep distributes over unions of its initial frontier
+  /// (each step maps a node set to the union of its members' images), so
+  /// seeding ONE sweep with every anchor computes exactly
+  /// ∪_a OutputsAnchoredAt(a) — the per-step frontier bookkeeping and
+  /// the result materialization are paid once instead of once per
+  /// anchor. This is the serving path for applying a rewriting to a
+  /// materialized view's stored outputs.
+  std::vector<NodeId> OutputsAnchoredAtAll(
+      const std::vector<NodeId>& anchors) const;
 
   /// P(t): outputs of (root-preserving) embeddings.
   std::vector<NodeId> Outputs() const { return OutputsAnchoredAt(tree_.root()); }
@@ -137,17 +194,70 @@ class Evaluator {
   std::vector<NodeId> WeakOutputs() const;
 
  private:
-  std::vector<NodeId> RunSelectionSweep(std::vector<BitWord> current) const;
+  /// Runs the placement sweep from the frontier row `current` (an
+  /// arena-allocated row over tree nodes, `words` long, consumed in
+  /// place). Further sweep scratch comes from the same arena.
+  std::vector<NodeId> RunSelectionSweep(BitWord* current, int words) const;
 
   const Pattern& pattern_;
   const Tree& tree_;
-  std::vector<NodeId> selection_path_;
-  EvalScratch scratch_;
+  std::vector<internal::SweepStep> steps_;  // Selection path, root first.
+  /// The bit kernel: `owned_scratch_` unless the caller lent one.
+  EvalScratch owned_scratch_;
+  EvalScratch* scratch_;
   bool anchored_ = false;  // Anchored-subset DP (sparse sweeps only).
 };
 
-/// P(t) for a (possibly empty) pattern.
-std::vector<NodeId> Eval(const Pattern& p, const Tree& t);
+/// Evaluates SEVERAL patterns against one tree for the price of one DP
+/// pass (`EvalScratch::ComputeMany`): the patterns are packed into one bit
+/// space, the bottom-up pass fills every pattern's down/sub tables at
+/// once, and each pattern then runs its own (cheap, frontier-bounded)
+/// selection sweep over the shared tables. For the small patterns of a
+/// query workload the whole group usually fits in one machine word, so the
+/// group costs roughly ONE single-pattern evaluation instead of N — the
+/// cold-path batching primitive behind `ViewCache`'s miss fallbacks and
+/// `MaterializedView::ApplyMany`.
+///
+/// All patterns must be nonempty and, like the tree, outlive this object.
+/// `scratch` follows the `Evaluator` borrowing contract.
+class MultiEvaluator {
+ public:
+  /// Full-document DP for all patterns (one pass).
+  MultiEvaluator(const std::vector<const Pattern*>& patterns, const Tree& t,
+                 EvalScratch* scratch = nullptr);
+
+  /// DP restricted to the union of the subtrees rooted at `anchors`; only
+  /// the anchored entry point is valid on an instance built this way.
+  MultiEvaluator(const std::vector<const Pattern*>& patterns, const Tree& t,
+                 const std::vector<NodeId>& anchors,
+                 EvalScratch* scratch = nullptr);
+
+  /// P_i(t) — root-anchored outputs of pattern `i`, identical to
+  /// `Evaluator(p_i, t).Outputs()`.
+  std::vector<NodeId> Outputs(size_t i) const;
+
+  /// ∪_a P_i(t^a) over `anchors`, identical to
+  /// `Evaluator(p_i, t, anchors).OutputsAnchoredAtAll(anchors)` — the
+  /// anchors must be (a subset of) the ones the instance was built with.
+  std::vector<NodeId> OutputsAnchoredAtAll(
+      size_t i, const std::vector<NodeId>& anchors) const;
+
+ private:
+  const Tree& tree_;
+  std::vector<std::vector<internal::SweepStep>> steps_;  // Per pattern.
+  EvalScratch owned_scratch_;
+  EvalScratch* scratch_;
+  bool anchored_ = false;
+};
+
+/// P(t) for a (possibly empty) pattern. A non-null `scratch` is lent to
+/// the evaluator (see the `Evaluator` constructor) so repeated calls
+/// reuse the DP tables' storage; with the default a thread-local scratch
+/// is used, so every call after a thread's first evaluates with warm
+/// buffers (the free evaluation entry points never heap-allocate beyond
+/// the returned vector once warm).
+std::vector<NodeId> Eval(const Pattern& p, const Tree& t,
+                         EvalScratch* scratch = nullptr);
 
 /// P^w(t) for a (possibly empty) pattern.
 std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t);

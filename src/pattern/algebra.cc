@@ -20,53 +20,78 @@ NodeId CopySubtreeInto(Pattern* dst, NodeId dst_parent, EdgeType edge,
 
 namespace {
 
+/// Rebuilds `*dst` as a copy of all of `src` (root to root). `map`
+/// receives the node correspondence (always fully populated).
+void CopyWholeInto(const Pattern& src, Pattern* dst,
+                   std::vector<NodeId>* map) {
+  map->assign(static_cast<size_t>(src.size()), kNoNode);
+  dst->ResetToRoot(src.label(src.root()));
+  (*map)[static_cast<size_t>(src.root())] = dst->root();
+  for (NodeId c : src.children(src.root())) {
+    CopySubtreeInto(dst, dst->root(), src.edge(c), src, c, map);
+  }
+  dst->set_output((*map)[static_cast<size_t>(src.output())]);
+}
+
 /// Copies all of `src` into a fresh pattern rooted at src's root. `map`
 /// receives the node correspondence (always fully populated).
 Pattern CopyWhole(const Pattern& src, std::vector<NodeId>* map) {
-  map->assign(static_cast<size_t>(src.size()), kNoNode);
   Pattern dst(src.label(src.root()));
-  (*map)[static_cast<size_t>(src.root())] = dst.root();
-  for (NodeId c : src.children(src.root())) {
-    CopySubtreeInto(&dst, dst.root(), src.edge(c), src, c, map);
-  }
-  dst.set_output((*map)[static_cast<size_t>(src.output())]);
+  CopyWholeInto(src, &dst, map);
   return dst;
 }
 
 }  // namespace
 
-Pattern Compose(const Pattern& r, const Pattern& v) {
-  if (r.IsEmpty() || v.IsEmpty()) return Pattern::Empty();
+void ComposeInto(const Pattern& r, const Pattern& v, Pattern* out,
+                 std::vector<NodeId>* map) {
   LabelId merged_label;
-  if (!LabelGlb(r.label(r.root()), v.label(v.output()), &merged_label)) {
-    return Pattern::Empty();
+  if (r.IsEmpty() || v.IsEmpty() ||
+      !LabelGlb(r.label(r.root()), v.label(v.output()), &merged_label)) {
+    out->ResetToEmpty();
+    return;
   }
-  std::vector<NodeId> v_map;
-  Pattern result = CopyWhole(v, &v_map);
-  NodeId merged = v_map[static_cast<size_t>(v.output())];
-  result.set_label(merged, merged_label);
+  // One scratch map serves both copies in sequence: v's image is only
+  // needed to locate the merged node, which is read before the map is
+  // re-assigned for r.
+  CopyWholeInto(v, out, map);
+  NodeId merged = (*map)[static_cast<size_t>(v.output())];
+  out->set_label(merged, merged_label);
 
-  std::vector<NodeId> r_map(static_cast<size_t>(r.size()), kNoNode);
-  r_map[static_cast<size_t>(r.root())] = merged;
+  map->assign(static_cast<size_t>(r.size()), kNoNode);
+  (*map)[static_cast<size_t>(r.root())] = merged;
   for (NodeId c : r.children(r.root())) {
-    CopySubtreeInto(&result, merged, r.edge(c), r, c, &r_map);
+    CopySubtreeInto(out, merged, r.edge(c), r, c, map);
   }
-  result.set_output(r_map[static_cast<size_t>(r.output())]);
+  out->set_output((*map)[static_cast<size_t>(r.output())]);
+}
+
+Pattern Compose(const Pattern& r, const Pattern& v) {
+  Pattern result = Pattern::Empty();
+  std::vector<NodeId> map;
+  ComposeInto(r, v, &result, &map);
   return result;
 }
 
-Pattern SubPattern(const Pattern& p, int k) {
+void SubPatternInto(const Pattern& p, int k, Pattern* out,
+                    std::vector<NodeId>* map) {
   assert(!p.IsEmpty());
   SelectionInfo info(p);
   assert(k >= 0 && k <= info.depth());
   NodeId knode = info.KNode(k);
-  std::vector<NodeId> map(static_cast<size_t>(p.size()), kNoNode);
-  Pattern result(p.label(knode));
-  map[static_cast<size_t>(knode)] = result.root();
+  map->assign(static_cast<size_t>(p.size()), kNoNode);
+  out->ResetToRoot(p.label(knode));
+  (*map)[static_cast<size_t>(knode)] = out->root();
   for (NodeId c : p.children(knode)) {
-    CopySubtreeInto(&result, result.root(), p.edge(c), p, c, &map);
+    CopySubtreeInto(out, out->root(), p.edge(c), p, c, map);
   }
-  result.set_output(map[static_cast<size_t>(p.output())]);
+  out->set_output((*map)[static_cast<size_t>(p.output())]);
+}
+
+Pattern SubPattern(const Pattern& p, int k) {
+  Pattern result = Pattern::Empty();
+  std::vector<NodeId> map;
+  SubPatternInto(p, k, &result, &map);
   return result;
 }
 
@@ -106,13 +131,19 @@ Pattern Combine(const Pattern& p1, int k, const Pattern& p2) {
   return result;
 }
 
-Pattern RelaxRootEdges(const Pattern& q) {
+void RelaxRootEdgesInto(const Pattern& q, Pattern* out,
+                        std::vector<NodeId>* map) {
   assert(!q.IsEmpty());
-  std::vector<NodeId> map;
-  Pattern result = CopyWhole(q, &map);
-  for (NodeId c : result.children(result.root())) {
-    result.set_edge(c, EdgeType::kDescendant);
+  CopyWholeInto(q, out, map);
+  for (NodeId c : out->children(out->root())) {
+    out->set_edge(c, EdgeType::kDescendant);
   }
+}
+
+Pattern RelaxRootEdges(const Pattern& q) {
+  Pattern result = Pattern::Empty();
+  std::vector<NodeId> map;
+  RelaxRootEdgesInto(q, &result, &map);
   return result;
 }
 

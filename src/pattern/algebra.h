@@ -53,6 +53,27 @@ NodeId CopySubtreeInto(Pattern* dst, NodeId dst_parent, EdgeType edge,
                        const Pattern& src, NodeId src_node,
                        std::vector<NodeId>* map);
 
+// ---------------------------------------------------------------------------
+// In-place variants: same results as the value-returning operations above,
+// but rebuilt into a caller-owned pattern via `Pattern::ResetToRoot` /
+// `ResetToEmpty`, with `*map` as node-map scratch. A warm output pattern
+// (and map) of similar shape makes these allocation-free — the storage
+// behind the batch paths' reusable per-worker candidate bundles. `out`
+// must not alias the input pattern(s).
+// ---------------------------------------------------------------------------
+
+/// `*out` = SubPattern(p, k).
+void SubPatternInto(const Pattern& p, int k, Pattern* out,
+                    std::vector<NodeId>* map);
+
+/// `*out` = RelaxRootEdges(q).
+void RelaxRootEdgesInto(const Pattern& q, Pattern* out,
+                        std::vector<NodeId>* map);
+
+/// `*out` = Compose(r, v) (possibly the empty pattern Υ).
+void ComposeInto(const Pattern& r, const Pattern& v, Pattern* out,
+                 std::vector<NodeId>* map);
+
 }  // namespace xpv
 
 #endif  // XPV_PATTERN_ALGEBRA_H_

@@ -21,9 +21,31 @@ NodeId Pattern::AddChild(NodeId parent, LabelId label, EdgeType edge) {
   labels_.push_back(label);
   parents_.push_back(parent);
   edges_.push_back(edge);
-  children_.emplace_back();
+  // Reuse a spare child list banked by ResetToRoot/ResetToEmpty (empty,
+  // but its heap buffer survives); only grow when none is banked.
+  if (children_.size() < labels_.size()) children_.emplace_back();
   children_[static_cast<size_t>(parent)].push_back(id);
   return id;
+}
+
+void Pattern::ResetToEmpty() {
+  labels_.clear();
+  parents_.clear();
+  edges_.clear();
+  // Bank every child list: `clear()` keeps each vector's buffer, and
+  // `AddChild` re-adopts the slots in creation order. Rebuilding a pattern
+  // of similar shape into this object then allocates nothing — the storage
+  // discipline behind the per-worker reusable candidate bundles.
+  for (std::vector<NodeId>& kids : children_) kids.clear();
+  output_ = 0;
+}
+
+void Pattern::ResetToRoot(LabelId root_label) {
+  ResetToEmpty();
+  labels_.push_back(root_label);
+  parents_.push_back(kNoNode);
+  edges_.push_back(EdgeType::kChild);  // Unused for the root.
+  if (children_.empty()) children_.emplace_back();
 }
 
 std::vector<NodeId> Pattern::SubtreeNodes(NodeId n) const {

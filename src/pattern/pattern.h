@@ -36,6 +36,16 @@ class Pattern {
   /// type `edge`, and returns its id. Does not change the output node.
   NodeId AddChild(NodeId parent, LabelId label, EdgeType edge);
 
+  /// Rewinds this pattern to a single root node labeled `root_label`
+  /// (root = output, like the single-node constructor), keeping all heap
+  /// buffers — including the per-node child lists — banked for reuse.
+  /// Rebuilding a similar-shaped pattern in place is then allocation-free;
+  /// the batch paths reuse per-worker candidate patterns this way.
+  void ResetToRoot(LabelId root_label);
+
+  /// Rewinds to the empty pattern Υ, banking buffers likewise.
+  void ResetToEmpty();
+
   bool IsEmpty() const { return labels_.empty(); }
   int size() const { return static_cast<int>(labels_.size()); }
 

@@ -20,11 +20,40 @@ NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth) {
 CandidateBundle MakeCandidateBundle(const Pattern& p, const Pattern& v,
                                     int view_depth) {
   CandidateBundle bundle;
-  bundle.natural = MakeNaturalCandidates(p, view_depth);
-  bundle.sub_composition = Compose(bundle.natural.sub, v);
-  if (!bundle.natural.coincide) {
-    bundle.relaxed_composition = Compose(bundle.natural.relaxed, v);
+  std::vector<NodeId> map;
+  MakeCandidateBundleInto(p, v, view_depth, &bundle, &map);
+  return bundle;
+}
+
+void MakeCandidateBundleInto(const Pattern& p, const Pattern& v,
+                             int view_depth, CandidateBundle* out,
+                             std::vector<NodeId>* map) {
+  SubPatternInto(p, view_depth, &out->natural.sub, map);
+  const Pattern& sub = out->natural.sub;
+  out->natural.coincide = true;
+  for (NodeId c : sub.children(sub.root())) {
+    if (sub.edge(c) != EdgeType::kDescendant) {
+      out->natural.coincide = false;
+      break;
+    }
   }
+  ComposeInto(sub, v, &out->sub_composition, map);
+  if (!out->natural.coincide) {
+    RelaxRootEdgesInto(sub, &out->natural.relaxed, map);
+    ComposeInto(out->natural.relaxed, v, &out->relaxed_composition, map);
+  } else {
+    // Candidates coincide: the relaxed pair is unused. Rewind (don't
+    // free) so a recycled bundle never leaks a stale pattern.
+    out->natural.relaxed.ResetToEmpty();
+    out->relaxed_composition.ResetToEmpty();
+  }
+}
+
+const CandidateBundle& BundlePool::Build(const Pattern& p, const Pattern& v,
+                                         int view_depth) {
+  if (used_ == pool_.size()) pool_.emplace_back();
+  CandidateBundle& bundle = pool_[used_++];
+  MakeCandidateBundleInto(p, v, view_depth, &bundle, &map_);
   return bundle;
 }
 

@@ -1,6 +1,7 @@
 #ifndef XPV_REWRITE_CANDIDATES_H_
 #define XPV_REWRITE_CANDIDATES_H_
 
+#include <deque>
 #include <utility>
 #include <vector>
 
@@ -47,6 +48,39 @@ struct CandidateBundle {
 /// for admissible pairs; `DecideRewrite` relies on this to skip step 1).
 CandidateBundle MakeCandidateBundle(const Pattern& p, const Pattern& v,
                                     int view_depth);
+
+/// In-place variant: rebuilds `*out` (all four patterns, via the algebra
+/// `*Into` operations) with `*map` as node-map scratch. A warm bundle of
+/// similar shape is rebuilt without heap allocation — the cold batch path
+/// builds one bundle per (query, view) pair, so recycling the storage
+/// removes the dominant malloc traffic of a scan.
+void MakeCandidateBundleInto(const Pattern& p, const Pattern& v,
+                             int view_depth, CandidateBundle* out,
+                             std::vector<NodeId>* map);
+
+/// A per-worker pool of recycled candidate bundles. `Build` returns a
+/// bundle constructed in recycled storage whose address stays stable until
+/// the next `Rewind` (entries live in a deque and are never moved), so the
+/// batch pipeline can keep bundles for a whole chunk alive — pairs pushed
+/// into `ContainedMany` point into them — while still reusing all pattern
+/// buffers across chunks. Not thread-safe: one pool per worker thread.
+class BundlePool {
+ public:
+  /// Recycles every previously built bundle (their storage is reused by
+  /// subsequent `Build` calls; outstanding references become invalid).
+  void Rewind() { used_ = 0; }
+
+  /// Builds the (p, v) bundle in recycled storage. Valid until `Rewind`.
+  const CandidateBundle& Build(const Pattern& p, const Pattern& v,
+                               int view_depth);
+
+  size_t capacity() const { return pool_.size(); }
+
+ private:
+  std::deque<CandidateBundle> pool_;  // Stable addresses across growth.
+  std::vector<NodeId> map_;
+  size_t used_ = 0;
+};
 
 /// Appends the *forward* containment questions of `bundle` (composition ⊑
 /// p, for each distinct candidate) to `*pairs`. These are exactly the

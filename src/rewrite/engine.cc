@@ -54,9 +54,14 @@ RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
     return options.oracle != nullptr ? options.oracle->Equivalent(a, b)
                                      : Equivalent(a, b);
   };
-  CandidateBundle local;
+  // Self-built bundles go into thread-local recycled storage: DecideRewrite
+  // never runs reentrantly on one thread (the multi-view driver issues its
+  // calls sequentially), and everything returned is copied out.
+  static thread_local CandidateBundle local;
+  static thread_local std::vector<NodeId> local_map;
   if (precomputed == nullptr) {
-    local = MakeCandidateBundle(p, v, SelectionInfo(v).depth());
+    MakeCandidateBundleInto(p, v, SelectionInfo(v).depth(), &local,
+                            &local_map);
   }
   const CandidateBundle& bundle = precomputed != nullptr ? *precomputed : local;
   const NaturalCandidates& candidates = bundle.natural;

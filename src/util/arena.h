@@ -1,0 +1,115 @@
+#ifndef XPV_UTIL_ARENA_H_
+#define XPV_UTIL_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace xpv {
+
+/// A bump allocator for per-call scratch: allocation is a pointer bump,
+/// `Reset` rewinds to the start *keeping every block*, so a warm arena
+/// serves an arbitrary sequence of scratch lifetimes with zero heap
+/// traffic. This is the storage discipline behind the cold-path loops —
+/// the canonical-model odometer and the selection sweeps reset their arena
+/// between models/calls instead of re-malloc'ing vectors.
+///
+/// Only trivially-destructible types may live here (nothing is ever
+/// destroyed, only rewound). Not thread-safe: one arena belongs to one
+/// kernel object (`EvalScratch`, `ContainmentContext`), which is itself
+/// confined to a thread.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockBytes = size_t{1} << 16;  // 64 KiB
+  /// Every block base is aligned this much, so any requested alignment up
+  /// to 64 is absolute, not just block-relative (bit rows want 32).
+  static constexpr size_t kBlockAlign = 64;
+
+  explicit Arena(size_t first_block_bytes = kDefaultBlockBytes)
+      : first_block_bytes_(first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Returns `bytes` of storage aligned to `align` (power of two, <= 64).
+  /// Valid until the next `Reset`.
+  void* Allocate(size_t bytes, size_t align) {
+    while (block_ < blocks_.size()) {
+      Block& b = blocks_[block_];
+      const size_t aligned = (offset_ + align - 1) & ~(align - 1);
+      if (aligned + bytes <= b.size) {
+        offset_ = aligned + bytes;
+        return b.data.get() + aligned;
+      }
+      ++block_;
+      offset_ = 0;
+    }
+    AppendBlock(bytes + align);
+    Block& b = blocks_.back();
+    const size_t aligned = (offset_ + align - 1) & ~(align - 1);
+    offset_ = aligned + bytes;
+    return b.data.get() + aligned;
+  }
+
+  /// Typed array allocation. `T` must be trivially destructible (the arena
+  /// never runs destructors) and is returned uninitialized.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena storage is rewound, never destroyed");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Rewinds to the first block. Every block is kept; previously returned
+  /// pointers become invalid (their storage will be handed out again).
+  void Reset() {
+    block_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total bytes owned across all blocks (observability / tests).
+  size_t CapacityBytes() const {
+    size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  size_t BlockCount() const { return blocks_.size(); }
+
+ private:
+  struct AlignedFree {
+    void operator()(std::byte* p) const {
+      ::operator delete(p, std::align_val_t{kBlockAlign});
+    }
+  };
+  struct Block {
+    std::unique_ptr<std::byte[], AlignedFree> data;
+    size_t size = 0;
+  };
+
+  void AppendBlock(size_t min_bytes) {
+    // Geometric growth keeps the block list short; a request larger than
+    // the doubled size gets its own exactly-sized block.
+    size_t size = blocks_.empty() ? first_block_bytes_ : blocks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    Block b;
+    b.data.reset(static_cast<std::byte*>(
+        ::operator new(size, std::align_val_t{kBlockAlign})));
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    block_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  size_t block_ = 0;   // Current block index.
+  size_t offset_ = 0;  // Bump offset within the current block.
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_ARENA_H_

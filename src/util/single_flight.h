@@ -1,0 +1,205 @@
+#ifndef XPV_UTIL_SINGLE_FLIGHT_H_
+#define XPV_UTIL_SINGLE_FLIGHT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+namespace xpv {
+
+/// Collapses a stampede of concurrent cache misses of one key into a
+/// single computation: the first thread to arrive *leads* (computes and
+/// publishes), every other thread *joins* (blocks on a per-key latch and
+/// receives the leader's value). Keys are compared EXACTLY — never by
+/// hash alone — because a collision would hand a waiter the wrong value.
+///
+/// Protocol:
+///   auto jr = flights.Join(key, probe);
+///   if (jr.immediate) return *jr.immediate;            // probe hit
+///   if (jr.ticket.leader()) {
+///     Value v = compute();
+///     publish_side_effect(v);   // e.g. insert into the backing cache
+///     flights.Publish(jr.ticket, v);
+///     return v;
+///   }
+///   if (std::optional<Value> v = flights.Wait(jr.ticket)) return *v;
+///   return compute();           // leader abandoned (exception unwind)
+///
+/// The optional `probe` runs under the registry lock at the moment this
+/// thread would otherwise become leader, and `Publish` removes the key
+/// from the registry under the same lock AFTER the caller's publish side
+/// effect. A thread arriving after the in-flight entry disappeared
+/// therefore re-probes the backing store and finds the freshly published
+/// value — the window where a second computation of the same key could
+/// start is closed, not merely narrowed. `probe` must not acquire any
+/// lock that other threads hold while calling into this registry.
+///
+/// A leader ticket destroyed without `Publish` (exception unwind)
+/// *abandons* the flight: waiters wake with `nullopt` and compute for
+/// themselves, so an abandoned key never strands its queue.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SingleFlight {
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    int state = 0;  // 0 = pending, 1 = published, 2 = abandoned.
+    Value value{};
+  };
+
+ public:
+  /// A participation handle. Move-only; a leader ticket that goes out of
+  /// scope unresolved abandons its flight (waking all waiters).
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        flight_ = std::move(other.flight_);
+        key_ = other.key_;
+        leader_ = other.leader_;
+        resolved_ = other.resolved_;
+        other.owner_ = nullptr;
+        other.flight_ = nullptr;
+        other.leader_ = false;
+        other.resolved_ = false;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    /// False for a default-constructed / moved-from / probe-hit ticket.
+    bool valid() const { return flight_ != nullptr; }
+    bool leader() const { return leader_; }
+
+   private:
+    friend class SingleFlight;
+    void Release() {
+      if (owner_ != nullptr && flight_ != nullptr && leader_ && !resolved_) {
+        owner_->Abandon(*this);
+      }
+    }
+
+    SingleFlight* owner_ = nullptr;
+    std::shared_ptr<Flight> flight_;
+    Key key_{};
+    bool leader_ = false;
+    bool resolved_ = false;
+  };
+
+  struct JoinResult {
+    /// Engaged when `probe` answered under the registry lock (the value
+    /// was published between the caller's miss and this Join).
+    std::optional<Value> immediate;
+    Ticket ticket;
+  };
+
+  /// Joins (or starts) the flight for `key`. `probe()` is invoked under
+  /// the registry lock only when this thread is about to lead; an engaged
+  /// return short-circuits the flight entirely.
+  template <typename ProbeFn>
+  JoinResult Join(const Key& key, ProbeFn&& probe) {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      joins_.fetch_add(1, std::memory_order_relaxed);
+      JoinResult r;
+      r.ticket.owner_ = this;
+      r.ticket.flight_ = it->second;
+      r.ticket.key_ = key;
+      r.ticket.leader_ = false;
+      return r;
+    }
+    if (std::optional<Value> v = probe()) {
+      return JoinResult{std::move(v), Ticket{}};
+    }
+    auto flight = std::make_shared<Flight>();
+    flights_.emplace(key, flight);
+    leads_.fetch_add(1, std::memory_order_relaxed);
+    JoinResult r;
+    r.ticket.owner_ = this;
+    r.ticket.flight_ = std::move(flight);
+    r.ticket.key_ = key;
+    r.ticket.leader_ = true;
+    return r;
+  }
+
+  JoinResult Join(const Key& key) {
+    return Join(key, [] { return std::optional<Value>(); });
+  }
+
+  /// Leader only: resolves the flight with `value`, waking every waiter.
+  /// Call AFTER the publish side effect (cache insert): the key leaves
+  /// the registry here, and late arrivals re-probe the backing store.
+  void Publish(Ticket& ticket, Value value) {
+    EraseFlight(ticket);
+    {
+      std::lock_guard<std::mutex> fl(ticket.flight_->m);
+      ticket.flight_->state = 1;
+      ticket.flight_->value = std::move(value);
+    }
+    ticket.flight_->cv.notify_all();
+    ticket.resolved_ = true;
+  }
+
+  /// Follower only: blocks until the leader publishes (returns the value)
+  /// or abandons (returns nullopt — compute for yourself).
+  std::optional<Value> Wait(Ticket& ticket) {
+    std::unique_lock<std::mutex> fl(ticket.flight_->m);
+    ticket.flight_->cv.wait(fl, [&] { return ticket.flight_->state != 0; });
+    ticket.resolved_ = true;
+    if (ticket.flight_->state == 1) return ticket.flight_->value;
+    return std::nullopt;
+  }
+
+  uint64_t leads() const { return leads_.load(std::memory_order_relaxed); }
+  uint64_t joins() const { return joins_.load(std::memory_order_relaxed); }
+  uint64_t abandons() const {
+    return abandons_.load(std::memory_order_relaxed);
+  }
+
+  /// In-flight keys right now (for tests; racy by nature).
+  size_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return flights_.size();
+  }
+
+ private:
+  void Abandon(Ticket& ticket) {
+    EraseFlight(ticket);
+    {
+      std::lock_guard<std::mutex> fl(ticket.flight_->m);
+      ticket.flight_->state = 2;
+    }
+    ticket.flight_->cv.notify_all();
+    ticket.resolved_ = true;
+    abandons_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void EraseFlight(const Ticket& ticket) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = flights_.find(ticket.key_);
+    if (it != flights_.end() && it->second == ticket.flight_) {
+      flights_.erase(it);
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Flight>, Hash> flights_;
+  std::atomic<uint64_t> leads_{0};
+  std::atomic<uint64_t> joins_{0};
+  std::atomic<uint64_t> abandons_{0};
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_SINGLE_FLIGHT_H_

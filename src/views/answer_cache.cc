@@ -1,8 +1,54 @@
 #include "views/answer_cache.h"
 
+#include <algorithm>
 #include <mutex>
+#include <optional>
 
 namespace xpv {
+
+std::shared_ptr<const AnswerCache::Entry> AnswerCache::Fill::Wait() {
+  std::optional<std::shared_ptr<const Entry>> value =
+      owner_->fills_.Wait(ticket_);
+  return value.has_value() ? *value : nullptr;
+}
+
+AnswerCache::Fill AnswerCache::BeginFill(const Key& key) {
+  Fill fill;
+  fill.owner_ = this;
+  fill.key_ = key;
+  if (std::shared_ptr<const Entry> entry = Lookup(key)) {
+    fill.entry_ = std::move(entry);
+    return fill;
+  }
+  auto result = fills_.Join(
+      key, [&]() -> std::optional<std::shared_ptr<const Entry>> {
+        // Registry-lock probe: a leader that published between our
+        // Lookup miss and this Join already erased its flight AFTER
+        // inserting, so the table re-probe here sees its entry — we can
+        // never lead a key that is already resident.
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = table_.find(key);
+        if (it == table_.end()) return std::nullopt;
+        it->second.ref.store(1, std::memory_order_relaxed);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second.entry;
+      });
+  if (result.immediate.has_value()) {
+    fill.entry_ = std::move(*result.immediate);
+    return fill;
+  }
+  fill.ticket_ = std::move(result.ticket);
+  return fill;
+}
+
+std::shared_ptr<const AnswerCache::Entry> AnswerCache::Publish(Fill& fill,
+                                                              Entry entry) {
+  std::shared_ptr<const Entry> shared =
+      std::make_shared<const Entry>(std::move(entry));
+  InsertShared(fill.key_, shared);  // Before the flight erase: see probe.
+  fill.owner_->fills_.Publish(fill.ticket_, shared);
+  return shared;
+}
 
 std::shared_ptr<const AnswerCache::Entry> AnswerCache::Lookup(
     const Key& key) const {
@@ -19,12 +65,35 @@ std::shared_ptr<const AnswerCache::Entry> AnswerCache::Lookup(
 }
 
 void AnswerCache::Insert(const Key& key, Entry entry) {
+  InsertShared(key, std::make_shared<const Entry>(std::move(entry)));
+}
+
+void AnswerCache::InsertShared(const Key& key,
+                               std::shared_ptr<const Entry> entry) {
   if (!enabled()) return;
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (table_.count(key) > 0) return;  // A racing filler already published.
-  if (table_.size() >= capacity_) EvictSome();
+  if (table_.size() >= capacity_) {
+    if (!AdmitUnderPressure(key)) {
+      doorkeeper_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    EvictSome();
+  }
   table_.emplace(key, Slot(std::move(entry)));
   insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool AnswerCache::AdmitUnderPressure(const Key& key) {
+  if (door_.empty()) return true;  // Doorkeeper off.
+  const uint64_t tag = static_cast<uint64_t>(KeyHash{}(key)) | 1;  // 0 = empty.
+  uint64_t& slot = door_[static_cast<size_t>(tag) & (kDoorkeeperSlots - 1)];
+  if (slot == tag) {
+    slot = 0;  // Second presentation: admit and recycle the slot.
+    return true;
+  }
+  slot = tag;  // First presentation (or collision): remember, reject.
+  return false;
 }
 
 size_t AnswerCache::EraseScope(uint64_t scope) {
@@ -51,11 +120,13 @@ size_t AnswerCache::size() const {
 void AnswerCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
   table_.clear();
+  std::fill(door_.begin(), door_.end(), 0);
   hits_.store(0, std::memory_order_relaxed);
   misses_.store(0, std::memory_order_relaxed);
   insertions_.store(0, std::memory_order_relaxed);
   evictions_.store(0, std::memory_order_relaxed);
   erased_.store(0, std::memory_order_relaxed);
+  doorkeeper_rejects_.store(0, std::memory_order_relaxed);
 }
 
 void AnswerCache::EvictSome() {

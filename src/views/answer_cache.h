@@ -8,8 +8,10 @@
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "util/hash.h"
+#include "util/single_flight.h"
 #include "views/view_cache.h"
 
 namespace xpv {
@@ -43,6 +45,23 @@ namespace xpv {
 /// same key insert the same value (answers are deterministic for a fixed
 /// (document, view set, query)); the second insert is a no-op.
 ///
+/// On top of that last-writer-wins baseline, `BeginFill`/`Publish` give
+/// misses *single-flight* semantics: concurrent misses of one key
+/// rendezvous on an in-flight record, exactly one caller (the leader)
+/// runs the rewrite pipeline, and the waiters receive the leader's entry
+/// through the flight latch — the redundant computations are not merely
+/// wasted, they are never started. Waiters of a leader that unwound
+/// without publishing wake empty-handed and compute for themselves.
+///
+/// With the *doorkeeper* enabled (a serving-facade policy, off by
+/// default), inserts under capacity pressure must present their key
+/// twice before being admitted: a small direct-mapped table of recently
+/// rejected key hashes lets second-time keys through and turns one-off
+/// queries away, so a scan of singletons cannot sweep the proven-hot
+/// memo entries out. Rejections are counted in
+/// `stats().doorkeeper_rejects`; a rejected `Publish` still hands the
+/// entry to its waiters (admission gates residency, never correctness).
+///
 /// A capacity of 0 disables the cache: `Lookup` always misses without
 /// counting and `Insert` drops the entry — the switch equivalence tests
 /// and benchmarks compare against.
@@ -65,6 +84,15 @@ class AnswerCache {
     }
   };
 
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = Mix64(k.scope);
+      h = HashCombine64(h, k.epoch);
+      h = HashCombine64(h, k.fingerprint);
+      return static_cast<size_t>(h);
+    }
+  };
+
   /// One memoized answer plus the serving-stats delta of the scan that
   /// computed it (`delta.queries == 1`; a hit replays the delta verbatim).
   struct Entry {
@@ -75,17 +103,29 @@ class AnswerCache {
   /// Counter snapshot. `hits`/`misses` count `Lookup` outcomes,
   /// `insertions` successful `Insert`s (re-inserting a present key does
   /// not count), `evictions` entries dropped by the capacity sweep,
-  /// `erased` entries dropped by `EraseScope` (document removal).
+  /// `erased` entries dropped by `EraseScope` (document removal),
+  /// `doorkeeper_rejects` inserts turned away by first-time admission
+  /// under pressure.
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
     uint64_t erased = 0;
+    uint64_t doorkeeper_rejects = 0;
   };
 
-  explicit AnswerCache(size_t capacity = kDefaultCapacity)
-      : capacity_(capacity) {}
+  /// Single-flight counters (never reset; see `SingleFlight`).
+  struct FillStats {
+    uint64_t leads = 0;
+    uint64_t joins = 0;
+    uint64_t abandons = 0;
+  };
+
+  explicit AnswerCache(size_t capacity = kDefaultCapacity,
+                       bool doorkeeper = false)
+      : capacity_(capacity),
+        door_(doorkeeper && capacity > 0 ? kDoorkeeperSlots : 0, 0) {}
 
   AnswerCache(const AnswerCache&) = delete;
   AnswerCache& operator=(const AnswerCache&) = delete;
@@ -102,7 +142,53 @@ class AnswerCache {
 
   /// Publishes a computed entry (exclusive lock), evicting cold entries
   /// when the table is full. A present key keeps its existing entry.
+  /// Subject to doorkeeper admission when enabled.
   void Insert(const Key& key, Entry entry);
+
+  /// The outcome of `BeginFill`: an immediate entry (`hit()`), leadership
+  /// of a new flight (`leader()` — compute, then `Publish`; destroying
+  /// the handle unresolved abandons the flight and wakes the waiters
+  /// into self-compute), or followership (`Wait()`).
+  class Fill {
+   public:
+    Fill() = default;
+
+    /// Engaged when the probe answered immediately (memo entry resident,
+    /// or published by a concurrent leader during the arm).
+    bool hit() const { return entry_ != nullptr; }
+    const std::shared_ptr<const Entry>& entry() const { return entry_; }
+
+    /// True when this caller must compute and `Publish`.
+    bool leader() const { return ticket_.leader(); }
+
+    /// Follower only: blocks until the leader publishes and returns its
+    /// entry. Null when the leader abandoned — compute for yourself
+    /// (and `Insert` the result as usual).
+    std::shared_ptr<const Entry> Wait();
+
+   private:
+    friend class AnswerCache;
+    using Ticket =
+        SingleFlight<Key, std::shared_ptr<const Entry>, KeyHash>::Ticket;
+
+    AnswerCache* owner_ = nullptr;
+    Key key_{};
+    std::shared_ptr<const Entry> entry_;
+    Ticket ticket_;
+  };
+
+  /// Single-flight probe-or-arm. Requires `enabled()`. Probes the memo;
+  /// on a resident entry returns a hit, otherwise joins (or starts) the
+  /// in-flight fill for `key`. The race window between the probe and the
+  /// arm is closed by re-probing under the flight registry lock — a
+  /// caller can never lead a key whose entry is already published.
+  Fill BeginFill(const Key& key);
+
+  /// Leader only: publishes the computed entry — inserts it into the
+  /// table (subject to doorkeeper admission) and resolves the flight,
+  /// waking every waiter with the shared entry. Returns the shared entry
+  /// so the leader serves from the same allocation.
+  std::shared_ptr<const Entry> Publish(Fill& fill, Entry entry);
 
   /// Drops every entry of `scope`, any epoch (exclusive lock). Called
   /// when a document is removed or replaced: its entries are already
@@ -120,22 +206,20 @@ class AnswerCache {
                  misses_.load(std::memory_order_relaxed),
                  insertions_.load(std::memory_order_relaxed),
                  evictions_.load(std::memory_order_relaxed),
-                 erased_.load(std::memory_order_relaxed)};
+                 erased_.load(std::memory_order_relaxed),
+                 doorkeeper_rejects_.load(std::memory_order_relaxed)};
   }
+
+  FillStats fill_stats() const {
+    return FillStats{fills_.leads(), fills_.joins(), fills_.abandons()};
+  }
+
+  bool doorkeeper_enabled() const { return !door_.empty(); }
 
   /// Drops every entry and resets the counters.
   void Clear();
 
  private:
-  struct KeyHash {
-    size_t operator()(const Key& k) const {
-      uint64_t h = Mix64(k.scope);
-      h = HashCombine64(h, k.epoch);
-      h = HashCombine64(h, k.fingerprint);
-      return static_cast<size_t>(h);
-    }
-  };
-
   /// A resident entry plus its second-chance reference bit. The bit is
   /// set by `Lookup` under the *shared* lock, hence atomic; the node
   /// itself is only created/destroyed under the exclusive lock. The
@@ -144,6 +228,8 @@ class AnswerCache {
   struct Slot {
     explicit Slot(Entry entry_in)
         : entry(std::make_shared<const Entry>(std::move(entry_in))) {}
+    explicit Slot(std::shared_ptr<const Entry> entry_in)
+        : entry(std::move(entry_in)) {}
     Slot(Slot&& other) noexcept
         : entry(std::move(other.entry)),
           ref(other.ref.load(std::memory_order_relaxed)) {}
@@ -158,14 +244,31 @@ class AnswerCache {
   /// at least one entry is always evicted.
   void EvictSome();
 
+  /// Shared implementation of `Insert`/`Publish`: admission check,
+  /// eviction, emplace. The entry arrives pre-shared so `Publish` hands
+  /// the very same allocation to table, leader, and waiters.
+  void InsertShared(const Key& key, std::shared_ptr<const Entry> entry);
+
+  /// Doorkeeper admission (requires the exclusive lock; key not
+  /// resident, table at capacity). First presentation of a key hash is
+  /// remembered and rejected; the second one is admitted.
+  bool AdmitUnderPressure(const Key& key);
+
+  static constexpr size_t kDoorkeeperSlots = 1024;  // Power of two.
+
   mutable std::shared_mutex mu_;
   std::unordered_map<Key, Slot, KeyHash> table_;
   const size_t capacity_;
+  /// Direct-mapped recent-reject filter; empty when the doorkeeper is
+  /// off. Guarded by the exclusive lock (only `Insert` paths touch it).
+  std::vector<uint64_t> door_;
+  SingleFlight<Key, std::shared_ptr<const Entry>, KeyHash> fills_;
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> erased_{0};
+  std::atomic<uint64_t> doorkeeper_rejects_{0};
 };
 
 }  // namespace xpv

@@ -11,6 +11,16 @@
 
 namespace xpv {
 
+namespace {
+// Cap on the total packed width of one multi-pattern evaluation group
+// (`MultiEvaluator`): the DP row cost grows with the group's bit count, so
+// the cap keeps each pass cheap per row while still amortizing the
+// per-row fixed costs (child iteration, label lookup) across the group.
+// Four machine words comfortably packs a realistic batch's worth of
+// query-sized patterns.
+constexpr int kMaxPackedBits = 256;
+}  // namespace
+
 MaterializedView::MaterializedView(ViewDefinition definition, const Tree& doc)
     : definition_(std::move(definition)), doc_(&doc) {
   outputs_ = Eval(definition_.pattern, doc);
@@ -27,16 +37,47 @@ std::vector<NodeId> MaterializedView::Apply(const Pattern& r) const {
   if (r.IsEmpty() || outputs_.empty()) return {};
   // Anchored evaluation: the embedding DP is computed only over the union
   // of the stored subtrees, so the cost tracks the materialized result
-  // size, not the document size.
-  Evaluator evaluator(r, *doc_, outputs_);
-  std::vector<NodeId> all;
-  for (NodeId o : outputs_) {
-    std::vector<NodeId> part = evaluator.OutputsAnchoredAt(o);
-    all.insert(all.end(), part.begin(), part.end());
+  // size, not the document size. ONE multi-anchor selection sweep answers
+  // every stored output together (already sorted and deduplicated), and
+  // the thread-local kernel keeps the DP tables' storage warm across
+  // Apply calls — a cold batch applies dozens of rewritings, and each
+  // used to reallocate both bit-matrices and run one sweep per output.
+  static thread_local EvalScratch apply_scratch;
+  Evaluator evaluator(r, *doc_, outputs_, &apply_scratch);
+  return evaluator.OutputsAnchoredAtAll(outputs_);
+}
+
+std::vector<std::vector<NodeId>> MaterializedView::ApplyMany(
+    const std::vector<const Pattern*>& rs) const {
+  std::vector<std::vector<NodeId>> results(rs.size());
+  if (outputs_.empty()) return results;
+  std::vector<size_t> todo;  // Nonempty rewritings, in order.
+  todo.reserve(rs.size());
+  for (size_t i = 0; i < rs.size(); ++i) {
+    if (!rs[i]->IsEmpty()) todo.push_back(i);
   }
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  return all;
+  // Pack the group into bounded-width sub-groups; each runs one anchored
+  // DP over the stored subtrees and one multi-anchor sweep per rewriting.
+  static thread_local EvalScratch apply_scratch;
+  std::vector<const Pattern*> group;
+  std::vector<size_t> group_idx;
+  for (size_t g = 0; g < todo.size();) {
+    group.clear();
+    group_idx.clear();
+    int bits = 0;
+    while (g < todo.size() &&
+           (group.empty() || bits + rs[todo[g]]->size() <= kMaxPackedBits)) {
+      bits += rs[todo[g]]->size();
+      group.push_back(rs[todo[g]]);
+      group_idx.push_back(todo[g]);
+      ++g;
+    }
+    MultiEvaluator evaluator(group, *doc_, outputs_, &apply_scratch);
+    for (size_t k = 0; k < group.size(); ++k) {
+      results[group_idx[k]] = evaluator.OutputsAnchoredAtAll(k, outputs_);
+    }
+  }
+  return results;
 }
 
 ViewCache::ViewCache(const Tree& doc, RewriteOptions options,
@@ -98,13 +139,11 @@ void ViewCache::RemoveView(int index) {
   ++epoch_;
 }
 
-CacheAnswer ViewCache::ScanViews(const Pattern& query,
-                                 const SelectionSummary& summary,
-                                 int prebuilt_vi,
-                                 const CandidateBundle* prebuilt,
-                                 const RewriteOptions& options,
-                                 CacheStats* stats) const {
-  CacheAnswer answer;
+bool ViewCache::FindRewrite(const Pattern& query,
+                            const SelectionSummary& summary, int prebuilt_vi,
+                            const CandidateBundle* prebuilt,
+                            const RewriteOptions& options, CacheStats* stats,
+                            int* vi_out, Pattern* rewriting_out) const {
   for (int vi = 0; vi < index_.size(); ++vi) {
     // O(1) pruning: views that fail the necessary conditions never reach
     // the engine (this is what `ViolatesBasicNecessaryConditions` would
@@ -112,24 +151,50 @@ CacheAnswer ViewCache::ScanViews(const Pattern& query,
     if (!index_.Admissible(summary, vi)) continue;
     const MaterializedView& view = views_[static_cast<size_t>(vi)];
     const Pattern& vp = view.definition().pattern;
-    CandidateBundle local;
+    // Non-prebuilt bundles are rebuilt into thread-local recycled storage:
+    // only one is live at a time (DecideRewrite copies anything it
+    // returns), so each view scan reuses the previous scan's buffers.
+    static thread_local CandidateBundle scratch_bundle;
+    static thread_local std::vector<NodeId> scratch_map;
     const CandidateBundle* bundle = prebuilt;
     if (vi != prebuilt_vi || bundle == nullptr) {
-      local = MakeCandidateBundle(query, vp, index_.view_summary(vi).depth);
-      bundle = &local;
+      MakeCandidateBundleInto(query, vp, index_.view_summary(vi).depth,
+                              &scratch_bundle, &scratch_map);
+      bundle = &scratch_bundle;
     }
     RewriteResult result = DecideRewrite(query, vp, options, bundle);
     if (result.status == RewriteStatus::kFound) {
-      answer.hit = true;
-      answer.view_name = view.definition().name;
-      answer.rewriting = result.rewriting;
-      answer.outputs = view.Apply(result.rewriting);
+      *vi_out = vi;
+      *rewriting_out = std::move(result.rewriting);
       ++stats->hits;
-      return answer;
+      return true;
     }
     if (result.status == RewriteStatus::kUnknown) ++stats->rewrite_unknown;
   }
-  answer.outputs = Eval(query, *doc_);
+  return false;
+}
+
+CacheAnswer ViewCache::ScanViews(const Pattern& query,
+                                 const SelectionSummary& summary,
+                                 int prebuilt_vi,
+                                 const CandidateBundle* prebuilt,
+                                 const RewriteOptions& options,
+                                 CacheStats* stats) const {
+  CacheAnswer answer;
+  int vi = -1;
+  if (FindRewrite(query, summary, prebuilt_vi, prebuilt, options, stats, &vi,
+                  &answer.rewriting)) {
+    const MaterializedView& view = views_[static_cast<size_t>(vi)];
+    answer.hit = true;
+    answer.view_name = view.definition().name;
+    answer.outputs = view.Apply(answer.rewriting);
+    return answer;
+  }
+  // Fallback: no view answers the query; evaluate over the full document.
+  // The thread-local kernel keeps the full-size DP tables allocated across
+  // fallbacks (they are by far the largest per-query buffers).
+  static thread_local EvalScratch fallback_scratch;
+  answer.outputs = Eval(query, *doc_, &fallback_scratch);
   return answer;
 }
 
@@ -238,7 +303,11 @@ std::vector<PlannedAnswer> ViewCache::ExecutePlan(
                                             ContainmentOracle* oracle) {
     RewriteOptions options = options_;
     options.oracle = oracle;
-    std::deque<CandidateBundle> bundles;  // Stable addresses for `pairs`.
+    // Recycled per-worker bundle storage (stable addresses for `pairs`):
+    // the pool outlives the chunk on its worker thread, so every chunk
+    // after the first rebuilds its bundles into warm buffers.
+    static thread_local BundlePool bundle_pool;
+    bundle_pool.Rewind();
     std::vector<const CandidateBundle*> bundle_of(
         static_cast<size_t>(end - begin), nullptr);
     std::vector<int> first_admissible(static_cast<size_t>(end - begin), -1);
@@ -249,21 +318,83 @@ std::vector<PlannedAnswer> ViewCache::ExecutePlan(
       const int vi = index_.FirstAdmissible(*item.summary);
       first_admissible[static_cast<size_t>(ii - begin)] = vi;
       if (vi < 0) continue;
-      bundles.push_back(MakeCandidateBundle(
+      const CandidateBundle& bundle = bundle_pool.Build(
           *item.pattern, views_[static_cast<size_t>(vi)].definition().pattern,
-          index_.view_summary(vi).depth));
-      bundle_of[static_cast<size_t>(ii - begin)] = &bundles.back();
-      AppendBundlePairs(bundles.back(), *item.pattern, &pairs);
+          index_.view_summary(vi).depth);
+      bundle_of[static_cast<size_t>(ii - begin)] = &bundle;
+      AppendBundlePairs(bundle, *item.pattern, &pairs);
     }
     oracle->ContainedMany(pairs);
+    // Rewrite decisions first, answer production batched afterwards: the
+    // chunk's hits are grouped per view so each view runs ONE anchored DP
+    // for all its rewritings (`ApplyMany`), and the misses share packed
+    // full-document evaluations (`MultiEvaluator`) instead of one DP pass
+    // per query. Per item the produced answer — and the stats delta, which
+    // `FindRewrite` fills during the decision — is identical to a
+    // sequential `ScanViews`.
+    std::vector<std::pair<int, int>> hits;  // (view slot, item index).
+    std::vector<int> misses;
     for (int ii = begin; ii < end; ++ii) {
       const PlannedQuery& item = queries[static_cast<size_t>(ii)];
       PlannedAnswer& out = answers[static_cast<size_t>(ii)];
       out.delta.queries = 1;
-      out.answer = ScanViews(
-          *item.pattern, *item.summary,
-          first_admissible[static_cast<size_t>(ii - begin)],
-          bundle_of[static_cast<size_t>(ii - begin)], options, &out.delta);
+      int vi = -1;
+      if (FindRewrite(*item.pattern, *item.summary,
+                      first_admissible[static_cast<size_t>(ii - begin)],
+                      bundle_of[static_cast<size_t>(ii - begin)], options,
+                      &out.delta, &vi, &out.answer.rewriting)) {
+        out.answer.hit = true;
+        out.answer.view_name =
+            views_[static_cast<size_t>(vi)].definition().name;
+        hits.emplace_back(vi, ii);
+      } else {
+        misses.push_back(ii);
+      }
+    }
+    std::sort(hits.begin(), hits.end());  // Group by view, items in order.
+    std::vector<const Pattern*> group;
+    std::vector<int> group_items;
+    for (size_t h = 0; h < hits.size();) {
+      const int vi = hits[h].first;
+      group.clear();
+      group_items.clear();
+      while (h < hits.size() && hits[h].first == vi) {
+        group_items.push_back(hits[h].second);
+        group.push_back(
+            &answers[static_cast<size_t>(hits[h].second)].answer.rewriting);
+        ++h;
+      }
+      std::vector<std::vector<NodeId>> outs =
+          views_[static_cast<size_t>(vi)].ApplyMany(group);
+      for (size_t k = 0; k < group_items.size(); ++k) {
+        answers[static_cast<size_t>(group_items[k])].answer.outputs =
+            std::move(outs[k]);
+      }
+    }
+    if (!misses.empty()) {
+      // Full-document fallbacks, packed in bounded-width groups (plan
+      // entries are nonempty by construction). The thread-local kernel
+      // keeps the full-size DP tables allocated across chunks.
+      static thread_local EvalScratch fallback_scratch;
+      for (size_t m = 0; m < misses.size();) {
+        group.clear();
+        group_items.clear();
+        int bits = 0;
+        while (m < misses.size()) {
+          const Pattern* p =
+              queries[static_cast<size_t>(misses[m])].pattern;
+          if (!group.empty() && bits + p->size() > kMaxPackedBits) break;
+          bits += p->size();
+          group.push_back(p);
+          group_items.push_back(misses[m]);
+          ++m;
+        }
+        MultiEvaluator evaluator(group, *doc_, &fallback_scratch);
+        for (size_t k = 0; k < group_items.size(); ++k) {
+          answers[static_cast<size_t>(group_items[k])].answer.outputs =
+              evaluator.Outputs(k);
+        }
+      }
     }
   };
 

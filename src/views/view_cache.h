@@ -59,6 +59,16 @@ class MaterializedView {
   /// Proposition 2.4 this equals (r ∘ V)(doc).
   std::vector<NodeId> Apply(const Pattern& r) const;
 
+  /// `Apply` for several rewritings at once, sharing the anchored
+  /// embedding DP over the stored subtrees: the group is packed into one
+  /// bit space (`MultiEvaluator`), so n small rewritings cost roughly one
+  /// DP pass plus n cheap selection sweeps instead of n passes. Result i
+  /// equals `Apply(*rs[i])` exactly (empty rewritings yield empty
+  /// results). The batched-answering path groups a cold batch's hits per
+  /// view through this.
+  std::vector<std::vector<NodeId>> ApplyMany(
+      const std::vector<const Pattern*>& rs) const;
+
  private:
   ViewDefinition definition_;
   const Tree* doc_ = nullptr;
@@ -262,10 +272,23 @@ class ViewCache {
   const ViewIndex& index() const { return index_; }
 
  private:
-  /// Scans the admissible views for `query` (summarized as `summary`) in
-  /// registration order; `prebuilt` optionally supplies the candidate
-  /// bundle for view `prebuilt_vi`. Thread-safe: everything mutable is
+  /// The rewrite-decision half of a view scan: probes the admissible views
+  /// for `query` (summarized as `summary`) in registration order;
+  /// `prebuilt` optionally supplies the candidate bundle for view
+  /// `prebuilt_vi`. On the first view admitting an equivalent rewriting,
+  /// stores its slot in `*vi_out`, the rewriting in `*rewriting_out`,
+  /// counts the hit, and returns true; otherwise returns false (the caller
+  /// owns the fallback evaluation). Thread-safe: everything mutable is
   /// reached through `options`/`stats`.
+  bool FindRewrite(const Pattern& query, const SelectionSummary& summary,
+                   int prebuilt_vi, const CandidateBundle* prebuilt,
+                   const RewriteOptions& options, CacheStats* stats,
+                   int* vi_out, Pattern* rewriting_out) const;
+
+  /// `FindRewrite` plus the answer production: applies the rewriting on a
+  /// hit, evaluates the query over the full document on a miss. The
+  /// sequential serving path; the batched pipeline calls `FindRewrite`
+  /// directly and batches the applies/fallbacks per document instead.
   CacheAnswer ScanViews(const Pattern& query, const SelectionSummary& summary,
                         int prebuilt_vi, const CandidateBundle* prebuilt,
                         const RewriteOptions& options,

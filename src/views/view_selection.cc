@@ -1,6 +1,5 @@
 #include "views/view_selection.h"
 
-#include <deque>
 #include <map>
 #include <set>
 #include <utility>
@@ -45,7 +44,7 @@ std::vector<CandidateView> EnumerateCandidateViews(
 
   std::vector<CandidateView> candidates;
   candidates.reserve(prefixes.size());
-  std::deque<CandidateBundle> bundles;
+  BundlePool bundle_pool;  // Bundle storage recycled across view prefixes.
   std::vector<const CandidateBundle*> bundle_of(workload.size());
   std::vector<std::pair<const Pattern*, const Pattern*>> pairs;
   for (auto& [key, view] : prefixes) {
@@ -57,7 +56,7 @@ std::vector<CandidateView> EnumerateCandidateViews(
     // its forward containment pairs warm the oracle through ContainedMany
     // in one batch, and the same bundle then feeds DecideRewrite below
     // (reverse directions stay lazy).
-    bundles.clear();
+    bundle_pool.Rewind();
     bundle_of.assign(workload.size(), nullptr);
     pairs.clear();
     pairs.reserve(2 * workload.size());
@@ -67,10 +66,10 @@ std::vector<CandidateView> EnumerateCandidateViews(
       if (!AdmissibleBySummaries(query_summaries[qi], view_summary)) {
         continue;  // The engine would certify kNotExists from Prop 3.1.
       }
-      bundles.push_back(
-          MakeCandidateBundle(query.pattern, view, candidate.depth));
-      bundle_of[qi] = &bundles.back();
-      AppendBundlePairs(bundles.back(), query.pattern, &pairs);
+      const CandidateBundle& bundle =
+          bundle_pool.Build(query.pattern, view, candidate.depth);
+      bundle_of[qi] = &bundle;
+      AppendBundlePairs(bundle, query.pattern, &pairs);
     }
     oracle->ContainedMany(pairs);
 

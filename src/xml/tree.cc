@@ -17,7 +17,9 @@ NodeId Tree::AddChild(NodeId parent, LabelId label) {
   NodeId id = static_cast<NodeId>(labels_.size());
   labels_.push_back(label);
   parents_.push_back(parent);
-  children_.emplace_back();
+  // Reuse a spare child list left behind by TruncateTo (it is empty but
+  // keeps its heap buffer); only grow when none is banked.
+  if (children_.size() < labels_.size()) children_.emplace_back();
   children_[static_cast<size_t>(parent)].push_back(id);
   return id;
 }
@@ -34,7 +36,14 @@ void Tree::TruncateTo(int new_size) {
   }
   labels_.resize(static_cast<size_t>(new_size));
   parents_.resize(static_cast<size_t>(new_size));
-  children_.resize(static_cast<size_t>(new_size));
+  // The removed nodes' child lists are banked, not destroyed: `clear()`
+  // keeps each vector's buffer, and `AddChild` re-adopts the slots in
+  // order. The canonical-model odometer truncates and regrows one tree
+  // buffer thousands of times per containment call — without the bank,
+  // every regrown node would re-malloc its (tiny) child list.
+  for (size_t i = static_cast<size_t>(new_size); i < children_.size(); ++i) {
+    children_[i].clear();
+  }
 }
 
 int Tree::Depth(NodeId n) const {

@@ -145,5 +145,72 @@ TEST(AnswerCacheTest, ClearDropsEntriesAndCounters) {
   EXPECT_EQ(cache.stats().misses, 1u);  // The post-Clear probe.
 }
 
+TEST(AnswerCacheTest, DoorkeeperOffAdmitsFirstSeenKeysUnderPressure) {
+  // Default construction: no doorkeeper, inserts under pressure evict
+  // immediately (the pre-admission behavior, pinned).
+  AnswerCache cache(4);
+  for (uint64_t fp = 0; fp < 4; ++fp) {
+    cache.Insert({1, 1, fp}, MakeEntry(static_cast<NodeId>(fp), 0));
+  }
+  cache.Insert({1, 1, 100}, MakeEntry(100, 0));
+  EXPECT_NE(cache.Lookup({1, 1, 100}), nullptr);
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 0u);
+  EXPECT_FALSE(cache.doorkeeper_enabled());
+}
+
+TEST(AnswerCacheTest, DoorkeeperRejectsFirstPresentationAdmitsSecond) {
+  AnswerCache cache(4, /*doorkeeper=*/true);
+  EXPECT_TRUE(cache.doorkeeper_enabled());
+  for (uint64_t fp = 0; fp < 4; ++fp) {
+    cache.Insert({1, 1, fp}, MakeEntry(static_cast<NodeId>(fp), 0));
+  }
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 0u);  // Below capacity: free.
+  // First presentation of a new key at capacity: turned away, nothing
+  // evicted, the resident set untouched.
+  cache.Insert({1, 1, 100}, MakeEntry(100, 0));
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.Lookup({1, 1, 100}), nullptr);
+  EXPECT_EQ(cache.size(), 4u);
+  // Second presentation: the key proved it recurs — admitted, and now
+  // eviction may make room.
+  cache.Insert({1, 1, 100}, MakeEntry(100, 0));
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 1u);
+  EXPECT_NE(cache.Lookup({1, 1, 100}), nullptr);
+  EXPECT_LE(cache.size(), 4u);
+}
+
+TEST(AnswerCacheTest, DoorkeeperShieldsHotEntriesFromOneOffScan) {
+  // The motivating workload: a resident hot set plus a scan of
+  // singletons. Every singleton is rejected once and never returns, so
+  // the hot set survives the entire scan untouched.
+  AnswerCache cache(4, /*doorkeeper=*/true);
+  for (uint64_t fp = 0; fp < 4; ++fp) {
+    cache.Insert({1, 1, fp}, MakeEntry(static_cast<NodeId>(fp), 0));
+    ASSERT_NE(cache.Lookup({1, 1, fp}), nullptr);  // Mark hot.
+  }
+  for (uint64_t fp = 1000; fp < 1100; ++fp) {
+    cache.Insert({1, 1, fp}, MakeEntry(7, 0));
+  }
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 100u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  for (uint64_t fp = 0; fp < 4; ++fp) {
+    EXPECT_NE(cache.Lookup({1, 1, fp}), nullptr) << fp;
+  }
+}
+
+TEST(AnswerCacheTest, ClearResetsTheDoorkeeper) {
+  AnswerCache cache(2, /*doorkeeper=*/true);
+  cache.Insert({1, 1, 1}, MakeEntry(1, 0));
+  cache.Insert({1, 1, 2}, MakeEntry(2, 0));
+  cache.Insert({1, 1, 3}, MakeEntry(3, 0));  // Rejected (remembered).
+  ASSERT_EQ(cache.stats().doorkeeper_rejects, 1u);
+  cache.Clear();
+  EXPECT_EQ(cache.stats().doorkeeper_rejects, 0u);
+  // Post-Clear the table is empty, so the same key inserts pressure-free.
+  cache.Insert({1, 1, 3}, MakeEntry(3, 0));
+  EXPECT_NE(cache.Lookup({1, 1, 3}), nullptr);
+}
+
 }  // namespace
 }  // namespace xpv

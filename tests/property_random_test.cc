@@ -262,6 +262,116 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EnginePropertyTest,
                          ::testing::Values(5u, 15u, 25u, 35u));
 
 // ---------------------------------------------------------------------------
+// Packed multi-pattern evaluation: one shared DP pass must be
+// indistinguishable from evaluating every pattern on its own.
+// ---------------------------------------------------------------------------
+
+using MultiEvalPropertyTest = SeededTest;
+
+TEST_P(MultiEvalPropertyTest, PackedEvaluationMatchesPerPatternEvaluation) {
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 3;
+  TreeGenOptions topts;
+  topts.max_nodes = 60;
+  topts.alphabet_size = 3;
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Pattern> group;
+    const int n = rng.IntIn(2, 6);
+    for (int i = 0; i < n; ++i) group.push_back(RandomPattern(rng, popts));
+    // Seed the document with matches of one group member so the packed
+    // tables are exercised on nonempty results, not only misses.
+    Tree t = DocumentWithMatches(
+        rng, group[static_cast<size_t>(rng.IntIn(0, n - 1))], topts, 2);
+    std::vector<const Pattern*> ptrs;
+    for (const Pattern& p : group) ptrs.push_back(&p);
+    MultiEvaluator multi(ptrs, t);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(multi.Outputs(static_cast<size_t>(i)),
+                Eval(group[static_cast<size_t>(i)], t))
+          << "i=" << i << " P=" << ToXPath(group[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST_P(MultiEvalPropertyTest, PackedAnchoredEvaluationMatchesSingle) {
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 3;
+  TreeGenOptions topts;
+  topts.max_nodes = 60;
+  topts.alphabet_size = 3;
+
+  for (int round = 0; round < 10; ++round) {
+    std::vector<Pattern> group;
+    const int n = rng.IntIn(2, 5);
+    for (int i = 0; i < n; ++i) group.push_back(RandomPattern(rng, popts));
+    Tree t = DocumentWithMatches(
+        rng, group[static_cast<size_t>(rng.IntIn(0, n - 1))], topts, 2);
+    // A handful of random anchors (duplicates and nestings welcome — the
+    // anchored walk must deduplicate them).
+    std::vector<NodeId> anchors;
+    const int na = rng.IntIn(1, 5);
+    for (int a = 0; a < na; ++a) {
+      anchors.push_back(static_cast<NodeId>(rng.Below(
+          static_cast<uint64_t>(t.size()))));
+    }
+    std::vector<const Pattern*> ptrs;
+    for (const Pattern& p : group) ptrs.push_back(&p);
+    MultiEvaluator multi(ptrs, t, anchors);
+    for (int i = 0; i < n; ++i) {
+      const Pattern& p = group[static_cast<size_t>(i)];
+      Evaluator single(p, t, anchors);
+      EXPECT_EQ(multi.OutputsAnchoredAtAll(static_cast<size_t>(i), anchors),
+                single.OutputsAnchoredAtAll(anchors))
+          << "i=" << i << " P=" << ToXPath(p);
+    }
+  }
+}
+
+TEST_P(MultiEvalPropertyTest, UnionSweepMatchesPerAnchorUnion) {
+  Rng rng(GetParam());
+  PatternGenOptions popts;
+  popts.max_depth = 3;
+  popts.max_branches = 2;
+  popts.alphabet_size = 3;
+  TreeGenOptions topts;
+  topts.max_nodes = 60;
+  topts.alphabet_size = 3;
+
+  for (int round = 0; round < 10; ++round) {
+    Pattern p = RandomPattern(rng, popts);
+    Tree t = DocumentWithMatches(rng, p, topts, 2);
+    std::vector<NodeId> anchors;
+    const int na = rng.IntIn(1, 6);
+    for (int a = 0; a < na; ++a) {
+      anchors.push_back(static_cast<NodeId>(rng.Below(
+          static_cast<uint64_t>(t.size()))));
+    }
+    Evaluator ev(p, t, anchors);
+    // The multi-anchor sweep must equal the sorted, deduplicated union of
+    // the per-anchor sweeps.
+    std::vector<NodeId> expected;
+    for (NodeId a : anchors) {
+      std::vector<NodeId> one = ev.OutputsAnchoredAt(a);
+      expected.insert(expected.end(), one.begin(), one.end());
+    }
+    std::sort(expected.begin(), expected.end());
+    expected.erase(std::unique(expected.begin(), expected.end()),
+                   expected.end());
+    EXPECT_EQ(ev.OutputsAnchoredAtAll(anchors), expected) << ToXPath(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiEvalPropertyTest,
+                         ::testing::Values(7u, 17u, 27u, 37u));
+
+// ---------------------------------------------------------------------------
 // Algebraic identities on random patterns.
 // ---------------------------------------------------------------------------
 

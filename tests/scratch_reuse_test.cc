@@ -1,0 +1,198 @@
+// The buffer-banking contracts behind the zero-malloc cold path: Tree
+// truncation that keeps child-list buffers, Pattern reset-in-place, the
+// in-place algebra (`*Into`) matching the value-returning originals on
+// random inputs, and BundlePool rebuilds matching fresh bundles.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "pattern/algebra.h"
+#include "pattern/pattern.h"
+#include "pattern/properties.h"
+#include "pattern/serializer.h"
+#include "pattern/xpath_parser.h"
+#include "rewrite/candidates.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "xml/tree.h"
+
+namespace xpv {
+namespace {
+
+Pattern MustParse(const std::string& xpath) {
+  auto result = ParseXPath(xpath);
+  EXPECT_TRUE(result.ok()) << xpath;
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------ tree bank
+
+TEST(ScratchReuseTest, TreeTruncateThenRegrowIsEquivalentToFresh) {
+  // The canonical-model odometer pattern: grow, truncate to a prefix,
+  // grow differently — the result must be indistinguishable from a tree
+  // built fresh, even though the child-list buffers are recycled.
+  Tree reused(1);
+  NodeId a = reused.AddChild(reused.root(), 2);
+  reused.AddChild(a, 3);
+  reused.AddChild(a, 4);
+  reused.AddChild(reused.root(), 5);
+
+  reused.TruncateTo(2);  // Keep root and `a` only.
+  NodeId x = reused.AddChild(a, 7);
+  reused.AddChild(x, 8);
+
+  Tree fresh(1);
+  NodeId fa = fresh.AddChild(fresh.root(), 2);
+  NodeId fx = fresh.AddChild(fa, 7);
+  fresh.AddChild(fx, 8);
+
+  ASSERT_EQ(reused.size(), fresh.size());
+  for (NodeId n = 0; n < reused.size(); ++n) {
+    EXPECT_EQ(reused.label(n), fresh.label(n)) << n;
+    EXPECT_EQ(reused.children(n), fresh.children(n)) << n;
+  }
+}
+
+TEST(ScratchReuseTest, TreeTruncateSweepKeepsEveryPrefixConsistent) {
+  // Odometer sweep: repeatedly truncate to every prefix length and
+  // regrow a chain; stale banked children must never resurface.
+  Tree t(1);
+  NodeId tip = t.root();
+  for (int i = 0; i < 6; ++i) tip = t.AddChild(tip, 2);
+  for (int keep = t.size(); keep >= 1; --keep) {
+    t.TruncateTo(keep);
+    ASSERT_EQ(t.size(), keep);
+    for (NodeId n = 0; n < t.size(); ++n) {
+      for (NodeId c : t.children(n)) {
+        ASSERT_LT(c, t.size()) << "banked child leaked after truncate";
+      }
+    }
+    // Regrow one node and re-truncate: the bank absorbs and re-issues.
+    t.AddChild(static_cast<NodeId>(keep - 1), 9);
+    ASSERT_EQ(t.label(static_cast<NodeId>(keep)), 9);
+    t.TruncateTo(keep);
+  }
+}
+
+// --------------------------------------------------------- pattern bank
+
+TEST(ScratchReuseTest, PatternResetToRootReusesStorage) {
+  Pattern p = MustParse("a/b[c]//d");
+  p.ResetToRoot(42);
+  EXPECT_EQ(p.size(), 1);
+  EXPECT_EQ(p.label(p.root()), 42);
+  EXPECT_TRUE(p.children(p.root()).empty());
+  // Regrow into the banked buffers; the result is a normal pattern.
+  NodeId b = p.AddChild(p.root(), 7, EdgeType::kChild);
+  p.AddChild(b, 8, EdgeType::kDescendant);
+  EXPECT_EQ(p.size(), 3);
+  Pattern fresh(42);
+  NodeId fb = fresh.AddChild(fresh.root(), 7, EdgeType::kChild);
+  fresh.AddChild(fb, 8, EdgeType::kDescendant);
+  EXPECT_EQ(p.CanonicalEncoding(), fresh.CanonicalEncoding());
+}
+
+// ------------------------------------------------------- algebra *Into
+
+TEST(ScratchReuseTest, IntoVariantsMatchValueVariantsOnRandomPatterns) {
+  Rng rng(20260813);
+  PatternGenOptions options;
+  options.max_depth = 4;
+  options.max_branches = 3;
+  options.descendant_prob = 0.5;
+  options.wildcard_prob = 0.3;
+  // One set of recycled outputs across every iteration — the point is
+  // that reuse across differently-shaped inputs leaves no residue.
+  Pattern sub_out = Pattern::Empty();
+  Pattern relaxed_out = Pattern::Empty();
+  Pattern compose_out = Pattern::Empty();
+  std::vector<NodeId> map;
+  for (int i = 0; i < 60; ++i) {
+    Pattern p = RandomPattern(rng, options);
+    Pattern v = RandomPattern(rng, options);
+    const int depth = SelectionInfo(p).depth();
+    for (int k = 0; k <= depth; ++k) {
+      SubPatternInto(p, k, &sub_out, &map);
+      EXPECT_EQ(sub_out.CanonicalEncoding(),
+                SubPattern(p, k).CanonicalEncoding())
+          << ToXPath(p) << " k=" << k;
+    }
+    RelaxRootEdgesInto(p, &relaxed_out, &map);
+    EXPECT_EQ(relaxed_out.CanonicalEncoding(),
+              RelaxRootEdges(p).CanonicalEncoding())
+        << ToXPath(p);
+    ComposeInto(p, v, &compose_out, &map);
+    EXPECT_EQ(compose_out.CanonicalEncoding(),
+              Compose(p, v).CanonicalEncoding())
+        << ToXPath(p) << " o " << ToXPath(v);
+  }
+}
+
+TEST(ScratchReuseTest, ComposeIntoHandlesFailureThenSuccessInOneBuffer) {
+  // A failed composition (label glb mismatch) resets the output; the
+  // same buffer must then hold a subsequent successful composition.
+  Pattern out = Pattern::Empty();
+  std::vector<NodeId> map;
+  Pattern a = MustParse("a/b");
+  Pattern c = MustParse("c");
+  ComposeInto(a, c, &out, &map);  // a vs c at the seam: no composition.
+  EXPECT_TRUE(out.IsEmpty());
+  Pattern v = MustParse("a");
+  ComposeInto(a, v, &out, &map);
+  EXPECT_EQ(out.CanonicalEncoding(), Compose(a, v).CanonicalEncoding());
+}
+
+// ---------------------------------------------------------- bundle pool
+
+TEST(ScratchReuseTest, BundlePoolRebuildsMatchFreshBundles) {
+  Rng rng(20260814);
+  PatternGenOptions options;
+  options.max_depth = 4;
+  options.max_branches = 3;
+  options.descendant_prob = 0.5;
+  BundlePool pool;
+  for (int round = 0; round < 10; ++round) {
+    pool.Rewind();
+    std::vector<const CandidateBundle*> built;
+    std::vector<Pattern> queries;
+    std::vector<Pattern> views;
+    for (int i = 0; i < 8; ++i) {
+      queries.push_back(RandomPattern(rng, options));
+      views.push_back(RandomPattern(rng, options));
+    }
+    for (int i = 0; i < 8; ++i) {
+      const int depth = SelectionInfo(views[static_cast<size_t>(i)]).depth();
+      const int k = std::min(depth,
+                             SelectionInfo(queries[static_cast<size_t>(i)]).depth());
+      built.push_back(&pool.Build(queries[static_cast<size_t>(i)],
+                                  views[static_cast<size_t>(i)], k));
+    }
+    // Addresses stay stable until Rewind, and every recycled bundle
+    // matches a from-scratch build of the same pair.
+    for (int i = 0; i < 8; ++i) {
+      const int depth = SelectionInfo(views[static_cast<size_t>(i)]).depth();
+      const int k = std::min(depth,
+                             SelectionInfo(queries[static_cast<size_t>(i)]).depth());
+      CandidateBundle fresh = MakeCandidateBundle(
+          queries[static_cast<size_t>(i)], views[static_cast<size_t>(i)], k);
+      const CandidateBundle& reused = *built[static_cast<size_t>(i)];
+      EXPECT_EQ(reused.natural.sub.CanonicalEncoding(),
+                fresh.natural.sub.CanonicalEncoding());
+      EXPECT_EQ(reused.natural.coincide, fresh.natural.coincide);
+      EXPECT_EQ(reused.sub_composition.CanonicalEncoding(),
+                fresh.sub_composition.CanonicalEncoding());
+      if (!fresh.natural.coincide) {
+        EXPECT_EQ(reused.natural.relaxed.CanonicalEncoding(),
+                  fresh.natural.relaxed.CanonicalEncoding());
+        EXPECT_EQ(reused.relaxed_composition.CanonicalEncoding(),
+                  fresh.relaxed_composition.CanonicalEncoding());
+      }
+    }
+  }
+  EXPECT_LE(pool.capacity(), 8u);  // Rewind recycled; no growth per round.
+}
+
+}  // namespace
+}  // namespace xpv

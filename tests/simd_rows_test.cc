@@ -1,0 +1,196 @@
+// Pins the wide (SIMD) bit-row operations bit-identical to the scalar
+// reference implementations. The scalar `*Scalar` functions are compiled
+// in BOTH build modes (`XPV_SIMD=avx2` and `off`), so this suite is the
+// property check that the AVX2 lanes + scalar tails compute exactly the
+// same words — on every word count around the 4-word lane boundary, on
+// unaligned offsets, and on adversarial bit patterns.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "containment/bitmatrix.h"
+#include "util/rng.h"
+
+namespace xpv {
+namespace {
+
+std::vector<BitWord> RandomRow(Rng& rng, int words) {
+  std::vector<BitWord> row(static_cast<size_t>(words));
+  for (BitWord& w : row) {
+    // Mix dense, sparse, and structured words so carries of the subset
+    // test and the tail masks all get exercised.
+    switch (rng.Below(4)) {
+      case 0:
+        w = rng.Next();
+        break;
+      case 1:
+        w = rng.Next() & rng.Next() & rng.Next();  // Sparse.
+        break;
+      case 2:
+        w = rng.Next() | rng.Next() | rng.Next();  // Dense.
+        break;
+      default:
+        w = (rng.Below(2) != 0) ? ~BitWord{0} : BitWord{0};
+        break;
+    }
+  }
+  return row;
+}
+
+// Word counts straddling the AVX2 lane width (4 words): below-lane rows
+// (the public names dispatch those straight to the scalar loop),
+// exact-lane rows, and lane+tail rows.
+const int kWordCounts[] = {1, 2, 3, 4, 5, 7, 8, 9, 12, 13, 16, 31};
+
+TEST(SimdRowsTest, OrRowMatchesScalar) {
+  Rng rng(20260807);
+  for (int words : kWordCounts) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<BitWord> src = RandomRow(rng, words);
+      std::vector<BitWord> wide = RandomRow(rng, words);
+      std::vector<BitWord> scalar = wide;
+      OrRow(wide.data(), src.data(), words);
+      OrRowScalar(scalar.data(), src.data(), words);
+      EXPECT_EQ(wide, scalar) << "words=" << words;
+    }
+  }
+}
+
+TEST(SimdRowsTest, AndRowMatchesScalar) {
+  Rng rng(20260808);
+  for (int words : kWordCounts) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<BitWord> src = RandomRow(rng, words);
+      std::vector<BitWord> wide = RandomRow(rng, words);
+      std::vector<BitWord> scalar = wide;
+      AndRow(wide.data(), src.data(), words);
+      AndRowScalar(scalar.data(), src.data(), words);
+      EXPECT_EQ(wide, scalar) << "words=" << words;
+    }
+  }
+}
+
+TEST(SimdRowsTest, OrRowsIntoMatchesScalar) {
+  Rng rng(20260809);
+  for (int words : kWordCounts) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<BitWord> a = RandomRow(rng, words);
+      std::vector<BitWord> b = RandomRow(rng, words);
+      std::vector<BitWord> wide(static_cast<size_t>(words), 0xDEAD);
+      std::vector<BitWord> scalar(static_cast<size_t>(words), 0xBEEF);
+      OrRowsInto(wide.data(), a.data(), b.data(), words);
+      OrRowsIntoScalar(scalar.data(), a.data(), b.data(), words);
+      EXPECT_EQ(wide, scalar) << "words=" << words;
+    }
+  }
+}
+
+TEST(SimdRowsTest, ContainsAllBitsMatchesScalar) {
+  Rng rng(20260810);
+  for (int words : kWordCounts) {
+    for (int iter = 0; iter < 120; ++iter) {
+      std::vector<BitWord> row = RandomRow(rng, words);
+      std::vector<BitWord> required = RandomRow(rng, words);
+      // Bias half the iterations toward true subsets (the interesting
+      // direction): required ⊆ row by construction.
+      if (iter % 2 == 0) {
+        for (int w = 0; w < words; ++w) {
+          required[static_cast<size_t>(w)] &= row[static_cast<size_t>(w)];
+        }
+      }
+      EXPECT_EQ(ContainsAllBits(row.data(), required.data(), words),
+                ContainsAllBitsScalar(row.data(), required.data(), words))
+          << "words=" << words;
+    }
+  }
+}
+
+TEST(SimdRowsTest, ContainsAllBitsCatchesSingleMissingBit) {
+  // The sharpest failure mode of a bad tail mask: one required bit set in
+  // the very last word (or any single word) that the row lacks.
+  for (int words : kWordCounts) {
+    std::vector<BitWord> row(static_cast<size_t>(words), ~BitWord{0});
+    std::vector<BitWord> required(static_cast<size_t>(words), ~BitWord{0});
+    for (int w = 0; w < words; ++w) {
+      for (int bit : {0, 17, 63}) {
+        row[static_cast<size_t>(w)] &= ~(BitWord{1} << bit);
+        EXPECT_FALSE(ContainsAllBits(row.data(), required.data(), words))
+            << "words=" << words << " w=" << w << " bit=" << bit;
+        EXPECT_EQ(ContainsAllBits(row.data(), required.data(), words),
+                  ContainsAllBitsScalar(row.data(), required.data(), words));
+        row[static_cast<size_t>(w)] |= BitWord{1} << bit;
+      }
+    }
+    EXPECT_TRUE(ContainsAllBits(row.data(), required.data(), words));
+  }
+}
+
+TEST(SimdRowsTest, AnyBitMatchesScalar) {
+  Rng rng(20260811);
+  for (int words : kWordCounts) {
+    // All-zero rows: the false case on every word count.
+    std::vector<BitWord> zero(static_cast<size_t>(words), 0);
+    EXPECT_FALSE(AnyBit(zero.data(), words)) << "words=" << words;
+    EXPECT_EQ(AnyBit(zero.data(), words), AnyBitScalar(zero.data(), words));
+    // One bit anywhere: true, found regardless of which lane holds it.
+    for (int w = 0; w < words; ++w) {
+      for (int bit : {0, 31, 63}) {
+        std::vector<BitWord> one(static_cast<size_t>(words), 0);
+        one[static_cast<size_t>(w)] = BitWord{1} << bit;
+        EXPECT_TRUE(AnyBit(one.data(), words))
+            << "words=" << words << " w=" << w << " bit=" << bit;
+      }
+    }
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<BitWord> row = RandomRow(rng, words);
+      EXPECT_EQ(AnyBit(row.data(), words), AnyBitScalar(row.data(), words))
+          << "words=" << words;
+    }
+  }
+}
+
+TEST(SimdRowsTest, BitMatrixLayoutContract) {
+  // The wide kernel uses unaligned loads and so never *requires* alignment,
+  // but the BitMatrix layout contract is pinned here: the backing buffer is
+  // 32-byte aligned, rows keep their natural word stride (padding each row
+  // to a whole lane bloated narrow DP matrices 4x for no kernel benefit),
+  // and whenever that stride is a whole number of lanes — e.g. the 256-bit
+  // packed evaluation groups — every row lands on a lane boundary.
+  for (int cols : {1, 63, 64, 65, 200, 256, 1000}) {
+    BitMatrix m;
+    m.Reset(7, cols);
+    EXPECT_EQ(m.words_per_row(), BitWordsFor(cols)) << "cols=" << cols;
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(m.row(0)) % kRowByteAlign, 0u)
+        << "cols=" << cols;
+    if (m.words_per_row() % kRowWordAlign == 0) {
+      for (int r = 0; r < 7; ++r) {
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(m.row(r)) % kRowByteAlign, 0u)
+            << "cols=" << cols << " row=" << r;
+      }
+    }
+  }
+}
+
+TEST(SimdRowsTest, UnalignedSourceRowsStillMatchScalar) {
+  // PatternMasks rows live in plain vectors at arbitrary alignment; the
+  // wide ops must accept them (loadu). Force misalignment by offsetting
+  // into an over-allocated buffer.
+  Rng rng(20260812);
+  for (int words : {3, 4, 5, 8, 9}) {
+    std::vector<BitWord> backing = RandomRow(rng, words + 1);
+    // `backing.data() + 1` is 8-byte aligned but (almost surely) not
+    // 32-byte aligned.
+    const BitWord* src = backing.data() + 1;
+    std::vector<BitWord> wide = RandomRow(rng, words);
+    std::vector<BitWord> scalar = wide;
+    OrRow(wide.data(), src, words);
+    OrRowScalar(scalar.data(), src, words);
+    EXPECT_EQ(wide, scalar) << "words=" << words;
+    EXPECT_EQ(ContainsAllBits(src, wide.data(), words),
+              ContainsAllBitsScalar(src, wide.data(), words));
+  }
+}
+
+}  // namespace
+}  // namespace xpv

@@ -1,0 +1,307 @@
+// Single-flight cache fills: the SingleFlight primitive itself, the
+// AnswerCache fill protocol built on it, the SynchronizedOracle
+// containment write-through, and the end-to-end Service guarantee that a
+// stampede of identical cold queries runs the expensive pipeline once.
+// The threaded tests here are part of the TSan CI leg.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "containment/oracle.h"
+#include "pattern/xpath_parser.h"
+#include "util/single_flight.h"
+#include "views/answer_cache.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Pattern MustParse(const std::string& xpath) {
+  auto result = ParseXPath(xpath);
+  EXPECT_TRUE(result.ok()) << xpath;
+  return std::move(result).value();
+}
+
+Tree Doc(const std::string& xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << xml;
+  return std::move(result).value();
+}
+
+// ------------------------------------------------------------ primitive
+
+TEST(SingleFlightTest, LeaderPublishesFollowerReceives) {
+  SingleFlight<int, int> flights;
+  auto lead = flights.Join(7);
+  ASSERT_FALSE(lead.immediate.has_value());
+  ASSERT_TRUE(lead.ticket.leader());
+  auto follow = flights.Join(7);
+  ASSERT_FALSE(follow.immediate.has_value());
+  ASSERT_FALSE(follow.ticket.leader());
+  flights.Publish(lead.ticket, 42);
+  std::optional<int> got = flights.Wait(follow.ticket);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42);
+  EXPECT_EQ(flights.leads(), 1u);
+  EXPECT_EQ(flights.joins(), 1u);
+  EXPECT_EQ(flights.pending(), 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysFlyIndependently) {
+  SingleFlight<int, int> flights;
+  auto a = flights.Join(1);
+  auto b = flights.Join(2);
+  EXPECT_TRUE(a.ticket.leader());
+  EXPECT_TRUE(b.ticket.leader());  // Different key: its own flight.
+  flights.Publish(a.ticket, 10);
+  flights.Publish(b.ticket, 20);
+  EXPECT_EQ(flights.leads(), 2u);
+  EXPECT_EQ(flights.joins(), 0u);
+}
+
+TEST(SingleFlightTest, ProbeShortCircuitsUnderTheRegistryLock) {
+  SingleFlight<int, int> flights;
+  auto jr = flights.Join(5, [] { return std::optional<int>(99); });
+  ASSERT_TRUE(jr.immediate.has_value());
+  EXPECT_EQ(*jr.immediate, 99);
+  EXPECT_FALSE(jr.ticket.valid());
+  EXPECT_EQ(flights.leads(), 0u);  // Never led: the probe answered.
+}
+
+TEST(SingleFlightTest, AbandonedLeaderWakesWaitersEmptyHanded) {
+  SingleFlight<int, int> flights;
+  SingleFlight<int, int>::JoinResult follow;
+  {
+    auto lead = flights.Join(3);
+    ASSERT_TRUE(lead.ticket.leader());
+    follow = flights.Join(3);
+    ASSERT_FALSE(follow.ticket.leader());
+    // `lead.ticket` goes out of scope unpublished: exception-unwind path.
+  }
+  std::optional<int> got = flights.Wait(follow.ticket);
+  EXPECT_FALSE(got.has_value());  // Compute for yourself.
+  EXPECT_EQ(flights.abandons(), 1u);
+  EXPECT_EQ(flights.pending(), 0u);
+  // The key is free again: the next Join leads a fresh flight.
+  auto retry = flights.Join(3);
+  EXPECT_TRUE(retry.ticket.leader());
+  flights.Publish(retry.ticket, 1);
+}
+
+TEST(SingleFlightTest, ThreadedStampedeComputesOnce) {
+  SingleFlight<int, int> flights;
+  std::atomic<int> computes{0};
+  std::atomic<int> sum{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto jr = flights.Join(1);
+      int value;
+      if (jr.immediate.has_value()) {
+        value = *jr.immediate;
+      } else if (jr.ticket.leader()) {
+        computes.fetch_add(1);
+        value = 1234;
+        flights.Publish(jr.ticket, value);
+      } else {
+        std::optional<int> got = flights.Wait(jr.ticket);
+        ASSERT_TRUE(got.has_value());
+        value = *got;
+      }
+      sum.fetch_add(value);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Without a backing store every generation of the key may elect one
+  // leader after the previous flight closed; with the threads racing one
+  // flight the common case is exactly one compute, but the guarantee is
+  // "every thread got the value some leader computed".
+  EXPECT_GE(computes.load(), 1);
+  EXPECT_EQ(sum.load(), kThreads * 1234);
+  EXPECT_EQ(flights.pending(), 0u);
+}
+
+// ------------------------------------------------------- answer cache
+
+AnswerCache::Entry MakeEntry(NodeId node) {
+  AnswerCache::Entry entry;
+  entry.answer.outputs = {node};
+  entry.delta.queries = 1;
+  return entry;
+}
+
+TEST(SingleFlightTest, AnswerCacheFillProtocol) {
+  AnswerCache cache(16);
+  const AnswerCache::Key key{1, 1, 77};
+  AnswerCache::Fill lead = cache.BeginFill(key);
+  ASSERT_FALSE(lead.hit());
+  ASSERT_TRUE(lead.leader());
+  AnswerCache::Fill follow = cache.BeginFill(key);
+  ASSERT_FALSE(follow.hit());
+  ASSERT_FALSE(follow.leader());
+  std::shared_ptr<const AnswerCache::Entry> published =
+      cache.Publish(lead, MakeEntry(5));
+  std::shared_ptr<const AnswerCache::Entry> received = follow.Wait();
+  ASSERT_NE(received, nullptr);
+  // Leader, waiter, and table share ONE entry allocation.
+  EXPECT_EQ(received, published);
+  EXPECT_EQ(cache.Lookup(key), published);
+  EXPECT_EQ(cache.fill_stats().leads, 1u);
+  EXPECT_EQ(cache.fill_stats().joins, 1u);
+  // A later BeginFill is a plain hit — no new flight.
+  AnswerCache::Fill again = cache.BeginFill(key);
+  EXPECT_TRUE(again.hit());
+  EXPECT_EQ(cache.fill_stats().leads, 1u);
+}
+
+TEST(SingleFlightTest, AnswerCacheAbandonedFillRecovers) {
+  AnswerCache cache(16);
+  const AnswerCache::Key key{1, 1, 88};
+  AnswerCache::Fill follow;
+  {
+    AnswerCache::Fill lead = cache.BeginFill(key);
+    ASSERT_TRUE(lead.leader());
+    follow = cache.BeginFill(key);
+    // Leader destroyed unpublished (exception unwind).
+  }
+  EXPECT_EQ(follow.Wait(), nullptr);  // Waiter must self-compute...
+  cache.Insert(key, MakeEntry(9));    // ...and insert normally.
+  ASSERT_NE(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.fill_stats().abandons, 1u);
+}
+
+TEST(SingleFlightTest, AnswerCacheStampedeInsertsOnce) {
+  AnswerCache cache(64);
+  const AnswerCache::Key key{1, 1, 123};
+  std::atomic<int> computes{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      AnswerCache::Fill fill = cache.BeginFill(key);
+      std::shared_ptr<const AnswerCache::Entry> entry;
+      if (fill.hit()) {
+        entry = fill.entry();
+      } else if (fill.leader()) {
+        computes.fetch_add(1);
+        entry = cache.Publish(fill, MakeEntry(3));
+      } else {
+        entry = fill.Wait();
+      }
+      ASSERT_NE(entry, nullptr);
+      EXPECT_EQ(entry->answer.outputs, std::vector<NodeId>{3});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // Here exactness holds: once the leader publishes, the entry is in the
+  // table BEFORE the flight closes, so late arrivals hit (in Lookup or in
+  // the registry-lock re-probe) instead of leading a second flight.
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.fill_stats().leads, 1u);
+}
+
+// ------------------------------------------------------------- oracle
+
+TEST(SingleFlightTest, OracleStampedeRunsTheDpOnce) {
+  // N shards attached to one SynchronizedOracle ask the same directional
+  // containment question concurrently. The write-through publish means at
+  // most one flight can EVER be led for the pair: later arrivals find the
+  // direction in the shared table (fallback probe or registry re-probe).
+  SynchronizedOracle shared;
+  Pattern p1 = MustParse("a/b/c");
+  Pattern p2 = MustParse("a//c");
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ContainmentOracle shard;
+      shared.AttachShard(&shard);
+      EXPECT_TRUE(shard.Contained(p1, p2));
+      shared.Absorb(shard);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(shared.single_flight_leads(), 1u);
+  EXPECT_EQ(shared.single_flight_abandons(), 0u);
+  // The direction is resident in the shared table (write-through).
+  EXPECT_GE(shared.size(), 1u);
+}
+
+// ------------------------------------------------------------ service
+
+TEST(SingleFlightTest, ServiceAnswerStampedeFillsOnce) {
+  Service service;
+  DocumentId doc =
+      service.AddDocument(Doc("<a><b><c/></b><b><d/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  const std::vector<NodeId> expected =
+      service.Answer(doc, "a/b/c").value().outputs;
+  // Fresh service per stampede round so the memo is cold.
+  Service cold;
+  DocumentId doc2 =
+      cold.AddDocument(Doc("<a><b><c/></b><b><d/></b></a>"));
+  ASSERT_TRUE(cold.AddView(doc2, "v", "a/b").ok());
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ServiceResult<Answer> answer = cold.Answer(doc2, "a/b/c");
+      ASSERT_TRUE(answer.ok());
+      EXPECT_EQ(answer.value().outputs, expected);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // One insert, one flight led; every other thread either joined the
+  // flight or hit the published entry.
+  EXPECT_EQ(cold.answer_cache().stats().insertions, 1u);
+  EXPECT_EQ(cold.answer_cache().fill_stats().leads, 1u);
+  EXPECT_EQ(cold.stats().answer_cache_entries, 1u);
+}
+
+TEST(SingleFlightTest, ServiceBatchStampedeSharesFills) {
+  // Two concurrent AnswerBatch calls over the same document and query
+  // set: the slices join each other's fills (compute-then-wait ordering
+  // makes this deadlock-free) and the memo ends with one entry per
+  // distinct query, each filled exactly once.
+  Service service;
+  DocumentId doc =
+      service.AddDocument(Doc("<a><b><c/></b><b><d/></b></a>"));
+  ASSERT_TRUE(service.AddView(doc, "v", "a/b").ok());
+  std::vector<BatchItem> items;
+  for (const char* q : {"a/b/c", "a/b/d", "a//c", "a/b/c"}) {
+    items.push_back(BatchItem{doc, Query(q)});
+  }
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, 1);
+      ASSERT_TRUE(batch.ok());
+      ASSERT_EQ(batch.value().answers.size(), items.size());
+      for (const auto& answer : batch.value().answers) {
+        ASSERT_TRUE(answer.ok());
+      }
+      // Duplicate items agree within one batch.
+      EXPECT_EQ(batch.value().answers[0].value().outputs,
+                batch.value().answers[3].value().outputs);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  // 3 distinct queries → exactly 3 fills led and 3 insertions, no matter
+  // how the four batches interleaved.
+  EXPECT_EQ(service.answer_cache().stats().insertions, 3u);
+  EXPECT_EQ(service.answer_cache().fill_stats().leads, 3u);
+  EXPECT_EQ(service.answer_cache().fill_stats().abandons, 0u);
+}
+
+}  // namespace
+}  // namespace xpv
