@@ -9,6 +9,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -202,6 +203,46 @@ BENCHMARK(BM_ServiceRepeatedBatch)
     ->ArgsProduct({{64, 256}, {0, 1}})
     ->ArgNames({"batch", "memo"})
     ->UseRealTime();
+
+/// The deadline tax: the SAME repeated memoized batch as
+/// BM_ServiceRepeatedBatch(memo=1) but every call carries a generous
+/// (never-expiring) deadline through CallOptions — so the combined
+/// cancel token exists and every cooperative poll point actually loads
+/// it. The tracked claim: within noise of the deadline-free path (the
+/// polls are amortized reads of one atomic).
+void BM_ServiceBatchWithDeadline(benchmark::State& state) {
+  const int batch_size = static_cast<int>(state.range(0));
+  constexpr int kDocs = 8;
+  Service service;
+  std::vector<DocumentId> docs;
+  for (int d = 0; d < kDocs; ++d) {
+    DocumentId id = service.AddDocument(CatalogueDoc(1024, 32));
+    for (const ViewDefinition& view : CatalogueViews()) {
+      if (!service.AddView(id, view.name, view.pattern).ok()) std::abort();
+    }
+    docs.push_back(id);
+  }
+  std::vector<Pattern> traffic = Traffic(batch_size);
+  std::vector<BatchItem> items;
+  items.reserve(traffic.size());
+  for (size_t i = 0; i < traffic.size(); ++i) {
+    items.push_back({docs[i % docs.size()], Query(std::move(traffic[i]))});
+  }
+
+  for (auto _ : state) {
+    CallOptions call;
+    call.num_workers = 1;
+    call.deadline =
+        std::chrono::steady_clock::now() + std::chrono::hours(1);
+    ServiceResult<BatchAnswers> batch = service.AnswerBatch(items, call);
+    if (!batch.ok()) std::abort();
+    benchmark::DoNotOptimize(batch.value().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(items.size()));
+  state.counters["docs"] = kDocs;
+}
+BENCHMARK(BM_ServiceBatchWithDeadline)->Arg(64)->Arg(256)->UseRealTime();
 
 /// The cold floor: every iteration answers the batch through a FRESH
 /// Service — empty containment oracle, answer memo disabled — so nothing

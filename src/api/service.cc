@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -14,6 +16,7 @@
 #include <utility>
 
 #include "pattern/xpath_parser.h"
+#include "util/fault.h"
 #include "util/thread_pool.h"
 #include "xml/xml_parser.h"
 
@@ -22,7 +25,24 @@ namespace {
 
 ServiceError MakeError(ServiceErrorCode code, std::string message,
                        int64_t offset = -1) {
-  return ServiceError{code, std::move(message), offset};
+  return ServiceError{code, std::move(message), offset, -1};
+}
+
+/// The structured error for an expired cancellation, from either the
+/// thrown form (mid-call) or the token itself (the pre-call fast path).
+/// Explicit cancellation wins over a deadline that also lapsed — the
+/// caller asked for the abort, the clock merely agreed.
+ServiceError CancelError(bool deadline_exceeded) {
+  return deadline_exceeded
+             ? MakeError(ServiceErrorCode::kDeadlineExceeded,
+                         "deadline exceeded before the item was answered")
+             : MakeError(ServiceErrorCode::kCancelled,
+                         "call cancelled before the item was answered");
+}
+
+ServiceError InternalError(const std::exception& e) {
+  return MakeError(ServiceErrorCode::kInternal,
+                   std::string("internal fault absorbed: ") + e.what());
 }
 
 ServiceError XPathError(std::string_view what, std::string_view input,
@@ -87,6 +107,14 @@ const char* ToString(ServiceErrorCode code) {
       return "empty_pattern";
     case ServiceErrorCode::kStaleHandle:
       return "stale_handle";
+    case ServiceErrorCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case ServiceErrorCode::kCancelled:
+      return "cancelled";
+    case ServiceErrorCode::kOverloaded:
+      return "overloaded";
+    case ServiceErrorCode::kInternal:
+      return "internal";
   }
   return "unknown";
 }
@@ -95,8 +123,13 @@ const char* ToString(ServiceErrorCode code) {
 /// cache and its materialized views capture) and the cache stay put while
 /// the slot table grows.
 struct Service::Shard {
-  Shard(Tree tree_in, const RewriteOptions& options, ContainmentOracle* oracle)
-      : tree(std::move(tree_in)), cache(tree, options, oracle) {}
+  Shard(Tree tree_in, const RewriteOptions& options, ContainmentOracle* oracle,
+        MemoryBudget* budget)
+      : tree(std::move(tree_in)), cache(tree, options, oracle) {
+    // Materialized-view result bytes count against the shared budget from
+    // the first AddView on.
+    cache.SetMemoryBudget(budget);
+  }
 
   Tree tree;
   ViewCache cache;
@@ -176,16 +209,21 @@ struct Service::State {
     // rewrite.oracle would dangle across documents, so it is cleared (the
     // per-call oracle is injected by the concurrent answer paths).
     options.rewrite.oracle = nullptr;
+    oracle.SetMemoryBudget(&budget);
   }
 
   ServiceOptions options;
   const uint32_t tag;
   SynchronizedOracle oracle;  // Shared across documents.
+  /// The shared byte budget (declared before `answers`, whose constructor
+  /// takes its address). Advisory: components charge their resident
+  /// bytes; `RelievePressure` reacts when the total crosses the limit.
+  MemoryBudget budget{options.memory_budget_bytes};
   /// The epoch-keyed answer memo shared across documents (its own
   /// shared_mutex; lock order: any stripe before the memo's lock — memo
   /// code never touches stripes).
   AnswerCache answers{options.answer_cache_capacity,
-                      options.answer_cache_doorkeeper};
+                      options.answer_cache_doorkeeper, &budget};
 
   std::mutex pool_mu;                 // Guards pool creation/growth.
   std::unique_ptr<ThreadPool> pool;   // Shared across documents.
@@ -198,6 +236,74 @@ struct Service::State {
   std::vector<int32_t> free_slots;
 
   std::atomic<uint64_t> failed_requests{0};
+
+  // ----- overload / robustness state (PR 7) -----
+  /// Serving calls currently executing (admission control compares this
+  /// against `options.max_inflight_calls`).
+  std::atomic<int> inflight{0};
+  std::atomic<uint64_t> deadline_items{0};
+  std::atomic<uint64_t> cancelled_items{0};
+  std::atomic<uint64_t> overload_rejects{0};
+  std::atomic<uint64_t> internal_errors{0};
+  /// Degradation-ladder transition counters and the single-relief guard
+  /// (at most one thread walks the ladder at a time; others skip — the
+  /// ladder is idempotent under pressure, re-running it concurrently
+  /// would only thrash the caches).
+  std::atomic<uint64_t> memo_shrinks{0};
+  std::atomic<uint64_t> oracle_shrinks{0};
+  std::atomic<uint64_t> admission_pauses{0};
+  std::atomic<uint64_t> admission_resumes{0};
+  std::atomic<bool> relieving{false};
+
+  /// RAII admission slot: acquired on construction, `admitted()` tells
+  /// whether the call fit under the limit (release only happens when it
+  /// did — a refused call never holds a slot).
+  struct InflightSlot {
+    explicit InflightSlot(State* state) : state_(state) {
+      const int limit = state_->options.max_inflight_calls;
+      occupancy_ = state_->inflight.fetch_add(1, std::memory_order_relaxed);
+      admitted_ = limit <= 0 || occupancy_ < limit;
+      if (!admitted_) {
+        state_->inflight.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    ~InflightSlot() {
+      if (admitted_) {
+        state_->inflight.fetch_sub(1, std::memory_order_relaxed);
+      }
+    }
+    InflightSlot(const InflightSlot&) = delete;
+    InflightSlot& operator=(const InflightSlot&) = delete;
+
+    bool admitted() const { return admitted_; }
+
+    /// The `kOverloaded` error for a refused call: the retry hint grows
+    /// with how far past the limit the Service is (10ms per excess call,
+    /// clamped to [10ms, 1s]) so a stampede spreads out instead of
+    /// hammering in lockstep.
+    ServiceError OverloadError() const {
+      const int limit = state_->options.max_inflight_calls;
+      ServiceError error = MakeError(
+          ServiceErrorCode::kOverloaded,
+          "admission control: " + std::to_string(occupancy_) +
+              " serving calls in flight (limit " + std::to_string(limit) +
+              ")");
+      error.retry_after_ms = std::min<int64_t>(
+          1000, 10 * static_cast<int64_t>(occupancy_ - limit + 1));
+      return error;
+    }
+
+   private:
+    State* state_;
+    int occupancy_ = 0;
+    bool admitted_ = false;
+  };
+
+  void CountCancel(bool deadline_exceeded, uint64_t items = 1) {
+    failed_requests.fetch_add(items, std::memory_order_relaxed);
+    (deadline_exceeded ? deadline_items : cancelled_items)
+        .fetch_add(items, std::memory_order_relaxed);
+  }
 
   // Serving counters of shards that were removed/replaced: `stats()`
   // totals must stay cumulative (monotonic) across document lifecycle.
@@ -322,7 +428,8 @@ ThreadPool* Service::EnsurePool(int workers) {
   const int threads = std::min(workers, cap);
   std::lock_guard<std::mutex> lock(state_->pool_mu);
   if (state_->pool == nullptr) {
-    state_->pool = std::make_unique<ThreadPool>(threads);
+    state_->pool = std::make_unique<ThreadPool>(
+        threads, state_->options.max_queued_tasks);
   } else {
     // Grow in place, never shrink, and NEVER replace: concurrent batches
     // may be running on this pool, and alternating small/large batches
@@ -333,10 +440,59 @@ ThreadPool* Service::EnsurePool(int workers) {
   return state_->pool.get();
 }
 
+CancelToken Service::MakeCallToken(const CallOptions& call) const {
+  std::optional<std::chrono::steady_clock::time_point> deadline =
+      call.deadline;
+  if (!deadline.has_value() &&
+      state_->options.default_deadline.count() > 0) {
+    deadline =
+        std::chrono::steady_clock::now() + state_->options.default_deadline;
+  }
+  // Derived() links the caller's explicit cancel handle (possibly null)
+  // under the deadline, so EITHER expires the call.
+  if (deadline.has_value()) return call.cancel.Derived(*deadline);
+  return call.cancel;
+}
+
+void Service::RelievePressure() {
+  State* s = state_.get();
+  if (!s->budget.limited()) return;
+  if (!s->budget.OverLimit()) {
+    // Hysteresis re-admission: a paused memo resumes only once usage has
+    // fallen well below the limit (not at limit-minus-one-byte), so the
+    // ladder cannot flap on every insert.
+    if (!s->answers.admitting() && s->budget.Below(0.7)) {
+      s->answers.set_admitting(true);
+      s->admission_resumes.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  bool expected = false;
+  if (!s->relieving.compare_exchange_strong(expected, true,
+                                            std::memory_order_acquire)) {
+    return;  // Another thread is already walking the ladder.
+  }
+  // The ladder: each rung runs only while the rung above left the budget
+  // over limit. Writes are never refused — worst case the memo stops
+  // memoizing (admission paused) while views and oracle keep serving.
+  if (s->answers.ShrinkHalf() > 0) {
+    s->memo_shrinks.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (s->budget.OverLimit() && s->oracle.ShrinkHalf() > 0) {
+    s->oracle_shrinks.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (s->budget.OverLimit() && s->answers.admitting()) {
+    s->answers.set_admitting(false);
+    s->admission_pauses.fetch_add(1, std::memory_order_relaxed);
+  }
+  s->relieving.store(false, std::memory_order_release);
+}
+
 DocumentId Service::AddDocument(Tree document) {
   auto shard = std::make_unique<Shard>(std::move(document),
                                        state_->options.rewrite,
-                                       &state_->oracle.unsynchronized());
+                                       &state_->oracle.unsynchronized(),
+                                       &state_->budget);
   int32_t s;
   DocSlot* slot;
   {
@@ -420,7 +576,7 @@ ServiceStatus Service::ReplaceDocument(DocumentId id, Tree document) {
   state_->answers.EraseScope(reinterpret_cast<uintptr_t>(access.slot));
   access.slot->shard = std::make_unique<Shard>(
       std::move(document), state_->options.rewrite,
-      &state_->oracle.unsynchronized());
+      &state_->oracle.unsynchronized(), &state_->budget);
   return ServiceStatus();
 }
 
@@ -483,15 +639,30 @@ ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
   // The cache recycles tombstoned slots through its own free list (churn
   // keeps views()/index bounded); a re-added name always mints a FRESH
   // generation below, so a dead handle can never resurrect on the slot.
-  const int32_t vs =
-      shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
+  // Materialization is the allocation-heavy step: a fault (injected or
+  // real bad_alloc) before any shard bookkeeping mutates surfaces as a
+  // structured kInternal with the document unchanged.
+  int32_t vs;
+  try {
+    fault::Point("service.add_view");
+    vs = shard->cache.AddView(ViewDefinition{name, std::move(pattern)});
+  } catch (const std::exception& e) {
+    state_->CountFailure();
+    state_->internal_errors.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResult<ViewId>::Error(InternalError(e));
+  }
   if (static_cast<size_t>(vs) >= shard->view_generations.size()) {
     shard->view_generations.resize(static_cast<size_t>(vs) + 1);
   }
   const uint32_t generation = access.slot->next_view_generation++;
   shard->view_generations[static_cast<size_t>(vs)] = generation;
   shard->view_slot_by_name.emplace(std::move(name), vs);
-  return ViewId{document, vs, generation};
+  const ViewId id{document, vs, generation};
+  // View bytes just charged the shared budget; react before returning
+  // (outside the stripe — the ladder takes the memo and oracle locks).
+  access.stripe.unlock();
+  RelievePressure();
+  return id;
 }
 
 ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
@@ -539,6 +710,46 @@ const ViewDefinition* Service::view(ViewId id) const {
 
 ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
                                            const Query& query) {
+  return Answer(document, query, CallOptions{});
+}
+
+ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
+                                           const Query& query,
+                                           const CallOptions& call) {
+  const CancelToken token = MakeCallToken(call);
+  if (token.Expired()) {
+    // Fast path: an already-dead call fails before any parsing or lock.
+    const bool dl = !token.cancelled();
+    state_->CountCancel(dl);
+    return ServiceResult<xpv::Answer>::Error(CancelError(dl));
+  }
+  State::InflightSlot slot(state_.get());
+  if (!slot.admitted()) {
+    state_->CountFailure();
+    state_->overload_rejects.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResult<xpv::Answer>::Error(slot.OverloadError());
+  }
+  CancelScope scope(token);
+  try {
+    ServiceResult<xpv::Answer> result = AnswerUnderScope(document, query);
+    RelievePressure();
+    return result;
+  } catch (const CancelledError& e) {
+    state_->CountCancel(e.deadline_exceeded());
+    return ServiceResult<xpv::Answer>::Error(
+        CancelError(e.deadline_exceeded()));
+  } catch (const std::exception& e) {
+    // Injected faults and allocation failures surface structurally; the
+    // Service's own state is consistent (every mutation above either
+    // completed or unwound without effect).
+    state_->CountFailure();
+    state_->internal_errors.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResult<xpv::Answer>::Error(InternalError(e));
+  }
+}
+
+ServiceResult<xpv::Answer> Service::AnswerUnderScope(DocumentId document,
+                                                     const Query& query) {
   // Parse BEFORE the stripe lock (no document state involved): the
   // critical section covers only the answering itself, and parse-failure
   // requests never touch the lock at all.
@@ -584,8 +795,9 @@ ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
         access.shard->FoldStats(entry->delta);
         return entry->answer;
       }
-      // The leader unwound without publishing: compute for ourselves
-      // (and Insert below — no flight to resolve).
+      // Every earlier leader unwound without publishing and Wait()
+      // re-elected US (fill.leader() is now true): compute and Publish
+      // below exactly like a first leader.
     }
   }
   CacheStats delta;
@@ -593,10 +805,15 @@ ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
       access.shard->cache.AnswerConcurrent(*pattern, &state_->oracle, &delta);
   access.shard->FoldStats(delta);
   if (memoize) {
-    if (fill.leader()) {
+    // Memoization is an optimization: a fault in the memo write is
+    // absorbed and the computed answer still returned. An unpublished
+    // leader fill abandons its flight on unwind — waiters re-elect.
+    try {
+      fault::Point("service.memo_write");
       state_->answers.Publish(fill, AnswerCache::Entry{answer, delta});
-    } else {
-      state_->answers.Insert(key, AnswerCache::Entry{answer, delta});
+    } catch (const CancelledError&) {
+      throw;
+    } catch (const std::exception&) {
     }
   }
   return answer;
@@ -604,8 +821,63 @@ ServiceResult<xpv::Answer> Service::Answer(DocumentId document,
 
 ServiceResult<BatchAnswers> Service::AnswerBatch(
     const std::vector<BatchItem>& items, int num_workers) {
-  const int workers =
-      num_workers > 0 ? num_workers : std::max(state_->options.default_workers, 1);
+  CallOptions call;
+  call.num_workers = num_workers;
+  return AnswerBatch(items, call);
+}
+
+ServiceResult<BatchAnswers> Service::AnswerBatch(
+    const std::vector<BatchItem>& items, const CallOptions& call) {
+  const size_t n = items.size();
+  const CancelToken token = MakeCallToken(call);
+  if (token.Expired()) {
+    // The O(items) fast path: an already-expired call fails every item
+    // with a structured error before any parsing, planning or lock —
+    // constant work per item regardless of document or query size.
+    const bool dl = !token.cancelled();
+    state_->CountCancel(dl, n);
+    BatchAnswers out;
+    out.answers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.answers.push_back(ServiceResult<xpv::Answer>::Error(CancelError(dl)));
+    }
+    return out;
+  }
+  State::InflightSlot slot(state_.get());
+  if (!slot.admitted()) {
+    state_->CountFailure();
+    state_->overload_rejects.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResult<BatchAnswers>::Error(slot.OverloadError());
+  }
+  const int workers = call.num_workers > 0
+                          ? call.num_workers
+                          : std::max(state_->options.default_workers, 1);
+  CancelScope scope(token);
+  try {
+    BatchAnswers out = AnswerBatchUnderScope(items, workers);
+    RelievePressure();
+    return out;
+  } catch (const CancelledError& e) {
+    // Cancellation escaped the per-slice handling (it fired during the
+    // pre-stripe planning phase, before any item was answered): every
+    // item fails, still structurally.
+    state_->CountCancel(e.deadline_exceeded(), n);
+    BatchAnswers out;
+    out.answers.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      out.answers.push_back(
+          ServiceResult<xpv::Answer>::Error(CancelError(e.deadline_exceeded())));
+    }
+    return out;
+  } catch (const std::exception& e) {
+    state_->CountFailure();
+    state_->internal_errors.fetch_add(1, std::memory_order_relaxed);
+    return ServiceResult<BatchAnswers>::Error(InternalError(e));
+  }
+}
+
+BatchAnswers Service::AnswerBatchUnderScope(
+    const std::vector<BatchItem>& items, int workers) {
   const size_t n = items.size();
 
   // ---------------------------------------------------- plan (pre-stripe)
@@ -767,139 +1039,187 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
   ThreadPool* pool =
       EnsurePool(std::min<int>(workers, static_cast<int>(live_items)));
   const bool memoize = state_->answers.enabled();
+  // A deadline/cancel (or absorbed-then-rethrown fault) firing inside a
+  // slice aborts THAT slice and every later one; items already answered
+  // keep their answers (bit-identical to an unconstrained run — answers
+  // are pure functions of document, view set and query), the rest take
+  // the abort error in the fan-out below. Remaining stripes are still
+  // released in order.
+  bool aborted = false;
+  std::optional<ServiceError> abort_error;
   for (Shard* shard : shard_order) {
     const std::vector<size_t>& indices = by_shard[shard];
     // `stripes`/`stripe_epoch` were built in `distinct_slots` order, so
     // the stripe index recovers the shard's DocSlot (the memo scope).
     const size_t si = stripe_of_shard.at(shard);
-    const uint64_t scope = reinterpret_cast<uintptr_t>(distinct_slots[si]);
-    const uint64_t epoch = stripe_epoch[si];
+    if (aborted) {
+      stripes[si].unlock();
+      continue;
+    }
+    try {
+      // A crisp slice boundary: once the call is dead no further slice
+      // starts, even a fully-memoized one that would never poll again.
+      PollCancellation();
+      const uint64_t scope = reinterpret_cast<uintptr_t>(distinct_slots[si]);
+      const uint64_t epoch = stripe_epoch[si];
 
-    // Distinct plan entries of this slice, in first-appearance order (the
-    // order the per-document pipeline would have deduplicated them in).
-    std::vector<int> slice_plan;
-    std::unordered_map<int, int> slice_pos;
-    for (size_t i : indices) {
-      const int p = resolved[i].plan;
-      if (p < 0) continue;
-      if (slice_pos.try_emplace(p, static_cast<int>(slice_plan.size()))
-              .second) {
-        slice_plan.push_back(p);
+      // Distinct plan entries of this slice, in first-appearance order (the
+      // order the per-document pipeline would have deduplicated them in).
+      std::vector<int> slice_plan;
+      std::unordered_map<int, int> slice_pos;
+      for (size_t i : indices) {
+        const int p = resolved[i].plan;
+        if (p < 0) continue;
+        if (slice_pos.try_emplace(p, static_cast<int>(slice_plan.size()))
+                .second) {
+          slice_plan.push_back(p);
+        }
       }
-    }
 
-    // Memo probe per distinct (slot, epoch, fingerprint): a hit replays a
-    // stored scan (answer + stats delta, held by pointer — no deep copy)
-    // without touching the rewrite engine. Misses arm single-flight
-    // fills: keys nobody else is computing are led (computed by the
-    // pipeline below), keys already in flight elsewhere are joined and
-    // waited on LAST — every fill this slice leads is published before
-    // the first wait, so two batches joining each other's keys always
-    // drain (each publishes its own leads first; no wait cycle exists).
-    std::vector<std::shared_ptr<const AnswerCache::Entry>> memo_entries(
-        slice_plan.size());
-    // Fills are kept ONLY for misses (leaders in compute order, joiners
-    // with their slice position). A warm slice keeps both lists empty —
-    // empty vectors never allocate, so the all-hit fast path stays free
-    // of per-slice heap traffic (a hit's Fill lives and dies inside its
-    // loop iteration; only its entry pointer survives).
-    std::vector<AnswerCache::Fill> lead_fills;   // Parallel to compute_pos.
-    std::vector<std::pair<size_t, AnswerCache::Fill>> join_fills;
-    std::vector<PlannedAnswer> computed;  // Parallel to compute_pos.
-    std::vector<PlannedQuery> to_compute;
-    std::vector<size_t> compute_pos;
-    for (size_t k = 0; k < slice_plan.size(); ++k) {
-      const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
-      if (memoize) {
-        AnswerCache::Fill fill =
-            state_->answers.BeginFill({scope, epoch, entry.fingerprint});
-        if (fill.hit()) {
-          memo_entries[k] = fill.entry();
-          continue;
-        }
-        if (!fill.leader()) {
-          // In flight elsewhere; wait after computing our own leads.
-          join_fills.emplace_back(k, std::move(fill));
-          continue;
-        }
-        lead_fills.push_back(std::move(fill));
-      }
-      to_compute.push_back(PlannedQuery{&entry.pattern, &entry.summary});
-      compute_pos.push_back(k);
-    }
-    if (!to_compute.empty()) {
-      computed = shard->cache.AnswerPlannedConcurrent(to_compute, workers,
-                                                      pool, &state_->oracle);
-      if (memoize) {
-        for (size_t j = 0; j < computed.size(); ++j) {
-          // Keyed at the epoch observed under the stripe: if a writer has
-          // queued behind us, the entry is dead on arrival, never wrong.
-          // Publishing resolves the fill, waking every waiter.
-          state_->answers.Publish(
-              lead_fills[j],
-              AnswerCache::Entry{computed[j].answer, computed[j].delta});
-        }
-      }
-    }
-    // Collect the joined fills (all our leads are already published).
-    std::vector<size_t> orphan_pos;  // Joins whose leader unwound.
-    for (auto& [k, fill] : join_fills) {
-      memo_entries[k] = fill.Wait();
-      if (memo_entries[k] == nullptr) orphan_pos.push_back(k);
-    }
-    if (!orphan_pos.empty()) {
-      // Rare recovery path: compute abandoned keys ourselves.
-      std::vector<PlannedQuery> orphan_queries;
-      orphan_queries.reserve(orphan_pos.size());
-      for (size_t k : orphan_pos) {
+      // Memo probe per distinct (slot, epoch, fingerprint): a hit replays a
+      // stored scan (answer + stats delta, held by pointer — no deep copy)
+      // without touching the rewrite engine. Misses arm single-flight
+      // fills: keys nobody else is computing are led (computed by the
+      // pipeline below), keys already in flight elsewhere are joined and
+      // waited on LAST — every fill this slice leads is published before
+      // the first wait, so two batches joining each other's keys always
+      // drain (each publishes its own leads first; no wait cycle exists).
+      std::vector<std::shared_ptr<const AnswerCache::Entry>> memo_entries(
+          slice_plan.size());
+      // Fills are kept ONLY for misses (leaders in compute order, joiners
+      // with their slice position). A warm slice keeps both lists empty —
+      // empty vectors never allocate, so the all-hit fast path stays free
+      // of per-slice heap traffic (a hit's Fill lives and dies inside its
+      // loop iteration; only its entry pointer survives).
+      std::vector<AnswerCache::Fill> lead_fills;   // Parallel to compute_pos.
+      std::vector<std::pair<size_t, AnswerCache::Fill>> join_fills;
+      std::vector<PlannedAnswer> computed;  // Parallel to compute_pos.
+      std::vector<PlannedQuery> to_compute;
+      std::vector<size_t> compute_pos;
+      for (size_t k = 0; k < slice_plan.size(); ++k) {
         const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
-        orphan_queries.push_back(PlannedQuery{&entry.pattern, &entry.summary});
+        if (memoize) {
+          AnswerCache::Fill fill =
+              state_->answers.BeginFill({scope, epoch, entry.fingerprint});
+          if (fill.hit()) {
+            memo_entries[k] = fill.entry();
+            continue;
+          }
+          if (!fill.leader()) {
+            // In flight elsewhere; wait after computing our own leads.
+            join_fills.emplace_back(k, std::move(fill));
+            continue;
+          }
+          lead_fills.push_back(std::move(fill));
+        }
+        to_compute.push_back(PlannedQuery{&entry.pattern, &entry.summary});
+        compute_pos.push_back(k);
       }
-      std::vector<PlannedAnswer> recovered = shard->cache.AnswerPlannedConcurrent(
-          orphan_queries, workers, pool, &state_->oracle);
-      for (size_t j = 0; j < recovered.size(); ++j) {
-        const size_t k = orphan_pos[j];
-        const uint64_t fp =
-            plan[static_cast<size_t>(slice_plan[k])].fingerprint;
-        AnswerCache::Entry entry{recovered[j].answer, recovered[j].delta};
-        memo_entries[k] =
-            std::make_shared<const AnswerCache::Entry>(entry);
-        state_->answers.Insert({scope, epoch, fp}, std::move(entry));
+      if (!to_compute.empty()) {
+        computed = shard->cache.AnswerPlannedConcurrent(to_compute, workers,
+                                                        pool, &state_->oracle);
+        if (memoize) {
+          // Memo-write faults are absorbed: `computed` (which `answer_of`
+          // points into) is already in hand, and unpublished lead fills
+          // abandon their flights on slice exit — waiters re-elect.
+          try {
+            fault::Point("service.memo_write");
+            for (size_t j = 0; j < computed.size(); ++j) {
+              // Keyed at the epoch observed under the stripe: if a writer
+              // has queued behind us, the entry is dead on arrival, never
+              // wrong. Publishing resolves the fill, waking every waiter.
+              state_->answers.Publish(
+                  lead_fills[j],
+                  AnswerCache::Entry{computed[j].answer, computed[j].delta});
+            }
+          } catch (const CancelledError&) {
+            throw;
+          } catch (const std::exception&) {
+          }
+        }
       }
-    }
-    // The distinct answers of this slice, by plan position: pointers into
-    // the shared memo entry (hits) or into `computed` (misses) — nothing
-    // is deep-copied until the per-request fan-out below.
-    std::vector<const CacheAnswer*> answer_of(slice_plan.size(), nullptr);
-    std::vector<const CacheStats*> delta_of(slice_plan.size(), nullptr);
-    for (size_t k = 0; k < slice_plan.size(); ++k) {
-      if (memo_entries[k] != nullptr) {
-        answer_of[k] = &memo_entries[k]->answer;
-        delta_of[k] = &memo_entries[k]->delta;
+      // Collect the joined fills (all our leads are already published). A
+      // null Wait() means every earlier leader of that key unwound and the
+      // re-elected flight is now OURS — keep the promoted fill so the
+      // recovery below publishes through it, waking the other waiters.
+      std::vector<std::pair<size_t, AnswerCache::Fill>> orphan_fills;
+      for (auto& [k, fill] : join_fills) {
+        memo_entries[k] = fill.Wait();
+        if (memo_entries[k] == nullptr) {
+          orphan_fills.emplace_back(k, std::move(fill));
+        }
       }
-    }
-    for (size_t j = 0; j < compute_pos.size(); ++j) {
-      answer_of[compute_pos[j]] = &computed[j].answer;
-      delta_of[compute_pos[j]] = &computed[j].delta;
-    }
+      if (!orphan_fills.empty()) {
+        // Rare recovery path: compute the keys we now lead ourselves.
+        std::vector<PlannedQuery> orphan_queries;
+        orphan_queries.reserve(orphan_fills.size());
+        for (const auto& [k, fill] : orphan_fills) {
+          const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
+          orphan_queries.push_back(PlannedQuery{&entry.pattern, &entry.summary});
+        }
+        std::vector<PlannedAnswer> recovered = shard->cache.AnswerPlannedConcurrent(
+            orphan_queries, workers, pool, &state_->oracle);
+        for (size_t j = 0; j < recovered.size(); ++j) {
+          auto& [k, fill] = orphan_fills[j];
+          // The slice's answer must not depend on the memo write landing:
+          // keep a local entry, absorb memo-write faults (the abandoned
+          // flight re-elects among any remaining waiters).
+          memo_entries[k] = std::make_shared<const AnswerCache::Entry>(
+              AnswerCache::Entry{recovered[j].answer, recovered[j].delta});
+          try {
+            fault::Point("service.memo_write");
+            state_->answers.Publish(
+                fill,
+                AnswerCache::Entry{recovered[j].answer, recovered[j].delta});
+          } catch (const CancelledError&) {
+            throw;
+          } catch (const std::exception&) {
+          }
+        }
+      }
+      // The distinct answers of this slice, by plan position: pointers into
+      // the shared memo entry (hits) or into `computed` (misses) — nothing
+      // is deep-copied until the per-request fan-out below.
+      std::vector<const CacheAnswer*> answer_of(slice_plan.size(), nullptr);
+      std::vector<const CacheStats*> delta_of(slice_plan.size(), nullptr);
+      for (size_t k = 0; k < slice_plan.size(); ++k) {
+        if (memo_entries[k] != nullptr) {
+          answer_of[k] = &memo_entries[k]->answer;
+          delta_of[k] = &memo_entries[k]->delta;
+        }
+      }
+      for (size_t j = 0; j < compute_pos.size(); ++j) {
+        answer_of[compute_pos[j]] = &computed[j].answer;
+        delta_of[compute_pos[j]] = &computed[j].delta;
+      }
 
-    // Fold serving stats and fan the slice out in request order —
-    // duplicates replay the distinct entry's delta, exactly as the
-    // unplanned pipeline's fan-out did.
-    CacheStats delta;
-    for (size_t i : indices) {
-      ++delta.queries;
-      const int p = resolved[i].plan;
-      if (p < 0) {
-        answers[i] = CacheAnswer{};  // Empty pattern: constant empty miss.
-        continue;
+      // Fold serving stats and fan the slice out in request order —
+      // duplicates replay the distinct entry's delta, exactly as the
+      // unplanned pipeline's fan-out did.
+      CacheStats delta;
+      for (size_t i : indices) {
+        ++delta.queries;
+        const int p = resolved[i].plan;
+        if (p < 0) {
+          answers[i] = CacheAnswer{};  // Empty pattern: constant empty miss.
+          continue;
+        }
+        const size_t k = static_cast<size_t>(slice_pos.at(p));
+        delta.hits += delta_of[k]->hits;
+        delta.rewrite_unknown += delta_of[k]->rewrite_unknown;
+        answers[i] = *answer_of[k];
       }
-      const size_t k = static_cast<size_t>(slice_pos.at(p));
-      delta.hits += delta_of[k]->hits;
-      delta.rewrite_unknown += delta_of[k]->rewrite_unknown;
-      answers[i] = *answer_of[k];
+      shard->FoldStats(delta);
+    } catch (const CancelledError& e) {
+      aborted = true;
+      abort_error = CancelError(e.deadline_exceeded());
+    } catch (const std::exception& e) {
+      // An injected fault (or bad_alloc) inside the pipeline fails this
+      // slice's unanswered items structurally; earlier slices' answers
+      // stand. Unpublished fills abandon on unwind — waiters re-elect.
+      aborted = true;
+      abort_error = InternalError(e);
     }
-    shard->FoldStats(delta);
     // This document's slice is done — release its stripe so writers on it
     // are not held for the remaining documents' slices. (Each live slot
     // maps to exactly one shard, so each stripe unlocks exactly once.)
@@ -908,12 +1228,32 @@ ServiceResult<BatchAnswers> Service::AnswerBatch(
 
   BatchAnswers out;
   out.answers.reserve(n);
+  uint64_t aborted_items = 0;
   for (size_t i = 0; i < n; ++i) {
     if (resolved[i].error.has_value()) {
       out.answers.push_back(
           ServiceResult<xpv::Answer>::Error(std::move(*resolved[i].error)));
-    } else {
+    } else if (answers[i].has_value()) {
       out.answers.push_back(std::move(*answers[i]));
+    } else {
+      // The item's slice aborted before its fan-out: partial batch.
+      ++aborted_items;
+      out.answers.push_back(ServiceResult<xpv::Answer>::Error(
+          abort_error.has_value() ? *abort_error : CancelError(true)));
+    }
+  }
+  if (aborted_items > 0) {
+    if (abort_error.has_value() &&
+        abort_error->code == ServiceErrorCode::kInternal) {
+      state_->failed_requests.fetch_add(aborted_items,
+                                        std::memory_order_relaxed);
+      state_->internal_errors.fetch_add(aborted_items,
+                                        std::memory_order_relaxed);
+    } else {
+      state_->CountCancel(!abort_error.has_value() ||
+                              abort_error->code ==
+                                  ServiceErrorCode::kDeadlineExceeded,
+                          aborted_items);
     }
   }
   return out;
@@ -963,12 +1303,33 @@ ServiceStats Service::stats() const {
   stats.answer_cache_evictions = memo.evictions;
   stats.answer_cache_entries = state_->answers.size();
   stats.answer_cache_doorkeeper_rejects = memo.doorkeeper_rejects;
+  stats.answer_cache_admission_drops = memo.admission_drops;
+  stats.deadline_exceeded =
+      state_->deadline_items.load(std::memory_order_relaxed);
+  stats.cancelled = state_->cancelled_items.load(std::memory_order_relaxed);
+  stats.overloaded = state_->overload_rejects.load(std::memory_order_relaxed);
+  stats.internal_errors =
+      state_->internal_errors.load(std::memory_order_relaxed);
+  stats.inflight_calls = static_cast<uint64_t>(
+      std::max(0, state_->inflight.load(std::memory_order_relaxed)));
+  stats.memory_used_bytes = state_->budget.used();
+  stats.memory_limit_bytes = state_->budget.limit();
+  stats.memory_memo_shrinks =
+      state_->memo_shrinks.load(std::memory_order_relaxed);
+  stats.memory_oracle_shrinks =
+      state_->oracle_shrinks.load(std::memory_order_relaxed);
+  stats.memory_admission_pauses =
+      state_->admission_pauses.load(std::memory_order_relaxed);
+  stats.memory_admission_resumes =
+      state_->admission_resumes.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(state_->pool_mu);
     stats.pool_threads =
         state_->pool == nullptr
             ? 0
             : static_cast<uint64_t>(state_->pool->num_threads());
+    stats.pool_queue_rejections =
+        state_->pool == nullptr ? 0 : state_->pool->queue_rejections();
   }
   return stats;
 }

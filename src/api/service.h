@@ -1,8 +1,10 @@
 #ifndef XPV_API_SERVICE_H_
 #define XPV_API_SERVICE_H_
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +12,8 @@
 #include "containment/oracle.h"
 #include "pattern/pattern.h"
 #include "rewrite/engine.h"
+#include "util/cancel.h"
+#include "util/memory_budget.h"
 #include "util/result.h"
 #include "views/answer_cache.h"
 #include "views/view_cache.h"
@@ -34,6 +38,20 @@ enum class ServiceErrorCode {
   /// handles are detected exactly — a recycled slot never silently
   /// resolves to the wrong document or view.
   kStaleHandle,
+  /// The call's deadline expired before the item was answered. Items
+  /// answered before expiry are returned alongside (partial batches); an
+  /// already-expired call fails every item without planning any work.
+  kDeadlineExceeded,
+  /// The caller's `CancelToken` fired before the item was answered.
+  kCancelled,
+  /// Admission control refused the call: too many in-flight serving
+  /// calls. Fails fast (no planning, no locks); `retry_after_ms` carries
+  /// a backoff hint.
+  kOverloaded,
+  /// An internal fault (injected fault, allocation failure) was absorbed
+  /// into a structured error instead of crashing. The Service stays
+  /// consistent; the request may be retried.
+  kInternal,
 };
 
 /// Stable identifier string for a code (e.g. "parse_error").
@@ -47,6 +65,9 @@ struct ServiceError {
   ServiceErrorCode code = ServiceErrorCode::kParseError;
   std::string message;
   int64_t offset = -1;
+  /// For `kOverloaded`: suggested backoff before retrying, scaled by how
+  /// far past the admission limit the Service is. -1 otherwise.
+  int64_t retry_after_ms = -1;
 };
 
 /// `Result` flavors used by the facade: structured errors, not strings.
@@ -146,6 +167,27 @@ struct BatchAnswers {
   size_t size() const { return answers.size(); }
 };
 
+/// Per-call serving knobs for `Answer`/`AnswerBatch`. Deadlines and
+/// cancellation are cooperative: the pipeline polls the combined token at
+/// phase boundaries, between per-document batch slices, inside the
+/// canonical-model odometer and the evaluation walks (amortized), and
+/// while parked on single-flight latches — an expired call returns
+/// structured `kDeadlineExceeded` per item with the already-answered
+/// prefix intact, never a hang. Any item answered under a deadline is
+/// bit-identical to the unconstrained answer.
+struct CallOptions {
+  /// Absolute deadline for the call. Unset = use the Service's
+  /// `default_deadline` (which may itself be "none").
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Caller-held cancellation handle; `cancel.Cancel()` from any thread
+  /// aborts the call at its next poll with `kCancelled` items. A default
+  /// (null) token never fires.
+  CancelToken cancel;
+  /// `AnswerBatch` only: worker count; <= 0 means
+  /// `ServiceOptions::default_workers`.
+  int num_workers = 0;
+};
+
 /// Aggregated serving statistics across every document of a `Service`.
 struct ServiceStats {
   uint64_t documents = 0;
@@ -172,6 +214,30 @@ struct ServiceStats {
   /// key must be presented twice before it may evict a resident entry, so
   /// one-off queries cannot sweep out the proven-hot memo.
   uint64_t answer_cache_doorkeeper_rejects = 0;
+  // ----- overload / robustness counters (PR 7) -----
+  uint64_t deadline_exceeded = 0;  ///< Items failed on an expired deadline.
+  uint64_t cancelled = 0;          ///< Items failed on explicit cancel.
+  uint64_t overloaded = 0;         ///< Calls refused by admission control.
+  uint64_t internal_errors = 0;    ///< Faults absorbed into kInternal.
+  uint64_t inflight_calls = 0;     ///< Serving calls running right now.
+  /// Shared memory budget: estimated resident bytes across the answer
+  /// memo, the containment oracle and all materialized views, and the
+  /// configured limit (0 = unlimited; accounting still runs).
+  uint64_t memory_used_bytes = 0;
+  uint64_t memory_limit_bytes = 0;
+  /// Degradation-ladder transitions: each rung fires only while the rung
+  /// above left the budget over limit. Memo admission pauses are undone
+  /// (with hysteresis) once usage falls below the low watermark.
+  uint64_t memory_memo_shrinks = 0;
+  uint64_t memory_oracle_shrinks = 0;
+  uint64_t memory_admission_pauses = 0;
+  uint64_t memory_admission_resumes = 0;
+  /// Memo inserts dropped while admission was paused (the write was
+  /// acknowledged and served; only memoization was skipped).
+  uint64_t answer_cache_admission_drops = 0;
+  /// Pool tasks refused by the bounded queue (ran inline on the
+  /// submitting thread instead — backpressure, not failure).
+  uint64_t pool_queue_rejections = 0;
 };
 
 /// Configuration of a `Service`.
@@ -192,6 +258,22 @@ struct ServiceOptions {
   bool answer_cache_doorkeeper = true;
   /// Worker count used by `AnswerBatch` when the call passes 0.
   int default_workers = 1;
+  /// Default per-call deadline applied when a call does not carry its
+  /// own (`CallOptions::deadline` wins). Zero = no default deadline.
+  std::chrono::milliseconds default_deadline{0};
+  /// Admission control: maximum concurrently executing serving calls
+  /// (`Answer` + `AnswerBatch`). Calls past the limit fail fast with
+  /// `kOverloaded` and a retry-after hint. 0 = unlimited.
+  int max_inflight_calls = 0;
+  /// Bound on the shared pool's task queue; a full queue makes batch
+  /// submission run chunks inline on the submitting thread
+  /// (backpressure) instead of growing the queue. 0 = unbounded.
+  size_t max_queued_tasks = 0;
+  /// Shared byte budget across the answer memo, the containment oracle
+  /// and all materialized views. When estimated usage crosses the limit
+  /// the Service degrades gracefully (shrink memo -> shrink oracle ->
+  /// pause memo admission) instead of refusing writes. 0 = unlimited.
+  size_t memory_budget_bytes = 0;
 };
 
 /// The multi-document serving facade — the paper's end-to-end story (a
@@ -314,6 +396,13 @@ class Service {
   /// (`xpv::Answer` is qualified because the member name shadows it.)
   ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query);
 
+  /// As above with per-call deadline/cancellation and admission control:
+  /// an expired or cancelled call returns `kDeadlineExceeded`/
+  /// `kCancelled`; past the in-flight limit it returns `kOverloaded`
+  /// without planning any work.
+  ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query,
+                                    const CallOptions& call);
+
   /// Answers a cross-document batch through the service-wide planner:
   /// items are resolved (documents looked up, XPath parsed), every
   /// distinct query (by canonical fingerprint) is summarized ONCE across
@@ -329,6 +418,15 @@ class Service {
   /// identical with the memo on or off.
   ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
                                           int num_workers = 0);
+
+  /// As above with per-call deadline/cancellation and admission control.
+  /// An already-expired call fails every item with `kDeadlineExceeded`
+  /// in O(items) time (no locks, no planning — the <1ms fast path). A
+  /// deadline expiring mid-batch returns the already-answered items
+  /// (bit-identical to an unconstrained run) and fails the rest; the
+  /// whole call errors with `kOverloaded` past the in-flight limit.
+  ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
+                                          const CallOptions& call);
 
   // ------------------------------------------------------------ telemetry
 
@@ -378,6 +476,26 @@ class Service {
   /// Lazily creates or grows (never replaces) the shared pool so it has
   /// >= `workers` threads, capped by the hardware.
   ThreadPool* EnsurePool(int workers);
+  /// `Answer`'s body, run under the public wrapper's installed
+  /// `CancelScope` — cancellation and fault exceptions propagate out to
+  /// the wrapper, which maps them to structured errors.
+  ServiceResult<xpv::Answer> AnswerUnderScope(DocumentId document,
+                                              const Query& query);
+  /// `AnswerBatch`'s body, run under the wrapper's `CancelScope`. A
+  /// deadline/cancel firing mid-batch is handled HERE, per document
+  /// slice: answered items keep their answers, the rest fail — only
+  /// planning-phase cancellation propagates to the wrapper.
+  BatchAnswers AnswerBatchUnderScope(const std::vector<BatchItem>& items,
+                                     int workers);
+  /// The call's effective cancellation token: the caller's deadline (or
+  /// `options.default_deadline` when unset) linked to the caller's
+  /// explicit cancel handle. Null when neither is configured.
+  CancelToken MakeCallToken(const CallOptions& call) const;
+  /// Runs the degradation ladder when the shared budget is over limit
+  /// (shrink memo -> shrink oracle -> pause memo admission), and undoes
+  /// the admission pause with hysteresis once pressure clears. At most
+  /// one thread relieves at a time; others skip.
+  void RelievePressure();
 
   std::unique_ptr<State> state_;
 };

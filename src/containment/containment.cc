@@ -6,6 +6,7 @@
 #include "containment/homomorphism.h"
 #include "pattern/canonical.h"
 #include "pattern/properties.h"
+#include "util/cancel.h"
 
 namespace xpv {
 
@@ -109,7 +110,13 @@ bool ContainmentContext::CanonicalModelsPass(const Pattern& p1,
   const std::vector<NodeId>& path = p2_info.path();
   kernel_.Compute(p2, model_tree_, np + m * (bound - 1));
 
+  // The odometer is the engine's only super-polynomial loop (bound^m
+  // models), so it is the one place a deadline MUST be able to interrupt:
+  // the amortized check below polls the caller's installed CancelToken
+  // every kStride models and unwinds with CancelledError on expiry.
+  CancelCheck cancel_check;
   while (true) {
+    cancel_check.Tick();
     if (stats != nullptr) ++stats->models_checked;
     const NodeId output = pattern_to_tree_[static_cast<size_t>(p1.output())];
     if (!ProducesOutputOnChain(p2, path, output, weak)) {

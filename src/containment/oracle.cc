@@ -1,5 +1,8 @@
 #include "containment/oracle.h"
 
+#include "util/cancel.h"
+#include "util/fault.h"
+
 namespace xpv {
 
 ContainmentOracle::Entry& ContainmentOracle::InsertEntry(const PairKey& key) {
@@ -104,33 +107,66 @@ void ContainmentOracle::StoreDirection(uint64_t fp1, uint64_t fp2,
   }
 }
 
+void SynchronizedOracle::SyncBudgetLocked() {
+  const size_t bytes = oracle_.entry_count() * kEntryFootprint;
+  oracle_entry_bytes_.store(bytes, std::memory_order_relaxed);
+  if (budget_ == nullptr) return;
+  if (bytes > charged_bytes_) {
+    budget_->Charge(bytes - charged_bytes_);
+  } else if (bytes < charged_bytes_) {
+    budget_->Release(charged_bytes_ - bytes);
+  }
+  charged_bytes_ = bytes;
+}
+
+size_t SynchronizedOracle::ShrinkHalf() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const size_t before = oracle_.entry_count();
+  if (before > 1) oracle_.EvictHalf();
+  SyncBudgetLocked();
+  return before - oracle_.entry_count();
+}
+
 bool SynchronizedOracle::ContainedSingleFlight(uint64_t fp1, uint64_t fp2,
                                                const Pattern& p1,
                                                const Pattern& p2) {
   const DirectionKey key{fp1, fp2};
-  auto flight = flights_.Join(key, [&]() -> std::optional<bool> {
+  auto probe = [&]() -> std::optional<bool> {
     // Registry-lock probe: a leader publishes through the shared table
     // BEFORE erasing its flight, so a thread that finds no flight here
     // sees any already-published value instead of recomputing it.
     std::shared_lock<std::shared_mutex> lock(mu_);
     return oracle_.ProbeDirection(fp1, fp2);
-  });
-  if (flight.immediate.has_value()) return *flight.immediate;
-  if (flight.ticket.leader()) {
-    // The DP runs with no lock held; only the write-through takes the
-    // exclusive lock, and only for a hash-table insert.
-    const bool value = xpv::Contained(p1, p2);
-    {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      oracle_.StoreDirection(fp1, fp2, value);
+  };
+  auto flight = flights_.Join(key, probe);
+  for (;;) {
+    if (flight.immediate.has_value()) return *flight.immediate;
+    if (flight.ticket.leader()) {
+      // The DP runs with no lock held; only the write-through takes the
+      // exclusive lock, and only for a hash-table insert. A throw here
+      // (cancellation, injected fault) abandons the flight via the
+      // ticket's unwind, and the waiters below re-elect.
+      fault::Point("oracle.fill");
+      const bool value = xpv::Contained(p1, p2);
+      {
+        std::unique_lock<std::shared_mutex> lock(mu_);
+        oracle_.StoreDirection(fp1, fp2, value);
+        SyncBudgetLocked();
+      }
+      flights_.Publish(flight.ticket, value);
+      return value;
     }
-    flights_.Publish(flight.ticket, value);
-    return value;
+    // Deadline-aware wait: the poll throws CancelledError on expiry and
+    // the flight stays pending for everyone else.
+    if (std::optional<bool> value =
+            flights_.WaitPolling(flight.ticket, [] { PollCancellation(); })) {
+      return *value;
+    }
+    // The leader abandoned (unwound). Re-join: exactly one waiter comes
+    // back as the new leader and recomputes; the rest wait on its fresh
+    // flight. A value published in the race window is caught by `probe`.
+    flight = flights_.Join(key, probe);
   }
-  if (std::optional<bool> value = flights_.Wait(flight.ticket)) {
-    return *value;
-  }
-  return xpv::Contained(p1, p2);  // The leader abandoned (unwound).
 }
 
 bool ContainmentOracle::Contained(const Pattern& p1, const Pattern& p2) {

@@ -14,6 +14,7 @@
 #include "containment/containment.h"
 #include "pattern/pattern.h"
 #include "util/hash.h"
+#include "util/memory_budget.h"
 #include "util/single_flight.h"
 
 namespace xpv {
@@ -120,6 +121,8 @@ class ContainmentOracle {
   /// Number of cached directional answers (an entry whose two directions
   /// are both known counts twice).
   size_t size() const { return known_directions_; }
+  /// Number of resident pair entries (each holds up to two directions).
+  size_t entry_count() const { return cache_.size(); }
   size_t capacity() const { return capacity_; }
 
   /// Drops all cached entries and resets the counters.
@@ -199,6 +202,24 @@ class SynchronizedOracle {
       size_t capacity = ContainmentOracle::kDefaultCapacity)
       : oracle_(capacity) {}
 
+  ~SynchronizedOracle() {
+    if (budget_ != nullptr) budget_->Release(charged_bytes_);
+  }
+
+  /// Points byte accounting at the Service's shared `MemoryBudget` (not
+  /// owned; may be null). Setup-time only — must not race serving calls.
+  void SetMemoryBudget(MemoryBudget* budget) { budget_ = budget; }
+
+  /// Halves the shared table (exclusive lock) — the memory ladder's
+  /// second rung. Every evicted direction is recomputable; correctness
+  /// is untouched. Returns the pair entries dropped.
+  size_t ShrinkHalf();
+
+  /// Estimated resident bytes of the shared table (racy snapshot).
+  size_t resident_bytes() const {
+    return oracle_entry_bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Points `shard`'s read-through at the shared table and its miss path
   /// at this wrapper's single-flight registry. Probes take the shared
   /// lock; this wrapper must outlive the shard's use.
@@ -213,8 +234,11 @@ class SynchronizedOracle {
   /// held, writes the direction through to the shared table, and wakes
   /// the waiters with the value. Late arrivals re-probe the shared table
   /// under the registry lock, so a published direction is never
-  /// recomputed. Waiters of an abandoned flight (leader unwound) compute
-  /// for themselves.
+  /// recomputed. The wait is deadline-aware (the caller's installed
+  /// `CancelToken` is polled; expiry throws `CancelledError` and leaves
+  /// the flight intact for other waiters). When a leader unwinds without
+  /// publishing, the waiters re-join and exactly one is promoted to
+  /// re-run the DP — one dead leader costs one retry, not a stampede.
   bool ContainedSingleFlight(uint64_t fp1, uint64_t fp2, const Pattern& p1,
                              const Pattern& p2);
 
@@ -235,6 +259,7 @@ class SynchronizedOracle {
     }
     std::unique_lock<std::shared_mutex> lock(mu_);
     oracle_.AbsorbFrom(shard);
+    SyncBudgetLocked();
   }
 
   // Counter snapshots (shared lock; `folded_hits_` holds the hits of
@@ -275,8 +300,23 @@ class SynchronizedOracle {
     return (oracle_.*getter)();
   }
 
+  /// Reconciles the budget charge with the table's current entry count
+  /// (requires the exclusive lock). Entries are fixed-size, so bytes are
+  /// tracked as count × footprint rather than per-insert plumbing.
+  void SyncBudgetLocked();
+
+  /// Estimated heap footprint of one resident pair entry (key + packed
+  /// directions + hash-node overhead).
+  static constexpr size_t kEntryFootprint =
+      sizeof(uint64_t) * 2 + sizeof(uint8_t) + 4 * sizeof(void*);
+
   mutable std::shared_mutex mu_;
   ContainmentOracle oracle_;
+  MemoryBudget* budget_ = nullptr;
+  /// Bytes currently charged to `budget_` (mutated under the exclusive
+  /// lock; read lock-free by `resident_bytes`).
+  size_t charged_bytes_ = 0;
+  std::atomic<size_t> oracle_entry_bytes_{0};
   std::atomic<uint64_t> folded_hits_{0};
   SingleFlight<DirectionKey, bool, DirectionKeyHash> flights_;
 };

@@ -5,6 +5,7 @@
 #include <cassert>
 
 #include "pattern/properties.h"
+#include "util/cancel.h"
 
 namespace xpv {
 
@@ -58,7 +59,14 @@ void EvalScratch::Compute(const Pattern& p, const Tree& t,
   down_.Reset(rows, p.size());
   sub_.Reset(rows, p.size());
   // Tree ids are topologically sorted; reverse order visits children first.
-  for (NodeId v = t.size() - 1; v >= 0; --v) ComputeRow(v);
+  // The walk is the serving path's longest uninterruptible stretch on big
+  // documents, so it polls the installed CancelToken every few hundred
+  // rows — a deadline interrupts mid-document, not at document boundaries.
+  CancelCheck cancel_check;
+  for (NodeId v = t.size() - 1; v >= 0; --v) {
+    cancel_check.Tick();
+    ComputeRow(v);
+  }
 }
 
 void EvalScratch::ComputeMany(const Pattern* const* patterns, size_t count,
@@ -78,7 +86,11 @@ void EvalScratch::ComputeMany(const Pattern* const* patterns, size_t count,
   }
   down_.Reset(t.size(), total);
   sub_.Reset(t.size(), total);
-  for (NodeId v = t.size() - 1; v >= 0; --v) ComputeRow(v);
+  CancelCheck cancel_check;
+  for (NodeId v = t.size() - 1; v >= 0; --v) {
+    cancel_check.Tick();
+    ComputeRow(v);
+  }
 }
 
 void EvalScratch::ComputeAnchored(const Pattern& p, const Tree& t,
@@ -148,7 +160,11 @@ void EvalScratch::ComputeAnchoredRows(const Tree& t,
   // Children have larger ids than their parents; decreasing id order is
   // children-first.
   std::sort(nodes, nodes + node_count, std::greater<NodeId>());
-  for (int i = 0; i < node_count; ++i) ComputeRow(nodes[i]);
+  CancelCheck cancel_check;
+  for (int i = 0; i < node_count; ++i) {
+    cancel_check.Tick();
+    ComputeRow(nodes[i]);
+  }
 }
 
 void EvalScratch::Update(const Tree& t, NodeId suffix_start,
@@ -170,7 +186,11 @@ void EvalScratch::Update(const Tree& t, NodeId suffix_start,
     }
     std::swap(sub_, grown);
   }
-  for (NodeId v = t.size() - 1; v >= suffix_start; --v) ComputeRow(v);
+  CancelCheck cancel_check;
+  for (NodeId v = t.size() - 1; v >= suffix_start; --v) {
+    cancel_check.Tick();
+    ComputeRow(v);
+  }
   for (NodeId v : dirty_prefix_desc) {
     assert(v < suffix_start);
     ComputeRow(v);

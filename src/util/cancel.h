@@ -1,0 +1,200 @@
+#ifndef XPV_UTIL_CANCEL_H_
+#define XPV_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace xpv {
+
+/// Thrown by cooperative cancellation points (`PollCancellation`) when the
+/// installed `CancelToken` has expired. The serving facade catches it at
+/// its entry points and converts it into the structured
+/// `kDeadlineExceeded`/`kCancelled` errors — no caller of `src/api/` ever
+/// sees this type escape.
+class CancelledError : public std::exception {
+ public:
+  explicit CancelledError(bool deadline_exceeded)
+      : deadline_exceeded_(deadline_exceeded) {}
+
+  /// True when a deadline ran out, false for an explicit `Cancel()`.
+  bool deadline_exceeded() const { return deadline_exceeded_; }
+
+  const char* what() const noexcept override {
+    return deadline_exceeded_ ? "deadline exceeded" : "cancelled";
+  }
+
+ private:
+  bool deadline_exceeded_;
+};
+
+/// A shared, copyable cancellation handle: an optional deadline plus an
+/// explicit cancel flag, checked *cooperatively* at pipeline phase
+/// boundaries and (amortized) inside the long-running kernels. A
+/// default-constructed token is null — it never expires and costs one
+/// pointer test to poll.
+///
+/// Tokens form at most one level of linkage: a token built with
+/// `Derived()` also expires when its parent does (the serving facade links
+/// a caller-provided cancel handle with a per-call deadline this way).
+class CancelToken {
+  struct State {
+    std::atomic<bool> cancelled{false};
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::shared_ptr<State> parent;  // At most one level deep.
+
+    bool Expired(bool* deadline_exceeded) const {
+      if (cancelled.load(std::memory_order_relaxed)) {
+        *deadline_exceeded = false;
+        return true;
+      }
+      if (has_deadline &&
+          std::chrono::steady_clock::now() >= deadline) {
+        *deadline_exceeded = true;
+        return true;
+      }
+      if (parent != nullptr) return parent->Expired(deadline_exceeded);
+      return false;
+    }
+  };
+
+ public:
+  /// Null token: `Expired()` is always false, `Cancel()` is a no-op.
+  CancelToken() = default;
+
+  /// A cancellable token with no deadline (expires only via `Cancel`).
+  static CancelToken Cancellable() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  /// A token that expires at `deadline` (and via `Cancel`).
+  static CancelToken WithDeadline(
+      std::chrono::steady_clock::time_point deadline) {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    t.state_->has_deadline = true;
+    t.state_->deadline = deadline;
+    return t;
+  }
+
+  /// A token that expires at `deadline` OR when `*this` expires — the
+  /// facade combines a caller's explicit cancel handle with the per-call
+  /// deadline through this. Requires `*this` to be underived (one level).
+  CancelToken Derived(std::chrono::steady_clock::time_point deadline) const {
+    CancelToken t = WithDeadline(deadline);
+    t.state_->parent = state_;
+    return t;
+  }
+
+  /// False for the null token.
+  bool valid() const { return state_ != nullptr; }
+
+  /// Signals explicit cancellation. Thread-safe; no-op on a null token.
+  /// Cooperative: in-flight work observes it at its next poll.
+  void Cancel() {
+    if (state_ != nullptr) {
+      state_->cancelled.store(true, std::memory_order_relaxed);
+    }
+  }
+
+  bool cancelled() const {
+    return state_ != nullptr &&
+           state_->cancelled.load(std::memory_order_relaxed);
+  }
+
+  std::optional<std::chrono::steady_clock::time_point> deadline() const {
+    if (state_ == nullptr || !state_->has_deadline) return std::nullopt;
+    return state_->deadline;
+  }
+
+  /// True when cancelled or past the deadline (of this token or its
+  /// parent). Reads the clock only when a deadline is set.
+  bool Expired() const {
+    bool unused;
+    return state_ != nullptr && state_->Expired(&unused);
+  }
+
+  /// Throws `CancelledError` when expired; otherwise returns.
+  void Poll() const {
+    bool deadline_exceeded;
+    if (state_ != nullptr && state_->Expired(&deadline_exceeded)) {
+      throw CancelledError(deadline_exceeded);
+    }
+  }
+
+ private:
+  friend class CancelScope;
+  std::shared_ptr<State> state_;
+};
+
+namespace internal {
+/// The thread's installed cancellation token (null when none). A raw
+/// pointer into the scope-owned token keeps the poll fast-path to one
+/// thread-local read and one null test.
+inline thread_local const CancelToken* tls_cancel_token = nullptr;
+}  // namespace internal
+
+/// Installs `token` as the thread's current cancellation token for the
+/// scope's lifetime (restoring the previous one on exit). The deep kernels
+/// — the canonical-model odometer, the evaluation DP walks, the
+/// single-flight latches — poll the *current* token through
+/// `PollCancellation()`, so threading a deadline through the whole
+/// pipeline is one scope at the entry point plus one per worker task (the
+/// batch pipeline re-installs the submitting call's token on its workers).
+class CancelScope {
+ public:
+  explicit CancelScope(const CancelToken& token)
+      : token_(token), previous_(internal::tls_cancel_token) {
+    internal::tls_cancel_token = token_.valid() ? &token_ : nullptr;
+  }
+  ~CancelScope() { internal::tls_cancel_token = previous_; }
+
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+  /// The thread's current token; a null token when no scope is active.
+  static CancelToken Current() {
+    return internal::tls_cancel_token == nullptr ? CancelToken()
+                                                 : *internal::tls_cancel_token;
+  }
+
+ private:
+  const CancelToken token_;
+  const CancelToken* const previous_;
+};
+
+/// Cooperative cancellation point: throws `CancelledError` when the
+/// thread's current token has expired; a no-op (one thread-local read)
+/// when no token is installed. Call at phase boundaries; inside hot loops
+/// amortize through `CancelCheck`.
+inline void PollCancellation() {
+  const CancelToken* token = internal::tls_cancel_token;
+  if (token != nullptr) token->Poll();
+}
+
+/// Amortized poll for hot loops: `Tick()` is one increment and one mask
+/// test (branch-cheap — the canonical-model odometer and the DP row walks
+/// call it per model/row); every `kStride` ticks it reads the clock via
+/// `PollCancellation`.
+class CancelCheck {
+ public:
+  static constexpr uint32_t kStride = 256;
+
+  void Tick() {
+    if ((++count_ & (kStride - 1)) == 0) PollCancellation();
+  }
+
+ private:
+  uint32_t count_ = 0;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_CANCEL_H_

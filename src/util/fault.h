@@ -1,0 +1,132 @@
+#ifndef XPV_UTIL_FAULT_H_
+#define XPV_UTIL_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace xpv {
+namespace fault {
+
+/// Thrown by an armed fault-injection point. Defined in every build (the
+/// catch sites compile unconditionally); only ever thrown when the hooks
+/// are compiled in AND armed. The serving facade converts it into the
+/// structured `kInternal` error — an injected fault must surface exactly
+/// like a real allocation failure would: structured, never a crash.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(const char* site)
+      : std::runtime_error(std::string("injected fault at ") + site),
+        site_(site) {}
+
+  const char* site() const { return site_; }
+
+ private:
+  const char* site_;
+};
+
+#ifdef XPV_FAULT_INJECTION
+
+/// True when the hooks are compiled in (`-DXPV_FAULT_INJECTION=on`). The
+/// default build compiles them to empty inline functions — zero overhead,
+/// asserted by `FaultInjectionTest.HooksCompiledOutInDefaultBuild`.
+inline constexpr bool kEnabled = true;
+
+/// Process-wide injector state. Deterministically seeded: every thread
+/// derives its stream from (seed, thread ordinal), so a single-threaded
+/// run replays exactly and a multi-threaded run is reproducible up to
+/// scheduling (the chaos suite asserts invariants, not exact histories).
+struct InjectorState {
+  std::atomic<uint32_t> per_million{0};  ///< Failure probability; 0 = off.
+  std::atomic<uint64_t> seed{0};
+  std::atomic<uint64_t> epoch{0};     ///< Bumped per Arm(); reseeds threads.
+  std::atomic<uint64_t> injected{0};  ///< Faults thrown since process start.
+  std::atomic<uint64_t> next_thread_ordinal{0};
+};
+
+inline InjectorState& GlobalInjector() {
+  static InjectorState state;
+  return state;
+}
+
+/// Arms every fault point with probability `per_million` / 1e6, streams
+/// seeded from `seed`. Thread-safe; `per_million == 0` disarms.
+inline void Arm(uint64_t seed, uint32_t per_million) {
+  InjectorState& g = GlobalInjector();
+  g.seed.store(seed, std::memory_order_relaxed);
+  g.per_million.store(per_million, std::memory_order_relaxed);
+  g.epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
+inline void Disarm() { GlobalInjector().per_million.store(0); }
+
+inline uint64_t InjectedCount() {
+  return GlobalInjector().injected.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+/// splitmix64 — the repo's standard cheap mixer (util/hash.h duplicates
+/// it; kept local so this header stays dependency-free for the library's
+/// lowest layer).
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+struct ThreadStream {
+  uint64_t state = 0;
+  uint64_t epoch = ~uint64_t{0};
+  uint64_t ordinal = 0;
+  bool ordinal_minted = false;
+};
+
+inline thread_local ThreadStream tls_stream;
+}  // namespace internal
+
+/// A fault-injection point. When armed, throws `FaultInjectedError(site)`
+/// with the configured probability, drawn from this thread's
+/// deterministic stream. Hook points live at allocation-heavy sites
+/// (view materialization), oracle/memo fills, and pool task boundaries —
+/// the places a real bad_alloc or backend failure would originate.
+inline void Point(const char* site) {
+  InjectorState& g = GlobalInjector();
+  const uint32_t per_million = g.per_million.load(std::memory_order_relaxed);
+  if (per_million == 0) return;
+  internal::ThreadStream& s = internal::tls_stream;
+  if (!s.ordinal_minted) {
+    s.ordinal = g.next_thread_ordinal.fetch_add(1, std::memory_order_relaxed);
+    s.ordinal_minted = true;
+  }
+  const uint64_t epoch = g.epoch.load(std::memory_order_relaxed);
+  if (s.epoch != epoch) {
+    s.epoch = epoch;
+    s.state = internal::Mix(g.seed.load(std::memory_order_relaxed) ^
+                            internal::Mix(s.ordinal + 1));
+  }
+  s.state = internal::Mix(s.state);
+  if (s.state % 1000000u < per_million) {
+    g.injected.fetch_add(1, std::memory_order_relaxed);
+    throw FaultInjectedError(site);
+  }
+}
+
+#else  // !XPV_FAULT_INJECTION
+
+inline constexpr bool kEnabled = false;
+
+/// No-op hooks: the default build carries zero fault-injection overhead —
+/// `Point` is an empty inline function the optimizer erases entirely.
+inline void Point(const char*) {}
+inline void Arm(uint64_t, uint32_t) {}
+inline void Disarm() {}
+inline uint64_t InjectedCount() { return 0; }
+
+#endif  // XPV_FAULT_INJECTION
+
+}  // namespace fault
+}  // namespace xpv
+
+#endif  // XPV_UTIL_FAULT_H_

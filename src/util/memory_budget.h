@@ -1,0 +1,113 @@
+#ifndef XPV_UTIL_MEMORY_BUDGET_H_
+#define XPV_UTIL_MEMORY_BUDGET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace xpv {
+
+/// Shared byte accounting for the serving layer's caches: the answer
+/// memo, the containment oracle and the materialized-view result sets all
+/// charge their resident bytes against one budget, so the `Service` can
+/// see total cache pressure and run its degradation ladder (shrink the
+/// memo, shrink the oracle, pause memo admission) *before* any component
+/// would have to refuse a write.
+///
+/// Charges are estimates (container bytes, not allocator-exact) and
+/// advisory: `Charge` never fails — the budget observes, the policy layer
+/// reacts. All methods are thread-safe; a limit of 0 means unlimited
+/// (accounting still runs so telemetry can report usage).
+class MemoryBudget {
+ public:
+  explicit MemoryBudget(size_t limit_bytes = 0) : limit_(limit_bytes) {}
+
+  MemoryBudget(const MemoryBudget&) = delete;
+  MemoryBudget& operator=(const MemoryBudget&) = delete;
+
+  /// True when a limit is configured.
+  bool limited() const { return limit_ != 0; }
+  size_t limit() const { return limit_; }
+
+  void Charge(size_t bytes) {
+    used_.fetch_add(bytes, std::memory_order_relaxed);
+  }
+
+  void Release(size_t bytes) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  size_t used() const { return used_.load(std::memory_order_relaxed); }
+
+  /// True when a limit is set and usage has reached it — the signal the
+  /// degradation ladder fires on.
+  bool OverLimit() const { return limited() && used() >= limit_; }
+
+  /// True when usage has fallen below `fraction` of the limit — the
+  /// hysteresis signal for undoing reversible degradation steps (memo
+  /// admission resumes below the low watermark, not at limit-minus-one).
+  bool Below(double fraction) const {
+    return !limited() ||
+           used() < static_cast<size_t>(static_cast<double>(limit_) * fraction);
+  }
+
+ private:
+  const size_t limit_;
+  std::atomic<uint64_t> used_{0};
+};
+
+/// A move-safe running charge against a budget: `Set` adjusts the charged
+/// amount by the delta, destruction releases whatever is still charged,
+/// and a moved-from holder holds nothing — components with defaulted move
+/// operations (e.g. `ViewCache`) embed one and never double-release. A
+/// default-constructed holder (no budget) tracks bytes without charging.
+class ScopedCharge {
+ public:
+  ScopedCharge() = default;
+  explicit ScopedCharge(MemoryBudget* budget) : budget_(budget) {}
+
+  ScopedCharge(ScopedCharge&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  ScopedCharge& operator=(ScopedCharge&& other) noexcept {
+    if (this != &other) {
+      if (budget_ != nullptr) budget_->Release(bytes_);
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  ScopedCharge(const ScopedCharge&) = delete;
+  ScopedCharge& operator=(const ScopedCharge&) = delete;
+
+  ~ScopedCharge() {
+    if (budget_ != nullptr) budget_->Release(bytes_);
+  }
+
+  /// Adjusts the charge to exactly `bytes` (charging or releasing the
+  /// difference).
+  void Set(size_t bytes) {
+    if (budget_ != nullptr) {
+      if (bytes > bytes_) {
+        budget_->Charge(bytes - bytes_);
+      } else {
+        budget_->Release(bytes_ - bytes);
+      }
+    }
+    bytes_ = bytes;
+  }
+
+  size_t bytes() const { return bytes_; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  size_t bytes_ = 0;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_MEMORY_BUDGET_H_

@@ -2,6 +2,7 @@
 #define XPV_UTIL_SINGLE_FLIGHT_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -156,6 +157,27 @@ class SingleFlight {
   std::optional<Value> Wait(Ticket& ticket) {
     std::unique_lock<std::mutex> fl(ticket.flight_->m);
     ticket.flight_->cv.wait(fl, [&] { return ticket.flight_->state != 0; });
+    ticket.resolved_ = true;
+    if (ticket.flight_->state == 1) return ticket.flight_->value;
+    return std::nullopt;
+  }
+
+  /// `Wait` with a cooperative escape hatch: `poll()` is invoked every few
+  /// milliseconds while blocked, so a joiner holding a deadline or cancel
+  /// token is never stranded on the latch — its poll throws
+  /// (`CancelledError`), the wait unwinds, and the flight is untouched
+  /// (non-leader tickets never abandon). The latency is bounded by the
+  /// poll period, not by the leader's computation.
+  template <typename PollFn>
+  std::optional<Value> WaitPolling(Ticket& ticket, PollFn&& poll) {
+    std::unique_lock<std::mutex> fl(ticket.flight_->m);
+    while (!ticket.flight_->cv.wait_for(
+        fl, std::chrono::milliseconds(2),
+        [&] { return ticket.flight_->state != 0; })) {
+      fl.unlock();
+      poll();  // May throw; the flight stays pending for other waiters.
+      fl.lock();
+    }
     ticket.resolved_ = true;
     if (ticket.flight_->state == 1) return ticket.flight_->value;
     return std::nullopt;

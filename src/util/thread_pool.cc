@@ -2,9 +2,12 @@
 
 #include <utility>
 
+#include "util/fault.h"
+
 namespace xpv {
 
-ThreadPool::ThreadPool(int num_threads) {
+ThreadPool::ThreadPool(int num_threads, size_t max_queue)
+    : max_queue_(max_queue) {
   if (num_threads < 1) num_threads = 1;
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
@@ -24,6 +27,11 @@ int ThreadPool::num_threads() const {
   return static_cast<int>(workers_.size());
 }
 
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -31,6 +39,42 @@ ThreadPool::~ThreadPool() {
   }
   work_cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::TaskGroup::RunTask(const std::function<void()>& task) {
+  // Queued tasks of a cancelled (or already-failed) group are skipped
+  // without running their body: a dead batch stops consuming workers the
+  // moment its token flips, instead of grinding through the backlog. The
+  // expiry check is the cooperative cancel contract — tasks already
+  // running poll their own token.
+  bool skip = cancel_.Expired();
+  if (!skip) {
+    std::lock_guard<std::mutex> lock(mu_);
+    skip = error_ != nullptr;
+  }
+  if (skip) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++skipped_;
+    return;
+  }
+  try {
+    fault::Point("pool.task");
+    task();
+  } catch (...) {
+    // First escapee fails the group; the rest are redundant (the cancel
+    // below drains the remaining queue as skips). Captured, not rethrown
+    // on the worker: the group's owner receives it via RethrowIfFailed.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (error_ == nullptr) error_ = std::current_exception();
+    }
+    cancel_.Cancel();
+  }
+}
+
+void ThreadPool::TaskGroup::Finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (--pending_ == 0) cv_.notify_all();
 }
 
 void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
@@ -42,15 +86,20 @@ void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     ++pending_;
   }
+  std::function<void()> wrapped = [this, task = std::move(task)] {
+    RunTask(task);
+    Finish();
+  };
   try {
-    pool_->Submit([this, task = std::move(task)] {
-      task();
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--pending_ == 0) cv_.notify_all();
-    });
+    // Backpressure: when the pool's bounded queue refuses, the task runs
+    // inline on the submitting thread — the batch makes progress at
+    // caller-pays speed instead of growing an unbounded backlog (and a
+    // group can never deadlock on its own submissions).
+    if (!pool_->TrySubmit(wrapped)) {
+      wrapped();
+    }
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (--pending_ == 0) cv_.notify_all();
+    Finish();
     throw;
   }
 }
@@ -60,12 +109,44 @@ void ThreadPool::TaskGroup::Wait() {
   cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
+bool ThreadPool::TaskGroup::ok() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_ == nullptr;
+}
+
+void ThreadPool::TaskGroup::RethrowIfFailed() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = error_;
+  }
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+uint64_t ThreadPool::TaskGroup::skipped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return skipped_;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()>& task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (max_queue_ != 0 && queue_.size() >= max_queue_) {
+      queue_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -82,7 +163,16 @@ void ThreadPool::WorkerLoop() {
     queue_.pop_front();
     ++active_;
     lock.unlock();
-    task();
+    // Safety net for raw-Submit tasks: an escaping exception must never
+    // std::terminate a worker (it would take the whole service down).
+    // TaskGroup tasks capture their own exceptions before this; anything
+    // caught here had no owner to report to, so it is counted and
+    // dropped.
+    try {
+      task();
+    } catch (...) {
+      uncaught_task_exceptions_.fetch_add(1, std::memory_order_relaxed);
+    }
     lock.lock();
     --active_;
     if (queue_.empty() && active_ == 0) idle_cv_.notify_all();

@@ -4,12 +4,27 @@
 #include <mutex>
 #include <optional>
 
+#include "util/cancel.h"
+
 namespace xpv {
 
 std::shared_ptr<const AnswerCache::Entry> AnswerCache::Fill::Wait() {
-  std::optional<std::shared_ptr<const Entry>> value =
-      owner_->fills_.Wait(ticket_);
-  return value.has_value() ? *value : nullptr;
+  for (;;) {
+    std::optional<std::shared_ptr<const Entry>> value =
+        owner_->fills_.WaitPolling(ticket_, [] { PollCancellation(); });
+    if (value.has_value()) return *value;
+    // The leader abandoned (exception unwind). Re-join the key: the
+    // first waiter through the registry lock is promoted to the new
+    // leader — it alone returns null with `leader()` now true and
+    // computes — while the rest land on the promoted waiter's fresh
+    // flight and keep waiting. One dead leader costs one retry; a
+    // publish that races the re-join is caught by the table probe.
+    auto result = owner_->fills_.Join(
+        key_, [&] { return owner_->ProbeTable(key_); });
+    if (result.immediate.has_value()) return *result.immediate;
+    ticket_ = std::move(result.ticket);
+    if (ticket_.leader()) return nullptr;
+  }
 }
 
 AnswerCache::Fill AnswerCache::BeginFill(const Key& key) {
@@ -20,25 +35,27 @@ AnswerCache::Fill AnswerCache::BeginFill(const Key& key) {
     fill.entry_ = std::move(entry);
     return fill;
   }
-  auto result = fills_.Join(
-      key, [&]() -> std::optional<std::shared_ptr<const Entry>> {
-        // Registry-lock probe: a leader that published between our
-        // Lookup miss and this Join already erased its flight AFTER
-        // inserting, so the table re-probe here sees its entry — we can
-        // never lead a key that is already resident.
-        std::shared_lock<std::shared_mutex> lock(mu_);
-        auto it = table_.find(key);
-        if (it == table_.end()) return std::nullopt;
-        it->second.ref.store(1, std::memory_order_relaxed);
-        hits_.fetch_add(1, std::memory_order_relaxed);
-        return it->second.entry;
-      });
+  // Registry-lock probe: a leader that published between our Lookup
+  // miss and this Join already erased its flight AFTER inserting, so
+  // the table re-probe here sees its entry — we can never lead a key
+  // that is already resident.
+  auto result = fills_.Join(key, [&] { return ProbeTable(key); });
   if (result.immediate.has_value()) {
     fill.entry_ = std::move(*result.immediate);
     return fill;
   }
   fill.ticket_ = std::move(result.ticket);
   return fill;
+}
+
+std::optional<std::shared_ptr<const AnswerCache::Entry>>
+AnswerCache::ProbeTable(const Key& key) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = table_.find(key);
+  if (it == table_.end()) return std::nullopt;
+  it->second.ref.store(1, std::memory_order_relaxed);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.entry;
 }
 
 std::shared_ptr<const AnswerCache::Entry> AnswerCache::Publish(Fill& fill,
@@ -68,9 +85,36 @@ void AnswerCache::Insert(const Key& key, Entry entry) {
   InsertShared(key, std::make_shared<const Entry>(std::move(entry)));
 }
 
+size_t AnswerCache::EntryBytes(const Entry& entry) {
+  // An estimate of the dominant heap payloads, not an allocator audit:
+  // the answer's node-id vector, the view name, the rewriting's per-node
+  // arrays, plus the node itself. Captured once at insert so the release
+  // on eviction matches the charge exactly.
+  size_t bytes = sizeof(Slot) + sizeof(Entry);
+  bytes += entry.answer.view_name.capacity();
+  bytes += entry.answer.outputs.capacity() * sizeof(NodeId);
+  bytes += static_cast<size_t>(entry.answer.rewriting.size()) *
+           (sizeof(LabelId) + sizeof(NodeId) + sizeof(EdgeType) +
+            sizeof(std::vector<NodeId>));
+  return bytes;
+}
+
+void AnswerCache::ReleaseSlotBytes(const Slot& slot) {
+  bytes_.fetch_sub(slot.bytes, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->Release(slot.bytes);
+}
+
 void AnswerCache::InsertShared(const Key& key,
                                std::shared_ptr<const Entry> entry) {
   if (!enabled()) return;
+  if (!admitting()) {
+    // Admission paused (memory ladder, last rung): the entry is dropped
+    // — never refused. The caller already holds the computed answer and
+    // `Publish` still hands this same allocation to every waiter.
+    admission_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const size_t bytes = EntryBytes(*entry);
   std::unique_lock<std::shared_mutex> lock(mu_);
   if (table_.count(key) > 0) return;  // A racing filler already published.
   if (table_.size() >= capacity_) {
@@ -80,7 +124,9 @@ void AnswerCache::InsertShared(const Key& key,
     }
     EvictSome();
   }
-  table_.emplace(key, Slot(std::move(entry)));
+  table_.emplace(key, Slot(std::move(entry), bytes));
+  bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (budget_ != nullptr) budget_->Charge(bytes);
   insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -102,6 +148,7 @@ size_t AnswerCache::EraseScope(uint64_t scope) {
   size_t erased = 0;
   for (auto it = table_.begin(); it != table_.end();) {
     if (it->first.scope == scope) {
+      ReleaseSlotBytes(it->second);
       it = table_.erase(it);
       ++erased;
     } else {
@@ -112,6 +159,33 @@ size_t AnswerCache::EraseScope(uint64_t scope) {
   return erased;
 }
 
+size_t AnswerCache::ShrinkHalf() {
+  if (!enabled()) return 0;
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const size_t target = table_.size() / 2;
+  size_t evicted = 0;
+  // Cold entries first (second-chance bit), then front-drop if the
+  // table is all-hot — the ladder must actually reclaim when asked.
+  for (auto it = table_.begin();
+       it != table_.end() && table_.size() > target;) {
+    if (it->second.ref.exchange(0, std::memory_order_relaxed) != 0) {
+      ++it;
+      continue;
+    }
+    ReleaseSlotBytes(it->second);
+    it = table_.erase(it);
+    ++evicted;
+  }
+  for (auto it = table_.begin();
+       it != table_.end() && table_.size() > target;) {
+    ReleaseSlotBytes(it->second);
+    it = table_.erase(it);
+    ++evicted;
+  }
+  evictions_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
 size_t AnswerCache::size() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return table_.size();
@@ -119,6 +193,7 @@ size_t AnswerCache::size() const {
 
 void AnswerCache::Clear() {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  for (const auto& kv : table_) ReleaseSlotBytes(kv.second);
   table_.clear();
   std::fill(door_.begin(), door_.end(), 0);
   hits_.store(0, std::memory_order_relaxed);
@@ -127,6 +202,7 @@ void AnswerCache::Clear() {
   evictions_.store(0, std::memory_order_relaxed);
   erased_.store(0, std::memory_order_relaxed);
   doorkeeper_rejects_.store(0, std::memory_order_relaxed);
+  admission_drops_.store(0, std::memory_order_relaxed);
 }
 
 void AnswerCache::EvictSome() {
@@ -141,11 +217,13 @@ void AnswerCache::EvictSome() {
       ++it;
       continue;
     }
+    ReleaseSlotBytes(it->second);
     it = table_.erase(it);
     ++evicted;
   }
   // All-hot table: drop from the front so the insert always finds room.
   for (auto it = table_.begin(); it != table_.end() && evicted < 1;) {
+    ReleaseSlotBytes(it->second);
     it = table_.erase(it);
     ++evicted;
   }

@@ -5,12 +5,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/memory_budget.h"
 #include "util/single_flight.h"
 #include "views/view_cache.h"
 
@@ -113,6 +115,11 @@ class AnswerCache {
     uint64_t evictions = 0;
     uint64_t erased = 0;
     uint64_t doorkeeper_rejects = 0;
+    /// Inserts dropped while admission was paused (`set_admitting(false)`
+    /// — the memory ladder's last reversible step before refusing
+    /// anything). Dropping an insert never affects correctness: the
+    /// caller already holds the computed answer.
+    uint64_t admission_drops = 0;
   };
 
   /// Single-flight counters (never reset; see `SingleFlight`).
@@ -122,13 +129,25 @@ class AnswerCache {
     uint64_t abandons = 0;
   };
 
+  /// `budget`, when non-null, is charged with each resident entry's
+  /// estimated bytes (released on evict/erase/clear) — the Service's
+  /// shared `MemoryBudget`. Not owned; must outlive the cache and be set
+  /// before concurrent use (construction time).
   explicit AnswerCache(size_t capacity = kDefaultCapacity,
-                       bool doorkeeper = false)
+                       bool doorkeeper = false,
+                       MemoryBudget* budget = nullptr)
       : capacity_(capacity),
-        door_(doorkeeper && capacity > 0 ? kDoorkeeperSlots : 0, 0) {}
+        door_(doorkeeper && capacity > 0 ? kDoorkeeperSlots : 0, 0),
+        budget_(budget) {}
 
   AnswerCache(const AnswerCache&) = delete;
   AnswerCache& operator=(const AnswerCache&) = delete;
+
+  ~AnswerCache() {
+    if (budget_ != nullptr) {
+      budget_->Release(bytes_.load(std::memory_order_relaxed));
+    }
+  }
 
   /// False when constructed with capacity 0 (memoization off).
   bool enabled() const { return capacity_ > 0; }
@@ -161,9 +180,15 @@ class AnswerCache {
     /// True when this caller must compute and `Publish`.
     bool leader() const { return ticket_.leader(); }
 
-    /// Follower only: blocks until the leader publishes and returns its
-    /// entry. Null when the leader abandoned — compute for yourself
-    /// (and `Insert` the result as usual).
+    /// Follower only: blocks until a leader publishes and returns its
+    /// entry. The wait is deadline-aware (the caller's installed
+    /// `CancelToken` is polled every few ms; expiry throws
+    /// `CancelledError`) and *re-electing*: when the leader unwinds
+    /// without publishing, the waiters re-join the key and exactly one
+    /// is promoted — `Wait` returns null with `leader()` now true, and
+    /// that caller (alone) computes and `Publish`es. The rest keep
+    /// waiting on the new flight. A dead leader therefore costs one
+    /// retry, not a thundering herd.
     std::shared_ptr<const Entry> Wait();
 
    private:
@@ -190,6 +215,30 @@ class AnswerCache {
   /// so the leader serves from the same allocation.
   std::shared_ptr<const Entry> Publish(Fill& fill, Entry entry);
 
+  /// Halves residency (exclusive lock): runs the second-chance sweep
+  /// until at most half the entries remain. The memory ladder's first
+  /// rung — reclaims answer-vector bytes without touching correctness
+  /// (every dropped entry is recomputable). Returns entries dropped
+  /// (counted in `stats().evictions`).
+  size_t ShrinkHalf();
+
+  /// Pauses (false) or resumes (true) admission of NEW entries. While
+  /// paused, `Insert`/`Publish` drop the entry instead of making it
+  /// resident (counted in `stats().admission_drops`); lookups, waiter
+  /// hand-off, and eviction are unaffected. The ladder's last rung:
+  /// the cache stops growing but never refuses to serve.
+  void set_admitting(bool admitting) {
+    admitting_.store(admitting, std::memory_order_relaxed);
+  }
+  bool admitting() const {
+    return admitting_.load(std::memory_order_relaxed);
+  }
+
+  /// Estimated resident bytes (slot payloads; racy snapshot).
+  size_t resident_bytes() const {
+    return bytes_.load(std::memory_order_relaxed);
+  }
+
   /// Drops every entry of `scope`, any epoch (exclusive lock). Called
   /// when a document is removed or replaced: its entries are already
   /// unreachable (the epoch advanced), but their answer vectors would
@@ -207,7 +256,8 @@ class AnswerCache {
                  insertions_.load(std::memory_order_relaxed),
                  evictions_.load(std::memory_order_relaxed),
                  erased_.load(std::memory_order_relaxed),
-                 doorkeeper_rejects_.load(std::memory_order_relaxed)};
+                 doorkeeper_rejects_.load(std::memory_order_relaxed),
+                 admission_drops_.load(std::memory_order_relaxed)};
   }
 
   FillStats fill_stats() const {
@@ -226,18 +276,23 @@ class AnswerCache {
   /// entry is immutable and shared out to readers, so eviction only
   /// drops a reference.
   struct Slot {
-    explicit Slot(Entry entry_in)
-        : entry(std::make_shared<const Entry>(std::move(entry_in))) {}
-    explicit Slot(std::shared_ptr<const Entry> entry_in)
-        : entry(std::move(entry_in)) {}
+    explicit Slot(std::shared_ptr<const Entry> entry_in, size_t bytes_in)
+        : entry(std::move(entry_in)), bytes(bytes_in) {}
     Slot(Slot&& other) noexcept
         : entry(std::move(other.entry)),
+          bytes(other.bytes),
           ref(other.ref.load(std::memory_order_relaxed)) {}
 
     std::shared_ptr<const Entry> entry;
+    /// Estimated payload bytes, captured at insert so the budget release
+    /// on eviction matches the charge exactly (the entry is immutable).
+    size_t bytes = 0;
     /// Mutable: `Lookup` marks references under the SHARED lock.
     mutable std::atomic<uint8_t> ref{1};
   };
+
+  /// Estimated heap footprint of one entry (payload vectors + node).
+  static size_t EntryBytes(const Entry& entry);
 
   /// Second-chance sweep making room for one insert. Requires the
   /// exclusive lock. Referenced slots get their bit cleared and survive;
@@ -254,6 +309,15 @@ class AnswerCache {
   /// remembered and rejected; the second one is admitted.
   bool AdmitUnderPressure(const Key& key);
 
+  /// Returns the resident entry for `key` (marking it referenced and
+  /// counting a hit) or nullopt. Takes the shared lock itself — the
+  /// registry-lock probe `BeginFill` and the re-election path share.
+  std::optional<std::shared_ptr<const Entry>> ProbeTable(const Key& key);
+
+  /// Uncharges one slot's bytes (cache counter + shared budget); call
+  /// immediately before erasing the slot, under the exclusive lock.
+  void ReleaseSlotBytes(const Slot& slot);
+
   static constexpr size_t kDoorkeeperSlots = 1024;  // Power of two.
 
   mutable std::shared_mutex mu_;
@@ -263,12 +327,18 @@ class AnswerCache {
   /// off. Guarded by the exclusive lock (only `Insert` paths touch it).
   std::vector<uint64_t> door_;
   SingleFlight<Key, std::shared_ptr<const Entry>, KeyHash> fills_;
+  /// Shared service budget (may be null). Charged on residency only —
+  /// entries handed to waiters without admission carry no charge.
+  MemoryBudget* const budget_;
+  std::atomic<bool> admitting_{true};
+  std::atomic<size_t> bytes_{0};
   mutable std::atomic<uint64_t> hits_{0};
   mutable std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> insertions_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> erased_{0};
   std::atomic<uint64_t> doorkeeper_rejects_{0};
+  std::atomic<uint64_t> admission_drops_{0};
 };
 
 }  // namespace xpv

@@ -26,6 +26,19 @@ MaterializedView::MaterializedView(ViewDefinition definition, const Tree& doc)
   outputs_ = Eval(definition_.pattern, doc);
 }
 
+size_t MaterializedView::EstimatedBytes() const {
+  // Estimate of the dominant payloads: the stored output ids, the name,
+  // and the definition pattern's per-node arrays (labels, parents, edges,
+  // child lists). The document is NOT counted — it is owned elsewhere.
+  size_t bytes = sizeof(MaterializedView);
+  bytes += outputs_.capacity() * sizeof(NodeId);
+  bytes += definition_.name.capacity();
+  bytes += static_cast<size_t>(definition_.pattern.size()) *
+           (sizeof(LabelId) + sizeof(NodeId) + sizeof(EdgeType) +
+            sizeof(std::vector<NodeId>));
+  return bytes;
+}
+
 std::vector<Tree> MaterializedView::MaterializeCopies() const {
   std::vector<Tree> copies;
   copies.reserve(outputs_.size());
@@ -106,6 +119,8 @@ int ViewCache::AddView(ViewDefinition definition) {
   }
   views_.emplace_back(std::move(definition), *doc_);
   active_.push_back(1);
+  slot_bytes_.push_back(views_.back().EstimatedBytes());
+  charge_.Set(charge_.bytes() + slot_bytes_.back());
   ++active_views_;
   index_.Add(views_.back().definition().pattern);
   ++epoch_;
@@ -115,6 +130,9 @@ int ViewCache::AddView(ViewDefinition definition) {
 void ViewCache::ReplaceView(int index, ViewDefinition definition) {
   const size_t i = static_cast<size_t>(index);
   views_[i] = MaterializedView(std::move(definition), *doc_);
+  const size_t new_bytes = views_[i].EstimatedBytes();
+  charge_.Set(charge_.bytes() - slot_bytes_[i] + new_bytes);
+  slot_bytes_[i] = new_bytes;
   index_.Replace(index, views_[i].definition().pattern);
   if (active_[i] == 0) {
     // Reviving a tombstone: unlink it from the free list, or a later
@@ -132,6 +150,8 @@ void ViewCache::RemoveView(int index) {
   const size_t i = static_cast<size_t>(index);
   if (active_[i] == 0) return;
   views_[i] = MaterializedView();  // Drop the materialized data.
+  charge_.Set(charge_.bytes() - slot_bytes_[i]);
+  slot_bytes_[i] = 0;
   index_.Remove(index);
   active_[i] = 0;
   --active_views_;
@@ -441,20 +461,31 @@ std::vector<PlannedAnswer> ViewCache::ExecutePlan(
     }
     // The group is awaited rather than the pool: the Service shares ONE
     // pool across concurrent batches, and this batch must not wait out
-    // (or be starved by) the others' submissions.
-    ThreadPool::TaskGroup group(pool);
+    // (or be starved by) the others' submissions. The group carries the
+    // submitting call's cancel token, and each worker task re-installs it
+    // as its thread's current token — the caller's deadline reaches the
+    // kernels on every worker, and once it expires the still-queued
+    // chunks are skipped instead of ground through.
+    const CancelToken cancel = CancelScope::Current();
+    ThreadPool::TaskGroup group(pool, cancel);
     const int base = n_items / workers;
     const int extra = n_items % workers;
     int begin = 0;
     for (int w = 0; w < workers; ++w) {
       const int end = begin + base + (w < extra ? 1 : 0);
       ContainmentOracle* shard = shards[static_cast<size_t>(w)].get();
-      group.Submit([&process, begin, end, shard] {
+      group.Submit([&process, begin, end, shard, &cancel] {
+        CancelScope scope(cancel);
+        PollCancellation();  // Don't start a chunk on a dead deadline.
         process(begin, end, shard);
       });
       begin = end;
     }
     group.Wait();
+    // Completed shards are absorbed even when a worker failed — their
+    // containment entries are valid regardless — and the first worker
+    // exception then resurfaces here with its original type, for the
+    // facade to map into a structured error.
     for (const auto& shard : shards) {
       if (shared != nullptr) {
         shared->Absorb(*shard);
@@ -462,6 +493,7 @@ std::vector<PlannedAnswer> ViewCache::ExecutePlan(
         oracle_->AbsorbFrom(*shard);
       }
     }
+    group.RethrowIfFailed();
   }
   return answers;
 }

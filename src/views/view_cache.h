@@ -10,6 +10,7 @@
 #include "containment/oracle.h"
 #include "pattern/pattern.h"
 #include "rewrite/engine.h"
+#include "util/memory_budget.h"
 #include "views/view_index.h"
 #include "xml/tree.h"
 
@@ -58,6 +59,11 @@ class MaterializedView {
   /// o in outputs() of r(doc^o), as sorted node ids of `doc`. By
   /// Proposition 2.4 this equals (r ∘ V)(doc).
   std::vector<NodeId> Apply(const Pattern& r) const;
+
+  /// Estimated heap bytes held by this view (stored output ids, name,
+  /// definition pattern) — what the owning cache charges against the
+  /// service's `MemoryBudget`.
+  size_t EstimatedBytes() const;
 
   /// `Apply` for several rewritings at once, sharing the anchored
   /// embedding DP over the stored subtrees: the group is packed into one
@@ -262,6 +268,19 @@ class ViewCache {
       const std::vector<PlannedQuery>& queries, int num_workers,
       ThreadPool* pool, SynchronizedOracle* shared) const;
 
+  /// Points materialized-result byte accounting at the service's shared
+  /// `MemoryBudget` (not owned; may be null). Charges the bytes of any
+  /// views already resident. Setup-time only — must not race serving.
+  void SetMemoryBudget(MemoryBudget* budget) {
+    charge_ = ScopedCharge(budget);
+    size_t total = 0;
+    for (size_t b : slot_bytes_) total += b;
+    charge_.Set(total);
+  }
+
+  /// Estimated bytes of all live materialized results.
+  size_t resident_view_bytes() const { return charge_.bytes(); }
+
   const CacheStats& stats() const { return stats_; }
 
   /// The cache's memoizing containment oracle (repeated queries amortize
@@ -321,6 +340,8 @@ class ViewCache {
   ContainmentOracle* oracle_;  // owned_oracle_.get() or the injected one.
   std::deque<MaterializedView> views_;  // Stable slots; see views().
   std::vector<char> active_;  // Parallel to views_: 0 = tombstoned slot.
+  std::vector<size_t> slot_bytes_;  // Parallel to views_: charged bytes.
+  ScopedCharge charge_;  // Running budget charge for the live views.
   std::vector<int> free_slots_;  // Tombstoned slots awaiting AddView reuse.
   int active_views_ = 0;
   uint64_t epoch_ = 0;  // See epoch().

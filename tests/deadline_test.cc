@@ -1,0 +1,375 @@
+// Overload-safe serving (PR 7): deadlines and cancellation, the O(items)
+// already-expired fast path, partial-batch determinism, admission control
+// (kOverloaded + retry-after hint), and the shared memory budget's
+// degradation ladder. Everything here is tier-1 and sanitizer-clean.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/service.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+using std::chrono::steady_clock;
+
+Tree Doc(const std::string& xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << xml;
+  return std::move(result).value();
+}
+
+steady_clock::time_point Past() {
+  return steady_clock::now() - std::chrono::seconds(1);
+}
+
+/// A service with `docs` random documents, each carrying a few prefix
+/// views (rewrites exist), plus the batch of random queries over them.
+/// Seed-deterministic: two calls with the same seed build twins.
+struct Workload {
+  Service service;
+  std::vector<BatchItem> items;
+};
+
+void BuildWorkload(uint64_t seed, int docs, int queries_per_doc,
+                   Workload* out, ServiceOptions options = {}) {
+  out->service = Service(std::move(options));
+  Rng rng(seed);
+  PatternGenOptions pattern_gen;
+  pattern_gen.max_depth = 5;
+  pattern_gen.max_branches = 2;
+  TreeGenOptions tree_gen;
+  tree_gen.max_nodes = 300;
+  for (int d = 0; d < docs; ++d) {
+    Pattern anchor = RandomPattern(rng, pattern_gen);
+    DocumentId id = out->service.AddDocument(
+        DocumentWithMatches(rng, anchor, tree_gen, 3));
+    for (int v = 0; v < 3; ++v) {
+      int k = 0;
+      Pattern query = RandomPattern(rng, pattern_gen);
+      Pattern view = PrefixView(rng, query, &k);
+      if (view.IsEmpty()) continue;
+      (void)out->service.AddView(id, "v" + std::to_string(v), view);
+    }
+    for (int q = 0; q < queries_per_doc; ++q) {
+      out->items.push_back(BatchItem{id, Query(RandomPattern(rng, pattern_gen))});
+    }
+  }
+}
+
+// ------------------------------------------------------------ deadlines
+
+TEST(DeadlineTest, ExpiredBatchFailsFastRegardlessOfSize) {
+  // The fast path: an already-expired call must fail every item with a
+  // structured error in O(items) — no parsing, no planning, no locks —
+  // regardless of batch or document size.
+  Workload w;
+  BuildWorkload(/*seed=*/1, /*docs=*/4, /*queries_per_doc=*/4, &w);
+  std::vector<BatchItem> big;
+  for (int r = 0; r < 500; ++r) {
+    big.push_back(w.items[static_cast<size_t>(r) % w.items.size()]);
+  }
+  const uint64_t queries_before = w.service.stats().queries;
+  CallOptions call;
+  call.deadline = Past();
+  const auto start = steady_clock::now();
+  ServiceResult<BatchAnswers> result = w.service.AnswerBatch(big, call);
+  const auto elapsed = steady_clock::now() - start;
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().answers.size(), big.size());
+  for (const auto& item : result.value().answers) {
+    ASSERT_FALSE(item.ok());
+    EXPECT_EQ(item.error().code, ServiceErrorCode::kDeadlineExceeded);
+  }
+  // No work was planned or executed: serving counters did not move. The
+  // elapsed bound is generous for sanitizer builds; the structural
+  // no-work assertions are the real check (native runs are ~microseconds).
+  EXPECT_EQ(w.service.stats().queries, queries_before);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            100);
+  EXPECT_EQ(w.service.stats().deadline_exceeded, big.size());
+}
+
+TEST(DeadlineTest, ExpiredSingleAnswerFailsFast) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  CallOptions call;
+  call.deadline = Past();
+  ServiceResult<Answer> result = service.Answer(doc, "a/b", call);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ServiceErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(service.stats().deadline_exceeded, 1u);
+  // Without a deadline the same call answers normally.
+  ASSERT_TRUE(service.Answer(doc, "a/b").ok());
+}
+
+TEST(DeadlineTest, PreCancelledTokenReportsCancelledNotDeadline) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  CallOptions call;
+  call.cancel = CancelToken::Cancellable();
+  call.cancel.Cancel();
+  ServiceResult<Answer> result = service.Answer(doc, "a/b", call);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ServiceErrorCode::kCancelled);
+  EXPECT_EQ(service.stats().cancelled, 1u);
+  EXPECT_EQ(service.stats().deadline_exceeded, 0u);
+}
+
+TEST(DeadlineTest, PartialResultsAreBitIdenticalToUnconstrainedRun) {
+  // Twin workloads (same seed): one runs unconstrained, one under a tight
+  // deadline. Whatever prefix the constrained run answered must be
+  // bit-identical to the unconstrained twin — answers are pure functions
+  // of (document, view set, query), so a deadline can only cut the batch
+  // short, never change an answered item.
+  Workload reference;
+  BuildWorkload(/*seed=*/7, /*docs=*/6, /*queries_per_doc=*/8, &reference);
+  ServiceResult<BatchAnswers> expected =
+      reference.service.AnswerBatch(reference.items, 1);
+  ASSERT_TRUE(expected.ok());
+
+  Workload constrained;
+  BuildWorkload(/*seed=*/7, /*docs=*/6, /*queries_per_doc=*/8, &constrained);
+  CallOptions call;
+  call.deadline = steady_clock::now() + std::chrono::milliseconds(2);
+  ServiceResult<BatchAnswers> got =
+      constrained.service.AnswerBatch(constrained.items, call);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().answers.size(), expected.value().answers.size());
+  size_t answered = 0;
+  for (size_t i = 0; i < got.value().answers.size(); ++i) {
+    const auto& item = got.value().answers[i];
+    if (item.ok()) {
+      ++answered;
+      ASSERT_TRUE(expected.value().answers[i].ok());
+      EXPECT_EQ(item.value().outputs,
+                expected.value().answers[i].value().outputs)
+          << "item " << i << " diverged from the unconstrained run";
+    } else {
+      EXPECT_EQ(item.error().code, ServiceErrorCode::kDeadlineExceeded);
+    }
+  }
+  // Both outcomes are legal per item (the machine may be fast or slow);
+  // the invariant is the bit-identity above plus structured errors below.
+  SCOPED_TRACE("answered " + std::to_string(answered) + "/" +
+               std::to_string(got.value().answers.size()));
+}
+
+TEST(DeadlineTest, MidFlightCancelAbortsWithoutHanging) {
+  // A cancel fired from another thread mid-batch must abort the call at
+  // its next poll: the call RETURNS (never hangs), answered items stand,
+  // unanswered items carry kCancelled.
+  Workload reference;
+  BuildWorkload(/*seed=*/11, /*docs=*/8, /*queries_per_doc=*/10, &reference);
+  ServiceResult<BatchAnswers> expected =
+      reference.service.AnswerBatch(reference.items, 1);
+  ASSERT_TRUE(expected.ok());
+
+  Workload w;
+  ServiceOptions options;
+  options.answer_cache_capacity = 0;  // No memo: every item computes.
+  BuildWorkload(/*seed=*/11, /*docs=*/8, /*queries_per_doc=*/10, &w, options);
+  CallOptions call;
+  call.cancel = CancelToken::Cancellable();
+  std::thread canceller([&call] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    call.cancel.Cancel();
+  });
+  ServiceResult<BatchAnswers> got = w.service.AnswerBatch(w.items, call);
+  canceller.join();
+  ASSERT_TRUE(got.ok());
+  for (size_t i = 0; i < got.value().answers.size(); ++i) {
+    const auto& item = got.value().answers[i];
+    if (item.ok()) {
+      EXPECT_EQ(item.value().outputs,
+                expected.value().answers[i].value().outputs);
+    } else {
+      EXPECT_EQ(item.error().code, ServiceErrorCode::kCancelled);
+    }
+  }
+}
+
+TEST(DeadlineTest, ParallelBatchHonorsDeadline) {
+  // Deadline + worker pool: the token reaches pool workers (each chunk
+  // re-installs the submitting call's scope), so a parallel batch aborts
+  // cooperatively too — and the TaskGroup turns worker cancellation into
+  // skips, not crashes.
+  Workload w;
+  BuildWorkload(/*seed=*/13, /*docs=*/6, /*queries_per_doc=*/12, &w);
+  CallOptions call;
+  call.num_workers = 4;
+  call.deadline = steady_clock::now() + std::chrono::milliseconds(2);
+  ServiceResult<BatchAnswers> got = w.service.AnswerBatch(w.items, call);
+  ASSERT_TRUE(got.ok());
+  ASSERT_EQ(got.value().answers.size(), w.items.size());
+  for (const auto& item : got.value().answers) {
+    if (!item.ok()) {
+      EXPECT_EQ(item.error().code, ServiceErrorCode::kDeadlineExceeded);
+    }
+  }
+}
+
+// ----------------------------------------------------- admission control
+
+TEST(DeadlineTest, AdmissionControlFailsFastWithRetryHint) {
+  // max_inflight_calls = 1: while a long cancellable batch occupies the
+  // slot, every further call is refused with kOverloaded and a positive
+  // retry-after hint — fail-fast, no queueing, no lock contention.
+  Workload w;
+  ServiceOptions options;
+  options.max_inflight_calls = 1;
+  options.answer_cache_capacity = 0;  // Keep the occupant busy computing.
+  // The occupant must stay in flight long enough for the main thread to
+  // observe a refusal: many DISTINCT queries (the planner dedups repeats
+  // by fingerprint, and the memo is off, so each one computes), ended
+  // early by cancellation once the refusal is in hand.
+  BuildWorkload(/*seed=*/17, /*docs=*/8, /*queries_per_doc=*/300, &w,
+                options);
+  CallOptions occupant;
+  occupant.cancel = CancelToken::Cancellable();
+  std::atomic<bool> occupant_done{false};
+  std::thread holder([&] {
+    (void)w.service.AnswerBatch(w.items, occupant);
+    occupant_done.store(true);
+  });
+  // Wait until the occupant is admitted, then observe the refusal.
+  while (w.service.stats().inflight_calls == 0 && !occupant_done.load()) {
+    std::this_thread::yield();
+  }
+  bool saw_overload = false;
+  int64_t hint = -1;
+  DocumentId doc = w.items[0].document;
+  for (int attempt = 0; attempt < 10000 && !occupant_done.load(); ++attempt) {
+    ServiceResult<Answer> r = w.service.Answer(doc, w.items[0].query, {});
+    if (!r.ok() && r.error().code == ServiceErrorCode::kOverloaded) {
+      saw_overload = true;
+      hint = r.error().retry_after_ms;
+      break;
+    }
+  }
+  occupant.cancel.Cancel();
+  holder.join();
+  ASSERT_TRUE(saw_overload) << "occupant finished before any refusal";
+  EXPECT_GE(hint, 1);
+  EXPECT_GE(w.service.stats().overloaded, 1u);
+  // The slot drains: with the occupant gone the same call is admitted.
+  ServiceResult<Answer> after = w.service.Answer(doc, w.items[0].query, {});
+  EXPECT_TRUE(after.ok() ||
+              after.error().code != ServiceErrorCode::kOverloaded);
+}
+
+// --------------------------------------------------------- memory budget
+
+TEST(DeadlineTest, MemoryLadderShrinksMemoUnderPressure) {
+  // A budget the view set fits under but the answer memo outgrows: the
+  // ladder's first rung (shrink the memo) must fire mid-stream — and
+  // every request keeps succeeding with correct answers throughout.
+  Workload reference;
+  BuildWorkload(/*seed=*/23, /*docs=*/3, /*queries_per_doc=*/30, &reference);
+
+  Workload w;
+  ServiceOptions options;
+  options.memory_budget_bytes = 8192;  // Views fit; memo appetite doesn't.
+  BuildWorkload(/*seed=*/23, /*docs=*/3, /*queries_per_doc=*/30, &w, options);
+  for (size_t i = 0; i < w.items.size(); ++i) {
+    ServiceResult<Answer> got =
+        w.service.Answer(w.items[i].document, w.items[i].query);
+    ServiceResult<Answer> want = reference.service.Answer(
+        reference.items[i].document, reference.items[i].query);
+    ASSERT_EQ(got.ok(), want.ok()) << "item " << i;
+    if (got.ok()) {
+      EXPECT_EQ(got.value().outputs, want.value().outputs) << "item " << i;
+    }
+  }
+  const ServiceStats stats = w.service.stats();
+  EXPECT_EQ(stats.memory_limit_bytes, 8192u);
+  EXPECT_GT(stats.memory_used_bytes, 0u);
+  EXPECT_GE(stats.memory_memo_shrinks, 1u);
+  EXPECT_EQ(stats.internal_errors, 0u);
+}
+
+TEST(DeadlineTest, MemoryLadderPausesAdmissionWhenShrinkingIsNotEnough) {
+  // A budget even the materialized views exceed: shrinking caches cannot
+  // relieve the pressure, so the ladder reaches its terminal, reversible
+  // rung — pause memo admission. No write is ever refused; every query
+  // still answers correctly, it just stops being memoized.
+  Workload reference;
+  BuildWorkload(/*seed=*/23, /*docs=*/3, /*queries_per_doc=*/30, &reference);
+
+  Workload w;
+  ServiceOptions options;
+  options.memory_budget_bytes = 2048;  // Below even the views' bytes.
+  BuildWorkload(/*seed=*/23, /*docs=*/3, /*queries_per_doc=*/30, &w, options);
+  for (size_t i = 0; i < w.items.size(); ++i) {
+    ServiceResult<Answer> got =
+        w.service.Answer(w.items[i].document, w.items[i].query);
+    ServiceResult<Answer> want = reference.service.Answer(
+        reference.items[i].document, reference.items[i].query);
+    ASSERT_EQ(got.ok(), want.ok()) << "item " << i;
+    if (got.ok()) {
+      EXPECT_EQ(got.value().outputs, want.value().outputs) << "item " << i;
+    }
+  }
+  const ServiceStats stats = w.service.stats();
+  EXPECT_GE(stats.memory_admission_pauses, 1u);
+  // Memoization was skipped (counted), never refused as an error.
+  EXPECT_GE(stats.answer_cache_admission_drops, 1u);
+  EXPECT_EQ(stats.internal_errors, 0u);
+  EXPECT_EQ(stats.failed_requests, 0u);
+}
+
+TEST(DeadlineTest, MemoAdmissionResumesWithHysteresis) {
+  // Pause under pressure, then release the pressure (drop the documents
+  // whose views/memo hold the bytes): the next serving call re-admits the
+  // memo once usage is below the low watermark.
+  Workload w;
+  ServiceOptions options;
+  options.memory_budget_bytes = 4096;
+  BuildWorkload(/*seed=*/29, /*docs=*/3, /*queries_per_doc=*/30, &w, options);
+  for (const BatchItem& item : w.items) {
+    ASSERT_TRUE(w.service.Answer(item.document, item.query).ok());
+  }
+  ASSERT_GE(w.service.stats().memory_admission_pauses, 1u);
+  // Drop every document: views and memoized answers release their bytes.
+  DocumentId keep = w.service.AddDocument(Doc("<a><b/></a>"));
+  for (const BatchItem& item : w.items) {
+    (void)w.service.RemoveDocument(item.document);
+  }
+  // Each serving call runs one ladder pass; residual memo/oracle bytes
+  // halve per pass until usage is below the low watermark, at which point
+  // memo admission resumes.
+  for (int i = 0; i < 50 && w.service.stats().memory_admission_resumes == 0;
+       ++i) {
+    ASSERT_TRUE(w.service.Answer(keep, "a/b").ok());
+  }
+  const ServiceStats stats = w.service.stats();
+  EXPECT_LT(stats.memory_used_bytes, stats.memory_limit_bytes);
+  EXPECT_GE(stats.memory_admission_resumes, 1u);
+}
+
+TEST(DeadlineTest, UnlimitedBudgetNeverDegrades) {
+  Workload w;
+  BuildWorkload(/*seed=*/31, /*docs=*/3, /*queries_per_doc=*/20, &w);
+  for (const BatchItem& item : w.items) {
+    ASSERT_TRUE(w.service.Answer(item.document, item.query).ok());
+  }
+  const ServiceStats stats = w.service.stats();
+  EXPECT_EQ(stats.memory_limit_bytes, 0u);
+  EXPECT_GT(stats.memory_used_bytes, 0u);  // Accounting still runs.
+  EXPECT_EQ(stats.memory_memo_shrinks, 0u);
+  EXPECT_EQ(stats.memory_oracle_shrinks, 0u);
+  EXPECT_EQ(stats.memory_admission_pauses, 0u);
+}
+
+}  // namespace
+}  // namespace xpv

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <string>
@@ -16,6 +17,7 @@
 #include "api/service.h"
 #include "containment/oracle.h"
 #include "pattern/xpath_parser.h"
+#include "util/cancel.h"
 #include "util/single_flight.h"
 #include "views/answer_cache.h"
 #include "xml/xml_parser.h"
@@ -162,7 +164,7 @@ TEST(SingleFlightTest, AnswerCacheFillProtocol) {
   EXPECT_EQ(cache.fill_stats().leads, 1u);
 }
 
-TEST(SingleFlightTest, AnswerCacheAbandonedFillRecovers) {
+TEST(SingleFlightTest, AnswerCacheAbandonedFillPromotesWaiter) {
   AnswerCache cache(16);
   const AnswerCache::Key key{1, 1, 88};
   AnswerCache::Fill follow;
@@ -170,12 +172,99 @@ TEST(SingleFlightTest, AnswerCacheAbandonedFillRecovers) {
     AnswerCache::Fill lead = cache.BeginFill(key);
     ASSERT_TRUE(lead.leader());
     follow = cache.BeginFill(key);
+    ASSERT_FALSE(follow.leader());
     // Leader destroyed unpublished (exception unwind).
   }
-  EXPECT_EQ(follow.Wait(), nullptr);  // Waiter must self-compute...
-  cache.Insert(key, MakeEntry(9));    // ...and insert normally.
-  ASSERT_NE(cache.Lookup(key), nullptr);
+  // The waiter is re-elected: Wait() returns null with leader() now true,
+  // and the waiter publishes through its promoted fill like any leader.
+  EXPECT_EQ(follow.Wait(), nullptr);
+  EXPECT_TRUE(follow.leader());
+  std::shared_ptr<const AnswerCache::Entry> published =
+      cache.Publish(follow, MakeEntry(9));
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(cache.Lookup(key), published);
   EXPECT_EQ(cache.fill_stats().abandons, 1u);
+}
+
+TEST(SingleFlightTest, LeaderDiesMidFlightExactlyOneWaiterRetries) {
+  // The leader-dies-mid-flight regression: N threads join a fill whose
+  // leader unwinds without publishing. All waiters must wake (no hang),
+  // EXACTLY ONE must come back promoted (computes and publishes), and
+  // every other thread must receive the retried value.
+  AnswerCache cache(64);
+  const AnswerCache::Key key{1, 1, 99};
+  AnswerCache::Fill lead = cache.BeginFill(key);
+  ASSERT_TRUE(lead.leader());
+  constexpr int kWaiters = 6;
+  std::atomic<int> promoted{0};
+  std::atomic<int> received{0};
+  std::vector<std::thread> threads;
+  std::atomic<int> joined{0};
+  for (int i = 0; i < kWaiters; ++i) {
+    threads.emplace_back([&] {
+      AnswerCache::Fill fill = cache.BeginFill(key);
+      std::shared_ptr<const AnswerCache::Entry> entry;
+      if (fill.hit()) {
+        entry = fill.entry();  // Raced past the promoted publisher.
+      } else if (fill.leader()) {
+        // Possible only after the abandon below (the original leader
+        // holds the flight until then) — counts as a promotion too.
+        promoted.fetch_add(1);
+        entry = cache.Publish(fill, MakeEntry(4));
+      } else {
+        joined.fetch_add(1);
+        entry = fill.Wait();
+        if (entry == nullptr) {
+          // Promoted by re-election after the abandon.
+          EXPECT_TRUE(fill.leader());
+          promoted.fetch_add(1);
+          entry = cache.Publish(fill, MakeEntry(4));
+        }
+      }
+      ASSERT_NE(entry, nullptr);
+      EXPECT_EQ(entry->answer.outputs, std::vector<NodeId>{4});
+      received.fetch_add(1);
+    });
+  }
+  // Wait until every thread is parked on the flight, then kill the leader
+  // (unwind without publishing) — the abandon must wake all of them.
+  while (joined.load() + promoted.load() < kWaiters) {
+    std::this_thread::yield();
+  }
+  { AnswerCache::Fill dying = std::move(lead); }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(received.load(), kWaiters);    // Nobody hung, nobody errored.
+  EXPECT_GE(promoted.load(), 1);           // Someone retried...
+  EXPECT_EQ(cache.stats().insertions, 1u); // ...and only one landed.
+  ASSERT_NE(cache.Lookup(key), nullptr);
+  EXPECT_GE(cache.fill_stats().abandons, 1u);
+}
+
+TEST(SingleFlightTest, JoinerDeadlineUnblocksWhileFlightStaysPending) {
+  // A joiner with an expired deadline must abandon the WAIT (structured
+  // CancelledError), while the flight itself stays pending: the leader
+  // can still publish and later waiters still receive the value.
+  AnswerCache cache(16);
+  const AnswerCache::Key key{1, 1, 55};
+  AnswerCache::Fill lead = cache.BeginFill(key);
+  ASSERT_TRUE(lead.leader());
+  AnswerCache::Fill follow = cache.BeginFill(key);
+  ASSERT_FALSE(follow.leader());
+  {
+    const CancelToken token = CancelToken::WithDeadline(
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(5));
+    CancelScope scope(token);
+    EXPECT_THROW(follow.Wait(), CancelledError);
+  }
+  // The flight survived the joiner's timeout: publish and verify a fresh
+  // waiter (no deadline) receives the entry.
+  AnswerCache::Fill late = cache.BeginFill(key);
+  std::shared_ptr<const AnswerCache::Entry> published =
+      cache.Publish(lead, MakeEntry(6));
+  std::shared_ptr<const AnswerCache::Entry> got =
+      late.hit() ? late.entry() : late.Wait();
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got, published);
 }
 
 TEST(SingleFlightTest, AnswerCacheStampedeInsertsOnce) {
