@@ -6,9 +6,7 @@
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +15,7 @@
 
 #include "pattern/xpath_parser.h"
 #include "util/fault.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 #include "xml/xml_parser.h"
 
@@ -171,32 +170,40 @@ struct Service::Shard {
 /// outlives any table growth.
 struct Service::DocSlot {
   /// Stripe: shared = answer/lookup, exclusive = mutate this document.
-  mutable std::shared_mutex mu;
+  /// Answer paths hold it through movable handles (the access structs,
+  /// the batch's address-ordered stripe vector), which the analysis
+  /// cannot track — those paths re-enter the checked world with
+  /// `mu.AssertShared()` / `mu.AssertHeld()` at their guarded accesses.
+  mutable SharedMutex mu;
   /// Bumped when the occupant is removed; handles carry the mint-time
   /// value, so a recycled slot rejects its previous occupants' handles.
-  uint32_t generation = 1;
+  uint32_t generation XPV_GUARDED_BY(mu) = 1;
   /// Monotonic view-generation mint for this slot's whole lifetime: view
   /// handles stay detectably stale across `RemoveView` slot reuse AND
   /// across `ReplaceDocument` (which rebuilds the view table from
   /// scratch).
-  uint32_t next_view_generation = 1;
+  uint32_t next_view_generation XPV_GUARDED_BY(mu) = 1;
   /// Answer-memo epoch contribution of this slot's PREVIOUS occupants:
   /// `RemoveDocument`/`ReplaceDocument` advance it past the dying cache's
   /// epoch, so `Epoch()` is monotonic across the slot's whole lifetime —
   /// an answer memoized against any earlier occupant (or earlier view
   /// set) can never be keyed equal to the current one.
-  uint64_t epoch_base = 0;
-  std::unique_ptr<Shard> shard;  // Null while the slot is free.
+  uint64_t epoch_base XPV_GUARDED_BY(mu) = 0;
+  /// Null while the slot is free.
+  std::unique_ptr<Shard> shard XPV_GUARDED_BY(mu);
 
   /// The slot's current view-set epoch, the invalidation key of the
-  /// `AnswerCache` (see its contract). Requires `mu` held (shared is
-  /// enough) and a live shard.
-  uint64_t Epoch() const { return epoch_base + shard->cache.epoch(); }
+  /// `AnswerCache` (see its contract). Requires a live shard.
+  uint64_t Epoch() const XPV_REQUIRES_SHARED(mu) {
+    return epoch_base + shard->cache.epoch();
+  }
 
   /// Folds the dying occupant's epochs into `epoch_base` so the next
   /// occupant starts strictly above every epoch ever observed on this
-  /// slot. Requires `mu` held exclusively and a live shard.
-  void AdvanceEpochPastShard() { epoch_base += shard->cache.epoch() + 1; }
+  /// slot. Requires a live shard.
+  void AdvanceEpochPastShard() XPV_REQUIRES(mu) {
+    epoch_base += shard->cache.epoch() + 1;
+  }
 };
 
 /// All Service state, heap-stable behind one pointer so moves are cheap
@@ -225,15 +232,15 @@ struct Service::State {
   AnswerCache answers{options.answer_cache_capacity,
                       options.answer_cache_doorkeeper, &budget};
 
-  std::mutex pool_mu;                 // Guards pool creation/growth.
-  std::unique_ptr<ThreadPool> pool;   // Shared across documents.
+  Mutex pool_mu;  // Guards pool creation/growth.
+  std::unique_ptr<ThreadPool> pool XPV_GUARDED_BY(pool_mu);  // Shared.
 
   /// Guards the slot table and the free list. Lock order: `table_mu`
   /// before any `DocSlot::mu`; no code acquires `table_mu` while holding
   /// a stripe.
-  mutable std::shared_mutex table_mu;
-  std::vector<std::unique_ptr<DocSlot>> slots;
-  std::vector<int32_t> free_slots;
+  mutable SharedMutex table_mu;
+  std::vector<std::unique_ptr<DocSlot>> slots XPV_GUARDED_BY(table_mu);
+  std::vector<int32_t> free_slots XPV_GUARDED_BY(table_mu);
 
   std::atomic<uint64_t> failed_requests{0};
 
@@ -334,8 +341,8 @@ struct Service::State {
   }
 
   /// True when `slot` currently serves the document `id` was minted for.
-  /// Requires holding `slot.mu` (shared or exclusive).
-  static bool Live(const DocSlot& slot, DocumentId id) {
+  static bool Live(const DocSlot& slot, DocumentId id)
+      XPV_REQUIRES_SHARED(slot.mu) {
     return slot.generation == id.generation && slot.shard != nullptr;
   }
 };
@@ -352,7 +359,7 @@ Service& Service::operator=(Service&&) noexcept = default;
 /// holds the slot's lock; on failure `shard` is null, no lock is held,
 /// and `error` explains why.
 struct Service::SharedAccess {
-  std::shared_lock<std::shared_mutex> stripe;
+  ReaderLockHandle stripe;
   DocSlot* slot = nullptr;
   Shard* shard = nullptr;
   ServiceError error;
@@ -360,7 +367,7 @@ struct Service::SharedAccess {
 
 /// Exclusive-mode flavor; also exposes the DocSlot for generation mints.
 struct Service::ExclusiveAccess {
-  std::unique_lock<std::shared_mutex> stripe;
+  WriterLockHandle stripe;
   DocSlot* slot = nullptr;
   Shard* shard = nullptr;
   ServiceError error;
@@ -370,9 +377,10 @@ Service::SharedAccess Service::LockLiveShared(DocumentId id) const {
   SharedAccess access;
   DocSlot* slot = FindSlot(id, &access.error);
   if (slot == nullptr) return access;
-  access.stripe = std::shared_lock<std::shared_mutex>(slot->mu);
+  access.stripe = ReaderLockHandle(slot->mu);
+  slot->mu.AssertShared();  // Held via the movable handle above.
   if (!State::Live(*slot, id)) {
-    access.stripe.unlock();
+    access.stripe.Unlock();
     access.error = StaleDocumentError(id);
     return access;
   }
@@ -385,9 +393,10 @@ Service::ExclusiveAccess Service::LockLiveExclusive(DocumentId id) {
   ExclusiveAccess access;
   DocSlot* slot = FindSlot(id, &access.error);
   if (slot == nullptr) return access;
-  access.stripe = std::unique_lock<std::shared_mutex>(slot->mu);
+  access.stripe = WriterLockHandle(slot->mu);
+  slot->mu.AssertHeld();  // Held via the movable handle above.
   if (!State::Live(*slot, id)) {
-    access.stripe.unlock();
+    access.stripe.Unlock();
     access.error = StaleDocumentError(id);
     return access;
   }
@@ -408,7 +417,7 @@ Service::DocSlot* Service::FindSlot(DocumentId id, ServiceError* error) const {
         "document handle was minted by a different Service instance");
     return nullptr;
   }
-  std::shared_lock<std::shared_mutex> table(state_->table_mu);
+  ReaderLock table(state_->table_mu);
   if (id.slot >= static_cast<int32_t>(state_->slots.size())) {
     *error = StaleDocumentError(id);
     return nullptr;
@@ -426,7 +435,7 @@ ThreadPool* Service::EnsurePool(int workers) {
   const unsigned hw = std::thread::hardware_concurrency();
   const int cap = std::max(4, static_cast<int>(hw));
   const int threads = std::min(workers, cap);
-  std::lock_guard<std::mutex> lock(state_->pool_mu);
+  MutexLock lock(state_->pool_mu);
   if (state_->pool == nullptr) {
     state_->pool = std::make_unique<ThreadPool>(
         threads, state_->options.max_queued_tasks);
@@ -496,7 +505,7 @@ DocumentId Service::AddDocument(Tree document) {
   int32_t s;
   DocSlot* slot;
   {
-    std::unique_lock<std::shared_mutex> table(state_->table_mu);
+    WriterLock table(state_->table_mu);
     if (!state_->free_slots.empty()) {
       s = state_->free_slots.back();
       state_->free_slots.pop_back();
@@ -512,7 +521,7 @@ DocumentId Service::AddDocument(Tree document) {
   // waiting them out must not stall the whole service behind the table
   // writer. The slot itself is private here — it is off the free list and
   // its generation rejects every outstanding handle.
-  std::unique_lock<std::shared_mutex> stripe(slot->mu);
+  WriterLock stripe(slot->mu);
   slot->shard = std::move(shard);
   return DocumentId{s, slot->generation, state_->tag};
 }
@@ -537,6 +546,7 @@ ServiceStatus Service::RemoveDocument(DocumentId id) {
       state_->CountFailure();
       return ServiceStatus::Error(std::move(access.error));
     }
+    access.slot->mu.AssertHeld();  // Held via access.stripe.
     state_->RetireShard(*access.shard);
     access.slot->AdvanceEpochPastShard();
     // Purge the dead document's memoized answers eagerly: they are
@@ -553,7 +563,7 @@ ServiceStatus Service::RemoveDocument(DocumentId id) {
   // a racing RemoveDocument fails the generation check above, and the
   // slot cannot be re-minted before this push because it is not on the
   // free list yet.
-  std::unique_lock<std::shared_mutex> table(state_->table_mu);
+  WriterLock table(state_->table_mu);
   state_->free_slots.push_back(id.slot);
   return ServiceStatus();
 }
@@ -564,6 +574,7 @@ ServiceStatus Service::ReplaceDocument(DocumentId id, Tree document) {
     state_->CountFailure();
     return ServiceStatus::Error(std::move(access.error));
   }
+  access.slot->mu.AssertHeld();  // Held via access.stripe.
   // The document handle survives (same slot generation); every view dies
   // with the old shard, and `next_view_generation` is monotonic across the
   // swap, so the dropped views' handles stay detectably stale even after
@@ -595,7 +606,7 @@ ServiceStatus Service::ReplaceDocument(DocumentId id, std::string_view xml) {
 /// table writers to a slow exclusive operation on one document. The
 /// pointers stay valid — slots are heap-stable for the Service's life.
 std::vector<Service::DocSlot*> Service::SnapshotSlots() const {
-  std::shared_lock<std::shared_mutex> table(state_->table_mu);
+  ReaderLock table(state_->table_mu);
   std::vector<DocSlot*> slots;
   slots.reserve(state_->slots.size());
   for (const auto& slot : state_->slots) slots.push_back(slot.get());
@@ -605,7 +616,7 @@ std::vector<Service::DocSlot*> Service::SnapshotSlots() const {
 int Service::num_documents() const {
   int n = 0;
   for (DocSlot* slot : SnapshotSlots()) {
-    std::shared_lock<std::shared_mutex> stripe(slot->mu);
+    ReaderLock stripe(slot->mu);
     if (slot->shard != nullptr) ++n;
   }
   return n;
@@ -623,6 +634,7 @@ ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
     state_->CountFailure();
     return ServiceResult<ViewId>::Error(std::move(access.error));
   }
+  access.slot->mu.AssertHeld();  // Held via access.stripe.
   Shard* shard = access.shard;
   if (pattern.IsEmpty()) {
     state_->CountFailure();
@@ -660,7 +672,7 @@ ServiceResult<ViewId> Service::AddView(DocumentId document, std::string name,
   const ViewId id{document, vs, generation};
   // View bytes just charged the shared budget; react before returning
   // (outside the stripe — the ladder takes the memo and oracle locks).
-  access.stripe.unlock();
+  access.stripe.Unlock();
   RelievePressure();
   return id;
 }
@@ -766,6 +778,7 @@ ServiceResult<xpv::Answer> Service::AnswerUnderScope(DocumentId document,
     state_->CountFailure();
     return ServiceResult<xpv::Answer>::Error(std::move(access.error));
   }
+  access.slot->mu.AssertShared();  // Held via access.stripe.
   // Epoch-keyed memo probe: the key binds the answer to the view set
   // observed under the stripe we hold, so a hit is exactly what the
   // rewrite pipeline would compute — and replaying the stored delta keeps
@@ -985,7 +998,7 @@ BatchAnswers Service::AnswerBatchUnderScope(
     }
   }
   std::sort(distinct_slots.begin(), distinct_slots.end());
-  std::vector<std::shared_lock<std::shared_mutex>> stripes;
+  std::vector<ReaderLockHandle> stripes;
   stripes.reserve(distinct_slots.size());
   std::unordered_map<DocSlot*, size_t> stripe_index;
   for (DocSlot* slot : distinct_slots) {
@@ -998,6 +1011,7 @@ BatchAnswers Service::AnswerBatchUnderScope(
   for (size_t i = 0; i < n; ++i) {
     Resolved& r = resolved[i];
     if (r.slot == nullptr) continue;
+    r.slot->mu.AssertShared();  // Held via the stripe vector above.
     if (!State::Live(*r.slot, items[i].document)) {
       state_->CountFailure();
       r.error = StaleDocumentError(items[i].document);
@@ -1018,7 +1032,7 @@ BatchAnswers Service::AnswerBatchUnderScope(
   // freed slot) — holding a dead slot's lock for the whole answering
   // phase would needlessly delay an AddDocument recycling it.
   for (size_t k = 0; k < stripes.size(); ++k) {
-    if (stripe_live[k] == 0) stripes[k].unlock();
+    if (stripe_live[k] == 0) stripes[k].Unlock();
   }
 
   // Group the live items per document shard (in request order — the order
@@ -1053,7 +1067,7 @@ BatchAnswers Service::AnswerBatchUnderScope(
     // the stripe index recovers the shard's DocSlot (the memo scope).
     const size_t si = stripe_of_shard.at(shard);
     if (aborted) {
-      stripes[si].unlock();
+      stripes[si].Unlock();
       continue;
     }
     try {
@@ -1223,7 +1237,7 @@ BatchAnswers Service::AnswerBatchUnderScope(
     // This document's slice is done — release its stripe so writers on it
     // are not held for the remaining documents' slices. (Each live slot
     // maps to exactly one shard, so each stripe unlocks exactly once.)
-    stripes[si].unlock();
+    stripes[si].Unlock();
   }
 
   BatchAnswers out;
@@ -1283,7 +1297,7 @@ ServiceStats Service::stats() const {
     stats.rewrite_unknown =
         state_->retired_rewrite_unknown.load(std::memory_order_relaxed);
     for (DocSlot* slot : slots) {
-      std::shared_lock<std::shared_mutex> stripe(slot->mu);
+      ReaderLock stripe(slot->mu);
       if (slot->shard == nullptr) continue;
       ++stats.documents;
       stats.views +=
@@ -1323,7 +1337,7 @@ ServiceStats Service::stats() const {
   stats.memory_admission_resumes =
       state_->admission_resumes.load(std::memory_order_relaxed);
   {
-    std::lock_guard<std::mutex> lock(state_->pool_mu);
+    MutexLock lock(state_->pool_mu);
     stats.pool_threads =
         state_->pool == nullptr
             ? 0
@@ -1344,7 +1358,7 @@ const ViewCache* Service::cache(DocumentId id) const {
 }
 
 const ThreadPool* Service::pool_for_testing() const {
-  std::lock_guard<std::mutex> lock(state_->pool_mu);
+  MutexLock lock(state_->pool_mu);
   return state_->pool.get();
 }
 

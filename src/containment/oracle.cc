@@ -35,10 +35,11 @@ bool ContainmentOracle::ContainedByFingerprint(uint64_t fp1, uint64_t fp2,
     Entry parent{0, 0, 0, 0, 0};
     bool found = false;
     {
-      std::shared_lock<std::shared_mutex> lock;
-      if (fallback_mu_ != nullptr) {
-        lock = std::shared_lock<std::shared_mutex>(*fallback_mu_);
-      }
+      // Conditional locking (a frozen fallback needs none) is inherently
+      // dynamic, so this uses the analysis-invisible movable handle; the
+      // fallback's own fields carry no capability to re-assert.
+      ReaderLockHandle lock;
+      if (fallback_mu_ != nullptr) lock = ReaderLockHandle(*fallback_mu_);
       auto fit = fallback_->cache_.find(key);
       if (fit != fallback_->cache_.end()) {
         parent = fit->second;
@@ -120,7 +121,7 @@ void SynchronizedOracle::SyncBudgetLocked() {
 }
 
 size_t SynchronizedOracle::ShrinkHalf() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   const size_t before = oracle_.entry_count();
   if (before > 1) oracle_.EvictHalf();
   SyncBudgetLocked();
@@ -135,7 +136,7 @@ bool SynchronizedOracle::ContainedSingleFlight(uint64_t fp1, uint64_t fp2,
     // Registry-lock probe: a leader publishes through the shared table
     // BEFORE erasing its flight, so a thread that finds no flight here
     // sees any already-published value instead of recomputing it.
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return oracle_.ProbeDirection(fp1, fp2);
   };
   auto flight = flights_.Join(key, probe);
@@ -149,7 +150,7 @@ bool SynchronizedOracle::ContainedSingleFlight(uint64_t fp1, uint64_t fp2,
       fault::Point("oracle.fill");
       const bool value = xpv::Contained(p1, p2);
       {
-        std::unique_lock<std::shared_mutex> lock(mu_);
+        WriterLock lock(mu_);
         oracle_.StoreDirection(fp1, fp2, value);
         SyncBudgetLocked();
       }

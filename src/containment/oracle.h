@@ -4,9 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -16,6 +14,7 @@
 #include "util/hash.h"
 #include "util/memory_budget.h"
 #include "util/single_flight.h"
+#include "util/sync.h"
 
 namespace xpv {
 
@@ -95,7 +94,7 @@ class ContainmentOracle {
   /// flight registry and exactly one of them runs the containment DP
   /// (see `SynchronizedOracle::ContainedSingleFlight`).
   void set_fallback(const ContainmentOracle* fallback,
-                    std::shared_mutex* fallback_mu = nullptr,
+                    SharedMutex* fallback_mu = nullptr,
                     SynchronizedOracle* flights = nullptr) {
     fallback_ = fallback;
     fallback_mu_ = fallback_mu;
@@ -182,7 +181,7 @@ class ContainmentOracle {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   const ContainmentOracle* fallback_ = nullptr;
-  std::shared_mutex* fallback_mu_ = nullptr;
+  SharedMutex* fallback_mu_ = nullptr;
   SynchronizedOracle* flights_ = nullptr;
 };
 
@@ -203,6 +202,9 @@ class SynchronizedOracle {
       : oracle_(capacity) {}
 
   ~SynchronizedOracle() {
+    // Locked for the guarded read's sake only: destruction implies no
+    // concurrent users, but the discipline holds everywhere.
+    WriterLock lock(mu_);
     if (budget_ != nullptr) budget_->Release(charged_bytes_);
   }
 
@@ -257,7 +259,7 @@ class SynchronizedOracle {
       folded_hits_.fetch_add(shard.hits(), std::memory_order_relaxed);
       return;
     }
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    WriterLock lock(mu_);
     oracle_.AbsorbFrom(shard);
     SyncBudgetLocked();
   }
@@ -271,12 +273,21 @@ class SynchronizedOracle {
   uint64_t misses() const { return Snapshot(&ContainmentOracle::misses); }
   uint64_t evictions() const { return Snapshot(&ContainmentOracle::evictions); }
   size_t size() const { return Snapshot(&ContainmentOracle::size); }
-  size_t capacity() const { return oracle_.capacity(); }  // Immutable.
+  /// Immutable after construction; snapshotted anyway so every access to
+  /// the wrapped oracle goes through the lock discipline.
+  size_t capacity() const { return Snapshot(&ContainmentOracle::capacity); }
 
   /// The wrapped oracle, unsynchronized — for single-threaded setup,
   /// teardown and tests only. Must not race attached shards or `Absorb`.
-  ContainmentOracle& unsynchronized() { return oracle_; }
-  const ContainmentOracle& unsynchronized() const { return oracle_; }
+  /// Escape hatch: the caller's contract is external quiescence, which
+  /// the analysis cannot see — this accessor exists to bypass the lock.
+  ContainmentOracle& unsynchronized() XPV_NO_THREAD_SAFETY_ANALYSIS {
+    return oracle_;
+  }
+  const ContainmentOracle& unsynchronized() const
+      XPV_NO_THREAD_SAFETY_ANALYSIS {
+    return oracle_;
+  }
 
  private:
   /// Directional containment question, compared exactly.
@@ -296,26 +307,26 @@ class SynchronizedOracle {
 
   template <typename R>
   R Snapshot(R (ContainmentOracle::*getter)() const) const {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+    ReaderLock lock(mu_);
     return (oracle_.*getter)();
   }
 
   /// Reconciles the budget charge with the table's current entry count
   /// (requires the exclusive lock). Entries are fixed-size, so bytes are
   /// tracked as count × footprint rather than per-insert plumbing.
-  void SyncBudgetLocked();
+  void SyncBudgetLocked() XPV_REQUIRES(mu_);
 
   /// Estimated heap footprint of one resident pair entry (key + packed
   /// directions + hash-node overhead).
   static constexpr size_t kEntryFootprint =
       sizeof(uint64_t) * 2 + sizeof(uint8_t) + 4 * sizeof(void*);
 
-  mutable std::shared_mutex mu_;
-  ContainmentOracle oracle_;
+  mutable SharedMutex mu_;
+  ContainmentOracle oracle_ XPV_GUARDED_BY(mu_);
   MemoryBudget* budget_ = nullptr;
   /// Bytes currently charged to `budget_` (mutated under the exclusive
   /// lock; read lock-free by `resident_bytes`).
-  size_t charged_bytes_ = 0;
+  size_t charged_bytes_ XPV_GUARDED_BY(mu_) = 0;
   std::atomic<size_t> oracle_entry_bytes_{0};
   std::atomic<uint64_t> folded_hits_{0};
   SingleFlight<DirectionKey, bool, DirectionKeyHash> flights_;

@@ -3,13 +3,13 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
+
+#include "util/sync.h"
 
 namespace xpv {
 
@@ -46,10 +46,10 @@ namespace xpv {
 template <typename Key, typename Value, typename Hash = std::hash<Key>>
 class SingleFlight {
   struct Flight {
-    std::mutex m;
-    std::condition_variable cv;
-    int state = 0;  // 0 = pending, 1 = published, 2 = abandoned.
-    Value value{};
+    Mutex m;
+    CondVar cv;
+    int state XPV_GUARDED_BY(m) = 0;  // 0 pending, 1 published, 2 abandoned.
+    Value value XPV_GUARDED_BY(m){};
   };
 
  public:
@@ -108,8 +108,8 @@ class SingleFlight {
   /// the registry lock only when this thread is about to lead; an engaged
   /// return short-circuits the flight entirely.
   template <typename ProbeFn>
-  JoinResult Join(const Key& key, ProbeFn&& probe) {
-    std::unique_lock<std::mutex> lock(mu_);
+  JoinResult Join(const Key& key, ProbeFn&& probe) XPV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = flights_.find(key);
     if (it != flights_.end()) {
       joins_.fetch_add(1, std::memory_order_relaxed);
@@ -144,19 +144,21 @@ class SingleFlight {
   void Publish(Ticket& ticket, Value value) {
     EraseFlight(ticket);
     {
-      std::lock_guard<std::mutex> fl(ticket.flight_->m);
+      MutexLock fl(ticket.flight_->m);
       ticket.flight_->state = 1;
       ticket.flight_->value = std::move(value);
     }
-    ticket.flight_->cv.notify_all();
+    ticket.flight_->cv.NotifyAll();
     ticket.resolved_ = true;
   }
 
   /// Follower only: blocks until the leader publishes (returns the value)
   /// or abandons (returns nullopt — compute for yourself).
   std::optional<Value> Wait(Ticket& ticket) {
-    std::unique_lock<std::mutex> fl(ticket.flight_->m);
-    ticket.flight_->cv.wait(fl, [&] { return ticket.flight_->state != 0; });
+    MutexLock fl(ticket.flight_->m);
+    while (ticket.flight_->state == 0) {
+      ticket.flight_->cv.Wait(ticket.flight_->m);
+    }
     ticket.resolved_ = true;
     if (ticket.flight_->state == 1) return ticket.flight_->value;
     return std::nullopt;
@@ -170,13 +172,14 @@ class SingleFlight {
   /// poll period, not by the leader's computation.
   template <typename PollFn>
   std::optional<Value> WaitPolling(Ticket& ticket, PollFn&& poll) {
-    std::unique_lock<std::mutex> fl(ticket.flight_->m);
-    while (!ticket.flight_->cv.wait_for(
-        fl, std::chrono::milliseconds(2),
-        [&] { return ticket.flight_->state != 0; })) {
-      fl.unlock();
-      poll();  // May throw; the flight stays pending for other waiters.
-      fl.lock();
+    MutexLock fl(ticket.flight_->m);
+    while (ticket.flight_->state == 0) {
+      if (!ticket.flight_->cv.WaitFor(ticket.flight_->m,
+                                      std::chrono::milliseconds(2))) {
+        fl.Unlock();
+        poll();  // May throw; the flight stays pending for other waiters.
+        fl.Lock();
+      }
     }
     ticket.resolved_ = true;
     if (ticket.flight_->state == 1) return ticket.flight_->value;
@@ -190,8 +193,8 @@ class SingleFlight {
   }
 
   /// In-flight keys right now (for tests; racy by nature).
-  size_t pending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t pending() const XPV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return flights_.size();
   }
 
@@ -199,24 +202,25 @@ class SingleFlight {
   void Abandon(Ticket& ticket) {
     EraseFlight(ticket);
     {
-      std::lock_guard<std::mutex> fl(ticket.flight_->m);
+      MutexLock fl(ticket.flight_->m);
       ticket.flight_->state = 2;
     }
-    ticket.flight_->cv.notify_all();
+    ticket.flight_->cv.NotifyAll();
     ticket.resolved_ = true;
     abandons_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  void EraseFlight(const Ticket& ticket) {
-    std::lock_guard<std::mutex> lock(mu_);
+  void EraseFlight(const Ticket& ticket) XPV_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = flights_.find(ticket.key_);
     if (it != flights_.end() && it->second == ticket.flight_) {
       flights_.erase(it);
     }
   }
 
-  mutable std::mutex mu_;
-  std::unordered_map<Key, std::shared_ptr<Flight>, Hash> flights_;
+  mutable Mutex mu_;
+  std::unordered_map<Key, std::shared_ptr<Flight>, Hash> flights_
+      XPV_GUARDED_BY(mu_);
   std::atomic<uint64_t> leads_{0};
   std::atomic<uint64_t> joins_{0};
   std::atomic<uint64_t> abandons_{0};

@@ -1,0 +1,339 @@
+#ifndef XPV_UTIL_SYNC_H_
+#define XPV_UTIL_SYNC_H_
+
+// The project's only doorway to the standard synchronization primitives.
+//
+// Every mutex, shared mutex and condition variable in the tree lives
+// behind the wrappers below so that Clang Thread Safety Analysis
+// (-Wthread-safety) can prove the locking discipline at compile time:
+// which fields a capability guards (`XPV_GUARDED_BY`), which helpers may
+// only run with a lock held (`XPV_REQUIRES` / `XPV_REQUIRES_SHARED`),
+// and which scopes acquire and release. On GCC — and on any compiler
+// without the attributes — everything collapses to zero-cost
+// passthroughs over the std types.
+//
+// Two tiers of RAII locks:
+//
+//  - `MutexLock` / `ReaderLock` / `WriterLock` are SCOPED_CAPABILITY
+//    types: block-scoped, non-movable, fully visible to the analysis.
+//    Use these everywhere a lock begins and ends in one lexical scope —
+//    which is almost everywhere.
+//
+//  - `ReaderLockHandle` / `WriterLockHandle` are movable and
+//    default-constructible, for the few places whose locking is
+//    inherently dynamic: the `Service` access structs that carry a
+//    stripe lock across a return, the address-ordered stripe *vector*
+//    in `AnswerBatchUnderScope`, and conditional fallback locking in
+//    the containment oracle. The analysis cannot track a lock that is
+//    moved or stored, so these handles are deliberately invisible to
+//    it; code holding one re-enters the proven world by calling
+//    `mu.AssertHeld()` / `mu.AssertShared()` at the point of use, which
+//    tells the analysis (truthfully) that the capability is held.
+//
+// `tools/lint_invariants.py` enforces that no other file names a raw
+// std sync primitive; `tests/compile_fail/` proves the annotations
+// reject real violations under clang.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+// ---------------------------------------------------------------------------
+// Annotation macros (no-ops outside clang).
+// ---------------------------------------------------------------------------
+
+#if defined(__clang__)
+#define XPV_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define XPV_THREAD_ANNOTATION__(x)  // no-op
+#endif
+
+/// Declares a type to be a capability (lock) the analysis tracks.
+#define XPV_CAPABILITY(x) XPV_THREAD_ANNOTATION__(capability(x))
+
+/// Declares an RAII type whose lifetime acquires/releases a capability.
+#define XPV_SCOPED_CAPABILITY XPV_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Field may only be read with `x` held (shared) / written with `x`
+/// held exclusively.
+#define XPV_GUARDED_BY(x) XPV_THREAD_ANNOTATION__(guarded_by(x))
+
+/// The *pointee* of this pointer is guarded by `x`.
+#define XPV_PT_GUARDED_BY(x) XPV_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Caller must hold the capability exclusively / shared.
+#define XPV_REQUIRES(...) \
+  XPV_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define XPV_REQUIRES_SHARED(...) \
+  XPV_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (must not already be held).
+#define XPV_ACQUIRE(...) \
+  XPV_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define XPV_ACQUIRE_SHARED(...) \
+  XPV_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (must be held on entry).
+#define XPV_RELEASE(...) \
+  XPV_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define XPV_RELEASE_SHARED(...) \
+  XPV_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+#define XPV_RELEASE_GENERIC(...) \
+  XPV_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+/// Function attempts the acquire; the boolean result tells whether it
+/// succeeded.
+#define XPV_TRY_ACQUIRE(...) \
+  XPV_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+#define XPV_TRY_ACQUIRE_SHARED(...) \
+  XPV_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (deadlock guard for functions
+/// that acquire it themselves).
+#define XPV_EXCLUDES(...) XPV_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion visible to the analysis: after the call, the
+/// capability is known to be held. The bridge from the movable handles
+/// back into the proven world.
+#define XPV_ASSERT_HELD(...) \
+  XPV_THREAD_ANNOTATION__(assert_capability(__VA_ARGS__))
+#define XPV_ASSERT_SHARED(...) \
+  XPV_THREAD_ANNOTATION__(assert_shared_capability(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define XPV_RETURN_CAPABILITY(x) XPV_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Named escape hatch. Every use site must carry a comment justifying
+/// why the locking pattern is beyond the analysis (the invariant linter
+/// counts bare uses as violations of taste, reviewers as violations of
+/// policy).
+#define XPV_NO_THREAD_SAFETY_ANALYSIS \
+  XPV_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace xpv {
+
+// ---------------------------------------------------------------------------
+// Capabilities.
+// ---------------------------------------------------------------------------
+
+/// A plain exclusive mutex. Same cost and semantics as `std::mutex`;
+/// the annotations are the only addition.
+class XPV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() XPV_ACQUIRE() { m_.lock(); }
+  void Unlock() XPV_RELEASE() { m_.unlock(); }
+  bool TryLock() XPV_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  /// Tells the analysis this thread holds the mutex (no runtime check;
+  /// the std primitives expose no ownership query). Used at the seam
+  /// where a movable handle re-enters annotated code.
+  void AssertHeld() const XPV_ASSERT_HELD() {}
+
+  /// The raw primitive — for `CondVar` and the scoped/movable locks in
+  /// this header only. Deliberately invisible to the analysis.
+  std::mutex& native() { return m_; }
+
+ private:
+  std::mutex m_;
+};
+
+/// A reader/writer mutex. Same cost and semantics as
+/// `std::shared_mutex`.
+class XPV_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() XPV_ACQUIRE() { m_.lock(); }
+  void Unlock() XPV_RELEASE() { m_.unlock(); }
+  bool TryLock() XPV_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  void LockShared() XPV_ACQUIRE_SHARED() { m_.lock_shared(); }
+  void UnlockShared() XPV_RELEASE_SHARED() { m_.unlock_shared(); }
+  bool TryLockShared() XPV_TRY_ACQUIRE_SHARED(true) {
+    return m_.try_lock_shared();
+  }
+
+  void AssertHeld() const XPV_ASSERT_HELD() {}
+  void AssertShared() const XPV_ASSERT_SHARED() {}
+
+  std::shared_mutex& native() { return m_; }
+
+ private:
+  std::shared_mutex m_;
+};
+
+// ---------------------------------------------------------------------------
+// Scoped locks (tier 1: fully analysis-visible, non-movable).
+// ---------------------------------------------------------------------------
+
+/// Exclusive RAII lock on a `Mutex`. Relockable: `Unlock()` releases
+/// early, `Lock()` re-acquires — both visible to the analysis — so a
+/// worker loop can drop the lock around a task body without leaving
+/// the proven world.
+class XPV_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) XPV_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.native().lock();
+  }
+  ~MutexLock() XPV_RELEASE_GENERIC() {
+    if (held_) mu_.native().unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() XPV_RELEASE() {
+    mu_.native().unlock();
+    held_ = false;
+  }
+  void Lock() XPV_ACQUIRE() {
+    mu_.native().lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Shared (reader) RAII lock on a `SharedMutex`.
+class XPV_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) XPV_ACQUIRE_SHARED(mu)
+      : mu_(mu), held_(true) {
+    mu_.native().lock_shared();
+  }
+  ~ReaderLock() XPV_RELEASE_GENERIC() {
+    if (held_) mu_.native().unlock_shared();
+  }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+  void Unlock() XPV_RELEASE() {
+    mu_.native().unlock_shared();
+    held_ = false;
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_;
+};
+
+/// Exclusive (writer) RAII lock on a `SharedMutex`.
+class XPV_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) XPV_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.native().lock();
+  }
+  ~WriterLock() XPV_RELEASE_GENERIC() {
+    if (held_) mu_.native().unlock();
+  }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+  void Unlock() XPV_RELEASE() {
+    mu_.native().unlock();
+    held_ = false;
+  }
+
+ private:
+  SharedMutex& mu_;
+  bool held_;
+};
+
+// ---------------------------------------------------------------------------
+// Movable lock handles (tier 2: analysis-invisible by design).
+// ---------------------------------------------------------------------------
+
+/// Movable shared lock for dynamic disciplines: stored in the
+/// `Service` access structs, collected into the address-ordered stripe
+/// vector, or engaged conditionally. The analysis does not see it;
+/// code that holds one calls `mu.AssertShared()` where it touches
+/// guarded state.
+class ReaderLockHandle {
+ public:
+  ReaderLockHandle() = default;
+  explicit ReaderLockHandle(SharedMutex& mu) : lock_(mu.native()) {}
+  ReaderLockHandle(ReaderLockHandle&&) = default;
+  ReaderLockHandle& operator=(ReaderLockHandle&&) = default;
+
+  void Unlock() { lock_.unlock(); }
+  bool owns() const { return lock_.owns_lock(); }
+
+ private:
+  std::shared_lock<std::shared_mutex> lock_;
+};
+
+/// Movable exclusive lock; the writer-side counterpart of
+/// `ReaderLockHandle`. Same rules: invisible to the analysis, pair
+/// with `mu.AssertHeld()` at use sites.
+class WriterLockHandle {
+ public:
+  WriterLockHandle() = default;
+  explicit WriterLockHandle(SharedMutex& mu) : lock_(mu.native()) {}
+  WriterLockHandle(WriterLockHandle&&) = default;
+  WriterLockHandle& operator=(WriterLockHandle&&) = default;
+
+  void Unlock() { lock_.unlock(); }
+  bool owns() const { return lock_.owns_lock(); }
+
+ private:
+  std::unique_lock<std::shared_mutex> lock_;
+};
+
+// ---------------------------------------------------------------------------
+// Condition variable.
+// ---------------------------------------------------------------------------
+
+/// Condition variable over a `Mutex`. Waits adopt the caller's already
+/// held lock (the `XPV_REQUIRES` contract) and hand it back on return,
+/// so the capability is continuously held from the analysis's point of
+/// view — which matches reality: the wait re-acquires before
+/// returning.
+///
+/// There are deliberately no predicate overloads: a lambda predicate
+/// is a separate function to the analysis, so guarded reads inside it
+/// would need their own annotations. Write the standard loop instead —
+///     while (!condition) cv.Wait(mu);
+/// — which keeps the guarded reads in the function that provably holds
+/// the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits, re-acquires `mu`.
+  void Wait(Mutex& mu) XPV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // The caller still owns the mutex, as annotated.
+  }
+
+  /// Timed wait; false on timeout. Spurious wakeups return true, so
+  /// callers loop on their condition either way.
+  template <typename Rep, typename Period>
+  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+      XPV_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    const std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace xpv
+
+#endif  // XPV_UTIL_SYNC_H_

@@ -9,6 +9,9 @@ namespace xpv {
 ThreadPool::ThreadPool(int num_threads, size_t max_queue)
     : max_queue_(max_queue) {
   if (num_threads < 1) num_threads = 1;
+  // Locked so the guarded `workers_` writes stay inside the proven
+  // discipline — the freshly spawned workers contend on mu_ immediately.
+  MutexLock lock(mu_);
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -16,29 +19,34 @@ ThreadPool::ThreadPool(int num_threads, size_t max_queue)
 }
 
 void ThreadPool::EnsureThreads(int num_threads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (static_cast<int>(workers_.size()) < num_threads) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
 }
 
 int ThreadPool::num_threads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(workers_.size());
 }
 
 size_t ThreadPool::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queue_.size();
 }
 
 ThreadPool::~ThreadPool() {
+  // The workers move out from under the lock before joining: joining
+  // while holding mu_ would deadlock (workers need it to drain), and
+  // reading `workers_` unlocked would breach its guard.
+  std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
+    workers.swap(workers_);
   }
-  work_cv_.notify_all();
-  for (std::thread& t : workers_) t.join();
+  work_cv_.NotifyAll();
+  for (std::thread& t : workers) t.join();
 }
 
 void ThreadPool::TaskGroup::RunTask(const std::function<void()>& task) {
@@ -49,11 +57,11 @@ void ThreadPool::TaskGroup::RunTask(const std::function<void()>& task) {
   // running poll their own token.
   bool skip = cancel_.Expired();
   if (!skip) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     skip = error_ != nullptr;
   }
   if (skip) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++skipped_;
     return;
   }
@@ -65,7 +73,7 @@ void ThreadPool::TaskGroup::RunTask(const std::function<void()>& task) {
     // below drains the remaining queue as skips). Captured, not rethrown
     // on the worker: the group's owner receives it via RethrowIfFailed.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (error_ == nullptr) error_ = std::current_exception();
     }
     cancel_.Cancel();
@@ -73,8 +81,8 @@ void ThreadPool::TaskGroup::RunTask(const std::function<void()>& task) {
 }
 
 void ThreadPool::TaskGroup::Finish() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (--pending_ == 0) cv_.notify_all();
+  MutexLock lock(mu_);
+  if (--pending_ == 0) cv_.NotifyAll();
 }
 
 void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
@@ -83,7 +91,7 @@ void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
   // throws (e.g. bad_alloc) — a wedged count would hang Wait() and the
   // draining destructor forever.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   std::function<void()> wrapped = [this, task = std::move(task)] {
@@ -105,64 +113,64 @@ void ThreadPool::TaskGroup::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) cv_.Wait(mu_);
 }
 
 bool ThreadPool::TaskGroup::ok() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return error_ == nullptr;
 }
 
 void ThreadPool::TaskGroup::RethrowIfFailed() {
   std::exception_ptr error;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     error = error_;
   }
   if (error != nullptr) std::rethrow_exception(error);
 }
 
 uint64_t ThreadPool::TaskGroup::skipped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return skipped_;
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
 }
 
 bool ThreadPool::TrySubmit(std::function<void()>& task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (max_queue_ != 0 && queue_.size() >= max_queue_) {
       queue_rejections_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  work_cv_.NotifyOne();
   return true;
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || active_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    while (!stopping_ && queue_.empty()) work_cv_.Wait(mu_);
     if (queue_.empty()) break;  // stopping_ and drained.
     std::function<void()> task = std::move(queue_.front());
     queue_.pop_front();
     ++active_;
-    lock.unlock();
+    lock.Unlock();
     // Safety net for raw-Submit tasks: an escaping exception must never
     // std::terminate a worker (it would take the whole service down).
     // TaskGroup tasks capture their own exceptions before this; anything
@@ -173,9 +181,9 @@ void ThreadPool::WorkerLoop() {
     } catch (...) {
       uncaught_task_exceptions_.fetch_add(1, std::memory_order_relaxed);
     }
-    lock.lock();
+    lock.Lock();
     --active_;
-    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+    if (queue_.empty() && active_ == 0) idle_cv_.NotifyAll();
   }
 }
 

@@ -2,16 +2,15 @@
 #define XPV_UTIL_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/cancel.h"
+#include "util/sync.h"
 
 namespace xpv {
 
@@ -121,11 +120,11 @@ class ThreadPool {
 
     ThreadPool* pool_;
     CancelToken cancel_;
-    mutable std::mutex mu_;
-    std::condition_variable cv_;
-    int pending_ = 0;
-    uint64_t skipped_ = 0;
-    std::exception_ptr error_;  // First task-body escapee.
+    mutable Mutex mu_;
+    CondVar cv_;
+    int pending_ XPV_GUARDED_BY(mu_) = 0;
+    uint64_t skipped_ XPV_GUARDED_BY(mu_) = 0;
+    std::exception_ptr error_ XPV_GUARDED_BY(mu_);  // First task-body escapee.
   };
 
   /// Grows the pool *in place* to at least `num_threads` workers: existing
@@ -155,14 +154,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // Signals workers: work or stop.
-  std::condition_variable idle_cv_;   // Signals Wait: queue drained.
-  std::deque<std::function<void()>> queue_;
-  const size_t max_queue_;            // 0 = unbounded.
-  int active_ = 0;     // Tasks currently executing.
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable Mutex mu_;
+  CondVar work_cv_;  // Signals workers: work or stop.
+  CondVar idle_cv_;  // Signals Wait: queue drained.
+  std::deque<std::function<void()>> queue_ XPV_GUARDED_BY(mu_);
+  const size_t max_queue_;  // 0 = unbounded.
+  int active_ XPV_GUARDED_BY(mu_) = 0;  // Tasks currently executing.
+  bool stopping_ XPV_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_ XPV_GUARDED_BY(mu_);
   std::atomic<uint64_t> queue_rejections_{0};
   std::atomic<uint64_t> uncaught_task_exceptions_{0};
 };

@@ -1,7 +1,6 @@
 #include "views/answer_cache.h"
 
 #include <algorithm>
-#include <mutex>
 #include <optional>
 
 #include "util/cancel.h"
@@ -50,7 +49,7 @@ AnswerCache::Fill AnswerCache::BeginFill(const Key& key) {
 
 std::optional<std::shared_ptr<const AnswerCache::Entry>>
 AnswerCache::ProbeTable(const Key& key) {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) return std::nullopt;
   it->second.ref.store(1, std::memory_order_relaxed);
@@ -70,7 +69,7 @@ std::shared_ptr<const AnswerCache::Entry> AnswerCache::Publish(Fill& fill,
 std::shared_ptr<const AnswerCache::Entry> AnswerCache::Lookup(
     const Key& key) const {
   if (!enabled()) return nullptr;
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   auto it = table_.find(key);
   if (it == table_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -115,7 +114,7 @@ void AnswerCache::InsertShared(const Key& key,
     return;
   }
   const size_t bytes = EntryBytes(*entry);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   if (table_.count(key) > 0) return;  // A racing filler already published.
   if (table_.size() >= capacity_) {
     if (!AdmitUnderPressure(key)) {
@@ -144,7 +143,7 @@ bool AnswerCache::AdmitUnderPressure(const Key& key) {
 
 size_t AnswerCache::EraseScope(uint64_t scope) {
   if (!enabled()) return 0;
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   size_t erased = 0;
   for (auto it = table_.begin(); it != table_.end();) {
     if (it->first.scope == scope) {
@@ -161,7 +160,7 @@ size_t AnswerCache::EraseScope(uint64_t scope) {
 
 size_t AnswerCache::ShrinkHalf() {
   if (!enabled()) return 0;
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   const size_t target = table_.size() / 2;
   size_t evicted = 0;
   // Cold entries first (second-chance bit), then front-drop if the
@@ -187,12 +186,12 @@ size_t AnswerCache::ShrinkHalf() {
 }
 
 size_t AnswerCache::size() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderLock lock(mu_);
   return table_.size();
 }
 
 void AnswerCache::Clear() {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterLock lock(mu_);
   for (const auto& kv : table_) ReleaseSlotBytes(kv.second);
   table_.clear();
   std::fill(door_.begin(), door_.end(), 0);

@@ -6,12 +6,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "util/hash.h"
+#include "util/sync.h"
 #include "util/memory_budget.h"
 #include "util/single_flight.h"
 #include "views/view_cache.h"
@@ -297,7 +297,7 @@ class AnswerCache {
   /// Second-chance sweep making room for one insert. Requires the
   /// exclusive lock. Referenced slots get their bit cleared and survive;
   /// at least one entry is always evicted.
-  void EvictSome();
+  void EvictSome() XPV_REQUIRES(mu_);
 
   /// Shared implementation of `Insert`/`Publish`: admission check,
   /// eviction, emplace. The entry arrives pre-shared so `Publish` hands
@@ -307,7 +307,7 @@ class AnswerCache {
   /// Doorkeeper admission (requires the exclusive lock; key not
   /// resident, table at capacity). First presentation of a key hash is
   /// remembered and rejected; the second one is admitted.
-  bool AdmitUnderPressure(const Key& key);
+  bool AdmitUnderPressure(const Key& key) XPV_REQUIRES(mu_);
 
   /// Returns the resident entry for `key` (marking it referenced and
   /// counting a hit) or nullopt. Takes the shared lock itself — the
@@ -316,16 +316,16 @@ class AnswerCache {
 
   /// Uncharges one slot's bytes (cache counter + shared budget); call
   /// immediately before erasing the slot, under the exclusive lock.
-  void ReleaseSlotBytes(const Slot& slot);
+  void ReleaseSlotBytes(const Slot& slot) XPV_REQUIRES(mu_);
 
   static constexpr size_t kDoorkeeperSlots = 1024;  // Power of two.
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Key, Slot, KeyHash> table_;
+  mutable SharedMutex mu_;
+  std::unordered_map<Key, Slot, KeyHash> table_ XPV_GUARDED_BY(mu_);
   const size_t capacity_;
   /// Direct-mapped recent-reject filter; empty when the doorkeeper is
   /// off. Guarded by the exclusive lock (only `Insert` paths touch it).
-  std::vector<uint64_t> door_;
+  std::vector<uint64_t> door_ XPV_GUARDED_BY(mu_);
   SingleFlight<Key, std::shared_ptr<const Entry>, KeyHash> fills_;
   /// Shared service budget (may be null). Charged on residency only —
   /// entries handed to waiters without admission carry no charge.

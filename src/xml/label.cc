@@ -5,7 +5,10 @@
 namespace xpv {
 
 LabelStore::LabelStore() {
-  // Reserve the distinguished symbols at fixed ids.
+  // Reserve the distinguished symbols at fixed ids. Locked not for
+  // exclusion (no other thread can see the object yet) but so the
+  // guarded-field accesses stay inside the proven discipline.
+  MutexLock lock(mu_);
   names_.push_back("*");
   index_.emplace("*", kWildcard);
   names_.push_back("#bot");
@@ -13,7 +16,7 @@ LabelStore::LabelStore() {
 }
 
 LabelId LabelStore::Intern(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(std::string(name));
   if (it != index_.end()) return it->second;
   LabelId id = static_cast<LabelId>(names_.size());
@@ -23,13 +26,13 @@ LabelId LabelStore::Intern(std::string_view name) {
 }
 
 const std::string& LabelStore::Name(LabelId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(id >= 0 && static_cast<size_t>(id) < names_.size());
   return names_[static_cast<size_t>(id)];
 }
 
 LabelId LabelStore::Fresh(std::string_view hint) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string name;
   name.reserve(hint.size() + 24);
   name.push_back('#');
@@ -45,14 +48,14 @@ LabelId LabelStore::Fresh(std::string_view hint) {
 }
 
 bool LabelStore::IsSigma(LabelId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   assert(id >= 0 && static_cast<size_t>(id) < names_.size());
   const std::string& n = names_[static_cast<size_t>(id)];
   return id != kWildcard && (n.empty() || n[0] != '#');
 }
 
 size_t LabelStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return names_.size();
 }
 

@@ -3,10 +3,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+
+#include "util/sync.h"
 
 namespace xpv {
 
@@ -56,14 +57,14 @@ class LabelStore {
   size_t size() const;
 
  private:
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // A deque so references returned by `Name()` stay valid while other
   // threads intern: growth never moves existing elements, which the
   // parallel answering path relies on (workers may `Fresh()` µ-labels
   // while peers format explanations through `LabelName`).
-  std::deque<std::string> names_;
-  std::unordered_map<std::string, LabelId> index_;
-  int64_t fresh_counter_ = 0;
+  std::deque<std::string> names_ XPV_GUARDED_BY(mu_);
+  std::unordered_map<std::string, LabelId> index_ XPV_GUARDED_BY(mu_);
+  int64_t fresh_counter_ XPV_GUARDED_BY(mu_) = 0;
 };
 
 /// Returns the process-wide label store.

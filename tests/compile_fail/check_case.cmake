@@ -1,0 +1,50 @@
+# Runs one negative-compile case (see CMakeLists.txt in this directory).
+#
+# Inputs (all -D):
+#   COMPILER     - C++ compiler executable
+#   COMPILER_ID  - CMAKE_CXX_COMPILER_ID of that compiler
+#   SOURCE       - the case's .cc file
+#   INCLUDE_DIR  - repo src/ root (for "util/sync.h")
+#   MODE         - "ok": corrected variant must compile everywhere;
+#                  "fail": violating variant must be rejected by clang's
+#                  thread-safety analysis (skips on other compilers)
+
+set(base_flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
+set(tsa_flags -Wthread-safety -Werror=thread-safety)
+
+if(MODE STREQUAL "ok")
+  set(flags ${base_flags} -DXPV_EXPECT_OK=1)
+  if(COMPILER_ID MATCHES "Clang")
+    # The corrected variant must also be annotation-clean, not merely
+    # syntactically valid.
+    list(APPEND flags ${tsa_flags})
+  endif()
+  execute_process(COMMAND ${COMPILER} ${flags} ${SOURCE}
+                  RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "corrected variant of ${SOURCE} failed to compile:\n${err}")
+  endif()
+  message(STATUS "corrected variant compiles")
+elseif(MODE STREQUAL "fail")
+  if(NOT COMPILER_ID MATCHES "Clang")
+    message(STATUS "[SKIP] thread-safety analysis requires clang; "
+                   "compiler is ${COMPILER_ID}")
+    return()
+  endif()
+  execute_process(COMMAND ${COMPILER} ${base_flags} ${tsa_flags} ${SOURCE}
+                  RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+            "violating variant of ${SOURCE} COMPILED — the annotations "
+            "are not enforcing anything")
+  endif()
+  if(NOT err MATCHES "thread-safety")
+    message(FATAL_ERROR
+            "violating variant of ${SOURCE} failed for a reason other "
+            "than thread-safety analysis:\n${err}")
+  endif()
+  message(STATUS "violation rejected by -Werror=thread-safety")
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}'")
+endif()

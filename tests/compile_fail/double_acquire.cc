@@ -1,0 +1,35 @@
+// Negative-compile case: acquiring a non-reentrant mutex the scope
+// already holds — a guaranteed deadlock with std::mutex. Typically
+// introduced by an inner helper growing its own lock after being inlined
+// into a locked caller (the failure mode -Wshadow also patrols when the
+// inner lock shadows the outer one).
+//
+// Default build: VIOLATES (second MutexLock on a held capability) —
+// clang must reject.
+// -DXPV_EXPECT_OK: corrected variant (single acquisition) — must compile.
+
+#include "util/sync.h"
+
+namespace {
+
+class Widget {
+ public:
+  int Touch() {
+    xpv::MutexLock outer(mu_);
+#if !defined(XPV_EXPECT_OK)
+    xpv::MutexLock inner(mu_);  // BUG: mu_ already held — self-deadlock.
+#endif
+    return ++state_;
+  }
+
+ private:
+  xpv::Mutex mu_;
+  int state_ XPV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Widget w;
+  return w.Touch();
+}

@@ -1,0 +1,48 @@
+// Negative-compile case: calling a function annotated XPV_REQUIRES
+// without holding the required capability. This is the "Locked-suffix
+// helper called from a new unlocked entry point" mistake — the exact
+// shape of Service's EvictSome/AdmitUnderPressure helpers.
+//
+// Default build: VIOLATES (caller skips the lock) — clang must reject.
+// -DXPV_EXPECT_OK: corrected variant (caller locks first) — must compile.
+
+#include "util/sync.h"
+
+namespace {
+
+class Registry {
+ public:
+  void Add(int v) {
+    xpv::MutexLock lock(mu_);
+    AddLocked(v);
+  }
+
+  void AddFast(int v) {
+#if defined(XPV_EXPECT_OK)
+    xpv::MutexLock lock(mu_);
+    AddLocked(v);
+#else
+    AddLocked(v);  // BUG: callee requires mu_, caller never locked.
+#endif
+  }
+
+  int total() const {
+    xpv::MutexLock lock(mu_);
+    return total_;
+  }
+
+ private:
+  void AddLocked(int v) XPV_REQUIRES(mu_) { total_ += v; }
+
+  mutable xpv::Mutex mu_;
+  int total_ XPV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Registry r;
+  r.Add(1);
+  r.AddFast(2);
+  return r.total();
+}

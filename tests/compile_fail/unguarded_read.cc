@@ -1,0 +1,40 @@
+// Negative-compile case: reading a field annotated XPV_GUARDED_BY without
+// holding its capability. This is the bread-and-butter mistake the
+// annotations exist to catch — e.g. a stats accessor added next to a
+// locked mutator, forgetting that the field is shared.
+//
+// Default build: VIOLATES (read outside the lock) — clang must reject.
+// -DXPV_EXPECT_OK: corrected variant (read under the lock) — must compile.
+
+#include "util/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Increment() {
+    xpv::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int Read() const {
+#if defined(XPV_EXPECT_OK)
+    xpv::MutexLock lock(mu_);
+    return value_;
+#else
+    return value_;  // BUG: guarded read, mu_ not held.
+#endif
+  }
+
+ private:
+  mutable xpv::Mutex mu_;
+  int value_ XPV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Increment();
+  return c.Read();
+}

@@ -69,8 +69,8 @@ INSTANTIATE_TEST_SUITE_P(
                         false},
         ContainmentCase{"desc_then_child", "a//b/c", "a//*/c", true,
                         false}),
-    [](const ::testing::TestParamInfo<ContainmentCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<ContainmentCase>& tpi) {
+      return tpi.param.name;
     });
 
 // ---------------------------------------------------------------------------

@@ -121,8 +121,8 @@ INSTANTIATE_TEST_SUITE_P(
         // Open zone.
         MatrixCase{"unknown", "a//*[b//x]/*//*[b//x]/*",
                    "a//*[b//x]/*[w]", RewriteStatus::kUnknown}),
-    [](const ::testing::TestParamInfo<MatrixCase>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<MatrixCase>& tpi) {
+      return tpi.param.name;
     });
 
 }  // namespace

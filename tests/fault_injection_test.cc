@@ -115,12 +115,12 @@ void RunChaosScenario(uint64_t seed, int workers) {
         if (view.IsEmpty()) break;
         auto added = service.AddView(
             doc, "chaos" + std::to_string(minted_views++), std::move(view));
-        if (!added.ok()) EXPECT_TRUE(IsStructured(added.error()));
+        if (!added.ok()) { EXPECT_TRUE(IsStructured(added.error())); }
         break;
       }
       case 1: {  // Single answer.
         auto answer = service.Answer(doc, RandomPattern(rng, pattern_gen));
-        if (!answer.ok()) EXPECT_TRUE(IsStructured(answer.error()));
+        if (!answer.ok()) { EXPECT_TRUE(IsStructured(answer.error())); }
         break;
       }
       case 2: {  // Batch answer, sometimes parallel, sometimes deadlined.
@@ -140,7 +140,7 @@ void RunChaosScenario(uint64_t seed, int workers) {
         if (batch.ok()) {
           ASSERT_EQ(batch.value().answers.size(), items.size());
           for (const auto& item : batch.value().answers) {
-            if (!item.ok()) EXPECT_TRUE(IsStructured(item.error()));
+            if (!item.ok()) { EXPECT_TRUE(IsStructured(item.error())); }
           }
         } else {
           EXPECT_TRUE(IsStructured(batch.error()));
@@ -150,7 +150,7 @@ void RunChaosScenario(uint64_t seed, int workers) {
       case 3: {  // Replace a document in place.
         auto replaced = service.ReplaceDocument(
             doc, RandomTree(rng, tree_gen));
-        if (!replaced.ok()) EXPECT_TRUE(IsStructured(replaced.error()));
+        if (!replaced.ok()) { EXPECT_TRUE(IsStructured(replaced.error())); }
         break;
       }
       case 4: {  // Stale-handle probe: a foreign handle must stay rejected.

@@ -6,9 +6,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
-#include <mutex>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -16,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "util/cancel.h"
+#include "util/sync.h"
 
 namespace xpv {
 namespace {
@@ -24,17 +23,17 @@ namespace {
 /// before any finishes), proving `n` distinct live workers; returns their
 /// thread ids.
 std::set<std::thread::id> RendezvousWorkerIds(ThreadPool* pool, int n) {
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   int arrived = 0;
   std::set<std::thread::id> ids;
   for (int i = 0; i < n; ++i) {
     pool->Submit([&mu, &cv, &arrived, &ids, n] {
-      std::unique_lock<std::mutex> lock(mu);
+      MutexLock lock(mu);
       ids.insert(std::this_thread::get_id());
       ++arrived;
-      cv.notify_all();
-      cv.wait(lock, [&arrived, n] { return arrived >= n; });
+      cv.NotifyAll();
+      while (arrived < n) cv.Wait(mu);
     });
   }
   pool->Wait();
@@ -65,12 +64,12 @@ TEST(ThreadPoolTest, EnsureThreadsGrowsInPlaceAndReusesWorkers) {
 
 TEST(ThreadPoolTest, EnsureThreadsIsSafeWhileTasksRun) {
   ThreadPool pool(1);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
   });
   // Grow while the single worker is blocked inside a task.
   pool.EnsureThreads(3);
@@ -82,10 +81,10 @@ TEST(ThreadPoolTest, EnsureThreadsIsSafeWhileTasksRun) {
   }
   while (done.load() < 4) std::this_thread::yield();
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   pool.Wait();
   EXPECT_EQ(done.load(), 4);
 }
@@ -121,13 +120,13 @@ TEST(ThreadPoolTest, TaskGroupFailureCancelsQueuedSiblings) {
   // complete without running) — a failed batch stops burning CPU on work
   // whose result will be thrown away.
   ThreadPool pool(1);  // Single worker: strict queue order.
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   ThreadPool::TaskGroup group(&pool);
   group.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return release; });
+    MutexLock lock(mu);
+    while (!release) cv.Wait(mu);
     throw std::runtime_error("first fails");
   });
   std::atomic<int> ran{0};
@@ -135,10 +134,10 @@ TEST(ThreadPoolTest, TaskGroupFailureCancelsQueuedSiblings) {
     group.Submit([&ran] { ran.fetch_add(1); });
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   group.Wait();
   EXPECT_FALSE(group.ok());
   EXPECT_EQ(ran.load(), 0);       // All siblings were queued behind it...
@@ -180,22 +179,22 @@ TEST(ThreadPoolTest, RawSubmitEscapeeIsCountedNotFatal) {
 
 TEST(ThreadPoolTest, BoundedQueueRefusesWithoutConsumingTheTask) {
   ThreadPool pool(1, /*max_queue=*/2);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   // Wedge the single worker so submissions pile into the queue — and WAIT
   // until the worker holds the wedge, so it no longer occupies a queue
   // slot (otherwise the fill below races the dequeue).
   std::atomic<bool> wedged{false};
   pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     wedged.store(true);
-    cv.notify_all();
-    cv.wait(lock, [&] { return release; });
+    cv.NotifyAll();
+    while (!release) cv.Wait(mu);
   });
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return wedged.load(); });
+    MutexLock lock(mu);
+    while (!wedged.load()) cv.Wait(mu);
   }
   // Fill the bounded queue, then overflow it.
   std::atomic<int> ran{0};
@@ -210,10 +209,10 @@ TEST(ThreadPoolTest, BoundedQueueRefusesWithoutConsumingTheTask) {
   task();                    // ...so the caller can run it inline.
   EXPECT_EQ(pool.queue_rejections(), 1u);
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   pool.Wait();
   EXPECT_EQ(ran.load(), 3);  // 2 pooled + 1 inline.
 }
@@ -223,19 +222,19 @@ TEST(ThreadPoolTest, TaskGroupDegradesToInlineOnFullQueue) {
   // thread (caller-pays backpressure): every task still completes exactly
   // once and the group drains normally.
   ThreadPool pool(1, /*max_queue=*/1);
-  std::mutex mu;
-  std::condition_variable cv;
+  Mutex mu;
+  CondVar cv;
   bool release = false;
   std::atomic<bool> wedged{false};
   pool.Submit([&] {
-    std::unique_lock<std::mutex> lock(mu);
+    MutexLock lock(mu);
     wedged.store(true);
-    cv.notify_all();
-    cv.wait(lock, [&] { return release; });
+    cv.NotifyAll();
+    while (!release) cv.Wait(mu);
   });
   {
-    std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [&] { return wedged.load(); });
+    MutexLock lock(mu);
+    while (!wedged.load()) cv.Wait(mu);
   }
   std::atomic<int> ran{0};
   const std::thread::id submitter = std::this_thread::get_id();
@@ -248,10 +247,10 @@ TEST(ThreadPoolTest, TaskGroupDegradesToInlineOnFullQueue) {
     });
   }
   {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     release = true;
   }
-  cv.notify_all();
+  cv.NotifyAll();
   group.Wait();
   EXPECT_TRUE(group.ok());
   EXPECT_EQ(ran.load(), 6);

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Project-invariant linter: textual rules the compilers cannot express.
+
+Registered as the `lint_invariants` ctest and run in the CI lint job.
+Stdlib-only on purpose — it must run on a bare python3 anywhere.
+
+Rules
+-----
+R1 raw-sync      No raw std sync primitive (std::mutex, std::shared_mutex,
+                 std::condition_variable, the std lock RAII templates)
+                 outside src/util/sync.h. Everything must go through the
+                 capability-annotated wrappers so clang's thread-safety
+                 analysis sees every acquisition.
+R2 api-abort     No assert( / abort( in src/api/. The serving layer's
+                 contract is structured ServiceStatus errors, never
+                 process death (static_assert is fine: it fires at
+                 compile time).
+R3 fault-hooks   No XPV_FAULT_INJECTION preprocessor conditionals outside
+                 src/util/fault.h. Fault points are the fault:: hooks, so
+                 the OFF build compiles them to empty inlines uniformly —
+                 scattered #ifdefs would fork the two builds' control flow.
+R4 bench-out     Every --benchmark_out= in CMakeLists.txt / CI workflows
+                 writes a SMOKE_*.json basename and never points into
+                 bench/results/. Tracked BENCH_*.json baselines are
+                 regenerated deliberately, never clobbered by a CI smoke
+                 run.
+
+Suppression: a line containing `lint-invariants: allow(<rule>)` in a
+comment is exempt from <rule>. Each use should say why.
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+CPP_GLOBS = ("src/**/*.h", "src/**/*.cc", "tests/**/*.h", "tests/**/*.cc",
+             "bench/**/*.h", "bench/**/*.cc", "examples/**/*.cpp")
+BUILD_FILES = ("CMakeLists.txt", "tests/compile_fail/CMakeLists.txt",
+               ".github/workflows/ci.yml")
+
+RAW_SYNC = re.compile(
+    r"std::(?:recursive_|timed_|recursive_timed_|shared_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+API_ABORT = re.compile(r"(?<![_A-Za-z0-9])(?:assert|abort)\s*\(")
+FAULT_COND = re.compile(
+    r"^\s*#\s*(?:if|ifdef|ifndef|elif).*\bXPV_FAULT_INJECTION\b")
+BENCH_OUT = re.compile(r"--benchmark_out=(\S+)")
+ALLOW = re.compile(r"lint-invariants:\s*allow\((?P<rule>[\w-]+)\)")
+
+
+def allowed(line, rule):
+    m = ALLOW.search(line)
+    return m is not None and m.group("rule") == rule
+
+
+def strip_line_comment(line):
+    """Removes // comments so commentary about std::mutex stays legal."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def lint_tree(root):
+    problems = []
+
+    def report(path, lineno, rule, msg):
+        problems.append(f"{path.relative_to(root)}:{lineno}: [{rule}] {msg}")
+
+    for pattern in CPP_GLOBS:
+        for path in sorted(root.glob(pattern)):
+            rel = path.relative_to(root).as_posix()
+            is_sync_h = rel == "src/util/sync.h"
+            is_api = rel.startswith("src/api/")
+            is_fault_h = rel == "src/util/fault.h"
+            for lineno, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                line = strip_line_comment(raw)
+                if not is_sync_h and RAW_SYNC.search(line) \
+                        and not allowed(raw, "raw-sync"):
+                    report(path, lineno, "raw-sync",
+                           "raw std sync primitive; use util/sync.h "
+                           "wrappers (they carry the thread-safety "
+                           "annotations)")
+                if is_api and API_ABORT.search(line) \
+                        and not allowed(raw, "api-abort"):
+                    report(path, lineno, "api-abort",
+                           "assert/abort in the API layer; return a "
+                           "structured ServiceStatus error instead")
+                if not is_fault_h and FAULT_COND.search(line) \
+                        and not allowed(raw, "fault-hooks"):
+                    report(path, lineno, "fault-hooks",
+                           "XPV_FAULT_INJECTION conditional outside "
+                           "util/fault.h; use the fault:: hooks")
+
+    for rel in BUILD_FILES:
+        path = root / rel
+        if not path.exists():
+            continue
+        for lineno, raw in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1):
+            for m in BENCH_OUT.finditer(raw):
+                if allowed(raw, "bench-out"):
+                    continue
+                out = m.group(1).strip("'\"")
+                name = out.rsplit("/", 1)[-1]
+                if "bench/results" in out or not re.fullmatch(
+                        r"SMOKE_[\w${}.-]+\.json", name):
+                    report(path, lineno, "bench-out",
+                           f"bench output '{out}' must be a SMOKE_*.json "
+                           "outside bench/results/ (tracked BENCH_*.json "
+                           "baselines are regenerated deliberately)")
+    return problems
+
+
+# ------------------------------------------------------------- self-test
+
+BAD_SNIPPETS = {
+    "raw-sync": "  std::mutex mu;\n",
+    "api-abort": "  abort();\n",
+    "fault-hooks": "#ifdef XPV_FAULT_INJECTION\n#endif\n",
+}
+GOOD_SNIPPETS = {
+    "raw-sync": "  xpv::Mutex mu;  // wraps std::mutex\n",
+    "api-abort": "  static_assert(sizeof(int) == 4);\n",
+    "fault-hooks": "  fault::MaybeFail(\"memo-write\");\n",
+}
+
+
+def self_test():
+    """Proves each rule still fires (and doesn't overfire) on canned input."""
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        (root / "src/api").mkdir(parents=True)
+        (root / "src/util").mkdir(parents=True)
+        (root / "src/api/bad.cc").write_text(
+            BAD_SNIPPETS["raw-sync"] + BAD_SNIPPETS["api-abort"]
+            + BAD_SNIPPETS["fault-hooks"], encoding="utf-8")
+        (root / "CMakeLists.txt").write_text(
+            "--benchmark_out=bench/results/BENCH_oops.json\n",
+            encoding="utf-8")
+        problems = lint_tree(root)
+        for rule in ("raw-sync", "api-abort", "fault-hooks", "bench-out"):
+            if not any(f"[{rule}]" in p for p in problems):
+                failures.append(f"rule {rule} did not fire on known-bad input")
+
+        (root / "src/api/bad.cc").write_text(
+            GOOD_SNIPPETS["raw-sync"] + GOOD_SNIPPETS["api-abort"]
+            + GOOD_SNIPPETS["fault-hooks"], encoding="utf-8")
+        (root / "CMakeLists.txt").write_text(
+            "--benchmark_out=SMOKE_${bench_name}.json\n", encoding="utf-8")
+        (root / "src/util/sync.h").write_text(
+            "  std::mutex native_;  // the one legal home\n", encoding="utf-8")
+        problems = lint_tree(root)
+        if problems:
+            failures.append("rules fired on known-good input: "
+                            + "; ".join(problems))
+
+        (root / "src/api/bad.cc").write_text(
+            "  abort();  // lint-invariants: allow(api-abort) — self-test\n",
+            encoding="utf-8")
+        if lint_tree(root):
+            failures.append("allow() suppression was not honored")
+
+    if failures:
+        print("lint_invariants self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("lint_invariants self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root to lint (default: this checkout)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the linter's own regression checks")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    problems = lint_tree(args.root.resolve())
+    if problems:
+        print(f"lint_invariants: {len(problems)} violation(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
