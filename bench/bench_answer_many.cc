@@ -284,6 +284,85 @@ void BM_ColdAnswerBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_ColdAnswerBatch)->Arg(64)->Arg(256)->UseRealTime();
 
+/// The PR-9 update regime: a write-heavy loop of small deltas, each
+/// followed by re-answering the hot queries. incremental=1 goes through
+/// `UpdateDocument` (views spliced or proven untouched, memo preserved
+/// via per-view epochs); incremental=0 is the pre-PR-9 equivalent —
+/// `ReplaceDocument` with the post-delta tree plus re-`AddView`, which
+/// re-materializes every view and orphans the whole answer memo. The
+/// deltas land in the noise region (labels disjoint from both views), so
+/// the incremental path proves the views untouched and the re-answers
+/// replay as memo hits. The tracked claim: incremental=1 sustains >= 3x
+/// the items/s of incremental=0.
+void BM_UpdateHeavyBatch(benchmark::State& state) {
+  const bool incremental = state.range(0) != 0;
+  Service service;
+  DocumentId doc = service.AddDocument(CatalogueDoc(4096, 32));
+  for (const ViewDefinition& view : CatalogueViews()) {
+    if (!service.AddView(doc, view.name, view.pattern).ok()) std::abort();
+  }
+  // The replace twin mutates its own shadow tree with the same deltas and
+  // ships the result wholesale.
+  Tree shadow = CatalogueDoc(4096, 32);
+  NodeId misc = kNoNode;
+  for (NodeId n = 0; n < shadow.size(); ++n) {
+    if (shadow.label(n) == L("misc")) misc = n;
+  }
+  if (misc == kNoNode) std::abort();
+
+  const std::vector<Pattern> hot = {
+      MustParseXPath("lib/section/book/title"),
+      MustParseXPath("lib/section/book/author"),
+      MustParseXPath("lib/journal/article/title"),
+      MustParseXPath("lib/journal/article/ref"),
+  };
+  // Warm the memo so the incremental path starts from the steady state.
+  for (const Pattern& q : hot) {
+    if (!service.Answer(doc, Query(q)).ok()) std::abort();
+  }
+
+  int flip = 0;
+  for (auto _ : state) {
+    // One small delta: graft a 2-node noise subtree under <misc> and
+    // relabel one noise node. Insert-only, so node ids stay stable and
+    // the memo survives compaction-free.
+    Tree graft(L("x"));
+    graft.AddChild(graft.root(), L("y"));
+    DocumentDelta delta;
+    delta.InsertSubtree(misc, std::move(graft));
+    delta.Relabel(misc + 1, L(++flip % 2 == 0 ? "y" : "z"));
+
+    if (incremental) {
+      if (!service.UpdateDocument(doc, std::move(delta)).ok()) std::abort();
+    } else {
+      shadow.ApplyDelta(delta);
+      if (!service.ReplaceDocument(doc, shadow).ok()) std::abort();
+      for (const ViewDefinition& view : CatalogueViews()) {
+        if (!service.AddView(doc, view.name, view.pattern).ok()) std::abort();
+      }
+    }
+    size_t outputs = 0;
+    for (const Pattern& q : hot) {
+      ServiceResult<Answer> answer = service.Answer(doc, Query(q));
+      if (!answer.ok()) std::abort();
+      outputs += answer.value().outputs.size();
+    }
+    benchmark::DoNotOptimize(outputs);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(1 + hot.size()));
+  ServiceStats stats = service.stats();
+  state.counters["incremental"] = incremental ? 1 : 0;
+  state.counters["memo_hits"] = static_cast<double>(stats.answer_cache_hits);
+  state.counters["views_untouched"] =
+      static_cast<double>(stats.update_views_untouched);
+}
+BENCHMARK(BM_UpdateHeavyBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"incremental"})
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace xpv
 
@@ -293,7 +372,9 @@ int main(int argc, char** argv) {
       "Claims: AnswerMany equals the sequential Answer loop answer-for-"
       "answer and reaches >= 2x its throughput on batches of >= 64 "
       "queries; the Service batch planner's answer memo reaches >= 1.5x "
-      "the unmemoized pipeline on repeated multi-document batches.");
+      "the unmemoized pipeline on repeated multi-document batches; the "
+      "incremental update loop (UpdateDocument + re-answer) reaches >= 3x "
+      "the ReplaceDocument-equivalent's throughput on small deltas.");
   xpv::VerifyBatchIdentity();
   xpv::benchutil::InitWithJsonOutput(argc, argv, "BENCH_answer_many.json");
   benchmark::RunSpecifiedBenchmarks();

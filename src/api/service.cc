@@ -104,6 +104,8 @@ const char* ToString(ServiceErrorCode code) {
       return "duplicate_view_name";
     case ServiceErrorCode::kEmptyPattern:
       return "empty_pattern";
+    case ServiceErrorCode::kInvalidDelta:
+      return "invalid_delta";
     case ServiceErrorCode::kStaleHandle:
       return "stale_handle";
     case ServiceErrorCode::kDeadlineExceeded:
@@ -204,6 +206,25 @@ struct Service::DocSlot {
   void AdvanceEpochPastShard() XPV_REQUIRES(mu) {
     epoch_base += shard->cache.epoch() + 1;
   }
+
+  /// Freshness stamp for a memoized answer computed NOW: the per-view
+  /// epoch of the serving view for view hits, the document epoch for
+  /// rewrite misses. `UpdateDocument` bumps exactly the epochs an update
+  /// invalidates, so an entry is stale iff its stored stamp differs from
+  /// this value — one integer compare at probe time. Requires a live
+  /// shard; the stripe (shared suffices) orders the read against updates.
+  uint64_t MemoValidity(const CacheAnswer& answer) const
+      XPV_REQUIRES_SHARED(mu) {
+    return answer.view_slot >= 0
+               ? shard->cache.view_epoch(answer.view_slot)
+               : shard->cache.doc_epoch();
+  }
+
+  /// True when a resident memo entry is still current (see MemoValidity).
+  bool MemoFresh(const AnswerCache::Entry& entry) const
+      XPV_REQUIRES_SHARED(mu) {
+    return entry.validity == MemoValidity(entry.answer);
+  }
 };
 
 /// All Service state, heap-stable behind one pointer so moves are cheap
@@ -261,6 +282,16 @@ struct Service::State {
   std::atomic<uint64_t> admission_pauses{0};
   std::atomic<uint64_t> admission_resumes{0};
   std::atomic<bool> relieving{false};
+
+  // ----- incremental update counters (PR 9) -----
+  // Cumulative across the document lifecycle (stored here, not on the
+  // shard, so retirement needs no folding).
+  std::atomic<uint64_t> updates_applied{0};
+  std::atomic<uint64_t> update_views_patched{0};
+  std::atomic<uint64_t> update_views_rematerialized{0};
+  std::atomic<uint64_t> update_views_untouched{0};
+  std::atomic<uint64_t> update_fallbacks{0};
+  std::atomic<uint64_t> update_memo_entries_preserved{0};
 
   /// RAII admission slot: acquired on construction, `admitted()` tells
   /// whether the call fit under the limit (release only happens when it
@@ -601,6 +632,129 @@ ServiceStatus Service::ReplaceDocument(DocumentId id, std::string_view xml) {
   return ReplaceDocument(id, parsed.take());
 }
 
+ServiceStatus Service::UpdateDocument(DocumentId id, DocumentDelta delta) {
+  return UpdateDocument(id, std::move(delta), CallOptions{});
+}
+
+ServiceStatus Service::UpdateDocument(DocumentId id, DocumentDelta delta,
+                                      const CallOptions& call) {
+  const CancelToken token = MakeCallToken(call);
+  if (token.Expired()) {
+    const bool dl = !token.cancelled();
+    state_->CountCancel(dl);
+    return ServiceStatus::Error(CancelError(dl));
+  }
+  ExclusiveAccess access = LockLiveExclusive(id);
+  if (access.shard == nullptr) {
+    state_->CountFailure();
+    return ServiceStatus::Error(std::move(access.error));
+  }
+  access.slot->mu.AssertHeld();  // Held via access.stripe.
+  Shard* shard = access.shard;
+  // --------------------------------------------- pre-mutation: abortable
+  // Validation, the last cancellation poll and the fault hook all run
+  // BEFORE the first byte of the document mutates: any abort here leaves
+  // the document, its views and its memoized answers exactly as they were.
+  std::string why;
+  if (!shard->tree.ValidateDelta(delta, &why)) {
+    state_->CountFailure();
+    return ServiceStatus::Error(
+        MakeError(ServiceErrorCode::kInvalidDelta, "delta: " + why));
+  }
+  try {
+    CancelScope scope(token);
+    PollCancellation();
+    fault::Point("service.update");
+  } catch (const CancelledError& e) {
+    state_->CountCancel(e.deadline_exceeded());
+    return ServiceStatus::Error(CancelError(e.deadline_exceeded()));
+  } catch (const std::exception& e) {
+    state_->CountFailure();
+    state_->internal_errors.fetch_add(1, std::memory_order_relaxed);
+    return ServiceStatus::Error(InternalError(e));
+  }
+  // ------------------------------------------ apply: the point of no return
+  // The delta is applied under a MASKED cancellation scope: the evaluator
+  // kernels poll the ambient token, and a half-applied delta must never
+  // exist — once mutation starts, the update runs to completion even if
+  // the caller's deadline lapses mid-apply.
+  const uint64_t scope_key = reinterpret_cast<uintptr_t>(access.slot);
+  TreeDeltaReport report;
+  ViewUpdateStats vstats;
+  {
+    CancelScope mask{CancelToken()};  // A default token never expires.
+    try {
+      report = shard->tree.ApplyDelta(delta);
+      vstats = shard->cache.ApplyUpdate(
+          report, state_->options.update_fallback_fraction);
+    } catch (const std::exception& e) {
+      // Allocation failure mid-apply (injected faults cannot fire here —
+      // the hook is pre-mutation). Best-effort consistency restoration:
+      // force the full-fallback path of ApplyUpdate against the tree as
+      // it now stands, which re-materializes every view from scratch and
+      // orphans every memoized answer for this document. The views and
+      // memo are then consistent with whatever tree state landed.
+      TreeDeltaReport full;
+      full.old_size = full.new_size = shard->tree.size();
+      full.suffix_start = shard->tree.size();
+      full.compacted = true;  // Bump the shape epoch: orphan all memo keys.
+      full.touched_nodes = std::max<size_t>(1, shard->tree.size());
+      try {
+        shard->cache.ApplyUpdate(full, /*fallback_fraction=*/0.0);
+      } catch (const std::exception&) {
+        // Even recovery failed (allocation). The stale views remain; the
+        // epoch bump below still fences the memo.
+      }
+      state_->answers.EraseScope(scope_key);
+      state_->CountFailure();
+      state_->internal_errors.fetch_add(1, std::memory_order_relaxed);
+      return ServiceStatus::Error(InternalError(e));
+    }
+  }
+  if (report.compacted) {
+    // Deletes re-keyed the surviving node ids: every memoized answer for
+    // this document stores pre-delta ids. The cache's shape-epoch bump
+    // already unkeyed them; purge eagerly so their output vectors do not
+    // linger until capacity pressure (mirrors ReplaceDocument).
+    state_->answers.EraseScope(scope_key);
+  }
+  // Count the memoized answers that survived (still keyed AND still
+  // fresh) — the per-view epoch contract's observable win. Only
+  // non-compacted updates can preserve entries.
+  if (report.touched_nodes > 0 && !report.compacted &&
+      state_->answers.enabled()) {
+    const uint64_t cur_epoch = access.slot->Epoch();
+    const ViewCache& cache = shard->cache;
+    const size_t preserved = state_->answers.CountScope(
+        scope_key,
+        [&cache, cur_epoch](const AnswerCache::Key& k,
+                            const AnswerCache::Entry& e) {
+          if (k.epoch != cur_epoch) return false;
+          const int vs = e.answer.view_slot;
+          return e.validity == (vs >= 0 ? cache.view_epoch(vs)
+                                        : cache.doc_epoch());
+        });
+    state_->update_memo_entries_preserved.fetch_add(
+        preserved, std::memory_order_relaxed);
+  }
+  state_->updates_applied.fetch_add(1, std::memory_order_relaxed);
+  state_->update_views_patched.fetch_add(
+      static_cast<uint64_t>(vstats.views_patched), std::memory_order_relaxed);
+  state_->update_views_rematerialized.fetch_add(
+      static_cast<uint64_t>(vstats.views_rematerialized),
+      std::memory_order_relaxed);
+  state_->update_views_untouched.fetch_add(
+      static_cast<uint64_t>(vstats.views_untouched), std::memory_order_relaxed);
+  if (vstats.fell_back) {
+    state_->update_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Re-materialization and DP state may have charged the shared budget;
+  // react outside the stripe (the ladder takes the memo and oracle locks).
+  access.stripe.Unlock();
+  RelievePressure();
+  return ServiceStatus();
+}
+
 /// Snapshots the slot pointers under the table lock and RELEASES it
 /// before any stripe is touched: stats/num_documents must not couple
 /// table writers to a slow exclusive operation on one document. The
@@ -800,17 +954,28 @@ ServiceResult<xpv::Answer> Service::AnswerUnderScope(DocumentId document,
     // short hash-table critical sections.
     fill = state_->answers.BeginFill(key);
     if (fill.hit()) {
-      access.shard->FoldStats(fill.entry()->delta);
-      return fill.entry()->answer;  // The one copy: into the reply.
-    }
-    if (!fill.leader()) {
+      // Revalidate against the per-view epochs: an in-place update bumps
+      // exactly the epochs of the views it touched (and the doc epoch),
+      // leaving the key's shape epoch alone — a hit whose stamp went
+      // stale is recomputed below and REPLACES the resident entry.
+      if (access.slot->MemoFresh(*fill.entry())) {
+        access.shard->FoldStats(fill.entry()->delta);
+        return fill.entry()->answer;  // The one copy: into the reply.
+      }
+    } else if (!fill.leader()) {
       if (std::shared_ptr<const AnswerCache::Entry> entry = fill.Wait()) {
-        access.shard->FoldStats(entry->delta);
-        return entry->answer;
+        // A leader from BEFORE an intervening update may have published a
+        // now-stale entry (it held the stripe shared earlier, not now):
+        // same revalidation as the table hit.
+        if (access.slot->MemoFresh(*entry)) {
+          access.shard->FoldStats(entry->delta);
+          return entry->answer;
+        }
       }
       // Every earlier leader unwound without publishing and Wait()
-      // re-elected US (fill.leader() is now true): compute and Publish
-      // below exactly like a first leader.
+      // re-elected US (fill.leader() is now true) — or the entry it
+      // published is stale: compute below. A re-elected leader publishes
+      // through its fill; a stale-refresh inserts directly.
     }
   }
   CacheStats delta;
@@ -823,7 +988,16 @@ ServiceResult<xpv::Answer> Service::AnswerUnderScope(DocumentId document,
     // leader fill abandons its flight on unwind — waiters re-elect.
     try {
       fault::Point("service.memo_write");
-      state_->answers.Publish(fill, AnswerCache::Entry{answer, delta});
+      AnswerCache::Entry entry{answer, delta,
+                               access.slot->MemoValidity(answer)};
+      if (fill.leader()) {
+        state_->answers.Publish(fill, std::move(entry));
+      } else {
+        // Stale-refresh path (the probe hit but failed revalidation, so
+        // no flight is armed): Insert replaces the stale resident entry —
+        // the validity stamps differ by construction.
+        state_->answers.Insert(key, std::move(entry));
+      }
     } catch (const CancelledError&) {
       throw;
     } catch (const std::exception&) {
@@ -1074,7 +1248,9 @@ BatchAnswers Service::AnswerBatchUnderScope(
       // A crisp slice boundary: once the call is dead no further slice
       // starts, even a fully-memoized one that would never poll again.
       PollCancellation();
-      const uint64_t scope = reinterpret_cast<uintptr_t>(distinct_slots[si]);
+      DocSlot* const slice_slot = distinct_slots[si];
+      slice_slot->mu.AssertShared();  // Held via the stripe vector.
+      const uint64_t scope = reinterpret_cast<uintptr_t>(slice_slot);
       const uint64_t epoch = stripe_epoch[si];
 
       // Distinct plan entries of this slice, in first-appearance order (the
@@ -1105,26 +1281,38 @@ BatchAnswers Service::AnswerBatchUnderScope(
       // empty vectors never allocate, so the all-hit fast path stays free
       // of per-slice heap traffic (a hit's Fill lives and dies inside its
       // loop iteration; only its entry pointer survives).
-      std::vector<AnswerCache::Fill> lead_fills;   // Parallel to compute_pos.
+      std::vector<AnswerCache::Fill> lead_fills;
       std::vector<std::pair<size_t, AnswerCache::Fill>> join_fills;
       std::vector<PlannedAnswer> computed;  // Parallel to compute_pos.
       std::vector<PlannedQuery> to_compute;
       std::vector<size_t> compute_pos;
+      // Parallel to compute_pos: index into lead_fills, or -1 for a
+      // stale-refresh recompute (the probe hit but failed per-view-epoch
+      // revalidation — no flight armed; published via Insert, which
+      // replaces the stale resident entry).
+      std::vector<int> compute_fill;
       for (size_t k = 0; k < slice_plan.size(); ++k) {
         const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
         if (memoize) {
           AnswerCache::Fill fill =
               state_->answers.BeginFill({scope, epoch, entry.fingerprint});
           if (fill.hit()) {
-            memo_entries[k] = fill.entry();
-            continue;
-          }
-          if (!fill.leader()) {
+            // Revalidate the stamp (see AnswerUnderScope): an in-place
+            // update leaves the key's shape epoch alone and bumps only
+            // the touched views' epochs.
+            if (slice_slot->MemoFresh(*fill.entry())) {
+              memo_entries[k] = fill.entry();
+              continue;
+            }
+            compute_fill.push_back(-1);
+          } else if (!fill.leader()) {
             // In flight elsewhere; wait after computing our own leads.
             join_fills.emplace_back(k, std::move(fill));
             continue;
+          } else {
+            compute_fill.push_back(static_cast<int>(lead_fills.size()));
+            lead_fills.push_back(std::move(fill));
           }
-          lead_fills.push_back(std::move(fill));
         }
         to_compute.push_back(PlannedQuery{&entry.pattern, &entry.summary});
         compute_pos.push_back(k);
@@ -1142,9 +1330,20 @@ BatchAnswers Service::AnswerBatchUnderScope(
               // Keyed at the epoch observed under the stripe: if a writer
               // has queued behind us, the entry is dead on arrival, never
               // wrong. Publishing resolves the fill, waking every waiter.
-              state_->answers.Publish(
-                  lead_fills[j],
-                  AnswerCache::Entry{computed[j].answer, computed[j].delta});
+              AnswerCache::Entry entry{
+                  computed[j].answer, computed[j].delta,
+                  slice_slot->MemoValidity(computed[j].answer)};
+              const int f = compute_fill[j];
+              if (f >= 0) {
+                state_->answers.Publish(lead_fills[static_cast<size_t>(f)],
+                                        std::move(entry));
+              } else {
+                state_->answers.Insert(
+                    {scope, epoch,
+                     plan[static_cast<size_t>(slice_plan[compute_pos[j]])]
+                         .fingerprint},
+                    std::move(entry));
+              }
             }
           } catch (const CancelledError&) {
             throw;
@@ -1155,36 +1354,61 @@ BatchAnswers Service::AnswerBatchUnderScope(
       // Collect the joined fills (all our leads are already published). A
       // null Wait() means every earlier leader of that key unwound and the
       // re-elected flight is now OURS — keep the promoted fill so the
-      // recovery below publishes through it, waking the other waiters.
+      // recovery below publishes through it, waking the other waiters. A
+      // STALE waited entry (published by a leader whose stripe hold
+      // predates an intervening update) recomputes too, but without a
+      // flight — its refresh lands via a replacing Insert.
       std::vector<std::pair<size_t, AnswerCache::Fill>> orphan_fills;
+      std::vector<size_t> stale_pos;
       for (auto& [k, fill] : join_fills) {
         memo_entries[k] = fill.Wait();
         if (memo_entries[k] == nullptr) {
           orphan_fills.emplace_back(k, std::move(fill));
+        } else if (!slice_slot->MemoFresh(*memo_entries[k])) {
+          memo_entries[k] = nullptr;
+          stale_pos.push_back(k);
         }
       }
-      if (!orphan_fills.empty()) {
-        // Rare recovery path: compute the keys we now lead ourselves.
+      if (!orphan_fills.empty() || !stale_pos.empty()) {
+        // Rare recovery path: compute the keys we now lead (or must
+        // refresh) ourselves — orphans first, then stale refreshes.
         std::vector<PlannedQuery> orphan_queries;
-        orphan_queries.reserve(orphan_fills.size());
+        orphan_queries.reserve(orphan_fills.size() + stale_pos.size());
         for (const auto& [k, fill] : orphan_fills) {
+          const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
+          orphan_queries.push_back(PlannedQuery{&entry.pattern, &entry.summary});
+        }
+        for (size_t k : stale_pos) {
           const PlanEntry& entry = plan[static_cast<size_t>(slice_plan[k])];
           orphan_queries.push_back(PlannedQuery{&entry.pattern, &entry.summary});
         }
         std::vector<PlannedAnswer> recovered = shard->cache.AnswerPlannedConcurrent(
             orphan_queries, workers, pool, &state_->oracle);
         for (size_t j = 0; j < recovered.size(); ++j) {
-          auto& [k, fill] = orphan_fills[j];
+          const bool orphan = j < orphan_fills.size();
+          const size_t k =
+              orphan ? orphan_fills[j].first : stale_pos[j - orphan_fills.size()];
+          const uint64_t validity =
+              slice_slot->MemoValidity(recovered[j].answer);
           // The slice's answer must not depend on the memo write landing:
           // keep a local entry, absorb memo-write faults (the abandoned
           // flight re-elects among any remaining waiters).
           memo_entries[k] = std::make_shared<const AnswerCache::Entry>(
-              AnswerCache::Entry{recovered[j].answer, recovered[j].delta});
+              AnswerCache::Entry{recovered[j].answer, recovered[j].delta,
+                                 validity});
           try {
             fault::Point("service.memo_write");
-            state_->answers.Publish(
-                fill,
-                AnswerCache::Entry{recovered[j].answer, recovered[j].delta});
+            AnswerCache::Entry entry{recovered[j].answer, recovered[j].delta,
+                                     validity};
+            if (orphan) {
+              state_->answers.Publish(orphan_fills[j].second,
+                                      std::move(entry));
+            } else {
+              state_->answers.Insert(
+                  {scope, epoch,
+                   plan[static_cast<size_t>(slice_plan[k])].fingerprint},
+                  std::move(entry));
+            }
           } catch (const CancelledError&) {
             throw;
           } catch (const std::exception&) {
@@ -1336,6 +1560,18 @@ ServiceStats Service::stats() const {
       state_->admission_pauses.load(std::memory_order_relaxed);
   stats.memory_admission_resumes =
       state_->admission_resumes.load(std::memory_order_relaxed);
+  stats.updates_applied =
+      state_->updates_applied.load(std::memory_order_relaxed);
+  stats.update_views_patched =
+      state_->update_views_patched.load(std::memory_order_relaxed);
+  stats.update_views_rematerialized =
+      state_->update_views_rematerialized.load(std::memory_order_relaxed);
+  stats.update_views_untouched =
+      state_->update_views_untouched.load(std::memory_order_relaxed);
+  stats.update_fallbacks =
+      state_->update_fallbacks.load(std::memory_order_relaxed);
+  stats.update_memo_entries_preserved =
+      state_->update_memo_entries_preserved.load(std::memory_order_relaxed);
   {
     MutexLock lock(state_->pool_mu);
     stats.pool_threads =

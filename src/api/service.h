@@ -32,6 +32,11 @@ enum class ServiceErrorCode {
   kUnknownDocument,    ///< The handle was never minted (default/invalid).
   kDuplicateViewName,  ///< The document already has a view with this name.
   kEmptyPattern,       ///< The pattern is the empty pattern Υ.
+  /// `UpdateDocument`: the delta references a node outside the document's
+  /// (op-by-op evolving) id space, omits an insert subtree, or tries to
+  /// delete the root. Detected by validation before any mutation — the
+  /// document is unchanged.
+  kInvalidDelta,
   /// The handle no longer (or never did) resolve on this Service: its
   /// target was removed or replaced, its slot was recycled for a newer
   /// object, or it was minted by a *different* Service instance. Stale
@@ -238,6 +243,21 @@ struct ServiceStats {
   /// Pool tasks refused by the bounded queue (ran inline on the
   /// submitting thread instead — backpressure, not failure).
   uint64_t pool_queue_rejections = 0;
+  // ----- incremental update counters (PR 9) -----
+  uint64_t updates_applied = 0;  ///< `UpdateDocument` calls that landed.
+  /// Per-update view outcomes, summed: views patched through the
+  /// persistent DP state vs. views that paid a full evaluation pass
+  /// (cold DP state, or the whole update fell back) vs. views the
+  /// dirtiness test proved untouched (no evaluation at all).
+  uint64_t update_views_patched = 0;
+  uint64_t update_views_rematerialized = 0;
+  uint64_t update_views_untouched = 0;
+  /// Updates whose dirty region exceeded `update_fallback_fraction` and
+  /// re-materialized every view instead of patching.
+  uint64_t update_fallbacks = 0;
+  /// Memoized answers for this document still valid after an update
+  /// (untouched views' hit entries) — the per-view epoch contract at work.
+  uint64_t update_memo_entries_preserved = 0;
 };
 
 /// Configuration of a `Service`.
@@ -274,6 +294,13 @@ struct ServiceOptions {
   /// the Service degrades gracefully (shrink memo -> shrink oracle ->
   /// pause memo admission) instead of refusing writes. 0 = unlimited.
   size_t memory_budget_bytes = 0;
+  /// `UpdateDocument` fallback threshold: when the delta's dirty region
+  /// (touched nodes + dirty ancestor rows + inserted suffix) exceeds this
+  /// fraction of the post-delta document, incremental per-view patching
+  /// is abandoned and every view is fully re-materialized — the update's
+  /// worst case is then one evaluation pass per view, never worse than
+  /// `ReplaceDocument` plus re-adding the views.
+  double update_fallback_fraction = 0.5;
 };
 
 /// The multi-document serving facade — the paper's end-to-end story (a
@@ -354,6 +381,39 @@ class Service {
 
   /// As above, from XML (adds: parse error).
   ServiceStatus ReplaceDocument(DocumentId id, std::string_view xml);
+
+  /// Applies an ordered list of subtree inserts, subtree deletes and node
+  /// relabels to the document *in place*, incrementally maintaining every
+  /// layer above it: the bit-parallel DP re-runs only over the touched
+  /// region (touched subtrees + dirty ancestor chains), materialized views
+  /// splice their result sets instead of re-evaluating, and views the
+  /// per-view dirtiness test proves untouched do no work at all — their
+  /// memoized answers survive the update as cache hits (per-view epochs;
+  /// see the README's "Incremental updates" section for the contract).
+  ///
+  /// Unlike `ReplaceDocument`, views SURVIVE: every `ViewId` remains
+  /// valid and serves the post-delta document. Node-id stability: without
+  /// delete compaction ids are stable; with deletes, surviving nodes are
+  /// compacted order-preservingly and all stored answers re-key (the
+  /// answer memo for this document is invalidated wholesale).
+  ///
+  /// When the dirty region exceeds `ServiceOptions::
+  /// update_fallback_fraction` of the post-delta document, the update
+  /// falls back to fully re-materializing every view (counted in
+  /// `ServiceStats::update_fallbacks`).
+  ///
+  /// Errors: `kInvalidDelta` (validation failed; document unchanged),
+  /// `kStaleHandle`/`kUnknownDocument`, `kDeadlineExceeded`/`kCancelled`
+  /// (only before mutation begins — an update that started applying runs
+  /// to completion), `kInternal` (injected fault or allocation failure
+  /// before mutation; document unchanged).
+  ServiceStatus UpdateDocument(DocumentId id, DocumentDelta delta);
+
+  /// As above with deadline/cancellation. The token is honored up to the
+  /// point of no return (validation and admission), then masked: a delta
+  /// is applied atomically or not at all, never half-way.
+  ServiceStatus UpdateDocument(DocumentId id, DocumentDelta delta,
+                               const CallOptions& call);
 
   /// Number of live documents.
   int num_documents() const;

@@ -197,6 +197,29 @@ void EvalScratch::Update(const Tree& t, NodeId suffix_start,
   }
 }
 
+void EvalScratch::RemapRows(const std::vector<NodeId>& remap,
+                            NodeId old_row_count) {
+  assert(pattern_ != nullptr);
+  // Destinations never exceed their source (order-preserving compaction),
+  // so an ascending in-place pass never overwrites a row still to move.
+  // Only the first `old_row_count` remap entries name rows that exist;
+  // later entries are nodes the same delta inserted, whose rows the
+  // following `Update` computes from scratch.
+  const size_t limit =
+      std::min(remap.size(), static_cast<size_t>(old_row_count));
+  for (size_t n = 0; n < limit; ++n) {
+    const NodeId nn = remap[n];
+    if (nn == kNoNode || static_cast<size_t>(nn) == n) continue;
+    assert(static_cast<size_t>(nn) < n);
+    std::copy(down_.row(static_cast<NodeId>(n)),
+              down_.row(static_cast<NodeId>(n)) + words_,
+              down_.row(nn));
+    std::copy(sub_.row(static_cast<NodeId>(n)),
+              sub_.row(static_cast<NodeId>(n)) + words_,
+              sub_.row(nn));
+  }
+}
+
 namespace {
 
 // Builds a pattern's sweep steps: the selection path root-first, each node
@@ -375,6 +398,34 @@ std::vector<NodeId> RunSweep(const Tree& tree_, const EvalScratch& scratch,
 }
 
 }  // namespace
+
+IncrementalEvaluator::IncrementalEvaluator(const Pattern& p, const Tree& t) {
+  assert(!p.IsEmpty());
+  steps_ = MakeSweepSteps(p, 0);
+  scratch_.Compute(p, t);
+  RecomputeOutputs(t);
+}
+
+void IncrementalEvaluator::ApplyUpdate(const Tree& t,
+                                       const TreeDeltaReport& report) {
+  if (report.compacted) {
+    scratch_.RemapRows(report.remap, report.old_size);
+  }
+  scratch_.Update(t, report.suffix_start, report.dirty_prefix_desc);
+  RecomputeOutputs(t);
+}
+
+void IncrementalEvaluator::RecomputeOutputs(const Tree& t) {
+  Arena& arena = scratch_.scratch_arena();
+  arena.Reset();
+  const int words = BitWordsFor(t.size());
+  BitWord* initial = arena.AllocateArray<BitWord>(static_cast<size_t>(words));
+  ZeroRow(initial, words);
+  if (scratch_.Down(t.root(), steps_[0].bit)) SetBit(initial, t.root());
+  outputs_ = RunSweep(t, scratch_, steps_.data(), steps_.size(),
+                      /*anchored=*/false, initial, words);
+}
+
 std::vector<NodeId> Evaluator::OutputsAnchoredAt(NodeId anchor) const {
   Arena& arena = scratch_->scratch_arena();
   arena.Reset();

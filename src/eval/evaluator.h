@@ -76,6 +76,21 @@ class EvalScratch {
   void Update(const Tree& t, NodeId suffix_start,
               const std::vector<NodeId>& dirty_prefix_desc);
 
+  /// Permutes the DP rows per a deletion-compaction remap table (old id ->
+  /// new id, `kNoNode` = deleted): row contents carry no tree ids, so a
+  /// surviving node's rows stay valid at its new index. The remap must be
+  /// order-preserving (new id <= old id for survivors — what
+  /// `Tree::ApplyDelta` produces), which makes the move safe in place.
+  /// Entries past `old_row_count` (nodes inserted by the same delta) are
+  /// ignored; their rows are computed by the following `Update`.
+  void RemapRows(const std::vector<NodeId>& remap, NodeId old_row_count);
+
+  /// Estimated heap bytes of the DP tables (budget accounting).
+  size_t EstimatedBytes() const {
+    return static_cast<size_t>(down_.rows()) *
+           static_cast<size_t>(down_.words_per_row()) * sizeof(BitWord) * 2;
+  }
+
   /// down(q,v).
   bool Down(NodeId tree_node, NodeId pattern_node) const {
     return down_.Test(tree_node, pattern_node);
@@ -206,6 +221,44 @@ class Evaluator {
   EvalScratch owned_scratch_;
   EvalScratch* scratch_;
   bool anchored_ = false;  // Anchored-subset DP (sparse sweeps only).
+};
+
+/// Persistent root-anchored evaluation of ONE pattern against a document
+/// that changes by deltas — the evaluator leg of incremental view
+/// maintenance. Construction runs the full bottom-up DP and selection
+/// sweep once; `ApplyUpdate` then consumes a `TreeDeltaReport` and
+/// re-derives only what the delta touched: surviving rows are remapped
+/// (deletes) or reused verbatim, the DP recomputes the inserted suffix
+/// plus the splice points' ancestor chains, and one selection sweep
+/// refreshes the output set. Cost per update is O(|dirty region| * |p|/64)
+/// DP work plus a sweep, instead of a full re-materialization.
+///
+/// Pattern and tree must outlive this object and updates must mirror the
+/// tree's actual mutation history (every `Tree::ApplyDelta` report, in
+/// order). Confine to one thread (or guard externally — the serving facade
+/// holds the document's exclusive stripe across `ApplyUpdate`).
+class IncrementalEvaluator {
+ public:
+  IncrementalEvaluator(const Pattern& p, const Tree& t);
+
+  /// Folds one applied delta into the DP state and recomputes `outputs()`.
+  void ApplyUpdate(const Tree& t, const TreeDeltaReport& report);
+
+  /// P(t) for the current tree state: sorted root-anchored outputs,
+  /// identical to `Evaluator(p, t).Outputs()`.
+  const std::vector<NodeId>& outputs() const { return outputs_; }
+
+  /// Estimated heap bytes of the retained DP state (budget accounting).
+  size_t EstimatedBytes() const {
+    return scratch_.EstimatedBytes() + outputs_.capacity() * sizeof(NodeId);
+  }
+
+ private:
+  void RecomputeOutputs(const Tree& t);
+
+  EvalScratch scratch_;  // Holds the pattern/masks from construction.
+  std::vector<internal::SweepStep> steps_;
+  std::vector<NodeId> outputs_;
 };
 
 /// Evaluates SEVERAL patterns against one tree for the price of one DP

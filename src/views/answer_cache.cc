@@ -115,7 +115,21 @@ void AnswerCache::InsertShared(const Key& key,
   }
   const size_t bytes = EntryBytes(*entry);
   WriterLock lock(mu_);
-  if (table_.count(key) > 0) return;  // A racing filler already published.
+  auto it = table_.find(key);
+  if (it != table_.end()) {
+    // Equal stamps: a racing filler already published this very answer.
+    if (it->second.entry->validity == entry->validity) return;
+    // Stale refresh: an update invalidated the resident entry's stamp and
+    // the facade recomputed — the fresher answer takes the slot (no
+    // doorkeeper: the key already proved itself resident).
+    ReleaseSlotBytes(it->second);
+    table_.erase(it);
+    table_.emplace(key, Slot(std::move(entry), bytes));
+    bytes_.fetch_add(bytes, std::memory_order_relaxed);
+    if (budget_ != nullptr) budget_->Charge(bytes);
+    insertions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (table_.size() >= capacity_) {
     if (!AdmitUnderPressure(key)) {
       doorkeeper_rejects_.fetch_add(1, std::memory_order_relaxed);
@@ -183,6 +197,18 @@ size_t AnswerCache::ShrinkHalf() {
   }
   evictions_.fetch_add(evicted, std::memory_order_relaxed);
   return evicted;
+}
+
+size_t AnswerCache::CountScope(
+    uint64_t scope,
+    const std::function<bool(const Key&, const Entry&)>& pred) const {
+  if (!enabled()) return 0;
+  ReaderLock lock(mu_);
+  size_t count = 0;
+  for (const auto& kv : table_) {
+    if (kv.first.scope == scope && pred(kv.first, *kv.second.entry)) ++count;
+  }
+  return count;
 }
 
 size_t AnswerCache::size() const {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -100,6 +101,15 @@ class AnswerCache {
   struct Entry {
     CacheAnswer answer;
     CacheStats delta;
+    /// Freshness stamp captured when the answer was computed, under the
+    /// same lock that held the document stable: the per-view epoch of
+    /// `answer.view_slot` for hit answers, the document epoch for miss
+    /// answers (see `ViewCache::view_epoch`/`doc_epoch`). Incremental
+    /// document updates bump exactly the epochs they invalidate, so the
+    /// serving facade revalidates each memo hit with one integer compare;
+    /// a stale entry is recomputed and re-`Insert`ed (which replaces it —
+    /// see below).
+    uint64_t validity = 0;
   };
 
   /// Counter snapshot. `hits`/`misses` count `Lookup` outcomes,
@@ -160,9 +170,21 @@ class AnswerCache {
   std::shared_ptr<const Entry> Lookup(const Key& key) const;
 
   /// Publishes a computed entry (exclusive lock), evicting cold entries
-  /// when the table is full. A present key keeps its existing entry.
-  /// Subject to doorkeeper admission when enabled.
+  /// when the table is full. A present key keeps its existing entry when
+  /// the validity stamps are equal (two racing fillers of one key compute
+  /// the same answer) and is REPLACED when they differ — the
+  /// stale-refresh path: the facade recomputed an answer whose stamp an
+  /// update invalidated, and the resident entry must not outlive it.
+  /// Subject to doorkeeper admission when enabled (replacement is not —
+  /// the key already proved itself resident).
   void Insert(const Key& key, Entry entry);
+
+  /// Counts the resident entries of `scope` (any epoch) satisfying
+  /// `pred`, under the shared lock. The update path reports through this
+  /// how many memoized answers survived a document delta.
+  size_t CountScope(uint64_t scope,
+                    const std::function<bool(const Key&, const Entry&)>& pred)
+      const;
 
   /// The outcome of `BeginFill`: an immediate entry (`hit()`), leadership
   /// of a new flight (`leader()` — compute, then `Publish`; destroying

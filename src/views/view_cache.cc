@@ -1,6 +1,7 @@
 #include "views/view_cache.h"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <unordered_map>
 #include <utility>
@@ -26,12 +27,46 @@ MaterializedView::MaterializedView(ViewDefinition definition, const Tree& doc)
   outputs_ = Eval(definition_.pattern, doc);
 }
 
+MaterializedView::~MaterializedView() = default;
+MaterializedView::MaterializedView(MaterializedView&&) noexcept = default;
+MaterializedView& MaterializedView::operator=(MaterializedView&&) noexcept =
+    default;
+
+bool MaterializedView::ApplyUpdate(const TreeDeltaReport& report) {
+  if (inc_ != nullptr) {
+    inc_->ApplyUpdate(*doc_, report);
+    outputs_ = inc_->outputs();
+    return true;
+  }
+  // Cold DP state (first dirty update, or a skipped delta dropped it):
+  // pay one full pass and keep the rows for the next delta. The pattern
+  // pointer the state captures is this slot's `definition_` — stable, the
+  // cache never moves a view it updates.
+  inc_ = std::make_unique<IncrementalEvaluator>(definition_.pattern, *doc_);
+  outputs_ = inc_->outputs();
+  return false;
+}
+
+void MaterializedView::RemapOutputs(const std::vector<NodeId>& remap) {
+  for (NodeId& o : outputs_) {
+    assert(static_cast<size_t>(o) < remap.size() &&
+           remap[static_cast<size_t>(o)] != kNoNode);
+    o = remap[static_cast<size_t>(o)];
+  }
+}
+
+void MaterializedView::Rematerialize() {
+  inc_.reset();
+  outputs_ = Eval(definition_.pattern, *doc_);
+}
+
 size_t MaterializedView::EstimatedBytes() const {
   // Estimate of the dominant payloads: the stored output ids, the name,
   // and the definition pattern's per-node arrays (labels, parents, edges,
   // child lists). The document is NOT counted — it is owned elsewhere.
   size_t bytes = sizeof(MaterializedView);
   bytes += outputs_.capacity() * sizeof(NodeId);
+  if (inc_ != nullptr) bytes += inc_->EstimatedBytes();
   bytes += definition_.name.capacity();
   bytes += static_cast<size_t>(definition_.pattern.size()) *
            (sizeof(LabelId) + sizeof(NodeId) + sizeof(EdgeType) +
@@ -124,6 +159,7 @@ int ViewCache::AddView(ViewDefinition definition) {
   ++active_views_;
   index_.Add(views_.back().definition().pattern);
   ++epoch_;
+  view_epochs_.push_back(1);
   return static_cast<int>(views_.size()) - 1;
 }
 
@@ -144,6 +180,7 @@ void ViewCache::ReplaceView(int index, ViewDefinition definition) {
     ++active_views_;
   }
   ++epoch_;
+  ++view_epochs_[i];
 }
 
 void ViewCache::RemoveView(int index) {
@@ -157,6 +194,83 @@ void ViewCache::RemoveView(int index) {
   --active_views_;
   free_slots_.push_back(index);
   ++epoch_;
+  ++view_epochs_[i];
+}
+
+ViewUpdateStats ViewCache::ApplyUpdate(const TreeDeltaReport& report,
+                                       double fallback_fraction) {
+  ViewUpdateStats stats;
+  if (report.touched_nodes == 0) return stats;  // Empty delta: no-op.
+  ++doc_epoch_;
+  // Compaction renumbered nodes: every id stored anywhere in the cache
+  // stack (view outputs aside, which are remapped below) went stale, so
+  // the shape epoch bumps and with it every memo key for this document.
+  if (report.compacted) ++epoch_;
+  // Fallback test: the rows the incremental path would recompute (touched
+  // region + dirty ancestor chains + inserted suffix) as a fraction of the
+  // document. Past the threshold a full per-view pass is both simpler and
+  // no slower, and it resets the persistent DP state's size.
+  const double dirty_rows = static_cast<double>(
+      report.touched_nodes + static_cast<int>(report.dirty_prefix_desc.size()) +
+      (report.new_size - static_cast<int>(report.suffix_start)));
+  stats.fell_back =
+      dirty_rows > fallback_fraction * static_cast<double>(report.new_size);
+  size_t total_bytes = 0;
+  for (size_t i = 0; i < views_.size(); ++i) {
+    if (active_[i] == 0) continue;
+    MaterializedView& view = views_[i];
+    const int slot = static_cast<int>(i);
+    if (stats.fell_back) {
+      view.Rematerialize();
+      ++view_epochs_[i];
+      ++stats.views_rematerialized;
+    } else if (DeltaMayAffectView(index_.view_summary(slot), report)) {
+      if (view.ApplyUpdate(report)) {
+        ++stats.views_patched;
+      } else {
+        ++stats.views_rematerialized;
+      }
+      ++view_epochs_[i];
+    } else {
+      // Provably unaffected: the stored outputs are already correct (the
+      // delta can neither add nor remove an embedding of this pattern) —
+      // at most their ids moved under compaction. A rewriting served
+      // through the view reads subtree content below the outputs, so the
+      // per-view epoch still bumps when the delta spliced inside one of
+      // the result subtrees (the memo must not replay those answers);
+      // under compaction the shape-epoch bump above already orphaned
+      // every old entry, and post-update node structure is unreliable for
+      // pre-delta anchor ids, so the walk is skipped.
+      bool region_dirty = false;
+      if (report.compacted) {
+        view.RemapOutputs(report.remap);
+      } else {
+        const std::vector<NodeId>& outs = view.outputs();
+        for (NodeId a : report.splice_anchors_old) {
+          // Anchors are pre-existing nodes and, with no compaction, old
+          // nodes keep their ids and parents — the post-delta parent
+          // chain IS the pre-delta one.
+          for (NodeId n = a;; n = doc_->parent(n)) {
+            if (std::binary_search(outs.begin(), outs.end(), n)) {
+              region_dirty = true;
+              break;
+            }
+            if (n == doc_->root()) break;
+          }
+          if (region_dirty) break;
+        }
+      }
+      if (region_dirty) ++view_epochs_[i];
+      // The skipped delta leaves the persistent DP rows describing a tree
+      // that no longer exists; the next dirty update must rebuild.
+      view.DropIncrementalState();
+      ++stats.views_untouched;
+    }
+    slot_bytes_[i] = view.EstimatedBytes();
+  }
+  for (size_t b : slot_bytes_) total_bytes += b;
+  charge_.Set(total_bytes);
+  return stats;
 }
 
 bool ViewCache::FindRewrite(const Pattern& query,
@@ -206,6 +320,7 @@ CacheAnswer ViewCache::ScanViews(const Pattern& query,
                   &answer.rewriting)) {
     const MaterializedView& view = views_[static_cast<size_t>(vi)];
     answer.hit = true;
+    answer.view_slot = vi;
     answer.view_name = view.definition().name;
     answer.outputs = view.Apply(answer.rewriting);
     return answer;
@@ -364,6 +479,7 @@ std::vector<PlannedAnswer> ViewCache::ExecutePlan(
                       bundle_of[static_cast<size_t>(ii - begin)], options,
                       &out.delta, &vi, &out.answer.rewriting)) {
         out.answer.hit = true;
+        out.answer.view_slot = vi;
         out.answer.view_name =
             views_[static_cast<size_t>(vi)].definition().name;
         hits.emplace_back(vi, ii);

@@ -16,6 +16,7 @@
 
 namespace xpv {
 
+class IncrementalEvaluator;
 class ThreadPool;
 
 /// A named view definition.
@@ -46,6 +47,12 @@ class MaterializedView {
   /// not be called.
   MaterializedView() : definition_{std::string(), Pattern::Empty()} {}
 
+  // Move-only (the persistent evaluator state is uniquely owned); defined
+  // out of line — `IncrementalEvaluator` is incomplete here.
+  ~MaterializedView();
+  MaterializedView(MaterializedView&&) noexcept;
+  MaterializedView& operator=(MaterializedView&&) noexcept;
+
   const ViewDefinition& definition() const { return definition_; }
   const Tree& doc() const { return *doc_; }
 
@@ -75,16 +82,58 @@ class MaterializedView {
   std::vector<std::vector<NodeId>> ApplyMany(
       const std::vector<const Pattern*>& rs) const;
 
+  // ------------------------------------------------- incremental updates
+  //
+  // The owning cache drives these after `Tree::ApplyDelta` mutated the
+  // document in place (same `Tree` object — `doc()` stays valid). A view
+  // may only be updated while settled in its cache slot: the persistent
+  // evaluator state created here points into this object's `definition_`,
+  // so it must never be created on a view that will still be moved.
+
+  /// Patches the stored result set after a delta this view is dirty
+  /// under. Reuses the persistent bit-parallel DP state when present —
+  /// remapping rows under compaction and recomputing only the delta's
+  /// suffix and dirty-ancestor rows — and builds it with one full DP pass
+  /// when absent (first dirty update, or the state was dropped by a
+  /// skipped delta). Returns true on the incremental path, false when the
+  /// full pass ran. Afterwards `outputs()` equals a fresh evaluation of
+  /// the definition over the mutated document, bit for bit.
+  bool ApplyUpdate(const TreeDeltaReport& report);
+
+  /// Rewrites the stored output ids through a compaction remap. Only
+  /// valid on views the delta provably did not affect (every output
+  /// survives); sorted order is preserved (remaps are order-preserving).
+  void RemapOutputs(const std::vector<NodeId>& remap);
+
+  /// Re-evaluates the view from scratch in place (the fallback when a
+  /// delta's dirty region is too large) and drops the persistent DP state.
+  void Rematerialize();
+
+  /// Drops the persistent DP state. Called on views that skip a delta:
+  /// their DP rows describe a tree shape that is now stale, so the next
+  /// dirty update must rebuild rather than patch.
+  void DropIncrementalState() { inc_.reset(); }
+
  private:
   ViewDefinition definition_;
   const Tree* doc_ = nullptr;
   std::vector<NodeId> outputs_;
+  /// Persistent row state of the embedding DP over (pattern, doc), kept
+  /// across updates so a delta recomputes only its affected rows. Lazily
+  /// built by the first dirty `ApplyUpdate`; null until then and for
+  /// views that never see a dirty delta.
+  std::unique_ptr<IncrementalEvaluator> inc_;
 };
 
 /// Outcome of answering one query through the cache.
 struct CacheAnswer {
   /// True if some cached view admitted an equivalent rewriting.
   bool hit = false;
+  /// Slot index of the view used (when hit), -1 otherwise. The memo layer
+  /// keys validity on it: a hit answer stays valid while that view's
+  /// per-view epoch stands, a miss answer only while the whole document
+  /// does (see `ViewCache::view_epoch`/`doc_epoch`).
+  int view_slot = -1;
   /// Name of the view used (when hit).
   std::string view_name;
   /// The rewriting applied (when hit).
@@ -120,6 +169,15 @@ struct PlannedQuery {
 struct PlannedAnswer {
   CacheAnswer answer;
   CacheStats delta;
+};
+
+/// What one `ViewCache::ApplyUpdate` did to the view set — the facade
+/// folds these into the service's update counters.
+struct ViewUpdateStats {
+  int views_patched = 0;         ///< Incrementally patched via the DP state.
+  int views_rematerialized = 0;  ///< Paid a full evaluation pass.
+  int views_untouched = 0;       ///< Provably unaffected: no evaluation.
+  bool fell_back = false;  ///< Dirty region over threshold: full rebuild.
 };
 
 /// A materialized-view cache over a single document: the end-to-end
@@ -184,12 +242,47 @@ class ViewCache {
   /// Number of live views (`views().size()` minus the tombstoned slots).
   int num_active_views() const { return active_views_; }
 
+  /// Applies the consequences of a document delta (already applied to the
+  /// tree via `Tree::ApplyDelta`) to every live view. Per view it decides
+  /// dirtiness from the selection summary (`DeltaMayAffectView`): dirty
+  /// views are incrementally patched (or pay one full pass when their DP
+  /// state is cold) and bump their per-view epoch; provably untouched
+  /// views do no evaluation at all — at most an output-id remap under
+  /// compaction — and keep their epoch, so their memoized answers stay
+  /// valid. When the dirty region exceeds `fallback_fraction` of the new
+  /// document, every view is fully re-materialized instead (worst case is
+  /// never worse than a document replace). Bumps `doc_epoch()` (and the
+  /// shape `epoch()` too when the delta compacted node ids, which
+  /// invalidates every stored id). Not thread-safe — the facade holds the
+  /// document stripe exclusively.
+  ViewUpdateStats ApplyUpdate(const TreeDeltaReport& report,
+                              double fallback_fraction);
+
   /// The view-set epoch: a monotonic counter bumped by every `AddView`,
-  /// `ReplaceView` and `RemoveView`. Answers are a pure function of
-  /// (document, view set, query), so an epoch-tagged answer is valid
-  /// exactly while the epoch stands — the `AnswerCache` keys on it and
-  /// invalidation is one integer compare (see the epoch contract there).
+  /// `ReplaceView` and `RemoveView` — and by every `ApplyUpdate` whose
+  /// delta compacted node ids (stored ids went stale cache-wide). Answers
+  /// are a pure function of (document, view set, query), so an
+  /// epoch-tagged answer is valid exactly while the epoch stands — the
+  /// `AnswerCache` keys on it and invalidation is one integer compare
+  /// (see the epoch contract there).
   uint64_t epoch() const { return epoch_; }
+
+  /// The document epoch: bumped by every non-empty `ApplyUpdate`. The
+  /// validity stamp of memoized *miss* answers — they were computed over
+  /// the whole document, so any update invalidates them.
+  uint64_t doc_epoch() const { return doc_epoch_; }
+
+  /// The per-view epoch of slot `slot`: bumped when the view's definition
+  /// changes (`AddView`/`ReplaceView`/`RemoveView` on that slot) and when
+  /// an update dirties the view — either its output set may have changed
+  /// (`DeltaMayAffectView`) or the delta spliced content inside one of its
+  /// result subtrees (a rewriting applied through the view reads that
+  /// content). The validity stamp of memoized *hit* answers through this
+  /// view: updates that provably don't affect the view leave its epoch —
+  /// and so its memoized answers — untouched.
+  uint64_t view_epoch(int slot) const {
+    return view_epochs_[static_cast<size_t>(slot)];
+  }
 
   /// All view slots, including tombstones (check `view_active`). A deque
   /// so growth never moves existing elements: pointers into a slot (e.g.
@@ -345,6 +438,8 @@ class ViewCache {
   std::vector<int> free_slots_;  // Tombstoned slots awaiting AddView reuse.
   int active_views_ = 0;
   uint64_t epoch_ = 0;  // See epoch().
+  uint64_t doc_epoch_ = 0;  // See doc_epoch().
+  std::vector<uint64_t> view_epochs_;  // Parallel to views_; see view_epoch().
   ViewIndex index_;
   CacheStats stats_;
   std::unique_ptr<ThreadPool> pool_;  // Lazily created by AnswerMany when

@@ -40,7 +40,48 @@ SelectionSummary SummarizeSelection(const Pattern& pattern) {
     summary.prefix_mask |=
         PrefixBit(i, summary.path_labels[static_cast<size_t>(i)]);
   }
+  // Whole-pattern dirtiness facts (ids are topological, so each node's
+  // depth is its parent's + 1 and one forward pass suffices).
+  std::vector<int> node_depth(static_cast<size_t>(pattern.size()), 0);
+  for (NodeId n = 0; n < pattern.size(); ++n) {
+    if (n != 0) {
+      node_depth[static_cast<size_t>(n)] =
+          node_depth[static_cast<size_t>(pattern.parent(n))] + 1;
+      if (pattern.edge(n) == EdgeType::kDescendant) {
+        summary.has_descendant = true;
+      }
+    }
+    if (node_depth[static_cast<size_t>(n)] > summary.max_node_depth) {
+      summary.max_node_depth = node_depth[static_cast<size_t>(n)];
+    }
+    if (pattern.label(n) == LabelStore::kWildcard) {
+      summary.has_wildcard = true;
+    } else {
+      summary.label_bloom |= LabelBloomBit(pattern.label(n));
+    }
+  }
   return summary;
+}
+
+bool DeltaMayAffectView(const SelectionSummary& view,
+                        const TreeDeltaReport& report) {
+  // Depth bound: with no descendant edge, a root-anchored embedding maps a
+  // depth-k pattern node to a depth-k tree node, so a delta whose every
+  // touched node is deeper than the deepest pattern node cannot add or
+  // remove an embedding (inserts/deletes strictly below that depth change
+  // no witness; the bound also covers relabels).
+  if (!view.has_descendant &&
+      view.max_node_depth < report.min_affected_depth) {
+    return false;
+  }
+  // Label disjointness: with no wildcard, every node an embedding touches
+  // carries one of the pattern's labels. A delta whose touched labels
+  // (inserted, deleted, and both sides of each relabel) are disjoint from
+  // them can neither create a new witness nor destroy an existing one.
+  if (!view.has_wildcard && (view.label_bloom & report.label_bloom) == 0) {
+    return false;
+  }
+  return true;
 }
 
 bool AdmissibleBySummaries(const SelectionSummary& query,

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "pattern/pattern.h"
+#include "xml/tree.h"
 
 namespace xpv {
 
@@ -28,10 +29,34 @@ struct SelectionSummary {
   int depth = 0;
   std::vector<LabelId> path_labels;
   uint64_t prefix_mask = 0;
+
+  // Whole-pattern facts consumed by the update path's per-view dirtiness
+  // test (`DeltaMayAffectView`); unlike the selection-path fields above,
+  // these cover every pattern node, not just the selection spine.
+
+  /// Deepest pattern node, in edges from the pattern root. When the
+  /// pattern has no descendant edge, a root-anchored embedding maps a
+  /// depth-k pattern node to a depth-k tree node, so no embedding reaches
+  /// tree nodes deeper than this.
+  int max_node_depth = 0;
+  /// 64-bit Bloom filter over every non-wildcard node label
+  /// (`LabelBloomBit`, shared with `TreeDeltaReport::label_bloom`).
+  uint64_t label_bloom = 0;
+  bool has_wildcard = false;    ///< Some node is labeled '*'.
+  bool has_descendant = false;  ///< Some edge is a descendant edge.
 };
 
 /// Builds the summary of a nonempty pattern. O(|pattern|).
 SelectionSummary SummarizeSelection(const Pattern& pattern);
+
+/// True unless the summary PROVES the delta cannot change the view's
+/// root-anchored output set: returns false when every touched tree node is
+/// deeper than the deepest pattern node (descendant-free patterns only) or
+/// when the pattern's labels are disjoint from every label the delta
+/// touched (wildcard-free patterns only). A false return means the view's
+/// stored outputs — and its evaluator state — are untouched by the delta.
+bool DeltaMayAffectView(const SelectionSummary& view,
+                        const TreeDeltaReport& report);
 
 /// True iff `ViolatesBasicNecessaryConditions(query, view)` would return
 /// no violation, computed from the summaries alone:

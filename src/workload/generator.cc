@@ -128,6 +128,46 @@ Pattern RandomSubFragmentPattern(Rng& rng, const PatternGenOptions& options,
   return RandomPattern(rng, adjusted);
 }
 
+DocumentDelta RandomDelta(Rng& rng, const Tree& doc,
+                          const DeltaGenOptions& options) {
+  DocumentDelta delta;
+  // A shadow copy tracks the evolving id space (inserts append) and which
+  // ids earlier ops of this delta killed, so every drawn target is live.
+  Tree shadow = doc;
+  std::vector<uint8_t> dead(static_cast<size_t>(shadow.size()), 0);
+  const int ops = rng.IntIn(1, std::max(1, options.max_ops));
+  for (int i = 0; i < ops; ++i) {
+    std::vector<NodeId> live;
+    for (NodeId n = 0; n < shadow.size(); ++n) {
+      if (dead[static_cast<size_t>(n)] == 0) live.push_back(n);
+    }
+    const NodeId target = live[rng.Below(live.size())];
+    const double roll =
+        static_cast<double>(rng.Below(1000)) / 1000.0;
+    if (roll < options.insert_prob) {
+      TreeGenOptions sub_options;
+      sub_options.max_nodes = rng.IntIn(1, std::max(1, options.max_insert_nodes));
+      sub_options.max_depth = 3;
+      sub_options.alphabet_size = options.alphabet_size;
+      Tree sub = RandomTree(rng, sub_options);
+      shadow.GraftCopy(target, sub);
+      dead.resize(static_cast<size_t>(shadow.size()), 0);
+      delta.InsertSubtree(target, std::move(sub));
+    } else if (roll < options.insert_prob + options.delete_prob &&
+               target != shadow.root()) {
+      for (NodeId n : shadow.SubtreeNodes(target)) {
+        dead[static_cast<size_t>(n)] = 1;
+      }
+      delta.DeleteSubtree(target);
+    } else {
+      const LabelId label = GenLabel(rng.IntIn(0, options.alphabet_size - 1));
+      shadow.set_label(target, label);
+      delta.Relabel(target, label);
+    }
+  }
+  return delta;
+}
+
 Tree DocumentWithMatches(Rng& rng, const Pattern& p,
                          const TreeGenOptions& options, int copies) {
   Tree doc = RandomTree(rng, options);

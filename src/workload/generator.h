@@ -63,6 +63,30 @@ Pattern RandomSubFragmentPattern(Rng& rng, const PatternGenOptions& options,
 Tree DocumentWithMatches(Rng& rng, const Pattern& p,
                          const TreeGenOptions& options, int copies);
 
+/// Shape knobs for random document deltas and mixed read-write request
+/// streams (PR 9).
+struct DeltaGenOptions {
+  int max_ops = 4;           ///< Ops per delta, drawn from [1, max_ops].
+  double insert_prob = 0.4;  ///< P(op is a subtree insert).
+  double delete_prob = 0.3;  ///< P(op is a subtree delete); rest relabel.
+  int max_insert_nodes = 6;  ///< Nodes per inserted subtree.
+  int alphabet_size = 4;     ///< Labels drawn from {a0..a(n-1)}.
+  /// Read-write mix for request-stream drivers (benches, fuzzers): the
+  /// fraction of stream steps that are document updates rather than query
+  /// answers. `RandomDelta` itself ignores it — drivers draw
+  /// `rng.Chance(write_fraction)` per step and call `RandomDelta` on the
+  /// write branch.
+  double write_fraction = 0.1;
+};
+
+/// Draws a random delta that is valid against `doc` (per
+/// `Tree::ValidateDelta`): ordered inserts, deletes and relabels whose
+/// node ids reference the op-by-op evolving id space. The generator never
+/// deletes the root and never references a node an earlier op of the same
+/// delta deleted, so every op is observable in the final document.
+DocumentDelta RandomDelta(Rng& rng, const Tree& doc,
+                          const DeltaGenOptions& options);
+
 }  // namespace xpv
 
 #endif  // XPV_WORKLOAD_GENERATOR_H_

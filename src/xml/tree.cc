@@ -2,9 +2,37 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <functional>
+#include <limits>
+#include <string>
+
+#include "util/hash.h"
 
 namespace xpv {
+
+void DocumentDelta::InsertSubtree(NodeId parent, Tree sub) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kInsertSubtree;
+  op.node = parent;
+  op.subtree.emplace(std::move(sub));
+  ops.push_back(std::move(op));
+}
+
+void DocumentDelta::DeleteSubtree(NodeId node) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kDeleteSubtree;
+  op.node = node;
+  ops.push_back(std::move(op));
+}
+
+void DocumentDelta::Relabel(NodeId node, LabelId label) {
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kRelabel;
+  op.node = node;
+  op.label = label;
+  ops.push_back(std::move(op));
+}
 
 Tree::Tree(LabelId root_label) {
   labels_.push_back(root_label);
@@ -103,6 +131,188 @@ NodeId Tree::GraftCopy(NodeId parent, const Tree& sub) {
   };
   copy(sub.root(), new_root);
   return new_root;
+}
+
+bool Tree::ValidateDelta(const DocumentDelta& delta, std::string* why) const {
+  // Ids grow as ops insert; deletes never shrink the id space until the
+  // whole delta is applied, so a running size bound is the whole check.
+  NodeId cur_size = size();
+  for (size_t i = 0; i < delta.ops.size(); ++i) {
+    const DeltaOp& op = delta.ops[i];
+    const char* what = nullptr;
+    switch (op.kind) {
+      case DeltaOp::Kind::kInsertSubtree:
+        if (!op.subtree.has_value()) {
+          what = "insert op carries no subtree";
+        } else if (op.node < 0 || op.node >= cur_size) {
+          what = "insert parent out of range";
+        } else {
+          cur_size += op.subtree->size();
+        }
+        break;
+      case DeltaOp::Kind::kDeleteSubtree:
+        if (op.node < 0 || op.node >= cur_size) {
+          what = "delete target out of range";
+        } else if (op.node == root()) {
+          what = "delta may not delete the root";
+        }
+        break;
+      case DeltaOp::Kind::kRelabel:
+        if (op.node < 0 || op.node >= cur_size) {
+          what = "relabel target out of range";
+        }
+        break;
+    }
+    if (what != nullptr) {
+      if (why != nullptr) {
+        *why = std::string(what) + " (op " + std::to_string(i) + ")";
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+TreeDeltaReport Tree::ApplyDelta(const DocumentDelta& delta) {
+  assert(ValidateDelta(delta, nullptr));
+  TreeDeltaReport report;
+  report.old_size = size();
+  report.min_affected_depth = std::numeric_limits<int32_t>::max();
+  const NodeId old_size = size();
+
+  // Phase 1: apply ops. Inserts append, deletes only MARK (ids stay stable
+  // for the rest of the op list), relabels write in place. `structural`
+  // collects the pre-compaction ids whose DP rows change directly (child
+  // set changed or label changed).
+  std::vector<uint8_t> marked(static_cast<size_t>(old_size), 0);
+  std::vector<NodeId> structural;
+  auto lowest_old_ancestor = [&](NodeId n) {
+    while (n >= old_size) n = parent(n);
+    return n;
+  };
+  int relabeled = 0;
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kInsertSubtree: {
+        GraftCopy(op.node, *op.subtree);
+        marked.resize(labels_.size(), 0);
+        for (NodeId n = static_cast<NodeId>(marked.size()) - op.subtree->size();
+             n < size(); ++n) {
+          report.label_bloom |= LabelBloomBit(label(n));
+        }
+        structural.push_back(op.node);
+        report.min_affected_depth =
+            std::min(report.min_affected_depth, Depth(op.node) + 1);
+        report.splice_anchors_old.push_back(lowest_old_ancestor(op.node));
+        break;
+      }
+      case DeltaOp::Kind::kDeleteSubtree: {
+        marked[static_cast<size_t>(op.node)] = 1;
+        structural.push_back(parent(op.node));
+        report.min_affected_depth =
+            std::min(report.min_affected_depth, Depth(op.node));
+        report.splice_anchors_old.push_back(lowest_old_ancestor(op.node));
+        break;
+      }
+      case DeltaOp::Kind::kRelabel: {
+        report.label_bloom |= LabelBloomBit(label(op.node));
+        report.label_bloom |= LabelBloomBit(op.label);
+        set_label(op.node, op.label);
+        structural.push_back(op.node);
+        report.min_affected_depth =
+            std::min(report.min_affected_depth, Depth(op.node));
+        report.splice_anchors_old.push_back(lowest_old_ancestor(op.node));
+        ++relabeled;
+        break;
+      }
+    }
+  }
+  const NodeId pre_size = size();
+  const int inserted = pre_size - old_size;
+
+  // Phase 2: propagate deletion marks downward (parents have smaller ids,
+  // so one ascending pass reaches every descendant — including nodes
+  // inserted under a region a later op deleted).
+  std::vector<uint8_t> dead = std::move(marked);
+  int deleted = 0;
+  bool any_dead = false;
+  for (NodeId n = 1; n < pre_size; ++n) {
+    dead[static_cast<size_t>(n)] =
+        static_cast<uint8_t>(dead[static_cast<size_t>(n)] |
+                             dead[static_cast<size_t>(parent(n))]);
+    if (dead[static_cast<size_t>(n)]) {
+      report.label_bloom |= LabelBloomBit(label(n));
+      ++deleted;
+      any_dead = true;
+    }
+  }
+  report.compacted = any_dead;
+  report.touched_nodes = inserted + deleted + relabeled;
+
+  // Phase 3: the dirty prefix, collected in PRE-compaction id space while
+  // the parent links still describe it — ancestor chains of every
+  // structurally changed node, restricted to surviving pre-existing nodes
+  // (inserted ones are the suffix and recomputed from scratch anyway).
+  std::vector<NodeId> dirty_pre;
+  for (NodeId a : structural) {
+    for (NodeId x = a; x != kNoNode; x = parents_[static_cast<size_t>(x)]) {
+      if (x < old_size && !dead[static_cast<size_t>(x)]) dirty_pre.push_back(x);
+    }
+  }
+
+  // Phase 4: compact (order-preserving, so the topological invariant and
+  // the survivors' relative order hold; inserted survivors land past every
+  // pre-existing survivor because their pre-ids already did).
+  if (any_dead) {
+    report.remap.assign(static_cast<size_t>(pre_size), kNoNode);
+    NodeId next = 0;
+    for (NodeId n = 0; n < pre_size; ++n) {
+      if (!dead[static_cast<size_t>(n)]) {
+        report.remap[static_cast<size_t>(n)] = next++;
+      }
+      if (n == old_size - 1) report.suffix_start = next;
+    }
+    report.new_size = next;
+    for (NodeId n = 0; n < pre_size; ++n) {
+      const NodeId nn = report.remap[static_cast<size_t>(n)];
+      if (nn == kNoNode) continue;
+      labels_[static_cast<size_t>(nn)] = labels_[static_cast<size_t>(n)];
+      const NodeId p = parents_[static_cast<size_t>(n)];
+      parents_[static_cast<size_t>(nn)] =
+          p == kNoNode ? kNoNode : report.remap[static_cast<size_t>(p)];
+    }
+    labels_.resize(static_cast<size_t>(report.new_size));
+    parents_.resize(static_cast<size_t>(report.new_size));
+    // Child lists are rebuilt wholesale; cleared tails stay banked for
+    // AddChild, exactly like TruncateTo.
+    for (std::vector<NodeId>& kids : children_) kids.clear();
+    for (NodeId n = 1; n < report.new_size; ++n) {
+      children_[static_cast<size_t>(parents_[static_cast<size_t>(n)])]
+          .push_back(n);
+    }
+  } else {
+    report.new_size = pre_size;
+    report.suffix_start = old_size;
+  }
+
+  // Phase 5: map the dirty prefix to post-delta ids, deduplicate, and
+  // order it the way `EvalScratch::Update` consumes (strictly decreasing).
+  std::vector<NodeId>& dirty = report.dirty_prefix_desc;
+  dirty.reserve(dirty_pre.size());
+  for (NodeId x : dirty_pre) {
+    dirty.push_back(report.compacted ? report.remap[static_cast<size_t>(x)]
+                                     : x);
+  }
+  std::sort(dirty.begin(), dirty.end(), std::greater<NodeId>());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+
+  std::sort(report.splice_anchors_old.begin(),
+            report.splice_anchors_old.end());
+  report.splice_anchors_old.erase(
+      std::unique(report.splice_anchors_old.begin(),
+                  report.splice_anchors_old.end()),
+      report.splice_anchors_old.end());
+  return report;
 }
 
 std::string Tree::CanonicalEncoding(NodeId n) const {

@@ -2,9 +2,11 @@
 #define XPV_XML_TREE_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "util/hash.h"
 #include "xml/label.h"
 
 namespace xpv {
@@ -12,6 +14,70 @@ namespace xpv {
 /// Dense node identifier within a Tree. The root is always node 0.
 using NodeId = int32_t;
 inline constexpr NodeId kNoNode = -1;
+
+class Tree;
+struct DocumentDelta;
+
+/// One label's bit position in the 64-bit label Bloom filters that
+/// `TreeDeltaReport::label_bloom` and the per-view pattern summaries
+/// share — both sides must hash identically for the disjointness test.
+inline uint64_t LabelBloomBit(LabelId label) {
+  return uint64_t{1} << (Mix64(static_cast<uint64_t>(label)) & 63u);
+}
+
+/// What `Tree::ApplyDelta` changed — everything the incremental layers
+/// above (evaluator row reuse, per-view dirtiness, memo invalidation) need
+/// to know about the delta, computed in one pass while applying it.
+struct TreeDeltaReport {
+  int old_size = 0;  ///< Node count before the delta.
+  int new_size = 0;  ///< Node count after the delta.
+
+  /// True iff the delta deleted at least one node, forcing id compaction:
+  /// every surviving node's id may have changed (per `remap`). When false,
+  /// ids of pre-existing nodes are untouched and `remap` is empty.
+  bool compacted = false;
+
+  /// Only when `compacted`: pre-compaction id -> post-compaction id
+  /// (`kNoNode` for deleted nodes). Indexed over the pre-compaction id
+  /// space `[0, old_size + inserted)`; order-preserving, so surviving
+  /// pre-existing nodes keep their relative order and occupy
+  /// `[0, suffix_start)` while surviving inserted nodes form the tail.
+  std::vector<NodeId> remap;
+
+  /// First post-delta id of a node inserted by this delta: every id >=
+  /// `suffix_start` is newly inserted (and needs its DP rows computed from
+  /// scratch); every id below it is a surviving pre-existing node.
+  NodeId suffix_start = 0;
+
+  /// Surviving pre-existing nodes (post-delta ids, all < `suffix_start`)
+  /// whose bit-parallel DP rows must be recomputed: relabeled nodes, nodes
+  /// whose child set changed, and all their ancestors — strictly
+  /// decreasing, the order `EvalScratch::Update` consumes.
+  std::vector<NodeId> dirty_prefix_desc;
+
+  /// Pre-delta ids of the nodes whose subtree CONTENT changed (insert
+  /// parents, delete parents, relabeled nodes), each mapped to its lowest
+  /// pre-existing ancestor. A materialized view's stored answer region is
+  /// affected iff one of its output nodes is an ancestor-or-self of one of
+  /// these — the per-view region-dirtiness test.
+  std::vector<NodeId> splice_anchors_old;
+
+  /// Minimum tree depth at which the delta can change any embedding: the
+  /// shallowest relabel/delete depth, or insert-parent depth + 1. A view
+  /// whose pattern has no descendant edge and whose deepest node sits
+  /// above this cannot be affected. INT32_MAX for an empty delta.
+  int min_affected_depth = 0;
+
+  /// 64-bit Bloom filter over every label the delta touched: labels of
+  /// inserted and deleted nodes, and both the old and new label of each
+  /// relabel. A view whose pattern has no wildcard and whose label Bloom
+  /// is disjoint from this cannot be affected.
+  uint64_t label_bloom = 0;
+
+  /// Inserted + deleted + relabeled node count — the dirty-region size the
+  /// facade's fallback threshold compares against `new_size`.
+  int touched_nodes = 0;
+};
 
 /// A rooted, labeled, unordered tree representing an XML document
 /// (Section 2.1 of the paper). Nodes live in a flat arena and are addressed
@@ -70,6 +136,19 @@ class Tree {
   /// Returns the id of the copied root.
   NodeId GraftCopy(NodeId parent, const Tree& sub);
 
+  /// Checks that `delta` is applicable to this tree without mutating it:
+  /// every op must name a node inside the (evolving) id space and no
+  /// delete may remove the root. On failure returns false and, when `why`
+  /// is non-null, describes the first offending op.
+  bool ValidateDelta(const DocumentDelta& delta, std::string* why) const;
+
+  /// Applies `delta` in place and reports the affected region. Requires
+  /// `ValidateDelta(delta)`. Inserts append ids, deletes mark and then
+  /// compact once at the end (preserving the relative order of survivors,
+  /// so the topological id invariant holds throughout); when nothing is
+  /// deleted, every pre-existing node keeps its id.
+  TreeDeltaReport ApplyDelta(const DocumentDelta& delta);
+
   /// A canonical textual encoding of the subtree rooted at `n`, invariant
   /// under reordering of siblings. Two subtrees are isomorphic (as unordered
   /// labeled trees) iff their encodings are equal.
@@ -82,6 +161,38 @@ class Tree {
   std::vector<LabelId> labels_;
   std::vector<NodeId> parents_;
   std::vector<std::vector<NodeId>> children_;
+};
+
+/// One primitive mutation of a `DocumentDelta`: a subtree insert, a
+/// subtree delete, or a node relabel.
+struct DeltaOp {
+  enum class Kind : uint8_t { kInsertSubtree, kDeleteSubtree, kRelabel };
+
+  Kind kind = Kind::kRelabel;
+  /// Insert: the parent the subtree is grafted under. Delete: the root of
+  /// the removed subtree. Relabel: the node whose label changes.
+  NodeId node = 0;
+  LabelId label = 0;            ///< Relabel only: the new label.
+  std::optional<Tree> subtree;  ///< Insert only: the grafted subtree.
+};
+
+/// An ordered list of subtree inserts, subtree deletes and node relabels —
+/// the unit of change `Service::UpdateDocument` applies.
+///
+/// Ops are interpreted in order, and node ids refer to the tree as produced
+/// by the preceding ops: inserted nodes get fresh ids appended past the
+/// current size (`GraftCopy` order), and deletions do NOT renumber anything
+/// until the whole delta has been applied — so an op may reference nodes a
+/// previous op of the same delta inserted, and ids named by later ops stay
+/// stable across earlier deletes. Deleting an already-deleted node is a
+/// no-op; inserting under a deleted node inserts nodes that die with it.
+struct DocumentDelta {
+  std::vector<DeltaOp> ops;
+
+  void InsertSubtree(NodeId parent, Tree sub);
+  void DeleteSubtree(NodeId node);
+  void Relabel(NodeId node, LabelId label);
+  bool empty() const { return ops.empty(); }
 };
 
 }  // namespace xpv

@@ -1,0 +1,49 @@
+// Negative-compile case (PR 9): reading per-view epoch state without the
+// document stripe. The incremental-update design hangs memo freshness off
+// per-view epochs that UpdateDocument bumps under the exclusive stripe; a
+// reader that forgets to hold the stripe (even in shared mode) can observe
+// a torn epoch/answer pair and serve a stale memo entry as fresh.
+//
+// Default build: VIOLATES (epoch read outside the stripe) — clang must
+// reject. -DXPV_EXPECT_OK: corrected variant (read under a shared lock) —
+// must compile everywhere.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/sync.h"
+
+namespace {
+
+/// A miniature of the Service's DocSlot: one stripe guarding the per-view
+/// epoch vector the memo-validity check reads.
+class DocSlot {
+ public:
+  void BumpViewEpoch(int slot) {
+    xpv::WriterLock lock(mu_);
+    ++view_epochs_[static_cast<unsigned>(slot)];
+  }
+
+  /// The freshness stamp a to-be-memoized answer must carry.
+  uint64_t MemoValidity(int slot) const {
+#if defined(XPV_EXPECT_OK)
+    xpv::ReaderLock lock(mu_);
+    return view_epochs_[static_cast<unsigned>(slot)];
+#else
+    // BUG: per-view epoch read without the stripe — races UpdateDocument.
+    return view_epochs_[static_cast<unsigned>(slot)];
+#endif
+  }
+
+ private:
+  mutable xpv::SharedMutex mu_;
+  std::vector<uint64_t> view_epochs_ XPV_GUARDED_BY(mu_) = {1, 1};
+};
+
+}  // namespace
+
+int main() {
+  DocSlot slot;
+  slot.BumpViewEpoch(0);
+  return static_cast<int>(slot.MemoValidity(0) & 1);
+}

@@ -40,6 +40,7 @@ bool IsStructured(const ServiceError& error) {
     case ServiceErrorCode::kUnknownDocument:
     case ServiceErrorCode::kDuplicateViewName:
     case ServiceErrorCode::kEmptyPattern:
+    case ServiceErrorCode::kInvalidDelta:
     case ServiceErrorCode::kStaleHandle:
     case ServiceErrorCode::kDeadlineExceeded:
     case ServiceErrorCode::kCancelled:
@@ -49,6 +50,18 @@ bool IsStructured(const ServiceError& error) {
   }
   return false;
 }
+
+/// Every fault::Point site the library defines. The invariant linter
+/// (tools/lint_invariants.py, rule R5) cross-checks this list against the
+/// `fault::Point("...")` literals in src/ — adding a hook without chaos
+/// coverage fails the lint gate.
+constexpr const char* kKnownFaultSites[] = {
+    "service.add_view",
+    "service.memo_write",
+    "service.update",
+    "oracle.fill",
+    "pool.task",
+};
 
 // ------------------------------------------------ default-build contract
 
@@ -108,7 +121,7 @@ void RunChaosScenario(uint64_t seed, int workers) {
   int minted_views = 0;
   for (int op = 0; op < ops; ++op) {
     const DocumentId doc = docs[rng.Below(docs.size())];
-    switch (rng.Below(6)) {
+    switch (rng.Below(7)) {
       case 0: {  // AddView — may absorb an injected fault as kInternal.
         int k = 0;
         Pattern view = PrefixView(rng, anchors[rng.Below(anchors.size())], &k);
@@ -151,6 +164,19 @@ void RunChaosScenario(uint64_t seed, int workers) {
         auto replaced = service.ReplaceDocument(
             doc, RandomTree(rng, tree_gen));
         if (!replaced.ok()) { EXPECT_TRUE(IsStructured(replaced.error())); }
+        break;
+      }
+      case 6: {  // In-place incremental update ("service.update" hook).
+        const Tree* current = service.document(doc);
+        if (current == nullptr) break;
+        DeltaGenOptions delta_gen;
+        delta_gen.max_ops = 3;
+        auto updated = service.UpdateDocument(
+            doc, RandomDelta(rng, *current, delta_gen));
+        // The hook fires strictly BEFORE mutation, so a failed update left
+        // the document exactly as it was — phase 3's fault-free twin
+        // (built from the survivor tree) verifies consistency either way.
+        if (!updated.ok()) { EXPECT_TRUE(IsStructured(updated.error())); }
         break;
       }
       case 4: {  // Stale-handle probe: a foreign handle must stay rejected.
@@ -227,6 +253,60 @@ TEST(FaultInjectionTest, InjectedFaultSurfacesAsInternalError) {
   ServiceResult<Answer> answer = service.Answer(doc.value(), "a/b/c");
   ASSERT_TRUE(answer.ok());
   EXPECT_EQ(service.stats().internal_errors, 1u);
+}
+
+TEST(FaultInjectionTest, KnownFaultSitesAreDistinct) {
+  // Companion to lint rule R5: the registry above must stay duplicate-free
+  // (each site appears once; the linter checks src/ literals against it).
+  const size_t n = sizeof(kKnownFaultSites) / sizeof(kKnownFaultSites[0]);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      EXPECT_STRNE(kKnownFaultSites[i], kKnownFaultSites[j]);
+    }
+  }
+}
+
+TEST(FaultInjectionTest, UpdateFaultLeavesTheDocumentUntouched) {
+  if (!fault::kEnabled) GTEST_SKIP() << "default build";
+  // The "service.update" hook sits strictly before the first mutated byte:
+  // at a 100% injection rate the update fails as kInternal with the
+  // document, its views and its memoized answers untouched, and after
+  // Disarm() the SAME delta applies and matches a fault-free twin.
+  Service service;
+  auto doc = service.AddDocument("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(service.AddView(doc.value(), "v", "a/b").ok());
+  ServiceResult<Answer> before = service.Answer(doc.value(), "a/b");
+  ASSERT_TRUE(before.ok());
+
+  DocumentDelta delta;
+  delta.InsertSubtree(0, []{
+    Tree sub(L("b"));
+    sub.AddChild(sub.root(), L("c"));
+    return sub;
+  }());
+  delta.Relabel(2, L("z"));
+
+  fault::Arm(/*seed=*/11, /*per_million=*/1000000);
+  DocumentDelta failing = delta;  // DeltaOp holds a Tree: deep copy is fine.
+  auto failed = service.UpdateDocument(doc.value(), std::move(failing));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error().code, ServiceErrorCode::kInternal);
+  fault::Disarm();
+  EXPECT_EQ(service.document(doc.value())->size(), 3);
+  EXPECT_EQ(service.stats().updates_applied, 0u);
+
+  ASSERT_TRUE(service.UpdateDocument(doc.value(), std::move(delta)).ok());
+  Service twin;
+  DocumentId twin_doc = twin.AddDocument(*service.document(doc.value()));
+  ASSERT_TRUE(twin.AddView(twin_doc, "v", "a/b").ok());
+  for (const char* q : {"a/b", "a/b/c", "a//c", "a/z"}) {
+    ServiceResult<Answer> got = service.Answer(doc.value(), q);
+    ServiceResult<Answer> want = twin.Answer(twin_doc, q);
+    ASSERT_TRUE(got.ok());
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ(got.value().outputs, want.value().outputs) << q;
+  }
 }
 
 TEST(FaultInjectionTest, MemoWriteFaultStillServesTheAnswer) {

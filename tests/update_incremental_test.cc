@@ -1,0 +1,570 @@
+// Incremental document updates (PR 9), layer by layer: tree deltas
+// (ApplyDelta report, id remapping, validation), per-view dirtiness
+// (SelectionSummary fields + DeltaMayAffectView), incremental view
+// maintenance (ViewCache::ApplyUpdate outcomes and epochs), memo validity
+// stamps (AnswerCache replace-on-differing-validity, CountScope), and the
+// Service facade (UpdateDocument correctness vs. a from-scratch rebuild,
+// per-view epoch memo preservation, fallback, counters).
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/service.h"
+#include "eval/evaluator.h"
+#include "pattern/xpath_parser.h"
+#include "views/answer_cache.h"
+#include "views/view_cache.h"
+#include "views/view_index.h"
+#include "workload/generator.h"
+#include "xml/tree.h"
+#include "xml/xml_parser.h"
+
+namespace xpv {
+namespace {
+
+Tree Doc(const char* xml) {
+  auto result = ParseXml(xml);
+  EXPECT_TRUE(result.ok()) << result.error();
+  return result.take();
+}
+
+/// From-scratch reference for ApplyDelta: replays the ops naively (inserts
+/// append, deletes only record marks), propagates death downward (nodes
+/// inserted under a deleted node die with it), and rebuilds the survivor
+/// tree in id order — the same order-preserving compaction ApplyDelta
+/// promises.
+Tree ReferenceApply(const Tree& doc, const DocumentDelta& delta) {
+  Tree work = doc;
+  std::vector<uint8_t> dead(static_cast<size_t>(work.size()), 0);
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kInsertSubtree:
+        work.GraftCopy(op.node, *op.subtree);
+        dead.resize(static_cast<size_t>(work.size()), 0);
+        break;
+      case DeltaOp::Kind::kDeleteSubtree:
+        for (NodeId n : work.SubtreeNodes(op.node)) {
+          dead[static_cast<size_t>(n)] = 1;
+        }
+        break;
+      case DeltaOp::Kind::kRelabel:
+        work.set_label(op.node, op.label);
+        break;
+    }
+  }
+  for (NodeId n = 1; n < work.size(); ++n) {
+    if (dead[static_cast<size_t>(work.parent(n))]) {
+      dead[static_cast<size_t>(n)] = 1;
+    }
+  }
+  Tree out(work.label(0));
+  std::vector<NodeId> map(static_cast<size_t>(work.size()), kNoNode);
+  map[0] = out.root();
+  for (NodeId n = 1; n < work.size(); ++n) {
+    if (dead[static_cast<size_t>(n)]) continue;
+    map[static_cast<size_t>(n)] =
+        out.AddChild(map[static_cast<size_t>(work.parent(n))], work.label(n));
+  }
+  return out;
+}
+
+void ExpectSameTree(const Tree& got, const Tree& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (NodeId n = 0; n < got.size(); ++n) {
+    EXPECT_EQ(got.label(n), want.label(n)) << "node " << n;
+    EXPECT_EQ(got.parent(n), want.parent(n)) << "node " << n;
+  }
+}
+
+// ---------------------------------------------------------------- tree layer
+
+TEST(TreeDeltaTest, InsertKeepsExistingIdsStable) {
+  Tree t = Doc("<a><b/><c/></a>");
+  DocumentDelta delta;
+  delta.InsertSubtree(1, Doc("<d><e/></d>"));
+  const Tree before = t;
+  TreeDeltaReport report = t.ApplyDelta(delta);
+
+  EXPECT_FALSE(report.compacted);
+  EXPECT_TRUE(report.remap.empty());
+  EXPECT_EQ(report.old_size, 3);
+  EXPECT_EQ(report.new_size, 5);
+  EXPECT_EQ(report.suffix_start, 3);
+  EXPECT_EQ(report.touched_nodes, 2);
+  // Every pre-existing node keeps its id and label.
+  for (NodeId n = 0; n < 3; ++n) {
+    EXPECT_EQ(t.label(n), before.label(n));
+    EXPECT_EQ(t.parent(n), before.parent(n));
+  }
+  // The inserted subtree hangs under node 1 at the id tail.
+  EXPECT_EQ(t.parent(3), 1);
+  EXPECT_EQ(t.parent(4), 3);
+  EXPECT_EQ(t.label(3), L("d"));
+  // The insert parent (and its ancestors) are the dirty prefix, descending.
+  EXPECT_EQ(report.dirty_prefix_desc, (std::vector<NodeId>{1, 0}));
+  // Inserts can only change embeddings at the new nodes' depths and below.
+  EXPECT_EQ(report.min_affected_depth, 2);
+  // Inserted labels are bloomed.
+  EXPECT_NE(report.label_bloom & LabelBloomBit(L("d")), 0u);
+  EXPECT_NE(report.label_bloom & LabelBloomBit(L("e")), 0u);
+}
+
+TEST(TreeDeltaTest, DeleteCompactsOrderPreserving) {
+  Tree t = Doc("<a><b><c/></b><d/></a>");
+  DocumentDelta delta;
+  delta.DeleteSubtree(1);  // Kills b and its child c.
+  TreeDeltaReport report = t.ApplyDelta(delta);
+
+  EXPECT_TRUE(report.compacted);
+  EXPECT_EQ(report.new_size, 2);
+  ASSERT_EQ(report.remap.size(), 4u);
+  EXPECT_EQ(report.remap[0], 0);
+  EXPECT_EQ(report.remap[1], kNoNode);
+  EXPECT_EQ(report.remap[2], kNoNode);
+  EXPECT_EQ(report.remap[3], 1);  // d slides down, order preserved.
+  EXPECT_EQ(t.size(), 2);
+  EXPECT_EQ(t.label(1), L("d"));
+  EXPECT_EQ(t.parent(1), 0);
+  // Deleted labels are bloomed (the disjointness test must see them).
+  EXPECT_NE(report.label_bloom & LabelBloomBit(L("b")), 0u);
+  EXPECT_NE(report.label_bloom & LabelBloomBit(L("c")), 0u);
+}
+
+TEST(TreeDeltaTest, RelabelReportsBothLabels) {
+  Tree t = Doc("<a><b/></a>");
+  DocumentDelta delta;
+  delta.Relabel(1, L("z"));
+  TreeDeltaReport report = t.ApplyDelta(delta);
+
+  EXPECT_FALSE(report.compacted);
+  EXPECT_EQ(t.label(1), L("z"));
+  EXPECT_EQ(report.touched_nodes, 1);
+  EXPECT_NE(report.label_bloom & LabelBloomBit(L("b")), 0u);
+  EXPECT_NE(report.label_bloom & LabelBloomBit(L("z")), 0u);
+  EXPECT_EQ(report.min_affected_depth, 1);
+}
+
+TEST(TreeDeltaTest, ValidateDeltaRejectsBadOps) {
+  Tree t = Doc("<a><b/></a>");
+  std::string why;
+
+  DocumentDelta root_delete;
+  root_delete.DeleteSubtree(0);
+  EXPECT_FALSE(t.ValidateDelta(root_delete, &why));
+  EXPECT_NE(why.find("root"), std::string::npos);
+
+  DocumentDelta out_of_range;
+  out_of_range.Relabel(7, L("x"));
+  EXPECT_FALSE(t.ValidateDelta(out_of_range, &why));
+  EXPECT_NE(why.find("op 0"), std::string::npos);
+
+  DocumentDelta bad_insert;
+  bad_insert.ops.push_back(DeltaOp{DeltaOp::Kind::kInsertSubtree, 0, 0, {}});
+  EXPECT_FALSE(t.ValidateDelta(bad_insert, &why));
+
+  // Ops reference the EVOLVING id space: an op may target a node an
+  // earlier op of the same delta inserted.
+  DocumentDelta evolving;
+  evolving.InsertSubtree(1, Doc("<c/>"));
+  evolving.Relabel(2, L("d"));  // Node 2 exists only after the insert.
+  EXPECT_TRUE(t.ValidateDelta(evolving, &why)) << why;
+}
+
+TEST(TreeDeltaTest, InsertUnderDeletedNodeDiesWithIt) {
+  Tree t = Doc("<a><b/></a>");
+  DocumentDelta delta;
+  delta.InsertSubtree(1, Doc("<c/>"));
+  delta.DeleteSubtree(1);  // Takes the freshly inserted c down too.
+  TreeDeltaReport report = t.ApplyDelta(delta);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_EQ(report.new_size, 1);
+}
+
+TEST(TreeDeltaTest, RandomDeltasMatchTheReferenceApplier) {
+  Rng rng(20260807);
+  TreeGenOptions tree_options;
+  tree_options.max_nodes = 40;
+  DeltaGenOptions delta_options;
+  for (int round = 0; round < 200; ++round) {
+    Tree t = RandomTree(rng, tree_options);
+    DocumentDelta delta = RandomDelta(rng, t, delta_options);
+    std::string why;
+    ASSERT_TRUE(t.ValidateDelta(delta, &why)) << why;
+    const Tree want = ReferenceApply(t, delta);
+    TreeDeltaReport report = t.ApplyDelta(delta);
+    ExpectSameTree(t, want);
+    EXPECT_EQ(report.new_size, t.size());
+    if (!report.compacted) {
+      EXPECT_TRUE(report.remap.empty());
+    } else {
+      // Order-preserving: survivor targets are strictly increasing.
+      NodeId prev = -1;
+      for (NodeId to : report.remap) {
+        if (to == kNoNode) continue;
+        EXPECT_GT(to, prev);
+        prev = to;
+      }
+    }
+  }
+}
+
+// ----------------------------------------------------------- dirtiness layer
+
+TEST(DeltaDirtinessTest, SummaryCarriesTheDirtinessFields) {
+  SelectionSummary plain = SummarizeSelection(MustParseXPath("a/b[c]"));
+  EXPECT_EQ(plain.max_node_depth, 2);  // The branch node c sits at depth 2.
+  EXPECT_FALSE(plain.has_wildcard);
+  EXPECT_FALSE(plain.has_descendant);
+  EXPECT_NE(plain.label_bloom & LabelBloomBit(L("a")), 0u);
+  EXPECT_NE(plain.label_bloom & LabelBloomBit(L("b")), 0u);
+  EXPECT_NE(plain.label_bloom & LabelBloomBit(L("c")), 0u);
+
+  SelectionSummary deep = SummarizeSelection(MustParseXPath("a//*"));
+  EXPECT_TRUE(deep.has_wildcard);
+  EXPECT_TRUE(deep.has_descendant);
+}
+
+TEST(DeltaDirtinessTest, DepthBoundProvesShallowViewsUntouched) {
+  SelectionSummary view = SummarizeSelection(MustParseXPath("a/b"));
+  TreeDeltaReport report;
+  report.touched_nodes = 1;
+  report.label_bloom = view.label_bloom;  // Overlapping labels on purpose.
+  report.min_affected_depth = 4;          // Deep in the tree.
+  // Child-only embeddings map depth-k pattern nodes to depth-k tree nodes:
+  // a delta strictly below the pattern's reach cannot change anything.
+  EXPECT_FALSE(DeltaMayAffectView(view, report));
+
+  SelectionSummary descendant = SummarizeSelection(MustParseXPath("a//b"));
+  report.label_bloom = descendant.label_bloom;
+  EXPECT_TRUE(DeltaMayAffectView(descendant, report));
+}
+
+TEST(DeltaDirtinessTest, LabelDisjointnessProvesViewsUntouched) {
+  SelectionSummary view = SummarizeSelection(MustParseXPath("a//b"));
+  TreeDeltaReport report;
+  report.touched_nodes = 1;
+  report.min_affected_depth = 0;
+  report.label_bloom = LabelBloomBit(L("zz1")) | LabelBloomBit(L("zz2"));
+  EXPECT_FALSE(DeltaMayAffectView(view, report));
+
+  report.label_bloom |= LabelBloomBit(L("b"));
+  EXPECT_TRUE(DeltaMayAffectView(view, report));
+
+  // A wildcard matches every label: the bloom test cannot clear it.
+  SelectionSummary wild = SummarizeSelection(MustParseXPath("a//*"));
+  report.label_bloom = LabelBloomBit(L("zz1"));
+  EXPECT_TRUE(DeltaMayAffectView(wild, report));
+}
+
+// ----------------------------------------------------------- view-cache layer
+
+TEST(ViewCacheUpdateTest, PatchesTouchedViewsAndSkipsUntouchedOnes) {
+  Tree t = Doc("<a><b/><b/><c><d/></c></a>");
+  ViewCache cache(t);
+  const int vb = cache.AddView(ViewDefinition{"b", MustParseXPath("a/b")});
+  const int vd = cache.AddView(ViewDefinition{"d", MustParseXPath("a//d")});
+  const uint64_t vb_epoch = cache.view_epoch(vb);
+  const uint64_t vd_epoch = cache.view_epoch(vd);
+
+  // Insert another b under the root: touches view b (label overlap),
+  // provably misses view d (labels disjoint, bloom test).
+  DocumentDelta delta;
+  delta.InsertSubtree(0, Doc("<b/>"));
+  TreeDeltaReport report = t.ApplyDelta(delta);
+  ViewUpdateStats stats = cache.ApplyUpdate(report, /*fallback_fraction=*/2.0);
+
+  EXPECT_FALSE(stats.fell_back);
+  // First dirty update finds cold DP state: a full pass, counted as a
+  // re-materialization.
+  EXPECT_EQ(stats.views_rematerialized, 1);
+  EXPECT_EQ(stats.views_patched, 0);
+  EXPECT_EQ(stats.views_untouched, 1);
+  EXPECT_GT(cache.view_epoch(vb), vb_epoch);
+  EXPECT_EQ(cache.view_epoch(vd), vd_epoch);
+  EXPECT_EQ(cache.views()[static_cast<size_t>(vb)].outputs(),
+            Eval(MustParseXPath("a/b"), t));
+  EXPECT_EQ(cache.views()[static_cast<size_t>(vd)].outputs(),
+            Eval(MustParseXPath("a//d"), t));
+
+  // Second dirty update reuses the persistent DP state: a genuine patch.
+  DocumentDelta again;
+  again.InsertSubtree(0, Doc("<b/>"));
+  report = t.ApplyDelta(again);
+  stats = cache.ApplyUpdate(report, 2.0);
+  EXPECT_EQ(stats.views_patched, 1);
+  EXPECT_EQ(stats.views_rematerialized, 0);
+  EXPECT_EQ(stats.views_untouched, 1);
+  EXPECT_EQ(cache.views()[static_cast<size_t>(vb)].outputs(),
+            Eval(MustParseXPath("a/b"), t));
+}
+
+TEST(ViewCacheUpdateTest, OversizedDeltaFallsBackToFullRematerialization) {
+  Tree t = Doc("<a><b/></a>");
+  ViewCache cache(t);
+  const int vb = cache.AddView(ViewDefinition{"b", MustParseXPath("a/b")});
+  DocumentDelta delta;
+  delta.InsertSubtree(0, Doc("<b><b/><b/><b/></b>"));
+  TreeDeltaReport report = t.ApplyDelta(delta);
+  ViewUpdateStats stats = cache.ApplyUpdate(report, /*fallback_fraction=*/0.01);
+  EXPECT_TRUE(stats.fell_back);
+  EXPECT_EQ(stats.views_rematerialized, 1);
+  EXPECT_EQ(cache.views()[static_cast<size_t>(vb)].outputs(),
+            Eval(MustParseXPath("a/b"), t));
+}
+
+TEST(ViewCacheUpdateTest, CompactionRemapsUntouchedViewOutputs) {
+  Tree t = Doc("<a><b/><c><d/></c></a>");
+  ViewCache cache(t);
+  const int vd = cache.AddView(ViewDefinition{"d", MustParseXPath("a//d")});
+  const uint64_t shape_epoch = cache.epoch();
+
+  // Delete the b leaf: view d is label-disjoint from the dead region but
+  // its output ids slide down — the remap (not an evaluation) fixes them.
+  DocumentDelta delta;
+  delta.DeleteSubtree(1);
+  TreeDeltaReport report = t.ApplyDelta(delta);
+  ViewUpdateStats stats = cache.ApplyUpdate(report, 2.0);
+  EXPECT_EQ(stats.views_untouched, 1);
+  EXPECT_EQ(cache.views()[static_cast<size_t>(vd)].outputs(),
+            Eval(MustParseXPath("a//d"), t));
+  // Compaction re-keys node ids: the shape epoch must orphan every
+  // memoized answer for this document.
+  EXPECT_GT(cache.epoch(), shape_epoch);
+}
+
+// ---------------------------------------------------------------- memo layer
+
+AnswerCache::Entry MakeEntry(uint64_t validity, NodeId output) {
+  AnswerCache::Entry entry;
+  entry.answer.outputs = {output};
+  entry.validity = validity;
+  return entry;
+}
+
+TEST(AnswerCacheValidityTest, InsertReplacesOnlyWhenStampsDiffer) {
+  AnswerCache cache(/*capacity=*/16, /*doorkeeper=*/false, nullptr);
+  const AnswerCache::Key key{1, 1, 42};
+  cache.Insert(key, MakeEntry(/*validity=*/5, /*output=*/1));
+  // Equal stamps: a racing filler of the same generation — keep the first.
+  cache.Insert(key, MakeEntry(5, 2));
+  EXPECT_EQ(cache.Lookup(key)->answer.outputs, (std::vector<NodeId>{1}));
+  // Differing stamp: a stale-refresh — the fresher answer takes the slot.
+  cache.Insert(key, MakeEntry(6, 3));
+  EXPECT_EQ(cache.Lookup(key)->answer.outputs, (std::vector<NodeId>{3}));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(AnswerCacheValidityTest, CountScopeFiltersByScopeAndPredicate) {
+  AnswerCache cache(16, false, nullptr);
+  cache.Insert(AnswerCache::Key{1, 1, 1}, MakeEntry(7, 0));
+  cache.Insert(AnswerCache::Key{1, 1, 2}, MakeEntry(8, 0));
+  cache.Insert(AnswerCache::Key{2, 1, 3}, MakeEntry(7, 0));
+  EXPECT_EQ(cache.CountScope(
+                1, [](const AnswerCache::Key&, const AnswerCache::Entry& e) {
+                  return e.validity == 7;
+                }),
+            1u);
+  EXPECT_EQ(cache.CountScope(
+                1, [](const AnswerCache::Key&, const AnswerCache::Entry&) {
+                  return true;
+                }),
+            2u);
+}
+
+// ------------------------------------------------------------- service layer
+
+TEST(ServiceUpdateTest, InvalidDeltaLeavesTheDocumentUntouched) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  DocumentDelta delta;
+  delta.DeleteSubtree(0);
+  ServiceStatus status = service.UpdateDocument(doc, std::move(delta));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ServiceErrorCode::kInvalidDelta);
+  EXPECT_EQ(std::string(ToString(status.error().code)), "invalid_delta");
+  EXPECT_EQ(service.document(doc)->size(), 2);
+  EXPECT_EQ(service.stats().updates_applied, 0u);
+  EXPECT_EQ(service.stats().failed_requests, 1u);
+}
+
+TEST(ServiceUpdateTest, StaleHandleIsRejected) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a/>"));
+  ASSERT_TRUE(service.RemoveDocument(doc).ok());
+  DocumentDelta delta;
+  delta.Relabel(0, L("b"));
+  ServiceStatus status = service.UpdateDocument(doc, std::move(delta));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ServiceErrorCode::kStaleHandle);
+}
+
+TEST(ServiceUpdateTest, ExpiredDeadlineFailsBeforeMutation) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  CallOptions call;
+  call.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  DocumentDelta delta;
+  delta.Relabel(1, L("z"));
+  ServiceStatus status = service.UpdateDocument(doc, std::move(delta), call);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.error().code, ServiceErrorCode::kDeadlineExceeded);
+  EXPECT_EQ(service.document(doc)->label(1), L("b"));
+}
+
+TEST(ServiceUpdateTest, ViewHandlesSurviveUpdatesUnlikeReplace) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  ServiceResult<ViewId> view = service.AddView(doc, "b", "a/b");
+  ASSERT_TRUE(view.ok());
+  DocumentDelta delta;
+  delta.InsertSubtree(0, Doc("<b/>"));
+  ASSERT_TRUE(service.UpdateDocument(doc, std::move(delta)).ok());
+  EXPECT_NE(service.view(view.value()), nullptr);
+  EXPECT_EQ(service.num_views(doc), 1);
+  ServiceResult<Answer> answer = service.Answer(doc, "a/b");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_TRUE(answer.value().hit);
+  EXPECT_EQ(answer.value().outputs,
+            Eval(MustParseXPath("a/b"), *service.document(doc)));
+}
+
+TEST(ServiceUpdateTest, AnswersMatchAFreshServiceAfterEveryDelta) {
+  Service service;
+  DocumentId doc = service.AddDocument(
+      Doc("<a><b><c/></b><b/><d><e/><e/></d></a>"));
+  ASSERT_TRUE(service.AddView(doc, "b", "a/b").ok());
+  ASSERT_TRUE(service.AddView(doc, "e", "a//e").ok());
+  const std::vector<std::string> queries = {"a/b", "a/b/c", "a//e", "a/d/e",
+                                            "a//*", "a/b[c]"};
+
+  std::vector<DocumentDelta> deltas;
+  DocumentDelta d1;
+  d1.InsertSubtree(1, Doc("<c><f/></c>"));
+  deltas.push_back(std::move(d1));
+  DocumentDelta d2;
+  d2.Relabel(2, L("e"));
+  deltas.push_back(std::move(d2));
+  DocumentDelta d3;
+  d3.DeleteSubtree(4);  // A subtree delete forces compaction.
+  d3.InsertSubtree(0, Doc("<b/>"));
+  deltas.push_back(std::move(d3));
+
+  for (DocumentDelta& delta : deltas) {
+    ASSERT_TRUE(service.UpdateDocument(doc, std::move(delta)).ok());
+    // Twin: a fresh service built from the CURRENT document with the same
+    // views — the incremental path must be bit-identical to it.
+    Service fresh;
+    DocumentId fresh_doc = fresh.AddDocument(*service.document(doc));
+    ASSERT_TRUE(fresh.AddView(fresh_doc, "b", "a/b").ok());
+    ASSERT_TRUE(fresh.AddView(fresh_doc, "e", "a//e").ok());
+    for (const std::string& q : queries) {
+      ServiceResult<Answer> got = service.Answer(doc, q);
+      ServiceResult<Answer> want = fresh.Answer(fresh_doc, q);
+      ASSERT_TRUE(got.ok()) << q;
+      ASSERT_TRUE(want.ok()) << q;
+      EXPECT_EQ(got.value().outputs, want.value().outputs) << q;
+      EXPECT_EQ(got.value().hit, want.value().hit) << q;
+      EXPECT_EQ(got.value().view_name, want.value().view_name) << q;
+    }
+  }
+}
+
+TEST(ServiceUpdateTest, UntouchedViewMemoSurvivesAsCacheHits) {
+  ServiceOptions options;
+  options.update_fallback_fraction = 2.0;  // Never fall back here.
+  Service service(std::move(options));
+  DocumentId doc = service.AddDocument(
+      Doc("<a><b/><b/><b/><c><c/><c/></c></a>"));
+  ASSERT_TRUE(service.AddView(doc, "b", "a/b").ok());
+  ASSERT_TRUE(service.AddView(doc, "c", "a//c").ok());
+
+  // Memoize one answer per view.
+  ServiceResult<Answer> qa = service.Answer(doc, "a/b");
+  ServiceResult<Answer> qb = service.Answer(doc, "a//c");
+  ASSERT_TRUE(qa.ok());
+  ASSERT_TRUE(qb.ok());
+  ASSERT_TRUE(qa.value().hit);
+  ASSERT_TRUE(qb.value().hit);
+
+  // Insert + relabel only (no compaction), all labels disjoint from view
+  // b's {a, b}: view b is provably untouched; view c is dirty.
+  DocumentDelta delta;
+  delta.InsertSubtree(4, Doc("<c/>"));
+  delta.Relabel(5, L("f"));
+  ASSERT_TRUE(service.UpdateDocument(doc, std::move(delta)).ok());
+
+  ServiceStats after_update = service.stats();
+  EXPECT_EQ(after_update.updates_applied, 1u);
+  EXPECT_EQ(after_update.update_views_untouched, 1u);
+  EXPECT_EQ(after_update.update_fallbacks, 0u);
+  // The untouched view's memo entry is still keyed AND still fresh.
+  EXPECT_GE(after_update.update_memo_entries_preserved, 1u);
+
+  // THE PIN: re-answering the untouched view's query replays the memo —
+  // no new answer-cache miss, no new oracle miss, and the answer is
+  // bit-identical to a fresh evaluation.
+  ServiceResult<Answer> qa2 = service.Answer(doc, "a/b");
+  ASSERT_TRUE(qa2.ok());
+  ServiceStats after_replay = service.stats();
+  EXPECT_EQ(after_replay.answer_cache_misses, after_update.answer_cache_misses);
+  EXPECT_EQ(after_replay.oracle_misses, after_update.oracle_misses);
+  EXPECT_GT(after_replay.answer_cache_hits, after_update.answer_cache_hits);
+  EXPECT_EQ(qa2.value().outputs,
+            Eval(MustParseXPath("a/b"), *service.document(doc)));
+
+  // The touched view's stale entry is refreshed, not served: the answer
+  // reflects the post-delta document.
+  ServiceResult<Answer> qb2 = service.Answer(doc, "a//c");
+  ASSERT_TRUE(qb2.ok());
+  EXPECT_EQ(qb2.value().outputs,
+            Eval(MustParseXPath("a//c"), *service.document(doc)));
+  // And the refreshed entry serves the NEXT probe without recomputing.
+  ServiceStats after_refresh = service.stats();
+  ServiceResult<Answer> qb3 = service.Answer(doc, "a//c");
+  ASSERT_TRUE(qb3.ok());
+  EXPECT_EQ(qb3.value().outputs, qb2.value().outputs);
+  EXPECT_EQ(service.stats().answer_cache_misses,
+            after_refresh.answer_cache_misses);
+}
+
+TEST(ServiceUpdateTest, CompactionInvalidatesTheWholeDocumentMemo) {
+  Service service;
+  DocumentId doc = service.AddDocument(Doc("<a><b/><c/></a>"));
+  ASSERT_TRUE(service.AddView(doc, "b", "a/b").ok());
+  ASSERT_TRUE(service.Answer(doc, "a/b").ok());
+  ASSERT_GT(service.stats().answer_cache_entries, 0u);
+
+  DocumentDelta delta;
+  delta.DeleteSubtree(2);  // Compaction re-keys node ids.
+  ASSERT_TRUE(service.UpdateDocument(doc, std::move(delta)).ok());
+  EXPECT_EQ(service.stats().answer_cache_entries, 0u);
+
+  ServiceResult<Answer> answer = service.Answer(doc, "a/b");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().outputs,
+            Eval(MustParseXPath("a/b"), *service.document(doc)));
+}
+
+TEST(ServiceUpdateTest, FallbackIsCountedAndStillCorrect) {
+  ServiceOptions options;
+  options.update_fallback_fraction = 0.01;
+  Service service(std::move(options));
+  DocumentId doc = service.AddDocument(Doc("<a><b/></a>"));
+  ASSERT_TRUE(service.AddView(doc, "b", "a/b").ok());
+  DocumentDelta delta;
+  delta.InsertSubtree(0, Doc("<b><b/><b/><b/></b>"));
+  ASSERT_TRUE(service.UpdateDocument(doc, std::move(delta)).ok());
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.update_fallbacks, 1u);
+  EXPECT_GE(stats.update_views_rematerialized, 1u);
+  ServiceResult<Answer> answer = service.Answer(doc, "a/b");
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer.value().outputs,
+            Eval(MustParseXPath("a/b"), *service.document(doc)));
+}
+
+}  // namespace
+}  // namespace xpv

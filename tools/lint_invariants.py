@@ -24,6 +24,10 @@ R4 bench-out     Every --benchmark_out= in CMakeLists.txt / CI workflows
                  bench/results/. Tracked BENCH_*.json baselines are
                  regenerated deliberately, never clobbered by a CI smoke
                  run.
+R5 fault-sites   Every `fault::Point("<site>")` literal in src/ must
+                 appear (as the same quoted literal) in
+                 tests/fault_injection_test.cc — a fault hook without
+                 chaos coverage is a hook nobody has ever seen fire.
 
 Suppression: a line containing `lint-invariants: allow(<rule>)` in a
 comment is exempt from <rule>. Each use should say why.
@@ -47,6 +51,8 @@ API_ABORT = re.compile(r"(?<![_A-Za-z0-9])(?:assert|abort)\s*\(")
 FAULT_COND = re.compile(
     r"^\s*#\s*(?:if|ifdef|ifndef|elif).*\bXPV_FAULT_INJECTION\b")
 BENCH_OUT = re.compile(r"--benchmark_out=(\S+)")
+FAULT_POINT = re.compile(r'fault::Point\(\s*"(?P<site>[^"]+)"\s*\)')
+FAULT_TEST_FILE = "tests/fault_injection_test.cc"
 ALLOW = re.compile(r"lint-invariants:\s*allow\((?P<rule>[\w-]+)\)")
 
 
@@ -92,6 +98,26 @@ def lint_tree(root):
                     report(path, lineno, "fault-hooks",
                            "XPV_FAULT_INJECTION conditional outside "
                            "util/fault.h; use the fault:: hooks")
+
+    # R5: every fault::Point site in src/ must be named (as the same quoted
+    # literal) in the chaos suite, so new hooks always gain coverage.
+    fault_test = root / FAULT_TEST_FILE
+    covered = fault_test.read_text(encoding="utf-8") \
+        if fault_test.exists() else ""
+    for pattern in ("src/**/*.h", "src/**/*.cc"):
+        for path in sorted(root.glob(pattern)):
+            for lineno, raw in enumerate(
+                    path.read_text(encoding="utf-8").splitlines(), start=1):
+                for m in FAULT_POINT.finditer(strip_line_comment(raw)):
+                    site = m.group("site")
+                    if allowed(raw, "fault-sites"):
+                        continue
+                    if f'"{site}"' not in covered:
+                        report(path, lineno, "fault-sites",
+                               f"fault site \"{site}\" is not referenced in "
+                               f"{FAULT_TEST_FILE}; add it to the chaos "
+                               "corpus (kKnownFaultSites) so it has "
+                               "injection coverage")
 
     for rel in BUILD_FILES:
         path = root / rel
@@ -142,8 +168,11 @@ def self_test():
         (root / "CMakeLists.txt").write_text(
             "--benchmark_out=bench/results/BENCH_oops.json\n",
             encoding="utf-8")
+        (root / "src/util/hooked.cc").write_text(
+            '  fault::Point("selftest.uncovered");\n', encoding="utf-8")
         problems = lint_tree(root)
-        for rule in ("raw-sync", "api-abort", "fault-hooks", "bench-out"):
+        for rule in ("raw-sync", "api-abort", "fault-hooks", "bench-out",
+                     "fault-sites"):
             if not any(f"[{rule}]" in p for p in problems):
                 failures.append(f"rule {rule} did not fire on known-bad input")
 
@@ -154,6 +183,9 @@ def self_test():
             "--benchmark_out=SMOKE_${bench_name}.json\n", encoding="utf-8")
         (root / "src/util/sync.h").write_text(
             "  std::mutex native_;  // the one legal home\n", encoding="utf-8")
+        (root / "tests").mkdir()
+        (root / FAULT_TEST_FILE).write_text(
+            '    "selftest.uncovered",\n', encoding="utf-8")
         problems = lint_tree(root)
         if problems:
             failures.append("rules fired on known-good input: "
