@@ -335,7 +335,7 @@ void BM_UpdateHeavyBatch(benchmark::State& state) {
     if (incremental) {
       if (!service.UpdateDocument(doc, std::move(delta)).ok()) std::abort();
     } else {
-      shadow.ApplyDelta(delta);
+      (void)shadow.ApplyDelta(delta);  // discard: shadow-tree bookkeeping; the report is unused on the replace arm
       if (!service.ReplaceDocument(doc, shadow).ok()) std::abort();
       for (const ViewDefinition& view : CatalogueViews()) {
         if (!service.AddView(doc, view.name, view.pattern).ok()) std::abort();

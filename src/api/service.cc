@@ -700,7 +700,10 @@ ServiceStatus Service::UpdateDocument(DocumentId id, DocumentDelta delta,
       full.compacted = true;  // Bump the shape epoch: orphan all memo keys.
       full.touched_nodes = std::max<size_t>(1, shard->tree.size());
       try {
-        shard->cache.ApplyUpdate(full, /*fallback_fraction=*/0.0);
+        // discard: recovery path — the update stats feed telemetry only,
+        // and this re-materialization is accounted as an internal error
+        // below, not as a regular update.
+        (void)shard->cache.ApplyUpdate(full, /*fallback_fraction=*/0.0);
       } catch (const std::exception&) {
         // Even recovery failed (allocation). The stale views remain; the
         // epoch bump below still fences the memo.
@@ -991,7 +994,9 @@ ServiceResult<xpv::Answer> Service::AnswerUnderScope(DocumentId document,
       AnswerCache::Entry entry{answer, delta,
                                access.slot->MemoValidity(answer)};
       if (fill.leader()) {
-        state_->answers.Publish(fill, std::move(entry));
+        // discard: the shared entry is for waiters; this leader serves
+        // the answer it already holds by value.
+        (void)state_->answers.Publish(fill, std::move(entry));
       } else {
         // Stale-refresh path (the probe hit but failed revalidation, so
         // no flight is armed): Insert replaces the stale resident entry —
@@ -1335,8 +1340,10 @@ BatchAnswers Service::AnswerBatchUnderScope(
                   slice_slot->MemoValidity(computed[j].answer)};
               const int f = compute_fill[j];
               if (f >= 0) {
-                state_->answers.Publish(lead_fills[static_cast<size_t>(f)],
-                                        std::move(entry));
+                // discard: the shared entry is for waiters; the batch
+                // already holds this answer in `computed`.
+                (void)state_->answers.Publish(
+                    lead_fills[static_cast<size_t>(f)], std::move(entry));
               } else {
                 state_->answers.Insert(
                     {scope, epoch,
@@ -1401,8 +1408,10 @@ BatchAnswers Service::AnswerBatchUnderScope(
             AnswerCache::Entry entry{recovered[j].answer, recovered[j].delta,
                                      validity};
             if (orphan) {
-              state_->answers.Publish(orphan_fills[j].second,
-                                      std::move(entry));
+              // discard: the shared entry is for waiters; `memo_entries[k]`
+              // was populated above from the same recovered answer.
+              (void)state_->answers.Publish(orphan_fills[j].second,
+                                            std::move(entry));
             } else {
               state_->answers.Insert(
                   {scope, epoch,

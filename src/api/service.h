@@ -94,7 +94,9 @@ struct DocumentId {
   uint32_t generation = 0;
   uint32_t service = 0;
 
-  bool valid() const { return slot >= 0 && generation != 0 && service != 0; }
+  [[nodiscard]] bool valid() const noexcept {
+    return slot >= 0 && generation != 0 && service != 0;
+  }
   friend bool operator==(DocumentId a, DocumentId b) {
     return a.slot == b.slot && a.generation == b.generation &&
            a.service == b.service;
@@ -112,7 +114,7 @@ struct ViewId {
   int32_t slot = -1;
   uint32_t generation = 0;
 
-  bool valid() const {
+  [[nodiscard]] bool valid() const noexcept {
     return document.valid() && slot >= 0 && generation != 0;
   }
   friend bool operator==(ViewId a, ViewId b) {
@@ -140,7 +142,7 @@ class Query {
   Query(const char* xpath)  // NOLINT(runtime/explicit)
       : Query(std::string(xpath == nullptr ? "" : xpath)) {}
 
-  bool holds_pattern() const { return has_pattern_; }
+  [[nodiscard]] bool holds_pattern() const noexcept { return has_pattern_; }
   /// The held pattern. Requires `holds_pattern()`.
   const Pattern& pattern() const { return pattern_; }
   /// The held XPath string. Requires `!holds_pattern()`.
@@ -362,25 +364,25 @@ class Service {
 
   /// Registers an already-built document. Infallible. Handles minted for
   /// previously removed slots carry a fresh generation.
-  DocumentId AddDocument(Tree document);
+  [[nodiscard]] DocumentId AddDocument(Tree document);
 
   /// Parses `xml` and registers the resulting document.
-  ServiceResult<DocumentId> AddDocument(std::string_view xml);
+  [[nodiscard]] ServiceResult<DocumentId> AddDocument(std::string_view xml);
 
   /// Removes the document and all its views. The document handle and
   /// every `ViewId` on it become stale; the slot is recycled for future
   /// `AddDocument` calls with a bumped generation, so the old handles are
   /// rejected with `kStaleHandle` forever.
-  ServiceStatus RemoveDocument(DocumentId id);
+  [[nodiscard]] ServiceStatus RemoveDocument(DocumentId id);
 
   /// Replaces the document behind `id` in place: the *document* handle
   /// stays valid and now serves the new tree; all existing views are
   /// dropped (their `ViewId`s become stale — a view materialized over the
   /// old tree cannot answer for the new one).
-  ServiceStatus ReplaceDocument(DocumentId id, Tree document);
+  [[nodiscard]] ServiceStatus ReplaceDocument(DocumentId id, Tree document);
 
   /// As above, from XML (adds: parse error).
-  ServiceStatus ReplaceDocument(DocumentId id, std::string_view xml);
+  [[nodiscard]] ServiceStatus ReplaceDocument(DocumentId id, std::string_view xml);
 
   /// Applies an ordered list of subtree inserts, subtree deletes and node
   /// relabels to the document *in place*, incrementally maintaining every
@@ -407,41 +409,41 @@ class Service {
   /// (only before mutation begins — an update that started applying runs
   /// to completion), `kInternal` (injected fault or allocation failure
   /// before mutation; document unchanged).
-  ServiceStatus UpdateDocument(DocumentId id, DocumentDelta delta);
+  [[nodiscard]] ServiceStatus UpdateDocument(DocumentId id, DocumentDelta delta);
 
   /// As above with deadline/cancellation. The token is honored up to the
   /// point of no return (validation and admission), then masked: a delta
   /// is applied atomically or not at all, never half-way.
-  ServiceStatus UpdateDocument(DocumentId id, DocumentDelta delta,
+  [[nodiscard]] ServiceStatus UpdateDocument(DocumentId id, DocumentDelta delta,
                                const CallOptions& call);
 
   /// Number of live documents.
-  int num_documents() const;
+  [[nodiscard]] int num_documents() const;
 
   /// The document behind `id`, or null when `id` is stale/unknown.
-  const Tree* document(DocumentId id) const;
+  [[nodiscard]] const Tree* document(DocumentId id) const;
 
   // ---------------------------------------------------------------- views
 
   /// Materializes `pattern` over the document and registers it under
   /// `name` (unique per document; a removed view's name may be reused).
   /// Errors: stale/unknown document, duplicate view name, empty pattern.
-  ServiceResult<ViewId> AddView(DocumentId document, std::string name,
+  [[nodiscard]] ServiceResult<ViewId> AddView(DocumentId document, std::string name,
                                 Pattern pattern);
 
   /// As above, from an XPath expression (adds: parse error with offset).
-  ServiceResult<ViewId> AddView(DocumentId document, std::string name,
+  [[nodiscard]] ServiceResult<ViewId> AddView(DocumentId document, std::string name,
                                 std::string_view xpath);
 
   /// Removes one view: its handle becomes stale, its name and slot are
   /// recycled (the slot with a fresh generation).
-  ServiceStatus RemoveView(ViewId id);
+  [[nodiscard]] ServiceStatus RemoveView(ViewId id);
 
   /// Number of live views on `document` (0 when stale/unknown).
-  int num_views(DocumentId document) const;
+  [[nodiscard]] int num_views(DocumentId document) const;
 
   /// The view definition behind `id`, or null when `id` is stale/unknown.
-  const ViewDefinition* view(ViewId id) const;
+  [[nodiscard]] const ViewDefinition* view(ViewId id) const;
 
   // -------------------------------------------------------------- serving
 
@@ -454,13 +456,13 @@ class Service {
   /// Safe to call concurrently with other shared operations and with
   /// mutations of other documents.
   /// (`xpv::Answer` is qualified because the member name shadows it.)
-  ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query);
+  [[nodiscard]] ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query);
 
   /// As above with per-call deadline/cancellation and admission control:
   /// an expired or cancelled call returns `kDeadlineExceeded`/
   /// `kCancelled`; past the in-flight limit it returns `kOverloaded`
   /// without planning any work.
-  ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query,
+  [[nodiscard]] ServiceResult<xpv::Answer> Answer(DocumentId document, const Query& query,
                                     const CallOptions& call);
 
   /// Answers a cross-document batch through the service-wide planner:
@@ -476,7 +478,7 @@ class Service {
   /// `num_workers` <= 0 means `options.default_workers`. Answers and
   /// serving statistics are identical for every worker count, and
   /// identical with the memo on or off.
-  ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
+  [[nodiscard]] ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
                                           int num_workers = 0);
 
   /// As above with per-call deadline/cancellation and admission control.
@@ -485,13 +487,13 @@ class Service {
   /// deadline expiring mid-batch returns the already-answered items
   /// (bit-identical to an unconstrained run) and fails the rest; the
   /// whole call errors with `kOverloaded` past the in-flight limit.
-  ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
+  [[nodiscard]] ServiceResult<BatchAnswers> AnswerBatch(const std::vector<BatchItem>& items,
                                           const CallOptions& call);
 
   // ------------------------------------------------------------ telemetry
 
   /// Aggregated statistics (computed on demand; safe concurrently).
-  ServiceStats stats() const;
+  [[nodiscard]] ServiceStats stats() const;
 
   /// The shared containment oracle's table, unsynchronized — requires
   /// external quiescence (no concurrent Service calls); tests and
@@ -505,7 +507,7 @@ class Service {
   /// tests. Note: the Service's concurrent answer paths do NOT maintain
   /// the cache's own `stats()` (serving counters live in `stats()` at
   /// the Service level).
-  const ViewCache* cache(DocumentId id) const;
+  [[nodiscard]] const ViewCache* cache(DocumentId id) const;
 
   /// The shared worker pool (null until a parallel batch created it) —
   /// test-only identity check that batches reuse one grow-in-place pool.

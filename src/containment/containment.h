@@ -68,24 +68,24 @@ class ContainmentContext {
   ContainmentContext& operator=(const ContainmentContext&) = delete;
 
   /// Decides P1 ⊑ P2 (Definition 2.2); see `Contained` below.
-  bool Contained(const Pattern& p1, const Pattern& p2,
-                 ContainmentWitness* witness = nullptr,
+  [[nodiscard]] bool Contained(const Pattern& p1, const Pattern& p2,
+                               ContainmentWitness* witness = nullptr,
                  ContainmentStats* stats = nullptr,
                  const ContainmentOptions& options = {});
 
   /// Decides P1 ≡ P2 (containment in both directions).
-  bool Equivalent(const Pattern& p1, const Pattern& p2,
-                  ContainmentStats* stats = nullptr,
+  [[nodiscard]] bool Equivalent(const Pattern& p1, const Pattern& p2,
+                                ContainmentStats* stats = nullptr,
                   const ContainmentOptions& options = {});
 
   /// Decides weak containment P1 ⊑w P2 (Definition 2.3).
-  bool WeaklyContained(const Pattern& p1, const Pattern& p2,
-                       ContainmentWitness* witness = nullptr,
+  [[nodiscard]] bool WeaklyContained(const Pattern& p1, const Pattern& p2,
+                                     ContainmentWitness* witness = nullptr,
                        ContainmentStats* stats = nullptr);
 
   /// Decides weak equivalence P1 ≡w P2.
-  bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
-                        ContainmentStats* stats = nullptr);
+  [[nodiscard]] bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                                      ContainmentStats* stats = nullptr);
 
  private:
   bool CanonicalModelsPass(const Pattern& p1, const Pattern& p2, bool weak,
@@ -127,25 +127,25 @@ class ContainmentContext {
 /// XP^{//,[],*}. coNP-complete in general [14]; implemented as the
 /// canonical-model test with the homomorphism fast path. If `witness` is
 /// non-null and the answer is false, a counterexample is stored.
-bool Contained(const Pattern& p1, const Pattern& p2,
-               ContainmentWitness* witness = nullptr,
+[[nodiscard]] bool Contained(const Pattern& p1, const Pattern& p2,
+                             ContainmentWitness* witness = nullptr,
                ContainmentStats* stats = nullptr,
                const ContainmentOptions& options = {});
 
 /// Decides P1 ≡ P2 (containment in both directions).
-bool Equivalent(const Pattern& p1, const Pattern& p2,
-                ContainmentStats* stats = nullptr,
+[[nodiscard]] bool Equivalent(const Pattern& p1, const Pattern& p2,
+                              ContainmentStats* stats = nullptr,
                 const ContainmentOptions& options = {});
 
 /// Decides weak containment P1 ⊑w P2 (Definition 2.3): P1^w(t) ⊆ P2^w(t)
 /// for all trees. Same canonical-model technique with weak-output checks.
-bool WeaklyContained(const Pattern& p1, const Pattern& p2,
-                     ContainmentWitness* witness = nullptr,
+[[nodiscard]] bool WeaklyContained(const Pattern& p1, const Pattern& p2,
+                                   ContainmentWitness* witness = nullptr,
                      ContainmentStats* stats = nullptr);
 
 /// Decides weak equivalence P1 ≡w P2.
-bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
-                      ContainmentStats* stats = nullptr);
+[[nodiscard]] bool WeaklyEquivalent(const Pattern& p1, const Pattern& p2,
+                                    ContainmentStats* stats = nullptr);
 
 }  // namespace xpv
 

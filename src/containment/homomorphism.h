@@ -20,7 +20,7 @@ namespace xpv {
 /// way (that fragment's PTIME containment uses a different algorithm).
 ///
 /// Runs in O(|from| * |to| * max-degree) time (polynomial).
-bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to);
+[[nodiscard]] bool ExistsPatternHomomorphism(const Pattern& from, const Pattern& to);
 
 }  // namespace xpv
 

@@ -8,7 +8,7 @@ namespace xpv {
 
 /// Returns `p` with the subtree rooted at `n` removed (n must not be the
 /// root and the subtree must not contain the output node).
-Pattern RemoveSubtree(const Pattern& p, NodeId n);
+[[nodiscard]] Pattern RemoveSubtree(const Pattern& p, NodeId n);
 
 /// Removes redundant branches until the pattern is non-redundant in the
 /// sense of [10]: no subtree hanging off the pattern can be deleted while
@@ -20,7 +20,7 @@ Pattern RemoveSubtree(const Pattern& p, NodeId n);
 /// patterns are query-sized. Note [10] shows non-redundancy does not
 /// necessarily coincide with minimality in XP^{//,[],*}; this function
 /// implements non-redundancy only.
-Pattern RemoveRedundantBranches(const Pattern& p);
+[[nodiscard]] Pattern RemoveRedundantBranches(const Pattern& p);
 
 }  // namespace xpv
 

@@ -65,18 +65,18 @@ class ContainmentOracle {
   ContainmentOracle& operator=(const ContainmentOracle&) = delete;
 
   /// Memoized Contained(p1, p2).
-  bool Contained(const Pattern& p1, const Pattern& p2);
+  [[nodiscard]] bool Contained(const Pattern& p1, const Pattern& p2);
 
   /// Memoized equivalence. Both directions live in one cache entry, and
   /// the second direction is only computed when the first holds.
-  bool Equivalent(const Pattern& p1, const Pattern& p2);
+  [[nodiscard]] bool Equivalent(const Pattern& p1, const Pattern& p2);
 
   /// Batch interface: answers `out[i] = pairs[i].first ⊑ pairs[i].second`.
   /// Fingerprints are computed once per distinct pattern object in the
   /// batch, and duplicate pairs are answered from the entry filled by
   /// their first occurrence. Pointers must be non-null and alive for the
   /// duration of the call.
-  std::vector<char> ContainedMany(
+  [[nodiscard]] std::vector<char> ContainedMany(
       const std::vector<std::pair<const Pattern*, const Pattern*>>& pairs);
 
   /// Installs a read-only fallback probed on local misses (not owned; may
@@ -241,8 +241,9 @@ class SynchronizedOracle {
   /// the flight intact for other waiters). When a leader unwinds without
   /// publishing, the waiters re-join and exactly one is promoted to
   /// re-run the DP — one dead leader costs one retry, not a stampede.
-  bool ContainedSingleFlight(uint64_t fp1, uint64_t fp2, const Pattern& p1,
-                             const Pattern& p2);
+  [[nodiscard]] bool ContainedSingleFlight(uint64_t fp1, uint64_t fp2,
+                                           const Pattern& p1,
+                                           const Pattern& p2);
 
   uint64_t single_flight_leads() const { return flights_.leads(); }
   uint64_t single_flight_joins() const { return flights_.joins(); }

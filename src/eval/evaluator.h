@@ -316,13 +316,14 @@ std::vector<NodeId> Eval(const Pattern& p, const Tree& t,
 std::vector<NodeId> EvalWeak(const Pattern& p, const Tree& t);
 
 /// True if `t` is a model of `p` (some embedding of p in t exists).
-bool IsModel(const Pattern& p, const Tree& t);
+[[nodiscard]] bool IsModel(const Pattern& p, const Tree& t);
 
 /// True if o ∈ P(t).
-bool ProducesOutput(const Pattern& p, const Tree& t, NodeId o);
+[[nodiscard]] bool ProducesOutput(const Pattern& p, const Tree& t, NodeId o);
 
 /// True if o ∈ P^w(t).
-bool WeaklyProducesOutput(const Pattern& p, const Tree& t, NodeId o);
+[[nodiscard]] bool WeaklyProducesOutput(const Pattern& p, const Tree& t,
+                                        NodeId o);
 
 }  // namespace xpv
 

@@ -40,7 +40,7 @@ class CanonicalModelEnumerator {
                            LabelId interior_label = LabelStore::kBottom);
 
   /// Produces the next canonical model. Returns false when exhausted.
-  bool Next(CanonicalModel* out);
+  [[nodiscard]] bool Next(CanonicalModel* out);
 
   /// Total number of models this enumerator yields.
   uint64_t TotalCount() const;

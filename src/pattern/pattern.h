@@ -46,7 +46,7 @@ class Pattern {
   /// Rewinds to the empty pattern Υ, banking buffers likewise.
   void ResetToEmpty();
 
-  bool IsEmpty() const { return labels_.empty(); }
+  [[nodiscard]] bool IsEmpty() const noexcept { return labels_.empty(); }
   int size() const { return static_cast<int>(labels_.size()); }
 
   NodeId root() const { return 0; }
@@ -85,7 +85,7 @@ class Pattern {
   /// reordering and including the output designation. Two patterns are
   /// isomorphic (in the sense of [10]: label-, edge- and output-preserving
   /// bijection) iff their encodings are equal.
-  std::string CanonicalEncoding() const;
+  [[nodiscard]] std::string CanonicalEncoding() const;
 
   /// 64-bit structural fingerprint of the canonical encoding: computed by
   /// hashing (label, incoming edge type, output flag, sorted child
@@ -93,7 +93,7 @@ class Pattern {
   /// Isomorphic patterns always collide; distinct patterns collide with
   /// probability ~2^-64. The containment oracle keys its cache on pairs of
   /// these fingerprints instead of pairs of encoding strings.
-  uint64_t CanonicalFingerprint() const;
+  [[nodiscard]] uint64_t CanonicalFingerprint() const;
 
   /// Multi-line ASCII rendering (output node marked with '>'), for
   /// debugging and the example binaries. Descendant edges are drawn '//'.

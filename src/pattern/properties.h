@@ -64,10 +64,10 @@ std::set<LabelId> SigmaLabels(const Pattern& p);
 
 /// True if the subtree of `p` rooted at `n` is linear (forms a path: every
 /// node has at most one child). Used by the GNF/* normal form (Def 5.3).
-bool IsLinearSubtree(const Pattern& p, NodeId n);
+[[nodiscard]] bool IsLinearSubtree(const Pattern& p, NodeId n);
 
 /// True if the whole pattern is linear.
-bool IsLinear(const Pattern& p);
+[[nodiscard]] bool IsLinear(const Pattern& p);
 
 /// The "star length" of the pattern: the maximal number of consecutive
 /// *-labeled nodes connected by child edges along any downward path. This
@@ -79,11 +79,11 @@ int StarChainLength(const Pattern& p);
 int CountDescendantEdges(const Pattern& p);
 
 /// True if `p` uses no wildcard labels (fragment XP^{//,[]}).
-bool HasNoWildcard(const Pattern& p);
+[[nodiscard]] bool HasNoWildcard(const Pattern& p);
 /// True if `p` uses no descendant edges (fragment XP^{/,[],*}).
-bool HasNoDescendantEdge(const Pattern& p);
+[[nodiscard]] bool HasNoDescendantEdge(const Pattern& p);
 /// True if `p` has no branching (fragment XP^{//,*}; same as IsLinear).
-bool HasNoBranch(const Pattern& p);
+[[nodiscard]] bool HasNoBranch(const Pattern& p);
 
 /// True if `p` lies in one of the sub-fragments of XP^{//,[],*} for which
 /// containment is characterized by homomorphism existence: XP^{//,[]} (no
@@ -94,7 +94,7 @@ bool HasNoBranch(const Pattern& p);
 /// homomorphisms — the classic equivalent pair a/*//b ≡ a//*/b is linear
 /// and admits no homomorphism in either direction — so linear patterns are
 /// deliberately excluded here.
-bool InHomomorphismFragment(const Pattern& p);
+[[nodiscard]] bool InHomomorphismFragment(const Pattern& p);
 
 }  // namespace xpv
 

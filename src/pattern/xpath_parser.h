@@ -60,11 +60,12 @@ struct XPathParseError {
 /// On failure the error carries the byte offset of the first offending
 /// character; the `xpv::Service` layer surfaces it (with caret context)
 /// through `ServiceError`.
-Result<Pattern, XPathParseError> ParseXPathDetailed(std::string_view input);
+[[nodiscard]] Result<Pattern, XPathParseError> ParseXPathDetailed(
+    std::string_view input);
 
 /// String-error convenience wrapper around `ParseXPathDetailed`: the error
 /// is `XPathParseError::Format(input)` (one-line summary + caret context).
-Result<Pattern> ParseXPath(std::string_view input);
+[[nodiscard]] Result<Pattern> ParseXPath(std::string_view input);
 
 /// Convenience for tests and examples: parses `input` and aborts on error.
 Pattern MustParseXPath(std::string_view input);

@@ -40,12 +40,12 @@ struct BaselineResult {
 ///
 /// Outside these cases `applicable` is false and the caller should use
 /// `DecideRewrite`. Runs in polynomial time.
-BaselineResult HomomorphismBaselineRewrite(const Pattern& p, const Pattern& v);
+[[nodiscard]] BaselineResult HomomorphismBaselineRewrite(const Pattern& p, const Pattern& v);
 
 /// Homomorphism-based equivalence (both-direction homomorphism existence).
 /// Complete only on the sub-fragments above; used by the baseline and by
 /// the C4 bench.
-bool HomEquivalent(const Pattern& a, const Pattern& b);
+[[nodiscard]] bool HomEquivalent(const Pattern& a, const Pattern& b);
 
 }  // namespace xpv
 

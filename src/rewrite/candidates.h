@@ -24,7 +24,7 @@ struct NaturalCandidates {
 /// Builds the natural candidates. Runs in O(|P|) — this is the linear-time
 /// construction claimed in Section 1 and benchmarked by
 /// `bench_candidates_linear`. Requires 0 <= view_depth <= depth(p).
-NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth);
+[[nodiscard]] NaturalCandidates MakeNaturalCandidates(const Pattern& p, int view_depth);
 
 /// A (query, view) candidate set built once and shared: the natural
 /// candidates plus their compositions with the view — everything the
@@ -46,7 +46,7 @@ struct CandidateBundle {
 /// `view_depth`. The caller must have checked
 /// `ViolatesBasicNecessaryConditions(p, v)` already (bundles only exist
 /// for admissible pairs; `DecideRewrite` relies on this to skip step 1).
-CandidateBundle MakeCandidateBundle(const Pattern& p, const Pattern& v,
+[[nodiscard]] CandidateBundle MakeCandidateBundle(const Pattern& p, const Pattern& v,
                                     int view_depth);
 
 /// In-place variant: rebuilds `*out` (all four patterns, via the algebra
@@ -71,7 +71,7 @@ class BundlePool {
   void Rewind() { used_ = 0; }
 
   /// Builds the (p, v) bundle in recycled storage. Valid until `Rewind`.
-  const CandidateBundle& Build(const Pattern& p, const Pattern& v,
+  [[nodiscard]] const CandidateBundle& Build(const Pattern& p, const Pattern& v,
                                int view_depth);
 
   size_t capacity() const { return pool_.size(); }

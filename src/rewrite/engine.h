@@ -80,7 +80,7 @@ struct RewriteOptions {
 /// asserts that the caller already verified the necessary conditions
 /// (`ViolatesBasicNecessaryConditions` — e.g. through the view-pruning
 /// index), so step 1 is skipped.
-RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
+[[nodiscard]] RewriteResult DecideRewrite(const Pattern& p, const Pattern& v,
                             const RewriteOptions& options = {},
                             const CandidateBundle* precomputed = nullptr);
 

@@ -14,7 +14,7 @@ namespace xpv {
 /// Because stability is approximated by sufficient conditions, this test is
 /// itself sufficient: `true` guarantees membership, `false` is inconclusive
 /// (conservative in the safe direction for Theorem 5.4).
-bool IsInGeneralizedNormalForm(const Pattern& q);
+[[nodiscard]] bool IsInGeneralizedNormalForm(const Pattern& q);
 
 }  // namespace xpv
 

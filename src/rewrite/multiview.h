@@ -49,7 +49,7 @@ struct MultiViewOptions {
 /// any chain is equivalent to some single "virtual view" — the value of
 /// chaining is that each W is available from already-materialized
 /// results.
-MultiViewRewriteResult DecideRewriteMultiView(
+[[nodiscard]] MultiViewRewriteResult DecideRewriteMultiView(
     const Pattern& p, const std::vector<Pattern>& views,
     const MultiViewOptions& options = {});
 

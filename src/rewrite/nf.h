@@ -23,7 +23,7 @@ namespace xpv {
 /// strict: GNF/* additionally accepts stability by a fresh branch label
 /// (Prop 4.1, case 3) and ignores branch nodes entirely; the ablation
 /// bench `bench_gnf_vs_nf` quantifies the coverage gap the paper claims.
-bool IsInNormalFormNfStar(const Pattern& q);
+[[nodiscard]] bool IsInNormalFormNfStar(const Pattern& q);
 
 }  // namespace xpv
 

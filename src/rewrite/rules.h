@@ -70,10 +70,10 @@ struct ConditionsReport {
 /// kind is applied at most once per chain). Requires nonempty p, v with
 /// depth(v) <= depth(p); `ViolatesBasicNecessaryConditions` must be checked
 /// by the caller first for the k > d case.
-ConditionsReport EvaluateConditions(const Pattern& p, const Pattern& v);
+[[nodiscard]] ConditionsReport EvaluateConditions(const Pattern& p, const Pattern& v);
 
 /// Checks the depth and selection-label necessary conditions on (p, v).
-std::optional<NecessaryViolation> ViolatesBasicNecessaryConditions(
+[[nodiscard]] std::optional<NecessaryViolation> ViolatesBasicNecessaryConditions(
     const Pattern& p, const Pattern& v);
 
 }  // namespace xpv

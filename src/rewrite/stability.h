@@ -16,7 +16,7 @@ namespace xpv {
 ///   3. Q has depth >= 1 and contains a Σ-label that does not occur in Q≥1
 ///      (i.e. some branch hanging off the root carries a label seen nowhere
 ///      below the 1-node).
-bool IsStableSufficient(const Pattern& q);
+[[nodiscard]] bool IsStableSufficient(const Pattern& q);
 
 }  // namespace xpv
 

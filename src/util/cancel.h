@@ -22,7 +22,9 @@ class CancelledError : public std::exception {
       : deadline_exceeded_(deadline_exceeded) {}
 
   /// True when a deadline ran out, false for an explicit `Cancel()`.
-  bool deadline_exceeded() const { return deadline_exceeded_; }
+  [[nodiscard]] bool deadline_exceeded() const noexcept {
+    return deadline_exceeded_;
+  }
 
   const char* what() const noexcept override {
     return deadline_exceeded_ ? "deadline exceeded" : "cancelled";
@@ -68,14 +70,14 @@ class CancelToken {
   CancelToken() = default;
 
   /// A cancellable token with no deadline (expires only via `Cancel`).
-  static CancelToken Cancellable() {
+  [[nodiscard]] static CancelToken Cancellable() {
     CancelToken t;
     t.state_ = std::make_shared<State>();
     return t;
   }
 
   /// A token that expires at `deadline` (and via `Cancel`).
-  static CancelToken WithDeadline(
+  [[nodiscard]] static CancelToken WithDeadline(
       std::chrono::steady_clock::time_point deadline) {
     CancelToken t;
     t.state_ = std::make_shared<State>();
@@ -87,14 +89,15 @@ class CancelToken {
   /// A token that expires at `deadline` OR when `*this` expires — the
   /// facade combines a caller's explicit cancel handle with the per-call
   /// deadline through this. Requires `*this` to be underived (one level).
-  CancelToken Derived(std::chrono::steady_clock::time_point deadline) const {
+  [[nodiscard]] CancelToken Derived(
+      std::chrono::steady_clock::time_point deadline) const {
     CancelToken t = WithDeadline(deadline);
     t.state_->parent = state_;
     return t;
   }
 
   /// False for the null token.
-  bool valid() const { return state_ != nullptr; }
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
 
   /// Signals explicit cancellation. Thread-safe; no-op on a null token.
   /// Cooperative: in-flight work observes it at its next poll.
@@ -104,19 +107,20 @@ class CancelToken {
     }
   }
 
-  bool cancelled() const {
+  [[nodiscard]] bool cancelled() const noexcept {
     return state_ != nullptr &&
            state_->cancelled.load(std::memory_order_relaxed);
   }
 
-  std::optional<std::chrono::steady_clock::time_point> deadline() const {
+  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point>
+  deadline() const {
     if (state_ == nullptr || !state_->has_deadline) return std::nullopt;
     return state_->deadline;
   }
 
   /// True when cancelled or past the deadline (of this token or its
   /// parent). Reads the clock only when a deadline is set.
-  bool Expired() const {
+  [[nodiscard]] bool Expired() const {
     bool unused;
     return state_ != nullptr && state_->Expired(&unused);
   }
@@ -160,7 +164,7 @@ class CancelScope {
   CancelScope& operator=(const CancelScope&) = delete;
 
   /// The thread's current token; a null token when no scope is active.
-  static CancelToken Current() {
+  [[nodiscard]] static CancelToken Current() {
     return internal::tls_cancel_token == nullptr ? CancelToken()
                                                  : *internal::tls_cancel_token;
   }

@@ -26,7 +26,7 @@ class MemoryBudget {
   MemoryBudget& operator=(const MemoryBudget&) = delete;
 
   /// True when a limit is configured.
-  bool limited() const { return limit_ != 0; }
+  [[nodiscard]] bool limited() const noexcept { return limit_ != 0; }
   size_t limit() const { return limit_; }
 
   void Charge(size_t bytes) {
@@ -41,12 +41,14 @@ class MemoryBudget {
 
   /// True when a limit is set and usage has reached it — the signal the
   /// degradation ladder fires on.
-  bool OverLimit() const { return limited() && used() >= limit_; }
+  [[nodiscard]] bool OverLimit() const noexcept {
+    return limited() && used() >= limit_;
+  }
 
   /// True when usage has fallen below `fraction` of the limit — the
   /// hysteresis signal for undoing reversible degradation steps (memo
   /// admission resumes below the low watermark, not at limit-minus-one).
-  bool Below(double fraction) const {
+  [[nodiscard]] bool Below(double fraction) const noexcept {
     return !limited() ||
            used() < static_cast<size_t>(static_cast<double>(limit_) * fraction);
   }

@@ -18,8 +18,15 @@ namespace xpv {
 /// layers substitute structured error types (`XPathParseError`,
 /// `ServiceError`). The error is boxed internally so `Result<T, T>` and
 /// `Result<std::string>` stay unambiguous.
+///
+/// The class itself is `[[nodiscard]]`: a call that returns any `Result`
+/// instantiation (including the `Status`/`ServiceResult`/`ServiceStatus`
+/// aliases) and drops the value is a compile error under the project's
+/// `-Werror=unused-result`. A deliberate discard must be spelled
+/// `(void)call()` with a `// discard:` justification on the same line —
+/// `tools/check_contracts.py` rejects unexplained casts.
 template <typename T, typename E = std::string>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : storage_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -30,14 +37,14 @@ class Result {
   }
 
   /// True if this result holds a value.
-  bool ok() const { return storage_.index() == 0; }
+  [[nodiscard]] bool ok() const noexcept { return storage_.index() == 0; }
 
   /// The held value. Requires `ok()`.
-  const T& value() const {
+  [[nodiscard]] const T& value() const {
     assert(ok());
     return std::get<0>(storage_);
   }
-  T& value() {
+  [[nodiscard]] T& value() {
     assert(ok());
     return std::get<0>(storage_);
   }
@@ -46,21 +53,21 @@ class Result {
   /// `T&&` return made it easy to bind a reference to the spent
   /// internals). Requires `ok()`; the result is left holding a
   /// moved-from value.
-  T take() {
+  [[nodiscard]] T take() {
     assert(ok());
     return std::move(std::get<0>(storage_));
   }
 
   /// The held value, or `fallback` when this result is an error.
-  T value_or(T fallback) const& {
+  [[nodiscard]] T value_or(T fallback) const& {
     return ok() ? std::get<0>(storage_) : std::move(fallback);
   }
-  T value_or(T fallback) && {
+  [[nodiscard]] T value_or(T fallback) && {
     return ok() ? std::move(std::get<0>(storage_)) : std::move(fallback);
   }
 
   /// The error. Requires `!ok()`.
-  const E& error() const {
+  [[nodiscard]] const E& error() const {
     assert(!ok());
     return std::get<1>(storage_).error;
   }
@@ -76,9 +83,10 @@ class Result {
 
 /// The `Result<void, E>` specialization: success carries no value, so this
 /// is a plain "did it work" status for mutation APIs. Default-constructed
-/// means success.
+/// means success. `[[nodiscard]]` like the primary template: a dropped
+/// status is a dropped error.
 template <typename E>
-class Result<void, E> {
+class [[nodiscard]] Result<void, E> {
  public:
   /// Constructs a successful status.
   Result() = default;
@@ -86,10 +94,10 @@ class Result<void, E> {
   /// Constructs an error status carrying `error`.
   static Result Error(E error) { return Result(std::move(error)); }
 
-  bool ok() const { return !error_.has_value(); }
+  [[nodiscard]] bool ok() const noexcept { return !error_.has_value(); }
 
   /// The error. Requires `!ok()`.
-  const E& error() const {
+  [[nodiscard]] const E& error() const {
     assert(!ok());
     return *error_;
   }

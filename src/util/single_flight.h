@@ -79,8 +79,8 @@ class SingleFlight {
     ~Ticket() { Release(); }
 
     /// False for a default-constructed / moved-from / probe-hit ticket.
-    bool valid() const { return flight_ != nullptr; }
-    bool leader() const { return leader_; }
+    [[nodiscard]] bool valid() const noexcept { return flight_ != nullptr; }
+    [[nodiscard]] bool leader() const noexcept { return leader_; }
 
    private:
     friend class SingleFlight;
@@ -108,7 +108,8 @@ class SingleFlight {
   /// the registry lock only when this thread is about to lead; an engaged
   /// return short-circuits the flight entirely.
   template <typename ProbeFn>
-  JoinResult Join(const Key& key, ProbeFn&& probe) XPV_EXCLUDES(mu_) {
+  [[nodiscard]] JoinResult Join(const Key& key, ProbeFn&& probe)
+      XPV_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     auto it = flights_.find(key);
     if (it != flights_.end()) {
@@ -134,7 +135,7 @@ class SingleFlight {
     return r;
   }
 
-  JoinResult Join(const Key& key) {
+  [[nodiscard]] JoinResult Join(const Key& key) {
     return Join(key, [] { return std::optional<Value>(); });
   }
 
@@ -154,7 +155,7 @@ class SingleFlight {
 
   /// Follower only: blocks until the leader publishes (returns the value)
   /// or abandons (returns nullopt — compute for yourself).
-  std::optional<Value> Wait(Ticket& ticket) {
+  [[nodiscard]] std::optional<Value> Wait(Ticket& ticket) {
     MutexLock fl(ticket.flight_->m);
     while (ticket.flight_->state == 0) {
       ticket.flight_->cv.Wait(ticket.flight_->m);
@@ -171,7 +172,8 @@ class SingleFlight {
   /// (non-leader tickets never abandon). The latency is bounded by the
   /// poll period, not by the leader's computation.
   template <typename PollFn>
-  std::optional<Value> WaitPolling(Ticket& ticket, PollFn&& poll) {
+  [[nodiscard]] std::optional<Value> WaitPolling(Ticket& ticket,
+                                                 PollFn&& poll) {
     MutexLock fl(ticket.flight_->m);
     while (ticket.flight_->state == 0) {
       if (!ticket.flight_->cv.WaitFor(ticket.flight_->m,

@@ -127,7 +127,7 @@ class XPV_CAPABILITY("mutex") Mutex {
 
   void Lock() XPV_ACQUIRE() { m_.lock(); }
   void Unlock() XPV_RELEASE() { m_.unlock(); }
-  bool TryLock() XPV_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  [[nodiscard]] bool TryLock() XPV_TRY_ACQUIRE(true) { return m_.try_lock(); }
 
   /// Tells the analysis this thread holds the mutex (no runtime check;
   /// the std primitives expose no ownership query). Used at the seam
@@ -152,11 +152,11 @@ class XPV_CAPABILITY("shared_mutex") SharedMutex {
 
   void Lock() XPV_ACQUIRE() { m_.lock(); }
   void Unlock() XPV_RELEASE() { m_.unlock(); }
-  bool TryLock() XPV_TRY_ACQUIRE(true) { return m_.try_lock(); }
+  [[nodiscard]] bool TryLock() XPV_TRY_ACQUIRE(true) { return m_.try_lock(); }
 
   void LockShared() XPV_ACQUIRE_SHARED() { m_.lock_shared(); }
   void UnlockShared() XPV_RELEASE_SHARED() { m_.unlock_shared(); }
-  bool TryLockShared() XPV_TRY_ACQUIRE_SHARED(true) {
+  [[nodiscard]] bool TryLockShared() XPV_TRY_ACQUIRE_SHARED(true) {
     return m_.try_lock_shared();
   }
 
@@ -319,7 +319,7 @@ class CondVar {
   /// Timed wait; false on timeout. Spurious wakeups return true, so
   /// callers loop on their condition either way.
   template <typename Rep, typename Period>
-  bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
+  [[nodiscard]] bool WaitFor(Mutex& mu, std::chrono::duration<Rep, Period> timeout)
       XPV_REQUIRES(mu) {
     std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
     const std::cv_status status = cv_.wait_for(lock, timeout);

@@ -58,7 +58,7 @@ class ThreadPool {
   /// Bounded enqueue: false when the queue bound is configured and
   /// reached (the task is NOT consumed — the caller still owns running
   /// or shedding it). Rejections are counted in `queue_rejections()`.
-  bool TrySubmit(std::function<void()>& task);
+  [[nodiscard]] bool TrySubmit(std::function<void()>& task);
 
   /// Blocks until all submitted tasks have finished — including tasks
   /// submitted by OTHER callers sharing this pool. Single-owner batches
@@ -102,7 +102,7 @@ class ThreadPool {
     void Wait();
 
     /// After `Wait`: true when no task body threw.
-    bool ok() const;
+    [[nodiscard]] bool ok() const;
 
     /// After `Wait`: rethrows the first captured task exception, if any —
     /// the group's failure surfaces on the awaiting thread with its
@@ -111,7 +111,7 @@ class ThreadPool {
 
     /// Tasks whose bodies were skipped because the group was cancelled
     /// (or had already failed) before they ran.
-    uint64_t skipped() const;
+    [[nodiscard]] uint64_t skipped() const;
 
    private:
     /// Runs one task body under the group's protocol (skip / capture).

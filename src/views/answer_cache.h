@@ -167,7 +167,7 @@ class AnswerCache {
   /// ownership — a hit is a pointer copy, not a deep copy of the answer
   /// vectors, and the entry stays valid across a concurrent eviction)
   /// and marks the slot referenced for the eviction clock. Null on miss.
-  std::shared_ptr<const Entry> Lookup(const Key& key) const;
+  [[nodiscard]] std::shared_ptr<const Entry> Lookup(const Key& key) const;
 
   /// Publishes a computed entry (exclusive lock), evicting cold entries
   /// when the table is full. A present key keeps its existing entry when
@@ -196,11 +196,11 @@ class AnswerCache {
 
     /// Engaged when the probe answered immediately (memo entry resident,
     /// or published by a concurrent leader during the arm).
-    bool hit() const { return entry_ != nullptr; }
+    [[nodiscard]] bool hit() const noexcept { return entry_ != nullptr; }
     const std::shared_ptr<const Entry>& entry() const { return entry_; }
 
     /// True when this caller must compute and `Publish`.
-    bool leader() const { return ticket_.leader(); }
+    [[nodiscard]] bool leader() const noexcept { return ticket_.leader(); }
 
     /// Follower only: blocks until a leader publishes and returns its
     /// entry. The wait is deadline-aware (the caller's installed
@@ -211,7 +211,7 @@ class AnswerCache {
     /// that caller (alone) computes and `Publish`es. The rest keep
     /// waiting on the new flight. A dead leader therefore costs one
     /// retry, not a thundering herd.
-    std::shared_ptr<const Entry> Wait();
+    [[nodiscard]] std::shared_ptr<const Entry> Wait();
 
    private:
     friend class AnswerCache;
@@ -229,13 +229,13 @@ class AnswerCache {
   /// in-flight fill for `key`. The race window between the probe and the
   /// arm is closed by re-probing under the flight registry lock — a
   /// caller can never lead a key whose entry is already published.
-  Fill BeginFill(const Key& key);
+  [[nodiscard]] Fill BeginFill(const Key& key);
 
   /// Leader only: publishes the computed entry — inserts it into the
   /// table (subject to doorkeeper admission) and resolves the flight,
   /// waking every waiter with the shared entry. Returns the shared entry
   /// so the leader serves from the same allocation.
-  std::shared_ptr<const Entry> Publish(Fill& fill, Entry entry);
+  [[nodiscard]] std::shared_ptr<const Entry> Publish(Fill& fill, Entry entry);
 
   /// Halves residency (exclusive lock): runs the second-chance sweep
   /// until at most half the entries remain. The memory ladder's first

@@ -459,7 +459,9 @@ std::vector<PlannedAnswer> ViewCache::ExecutePlan(
       bundle_of[static_cast<size_t>(ii - begin)] = &bundle;
       AppendBundlePairs(bundle, *item.pattern, &pairs);
     }
-    oracle->ContainedMany(pairs);
+    // discard: batch call warms the oracle's memo — the per-pair answers
+    // are re-read from it by the DecideRewrite calls below.
+    (void)oracle->ContainedMany(pairs);
     // Rewrite decisions first, answer production batched afterwards: the
     // chunk's hits are grouped per view so each view runs ONE anchored DP
     // for all its rewritings (`ApplyMany`), and the misses share packed

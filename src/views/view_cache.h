@@ -60,12 +60,12 @@ class MaterializedView {
   const std::vector<NodeId>& outputs() const { return outputs_; }
 
   /// Deep copies of the result subtrees.
-  std::vector<Tree> MaterializeCopies() const;
+  [[nodiscard]] std::vector<Tree> MaterializeCopies() const;
 
   /// Applies a rewriting `r` to the materialized result: the union over
   /// o in outputs() of r(doc^o), as sorted node ids of `doc`. By
   /// Proposition 2.4 this equals (r ∘ V)(doc).
-  std::vector<NodeId> Apply(const Pattern& r) const;
+  [[nodiscard]] std::vector<NodeId> Apply(const Pattern& r) const;
 
   /// Estimated heap bytes held by this view (stored output ids, name,
   /// definition pattern) — what the owning cache charges against the
@@ -79,7 +79,7 @@ class MaterializedView {
   /// equals `Apply(*rs[i])` exactly (empty rewritings yield empty
   /// results). The batched-answering path groups a cold batch's hits per
   /// view through this.
-  std::vector<std::vector<NodeId>> ApplyMany(
+  [[nodiscard]] std::vector<std::vector<NodeId>> ApplyMany(
       const std::vector<const Pattern*>& rs) const;
 
   // ------------------------------------------------- incremental updates
@@ -98,7 +98,7 @@ class MaterializedView {
   /// skipped delta). Returns true on the incremental path, false when the
   /// full pass ran. Afterwards `outputs()` equals a fresh evaluation of
   /// the definition over the mutated document, bit for bit.
-  bool ApplyUpdate(const TreeDeltaReport& report);
+  [[nodiscard]] bool ApplyUpdate(const TreeDeltaReport& report);
 
   /// Rewrites the stored output ids through a compaction remap. Only
   /// valid on views the delta provably did not affect (every output
@@ -255,8 +255,8 @@ class ViewCache {
   /// shape `epoch()` too when the delta compacted node ids, which
   /// invalidates every stored id). Not thread-safe — the facade holds the
   /// document stripe exclusively.
-  ViewUpdateStats ApplyUpdate(const TreeDeltaReport& report,
-                              double fallback_fraction);
+  [[nodiscard]] ViewUpdateStats ApplyUpdate(const TreeDeltaReport& report,
+                                            double fallback_fraction);
 
   /// The view-set epoch: a monotonic counter bumped by every `AddView`,
   /// `ReplaceView` and `RemoveView` — and by every `ApplyUpdate` whose
@@ -291,7 +291,7 @@ class ViewCache {
   const std::deque<MaterializedView>& views() const { return views_; }
 
   /// Answers `query` (see CacheAnswer).
-  CacheAnswer Answer(const Pattern& query);
+  [[nodiscard]] CacheAnswer Answer(const Pattern& query);
 
   /// Answers a batch of queries; the result (answers and `stats()` deltas)
   /// is identical to looping `Answer`, for every worker count.
@@ -312,9 +312,9 @@ class ViewCache {
   /// count need not match `num_workers` — the chunk/shard partition, and
   /// hence the answers and statistics, depend only on `num_workers`.
   /// When null, the cache lazily creates a private pool.
-  std::vector<CacheAnswer> AnswerMany(const std::vector<Pattern>& queries,
-                                      int num_workers = 1,
-                                      ThreadPool* pool = nullptr);
+  [[nodiscard]] std::vector<CacheAnswer> AnswerMany(
+      const std::vector<Pattern>& queries, int num_workers = 1,
+      ThreadPool* pool = nullptr);
 
   // ------------------------------------------------- concurrent serving
   //
@@ -329,14 +329,15 @@ class ViewCache {
   /// Answers one query through `oracle` (read: a per-call shard the caller
   /// later absorbs into its shared oracle). Adds the query/hit/unknown
   /// counts of this one scan onto `*stats`.
-  CacheAnswer AnswerThrough(const Pattern& query, ContainmentOracle* oracle,
-                            CacheStats* stats) const;
+  [[nodiscard]] CacheAnswer AnswerThrough(const Pattern& query,
+                                          ContainmentOracle* oracle,
+                                          CacheStats* stats) const;
 
   /// Answers one query via a private shard attached to `shared`
   /// (read-through under the shared lock, absorbed back afterwards).
-  CacheAnswer AnswerConcurrent(const Pattern& query,
-                               SynchronizedOracle* shared,
-                               CacheStats* stats) const;
+  [[nodiscard]] CacheAnswer AnswerConcurrent(const Pattern& query,
+                                             SynchronizedOracle* shared,
+                                             CacheStats* stats) const;
 
   /// The batched pipeline against a synchronized shared oracle: worker
   /// shards read through `shared` under its shared lock and are absorbed
@@ -344,7 +345,7 @@ class ViewCache {
   /// `num_workers` > 1 (the Service owns pool creation); when null the
   /// batch degrades to one worker. Answers and statistics are identical
   /// to `AnswerMany` for every worker count.
-  std::vector<CacheAnswer> AnswerManyConcurrent(
+  [[nodiscard]] std::vector<CacheAnswer> AnswerManyConcurrent(
       const std::vector<Pattern>& queries, int num_workers, ThreadPool* pool,
       SynchronizedOracle* shared, CacheStats* stats) const;
 
@@ -357,7 +358,7 @@ class ViewCache {
   /// Same locking contract and worker semantics as `AnswerManyConcurrent`
   /// — for identical inputs the answers and deltas are identical to it
   /// for every worker count.
-  std::vector<PlannedAnswer> AnswerPlannedConcurrent(
+  [[nodiscard]] std::vector<PlannedAnswer> AnswerPlannedConcurrent(
       const std::vector<PlannedQuery>& queries, int num_workers,
       ThreadPool* pool, SynchronizedOracle* shared) const;
 

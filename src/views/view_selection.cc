@@ -71,7 +71,9 @@ std::vector<CandidateView> EnumerateCandidateViews(
       bundle_of[qi] = &bundle;
       AppendBundlePairs(bundle, query.pattern, &pairs);
     }
-    oracle->ContainedMany(pairs);
+    // discard: batch call warms the oracle's memo — the per-pair answers
+    // are re-read from it by the DecideRewrite calls below.
+    (void)oracle->ContainedMany(pairs);
 
     for (int qi = 0; qi < static_cast<int>(workload.size()); ++qi) {
       const WorkloadQuery& query = workload[static_cast<size_t>(qi)];

@@ -112,7 +112,7 @@ class Tree {
   int Depth(NodeId n) const;
 
   /// True if `anc` is an ancestor of `n` (every node is its own ancestor).
-  bool IsAncestorOrSelf(NodeId anc, NodeId n) const;
+  [[nodiscard]] bool IsAncestorOrSelf(NodeId anc, NodeId n) const;
 
   /// Height of the subtree rooted at `n`: the maximal number of edges on a
   /// path from `n` to a leaf below it.
@@ -130,7 +130,7 @@ class Tree {
   void TruncateTo(int new_size);
 
   /// Deep-copies the subtree rooted at `n` into a standalone tree.
-  Tree ExtractSubtree(NodeId n) const;
+  [[nodiscard]] Tree ExtractSubtree(NodeId n) const;
 
   /// Grafts a deep copy of `sub` (whole tree) as a new child of `parent`.
   /// Returns the id of the copied root.
@@ -140,19 +140,20 @@ class Tree {
   /// every op must name a node inside the (evolving) id space and no
   /// delete may remove the root. On failure returns false and, when `why`
   /// is non-null, describes the first offending op.
-  bool ValidateDelta(const DocumentDelta& delta, std::string* why) const;
+  [[nodiscard]] bool ValidateDelta(const DocumentDelta& delta,
+                                   std::string* why) const;
 
   /// Applies `delta` in place and reports the affected region. Requires
   /// `ValidateDelta(delta)`. Inserts append ids, deletes mark and then
   /// compact once at the end (preserving the relative order of survivors,
   /// so the topological id invariant holds throughout); when nothing is
   /// deleted, every pre-existing node keeps its id.
-  TreeDeltaReport ApplyDelta(const DocumentDelta& delta);
+  [[nodiscard]] TreeDeltaReport ApplyDelta(const DocumentDelta& delta);
 
   /// A canonical textual encoding of the subtree rooted at `n`, invariant
   /// under reordering of siblings. Two subtrees are isomorphic (as unordered
   /// labeled trees) iff their encodings are equal.
-  std::string CanonicalEncoding(NodeId n) const;
+  [[nodiscard]] std::string CanonicalEncoding(NodeId n) const;
 
   /// Multi-line ASCII rendering, for debugging and the example binaries.
   std::string ToAscii() const;
@@ -192,7 +193,7 @@ struct DocumentDelta {
   void InsertSubtree(NodeId parent, Tree sub);
   void DeleteSubtree(NodeId node);
   void Relabel(NodeId node, LabelId label);
-  bool empty() const { return ops.empty(); }
+  [[nodiscard]] bool empty() const noexcept { return ops.empty(); }
 };
 
 }  // namespace xpv

@@ -20,7 +20,7 @@ namespace xpv {
 ///
 /// Tag names must not start with '#' (that prefix is reserved for the
 /// library's internal labels) and must not be `*`.
-Result<Tree> ParseXml(std::string_view input);
+[[nodiscard]] Result<Tree> ParseXml(std::string_view input);
 
 }  // namespace xpv
 

@@ -6,18 +6,47 @@
 #   SOURCE       - the case's .cc file
 #   INCLUDE_DIR  - repo src/ root (for "util/sync.h")
 #   MODE         - "ok": corrected variant must compile everywhere;
-#                  "fail": violating variant must be rejected by clang's
-#                  thread-safety analysis (skips on other compilers)
+#                  "fail": violating variant must be rejected
+#   ANALYSIS     - which gate the case exercises:
+#                    tsa          clang -Werror=thread-safety (clang-only:
+#                                 fail mode skips on other compilers)
+#                    nodiscard    -Werror=unused-result ([[nodiscard]]
+#                                 sweep; enforced on GCC and clang)
+#                    staticassert compile-time static_assert pins
+#                                 (enforced on every compiler)
 
 set(base_flags -std=c++20 -fsyntax-only -I${INCLUDE_DIR})
-set(tsa_flags -Wthread-safety -Werror=thread-safety)
+
+# Per-analysis: extra flags, the stderr signature the rejection must carry
+# (so a case failing for an unrelated reason — a typo, a missing include —
+# cannot masquerade as the gate working), and whether only clang has the
+# analysis at all.
+if(ANALYSIS STREQUAL "tsa")
+  set(analysis_flags -Wthread-safety -Werror=thread-safety)
+  set(expect_re "thread-safety")
+  set(clang_only TRUE)
+elseif(ANALYSIS STREQUAL "nodiscard")
+  set(analysis_flags -Werror=unused-result)
+  # GCC: "declared with attribute 'nodiscard'"; clang: "declared with
+  # 'nodiscard' attribute".
+  set(expect_re "nodiscard")
+  set(clang_only FALSE)
+elseif(ANALYSIS STREQUAL "staticassert")
+  set(analysis_flags "")
+  # GCC/new clang: "static assertion failed"; old clang: "static_assert
+  # failed".
+  set(expect_re "static.?assert")
+  set(clang_only FALSE)
+else()
+  message(FATAL_ERROR "unknown ANALYSIS '${ANALYSIS}'")
+endif()
 
 if(MODE STREQUAL "ok")
   set(flags ${base_flags} -DXPV_EXPECT_OK=1)
-  if(COMPILER_ID MATCHES "Clang")
-    # The corrected variant must also be annotation-clean, not merely
+  if(COMPILER_ID MATCHES "Clang" OR NOT clang_only)
+    # The corrected variant must also be analysis-clean, not merely
     # syntactically valid.
-    list(APPEND flags ${tsa_flags})
+    list(APPEND flags ${analysis_flags})
   endif()
   execute_process(COMMAND ${COMPILER} ${flags} ${SOURCE}
                   RESULT_VARIABLE rc ERROR_VARIABLE err)
@@ -27,24 +56,26 @@ if(MODE STREQUAL "ok")
   endif()
   message(STATUS "corrected variant compiles")
 elseif(MODE STREQUAL "fail")
-  if(NOT COMPILER_ID MATCHES "Clang")
-    message(STATUS "[SKIP] thread-safety analysis requires clang; "
+  if(clang_only AND NOT COMPILER_ID MATCHES "Clang")
+    message(STATUS "[SKIP] ${ANALYSIS} analysis requires clang; "
                    "compiler is ${COMPILER_ID}")
     return()
   endif()
-  execute_process(COMMAND ${COMPILER} ${base_flags} ${tsa_flags} ${SOURCE}
+  execute_process(COMMAND ${COMPILER} ${base_flags} ${analysis_flags}
+                          ${SOURCE}
                   RESULT_VARIABLE rc ERROR_VARIABLE err)
   if(rc EQUAL 0)
     message(FATAL_ERROR
-            "violating variant of ${SOURCE} COMPILED — the annotations "
-            "are not enforcing anything")
+            "violating variant of ${SOURCE} COMPILED — the ${ANALYSIS} "
+            "gate is not enforcing anything")
   endif()
-  if(NOT err MATCHES "thread-safety")
+  if(NOT err MATCHES "${expect_re}")
     message(FATAL_ERROR
             "violating variant of ${SOURCE} failed for a reason other "
-            "than thread-safety analysis:\n${err}")
+            "than the ${ANALYSIS} gate (expected stderr matching "
+            "'${expect_re}'):\n${err}")
   endif()
-  message(STATUS "violation rejected by -Werror=thread-safety")
+  message(STATUS "violation rejected by the ${ANALYSIS} gate")
 else()
   message(FATAL_ERROR "unknown MODE '${MODE}'")
 endif()

@@ -1,0 +1,31 @@
+// Negative-compile case: dropping a ServiceResult on the floor. The
+// Result family is class-level [[nodiscard]] (src/util/result.h) and the
+// project builds with -Werror=unused-result, so a facade call whose error
+// is never examined must not compile — on GCC and clang alike. This is
+// the end-to-end proof behind the static_contracts_test pins.
+//
+// Default build: VIOLATES (return value ignored) — must be rejected.
+// -DXPV_EXPECT_OK: corrected variant (status checked) — must compile.
+
+#include "api/service.h"
+
+namespace {
+
+// A realistic mutation wrapper: the kind of helper where the original
+// call's status quietly vanishes when the author forgets to thread it.
+int RemoveAll(xpv::Service& service, xpv::DocumentId id) {
+#if defined(XPV_EXPECT_OK)
+  xpv::ServiceStatus status = service.RemoveDocument(id);
+  return status.ok() ? 0 : 1;
+#else
+  service.RemoveDocument(id);  // BUG: failure (stale handle, ...) dropped.
+  return 0;
+#endif
+}
+
+}  // namespace
+
+int main() {
+  xpv::Service service;
+  return RemoveAll(service, xpv::DocumentId{});
+}

@@ -1,0 +1,51 @@
+// Negative-compile case: a value type whose move constructor is
+// potentially-throwing, pinned by the same static_assert shape as
+// tests/static_contracts_test.cc. Containers relocate via
+// std::move_if_noexcept — a throwing move silently turns vector growth
+// into deep copies, so the pins turn that regression into a build break.
+//
+// Default build: VIOLATES (user-declared move without noexcept) — the
+// static_assert must fire on every compiler.
+// -DXPV_EXPECT_OK: corrected variant (noexcept move) — must compile.
+
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace {
+
+// Stand-in for a library value type (an answer row, a memo entry): a
+// buffer plus bookkeeping, with a user-declared move constructor — the
+// situation where forgetting `noexcept` is easiest, because the default
+// would have derived it.
+class Row {
+ public:
+  Row() = default;
+#if defined(XPV_EXPECT_OK)
+  Row(Row&& other) noexcept
+      : payload_(std::move(other.payload_)), generation_(other.generation_) {}
+  Row& operator=(Row&& other) noexcept {
+#else
+  Row(Row&& other)  // BUG: no noexcept — vectors of Row now copy on growth.
+      : payload_(std::move(other.payload_)), generation_(other.generation_) {}
+  Row& operator=(Row&& other) {
+#endif
+    payload_ = std::move(other.payload_);
+    generation_ = other.generation_;
+    return *this;
+  }
+
+ private:
+  std::string payload_;
+  int generation_ = 0;
+};
+
+// The pin, exactly as the static-contracts suite spells it.
+static_assert(std::is_nothrow_move_constructible_v<Row> &&
+                  std::is_nothrow_move_assignable_v<Row>,
+              "Row must be nothrow-movable: it rides in serving-path "
+              "vectors that relocate via std::move_if_noexcept");
+
+}  // namespace
+
+int main() { return 0; }

@@ -118,7 +118,7 @@ TEST(ServiceLifecycleTest, ForeignServiceHandleIsRejected) {
 
 TEST(ServiceLifecycleTest, NeverMintedHandleIsUnknownNotStale) {
   Service service;
-  service.AddDocument(Doc("<a/>"));
+  (void)service.AddDocument(Doc("<a/>"));  // discard: the handle is deliberately lost — the test probes never-minted handles
   // Default and hand-rolled handles were never minted by ANY Service:
   // they report kUnknownDocument (stale is reserved for handles that once
   // resolved here or were minted elsewhere).

@@ -1,0 +1,100 @@
+// Compile-time pins for the library's error-discipline and move-semantics
+// contracts (PR 10). Everything here is a static_assert: the test binary
+// existing at all IS the test — the single runtime TEST below only keeps
+// gtest from flagging an empty TU.
+//
+// Why pin noexcept moves: containers relocate. A `std::vector` of a type
+// whose move constructor is potentially-throwing *copies* on growth
+// (std::move_if_noexcept), silently changing the complexity and allocation
+// profile of the serving paths that batch these types. Several of these
+// types also cross thread boundaries through the pool, where a throwing
+// move would lose the task. A refactor that adds a throwing member (e.g.
+// a std::string default argument captured by value) breaks the build here
+// instead of regressing quietly.
+
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <variant>
+
+#include <gtest/gtest.h>
+
+#include "api/service.h"
+#include "containment/oracle.h"
+#include "pattern/pattern.h"
+#include "util/cancel.h"
+#include "util/memory_budget.h"
+#include "util/result.h"
+#include "views/answer_cache.h"
+#include "views/view_cache.h"
+#include "xml/tree.h"
+
+namespace xpv {
+namespace {
+
+// --------------------------------------------------------------- movability
+// Value types that ride in vectors on hot paths or cross the thread pool.
+
+template <typename T>
+inline constexpr bool kNothrowMovable =
+    std::is_nothrow_move_constructible_v<T> &&
+    std::is_nothrow_move_assignable_v<T>;
+
+static_assert(kNothrowMovable<Tree>,
+              "Tree moves between shards and through deltas by value");
+static_assert(kNothrowMovable<Pattern>,
+              "Pattern is batched in candidate vectors");
+static_assert(kNothrowMovable<Service>,
+              "Service is handed to threads by value in tests");
+static_assert(kNothrowMovable<MaterializedView>,
+              "MaterializedView lives in ViewCache's vector");
+static_assert(kNothrowMovable<ViewCache>,
+              "ViewCache moves on shard construction");
+static_assert(kNothrowMovable<AnswerCache::Entry>,
+              "memo entries are moved into Publish/Insert");
+static_assert(kNothrowMovable<AnswerCache::Fill>,
+              "fills are returned by value from BeginFill");
+static_assert(kNothrowMovable<ScopedCharge>,
+              "charges are returned by value from Charge()");
+static_assert(kNothrowMovable<CancelToken>,
+              "tokens are captured by pool task closures");
+static_assert(std::is_nothrow_move_constructible_v<ServiceResult<Answer>>,
+              "results are returned by value from every facade call");
+static_assert(std::is_nothrow_move_constructible_v<ServiceStatus>,
+              "statuses are returned by value from every mutation");
+static_assert(std::is_nothrow_move_constructible_v<Result<int>> &&
+                  std::is_nothrow_move_constructible_v<Status>,
+              "the Result family is the library-wide return currency");
+
+// `SingleFlight`/`ThreadPool`/`AnswerCache` hold mutexes and are
+// deliberately immovable; pin that too so nobody "fixes" it by adding a
+// move that would tear the lock out from under waiters.
+static_assert(!std::is_move_constructible_v<AnswerCache>,
+              "AnswerCache owns a lock + flight registry; must stay pinned");
+static_assert(!std::is_move_constructible_v<ContainmentOracle>,
+              "the oracle's memo is referenced by concurrent readers");
+
+// ------------------------------------------------------------- nodiscard
+// The [[nodiscard]] sweep is enforced by -Werror=unused-result at every
+// call site; here we pin the *class-level* attribute on the Result family
+// so it cannot be dropped from the template without failing this TU.
+// (There is no is_nodiscard trait; instead tests/compile_fail/
+// discarded_service_result_fail.cc proves the rejection end to end.)
+
+// A Result must still be cheap: one discriminated union, no virtual
+// anything. Guards against someone "enriching" the error channel with
+// allocation on the success path.
+static_assert(sizeof(Result<bool>) <= sizeof(std::variant<bool, std::string>) +
+                                          alignof(std::max_align_t),
+              "Result<bool> should stay a thin variant");
+static_assert(std::is_trivially_destructible_v<Result<int, int>> ==
+                  std::is_trivially_destructible_v<std::variant<int, int>>,
+              "Result adds no destructor of its own");
+
+TEST(StaticContracts, CompileTimePinsHold) {
+  // All assertions above are compile-time; reaching here means they held.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace xpv

@@ -106,9 +106,9 @@ TEST(ViewCacheTest, StatsAccumulate) {
   Tree doc = Doc("<a><b><c/></b></a>");
   ViewCache cache(doc);
   cache.AddView({"b-view", MustParseXPath("a/b")});
-  cache.Answer(MustParseXPath("a/b/c"));   // Hit.
-  cache.Answer(MustParseXPath("a/b"));     // Hit (k = d).
-  cache.Answer(MustParseXPath("x/y"));     // Miss (root mismatch).
+  (void)cache.Answer(MustParseXPath("a/b/c"));   // Hit.  // discard: only the stats counters are asserted
+  (void)cache.Answer(MustParseXPath("a/b"));     // Hit (k = d).  // discard: only the stats counters are asserted
+  (void)cache.Answer(MustParseXPath("x/y"));     // Miss (root mismatch).  // discard: only the stats counters are asserted
   EXPECT_EQ(cache.stats().queries, 3u);
   EXPECT_EQ(cache.stats().hits, 2u);
 }

@@ -1,0 +1,569 @@
+#!/usr/bin/env python3
+"""AST-grounded error-contract checker: structural rules the compiler and
+generic clang-tidy checks cannot express.
+
+Registered as the `check_contracts` ctest and run in the CI lint job.
+Stdlib-only on purpose — it must run on a bare python3 anywhere. The AST
+comes from `clang++ -fsyntax-only -Xclang -ast-dump=json` over every
+library TU listed in `compile_commands.json` (the same pinned clang the
+CI lint leg already carries); without a clang binary the tree check
+prints `[SKIP]` and exits 0 so the ctest registers as skipped, not
+passed — the clang CI legs are where it bites.
+
+Rules
+-----
+C1 service-result  Every public method of `xpv::Service` returns
+                   `ServiceResult<T>`/`ServiceStatus` — the facade's
+                   errors are structured values, never side channels.
+                   The documented infallible accessors are allowlisted
+                   BY NAME AND RETURN TYPE below; adding a public method
+                   that can fail but returns something else is an error.
+C2 api-throw       No *originating* throw inside `src/api/`: the facade
+                   boundary may `throw;` (a bare rethrow propagating a
+                   cancellation/fault exception up to the entry-point
+                   wrapper that maps it to a structured error), but a
+                   `throw expr` would mint an exception no caller of the
+                   API layer is prepared for.
+C3 discard-comment Every `(void)`-cast of a fallible value (the
+                   `Result`/`Status`/`ServiceResult`/`ServiceStatus`
+                   family) must carry a `// discard:` justification on
+                   the same source line. The compiler's
+                   `-Werror=unused-result` already rejects *bare*
+                   discards; this closes the `(void)` escape hatch.
+C4 wait-in-while   Every `CondVar::Wait`/`WaitFor` call sits inside a
+                   `while` statement — PR 8's convention (predicates
+                   re-checked around spurious wakeups), now structural.
+
+Suppression: a line containing `check-contracts: allow(<rule>)` in a
+comment is exempt from <rule>. Each use should say why.
+"""
+
+import argparse
+import json
+import os
+import re
+import shlex
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+FALLIBLE_TYPE = re.compile(
+    r"\b(?:Result|Status|ServiceResult|ServiceStatus)\b")
+ALLOW = re.compile(r"check-contracts:\s*allow\((?P<rule>[\w-]+)\)")
+
+# C1: public `Service` members that deliberately do NOT return a
+# ServiceResult/ServiceStatus, keyed (name, return type as clang spells
+# it). Each entry must be genuinely infallible or test-only telemetry —
+# a lookup miss is encoded in the return value itself (null pointer,
+# zero count), not an error condition that could be dropped.
+SERVICE_INFALLIBLE = {
+    # Registering an already-built document cannot fail (no parsing);
+    # the handle is [[nodiscard]] so it cannot be lost either.
+    ("AddDocument", "DocumentId"),
+    ("num_documents", "int"),          # Plain count.
+    ("num_views", "int"),              # Plain count (0 for stale handle).
+    ("document", "const Tree *"),      # Null encodes stale/unknown.
+    ("view", "const ViewDefinition *"),
+    ("cache", "const ViewCache *"),
+    ("stats", "ServiceStats"),         # Telemetry snapshot.
+    ("oracle", "const ContainmentOracle &"),   # Test/telemetry accessor.
+    ("pool_for_testing", "const ThreadPool *"),
+    ("answer_cache", "const AnswerCache &"),
+}
+
+
+class Finding:
+    def __init__(self, file, line, rule, msg):
+        self.file = file
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+
+    def key(self):
+        return (self.file, self.line, self.rule, self.msg)
+
+    def __str__(self):
+        return f"{self.file}:{self.line}: [{self.rule}] {self.msg}"
+
+
+class SourceLines:
+    """Lazy per-file line lookup for comment checks (C3 suppressions)."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def line(self, path, lineno):
+        if path not in self._cache:
+            try:
+                self._cache[path] = Path(path).read_text(
+                    encoding="utf-8", errors="replace").splitlines()
+            except OSError:
+                self._cache[path] = []
+        lines = self._cache[path]
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+
+def allowed(source_line, rule):
+    m = ALLOW.search(source_line)
+    return m is not None and m.group("rule") == rule
+
+
+class AstWalker:
+    """One pass over a clang JSON AST applying every rule.
+
+    Clang's JSON omits `file`/`line` keys when unchanged from the
+    previously printed node, so the walker threads current-position
+    state through the traversal exactly as a JSON consumer must.
+    """
+
+    def __init__(self, root, sources, findings):
+        self.root = str(root)
+        self.sources = sources
+        self.findings = findings
+        self.cur_file = ""
+        self.cur_line = 0
+
+    # -- location bookkeeping ------------------------------------------
+
+    def _advance(self, loc):
+        """Updates (file, line) from a loc/range dict, handling macro
+        expansion locs and clang's omit-if-unchanged compression."""
+        if not isinstance(loc, dict):
+            return
+        # Macro expansions nest the real position one level down; prefer
+        # the expansion site (where the code textually lives).
+        if "expansionLoc" in loc:
+            self._advance(loc["expansionLoc"])
+            return
+        if "file" in loc:
+            self.cur_file = loc["file"]
+        if "line" in loc:
+            self.cur_line = loc["line"]
+
+    def _position(self, node):
+        self._advance(node.get("loc"))
+        rng = node.get("range")
+        if isinstance(rng, dict):
+            self._advance(rng.get("begin"))
+
+    def _in_project(self):
+        return self.cur_file.startswith(self.root)
+
+    def _rel(self):
+        return os.path.relpath(self.cur_file, self.root)
+
+    def _report(self, rule, msg, line=None):
+        lineno = self.cur_line if line is None else line
+        src = self.sources.line(self.cur_file, lineno)
+        if allowed(src, rule):
+            return
+        self.findings.append(Finding(self._rel(), lineno, rule, msg))
+
+    # -- traversal ------------------------------------------------------
+
+    def walk(self, node):
+        self._walk(node, ancestors=[])
+
+    def _walk(self, node, ancestors):
+        if not isinstance(node, dict):
+            return
+        self._position(node)
+        kind = node.get("kind", "")
+
+        if kind == "CXXRecordDecl" and node.get("name") == "Service" \
+                and self._in_project():
+            self._check_service(node)
+        if kind == "CXXThrowExpr":
+            self._check_throw(node)
+        if kind == "CStyleCastExpr":
+            self._check_void_cast(node)
+        if kind == "CXXMemberCallExpr":
+            self._check_condvar_wait(node, ancestors)
+
+        ancestors.append(node)
+        for child in node.get("inner", []) or []:
+            self._walk(child, ancestors)
+        ancestors.pop()
+
+    # -- C1: Service methods return ServiceResult/ServiceStatus --------
+
+    def _check_service(self, record):
+        if not record.get("completeDefinition"):
+            return  # Forward declaration.
+        access = "private"  # Class default.
+        for child in record.get("inner", []) or []:
+            self._position(child)
+            kind = child.get("kind")
+            if kind == "AccessSpecDecl":
+                access = child.get("access", access)
+                continue
+            if kind != "CXXMethodDecl" or access != "public":
+                continue
+            if child.get("isImplicit"):
+                continue
+            name = child.get("name", "")
+            if name in ("Service", "~Service", "operator="):
+                continue
+            qual = child.get("type", {}).get("qualType", "")
+            ret = qual.split("(")[0].strip()
+            if ret.startswith(("ServiceResult<", "ServiceStatus")):
+                continue
+            if (name, ret) in SERVICE_INFALLIBLE:
+                continue
+            self._report(
+                "service-result",
+                f"public Service::{name} returns '{ret}' — fallible facade "
+                "entry points must return ServiceResult<T>/ServiceStatus "
+                "(or be added to the checker's documented infallible "
+                "allowlist)")
+
+    # -- C2: no originating throw in src/api/ ---------------------------
+
+    def _check_throw(self, node):
+        rel = self._rel() if self._in_project() else ""
+        if not rel.startswith("src/api/"):
+            return
+        # A bare `throw;` has no operand: it re-raises an in-flight
+        # exception toward the facade's entry-point wrapper — allowed.
+        if not node.get("inner"):
+            return
+        self._report(
+            "api-throw",
+            "originating throw in the API layer; return a structured "
+            "ServiceResult/ServiceStatus error instead (bare rethrows "
+            "to the boundary wrapper are the only exception)")
+
+    # -- C3: (void)-discards need a // discard: justification -----------
+
+    def _check_void_cast(self, node):
+        if node.get("castKind") != "ToVoid" or not self._in_project():
+            return
+        inner = node.get("inner") or []
+        if not inner:
+            return
+        sub_type = inner[0].get("type", {}).get("qualType", "")
+        if not FALLIBLE_TYPE.search(sub_type):
+            return
+        line = self.cur_line
+        src = self.sources.line(self.cur_file, line)
+        if "// discard:" in src:
+            return
+        self._report(
+            "discard-comment",
+            f"(void)-discard of fallible '{sub_type}' without a "
+            "`// discard:` justification on the same line", line=line)
+
+    # -- C4: CondVar waits sit in while loops ---------------------------
+
+    def _check_condvar_wait(self, node, ancestors):
+        if not self._in_project():
+            return
+        callee = self._find_member_expr(node)
+        if callee is None:
+            return
+        if callee.get("name") not in ("Wait", "WaitFor"):
+            return
+        base_type = self._member_base_type(callee)
+        if "CondVar" not in base_type:
+            return
+        line = self.cur_line
+        for anc in reversed(ancestors):
+            k = anc.get("kind")
+            if k == "WhileStmt":
+                return
+            if k in ("FunctionDecl", "CXXMethodDecl", "LambdaExpr"):
+                break
+        self._report(
+            "wait-in-while",
+            "CondVar wait outside a while loop — condition-variable "
+            "predicates must be re-checked in a `while (!cond) cv.Wait(mu)` "
+            "loop (spurious wakeups, PR 8 discipline)", line=line)
+
+    @staticmethod
+    def _find_member_expr(call):
+        for child in call.get("inner", []) or []:
+            if child.get("kind") == "MemberExpr":
+                return child
+        return None
+
+    @staticmethod
+    def _member_base_type(member):
+        for child in member.get("inner", []) or []:
+            t = child.get("type", {}).get("qualType", "")
+            if t:
+                return t
+        return ""
+
+
+# --------------------------------------------------------------- driver
+
+def find_clang(explicit):
+    """Resolves the clang++ to dump ASTs with (pinned name first)."""
+    candidates = [explicit] if explicit else []
+    candidates += ["clang++-18", "clang++"]
+    for c in candidates:
+        if c and shutil.which(c):
+            return c
+    return None
+
+
+def library_tus(build_dir, root):
+    """Library TUs (src/**/*.cc) from the compile database, with their
+    compile arguments (minus output/dep flags)."""
+    db_path = Path(build_dir) / "compile_commands.json"
+    if not db_path.exists():
+        raise FileNotFoundError(
+            f"{db_path} not found — configure with "
+            "CMAKE_EXPORT_COMPILE_COMMANDS=ON first")
+    tus = []
+    for entry in json.loads(db_path.read_text(encoding="utf-8")):
+        file = Path(entry["file"])
+        try:
+            rel = file.resolve().relative_to(Path(root).resolve())
+        except ValueError:
+            continue
+        if not (rel.parts and rel.parts[0] == "src" and
+                rel.suffix == ".cc"):
+            continue
+        args = entry.get("arguments")
+        if args is None:
+            args = shlex.split(entry["command"])
+        # Strip compile/output/dep flags; we re-run as -fsyntax-only.
+        cleaned, skip = [], False
+        for a in args[1:]:
+            if skip:
+                skip = False
+                continue
+            if a in ("-c", str(file)):
+                continue
+            if a in ("-o", "-MF", "-MT", "-MQ"):
+                skip = True
+                continue
+            if a in ("-MD", "-MMD"):
+                continue
+            cleaned.append(a)
+        tus.append((str(file), cleaned, entry.get("directory", ".")))
+    return tus
+
+
+def dump_ast(clang, file, args, directory):
+    cmd = [clang] + args + [
+        "-fsyntax-only", "-Wno-everything",
+        "-Xclang", "-ast-dump=json", file]
+    proc = subprocess.run(cmd, cwd=directory, capture_output=True,
+                          text=True)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"clang AST dump failed for {file}:\n{proc.stderr[:4000]}")
+    return json.loads(proc.stdout)
+
+
+def check_tree(root, build_dir, clang_arg):
+    clang = find_clang(clang_arg)
+    if clang is None:
+        # The compilers that CAN run this rule set live on the CI clang
+        # legs; a gcc-only host skips rather than silently passing.
+        print("[SKIP] check_contracts: no clang++ found "
+              "(AST dumps require clang; the CI lint leg runs this)")
+        return 0
+
+    sources = SourceLines()
+    findings = []
+    tus = library_tus(build_dir, root)
+    if not tus:
+        print("check_contracts: no library TUs in compile_commands.json")
+        return 1
+    for file, args, directory in tus:
+        ast = dump_ast(clang, file, args, directory)
+        AstWalker(root, sources, findings).walk(ast)
+        del ast  # The dumps are large; free eagerly between TUs.
+
+    unique = {}
+    for f in findings:
+        unique.setdefault(f.key(), f)
+    problems = sorted(unique.values(), key=lambda f: (f.file, f.line))
+    if problems:
+        print(f"check_contracts: {len(problems)} violation(s) "
+              f"across {len(tus)} TU(s)")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"check_contracts: clean ({len(tus)} TU(s))")
+    return 0
+
+
+# ------------------------------------------------------------ self-test
+#
+# Canned miniature ASTs in clang's JSON shape (sparse file/line keys and
+# all) prove each rule fires on known-bad input and stays quiet on
+# known-good input — without needing a clang binary, so this half runs
+# on every host.
+
+def _loc(file=None, line=None):
+    loc = {}
+    if file is not None:
+        loc["file"] = file
+    if line is not None:
+        loc["line"] = line
+    return loc
+
+
+def _fake_service(method_name, ret, access="public", implicit=False):
+    method = {"kind": "CXXMethodDecl", "name": method_name,
+              "type": {"qualType": f"{ret} (int)"},
+              "loc": _loc(line=10)}
+    if implicit:
+        method["isImplicit"] = True
+    return {
+        "kind": "CXXRecordDecl", "name": "Service",
+        "completeDefinition": True,
+        "loc": _loc(file="/fake/src/api/service.h", line=5),
+        "inner": [
+            {"kind": "AccessSpecDecl", "access": access},
+            method,
+        ],
+    }
+
+
+def self_test():
+    import tempfile
+
+    failures = []
+
+    def run_case(name, tree, expect_rules, source_files=None):
+        with tempfile.TemporaryDirectory() as tmp:
+            fake_root = Path(tmp) / "fake"
+            (fake_root / "src/api").mkdir(parents=True)
+            (fake_root / "src/util").mkdir(parents=True)
+            for rel, text in (source_files or {}).items():
+                (fake_root / rel).write_text(text, encoding="utf-8")
+
+            def rebase(node):
+                if isinstance(node, dict):
+                    loc = node.get("loc")
+                    if isinstance(loc, dict) and "file" in loc:
+                        loc["file"] = loc["file"].replace(
+                            "/fake", str(fake_root))
+                    for child in node.get("inner", []) or []:
+                        rebase(child)
+            rebase(tree)
+
+            findings = []
+            AstWalker(str(fake_root), SourceLines(), findings).walk(tree)
+            got = sorted({f.rule for f in findings})
+            if got != sorted(expect_rules):
+                failures.append(
+                    f"{name}: expected rules {sorted(expect_rules)}, "
+                    f"got {got} ({[str(f) for f in findings]})")
+
+    tu = lambda *inner: {"kind": "TranslationUnitDecl",
+                         "inner": list(inner)}
+
+    # C1 fires: a public fallible-looking method returning bool.
+    run_case("service-bad",
+             tu(_fake_service("RemoveEverything", "bool")),
+             ["service-result"])
+    # C1 quiet: ServiceStatus return, allowlisted accessor, private
+    # helper, implicit member.
+    run_case("service-ok", tu(
+        _fake_service("RemoveDocument", "ServiceStatus"),
+        _fake_service("num_documents", "int"),
+        _fake_service("Helper", "bool", access="private"),
+        _fake_service("operator=", "Service &", implicit=True)), [])
+
+    # C2 fires on an originating throw in src/api, quiet on a bare
+    # rethrow and on throws outside the API layer.
+    throw_expr = {"kind": "CXXThrowExpr",
+                  "loc": _loc(file="/fake/src/api/service.cc", line=42),
+                  "inner": [{"kind": "CXXConstructExpr",
+                             "type": {"qualType": "std::runtime_error"}}]}
+    rethrow = {"kind": "CXXThrowExpr",
+               "loc": _loc(file="/fake/src/api/service.cc", line=50)}
+    outside = {"kind": "CXXThrowExpr",
+               "loc": _loc(file="/fake/src/util/cancel.h", line=7),
+               "inner": [{"kind": "CXXConstructExpr",
+                          "type": {"qualType": "CancelledError"}}]}
+    run_case("api-throw-bad", tu(throw_expr), ["api-throw"])
+    run_case("api-throw-ok", tu(rethrow, outside), [])
+
+    # C3: (void)-cast of a ServiceStatus without / with a `// discard:`
+    # comment; a (void)-cast of a non-fallible type stays quiet.
+    def void_cast(line, sub_type):
+        return {"kind": "CStyleCastExpr", "castKind": "ToVoid",
+                "loc": _loc(file="/fake/src/util/u.cc", line=line),
+                "inner": [{"kind": "CallExpr",
+                           "type": {"qualType": sub_type}}]}
+    ucc = ("src/util/u.cc",
+           "\n".join(["// 1", "(void)F();  // plain, no comment",
+                      "(void)G();  // discard: probe only",
+                      "(void)H();  // not fallible"]) + "\n")
+    run_case("discard-bad", tu(void_cast(2, "ServiceStatus")),
+             ["discard-comment"], dict([ucc]))
+    run_case("discard-ok", tu(void_cast(3, "ServiceStatus"),
+                              void_cast(4, "int")), [], dict([ucc]))
+
+    # C4: a CondVar::Wait under an IfStmt fires; under a WhileStmt it
+    # doesn't; WaitFor on a non-CondVar type stays quiet.
+    def wait_call(line, member="Wait", base="xpv::CondVar"):
+        return {"kind": "CXXMemberCallExpr",
+                "loc": _loc(file="/fake/src/util/u.cc", line=line),
+                "inner": [{"kind": "MemberExpr", "name": member,
+                           "inner": [{"kind": "DeclRefExpr",
+                                      "type": {"qualType": base}}]}]}
+    in_fn = lambda stmt_kind, call: {
+        "kind": "CXXMethodDecl", "name": "f",
+        "type": {"qualType": "void ()"},
+        "inner": [{"kind": "CompoundStmt",
+                   "inner": [{"kind": stmt_kind, "inner": [call]}]}]}
+    run_case("wait-bad", tu(in_fn("IfStmt", wait_call(2))),
+             ["wait-in-while"], dict([ucc]))
+    run_case("wait-ok", tu(
+        in_fn("WhileStmt", wait_call(3)),
+        in_fn("IfStmt", wait_call(4, "WaitFor", "SomethingElse"))),
+        [], dict([ucc]))
+
+    # Suppression honored: the allow() comment silences its rule.
+    sup = ("src/util/u.cc",
+           "\n".join(["// 1",
+                      "(void)F();  // check-contracts: allow(discard-comment)"
+                      " — self-test"]) + "\n")
+    run_case("suppression", tu(void_cast(2, "ServiceStatus")), [],
+             dict([sup]))
+
+    if failures:
+        print("check_contracts self-test FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("check_contracts self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root (default: this checkout)")
+    parser.add_argument("--build-dir", type=Path, default=None,
+                        help="build dir holding compile_commands.json "
+                             "(default: <root>/build)")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary for AST dumps "
+                             "(default: clang++-18, then clang++)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the checker's own regression checks")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+
+    root = args.root.resolve()
+    build_dir = args.build_dir or (root / "build")
+    return check_tree(str(root), build_dir, args.clang)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
